@@ -1,0 +1,124 @@
+package jiffy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+// TestBoundedQueueBackpressure exercises the maxQueueLength semantics
+// (§5.2): a queue bounded to 2 blocks rejects enqueues when full and
+// accepts them again after consumers drain space.
+func TestBoundedQueueBackpressure(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 1, BlocksPerServer: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+
+	c.RegisterJob("bq")
+	if _, _, err := c.CreateBoundedPrefix("bq/q", nil, DSQueue, 1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.OpenQueue("bq/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := bytes.Repeat([]byte("x"), 4*core.KB)
+	// Fill until the bound bites: 2 blocks × 64KB / 4KB = ~32 items.
+	accepted := 0
+	var fullErr error
+	for i := 0; i < 100; i++ {
+		if err := q.Enqueue(item); err != nil {
+			fullErr = err
+			break
+		}
+		accepted++
+	}
+	if !errors.Is(fullErr, core.ErrBlockFull) {
+		t.Fatalf("expected backpressure, got %v after %d items", fullErr, accepted)
+	}
+	if accepted < 16 || accepted > 40 {
+		t.Errorf("accepted %d items before bound", accepted)
+	}
+	// Drain one segment's worth; the sealed head is reclaimed on the
+	// underload signal, freeing a block slot under the bound.
+	for i := 0; i < accepted/2; i++ {
+		if _, err := q.Dequeue(); err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+	}
+	// Give the drained-segment reclamation a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	var reErr error
+	for time.Now().Before(deadline) {
+		if reErr = q.Enqueue(item); reErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if reErr != nil {
+		t.Fatalf("enqueue after drain still failing: %v", reErr)
+	}
+}
+
+// TestBoundedFileStopsGrowing verifies bounds apply to files too.
+func TestBoundedFileStopsGrowing(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 1, BlocksPerServer: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+
+	c.RegisterJob("bf")
+	if _, _, err := c.CreateBoundedPrefix("bf/f", nil, DSFile, 1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c.OpenFile("bf/f")
+	// Two 64KB chunks fit; writing past 128KB must fail.
+	if err := f.WriteAt(0, make([]byte, 2*64*core.KB)); err != nil {
+		t.Fatalf("write within bound: %v", err)
+	}
+	err = f.WriteAt(2*64*core.KB, []byte("overflow"))
+	if err == nil {
+		t.Fatal("write beyond bound accepted")
+	}
+}
+
+// TestBoundedInitialClamp: initial blocks above the bound are clamped.
+func TestBoundedInitialClamp(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 1, BlocksPerServer: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+	c.RegisterJob("bc")
+	m, _, err := c.CreateBoundedPrefix("bc/kv", nil, DSKV, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks) != 2 || m.MaxBlocks != 2 {
+		t.Errorf("blocks=%d max=%d, want 2/2", len(m.Blocks), m.MaxBlocks)
+	}
+}

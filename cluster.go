@@ -1,0 +1,181 @@
+package jiffy
+
+import (
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+
+	"jiffy/internal/client"
+	"jiffy/internal/clock"
+	"jiffy/internal/controller"
+	"jiffy/internal/core"
+	"jiffy/internal/persist"
+	"jiffy/internal/server"
+)
+
+// ClusterOptions configures StartCluster.
+type ClusterOptions struct {
+	// Config supplies system tunables; zero value means TestConfig
+	// (64KB blocks, fast leases) — suitable for laptops and tests. Use
+	// DefaultConfig for the paper's production values.
+	Config Config
+	// Controllers is the number of controller servers; jobs
+	// hash-partition across them and each owns a disjoint slice of the
+	// memory servers (§4.2.1 multi-controller scaling). Default 1.
+	Controllers int
+	// Servers is the number of memory servers (default 1).
+	Servers int
+	// BlocksPerServer is each server's capacity contribution
+	// (default 64).
+	BlocksPerServer int
+	// ControllerShards is the number of in-process shards per
+	// controller (default 1).
+	ControllerShards int
+	// Transport selects "mem" (in-process, default) or "tcp"
+	// (127.0.0.1 loopback).
+	Transport string
+	// Persist is the shared external store for flushes/spills
+	// (default: one in-memory store shared by all components).
+	Persist persist.Store
+	// Clock overrides the time source (simulations use a virtual
+	// clock).
+	Clock clock.Clock
+	// Logger receives operational logs from all components.
+	Logger *slog.Logger
+	// DisableExpiry turns off the lease expiry worker.
+	DisableExpiry bool
+}
+
+// Cluster is an in-process Jiffy deployment: one or more controllers
+// plus a set of memory servers, all speaking the real framed RPC
+// protocol. It backs the examples, the test suite and the live-path
+// experiments; production deployments run the same components via
+// cmd/jiffy-controller and cmd/jiffy-server instead.
+type Cluster struct {
+	// Controllers holds the controller group; Controller aliases the
+	// first for the common single-controller case.
+	Controllers     []*controller.Controller
+	Controller      *controller.Controller
+	ControllerAddrs []string
+	ControllerAddr  string
+	Servers         []*server.Server
+	Store           persist.Store
+}
+
+// clusterSeq disambiguates mem:// endpoint names across clusters in
+// one process.
+var clusterSeq atomic.Int64
+
+// StartCluster boots the controller group and memory servers and wires
+// them together: memory servers register round-robin with controllers,
+// so each controller owns a disjoint slice of the block pool, exactly
+// as §4.2.1's hash-partitioned controller scaling prescribes.
+func StartCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Config == (Config{}) {
+		opts.Config = core.TestConfig()
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Controllers <= 0 {
+		opts.Controllers = 1
+	}
+	if opts.Servers <= 0 {
+		opts.Servers = 1
+	}
+	if opts.Servers < opts.Controllers {
+		return nil, fmt.Errorf("jiffy: %d controllers need at least as many memory servers, got %d",
+			opts.Controllers, opts.Servers)
+	}
+	if opts.BlocksPerServer <= 0 {
+		opts.BlocksPerServer = 64
+	}
+	if opts.Persist == nil {
+		opts.Persist = persist.NewMemStore()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	seq := clusterSeq.Add(1)
+
+	c := &Cluster{Store: opts.Persist}
+	for i := 0; i < opts.Controllers; i++ {
+		ctrl, err := controller.New(controller.Options{
+			Config:        opts.Config,
+			Shards:        opts.ControllerShards,
+			Clock:         opts.Clock,
+			Persist:       opts.Persist,
+			Logger:        opts.Logger,
+			DisableExpiry: opts.DisableExpiry,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		addr, err := ctrl.Listen(endpoint(opts.Transport,
+			fmt.Sprintf("jiffy-%d-controller-%d", seq, i)))
+		if err != nil {
+			ctrl.Close()
+			c.Close()
+			return nil, err
+		}
+		c.Controllers = append(c.Controllers, ctrl)
+		c.ControllerAddrs = append(c.ControllerAddrs, addr)
+	}
+	c.Controller = c.Controllers[0]
+	c.ControllerAddr = c.ControllerAddrs[0]
+
+	for i := 0; i < opts.Servers; i++ {
+		// Round-robin server→controller assignment: each controller
+		// manages a non-overlapping subset of blocks.
+		ctrlAddr := c.ControllerAddrs[i%len(c.ControllerAddrs)]
+		srv, err := server.New(server.Options{
+			Config:         opts.Config,
+			ControllerAddr: ctrlAddr,
+			Persist:        opts.Persist,
+			Logger:         opts.Logger,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if _, err := srv.Listen(endpoint(opts.Transport, fmt.Sprintf("jiffy-%d-server-%d", seq, i))); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := srv.Register(opts.BlocksPerServer); err != nil {
+			srv.Close()
+			c.Close()
+			return nil, err
+		}
+		c.Servers = append(c.Servers, srv)
+	}
+	return c, nil
+}
+
+// endpoint picks an address for the chosen transport.
+func endpoint(transport, name string) string {
+	if transport == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return "mem://" + name
+}
+
+// Connect opens a client against the cluster's controller group.
+func (c *Cluster) Connect() (*Client, error) {
+	return client.ConnectMulti(c.ControllerAddrs, client.Options{})
+}
+
+// Close tears the cluster down: servers first, then the controllers.
+func (c *Cluster) Close() error {
+	for _, s := range c.Servers {
+		s.Close()
+	}
+	var err error
+	for _, ctrl := range c.Controllers {
+		if cerr := ctrl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,100 @@
+// Command jiffy-bench regenerates the tables and figures of the Jiffy
+// paper's evaluation (EuroSys '22, §6). Each subcommand runs one
+// experiment and prints the corresponding rows/series:
+//
+//	jiffy-bench fig1    # Snowflake-like workload analysis
+//	jiffy-bench fig9    # job slowdown + utilization vs capacity
+//	jiffy-bench fig10   # latency/throughput across six systems
+//	jiffy-bench fig11a  # allocated vs used per data structure
+//	jiffy-bench fig11b  # repartitioning latency + impact
+//	jiffy-bench fig12a  # controller throughput vs latency
+//	jiffy-bench fig12b  # controller multi-shard scaling
+//	jiffy-bench fig13a  # streaming word-count vs ElastiCache
+//	jiffy-bench fig13b  # ExCamera state exchange vs rendezvous server
+//	jiffy-bench fig14a|fig14b|fig14c  # sensitivity sweeps
+//	jiffy-bench overhead              # §6.4 metadata overhead
+//	jiffy-bench all                   # everything
+//
+// Flags: -quick shrinks workloads for smoke tests; -seed fixes
+// workload generation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"jiffy/internal/bench"
+)
+
+var figures = map[string]func(io.Writer, bench.Options) error{
+	"fig1":               bench.Fig1,
+	"fig9":               bench.Fig9,
+	"fig10":              bench.Fig10,
+	"fig11a":             bench.Fig11a,
+	"fig11b":             bench.Fig11b,
+	"fig12a":             bench.Fig12a,
+	"fig12b":             bench.Fig12b,
+	"fig13a":             bench.Fig13a,
+	"fig13b":             bench.Fig13b,
+	"fig14a":             bench.Fig14a,
+	"fig14b":             bench.Fig14b,
+	"fig14c":             bench.Fig14c,
+	"overhead":           bench.Overhead,
+	"ablation-leases":    bench.AblationLeases,
+	"ablation-proactive": bench.AblationProactive,
+	"ablation-cuckoo":    bench.AblationCuckoo,
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	name := flag.Arg(0)
+
+	names := []string{flag.Arg(0)}
+	if name == "all" {
+		names = names[:0]
+		for n := range figures {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	for _, n := range names {
+		fn, ok := figures[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jiffy-bench: unknown experiment %q\n", n)
+			usage()
+			os.Exit(2)
+		}
+		fmt.Printf("### %s ###\n", n)
+		start := time.Now()
+		if err := fn(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "jiffy-bench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s done in %v ###\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: jiffy-bench [-quick] [-seed N] <experiment>\n\nexperiments:\n")
+	names := make([]string, 0, len(figures))
+	for n := range figures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %s\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "  all\n")
+}

@@ -1,0 +1,230 @@
+// Command jiffy-cli pokes a running Jiffy cluster: register jobs,
+// create prefixes, read and write the built-in data structures, and
+// inspect controller state.
+//
+//	jiffy-cli -controller localhost:9090 register-job job1
+//	jiffy-cli create job1/t1 kv
+//	jiffy-cli put job1/t1 key value
+//	jiffy-cli get job1/t1 key
+//	jiffy-cli enqueue job1/q item
+//	jiffy-cli dequeue job1/q
+//	jiffy-cli append job1/f "some data"
+//	jiffy-cli read job1/f 0 100
+//	jiffy-cli renew job1/t1
+//	jiffy-cli flush job1/t1 s3://bucket/ckpt
+//	jiffy-cli load  job1/t1 s3://bucket/ckpt
+//	jiffy-cli ls job1
+//	jiffy-cli stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jiffy"
+	"jiffy/internal/core"
+)
+
+func main() {
+	controller := flag.String("controller", "localhost:9090",
+		"controller address, or comma-separated controller group")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c, err := jiffy.ConnectMulti(strings.Split(*controller, ","))
+	if err != nil {
+		fatal("connect: %v", err)
+	}
+	defer c.Close()
+	if err := run(c, args); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func run(c *jiffy.Client, args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "register-job":
+		need(rest, 1)
+		return c.RegisterJob(core.JobID(rest[0]))
+	case "deregister-job":
+		need(rest, 1)
+		return c.DeregisterJob(core.JobID(rest[0]))
+	case "create":
+		need(rest, 2)
+		t, err := core.ParseDSType(rest[1])
+		if err != nil {
+			return err
+		}
+		_, lease, err := c.CreatePrefix(core.Path(rest[0]), nil, t, 1, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created %s (%s, lease %v)\n", rest[0], t, lease)
+		return nil
+	case "remove":
+		need(rest, 1)
+		return c.RemovePrefix(core.Path(rest[0]))
+	case "put":
+		need(rest, 3)
+		kv, err := c.OpenKV(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		return kv.Put(rest[1], []byte(rest[2]))
+	case "get":
+		need(rest, 2)
+		kv, err := c.OpenKV(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		v, err := kv.Get(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(v))
+		return nil
+	case "del":
+		need(rest, 2)
+		kv, err := c.OpenKV(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		old, err := kv.Delete(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(old))
+		return nil
+	case "enqueue":
+		need(rest, 2)
+		q, err := c.OpenQueue(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		return q.Enqueue([]byte(rest[1]))
+	case "dequeue":
+		need(rest, 1)
+		q, err := c.OpenQueue(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		item, err := q.Dequeue()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(item))
+		return nil
+	case "append":
+		need(rest, 2)
+		f, err := c.OpenFile(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		off, err := f.AppendRecord([]byte(rest[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offset %d\n", off)
+		return nil
+	case "read":
+		need(rest, 3)
+		f, err := c.OpenFile(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		off, err1 := strconv.Atoi(rest[1])
+		n, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("read wants numeric offset and length")
+		}
+		data, err := f.ReadAt(off, n)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+	case "renew":
+		need(rest, 1)
+		n, err := c.RenewLease(core.Path(rest[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("renewed %d prefixes\n", n)
+		return nil
+	case "flush":
+		need(rest, 2)
+		n, err := c.FlushPrefix(core.Path(rest[0]), rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flushed %d blocks\n", n)
+		return nil
+	case "load":
+		need(rest, 2)
+		return c.LoadPrefix(core.Path(rest[0]), rest[1])
+	case "ls":
+		need(rest, 1)
+		prefixes, err := c.ListPrefixes(core.JobID(rest[0]))
+		if err != nil {
+			return err
+		}
+		for _, p := range prefixes {
+			fmt.Printf("%-40s %-6s blocks=%d renewed=%s\n",
+				p.Path, p.Type, p.Blocks, p.LastRenewed.Format("15:04:05.000"))
+		}
+		return nil
+	case "save-state":
+		need(rest, 1)
+		return c.SaveControllerState(rest[0])
+	case "stats":
+		s, err := c.ControllerStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("servers:          %d\n", s.Servers)
+		fmt.Printf("blocks total:     %d\n", s.TotalBlocks)
+		fmt.Printf("blocks free:      %d\n", s.FreeBlocks)
+		fmt.Printf("blocks allocated: %d\n", s.AllocatedBlocks)
+		fmt.Printf("jobs:             %d\n", s.Jobs)
+		fmt.Printf("prefixes:         %d\n", s.Prefixes)
+		fmt.Printf("metadata bytes:   %d\n", s.MetadataBytes)
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: jiffy-cli [-controller addr] <command> [args...]
+
+commands:
+  register-job <job>            deregister-job <job>
+  create <path> <file|queue|kv> remove <path>
+  put <path> <key> <value>      get <path> <key>        del <path> <key>
+  enqueue <path> <item>         dequeue <path>
+  append <path> <data>          read <path> <off> <len>
+  renew <path>                  flush <path> <dest>     load <path> <src>
+  ls <job>                      stats
+  save-state <key>`)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "jiffy-cli: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Streaming: the Fig. 13(a) workload — a streaming word-count where
+// partition tasks split incoming sentences and route words over Jiffy
+// queues to count tasks that maintain running counts in a Jiffy KV
+// store (Dataflow + Piccolo models combined, §6.5 of the paper).
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"jiffy"
+	"jiffy/internal/core"
+	"jiffy/internal/dataflow"
+)
+
+const (
+	partitionTasks = 4
+	countTasks     = 4
+)
+
+var sentences = []string{
+	"stream processing keeps state between events",
+	"events arrive as an unbounded stream",
+	"the state lives in far memory not in the tasks",
+	"tasks come and go but the stream flows on",
+	"far memory decouples state from compute",
+	"the stream never ends and neither does the state",
+}
+
+func main() {
+	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+		Servers:         2,
+		BlocksPerServer: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	c, err := cluster.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// The running counts live in a Jiffy KV store owned by a separate
+	// job, so they outlive the dataflow graph below.
+	if err := c.RegisterJob("counts"); err != nil {
+		log.Fatal(err)
+	}
+	defer c.DeregisterJob("counts")
+	if _, _, err := c.CreatePrefix("counts/table", nil, jiffy.DSKV, 1, 0); err != nil {
+		log.Fatal(err)
+	}
+	countsRenewer := c.StartRenewer(jiffy.DefaultLeaseDuration/4, "counts")
+	defer countsRenewer.Stop()
+
+	var processed atomic.Int64
+
+	// The graph: source → partition (replicated) → per-count-task
+	// channels → count tasks writing to the KV table.
+	vertices := []dataflow.Vertex{
+		{
+			Name:    "source",
+			Outputs: []string{"sentences"},
+			Fn: func(ctx context.Context, in []*dataflow.Reader, out []*dataflow.Writer) error {
+				for round := 0; round < 20; round++ {
+					for _, s := range sentences {
+						if err := out[0].Write([]byte(s)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:     "partition",
+			Inputs:   []string{"sentences"},
+			Outputs:  channelNames(),
+			Replicas: partitionTasks,
+			Fn: func(ctx context.Context, in []*dataflow.Reader, out []*dataflow.Writer) error {
+				for {
+					item, ok, err := in[0].Read(ctx)
+					if err != nil || !ok {
+						return err
+					}
+					for _, w := range strings.Fields(string(item)) {
+						if err := out[route(w)].Write([]byte(w)); err != nil {
+							return err
+						}
+					}
+				}
+			},
+		},
+	}
+	for i := 0; i < countTasks; i++ {
+		i := i
+		vertices = append(vertices, dataflow.Vertex{
+			Name:   fmt.Sprintf("count-%d", i),
+			Inputs: []string{fmt.Sprintf("words-%d", i)},
+			Fn: func(ctx context.Context, in []*dataflow.Reader, out []*dataflow.Writer) error {
+				kv, err := c.OpenKV("counts/table")
+				if err != nil {
+					return err
+				}
+				local := map[string]int{}
+				for {
+					item, ok, err := in[0].Read(ctx)
+					if err != nil || !ok {
+						return err
+					}
+					w := string(item)
+					local[w]++
+					if err := kv.Put(w, []byte(strconv.Itoa(local[w]))); err != nil {
+						return err
+					}
+					processed.Add(1)
+				}
+			},
+		})
+	}
+
+	if err := dataflow.Run(context.Background(), c, dataflow.Graph{
+		JobID:    "stream-wc",
+		Vertices: vertices,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read the final counts back from far memory.
+	kv, err := c.OpenKV("counts/table")
+	if err != nil {
+		log.Fatal(err)
+	}
+	words := map[string]bool{}
+	for _, s := range sentences {
+		for _, w := range strings.Fields(s) {
+			words[w] = true
+		}
+	}
+	type wc struct {
+		word  string
+		count int
+	}
+	var result []wc
+	for w := range words {
+		if v, err := kv.Get(w); err == nil {
+			n, _ := strconv.Atoi(string(v))
+			result = append(result, wc{w, n})
+		}
+	}
+	sort.Slice(result, func(i, j int) bool {
+		if result[i].count != result[j].count {
+			return result[i].count > result[j].count
+		}
+		return result[i].word < result[j].word
+	})
+	fmt.Printf("processed %d words through %d partition + %d count tasks\n",
+		processed.Load(), partitionTasks, countTasks)
+	fmt.Println("top streaming counts:")
+	for i := 0; i < 8 && i < len(result); i++ {
+		fmt.Printf("  %-10s %d\n", result[i].word, result[i].count)
+	}
+}
+
+func channelNames() []string {
+	names := make([]string, countTasks)
+	for i := range names {
+		names[i] = fmt.Sprintf("words-%d", i)
+	}
+	return names
+}
+
+func route(word string) int {
+	h := fnv.New32a()
+	h.Write([]byte(word))
+	return int(h.Sum32()) % countTasks
+}
+
+var _ = core.OpEnqueue // notifications are used inside dataflow.Reader

@@ -1,0 +1,86 @@
+// Wordcount: the canonical MapReduce job running on Jiffy shuffle files
+// (§5.1 of the paper). Map tasks split text and emit (word, 1) pairs
+// into per-reducer shuffle files — concurrently, via atomic record
+// appends — and reduce tasks group and count them.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jiffy"
+	"jiffy/internal/mr"
+)
+
+// splits is the input corpus, one split per map task.
+var splits = []string{
+	`the best way to predict the future is to invent it`,
+	`simplicity is prerequisite for reliability`,
+	`the cheapest fastest and most reliable components are those that are not there`,
+	`a distributed system is one in which the failure of a computer you did not
+	 even know existed can render your own computer unusable`,
+	`the network is reliable the network is secure the network is homogeneous`,
+}
+
+func main() {
+	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+		Servers:         2,
+		BlocksPerServer: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	c, err := cluster.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := mr.Run(context.Background(), c, mr.Config{
+		JobID:    "wordcount",
+		Inputs:   splits,
+		Reducers: 4,
+		Map: func(split string, emit func(k, v string)) error {
+			for _, w := range strings.Fields(split) {
+				emit(strings.ToLower(strings.Trim(w, ".,!?")), "1")
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string) (string, error) {
+			return strconv.Itoa(len(values)), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print the most frequent words.
+	type wc struct {
+		word  string
+		count int
+	}
+	var counts []wc
+	for w, n := range res.Output {
+		c, _ := strconv.Atoi(n)
+		counts = append(counts, wc{w, c})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count > counts[j].count
+		}
+		return counts[i].word < counts[j].word
+	})
+	fmt.Printf("%d map tasks, %d reduce tasks, %d distinct words\n",
+		res.MapTasks, res.ReduceTasks, len(counts))
+	fmt.Println("top words:")
+	for i := 0; i < 10 && i < len(counts); i++ {
+		fmt.Printf("  %-12s %d\n", counts[i].word, counts[i].count)
+	}
+}

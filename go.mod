@@ -1,0 +1,3 @@
+module jiffy
+
+go 1.22

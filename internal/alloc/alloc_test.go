@@ -1,0 +1,169 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"jiffy/internal/core"
+)
+
+func TestRegisterAndAllocate(t *testing.T) {
+	a := New()
+	first, err := a.RegisterServer("s1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Errorf("first ID = %v", first)
+	}
+	blocks, err := a.Allocate(3)
+	if err != nil || len(blocks) != 3 {
+		t.Fatalf("Allocate = %v, %v", blocks, err)
+	}
+	for _, b := range blocks {
+		if b.Server != "s1" {
+			t.Errorf("block on %q", b.Server)
+		}
+	}
+	total, free, servers := a.Stats()
+	if total != 10 || free != 7 || servers != 1 {
+		t.Errorf("stats = %d/%d/%d", total, free, servers)
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	a := New()
+	a.RegisterServer("s1", 2)
+	if _, err := a.Allocate(3); !errors.Is(err, core.ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+	// Failed allocation must not consume blocks.
+	_, free, _ := a.Stats()
+	if free != 2 {
+		t.Errorf("free after failed alloc = %d", free)
+	}
+}
+
+func TestAllocateZero(t *testing.T) {
+	a := New()
+	blocks, err := a.Allocate(0)
+	if err != nil || blocks != nil {
+		t.Errorf("Allocate(0) = %v, %v", blocks, err)
+	}
+}
+
+func TestLoadBalancing(t *testing.T) {
+	a := New()
+	a.RegisterServer("s1", 10)
+	a.RegisterServer("s2", 10)
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		blocks, err := a.Allocate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[blocks[0].Server]++
+	}
+	if counts["s1"] != 5 || counts["s2"] != 5 {
+		t.Errorf("allocation imbalance: %v", counts)
+	}
+}
+
+func TestFreeReturnsBlocks(t *testing.T) {
+	a := New()
+	a.RegisterServer("s1", 5)
+	blocks, _ := a.Allocate(5)
+	if _, err := a.Allocate(1); err == nil {
+		t.Fatal("pool should be empty")
+	}
+	a.Free(blocks[:2])
+	got, err := a.Allocate(2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Allocate after free = %v, %v", got, err)
+	}
+}
+
+func TestFreeToRemovedServerDropped(t *testing.T) {
+	a := New()
+	a.RegisterServer("s1", 5)
+	blocks, _ := a.Allocate(2)
+	a.RemoveServer("s1")
+	a.Free(blocks)
+	total, free, servers := a.Stats()
+	if total != 0 || free != 0 || servers != 0 {
+		t.Errorf("stats after remove = %d/%d/%d", total, free, servers)
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	a := New()
+	a.RegisterServer("s1", 5)
+	a.Allocate(2)
+	first, err := a.RegisterServer("s1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 6 { // IDs 1-5 used by first registration
+		t.Errorf("first = %v", first)
+	}
+	total, free, _ := a.Stats()
+	if total != 8 || free != 8 {
+		t.Errorf("stats after re-register = %d/%d", total, free)
+	}
+}
+
+func TestRegisterInvalid(t *testing.T) {
+	a := New()
+	if _, err := a.RegisterServer("s1", 0); err == nil {
+		t.Error("zero-block registration accepted")
+	}
+}
+
+func TestServers(t *testing.T) {
+	a := New()
+	a.RegisterServer("s2", 1)
+	a.RegisterServer("s1", 1)
+	got := a.Servers()
+	if len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Errorf("Servers = %v", got)
+	}
+}
+
+// TestNoDoubleAllocation: across any alternation of allocs and frees,
+// no block ID is ever held by two owners.
+func TestNoDoubleAllocation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := New()
+		a.RegisterServer("s1", 16)
+		a.RegisterServer("s2", 16)
+		held := map[core.BlockID]core.BlockInfo{}
+		var heldList []core.BlockInfo
+		for _, op := range ops {
+			if op%2 == 0 {
+				n := int(op%3) + 1
+				blocks, err := a.Allocate(n)
+				if err != nil {
+					continue
+				}
+				for _, b := range blocks {
+					if _, dup := held[b.ID]; dup {
+						return false
+					}
+					held[b.ID] = b
+					heldList = append(heldList, b)
+				}
+			} else if len(heldList) > 0 {
+				b := heldList[len(heldList)-1]
+				heldList = heldList[:len(heldList)-1]
+				delete(held, b.ID)
+				a.Free([]core.BlockInfo{b})
+			}
+		}
+		_, free, _ := a.Stats()
+		return free == 32-len(held)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

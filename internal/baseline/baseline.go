@@ -1,0 +1,511 @@
+// Package baseline provides the comparison systems used by the paper's
+// evaluation:
+//
+//   - For Fig. 10 (latency/throughput across six systems), modeled
+//     object stores whose service times follow the published
+//     measurements: S3 (tens of ms), DynamoDB (several ms, 128KB item
+//     cap), Apache Crail / ElastiCache / Pocket (sub-ms in-memory).
+//     Jiffy itself runs live; these stores make the comparison axes
+//     reproducible without AWS credentials.
+//
+//   - For Fig. 9 (job slowdown and utilization under constrained
+//     capacity), the allocation policies of ElastiCache (static
+//     provisioning, overflow to S3) and Pocket (per-job peak
+//     reservation, overflow to SSD), re-implemented exactly as the
+//     paper describes and driven by internal/sim.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+	"jiffy/internal/persist"
+)
+
+// ObjectStore is the minimal get/put surface all six systems share in
+// the Fig. 10 benchmark.
+type ObjectStore interface {
+	Name() string
+	Put(key string, val []byte) error
+	Get(key string) ([]byte, error)
+}
+
+// modeled wraps an in-memory map with a latency model.
+type modeled struct {
+	name  string
+	inner *persist.ModeledStore
+}
+
+func (m *modeled) Name() string { return m.name }
+
+func (m *modeled) Put(key string, val []byte) error { return m.inner.Put(key, val) }
+
+func (m *modeled) Get(key string) ([]byte, error) { return m.inner.Get(key) }
+
+// newModeled builds a named modeled store on the real clock.
+func newModeled(name string, model persist.LatencyModel) ObjectStore {
+	return &modeled{
+		name:  name,
+		inner: persist.NewModeledStore(persist.NewMemStore(), model, clock.Real{}),
+	}
+}
+
+// Service-time models for the Fig. 10 systems. Fixed latencies follow
+// the figure's small-object readings; bandwidths its large-object
+// slopes.
+var (
+	// NewS3 models Amazon S3: tens-of-ms base latency, moderate
+	// bandwidth.
+	NewS3 = func() ObjectStore {
+		return newModeled("S3", persist.LatencyModel{
+			PutLatency:   30 * time.Millisecond,
+			GetLatency:   15 * time.Millisecond,
+			BandwidthBps: 80 * core.MB,
+		})
+	}
+	// NewDynamoDB models DynamoDB: several-ms latency and the 128KB
+	// object cap the paper notes.
+	NewDynamoDB = func() ObjectStore {
+		return newModeled("DynamoDB", persist.LatencyModel{
+			PutLatency:    8 * time.Millisecond,
+			GetLatency:    5 * time.Millisecond,
+			BandwidthBps:  60 * core.MB,
+			MaxObjectSize: 128 * core.KB,
+		})
+	}
+	// NewCrail models Apache Crail: a fast RDMA-oriented in-memory
+	// store.
+	NewCrail = func() ObjectStore {
+		return newModeled("ApacheCrail", persist.LatencyModel{
+			PutLatency:   350 * time.Microsecond,
+			GetLatency:   300 * time.Microsecond,
+			BandwidthBps: 1.0 * core.GB,
+		})
+	}
+	// NewElastiCache models a Redis-style in-memory cache.
+	NewElastiCache = func() ObjectStore {
+		return newModeled("ElastiCache", persist.LatencyModel{
+			PutLatency:   450 * time.Microsecond,
+			GetLatency:   400 * time.Microsecond,
+			BandwidthBps: 900 * core.MB,
+		})
+	}
+	// NewPocket models Pocket's DRAM tier.
+	NewPocket = func() ObjectStore {
+		return newModeled("Pocket", persist.LatencyModel{
+			PutLatency:   400 * time.Microsecond,
+			GetLatency:   350 * time.Microsecond,
+			BandwidthBps: 1.0 * core.GB,
+		})
+	}
+)
+
+// FuncStore adapts get/put closures (the live Jiffy KV handle) to
+// ObjectStore.
+type FuncStore struct {
+	StoreName string
+	PutFunc   func(key string, val []byte) error
+	GetFunc   func(key string) ([]byte, error)
+}
+
+// Name implements ObjectStore.
+func (f *FuncStore) Name() string { return f.StoreName }
+
+// Put implements ObjectStore.
+func (f *FuncStore) Put(key string, val []byte) error { return f.PutFunc(key, val) }
+
+// Get implements ObjectStore.
+func (f *FuncStore) Get(key string) ([]byte, error) { return f.GetFunc(key) }
+
+// --- Fig. 9 allocation policies ------------------------------------------
+
+// Medium is where a stage's intermediate data lives.
+type Medium int
+
+// Media, fastest to slowest.
+const (
+	MediumDRAM Medium = iota
+	MediumSSD
+	MediumS3
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case MediumDRAM:
+		return "dram"
+	case MediumSSD:
+		return "ssd"
+	case MediumS3:
+		return "s3"
+	default:
+		return fmt.Sprintf("medium(%d)", int(m))
+	}
+}
+
+// Bandwidth returns the medium's modeled sequential bandwidth in
+// bytes/second, used to compute stage IO penalties.
+func (m Medium) Bandwidth() float64 {
+	switch m {
+	case MediumDRAM:
+		return 8 * core.GB
+	case MediumSSD:
+		return 400 * core.MB
+	default:
+		return 40 * core.MB
+	}
+}
+
+// Split records how a stage's bytes were distributed across media. A
+// stage can straddle media: the part that fits in DRAM stays fast, the
+// overflow lands on the policy's spill tier.
+type Split struct {
+	DRAM, SSD, S3 int64
+}
+
+// Total sums the split.
+func (s Split) Total() int64 { return s.DRAM + s.SSD + s.S3 }
+
+// Policy is a capacity-allocation strategy evaluated by internal/sim.
+// Implementations are single-threaded (the simulator is sequential).
+type Policy interface {
+	Name() string
+	// JobArrive is called when a job registers; policies that reserve
+	// (Pocket) claim capacity here. peakBytes is the job's maximum
+	// concurrently alive intermediate data — what a job would declare.
+	JobArrive(jobID string, tenant int, peakBytes int64)
+	// JobDone releases job-level state.
+	JobDone(jobID string)
+	// Place distributes `bytes` of stage output across media and
+	// records the allocation.
+	Place(jobID string, tenant int, stage int, bytes int64) Split
+	// Release is called when the data is consumed (its consumer stage
+	// finished).
+	Release(jobID string, stage int)
+	// Tick advances policy-internal time (lease expirations).
+	Tick(now time.Duration)
+	// UsedBytes is the intermediate data currently in DRAM.
+	UsedBytes() int64
+	// OccupiedBytes is the DRAM currently unavailable to others (used
+	// + reserved-but-idle + block-rounding waste).
+	OccupiedBytes() int64
+}
+
+// --- ElastiCache policy -------------------------------------------------
+
+// ElastiCachePolicy models an ElastiCache-style shared in-memory cache
+// used for intermediate data: a single provisioned pool with no
+// storage tiers — data that does not fit must go to S3 (§6.1:
+// "Since Elasticache does not support multiple storage tiers, if
+// available capacity is insufficient, jobs must write their data to
+// external stores like S3"). It performs no reservations and no
+// fine-grained reclamation beyond delete-on-consumption; its penalty
+// under constrained capacity is the 100× S3 overflow cost.
+type ElastiCachePolicy struct {
+	capacity int64
+	used     int64
+	placed   map[string]placement
+}
+
+type placement struct {
+	tenant int
+	split  Split
+}
+
+// NewElastiCachePolicy creates the policy over a provisioned pool of
+// capacity bytes shared by all tenants.
+func NewElastiCachePolicy(capacity int64, _ int) *ElastiCachePolicy {
+	return &ElastiCachePolicy{
+		capacity: capacity,
+		placed:   make(map[string]placement),
+	}
+}
+
+// Name implements Policy.
+func (p *ElastiCachePolicy) Name() string { return "ElastiCache" }
+
+// JobArrive implements Policy (no per-job state).
+func (p *ElastiCachePolicy) JobArrive(string, int, int64) {}
+
+// JobDone implements Policy.
+func (p *ElastiCachePolicy) JobDone(string) {}
+
+// Place implements Policy: what fits in the pool goes to DRAM; the
+// overflow goes to S3 (no intermediate tier).
+func (p *ElastiCachePolicy) Place(jobID string, tenant, stage int, bytes int64) Split {
+	key := stageKey(jobID, stage)
+	free := p.capacity - p.used
+	if free < 0 {
+		free = 0
+	}
+	dram := bytes
+	if dram > free {
+		dram = free
+	}
+	sp := Split{DRAM: dram, S3: bytes - dram}
+	p.used += dram
+	p.placed[key] = placement{tenant: tenant, split: sp}
+	return sp
+}
+
+// Release implements Policy.
+func (p *ElastiCachePolicy) Release(jobID string, stage int) {
+	key := stageKey(jobID, stage)
+	pl, ok := p.placed[key]
+	if !ok {
+		return
+	}
+	delete(p.placed, key)
+	p.used -= pl.split.DRAM
+}
+
+// Tick implements Policy.
+func (p *ElastiCachePolicy) Tick(time.Duration) {}
+
+// UsedBytes implements Policy.
+func (p *ElastiCachePolicy) UsedBytes() int64 { return p.used }
+
+// OccupiedBytes implements Policy: the whole provisioned cluster is
+// paid for and unavailable to anything else.
+func (p *ElastiCachePolicy) OccupiedBytes() int64 { return p.capacity }
+
+func stageKey(jobID string, stage int) string {
+	return fmt.Sprintf("%s#%d", jobID, stage)
+}
+
+// --- Pocket policy --------------------------------------------------------
+
+// PocketPolicy models Pocket's job-level allocation: at registration a
+// job reserves DRAM equal to its declared (peak) demand for its whole
+// lifetime; data beyond the job's DRAM reservation spills to SSD. When
+// the pool cannot cover a new job's peak, the job gets whatever DRAM
+// remains (possibly none) and the rest of its data runs on SSD.
+type PocketPolicy struct {
+	capacity int64
+	reserved int64
+
+	jobs   map[string]*pocketJob
+	placed map[string]placement
+	used   int64
+}
+
+type pocketJob struct {
+	reservation int64
+	inUse       int64
+}
+
+// NewPocketPolicy creates the policy over a DRAM pool of capacity
+// bytes.
+func NewPocketPolicy(capacity int64) *PocketPolicy {
+	return &PocketPolicy{
+		capacity: capacity,
+		jobs:     make(map[string]*pocketJob),
+		placed:   make(map[string]placement),
+	}
+}
+
+// Name implements Policy.
+func (p *PocketPolicy) Name() string { return "Pocket" }
+
+// JobArrive implements Policy: reserve the declared peak (or what's
+// left of the pool).
+func (p *PocketPolicy) JobArrive(jobID string, _ int, peakBytes int64) {
+	grant := peakBytes
+	if free := p.capacity - p.reserved; grant > free {
+		grant = free
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	p.reserved += grant
+	p.jobs[jobID] = &pocketJob{reservation: grant}
+}
+
+// JobDone implements Policy: release the reservation.
+func (p *PocketPolicy) JobDone(jobID string) {
+	j, ok := p.jobs[jobID]
+	if !ok {
+		return
+	}
+	p.reserved -= j.reservation
+	delete(p.jobs, jobID)
+}
+
+// Place implements Policy: what fits in the job's reservation goes to
+// DRAM; the overflow goes to the SSD tier.
+func (p *PocketPolicy) Place(jobID string, tenant, stage int, bytes int64) Split {
+	key := stageKey(jobID, stage)
+	j := p.jobs[jobID]
+	var free int64
+	if j != nil {
+		free = j.reservation - j.inUse
+	}
+	if free < 0 {
+		free = 0
+	}
+	dram := bytes
+	if dram > free {
+		dram = free
+	}
+	sp := Split{DRAM: dram, SSD: bytes - dram}
+	if j != nil {
+		j.inUse += dram
+	}
+	p.used += dram
+	p.placed[key] = placement{tenant: tenant, split: sp}
+	return sp
+}
+
+// Release implements Policy.
+func (p *PocketPolicy) Release(jobID string, stage int) {
+	key := stageKey(jobID, stage)
+	pl, ok := p.placed[key]
+	if !ok {
+		return
+	}
+	delete(p.placed, key)
+	if j := p.jobs[jobID]; j != nil {
+		j.inUse -= pl.split.DRAM
+	}
+	p.used -= pl.split.DRAM
+}
+
+// Tick implements Policy.
+func (p *PocketPolicy) Tick(time.Duration) {}
+
+// UsedBytes implements Policy.
+func (p *PocketPolicy) UsedBytes() int64 { return p.used }
+
+// OccupiedBytes implements Policy: reservations are unavailable to
+// other jobs whether used or not.
+func (p *PocketPolicy) OccupiedBytes() int64 { return p.reserved }
+
+// --- Jiffy policy ----------------------------------------------------------
+
+// JiffyPolicy models Jiffy's block-granularity sharing: stage data
+// claims ceil(bytes / (threshold·blockSize)) blocks from the shared
+// pool at write time and returns them one lease duration after the
+// data is consumed (the lease stops being renewed when the consumer
+// finishes). Overflow spills to SSD.
+type JiffyPolicy struct {
+	capacity  int64
+	blockSize int64
+	threshold float64
+	lease     time.Duration
+
+	allocated int64 // block-rounded DRAM occupied (until lease expiry)
+	used      int64 // live intermediate data in DRAM (until consumed)
+
+	placed   map[string]*jiffyPlacement
+	pending  []pendingFree
+	lastTick time.Duration
+}
+
+type jiffyPlacement struct {
+	split     Split
+	allocated int64
+}
+
+type pendingFree struct {
+	at time.Duration
+	p  *jiffyPlacement
+}
+
+// NewJiffyPolicy creates the policy. threshold is the high
+// repartitioning threshold (0.95 default): lower thresholds allocate
+// blocks earlier, inflating occupancy (Fig. 14c).
+func NewJiffyPolicy(capacity, blockSize int64, threshold float64, lease time.Duration) *JiffyPolicy {
+	if threshold <= 0 || threshold > 1 {
+		threshold = core.DefaultHighThreshold
+	}
+	return &JiffyPolicy{
+		capacity:  capacity,
+		blockSize: blockSize,
+		threshold: threshold,
+		lease:     lease,
+		placed:    make(map[string]*jiffyPlacement),
+	}
+}
+
+// Name implements Policy.
+func (p *JiffyPolicy) Name() string { return "Jiffy" }
+
+// JobArrive implements Policy: Jiffy needs no declared demand.
+func (p *JiffyPolicy) JobArrive(string, int, int64) {}
+
+// JobDone implements Policy.
+func (p *JiffyPolicy) JobDone(string) {}
+
+// Place implements Policy: claim as many whole blocks as the pool has
+// free; data beyond them spills to the SSD tier. This mirrors the real
+// system, where allocation happens block by block as data is written,
+// so a large stage can be partially in memory.
+func (p *JiffyPolicy) Place(jobID string, tenant, stage int, bytes int64) Split {
+	key := stageKey(jobID, stage)
+	usable := int64(float64(p.blockSize) * p.threshold)
+	if usable <= 0 {
+		usable = 1
+	}
+	wantBlocks := (bytes + usable - 1) / usable
+	if wantBlocks < 1 {
+		wantBlocks = 1
+	}
+	freeBlocks := (p.capacity - p.allocated) / p.blockSize
+	if freeBlocks < 0 {
+		freeBlocks = 0
+	}
+	gotBlocks := wantBlocks
+	if gotBlocks > freeBlocks {
+		gotBlocks = freeBlocks
+	}
+	dram := gotBlocks * usable
+	if dram > bytes {
+		dram = bytes
+	}
+	pl := &jiffyPlacement{
+		split:     Split{DRAM: dram, SSD: bytes - dram},
+		allocated: gotBlocks * p.blockSize,
+	}
+	p.allocated += pl.allocated
+	p.used += dram
+	p.placed[key] = pl
+	return pl.split
+}
+
+// Release implements Policy: the data has been consumed — it stops
+// counting as live immediately — but its blocks return to the pool
+// only one lease duration later, when the no-longer-renewed lease
+// expires (enqueued for Tick). The gap between the two is the lease
+// tax that Fig. 14(b) measures.
+func (p *JiffyPolicy) Release(jobID string, stage int) {
+	key := stageKey(jobID, stage)
+	pl, ok := p.placed[key]
+	if !ok {
+		return
+	}
+	delete(p.placed, key)
+	p.used -= pl.split.DRAM
+	p.pending = append(p.pending, pendingFree{at: p.lastTick + p.lease, p: pl})
+}
+
+// Tick implements Policy: expire lapsed leases.
+func (p *JiffyPolicy) Tick(now time.Duration) {
+	p.lastTick = now
+	kept := p.pending[:0]
+	for _, pf := range p.pending {
+		if pf.at <= now {
+			p.allocated -= pf.p.allocated
+		} else {
+			kept = append(kept, pf)
+		}
+	}
+	p.pending = kept
+}
+
+// UsedBytes implements Policy.
+func (p *JiffyPolicy) UsedBytes() int64 { return p.used }
+
+// OccupiedBytes implements Policy: block-rounded occupancy.
+func (p *JiffyPolicy) OccupiedBytes() int64 { return p.allocated }

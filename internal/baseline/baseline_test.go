@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+func TestModeledStoresRoundTrip(t *testing.T) {
+	for _, mk := range []func() ObjectStore{NewS3, NewDynamoDB, NewCrail, NewElastiCache, NewPocket} {
+		s := mk()
+		if err := s.Put("k", []byte("v")); err != nil {
+			t.Fatalf("%s put: %v", s.Name(), err)
+		}
+		v, err := s.Get("k")
+		if err != nil || string(v) != "v" {
+			t.Fatalf("%s get = %q, %v", s.Name(), v, err)
+		}
+	}
+}
+
+func TestDynamoDBObjectCap(t *testing.T) {
+	s := NewDynamoDB()
+	if err := s.Put("big", make([]byte, 200*core.KB)); !errors.Is(err, core.ErrTooLarge) {
+		t.Errorf("oversized put = %v", err)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The in-memory stores must be much faster than S3/DynamoDB for
+	// small objects — the Fig. 10 separation.
+	timePut := func(s ObjectStore) time.Duration {
+		start := time.Now()
+		s.Put("k", make([]byte, 128))
+		return time.Since(start)
+	}
+	s3 := timePut(NewS3())
+	ddb := timePut(NewDynamoDB())
+	ec := timePut(NewElastiCache())
+	if !(ec < ddb && ddb < s3) {
+		t.Errorf("latency ordering violated: ec=%v ddb=%v s3=%v", ec, ddb, s3)
+	}
+}
+
+func TestFuncStore(t *testing.T) {
+	m := map[string][]byte{}
+	fs := &FuncStore{
+		StoreName: "Jiffy",
+		PutFunc:   func(k string, v []byte) error { m[k] = v; return nil },
+		GetFunc:   func(k string) ([]byte, error) { return m[k], nil },
+	}
+	fs.Put("a", []byte("b"))
+	v, _ := fs.Get("a")
+	if fs.Name() != "Jiffy" || string(v) != "b" {
+		t.Errorf("FuncStore misbehaves: %q", v)
+	}
+}
+
+func TestMediumBandwidthOrdering(t *testing.T) {
+	if !(MediumDRAM.Bandwidth() > MediumSSD.Bandwidth() &&
+		MediumSSD.Bandwidth() > MediumS3.Bandwidth()) {
+		t.Error("media bandwidth ordering violated")
+	}
+}
+
+func TestElastiCachePolicySharedPool(t *testing.T) {
+	p := NewElastiCachePolicy(1000, 2)
+	if sp := p.Place("j1", 0, 0, 400); sp.DRAM != 400 || sp.S3 != 0 {
+		t.Errorf("within pool = %+v", sp)
+	}
+	// Pool shared across tenants; overflow goes to S3 (no SSD tier).
+	if sp := p.Place("j2", 1, 0, 800); sp.DRAM != 600 || sp.S3 != 200 || sp.SSD != 0 {
+		t.Errorf("overflow = %+v", sp)
+	}
+	if p.UsedBytes() != 1000 {
+		t.Errorf("used = %d", p.UsedBytes())
+	}
+	// Static provisioning occupies everything.
+	if p.OccupiedBytes() != 1000 {
+		t.Errorf("occupied = %d", p.OccupiedBytes())
+	}
+	p.Release("j1", 0)
+	if p.UsedBytes() != 600 {
+		t.Errorf("used after release = %d", p.UsedBytes())
+	}
+	// Double release is a no-op.
+	p.Release("j1", 0)
+	if p.UsedBytes() != 600 {
+		t.Errorf("used after double release = %d", p.UsedBytes())
+	}
+}
+
+func TestPocketPolicyReservation(t *testing.T) {
+	p := NewPocketPolicy(1000)
+	p.JobArrive("j1", 0, 600)
+	if p.OccupiedBytes() != 600 {
+		t.Errorf("reserved = %d", p.OccupiedBytes())
+	}
+	// Within reservation → DRAM.
+	if sp := p.Place("j1", 0, 0, 500); sp.DRAM != 500 {
+		t.Errorf("within reservation = %+v", sp)
+	}
+	// Beyond reservation → SSD even though the pool has free space.
+	if sp := p.Place("j1", 0, 1, 200); sp.DRAM != 100 || sp.SSD != 100 {
+		t.Errorf("beyond reservation = %+v", sp)
+	}
+	// Second job gets only the remainder of the pool.
+	p.JobArrive("j2", 0, 600)
+	if p.OccupiedBytes() != 1000 {
+		t.Errorf("pool reserved = %d, want full", p.OccupiedBytes())
+	}
+	if sp := p.Place("j2", 0, 0, 500); sp.DRAM != 400 || sp.SSD != 100 {
+		t.Errorf("j2 truncated reservation = %+v", sp)
+	}
+	// Job completion releases the reservation.
+	p.Release("j1", 0)
+	p.JobDone("j1")
+	if p.OccupiedBytes() != 400 {
+		t.Errorf("after j1 done occupied = %d", p.OccupiedBytes())
+	}
+}
+
+func TestJiffyPolicyBlockRoundingAndLease(t *testing.T) {
+	p := NewJiffyPolicy(10_000, 1000, 1.0, 5*time.Second)
+	if sp := p.Place("j1", 0, 0, 1500); sp.DRAM != 1500 || sp.SSD != 0 {
+		t.Fatalf("place = %+v", sp)
+	}
+	// 1500 bytes at threshold 1.0 → 2 blocks of 1000.
+	if p.OccupiedBytes() != 2000 || p.UsedBytes() != 1500 {
+		t.Errorf("occupied=%d used=%d", p.OccupiedBytes(), p.UsedBytes())
+	}
+	// Release: the data stops being live immediately, but the blocks
+	// stay occupied until the lease lapses.
+	p.Release("j1", 0)
+	if p.UsedBytes() != 0 {
+		t.Errorf("consumed data still counted live: %d", p.UsedBytes())
+	}
+	p.Tick(time.Second)
+	if p.OccupiedBytes() != 2000 {
+		t.Errorf("blocks freed before lease expiry")
+	}
+	p.Tick(10 * time.Second)
+	if p.OccupiedBytes() != 0 {
+		t.Errorf("blocks not freed after lease expiry: occ=%d", p.OccupiedBytes())
+	}
+}
+
+func TestJiffyPolicyThresholdInflatesOccupancy(t *testing.T) {
+	tight := NewJiffyPolicy(1_000_000, 1000, 1.0, 0)
+	loose := NewJiffyPolicy(1_000_000, 1000, 0.5, 0)
+	tight.Place("j", 0, 0, 10_000)
+	loose.Place("j", 0, 0, 10_000)
+	if loose.OccupiedBytes() <= tight.OccupiedBytes() {
+		t.Errorf("lower threshold should allocate more blocks: %d vs %d",
+			loose.OccupiedBytes(), tight.OccupiedBytes())
+	}
+}
+
+func TestJiffyPolicySpillsWhenFull(t *testing.T) {
+	p := NewJiffyPolicy(1000, 1000, 1.0, 0)
+	if sp := p.Place("j", 0, 0, 900); sp.DRAM != 900 {
+		t.Fatalf("first place = %+v", sp)
+	}
+	if sp := p.Place("j", 0, 1, 900); sp.SSD != 900 || sp.DRAM != 0 {
+		t.Errorf("overflow place = %+v, want all SSD", sp)
+	}
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"jiffy"
+	"jiffy/internal/controller"
+	"jiffy/internal/core"
+	"jiffy/internal/cuckoo"
+	"jiffy/internal/metrics"
+	"jiffy/internal/persist"
+	"jiffy/internal/proto"
+)
+
+// Ablations isolate the contribution of individual Jiffy design
+// choices, complementing the paper's §6.3 ("Understanding Jiffy
+// Benefits"):
+//
+//   - lease propagation through the hierarchy (Fig. 5) vs. renewing
+//     every prefix individually — control-plane traffic;
+//   - proactive server-side overload signals (Fig. 8) vs. purely
+//     client-triggered scaling — write latency tails;
+//   - cuckoo hashing in KV shards (§5.3) vs. a mutex-protected map —
+//     concurrent read throughput (one of the two §6.2 performance
+//     attributions).
+//
+// The fourth headline choice — hash-partitioned controller shards —
+// is measured by Fig. 12(b).
+
+// AblationLeases compares lease-renewal traffic with and without the
+// Fig. 5 propagation rule, on a pipeline DAG of S stages × W tasks.
+// With propagation, the master renews only the running stage's task
+// prefixes (their direct parents and all descendants renew for free);
+// without it, every prefix whose data must stay alive needs its own
+// renewal.
+func AblationLeases(w io.Writer, opts Options) error {
+	stages, width := 8, 16
+	if opts.Quick {
+		stages, width = 4, 8
+	}
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Hour
+	ctrl, err := controller.New(controller.Options{
+		Config: cfg, Persist: persist.NewMemStore(), DisableExpiry: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer ctrl.Close()
+
+	if err := ctrl.RegisterJob("abl"); err != nil {
+		return err
+	}
+	// Pipeline DAG: stage s task i depends on stage s-1 task i.
+	var nodes []proto.DagNode
+	for s := 0; s < stages; s++ {
+		for i := 0; i < width; i++ {
+			n := proto.DagNode{Name: fmt.Sprintf("s%dt%d", s, i)}
+			if s > 0 {
+				n.Parents = []string{fmt.Sprintf("s%dt%d", s-1, i)}
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	if err := ctrl.CreateHierarchy(proto.CreateHierarchyReq{Job: "abl", Nodes: nodes}); err != nil {
+		return err
+	}
+
+	// Scenario: stage `running` is executing; its own data plus every
+	// upstream input and downstream placeholder must stay alive.
+	running := stages / 2
+
+	// With propagation: renew the running stage's prefixes only.
+	withMsgs := width
+	withTouched := 0
+	for i := 0; i < width; i++ {
+		path := pipelinePath("abl", running, i)
+		n, err := ctrl.RenewLease([]core.Path{path})
+		if err != nil {
+			return err
+		}
+		withTouched += n
+	}
+
+	// Without propagation: each prefix that must stay alive is renewed
+	// individually — the running stage, its direct inputs, and all
+	// downstream stages (what propagation covered above).
+	withoutMsgs := width /* running */ + width /* inputs */ + (stages-running-1)*width
+	tbl := metrics.NewTable("Ablation: hierarchical lease propagation (Fig. 5 rule)",
+		"scheme", "renewal messages/round", "nodes kept alive")
+	tbl.AddRow("with propagation", withMsgs, withTouched)
+	tbl.AddRow("without (per-prefix renewals)", withoutMsgs, withTouched)
+	fprintln(w, "%s", tbl.String())
+	fprintln(w, "propagation cuts control-plane renewal traffic %.1fx on an %d-stage x %d-task pipeline.",
+		float64(withoutMsgs)/float64(withMsgs), stages, width)
+	return nil
+}
+
+func pipelinePath(job string, stage, task int) core.Path {
+	p := core.Path(job)
+	for s := 0; s <= stage; s++ {
+		p = p.MustChild(fmt.Sprintf("s%dt%d", s, task))
+	}
+	return p
+}
+
+// AblationProactive compares enqueue latency tails with the proactive
+// Fig. 8 overload signal enabled (servers pre-extend the queue as the
+// tail passes the high threshold) versus disabled (clients discover
+// full tails and request scaling reactively).
+func AblationProactive(w io.Writer, opts Options) error {
+	items := 3000
+	if opts.Quick {
+		items = 800
+	}
+	run := func(proactive bool) (*metrics.Histogram, error) {
+		cfg := core.TestConfig()
+		cfg.LeaseDuration = time.Minute
+		if !proactive {
+			// Threshold 100% disables the early server signal; clients
+			// hit ErrBlockFull and scale reactively.
+			cfg.HighThreshold = 1.0
+		}
+		cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+			Config: cfg, Servers: 2, BlocksPerServer: 256,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cluster.Close()
+		c, err := cluster.Connect()
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		c.RegisterJob("abl")
+		if _, _, err := c.CreatePrefix("abl/q", nil, core.DSQueue, 1, 0); err != nil {
+			return nil, err
+		}
+		q, err := c.OpenQueue("abl/q")
+		if err != nil {
+			return nil, err
+		}
+		item := make([]byte, core.KB)
+		h := metrics.NewHistogram()
+		for i := 0; i < items; i++ {
+			start := time.Now()
+			if err := q.Enqueue(item); err != nil {
+				return nil, err
+			}
+			h.Record(time.Since(start))
+		}
+		return h, nil
+	}
+	pro, err := run(true)
+	if err != nil {
+		return err
+	}
+	reactive, err := run(false)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("Ablation: proactive overload signals (Fig. 8) vs reactive-only scaling",
+		"scheme", "p50", "p99", "max")
+	tbl.AddRow("proactive signal", pro.Percentile(50), pro.Percentile(99), pro.Max())
+	tbl.AddRow("reactive only", reactive.Percentile(50), reactive.Percentile(99), reactive.Max())
+	fprintln(w, "%s", tbl.String())
+	fprintln(w, "reactive-only writers absorb the full allocate+link round trip in their tail;")
+	fprintln(w, "the proactive signal hides it behind foreground writes (p99 ratio %.1fx).",
+		float64(reactive.Percentile(99))/float64(pro.Percentile(99)))
+	return nil
+}
+
+// AblationCuckoo compares the KV shard's cuckoo hash table against a
+// mutex-protected Go map under concurrent reads — the §6.2 attribution
+// of Jiffy's KV performance to "its use of cuckoo hashing".
+func AblationCuckoo(w io.Writer, opts Options) error {
+	const entries = 50_000
+	duration := 400 * time.Millisecond
+	readers := 8
+	if opts.Quick {
+		duration = 150 * time.Millisecond
+		readers = 4
+	}
+	keys := make([]string, entries)
+	val := []byte("0123456789abcdef")
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+
+	// Cuckoo table.
+	ct := cuckoo.New(entries)
+	for _, k := range keys {
+		ct.Put(k, val)
+	}
+	cuckooOps := parallelReads(readers, duration, func(i int) {
+		ct.Get(keys[i%entries])
+	})
+
+	// Mutex map.
+	var mu sync.RWMutex
+	mp := make(map[string][]byte, entries)
+	for _, k := range keys {
+		mp[k] = val
+	}
+	mapOps := parallelReads(readers, duration, func(i int) {
+		mu.RLock()
+		_ = mp[keys[i%entries]]
+		mu.RUnlock()
+	})
+
+	tbl := metrics.NewTable("Ablation: cuckoo hashing vs RWMutex map (concurrent gets)",
+		"engine", "reads/sec (millions)")
+	tbl.AddRow("cuckoo (per-shard engine)", float64(cuckooOps)/duration.Seconds()/1e6)
+	tbl.AddRow("RWMutex + map", float64(mapOps)/duration.Seconds()/1e6)
+	fprintln(w, "%s", tbl.String())
+	fprintln(w, "(single-core hosts show parity; the gap appears with true parallel readers.)")
+	return nil
+}
+
+func parallelReads(readers int, d time.Duration, read func(i int)) int64 {
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			n := 0
+			for i := r; ; i += readers {
+				select {
+				case <-stop:
+					mu.Lock()
+					total += int64(n)
+					mu.Unlock()
+					return
+				default:
+					read(i)
+					n++
+				}
+			}
+		}(r)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	return total
+}

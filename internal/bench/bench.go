@@ -1,0 +1,61 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6). Each FigNN function runs the corresponding
+// experiment — live Jiffy clusters for the systems measurements,
+// trace-driven simulation for the capacity studies — and prints the
+// same rows/series the paper plots. cmd/jiffy-bench exposes them as
+// subcommands; the repo-root benchmarks wrap them with testing.B.
+//
+// Absolute numbers will differ from the paper (laptop vs. EC2 + AWS
+// Lambda); the reproduction target is the shape: orderings, ratios and
+// crossover points. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/metrics"
+)
+
+// Options tunes experiment scale; zero values mean laptop defaults.
+type Options struct {
+	// Quick shrinks workloads for smoke-testing the harness.
+	Quick bool
+	// Seed fixes workload generation.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// fprintln writes a line, ignoring errors (best-effort reporting).
+func fprintln(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// printSeries renders a time series as "t  value" rows.
+func printSeries(w io.Writer, title string, s *metrics.Series, maxRows int) {
+	fprintln(w, "# %s", title)
+	ds := s.Downsample(maxRows)
+	for _, p := range ds.Points {
+		fprintln(w, "%8.1f  %.4f", p.T.Sub(time.Unix(0, 0)).Seconds(), p.V)
+	}
+}
+
+// sizeLabel formats object sizes like the paper's x axis.
+func sizeLabel(n int) string {
+	switch {
+	case n >= core.MB:
+		return fmt.Sprintf("%dMB", n/core.MB)
+	case n >= core.KB:
+		return fmt.Sprintf("%dKB", n/core.KB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

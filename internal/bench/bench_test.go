@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// quick runs a figure generator in Quick mode and returns its output.
+func quick(t *testing.T, fn func(io.Writer, Options) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fn(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFig1(t *testing.T) {
+	out := quick(t, Fig1)
+	for _, want := range []string{"Fig. 1(a)", "Fig. 1(b)", "peak/avg", "average utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	out := quick(t, Fig9)
+	for _, want := range []string{"Fig. 9(a)", "Fig. 9(b)", "ElastiCache", "Pocket", "Jiffy", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out := quick(t, Fig10)
+	for _, want := range []string{"write latency", "read latency", "MB/s", "Jiffy", "DynamoDB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	// DynamoDB must reject the 512KB object.
+	if !strings.Contains(out, "n/s") {
+		t.Error("DynamoDB 128KB cap not exercised")
+	}
+}
+
+func TestFig11a(t *testing.T) {
+	out := quick(t, Fig11a)
+	for _, want := range []string{"queue", "file", "kv", "allocated", "used"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig11b(t *testing.T) {
+	out := quick(t, Fig11b)
+	for _, want := range []string{"repartition latency", "before", "during"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig12a(t *testing.T) {
+	out := quick(t, Fig12a)
+	if !strings.Contains(out, "throughput(KOps)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig12b(t *testing.T) {
+	out := quick(t, Fig12b)
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig13a(t *testing.T) {
+	out := quick(t, Fig13a)
+	for _, want := range []string{"latency CDF", "ElastiCache", "Jiffy", "medians"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig13b(t *testing.T) {
+	out := quick(t, Fig13b)
+	for _, want := range []string{"ExCamera", "rendezvous", "jiffy", "total wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	for name, fn := range map[string]func(io.Writer, Options) error{
+		"a": Fig14a, "b": Fig14b, "c": Fig14c,
+	} {
+		out := quick(t, fn)
+		if !strings.Contains(out, "sensitivity") {
+			t.Errorf("fig14%s output:\n%s", name, out)
+		}
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	out := quick(t, Overhead)
+	if !strings.Contains(out, "metadata") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAblationLeases(t *testing.T) {
+	out := quick(t, AblationLeases)
+	if !strings.Contains(out, "propagation cuts") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAblationProactive(t *testing.T) {
+	out := quick(t, AblationProactive)
+	if !strings.Contains(out, "proactive signal") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAblationCuckoo(t *testing.T) {
+	out := quick(t, AblationCuckoo)
+	if !strings.Contains(out, "cuckoo") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"jiffy/internal/baseline"
+	"jiffy/internal/core"
+	"jiffy/internal/metrics"
+	"jiffy/internal/sim"
+	"jiffy/internal/trace"
+)
+
+// Fig9 reproduces the paper's Fig. 9: job performance (a) and resource
+// utilization (b) for ElastiCache, Pocket and Jiffy as the
+// intermediate-store capacity shrinks from 100% to 20% of the
+// workload's peak usage.
+//
+// The paper replays ~50,000 Snowflake jobs on EC2; here the same three
+// allocation policies — static provisioning with S3 overflow
+// (ElastiCache), job-lifetime peak reservations with SSD overflow
+// (Pocket), and block-granular leased allocation (Jiffy) — run against
+// a Snowflake-like synthetic trace in virtual time.
+func Fig9(w io.Writer, opts Options) error {
+	cfg := sim.Fig9TraceConfig()
+	if opts.Quick {
+		cfg.Tenants = 20
+		cfg.JobsPerTenant = 10
+	}
+	tr := trace.Generate(cfg, opts.seed())
+	peak := sim.PeakCapacity(tr, time.Second)
+	blockSize := int64(128 * core.MB)
+
+	fprintln(w, "workload: %d tenants, %d jobs, peak alive intermediate data = %.1f GB",
+		cfg.Tenants, len(tr.Jobs), float64(peak)/float64(core.GB))
+
+	slow := metrics.NewTable("Fig. 9(a): average job slowdown vs capacity",
+		"capacity(%)", "ElastiCache", "Pocket", "Jiffy", "Pocket/Jiffy")
+	util := metrics.NewTable("Fig. 9(b): average resource utilization (%) vs capacity",
+		"capacity(%)", "ElastiCache", "Pocket", "Jiffy")
+	spill := metrics.NewTable("spill fractions (bytes not in DRAM)",
+		"capacity(%)", "EC→S3", "Pocket→SSD", "Jiffy→SSD")
+
+	for _, frac := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		capacity := int64(float64(peak) * frac)
+		ec := sim.Run(tr, baseline.NewElastiCachePolicy(capacity, cfg.Tenants), capacity, time.Second)
+		pk := sim.Run(tr, baseline.NewPocketPolicy(capacity), capacity, time.Second)
+		jf := sim.Run(tr, baseline.NewJiffyPolicy(capacity, blockSize,
+			core.DefaultHighThreshold, core.DefaultLeaseDuration), capacity, time.Second)
+
+		ratio := 0.0
+		if jf.AvgSlowdown > 0 {
+			ratio = pk.AvgSlowdown / jf.AvgSlowdown
+		}
+		slow.AddRow(int(frac*100), ec.AvgSlowdown, pk.AvgSlowdown, jf.AvgSlowdown, ratio)
+		util.AddRow(int(frac*100), ec.AvgUtilization, pk.AvgUtilization, jf.AvgUtilization)
+		spill.AddRow(int(frac*100), ec.SpillFracS3, pk.SpillFracSSD, jf.SpillFracSSD)
+	}
+	fprintln(w, "%s", slow.String())
+	fprintln(w, "%s", util.String())
+	fprintln(w, "%s", spill.String())
+	fprintln(w, "paper shape: EC ≫ Pocket > Jiffy slowdown at every capacity;")
+	fprintln(w, "Jiffy utilization rises under constraint while Pocket's stays ~10-20%%.")
+	return nil
+}

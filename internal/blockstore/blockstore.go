@@ -1,0 +1,221 @@
+// Package blockstore implements the memory-server data plane core: a
+// container of fixed-size blocks, each hosting one data-structure
+// partition, with usage tracking against the high/low repartition
+// thresholds (§3.3). When a mutation pushes a block across a threshold
+// the store invokes the overload/underload signal callback — the first
+// step of the Fig. 8 repartitioning protocol. The RPC surface around
+// this container lives in internal/server.
+package blockstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+)
+
+// Signal is the threshold-crossing callback: over is true for a
+// high-threshold (overload) crossing, false for a low-threshold
+// (underload) crossing. Called synchronously from the mutating
+// operation's goroutine; implementations should hand off to a worker.
+type Signal func(path core.Path, block core.BlockID, over bool)
+
+// Block is one hosted memory block.
+type Block struct {
+	ID        core.BlockID
+	Path      core.Path
+	Partition ds.Partition
+	// Chunk is the file chunk index or queue segment sequence number.
+	Chunk int
+	// Chain is the block's replication chain (empty = unreplicated).
+	Chain core.ReplicaChain
+
+	// signaled tracks the threshold state to de-duplicate signals:
+	// 0 = normal, 1 = over signaled, -1 = under signaled.
+	signaled atomic.Int32
+	// armedUnder becomes true once usage exceeds the low threshold, so
+	// freshly created empty blocks don't immediately signal underload.
+	armedUnder atomic.Bool
+
+	// Replication ordering state (only used when Chain is non-empty).
+	// At the chain head, replMu serializes mutation application with
+	// sequence assignment so the propagation stream's sequence order
+	// equals local apply order; at replicas, applySeq/applyCond make
+	// forwarded mutations apply in that same order even though the RPC
+	// layer dispatches them concurrently.
+	replMu    sync.Mutex
+	replSeq   uint64
+	applySeq  uint64
+	applyCond *sync.Cond
+}
+
+// NextReplSeq atomically applies a head-side mutation via fn and
+// assigns it the next replication sequence number.
+func (b *Block) NextReplSeq(fn func() ([][]byte, error)) (res [][]byte, seq uint64, err error) {
+	b.replMu.Lock()
+	defer b.replMu.Unlock()
+	res, err = fn()
+	if err != nil {
+		return nil, 0, err
+	}
+	seq = b.replSeq
+	b.replSeq++
+	return res, seq, nil
+}
+
+// ApplyInOrder blocks until it is seq's turn at this replica, applies
+// fn, and releases the next sequence number.
+func (b *Block) ApplyInOrder(seq uint64, fn func() ([][]byte, error)) ([][]byte, error) {
+	b.replMu.Lock()
+	if b.applyCond == nil {
+		b.applyCond = sync.NewCond(&b.replMu)
+	}
+	for b.applySeq != seq {
+		b.applyCond.Wait()
+	}
+	res, err := fn()
+	b.applySeq++
+	b.applyCond.Broadcast()
+	b.replMu.Unlock()
+	return res, err
+}
+
+// Store is the set of blocks hosted by one memory server.
+type Store struct {
+	high, low float64
+	onSignal  Signal
+
+	mu     sync.RWMutex
+	blocks map[core.BlockID]*Block
+
+	ops atomic.Int64
+}
+
+// NewStore creates an empty store with the given thresholds. onSignal
+// may be nil (signals dropped).
+func NewStore(high, low float64, onSignal Signal) *Store {
+	return &Store{
+		high:     high,
+		low:      low,
+		onSignal: onSignal,
+		blocks:   make(map[core.BlockID]*Block),
+	}
+}
+
+// Create installs a partition in a new block.
+func (s *Store) Create(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.blocks[b.ID]; exists {
+		return fmt.Errorf("blockstore: block %v: %w", b.ID, core.ErrExists)
+	}
+	s.blocks[b.ID] = b
+	return nil
+}
+
+// Delete removes a block.
+func (s *Store) Delete(id core.BlockID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.blocks[id]; !exists {
+		return fmt.Errorf("blockstore: block %v: %w", id, core.ErrNotFound)
+	}
+	delete(s.blocks, id)
+	return nil
+}
+
+// Get returns the block, or ErrStaleEpoch when unknown — an unknown
+// block ID means the client is operating on reclaimed or moved state
+// and must refresh its partition map.
+func (s *Store) Get(id core.BlockID) (*Block, error) {
+	s.mu.RLock()
+	b, ok := s.blocks[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("blockstore: block %v unknown: %w", id, core.ErrStaleEpoch)
+	}
+	return b, nil
+}
+
+// Apply executes a data-plane op against a block, re-evaluating
+// thresholds after mutations.
+func (s *Store) Apply(id core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
+	b, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.Partition.Apply(op, args)
+	s.ops.Add(1)
+	if op.IsMutation() {
+		s.checkThresholds(b)
+	}
+	return res, err
+}
+
+// checkThresholds emits at most one signal per threshold crossing.
+func (s *Store) checkThresholds(b *Block) {
+	if s.onSignal == nil {
+		return
+	}
+	usage := b.Partition.Bytes()
+	capacity := b.Partition.Capacity()
+	if capacity <= 0 {
+		return
+	}
+	frac := float64(usage) / float64(capacity)
+	if frac > s.low {
+		b.armedUnder.Store(true)
+	}
+	switch {
+	case frac >= s.high:
+		if b.signaled.CompareAndSwap(0, 1) || b.signaled.CompareAndSwap(-1, 1) {
+			s.onSignal(b.Path, b.ID, true)
+		}
+	case frac <= s.low && b.armedUnder.Load():
+		if drainedQueue(b) || b.Partition.Type() != core.DSQueue {
+			if b.signaled.CompareAndSwap(0, -1) || b.signaled.CompareAndSwap(1, -1) {
+				s.onSignal(b.Path, b.ID, false)
+			}
+		}
+	default:
+		b.signaled.Store(0)
+	}
+}
+
+// drainedQueue reports whether b is a fully consumed, sealed queue
+// segment — the only queue state eligible for reclamation.
+func drainedQueue(b *Block) bool {
+	q, ok := b.Partition.(*ds.Queue)
+	return ok && q.Drained()
+}
+
+// ResetSignal clears the de-duplication state after the controller
+// finishes (or declines) a scaling action, re-arming future signals.
+func (s *Store) ResetSignal(id core.BlockID) {
+	if b, err := s.Get(id); err == nil {
+		b.signaled.Store(0)
+	}
+}
+
+// List returns a snapshot of the hosted blocks.
+func (s *Store) List() []*Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Block, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Stats summarizes the store.
+func (s *Store) Stats() (blocks int, usedBytes int, ops int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, b := range s.blocks {
+		usedBytes += b.Partition.Bytes()
+	}
+	return len(s.blocks), usedBytes, s.ops.Load()
+}

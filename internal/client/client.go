@@ -1,0 +1,333 @@
+// Package client implements the Jiffy client library: the user-facing
+// API of Table 1 in the paper. A Client connects to the controller for
+// control operations (jobs, prefixes, leases, flush/load) and opens
+// direct data-plane sessions to the memory servers hosting its blocks
+// ("access data directly from the memory servers", §2). Data-structure
+// handles cache partition maps and refresh them when the data plane
+// reports staleness — the client-side half of seamless repartitioning.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// Options configures a Client.
+type Options struct {
+	// Dial customizes outbound connections (tests inject mem://
+	// transports).
+	Dial func(addr string) (*rpc.Client, error)
+	// RetryLimit bounds data-plane retries after map refreshes
+	// (default 32).
+	RetryLimit int
+}
+
+// Client is one application's connection to a Jiffy cluster. It may
+// span several controller servers: the paper's multi-controller
+// scaling hash-partitions jobs across controllers (§4.2.1), and the
+// client mirrors that hash to route each job's control operations to
+// its owning controller.
+type Client struct {
+	ctrlAddrs []string
+	ctrls     []*rpc.Client
+	pool      *rpc.Pool
+	retry     int
+
+	mu sync.Mutex
+	// routers dispatches push notifications per data-plane connection.
+	routers map[string]*pushRouter
+
+	renewers []*Renewer
+	closed   bool
+}
+
+// Connect dials the controller (connect(jiffyAddress) in Table 1).
+func Connect(controllerAddr string, opts Options) (*Client, error) {
+	return ConnectMulti([]string{controllerAddr}, opts)
+}
+
+// ConnectMulti dials a hash-partitioned controller group. The address
+// order must match across every client and every memory-server
+// assignment (each controller owns the jobs that hash to its index).
+func ConnectMulti(controllerAddrs []string, opts Options) (*Client, error) {
+	if len(controllerAddrs) == 0 {
+		return nil, fmt.Errorf("client: no controller addresses")
+	}
+	if opts.Dial == nil {
+		opts.Dial = rpc.Dial
+	}
+	if opts.RetryLimit <= 0 {
+		opts.RetryLimit = 32
+	}
+	c := &Client{
+		ctrlAddrs: controllerAddrs,
+		pool:      rpc.NewPool(opts.Dial),
+		retry:     opts.RetryLimit,
+		routers:   make(map[string]*pushRouter),
+	}
+	for _, addr := range controllerAddrs {
+		ctrl, err := opts.Dial(addr)
+		if err != nil {
+			for _, done := range c.ctrls {
+				done.Close()
+			}
+			return nil, fmt.Errorf("client: connect controller %s: %w", addr, err)
+		}
+		c.ctrls = append(c.ctrls, ctrl)
+	}
+	return c, nil
+}
+
+// ctrlFor routes a job to its owning controller, mirroring the
+// controller-side hash partitioning.
+func (c *Client) ctrlFor(job core.JobID) *rpc.Client {
+	if len(c.ctrls) == 1 {
+		return c.ctrls[0]
+	}
+	return c.ctrls[int(jobHash(job))%len(c.ctrls)]
+}
+
+// jobHash is the FNV-32a hash both sides use to place jobs.
+func jobHash(job core.JobID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(job); i++ {
+		h ^= uint32(job[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ctrl preserves the single-controller call sites: operations that are
+// not job-scoped go to the first controller.
+func (c *Client) anyCtrl() *rpc.Client { return c.ctrls[0] }
+
+// Close stops renewal agents and tears down every connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	renewers := c.renewers
+	c.mu.Unlock()
+	for _, r := range renewers {
+		r.Stop()
+	}
+	for _, ctrl := range c.ctrls {
+		ctrl.Close()
+	}
+	c.pool.Close()
+	return nil
+}
+
+// --- control-plane operations (Table 1) -------------------------------------
+
+// RegisterJob registers a job with the control plane.
+func (c *Client) RegisterJob(job core.JobID) error {
+	var resp proto.RegisterJobResp
+	return c.ctrlFor(job).CallGob(proto.MethodRegisterJob, proto.RegisterJobReq{Job: job}, &resp)
+}
+
+// DeregisterJob releases all of a job's resources.
+func (c *Client) DeregisterJob(job core.JobID) error {
+	var resp proto.DeregisterJobResp
+	return c.ctrlFor(job).CallGob(proto.MethodDeregisterJob, proto.DeregisterJobReq{Job: job}, &resp)
+}
+
+// CreatePrefix implements createAddrPrefix: adds an address prefix with
+// optional extra DAG parents and an attached data structure.
+func (c *Client) CreatePrefix(path core.Path, parents []core.Path, t core.DSType,
+	initialBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
+	var resp proto.CreatePrefixResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodCreatePrefix, proto.CreatePrefixReq{
+		Path:          path,
+		Parents:       parents,
+		Type:          t,
+		InitialBlocks: initialBlocks,
+		LeaseDuration: leaseDuration,
+	}, &resp)
+	return resp.Map, resp.LeaseDuration, err
+}
+
+// CreateBoundedPrefix is CreatePrefix with a size bound: the structure
+// never grows beyond maxBlocks blocks, and writers see ErrBlockFull
+// when it is full — the generalization of the paper's maxQueueLength
+// (§5.2). Consumers freeing space (dequeues, deletes) make writes
+// succeed again.
+func (c *Client) CreateBoundedPrefix(path core.Path, parents []core.Path, t core.DSType,
+	initialBlocks, maxBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
+	var resp proto.CreatePrefixResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodCreatePrefix, proto.CreatePrefixReq{
+		Path:          path,
+		Parents:       parents,
+		Type:          t,
+		InitialBlocks: initialBlocks,
+		MaxBlocks:     maxBlocks,
+		LeaseDuration: leaseDuration,
+	}, &resp)
+	return resp.Map, resp.LeaseDuration, err
+}
+
+// CreateHierarchy implements createHierarchy: builds the job's address
+// hierarchy from an execution DAG.
+func (c *Client) CreateHierarchy(job core.JobID, nodes []proto.DagNode,
+	leaseDuration time.Duration) error {
+	var resp proto.CreateHierarchyResp
+	return c.ctrlFor(job).CallGob(proto.MethodCreateHierarchy, proto.CreateHierarchyReq{
+		Job: job, Nodes: nodes, LeaseDuration: leaseDuration,
+	}, &resp)
+}
+
+// RemovePrefix explicitly reclaims a prefix.
+func (c *Client) RemovePrefix(path core.Path) error {
+	var resp proto.RemovePrefixResp
+	return c.ctrlFor(path.Job()).CallGob(proto.MethodRemovePrefix, proto.RemovePrefixReq{Path: path}, &resp)
+}
+
+// RenewLease implements renewLease for one or more prefixes; paths
+// spanning several jobs are grouped and routed to each job's owning
+// controller.
+func (c *Client) RenewLease(paths ...core.Path) (int, error) {
+	if len(c.ctrls) == 1 {
+		var resp proto.RenewLeaseResp
+		err := c.anyCtrl().CallGob(proto.MethodRenewLease, proto.RenewLeaseReq{Paths: paths}, &resp)
+		return resp.Renewed, err
+	}
+	byCtrl := make(map[*rpc.Client][]core.Path)
+	for _, p := range paths {
+		ctrl := c.ctrlFor(p.Job())
+		byCtrl[ctrl] = append(byCtrl[ctrl], p)
+	}
+	total := 0
+	for ctrl, group := range byCtrl {
+		var resp proto.RenewLeaseResp
+		if err := ctrl.CallGob(proto.MethodRenewLease, proto.RenewLeaseReq{Paths: group}, &resp); err != nil {
+			return total, err
+		}
+		total += resp.Renewed
+	}
+	return total, nil
+}
+
+// LeaseDuration implements getLeaseDuration.
+func (c *Client) LeaseDuration(path core.Path) (time.Duration, error) {
+	var resp proto.LeaseInfoResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodLeaseInfo, proto.LeaseInfoReq{Path: path}, &resp)
+	return resp.Duration, err
+}
+
+// FlushPrefix implements flushAddrPrefix: checkpoint the prefix to the
+// external store.
+func (c *Client) FlushPrefix(path core.Path, externalPath string) (int, error) {
+	var resp proto.FlushPrefixResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodFlushPrefix, proto.FlushPrefixReq{
+		Path: path, ExternalPath: externalPath,
+	}, &resp)
+	return resp.Blocks, err
+}
+
+// LoadPrefix implements loadAddrPrefix: restore the prefix from the
+// external store.
+func (c *Client) LoadPrefix(path core.Path, externalPath string) error {
+	var resp proto.LoadPrefixResp
+	return c.ctrlFor(path.Job()).CallGob(proto.MethodLoadPrefix, proto.LoadPrefixReq{
+		Path: path, ExternalPath: externalPath,
+	}, &resp)
+}
+
+// SaveControllerState checkpoints every controller's metadata to its
+// persistent store (operators run this periodically; a replacement
+// controller restores it with the -restore flag of jiffy-controller).
+// With a controller group, controller i saves under "<key>-<i>".
+func (c *Client) SaveControllerState(key string) error {
+	if len(c.ctrls) == 1 {
+		var resp proto.SaveStateResp
+		return c.anyCtrl().CallGob(proto.MethodSaveState, proto.SaveStateReq{Key: key}, &resp)
+	}
+	for i, ctrl := range c.ctrls {
+		var resp proto.SaveStateResp
+		if err := ctrl.CallGob(proto.MethodSaveState,
+			proto.SaveStateReq{Key: fmt.Sprintf("%s-%d", key, i)}, &resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ControllerStats fetches controller statistics, aggregated across the
+// controller group.
+func (c *Client) ControllerStats() (proto.ControllerStatsResp, error) {
+	var agg proto.ControllerStatsResp
+	for _, ctrl := range c.ctrls {
+		var resp proto.ControllerStatsResp
+		if err := ctrl.CallGob(proto.MethodControllerStats, proto.ControllerStatsReq{}, &resp); err != nil {
+			return agg, err
+		}
+		agg.TotalBlocks += resp.TotalBlocks
+		agg.FreeBlocks += resp.FreeBlocks
+		agg.AllocatedBlocks += resp.AllocatedBlocks
+		agg.Jobs += resp.Jobs
+		agg.Prefixes += resp.Prefixes
+		agg.Servers += resp.Servers
+		agg.MetadataBytes += resp.MetadataBytes
+	}
+	return agg, nil
+}
+
+// ListPrefixes lists a job's address hierarchy.
+func (c *Client) ListPrefixes(job core.JobID) ([]proto.PrefixInfo, error) {
+	var resp proto.ListPrefixesResp
+	err := c.ctrlFor(job).CallGob(proto.MethodListPrefixes, proto.ListPrefixesReq{Job: job}, &resp)
+	return resp.Prefixes, err
+}
+
+// open fetches the current partition map for a prefix.
+func (c *Client) open(path core.Path) (ds.PartitionMap, time.Duration, error) {
+	var resp proto.OpenResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
+	return resp.Map, resp.LeaseDuration, err
+}
+
+// requestScale is the client-triggered fallback of the Fig. 8 protocol:
+// when a write bounces off a full block before the server's proactive
+// signal has landed, the client asks the controller to scale directly
+// and receives the refreshed map in the response.
+func (c *Client) requestScale(path core.Path, block core.BlockID) (ds.PartitionMap, error) {
+	var resp proto.ScaleUpResp
+	err := c.ctrlFor(path.Job()).CallGob(proto.MethodScaleUp, proto.ScaleUpReq{Path: path, Block: block}, &resp)
+	return resp.Map, err
+}
+
+// OpenKV opens a handle to the KV store at path (initDataStructure).
+func (c *Client) OpenKV(path core.Path) (*KV, error) {
+	h, err := c.newHandle(path, core.DSKV)
+	if err != nil {
+		return nil, err
+	}
+	return &KV{h: h}, nil
+}
+
+// OpenFile opens a handle to the file at path.
+func (c *Client) OpenFile(path core.Path) (*File, error) {
+	h, err := c.newHandle(path, core.DSFile)
+	if err != nil {
+		return nil, err
+	}
+	return &File{h: h}, nil
+}
+
+// OpenQueue opens a handle to the FIFO queue at path.
+func (c *Client) OpenQueue(path core.Path) (*Queue, error) {
+	h, err := c.newHandle(path, core.DSQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{h: h}, nil
+}

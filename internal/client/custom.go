@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"jiffy/internal/core"
+)
+
+// Custom is the raw handle for application-defined data structures
+// (ds.Register): it exposes block-addressed operation execution with
+// the same staleness recovery as the typed handles. Applications
+// usually wrap it in their own typed API, the way §5's built-ins wrap
+// the internal block interface.
+type Custom struct {
+	h *handle
+}
+
+// OpenCustom opens a handle to the custom structure at path,
+// validating its registered type code.
+func (c *Client) OpenCustom(path core.Path, t core.DSType) (*Custom, error) {
+	h, err := c.newHandle(path, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Custom{h: h}, nil
+}
+
+// Path returns the handle's address prefix.
+func (cu *Custom) Path() core.Path { return cu.h.path }
+
+// Blocks returns the structure's current chunk count (after a refresh).
+func (cu *Custom) Blocks() (int, error) {
+	if err := cu.h.refresh(); err != nil {
+		return 0, err
+	}
+	return len(cu.h.snapshot().Blocks), nil
+}
+
+// Exec runs one operation against chunk index ci, retrying through
+// map refreshes. Reads route to the chunk's chain tail, mutations to
+// its head.
+func (cu *Custom) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < cu.h.retryLimit(); attempt++ {
+		m := cu.h.snapshot()
+		e, ok := m.BlockForChunk(ci)
+		if !ok {
+			return nil, fmt.Errorf("client: custom chunk %d: %w", ci, core.ErrNotFound)
+		}
+		target := e.ReadTarget()
+		if op.IsMutation() {
+			target = e.WriteTarget()
+		}
+		res, err := cu.h.do(target, op, args)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := cu.h.refresh(); rerr != nil {
+				return nil, rerr
+			}
+			backoff(attempt)
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetriesExhausted("custom exec", lastErr)
+}
+
+// Grow asks the controller to append one more block to the structure
+// (custom structures scale like files: new chunks, no data movement).
+func (cu *Custom) Grow() error {
+	m := cu.h.snapshot()
+	last, ok := m.Tail()
+	if !ok {
+		return core.ErrNotFound
+	}
+	if err := cu.h.requestScale(last.Info.ID); err != nil {
+		return err
+	}
+	return cu.h.refresh()
+}
+
+// Subscribe registers for notifications on the structure's blocks.
+func (cu *Custom) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return cu.h.c.subscribe(cu.h, ops)
+}

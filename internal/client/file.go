@@ -1,0 +1,282 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+)
+
+// File is the client handle for a Jiffy file (§5.1): a sequence of
+// fixed-size chunks, each stored in one block. Writes at arbitrary
+// offsets are split at chunk boundaries; writing past the last chunk
+// grows the file by requesting new blocks from the controller. Each
+// handle tracks an append cursor for Append/Read streaming.
+type File struct {
+	h *handle
+
+	mu     sync.Mutex
+	wcur   int // append cursor
+	rcur   int // sequential-read cursor
+	maxEnd int // highest offset this handle has written
+}
+
+// Path returns the handle's address prefix.
+func (f *File) Path() core.Path { return f.h.path }
+
+// chunkSize reads the immutable chunk size from the map.
+func (f *File) chunkSize() int {
+	return f.h.snapshot().ChunkSize
+}
+
+// blockFor resolves the block holding chunk index ci, growing the file
+// if the chunk does not exist yet (for writes). Writes target the
+// chain head, reads the tail.
+func (f *File) blockFor(ci int, grow bool) (core.BlockInfo, error) {
+	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
+		m := f.h.snapshot()
+		if e, ok := m.BlockForChunk(ci); ok {
+			if grow {
+				return e.WriteTarget(), nil
+			}
+			return e.ReadTarget(), nil
+		}
+		if !grow {
+			return core.BlockInfo{}, fmt.Errorf("client: file chunk %d: %w", ci, core.ErrNotFound)
+		}
+		// Ask the controller to extend the file by one chunk (the
+		// proactive server-side signal usually beats us here).
+		last, ok := m.Tail()
+		if !ok {
+			if err := f.h.refresh(); err != nil {
+				return core.BlockInfo{}, err
+			}
+			continue
+		}
+		if err := f.h.requestScale(last.Info.ID); err != nil &&
+			!errors.Is(err, core.ErrNoCapacity) {
+			return core.BlockInfo{}, err
+		}
+		backoff(attempt)
+	}
+	return core.BlockInfo{}, errRetriesExhausted(fmt.Sprintf("file grow to chunk %d", ci), core.ErrBlockFull)
+}
+
+// WriteAt writes data at an absolute file offset, spanning chunks as
+// needed.
+func (f *File) WriteAt(off int, data []byte) error {
+	cs := f.chunkSize()
+	if cs <= 0 {
+		return fmt.Errorf("client: file has no chunk size")
+	}
+	for len(data) > 0 {
+		ci := off / cs
+		in := off % cs
+		n := cs - in
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := f.writeChunk(ci, in, data[:n]); err != nil {
+			return err
+		}
+		off += n
+		data = data[n:]
+	}
+	f.mu.Lock()
+	if off > f.maxEnd {
+		f.maxEnd = off
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// writeChunk writes within one chunk with staleness recovery.
+func (f *File) writeChunk(ci, in int, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
+		info, err := f.blockFor(ci, true)
+		if err != nil {
+			return err
+		}
+		_, err = f.h.do(info, core.OpFileWrite, [][]byte{ds.U64(uint64(in)), data})
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil {
+				return rerr
+			}
+			backoff(attempt)
+		default:
+			return err
+		}
+	}
+	return errRetriesExhausted("file write", lastErr)
+}
+
+// Append writes data at this handle's append cursor and advances it.
+func (f *File) Append(data []byte) (int, error) {
+	f.mu.Lock()
+	off := f.wcur
+	f.wcur += len(data)
+	f.mu.Unlock()
+	if err := f.WriteAt(off, data); err != nil {
+		return off, err
+	}
+	return off, nil
+}
+
+// ReadAt reads up to n bytes at an absolute offset; a short result
+// means end of written data.
+func (f *File) ReadAt(off, n int) ([]byte, error) {
+	cs := f.chunkSize()
+	if cs <= 0 {
+		return nil, fmt.Errorf("client: file has no chunk size")
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		ci := off / cs
+		in := off % cs
+		want := cs - in
+		if want > n {
+			want = n
+		}
+		part, err := f.readChunk(ci, in, want)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				break // past the last chunk
+			}
+			return out, err
+		}
+		out = append(out, part...)
+		off += len(part)
+		n -= len(part)
+		if len(part) < want {
+			break // hit this chunk's high-water mark
+		}
+	}
+	return out, nil
+}
+
+// readChunk reads within one chunk with staleness recovery.
+func (f *File) readChunk(ci, in, n int) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
+		info, err := f.blockFor(ci, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := f.h.do(info, core.OpFileRead, [][]byte{ds.U64(uint64(in)), ds.U64(uint64(n))})
+		switch {
+		case err == nil:
+			return res[0], nil
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil {
+				return nil, rerr
+			}
+			backoff(attempt)
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetriesExhausted("file read", lastErr)
+}
+
+// Seek positions the sequential-read cursor (seek in §5.1).
+func (f *File) Seek(off int) {
+	f.mu.Lock()
+	f.rcur = off
+	f.mu.Unlock()
+}
+
+// Read reads up to n bytes at the read cursor and advances it.
+func (f *File) Read(n int) ([]byte, error) {
+	f.mu.Lock()
+	off := f.rcur
+	f.mu.Unlock()
+	data, err := f.ReadAt(off, n)
+	f.mu.Lock()
+	f.rcur = off + len(data)
+	f.mu.Unlock()
+	return data, err
+}
+
+// AppendRecord atomically appends data to the file's tail chunk on the
+// server side and returns the absolute offset it landed at. Unlike the
+// cursor-based Append, AppendRecord is safe for many concurrent
+// writers (MapReduce shuffle files, §5.1): the server serializes
+// appends within a chunk, and records never straddle chunks — a record
+// that does not fit moves whole to the next chunk.
+func (f *File) AppendRecord(data []byte) (int, error) {
+	cs := f.chunkSize()
+	if cs <= 0 {
+		return 0, fmt.Errorf("client: file has no chunk size")
+	}
+	var lastErr error
+	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
+		m := f.h.snapshot()
+		tail, ok := m.Tail()
+		if !ok {
+			return 0, fmt.Errorf("client: file has no chunks: %w", core.ErrNotFound)
+		}
+		res, err := f.h.do(tail.Info, core.OpFileAppend, [][]byte{data})
+		switch {
+		case err == nil:
+			off, perr := ds.ParseU64(res[0])
+			if perr != nil {
+				return 0, perr
+			}
+			return tail.Chunk*cs + int(off), nil
+		case errors.Is(err, core.ErrBlockFull):
+			lastErr = err
+			if serr := f.h.requestScale(tail.Info.ID); serr != nil &&
+				!errors.Is(serr, core.ErrNoCapacity) {
+				return 0, serr
+			}
+			backoff(attempt)
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil {
+				return 0, rerr
+			}
+			backoff(attempt)
+		default:
+			return 0, err
+		}
+	}
+	return 0, errRetriesExhausted("file append record", lastErr)
+}
+
+// Chunks returns the current number of chunks (after a refresh), so
+// readers can scan chunk by chunk.
+func (f *File) Chunks() (int, error) {
+	if err := f.h.refresh(); err != nil {
+		return 0, err
+	}
+	m := f.h.snapshot()
+	max := -1
+	for _, e := range m.Blocks {
+		if e.Chunk > max {
+			max = e.Chunk
+		}
+	}
+	return max + 1, nil
+}
+
+// ReadChunk reads one whole chunk's written bytes.
+func (f *File) ReadChunk(ci int) ([]byte, error) {
+	cs := f.chunkSize()
+	if cs <= 0 {
+		return nil, fmt.Errorf("client: file has no chunk size")
+	}
+	return f.readChunk(ci, 0, cs)
+}
+
+// Subscribe registers for notifications on the file's blocks.
+func (f *File) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return f.h.c.subscribe(f.h, ops)
+}

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+)
+
+// handle is the shared machinery under every data-structure handle:
+// the cached partition map, staleness-driven refresh, and data-plane
+// dispatch.
+type handle struct {
+	c    *Client
+	path core.Path
+
+	mu   sync.RWMutex
+	pmap ds.PartitionMap
+}
+
+// newHandle opens a prefix and validates its data-structure type.
+func (c *Client) newHandle(path core.Path, want core.DSType) (*handle, error) {
+	m, _, err := c.open(path)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("client: prefix %q holds a %v, not a %v: %w",
+			path, m.Type, want, core.ErrWrongType)
+	}
+	return &handle{c: c, path: path, pmap: m}, nil
+}
+
+// snapshot returns the cached partition map.
+func (h *handle) snapshot() ds.PartitionMap {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.pmap
+}
+
+// refresh re-fetches the partition map from the controller. It only
+// installs maps with a newer epoch, so concurrent refreshes can't
+// regress the cache.
+func (h *handle) refresh() error {
+	m, _, err := h.c.open(h.path)
+	if err != nil {
+		return err
+	}
+	h.install(m)
+	return nil
+}
+
+// install adopts a map if it is newer than the cached one.
+func (h *handle) install(m ds.PartitionMap) {
+	h.mu.Lock()
+	if m.Epoch >= h.pmap.Epoch {
+		h.pmap = m
+	}
+	h.mu.Unlock()
+}
+
+// requestScale asks the controller to grow the structure at block and
+// installs the refreshed map from the response.
+func (h *handle) requestScale(block core.BlockID) error {
+	m, err := h.c.requestScale(h.path, block)
+	if err != nil {
+		return err
+	}
+	h.install(m)
+	return nil
+}
+
+// do executes one data-plane op against a block.
+func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
+	conn, err := h.c.dataConn(info.Server)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := conn.Call(proto.MethodDataOp, ds.EncodeRequest(op, info.ID, args))
+	if err != nil {
+		if errors.Is(err, core.ErrRedirect) {
+			// The payload names the block to retry against.
+			next, perr := ds.ParseRedirect(payload)
+			if perr != nil {
+				return nil, perr
+			}
+			return nil, &redirect{next: next}
+		}
+		return nil, err
+	}
+	return ds.DecodeVals(payload)
+}
+
+// redirect is the client-side form of a queue head/tail redirection.
+type redirect struct{ next core.BlockInfo }
+
+func (r *redirect) Error() string { return core.ErrRedirect.Error() }
+func (r *redirect) Unwrap() error { return core.ErrRedirect }
+
+// backoff sleeps briefly between retries; attempt is zero-based.
+func backoff(attempt int) {
+	d := time.Duration(attempt+1) * 200 * time.Microsecond
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// retryLimit exposes the client's retry bound to the typed handles.
+func (h *handle) retryLimit() int { return h.c.retry }
+
+// errRetriesExhausted wraps the final error after the retry budget is
+// spent.
+func errRetriesExhausted(op string, err error) error {
+	return fmt.Errorf("client: %s: retries exhausted: %w", op, err)
+}

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+)
+
+// KV is the client handle for a Jiffy KV store (§5.3). Operations hash
+// the key to a slot, route to the block owning the slot via the cached
+// partition map, and transparently recover from repartitioning:
+// ErrStaleEpoch refreshes the map; ErrBlockFull triggers a split
+// request and retries.
+type KV struct {
+	h *handle
+}
+
+// Path returns the handle's address prefix.
+func (k *KV) Path() core.Path { return k.h.path }
+
+// route picks the block for key from the cached map: mutations go to
+// the chain head, reads to the tail (plain Info when unreplicated).
+func (k *KV) route(key string, op core.OpType) (core.BlockInfo, bool) {
+	m := k.h.snapshot()
+	if m.NumSlots == 0 {
+		return core.BlockInfo{}, false
+	}
+	e, ok := m.BlockForSlot(ds.SlotOf(key, m.NumSlots))
+	if !ok {
+		return core.BlockInfo{}, false
+	}
+	if op.IsMutation() {
+		return e.WriteTarget(), true
+	}
+	return e.ReadTarget(), true
+}
+
+// exec runs op with staleness/full recovery.
+func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < k.h.retryLimit(); attempt++ {
+		info, ok := k.route(key, op)
+		if !ok {
+			if err := k.h.refresh(); err != nil {
+				return nil, err
+			}
+			backoff(attempt)
+			continue
+		}
+		res, err := k.h.do(info, op, args)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := k.h.refresh(); rerr != nil {
+				return nil, rerr
+			}
+			backoff(attempt)
+		case errors.Is(err, core.ErrBlockFull):
+			lastErr = err
+			if serr := k.h.requestScale(info.ID); serr != nil &&
+				!errors.Is(serr, core.ErrNoCapacity) {
+				return nil, serr
+			}
+			backoff(attempt)
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetriesExhausted(fmt.Sprintf("kv %v %q", op, key), lastErr)
+}
+
+// Put stores a key-value pair.
+func (k *KV) Put(key string, value []byte) error {
+	_, err := k.exec(core.OpPut, key, [][]byte{[]byte(key), value})
+	return err
+}
+
+// Get fetches the value for key.
+func (k *KV) Get(key string) ([]byte, error) {
+	res, err := k.exec(core.OpGet, key, [][]byte{[]byte(key)})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Exists reports whether key is present.
+func (k *KV) Exists(key string) (bool, error) {
+	_, err := k.exec(core.OpExists, key, [][]byte{[]byte(key)})
+	if errors.Is(err, core.ErrNotFound) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// Delete removes key and returns the previous value.
+func (k *KV) Delete(key string) ([]byte, error) {
+	res, err := k.exec(core.OpDelete, key, [][]byte{[]byte(key)})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Update overwrites an existing key and returns the previous value;
+// fails with ErrNotFound if the key is absent.
+func (k *KV) Update(key string, value []byte) ([]byte, error) {
+	res, err := k.exec(core.OpUpdate, key, [][]byte{[]byte(key), value})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Subscribe registers for notifications on the given op types across
+// all blocks of the KV store (ds.subscribe in Table 1).
+func (k *KV) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return k.h.c.subscribe(k.h, ops)
+}

@@ -1,0 +1,181 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// pushRouter dispatches push frames on one data-plane connection to
+// the listeners that subscribed through it.
+type pushRouter struct {
+	mu    sync.Mutex
+	chans map[uint64]chan proto.Notification
+}
+
+func (r *pushRouter) route(subID uint64, payload []byte) {
+	var n proto.Notification
+	if err := rpc.Unmarshal(payload, &n); err != nil {
+		return
+	}
+	r.mu.Lock()
+	ch := r.chans[subID]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- n:
+		default: // listener buffer full; drop (best-effort semantics)
+		}
+	}
+}
+
+// dataConn returns the pooled connection to a memory server with its
+// push router installed.
+func (c *Client) dataConn(addr string) (*rpc.Client, error) {
+	conn, err := c.pool.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.routers[addr]; !ok {
+		router := &pushRouter{chans: make(map[uint64]chan proto.Notification)}
+		c.routers[addr] = router
+		conn.OnPush(router.route)
+	}
+	c.mu.Unlock()
+	return conn, nil
+}
+
+func (c *Client) router(addr string) *pushRouter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routers[addr]
+}
+
+// Listener receives notifications for one subscription
+// (listener = ds.subscribe(op) in Table 1). When the underlying data
+// structure scales, the listener transparently extends its
+// subscriptions to the new blocks (see Resync).
+type Listener struct {
+	c   *Client
+	h   *handle
+	ops []core.OpType
+	ch  chan proto.Notification
+
+	mu sync.Mutex
+	// subs records (server, subID) pairs for unsubscription.
+	subs []serverSub
+	// covered tracks the blocks already subscribed.
+	covered map[core.BlockID]bool
+}
+
+type serverSub struct {
+	addr  string
+	subID uint64
+}
+
+// subscribe registers op-type subscriptions on every server currently
+// hosting blocks of the handle's data structure.
+func (c *Client) subscribe(h *handle, ops []core.OpType) (*Listener, error) {
+	l := &Listener{
+		c:       c,
+		h:       h,
+		ops:     ops,
+		ch:      make(chan proto.Notification, 1024),
+		covered: make(map[core.BlockID]bool),
+	}
+	if err := l.subscribeNew(h.snapshot()); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// subscribeNew subscribes to any blocks of m not yet covered.
+func (l *Listener) subscribeNew(m ds.PartitionMap) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	byServer := make(map[string][]core.BlockID)
+	for _, e := range m.Blocks {
+		if !l.covered[e.Info.ID] {
+			byServer[e.Info.Server] = append(byServer[e.Info.Server], e.Info.ID)
+		}
+	}
+	for addr, blocks := range byServer {
+		conn, err := l.c.dataConn(addr)
+		if err != nil {
+			return err
+		}
+		var resp proto.SubscribeResp
+		if err := conn.CallGob(proto.MethodSubscribe,
+			proto.SubscribeReq{Blocks: blocks, Ops: l.ops}, &resp); err != nil {
+			return err
+		}
+		router := l.c.router(addr)
+		router.mu.Lock()
+		router.chans[resp.SubID] = l.ch
+		router.mu.Unlock()
+		l.subs = append(l.subs, serverSub{addr: addr, subID: resp.SubID})
+		for _, b := range blocks {
+			l.covered[b] = true
+		}
+	}
+	return nil
+}
+
+// Resync refreshes the partition map and extends the subscription to
+// any blocks added by elastic scaling since Subscribe.
+func (l *Listener) Resync() error {
+	if err := l.h.refresh(); err != nil {
+		return err
+	}
+	return l.subscribeNew(l.h.snapshot())
+}
+
+// Get waits up to timeout for the next notification
+// (listener.get(timeout) in Table 1). On timeout, the listener resyncs
+// its block coverage before reporting ErrTimeout, so a consumer polling
+// Get in a loop keeps up with structures that scale under it.
+func (l *Listener) Get(timeout time.Duration) (proto.Notification, error) {
+	select {
+	case n := <-l.ch:
+		return n, nil
+	case <-time.After(timeout):
+		l.Resync()
+		return proto.Notification{}, fmt.Errorf("client: notification: %w", core.ErrTimeout)
+	}
+}
+
+// TryGet returns a pending notification without blocking.
+func (l *Listener) TryGet() (proto.Notification, bool) {
+	select {
+	case n := <-l.ch:
+		return n, true
+	default:
+		return proto.Notification{}, false
+	}
+}
+
+// Close unsubscribes from every server.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	subs := l.subs
+	l.subs = nil
+	l.mu.Unlock()
+	for _, s := range subs {
+		if router := l.c.router(s.addr); router != nil {
+			router.mu.Lock()
+			delete(router.chans, s.subID)
+			router.mu.Unlock()
+		}
+		if conn, err := l.c.pool.Get(s.addr); err == nil {
+			var resp proto.UnsubscribeResp
+			conn.CallGob(proto.MethodUnsubscribe, proto.UnsubscribeReq{SubID: s.subID}, &resp)
+		}
+	}
+}

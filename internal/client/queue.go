@@ -1,0 +1,155 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jiffy/internal/core"
+)
+
+// Queue is the client handle for a Jiffy FIFO queue (§5.2). The client
+// caches the head and tail segments ("the controller only stores the
+// head and the tail blocks ... which the client caches and updates");
+// redirects from drained/sealed segments walk the cache forward without
+// a controller round trip.
+type Queue struct {
+	h *handle
+
+	mu   sync.Mutex
+	head core.BlockInfo
+	tail core.BlockInfo
+}
+
+// Path returns the handle's address prefix.
+func (q *Queue) Path() core.Path { return q.h.path }
+
+// ends returns the cached head/tail, seeding them from the map.
+func (q *Queue) ends() (core.BlockInfo, core.BlockInfo, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head.Server == "" || q.tail.Server == "" {
+		m := q.h.snapshot()
+		h, ok1 := m.Head()
+		t, ok2 := m.Tail()
+		if !ok1 || !ok2 {
+			return core.BlockInfo{}, core.BlockInfo{}, core.ErrNotFound
+		}
+		q.head, q.tail = h.Info, t.Info
+	}
+	return q.head, q.tail, nil
+}
+
+// reseed drops the cached ends and refreshes the map.
+func (q *Queue) reseed() error {
+	if err := q.h.refresh(); err != nil {
+		return err
+	}
+	m := q.h.snapshot()
+	h, ok1 := m.Head()
+	t, ok2 := m.Tail()
+	if !ok1 || !ok2 {
+		return core.ErrNotFound
+	}
+	q.mu.Lock()
+	q.head, q.tail = h.Info, t.Info
+	q.mu.Unlock()
+	return nil
+}
+
+// Enqueue appends an item to the queue tail.
+func (q *Queue) Enqueue(item []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
+		_, tail, err := q.ends()
+		if err != nil {
+			return err
+		}
+		_, err = q.h.do(tail, core.OpEnqueue, [][]byte{item})
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, core.ErrRedirect):
+			// The tail moved; follow the link.
+			var r *redirect
+			if errors.As(err, &r) {
+				q.mu.Lock()
+				q.tail = r.next
+				q.mu.Unlock()
+			} else if rerr := q.reseed(); rerr != nil {
+				return rerr
+			}
+		case errors.Is(err, core.ErrBlockFull):
+			lastErr = err
+			if serr := q.h.requestScale(tail.ID); serr != nil &&
+				!errors.Is(serr, core.ErrNoCapacity) {
+				return serr
+			}
+			if rerr := q.reseed(); rerr != nil {
+				return rerr
+			}
+			// A bounded queue at its block limit cannot grow: report
+			// backpressure to the producer instead of spinning.
+			if m := q.h.snapshot(); m.AtMaxBlocks() {
+				if t, ok := m.Tail(); ok && t.Info.ID == tail.ID {
+					return fmt.Errorf("client: bounded queue full: %w", core.ErrBlockFull)
+				}
+			}
+			backoff(attempt)
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := q.reseed(); rerr != nil {
+				return rerr
+			}
+			backoff(attempt)
+		default:
+			return err
+		}
+	}
+	return errRetriesExhausted("enqueue", lastErr)
+}
+
+// Dequeue removes and returns the oldest item; returns ErrEmpty when
+// the queue has no pending items.
+func (q *Queue) Dequeue() ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
+		head, _, err := q.ends()
+		if err != nil {
+			return nil, err
+		}
+		res, err := q.h.do(head, core.OpDequeue, nil)
+		switch {
+		case err == nil:
+			return res[0], nil
+		case errors.Is(err, core.ErrRedirect):
+			// The head segment drained; advance to its successor.
+			var r *redirect
+			if errors.As(err, &r) {
+				q.mu.Lock()
+				q.head = r.next
+				q.mu.Unlock()
+			} else if rerr := q.reseed(); rerr != nil {
+				return nil, rerr
+			}
+		case errors.Is(err, core.ErrEmpty):
+			return nil, err
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := q.reseed(); rerr != nil {
+				return nil, rerr
+			}
+			backoff(attempt)
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetriesExhausted("dequeue", lastErr)
+}
+
+// Subscribe registers for notifications on the queue's blocks —
+// dataflow consumers subscribe to enqueue to learn when channel data is
+// available (§5.2).
+func (q *Queue) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return q.h.c.subscribe(q.h, ops)
+}

@@ -1,0 +1,104 @@
+package controller
+
+import (
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+)
+
+// Chain replication orchestration (§4.2.2: "Jiffy supports chain
+// replication at block granularity"). When Config.ChainLength > 1,
+// every logical block of a data structure is backed by a chain of
+// physical blocks: the controller allocates the whole chain at
+// provision/scale time (the allocator's least-loaded placement spreads
+// members across servers), installs the same partition role on every
+// member with the chain recorded, and clients write at the head and
+// read at the tail. Memory-server-side propagation lives in
+// internal/server/replication.go.
+
+// allocateChains allocates n logical blocks × chain length physical
+// blocks and groups them into chains. The first member of each chain
+// is its head.
+func (c *Controller) allocateChains(n int) ([]core.ReplicaChain, error) {
+	cl := c.cfg.ChainLength
+	if cl < 1 {
+		cl = 1
+	}
+	infos, err := c.alloc.Allocate(n * cl)
+	if err != nil {
+		return nil, err
+	}
+	chains := make([]core.ReplicaChain, n)
+	for i := 0; i < n; i++ {
+		chains[i] = core.ReplicaChain(infos[i*cl : (i+1)*cl])
+	}
+	return chains, nil
+}
+
+// chainField returns the chain to record in metadata and on blocks:
+// nil for the unreplicated common case (so single-replica deployments
+// carry no extra bytes anywhere).
+func chainField(chain core.ReplicaChain) core.ReplicaChain {
+	if len(chain) <= 1 {
+		return nil
+	}
+	return chain
+}
+
+// createChainOnServers installs the same partition role on every chain
+// member. On failure the created members are deleted and the chain's
+// blocks must be freed by the caller.
+func (c *Controller) createChainOnServers(chain core.ReplicaChain, path core.Path,
+	t core.DSType, chunk int, slots []ds.SlotRange) error {
+	for i, info := range chain {
+		if err := c.createBlockOnServer(info, path, t, chunk, slots, chainField(chain)); err != nil {
+			for _, done := range chain[:i] {
+				c.deleteBlockOnServer(done)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteChainOnServers removes every member of an entry's chain.
+func (c *Controller) deleteChainOnServers(e ds.PartitionEntry) {
+	for _, info := range e.Replicas() {
+		c.deleteBlockOnServer(info)
+	}
+}
+
+// entryFor builds the partition-map entry for a chain.
+func entryFor(chain core.ReplicaChain, chunk int, slots []ds.SlotRange) ds.PartitionEntry {
+	return ds.PartitionEntry{
+		Info:  chain.Head(),
+		Chunk: chunk,
+		Slots: slots,
+		Chain: chainField(chain),
+	}
+}
+
+// setNextOnChain seals a queue tail by linking it to the successor
+// chain's head. The seal is sent to the tail's chain head only: it is
+// a sequenced mutation, so the server propagates it down the chain in
+// order with the enqueues that preceded it.
+func (c *Controller) setNextOnChain(tail ds.PartitionEntry, next core.BlockInfo) error {
+	return c.setNextOnServer(tail.WriteTarget(), next)
+}
+
+// resyncChain pushes the head's snapshot to every other chain member —
+// used after KV slot moves, which bypass the op-level replication path.
+func (c *Controller) resyncChain(e ds.PartitionEntry) error {
+	if len(e.Chain) <= 1 {
+		return nil
+	}
+	snap, err := c.snapshotBlockOnServer(e.Chain.Head())
+	if err != nil {
+		return err
+	}
+	for _, member := range e.Chain[1:] {
+		if err := c.restoreBlockOnServer(member, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

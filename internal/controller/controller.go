@@ -1,0 +1,222 @@
+// Package controller implements Jiffy's unified control plane
+// (§4.2.1): hierarchical address management, the block allocator and
+// free list, the metadata manager (per-data-structure partition maps),
+// and the lease manager (renewal service + expiry worker). Unlike
+// Pocket's split control/metadata planes, Jiffy combines them into one
+// service; this package is that service.
+//
+// Scaling: jobs are hash-partitioned across shards, each with its own
+// lock, so control operations for different jobs proceed in parallel —
+// the mechanism behind the near-linear multi-core scaling of Fig. 12(b).
+package controller
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"jiffy/internal/alloc"
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+	"jiffy/internal/hierarchy"
+	"jiffy/internal/persist"
+	"jiffy/internal/rpc"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Config holds the system tunables (block size, thresholds, lease
+	// defaults).
+	Config core.Config
+	// Shards is the number of independently locked job shards
+	// (defaults to 1; Fig. 12(b) sweeps this).
+	Shards int
+	// Clock drives lease expiry (defaults to the wall clock).
+	Clock clock.Clock
+	// Persist is the external store used for flushes and loads
+	// (defaults to an in-memory store).
+	Persist persist.Store
+	// Logger receives operational logs.
+	Logger *slog.Logger
+	// Dial customizes connections to memory servers (defaults to
+	// rpc.Dial; tests inject in-process transports).
+	Dial func(addr string) (*rpc.Client, error)
+	// DisableExpiry turns the expiry worker off (trace-replay
+	// simulations step it manually via ExpireNow).
+	DisableExpiry bool
+}
+
+// Controller is the Jiffy control plane.
+type Controller struct {
+	cfg     core.Config
+	clk     clock.Clock
+	log     *slog.Logger
+	persist persist.Store
+
+	alloc  *alloc.Allocator
+	shards []*shard
+
+	servers *rpc.Pool
+	rpcSrv  *rpc.Server
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// counters for stats and the Fig. 12 benchmarks
+	ops         atomic.Int64
+	renews      atomic.Int64
+	expiries    atomic.Int64
+	scaleUps    atomic.Int64
+	scaleDowns  atomic.Int64
+	flushBlocks atomic.Int64
+}
+
+// shard owns a disjoint subset of jobs.
+type shard struct {
+	mu   sync.Mutex
+	jobs map[core.JobID]*hierarchy.Hierarchy
+}
+
+// New creates a controller; call Listen to serve RPCs, or drive it
+// in-process through the exported methods.
+func New(opts Options) (*Controller, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.Persist == nil {
+		opts.Persist = persist.NewMemStore()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	c := &Controller{
+		cfg:     opts.Config,
+		clk:     opts.Clock,
+		log:     opts.Logger,
+		persist: opts.Persist,
+		alloc:   alloc.New(),
+		servers: rpc.NewPool(opts.Dial),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		c.shards = append(c.shards, &shard{jobs: make(map[core.JobID]*hierarchy.Hierarchy)})
+	}
+	if !opts.DisableExpiry {
+		c.wg.Add(1)
+		go c.expiryWorker()
+	}
+	return c, nil
+}
+
+// Listen starts serving control RPCs on addr and returns the bound
+// address.
+func (c *Controller) Listen(addr string) (string, error) {
+	c.rpcSrv = rpc.NewServer(c.handle, c.log)
+	return c.rpcSrv.Listen(addr)
+}
+
+// Close stops the expiry worker, the RPC server, and all server
+// connections.
+func (c *Controller) Close() error {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.wg.Wait()
+	if c.rpcSrv != nil {
+		c.rpcSrv.Close()
+	}
+	c.servers.Close()
+	return nil
+}
+
+// shardFor hashes a job onto its shard.
+func (c *Controller) shardFor(job core.JobID) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(job))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// withJob runs fn with the job's hierarchy under its shard lock.
+func (c *Controller) withJob(job core.JobID, fn func(h *hierarchy.Hierarchy) error) error {
+	s := c.shardFor(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.jobs[job]
+	if !ok {
+		return fmt.Errorf("controller: job %q: %w", job, core.ErrNotFound)
+	}
+	return fn(h)
+}
+
+// RegisterJob creates a job's hierarchy root.
+func (c *Controller) RegisterJob(job core.JobID) error {
+	if err := core.ValidateComponent(string(job)); err != nil {
+		return err
+	}
+	s := c.shardFor(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.jobs[job]; exists {
+		return fmt.Errorf("controller: job %q: %w", job, core.ErrExists)
+	}
+	s.jobs[job] = hierarchy.New(job, c.cfg.LeaseDuration, c.clk.Now())
+	return nil
+}
+
+// DeregisterJob removes a job, deleting its blocks from the data plane
+// and returning them to the free list.
+func (c *Controller) DeregisterJob(job core.JobID) error {
+	s := c.shardFor(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.jobs[job]
+	if !ok {
+		return fmt.Errorf("controller: job %q: %w", job, core.ErrNotFound)
+	}
+	h.Walk(func(n *hierarchy.Node) bool {
+		c.releaseBlocksLocked(n)
+		return true
+	})
+	delete(s.jobs, job)
+	return nil
+}
+
+// releaseBlocksLocked deletes a node's blocks (every replica of every
+// chain) on their servers and frees them. Caller holds the shard lock.
+func (c *Controller) releaseBlocksLocked(n *hierarchy.Node) {
+	if len(n.Map.Blocks) == 0 {
+		return
+	}
+	var infos []core.BlockInfo
+	for _, e := range n.Map.Blocks {
+		for _, info := range e.Replicas() {
+			infos = append(infos, info)
+			c.deleteBlockOnServer(info)
+		}
+	}
+	c.alloc.Free(infos)
+	n.Map.Blocks = nil
+	n.Map.Epoch++
+}
+
+// RegisterServer records a memory server's capacity contribution.
+func (c *Controller) RegisterServer(addr string, numBlocks int) (core.BlockID, error) {
+	return c.alloc.RegisterServer(addr, numBlocks)
+}
+
+// Clock exposes the controller's time source (the simulator drives a
+// virtual one).
+func (c *Controller) Clock() clock.Clock { return c.clk }
+
+// Config exposes the active configuration.
+func (c *Controller) Config() core.Config { return c.cfg }

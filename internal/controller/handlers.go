@@ -1,0 +1,181 @@
+package controller
+
+import (
+	"fmt"
+
+	"jiffy/internal/core"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// handle is the controller's RPC dispatch table.
+func (c *Controller) handle(_ *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+	c.ops.Add(1)
+	switch method {
+	case proto.MethodRegisterJob:
+		var req proto.RegisterJobReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.RegisterJob(req.Job); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.RegisterJobResp{})
+
+	case proto.MethodDeregisterJob:
+		var req proto.DeregisterJobReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.DeregisterJob(req.Job); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.DeregisterJobResp{})
+
+	case proto.MethodCreatePrefix:
+		var req proto.CreatePrefixReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.CreatePrefix(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodCreateHierarchy:
+		var req proto.CreateHierarchyReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.CreateHierarchy(req); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.CreateHierarchyResp{})
+
+	case proto.MethodRemovePrefix:
+		var req proto.RemovePrefixReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.RemovePrefix(req.Path); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.RemovePrefixResp{})
+
+	case proto.MethodRenewLease:
+		var req proto.RenewLeaseReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		n, err := c.RenewLease(req.Paths)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.RenewLeaseResp{Renewed: n})
+
+	case proto.MethodLeaseInfo:
+		var req proto.LeaseInfoReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.LeaseInfo(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodOpen:
+		var req proto.OpenReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.Open(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodFlushPrefix:
+		var req proto.FlushPrefixReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		n, err := c.FlushPrefix(req.Path, req.ExternalPath)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.FlushPrefixResp{Blocks: n})
+
+	case proto.MethodLoadPrefix:
+		var req proto.LoadPrefixReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.LoadPrefix(req.Path, req.ExternalPath)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodRegisterServer:
+		var req proto.RegisterServerReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		first, err := c.RegisterServer(req.Addr, req.NumBlocks)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.RegisterServerResp{FirstID: first})
+
+	case proto.MethodScaleUp:
+		var req proto.ScaleUpReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.ScaleUp(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodScaleDown:
+		var req proto.ScaleDownReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.ScaleDown(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodSaveState:
+		var req proto.SaveStateReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.SaveState(req.Key); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.SaveStateResp{})
+
+	case proto.MethodControllerStats:
+		return rpc.Marshal(c.Stats())
+
+	case proto.MethodListPrefixes:
+		var req proto.ListPrefixesReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.ListPrefixes(req.Job)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
+	default:
+		return nil, fmt.Errorf("controller: unknown method %#x: %w", method, core.ErrNotFound)
+	}
+}

@@ -1,0 +1,278 @@
+package controller
+
+import (
+	"fmt"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/hierarchy"
+	"jiffy/internal/proto"
+)
+
+// CreatePrefix implements createAddrPrefix (§4.1): adds a node to the
+// job's hierarchy and, when a data structure type is given, provisions
+// its initial blocks.
+func (c *Controller) CreatePrefix(req proto.CreatePrefixReq) (proto.CreatePrefixResp, error) {
+	var resp proto.CreatePrefixResp
+	lease := req.LeaseDuration
+	if lease <= 0 {
+		lease = c.cfg.LeaseDuration
+	}
+	err := c.withJob(req.Path.Job(), func(h *hierarchy.Hierarchy) error {
+		n, err := h.Create(req.Path, req.Parents, req.Type, lease, c.clk.Now())
+		if err != nil {
+			return err
+		}
+		if req.Type != core.DSNone {
+			if err := c.provisionLocked(n, req.Type, req.InitialBlocks, req.MaxBlocks); err != nil {
+				// Roll the node back so a retry can succeed.
+				h.Remove(n.Name)
+				return err
+			}
+		}
+		resp.Map = n.Map.Clone()
+		resp.LeaseDuration = lease
+		return nil
+	})
+	return resp, err
+}
+
+// provisionLocked allocates and installs a data structure's initial
+// blocks. Caller holds the shard lock.
+func (c *Controller) provisionLocked(n *hierarchy.Node, t core.DSType, initialBlocks, maxBlocks int) error {
+	if initialBlocks <= 0 {
+		initialBlocks = 1
+	}
+	if maxBlocks > 0 && initialBlocks > maxBlocks {
+		initialBlocks = maxBlocks
+	}
+	if t == core.DSKV && initialBlocks > c.cfg.NumHashSlots {
+		initialBlocks = c.cfg.NumHashSlots
+	}
+	chains, err := c.allocateChains(initialBlocks)
+	if err != nil {
+		return err
+	}
+	freeAll := func() {
+		for _, chain := range chains {
+			c.alloc.Free(chain)
+		}
+	}
+	path := n.CanonicalPath()
+	m := ds.PartitionMap{Type: t, Epoch: 1, MaxBlocks: maxBlocks}
+	switch t {
+	case core.DSFile:
+		m.ChunkSize = c.cfg.BlockSize
+		for i, chain := range chains {
+			if err := c.createChainOnServers(chain, path, t, i, nil); err != nil {
+				freeAll()
+				return err
+			}
+			m.Blocks = append(m.Blocks, entryFor(chain, i, nil))
+		}
+	case core.DSQueue:
+		for i, chain := range chains {
+			if err := c.createChainOnServers(chain, path, t, i, nil); err != nil {
+				freeAll()
+				return err
+			}
+			m.Blocks = append(m.Blocks, entryFor(chain, i, nil))
+		}
+		// Pre-provisioned segments form a linked list up front.
+		for i := 0; i+1 < len(m.Blocks); i++ {
+			if err := c.setNextOnChain(m.Blocks[i], m.Blocks[i+1].Info); err != nil {
+				freeAll()
+				return err
+			}
+		}
+	case core.DSKV:
+		m.NumSlots = c.cfg.NumHashSlots
+		per := c.cfg.NumHashSlots / len(chains)
+		for i, chain := range chains {
+			lo := i * per
+			hi := lo + per - 1
+			if i == len(chains)-1 {
+				hi = c.cfg.NumHashSlots - 1
+			}
+			slots := []ds.SlotRange{{Lo: lo, Hi: hi}}
+			if err := c.createChainOnServers(chain, path, t, i, slots); err != nil {
+				freeAll()
+				return err
+			}
+			m.Blocks = append(m.Blocks, entryFor(chain, i, slots))
+		}
+	default:
+		if !ds.IsCustom(t) {
+			freeAll()
+			return fmt.Errorf("controller: %w: %v", core.ErrWrongType, t)
+		}
+		// Custom structures get file-like elasticity: chunk-indexed
+		// blocks, scale-up appends.
+		m.ChunkSize = c.cfg.BlockSize
+		for i, chain := range chains {
+			if err := c.createChainOnServers(chain, path, t, i, nil); err != nil {
+				freeAll()
+				return err
+			}
+			m.Blocks = append(m.Blocks, entryFor(chain, i, nil))
+		}
+	}
+	n.Map = m
+	return nil
+}
+
+// CreateHierarchy implements createHierarchy (§4.1): builds the whole
+// address hierarchy from an execution DAG in one call. Nodes must be
+// listed parents-before-children.
+func (c *Controller) CreateHierarchy(req proto.CreateHierarchyReq) error {
+	lease := req.LeaseDuration
+	if lease <= 0 {
+		lease = c.cfg.LeaseDuration
+	}
+	return c.withJob(req.Job, func(h *hierarchy.Hierarchy) error {
+		for _, node := range req.Nodes {
+			var path core.Path
+			var extra []core.Path
+			if len(node.Parents) == 0 {
+				path = h.Root().CanonicalPath().MustChild(node.Name)
+			} else {
+				first, ok := h.Lookup(node.Parents[0])
+				if !ok {
+					return fmt.Errorf("controller: dag parent %q: %w",
+						node.Parents[0], core.ErrNotFound)
+				}
+				path = first.CanonicalPath().MustChild(node.Name)
+				for _, p := range node.Parents[1:] {
+					pn, ok := h.Lookup(p)
+					if !ok {
+						return fmt.Errorf("controller: dag parent %q: %w", p, core.ErrNotFound)
+					}
+					extra = append(extra, pn.CanonicalPath())
+				}
+			}
+			n, err := h.Create(path, extra, node.Type, lease, c.clk.Now())
+			if err != nil {
+				return err
+			}
+			if node.Type != core.DSNone {
+				if err := c.provisionLocked(n, node.Type, node.InitialBlocks, node.MaxBlocks); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// RemovePrefix explicitly reclaims a prefix and its blocks (the
+// "application explicitly reclaims" path of §3.1).
+func (c *Controller) RemovePrefix(path core.Path) error {
+	return c.withJob(path.Job(), func(h *hierarchy.Hierarchy) error {
+		n, err := h.Resolve(path)
+		if err != nil {
+			return err
+		}
+		c.releaseBlocksLocked(n)
+		return h.Remove(n.Name)
+	})
+}
+
+// RenewLease implements the renewal service: refresh the given
+// prefixes plus their propagation sets (§3.2).
+func (c *Controller) RenewLease(paths []core.Path) (int, error) {
+	c.renews.Add(1)
+	now := c.clk.Now()
+	total := 0
+	for _, p := range paths {
+		err := c.withJob(p.Job(), func(h *hierarchy.Hierarchy) error {
+			n, err := h.Renew(p, now)
+			total += n
+			return err
+		})
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// LeaseInfo reports a prefix's lease configuration and state.
+func (c *Controller) LeaseInfo(path core.Path) (proto.LeaseInfoResp, error) {
+	var resp proto.LeaseInfoResp
+	err := c.withJob(path.Job(), func(h *hierarchy.Hierarchy) error {
+		n, err := h.Resolve(path)
+		if err != nil {
+			return err
+		}
+		resp.Duration = n.LeaseDuration
+		resp.LastRenewed = n.LastRenewed
+		return nil
+	})
+	return resp, err
+}
+
+// Open returns a prefix's current partition map (the client-side
+// handle acquisition of initDataStructure). Opening a flushed prefix
+// reloads it from the persistent tier first.
+func (c *Controller) Open(path core.Path) (proto.OpenResp, error) {
+	var resp proto.OpenResp
+	err := c.withJob(path.Job(), func(h *hierarchy.Hierarchy) error {
+		n, err := h.Resolve(path)
+		if err != nil {
+			return err
+		}
+		if n.Type == core.DSNone {
+			return fmt.Errorf("controller: prefix %q has no data structure: %w",
+				path, core.ErrWrongType)
+		}
+		if n.Flushed {
+			if err := c.loadLocked(n, n.FlushKey); err != nil {
+				return err
+			}
+		}
+		resp.Map = n.Map.Clone()
+		resp.LeaseDuration = n.LeaseDuration
+		return nil
+	})
+	return resp, err
+}
+
+// ListPrefixes reports a job's hierarchy (CLI/diagnostics).
+func (c *Controller) ListPrefixes(job core.JobID) (proto.ListPrefixesResp, error) {
+	var resp proto.ListPrefixesResp
+	err := c.withJob(job, func(h *hierarchy.Hierarchy) error {
+		h.Walk(func(n *hierarchy.Node) bool {
+			resp.Prefixes = append(resp.Prefixes, proto.PrefixInfo{
+				Path:        n.CanonicalPath(),
+				Type:        n.Type,
+				Blocks:      len(n.Map.Blocks),
+				LastRenewed: n.LastRenewed,
+			})
+			return true
+		})
+		return nil
+	})
+	return resp, err
+}
+
+// Stats reports controller-wide statistics, including the metadata
+// footprint measured in §6.4.
+func (c *Controller) Stats() proto.ControllerStatsResp {
+	total, free, servers := c.alloc.Stats()
+	resp := proto.ControllerStatsResp{
+		TotalBlocks:     total,
+		FreeBlocks:      free,
+		AllocatedBlocks: total - free,
+		Servers:         servers,
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		resp.Jobs += len(s.jobs)
+		for _, h := range s.jobs {
+			resp.Prefixes += h.Len()
+			resp.MetadataBytes += h.MetadataBytes()
+		}
+		s.mu.Unlock()
+	}
+	return resp
+}

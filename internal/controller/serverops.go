@@ -1,0 +1,95 @@
+package controller
+
+import (
+	"fmt"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+)
+
+// callServer performs one gob RPC against a memory server.
+func (c *Controller) callServer(addr string, method uint16, req, resp interface{}) error {
+	cl, err := c.servers.Get(addr)
+	if err != nil {
+		return fmt.Errorf("controller: dial %s: %w", addr, err)
+	}
+	if err := cl.CallGob(method, req, resp); err != nil {
+		return fmt.Errorf("controller: %s method %#x: %w", addr, method, err)
+	}
+	return nil
+}
+
+// createBlockOnServer installs a partition for one block.
+func (c *Controller) createBlockOnServer(info core.BlockInfo, path core.Path,
+	t core.DSType, chunk int, slots []ds.SlotRange, chain core.ReplicaChain) error {
+	req := proto.CreateBlockReq{
+		Block:    info.ID,
+		Path:     path,
+		Type:     t,
+		Capacity: c.cfg.BlockSize,
+		NumSlots: c.cfg.NumHashSlots,
+		Slots:    slots,
+		Chunk:    chunk,
+		Chain:    chain,
+	}
+	var resp proto.CreateBlockResp
+	return c.callServer(info.Server, proto.MethodCreateBlock, req, &resp)
+}
+
+// deleteBlockOnServer removes a block's partition; failures are logged
+// (the server may already be gone) and the block is still freed.
+func (c *Controller) deleteBlockOnServer(info core.BlockInfo) {
+	var resp proto.DeleteBlockResp
+	err := c.callServer(info.Server, proto.MethodDeleteBlock,
+		proto.DeleteBlockReq{Block: info.ID}, &resp)
+	if err != nil {
+		c.log.Debug("controller: delete block failed", "block", info, "err", err)
+	}
+}
+
+// setNextOnServer links a queue segment to its successor.
+func (c *Controller) setNextOnServer(tail core.BlockInfo, next core.BlockInfo) error {
+	var resp proto.SetNextResp
+	return c.callServer(tail.Server, proto.MethodSetNext,
+		proto.SetNextReq{Block: tail.ID, Next: next}, &resp)
+}
+
+// moveSlotsOnServer asks the donor's server to move slot ranges to the
+// target block.
+func (c *Controller) moveSlotsOnServer(donor core.BlockInfo, ranges []ds.SlotRange,
+	target core.BlockInfo) (int, error) {
+	var resp proto.MoveSlotsResp
+	err := c.callServer(donor.Server, proto.MethodMoveSlots,
+		proto.MoveSlotsReq{Block: donor.ID, Ranges: ranges, Target: target}, &resp)
+	return resp.Moved, err
+}
+
+// flushBlockOnServer snapshots a block into the persistent store.
+func (c *Controller) flushBlockOnServer(info core.BlockInfo, key string) error {
+	var resp proto.FlushBlockResp
+	return c.callServer(info.Server, proto.MethodFlushBlock,
+		proto.FlushBlockReq{Block: info.ID, Key: key}, &resp)
+}
+
+// snapshotBlockOnServer fetches a block's partition snapshot.
+func (c *Controller) snapshotBlockOnServer(info core.BlockInfo) ([]byte, error) {
+	var resp proto.SnapshotBlockResp
+	err := c.callServer(info.Server, proto.MethodSnapshotBlock,
+		proto.SnapshotBlockReq{Block: info.ID}, &resp)
+	return resp.Snapshot, err
+}
+
+// restoreBlockOnServer replaces a block's partition state.
+func (c *Controller) restoreBlockOnServer(info core.BlockInfo, snapshot []byte) error {
+	var resp proto.RestoreBlockResp
+	return c.callServer(info.Server, proto.MethodRestoreBlock,
+		proto.RestoreBlockReq{Block: info.ID, Snapshot: snapshot}, &resp)
+}
+
+// loadBlockOnServer restores a block from the persistent store.
+func (c *Controller) loadBlockOnServer(info core.BlockInfo, key string) error {
+	var resp proto.LoadBlockResp
+	return c.callServer(info.Server, proto.MethodLoadBlock,
+		proto.LoadBlockReq{Block: info.ID, Key: key}, &resp)
+}

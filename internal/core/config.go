@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Size constants.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Paper defaults (§6 "Experimental setup"): 128MB blocks, 1s leases,
+// 5%/95% repartition thresholds, 1024 hash slots for the KV store.
+const (
+	DefaultBlockSize       = 128 * MB
+	DefaultLeaseDuration   = 1 * time.Second
+	DefaultHighThreshold   = 0.95
+	DefaultLowThreshold    = 0.05
+	DefaultNumHashSlots    = 1024
+	DefaultLeaseScanPeriod = 250 * time.Millisecond
+)
+
+// Config carries the tunables evaluated in the paper's sensitivity
+// analysis (§6.6) plus deployment knobs. The zero value is not usable;
+// call DefaultConfig and override fields.
+type Config struct {
+	// BlockSize is the fixed size of every memory block in bytes
+	// (Fig. 14a sweeps 32MB–512MB; experiments in this repo scale it
+	// down so traces replay in seconds).
+	BlockSize int
+	// LeaseDuration is the default lease period for address prefixes
+	// (Fig. 14b sweeps 0.25s–64s).
+	LeaseDuration time.Duration
+	// LeaseScanPeriod is how often the expiry worker walks the address
+	// hierarchies looking for expired prefixes.
+	LeaseScanPeriod time.Duration
+	// HighThreshold is the block-usage fraction above which the server
+	// signals overload and the controller allocates a new block
+	// (Fig. 14c sweeps 60%–99%).
+	HighThreshold float64
+	// LowThreshold is the usage fraction below which a block becomes a
+	// merge candidate and may be reclaimed.
+	LowThreshold float64
+	// NumHashSlots is the size of the KV store's hash-slot space; slots
+	// are the unit of KV repartitioning and each slot lives entirely in
+	// one block (§5.3).
+	NumHashSlots int
+	// ChainLength is the replication chain length for blocks; 1 (the
+	// default) disables replication.
+	ChainLength int
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:       DefaultBlockSize,
+		LeaseDuration:   DefaultLeaseDuration,
+		LeaseScanPeriod: DefaultLeaseScanPeriod,
+		HighThreshold:   DefaultHighThreshold,
+		LowThreshold:    DefaultLowThreshold,
+		NumHashSlots:    DefaultNumHashSlots,
+		ChainLength:     1,
+	}
+}
+
+// TestConfig returns a configuration scaled down for fast tests and
+// laptop-scale experiments: small blocks, short leases, frequent scans.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.BlockSize = 64 * KB
+	c.LeaseDuration = 200 * time.Millisecond
+	c.LeaseScanPeriod = 20 * time.Millisecond
+	c.NumHashSlots = 64
+	return c
+}
+
+// Validate checks invariants between the fields.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("core: block size must be positive, got %d", c.BlockSize)
+	}
+	if c.LeaseDuration <= 0 {
+		return fmt.Errorf("core: lease duration must be positive, got %v", c.LeaseDuration)
+	}
+	if c.LeaseScanPeriod <= 0 {
+		return fmt.Errorf("core: lease scan period must be positive, got %v", c.LeaseScanPeriod)
+	}
+	if c.HighThreshold <= 0 || c.HighThreshold > 1 {
+		return fmt.Errorf("core: high threshold must be in (0,1], got %v", c.HighThreshold)
+	}
+	if c.LowThreshold < 0 || c.LowThreshold >= c.HighThreshold {
+		return fmt.Errorf("core: low threshold must be in [0,high), got %v", c.LowThreshold)
+	}
+	if c.NumHashSlots <= 0 || c.NumHashSlots&(c.NumHashSlots-1) != 0 {
+		return fmt.Errorf("core: hash slots must be a positive power of two, got %d", c.NumHashSlots)
+	}
+	if c.ChainLength < 1 {
+		return fmt.Errorf("core: chain length must be >= 1, got %d", c.ChainLength)
+	}
+	return nil
+}

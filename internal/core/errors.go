@@ -1,0 +1,111 @@
+package core
+
+import "errors"
+
+// Sentinel errors shared across the control and data planes. RPC
+// boundaries transport these by stable code (see ErrorCode) so that
+// errors.Is works on both sides of a connection.
+var (
+	// ErrNotFound reports a missing key, path, block or job.
+	ErrNotFound = errors.New("jiffy: not found")
+	// ErrExists reports an attempt to create something that already exists.
+	ErrExists = errors.New("jiffy: already exists")
+	// ErrNoCapacity reports that the free block list is empty and the
+	// allocation could not be satisfied from memory.
+	ErrNoCapacity = errors.New("jiffy: no free blocks")
+	// ErrBlockFull reports that a block cannot accept the write; for
+	// queues and files the client should follow the redirect to the
+	// next block, for the KV store the server splits the block.
+	ErrBlockFull = errors.New("jiffy: block full")
+	// ErrEmpty reports a dequeue from an empty queue.
+	ErrEmpty = errors.New("jiffy: empty")
+	// ErrStaleEpoch reports that the client's cached partition metadata
+	// is older than the server's; the client must refresh its map from
+	// the controller and retry.
+	ErrStaleEpoch = errors.New("jiffy: stale partition metadata")
+	// ErrLeaseExpired reports an operation on a prefix whose lease has
+	// expired and whose resources were reclaimed.
+	ErrLeaseExpired = errors.New("jiffy: lease expired")
+	// ErrPermission reports an access-control violation on a prefix.
+	ErrPermission = errors.New("jiffy: permission denied")
+	// ErrWrongType reports an operation that does not apply to the data
+	// structure stored at the prefix.
+	ErrWrongType = errors.New("jiffy: wrong data structure type")
+	// ErrClosed reports use of a closed client, server or handle.
+	ErrClosed = errors.New("jiffy: closed")
+	// ErrTimeout reports an operation that exceeded its deadline.
+	ErrTimeout = errors.New("jiffy: timed out")
+	// ErrTooLarge reports a value that exceeds a size bound (e.g. an
+	// item larger than a block, or a DynamoDB-model object over 128KB).
+	ErrTooLarge = errors.New("jiffy: object too large")
+	// ErrRedirect is returned internally with a payload naming the
+	// block the client should retry against (queue head/tail moved).
+	ErrRedirect = errors.New("jiffy: redirected")
+)
+
+// ErrorCode is the wire representation of the sentinel errors.
+type ErrorCode uint8
+
+// Wire codes. Zero means "no error"; CodeOther carries a message string.
+const (
+	CodeOK ErrorCode = iota
+	CodeNotFound
+	CodeExists
+	CodeNoCapacity
+	CodeBlockFull
+	CodeEmpty
+	CodeStaleEpoch
+	CodeLeaseExpired
+	CodePermission
+	CodeWrongType
+	CodeClosed
+	CodeTimeout
+	CodeTooLarge
+	CodeRedirect
+	CodeOther
+)
+
+var codeToErr = map[ErrorCode]error{
+	CodeNotFound:     ErrNotFound,
+	CodeExists:       ErrExists,
+	CodeNoCapacity:   ErrNoCapacity,
+	CodeBlockFull:    ErrBlockFull,
+	CodeEmpty:        ErrEmpty,
+	CodeStaleEpoch:   ErrStaleEpoch,
+	CodeLeaseExpired: ErrLeaseExpired,
+	CodePermission:   ErrPermission,
+	CodeWrongType:    ErrWrongType,
+	CodeClosed:       ErrClosed,
+	CodeTimeout:      ErrTimeout,
+	CodeTooLarge:     ErrTooLarge,
+	CodeRedirect:     ErrRedirect,
+}
+
+// CodeOf maps an error to its wire code. Wrapped sentinels are
+// recognized via errors.Is; anything else maps to CodeOther.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return CodeOK
+	}
+	for code, sentinel := range codeToErr {
+		if errors.Is(err, sentinel) {
+			return code
+		}
+	}
+	return CodeOther
+}
+
+// ErrOf maps a wire code back to its sentinel error. CodeOther yields a
+// generic error carrying msg; CodeOK yields nil.
+func ErrOf(code ErrorCode, msg string) error {
+	if code == CodeOK {
+		return nil
+	}
+	if err, ok := codeToErr[code]; ok {
+		return err
+	}
+	if msg == "" {
+		msg = "jiffy: remote error"
+	}
+	return errors.New(msg)
+}

@@ -1,0 +1,303 @@
+// Package cuckoo implements the hash table used inside every KV-store
+// block. The paper (§5.3) uses libcuckoo for highly concurrent KV
+// operations; this is a Go implementation of the same design:
+// two-choice bucketized cuckoo hashing with 4-way buckets,
+// breadth-first-search relocation on insert, and automatic growth.
+//
+// A Table is safe for concurrent use. Reads take a shared lock; writes
+// take an exclusive lock (relocation paths may touch many buckets, so
+// per-bucket locking would need the full libcuckoo fine-grained
+// protocol; the per-block tables here are small enough that a
+// readers-writer lock at table granularity measures within noise of the
+// striped design in our benchmarks).
+package cuckoo
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	// slotsPerBucket matches libcuckoo's default associativity.
+	slotsPerBucket = 4
+	// maxBFSDepth bounds the relocation search; beyond this the table
+	// grows instead.
+	maxBFSDepth = 5
+	// minBuckets is the smallest table (power of two).
+	minBuckets = 4
+)
+
+type entry struct {
+	hash uint64
+	key  string
+	val  []byte
+}
+
+type bucket struct {
+	occupied [slotsPerBucket]bool
+	entries  [slotsPerBucket]entry
+}
+
+// Table is a concurrent cuckoo hash table from string keys to byte
+// values.
+type Table struct {
+	mu      sync.RWMutex
+	buckets []bucket
+	mask    uint64
+	count   int
+	bytes   int // sum of len(key)+len(val) for accounting
+}
+
+// New creates a table pre-sized for hint entries.
+func New(hint int) *Table {
+	n := minBuckets
+	for n*slotsPerBucket < hint {
+		n <<= 1
+	}
+	return &Table{buckets: make([]bucket, n), mask: uint64(n - 1)}
+}
+
+// fnv64a is the stable string hash used for both bucket choices. The
+// two candidate buckets derive from disjoint halves of the 64-bit hash,
+// mixed so they differ even for small tables.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// i1 returns the primary bucket index for hash h.
+func (t *Table) i1(h uint64) uint64 { return h & t.mask }
+
+// i2 returns the alternate bucket index: the standard partial-key
+// cuckoo trick — xor the bucket index with a hash of the tag, so the
+// alternate of the alternate is the original.
+func (t *Table) i2(i uint64, h uint64) uint64 {
+	tag := (h >> 32) | 1 // never zero
+	return (i ^ (tag * 0x5bd1e995)) & t.mask
+}
+
+// Get returns the value stored for key.
+func (t *Table) Get(key string) ([]byte, bool) {
+	h := fnv64a(key)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i1 := t.i1(h)
+	if v, ok := t.lookupIn(i1, h, key); ok {
+		return v, true
+	}
+	return t.lookupIn(t.i2(i1, h), h, key)
+}
+
+func (t *Table) lookupIn(i uint64, h uint64, key string) ([]byte, bool) {
+	b := &t.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if b.occupied[s] && b.entries[s].hash == h && b.entries[s].key == key {
+			return b.entries[s].val, true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or overwrites key. It returns the previous value (nil if
+// none) and whether the key already existed.
+func (t *Table) Put(key string, val []byte) (prev []byte, existed bool) {
+	h := fnv64a(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Overwrite in place if present.
+	i1 := t.i1(h)
+	i2 := t.i2(i1, h)
+	for _, i := range [2]uint64{i1, i2} {
+		b := &t.buckets[i]
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied[s] && b.entries[s].hash == h && b.entries[s].key == key {
+				prev = b.entries[s].val
+				t.bytes += len(val) - len(prev)
+				b.entries[s].val = val
+				return prev, true
+			}
+		}
+	}
+
+	for !t.insertFresh(h, key, val) {
+		t.grow()
+	}
+	t.count++
+	t.bytes += len(key) + len(val)
+	return nil, false
+}
+
+// bfsNode is one step in the relocation search: an entry from slot
+// `slot` of the parent node's bucket could be displaced into `bucket`.
+type bfsNode struct {
+	bucket uint64
+	parent int // index into the BFS queue; -1 for the two root buckets
+	slot   int
+}
+
+// insertFresh places a new entry, relocating existing entries via a
+// breadth-first search (libcuckoo-style) if both candidate buckets are
+// full. Returns false when no relocation path exists within the search
+// bound — the caller grows the table.
+func (t *Table) insertFresh(h uint64, key string, val []byte) bool {
+	i1 := t.i1(h)
+	i2 := t.i2(i1, h)
+	// maxNodes bounds the BFS frontier to paths of ~maxBFSDepth kicks:
+	// 2 roots, branching factor slotsPerBucket.
+	maxNodes := 2
+	for d := 0; d < maxBFSDepth; d++ {
+		maxNodes *= slotsPerBucket
+	}
+	queue := []bfsNode{{bucket: i1, parent: -1}, {bucket: i2, parent: -1}}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		if s := t.freeSlot(n.bucket); s >= 0 {
+			// Walk the displacement path backwards, moving each entry
+			// one hop toward the free slot.
+			cur, freeSlot := qi, s
+			for queue[cur].parent >= 0 {
+				p := queue[cur].parent
+				ps := queue[cur].slot
+				pb := &t.buckets[queue[p].bucket]
+				t.place(queue[cur].bucket, freeSlot, pb.entries[ps])
+				pb.occupied[ps] = false
+				pb.entries[ps] = entry{}
+				freeSlot = ps
+				cur = p
+			}
+			t.place(queue[cur].bucket, freeSlot, entry{hash: h, key: key, val: val})
+			return true
+		}
+		if len(queue) >= maxNodes {
+			continue // stop expanding; drain remaining queued nodes
+		}
+		b := &t.buckets[n.bucket]
+		for s := 0; s < slotsPerBucket; s++ {
+			alt := t.i2(n.bucket, b.entries[s].hash)
+			queue = append(queue, bfsNode{bucket: alt, parent: qi, slot: s})
+		}
+	}
+	return false
+}
+
+func (t *Table) freeSlot(i uint64) int {
+	b := &t.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if !b.occupied[s] {
+			return s
+		}
+	}
+	return -1
+}
+
+func (t *Table) place(i uint64, s int, e entry) {
+	b := &t.buckets[i]
+	b.occupied[s] = true
+	b.entries[s] = e
+}
+
+// grow doubles the bucket array and rehashes every entry.
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]bucket, len(old)*2)
+	t.mask = uint64(len(t.buckets) - 1)
+	for bi := range old {
+		for s := 0; s < slotsPerBucket; s++ {
+			if !old[bi].occupied[s] {
+				continue
+			}
+			e := old[bi].entries[s]
+			if !t.insertFresh(e.hash, e.key, e.val) {
+				// With the table doubled and re-inserting a subset,
+				// failure here would indicate a pathological hash;
+				// grow again (terminates: load factor halves each time).
+				t.grow()
+				if !t.insertFresh(e.hash, e.key, e.val) {
+					panic(fmt.Sprintf("cuckoo: cannot place key %q after growth", e.key))
+				}
+			}
+		}
+	}
+}
+
+// Delete removes key, returning the removed value and whether it was
+// present.
+func (t *Table) Delete(key string) ([]byte, bool) {
+	h := fnv64a(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i1 := t.i1(h)
+	for _, i := range [2]uint64{i1, t.i2(i1, h)} {
+		b := &t.buckets[i]
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied[s] && b.entries[s].hash == h && b.entries[s].key == key {
+				val := b.entries[s].val
+				b.occupied[s] = false
+				b.entries[s] = entry{}
+				t.count--
+				t.bytes -= len(key) + len(val)
+				return val, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Bytes returns the accounted payload size: sum of key and value
+// lengths. Block usage tracking is built on this.
+func (t *Table) Bytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Range calls fn for every entry until fn returns false. The table is
+// read-locked for the duration; fn must not call mutating methods.
+func (t *Table) Range(fn func(key string, val []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for bi := range t.buckets {
+		b := &t.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied[s] {
+				if !fn(b.entries[s].key, b.entries[s].val) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clear removes all entries, keeping the bucket array.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.buckets {
+		t.buckets[i] = bucket{}
+	}
+	t.count = 0
+	t.bytes = 0
+}
+
+// LoadFactor reports occupied slots over total slots.
+func (t *Table) LoadFactor() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return float64(t.count) / float64(len(t.buckets)*slotsPerBucket)
+}

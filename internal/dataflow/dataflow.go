@@ -1,0 +1,464 @@
+// Package dataflow implements the Dryad-style dataflow and StreamScope
+// streaming models on Jiffy (§5.2 of the paper). Programmers describe
+// an application as a DAG whose vertices are computations and whose
+// edges are data channels; this runtime maps vertices to tasks
+// (goroutines standing in for serverless functions) and channels to
+// Jiffy FIFO queues. A vertex is scheduled when its input channels are
+// ready — for queues, as soon as any item can arrive — and consumers
+// use Jiffy's notification interface to detect new items instead of
+// polling.
+package dataflow
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+)
+
+// eofPrefix tags channel-termination markers. Each producer task
+// enqueues one marker carrying its unique identity when it finishes.
+// Consumers track the distinct marker identities they have seen and
+// re-enqueue every marker they dequeue, so markers circulate to all
+// consumer replicas; a consumer terminates once it has seen every
+// producer's marker. FIFO ordering guarantees no real item can be
+// stranded behind the markers.
+const eofPrefix = "\x00jiffy-dataflow-eof:"
+
+// ChannelKind selects a DAG edge's transport (§5.2: "channels can be
+// files, shared memory FIFO queues, etc.").
+type ChannelKind int
+
+const (
+	// QueueChannel streams items through a Jiffy FIFO queue; consumers
+	// start immediately and block on notifications.
+	QueueChannel ChannelKind = iota
+	// FileChannel materializes items into a Jiffy file; consumers are
+	// gated until every producer has finished ("a file channel is
+	// ready if all its data items have been written").
+	FileChannel
+)
+
+// Channel is one DAG edge.
+type Channel struct {
+	Name string
+	Kind ChannelKind
+	// Producers is the number of vertices writing to the channel
+	// (consumers wait for this many EOF markers / completions).
+	Producers int
+}
+
+// VertexFunc is a vertex computation: read inputs, write outputs.
+type VertexFunc func(ctx context.Context, in []*Reader, out []*Writer) error
+
+// Vertex is one DAG node.
+type Vertex struct {
+	Name string
+	// Inputs / Outputs name the channels this vertex consumes and
+	// produces.
+	Inputs, Outputs []string
+	// Fn is the computation.
+	Fn VertexFunc
+	// Replicas runs the vertex as N parallel tasks sharing its input
+	// channels (work-stealing via queue semantics). Default 1.
+	Replicas int
+}
+
+// Graph is a dataflow application.
+type Graph struct {
+	JobID    core.JobID
+	Vertices []Vertex
+	// FileChannels names the channels materialized as Jiffy files
+	// instead of queues: their consumers are gated until every
+	// producer finishes, Dryad's file-channel readiness rule. All
+	// other channels are queues.
+	FileChannels []string
+	// QueueCapacityBlocks pre-provisions each channel (default 1).
+	QueueCapacityBlocks int
+	// LeaseRenewInterval paces the master's lease renewals.
+	LeaseRenewInterval time.Duration
+}
+
+// Run executes the graph: creates the job hierarchy (one queue per
+// channel), launches every vertex, and waits for completion. All
+// vertices start immediately — queue channels are "ready as long as
+// some vertex is writing" (§5.2) — and block on their input queues via
+// notifications.
+func Run(ctx context.Context, c *client.Client, g Graph) error {
+	if g.JobID == "" || len(g.Vertices) == 0 {
+		return fmt.Errorf("dataflow: empty graph")
+	}
+	if g.LeaseRenewInterval <= 0 {
+		g.LeaseRenewInterval = 250 * time.Millisecond
+	}
+	channels, err := inferChannels(g)
+	if err != nil {
+		return err
+	}
+
+	if err := c.RegisterJob(g.JobID); err != nil {
+		return fmt.Errorf("dataflow: register: %w", err)
+	}
+	defer c.DeregisterJob(g.JobID)
+
+	root := core.Path(string(g.JobID))
+	for name, ch := range channels {
+		p := root.MustChild("ch-" + name)
+		blocks := g.QueueCapacityBlocks
+		if blocks <= 0 {
+			blocks = 1
+		}
+		switch ch.Kind {
+		case FileChannel:
+			if _, _, err := c.CreatePrefix(p, nil, core.DSFile, blocks, 0); err != nil {
+				return fmt.Errorf("dataflow: create file channel %q: %w", name, err)
+			}
+			// The companion done-queue gates consumers until every
+			// producer has closed the channel.
+			if _, _, err := c.CreatePrefix(root.MustChild("chdone-"+name), nil,
+				core.DSQueue, 1, 0); err != nil {
+				return fmt.Errorf("dataflow: create done channel %q: %w", name, err)
+			}
+		default:
+			if _, _, err := c.CreatePrefix(p, nil, core.DSQueue, blocks, 0); err != nil {
+				return fmt.Errorf("dataflow: create channel %q: %w", name, err)
+			}
+		}
+	}
+	renewer := c.StartRenewer(g.LeaseRenewInterval, root)
+	defer renewer.Stop()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, v := range g.Vertices {
+		replicas := v.Replicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		for r := 0; r < replicas; r++ {
+			wg.Add(1)
+			go func(v Vertex, replica int) {
+				defer wg.Done()
+				if err := runVertex(ctx, c, g, channels, v, replica); err != nil {
+					fail(fmt.Errorf("dataflow: vertex %s[%d]: %w", v.Name, replica, err))
+				}
+			}(v, r)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// inferChannels validates the graph and computes per-channel producer
+// counts (replicas included).
+func inferChannels(g Graph) (map[string]*Channel, error) {
+	channels := make(map[string]*Channel)
+	for _, v := range g.Vertices {
+		replicas := v.Replicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		for _, out := range v.Outputs {
+			ch := channels[out]
+			if ch == nil {
+				ch = &Channel{Name: out}
+				channels[out] = ch
+			}
+			ch.Producers += replicas
+		}
+	}
+	for _, name := range g.FileChannels {
+		ch, ok := channels[name]
+		if !ok {
+			return nil, fmt.Errorf("dataflow: file channel %q has no producer", name)
+		}
+		ch.Kind = FileChannel
+	}
+	for _, v := range g.Vertices {
+		for _, in := range v.Inputs {
+			if _, ok := channels[in]; !ok {
+				return nil, fmt.Errorf("dataflow: vertex %s reads channel %q that no vertex writes",
+					v.Name, in)
+			}
+		}
+	}
+	return channels, nil
+}
+
+func runVertex(ctx context.Context, c *client.Client, g Graph,
+	channels map[string]*Channel, v Vertex, replica int) error {
+
+	root := core.Path(string(g.JobID))
+	readers := make([]*Reader, len(v.Inputs))
+	for i, in := range v.Inputs {
+		ch := channels[in]
+		if ch.Kind == FileChannel {
+			f, err := c.OpenFile(root.MustChild("ch-" + in))
+			if err != nil {
+				return err
+			}
+			dq, err := c.OpenQueue(root.MustChild("chdone-" + in))
+			if err != nil {
+				return err
+			}
+			readers[i] = newFileReader(f, dq, ch.Producers)
+		} else {
+			q, err := c.OpenQueue(root.MustChild("ch-" + in))
+			if err != nil {
+				return err
+			}
+			readers[i] = newReader(q, ch.Producers)
+		}
+	}
+	writers := make([]*Writer, len(v.Outputs))
+	for i, out := range v.Outputs {
+		id := fmt.Sprintf("%s/%d", v.Name, replica)
+		if channels[out].Kind == FileChannel {
+			f, err := c.OpenFile(root.MustChild("ch-" + out))
+			if err != nil {
+				return err
+			}
+			dq, err := c.OpenQueue(root.MustChild("chdone-" + out))
+			if err != nil {
+				return err
+			}
+			writers[i] = &Writer{f: f, doneQ: dq, id: id}
+		} else {
+			q, err := c.OpenQueue(root.MustChild("ch-" + out))
+			if err != nil {
+				return err
+			}
+			writers[i] = &Writer{q: q, id: id}
+		}
+	}
+	err := v.Fn(ctx, readers, writers)
+	// Close all outputs whether or not the vertex succeeded so
+	// downstream vertices terminate.
+	for _, w := range writers {
+		w.Close()
+	}
+	for _, r := range readers {
+		r.close()
+	}
+	return err
+}
+
+// Writer produces items into a channel (queue- or file-backed).
+type Writer struct {
+	q      *client.Queue
+	f      *client.File
+	doneQ  *client.Queue
+	id     string
+	closed bool
+	mu     sync.Mutex
+}
+
+// Write emits one item: an enqueue on queue channels, a framed record
+// append on file channels.
+func (w *Writer) Write(item []byte) error {
+	if w.f != nil {
+		return appendFramed(w.f, item)
+	}
+	return w.q.Enqueue(item)
+}
+
+// Close marks this producer finished: queue channels get the tagged
+// EOF marker; file channels get a completion token on the companion
+// done-queue (the file-channel readiness gate). Idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f != nil {
+		return w.doneQ.Enqueue([]byte(eofPrefix + w.id))
+	}
+	return w.q.Enqueue([]byte(eofPrefix + w.id))
+}
+
+// appendFramed writes a length-prefixed record; a zero length word is
+// the end-of-chunk marker (chunks are zero-filled past the written
+// region), so per-chunk parsing recovers the records exactly.
+func appendFramed(f *client.File, item []byte) error {
+	buf := make([]byte, 4+len(item))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(item))+1) // +1: never zero
+	copy(buf[4:], item)
+	_, err := f.AppendRecord(buf)
+	return err
+}
+
+// readAllFramed parses every framed record in the file.
+func readAllFramed(f *client.File) ([][]byte, error) {
+	n, err := f.Chunks()
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for ci := 0; ci < n; ci++ {
+		data, err := f.ReadChunk(ci)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for off+4 <= len(data) {
+			l := int(binary.BigEndian.Uint32(data[off : off+4]))
+			if l == 0 {
+				break // zero word: end of this chunk's records
+			}
+			l-- // undo the +1 bias
+			off += 4
+			if off+l > len(data) {
+				return nil, fmt.Errorf("dataflow: corrupt file channel record at %d", off)
+			}
+			out = append(out, data[off:off+l])
+			off += l
+		}
+	}
+	return out, nil
+}
+
+// Reader consumes items from a channel until every producer has
+// closed it.
+type Reader struct {
+	q         *client.Queue
+	listener  *client.Listener
+	producers int
+	seenEOF   map[string]bool
+	done      bool
+
+	// File-channel state: the reader gates on the done-queue, then
+	// loads the materialized records.
+	f      *client.File
+	items  [][]byte
+	idx    int
+	loaded bool
+}
+
+func newReader(q *client.Queue, producers int) *Reader {
+	r := &Reader{q: q, producers: producers, seenEOF: make(map[string]bool)}
+	// Subscribe to enqueues so Read blocks without polling; fall back
+	// to polling if the subscription fails.
+	if l, err := q.Subscribe(core.OpEnqueue); err == nil {
+		r.listener = l
+	}
+	return r
+}
+
+// newFileReader builds a reader over a file channel: doneQ carries the
+// producers' completion tokens.
+func newFileReader(f *client.File, doneQ *client.Queue, producers int) *Reader {
+	r := newReader(doneQ, producers)
+	r.f = f
+	return r
+}
+
+// Read returns the next item. It returns io-style (nil, false, nil)
+// when every producer has closed the channel.
+func (r *Reader) Read(ctx context.Context) (item []byte, ok bool, err error) {
+	if r.f != nil {
+		return r.readFile(ctx)
+	}
+	if r.done {
+		return nil, false, nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		item, err := r.q.Dequeue()
+		switch {
+		case err == nil:
+			if s := string(item); strings.HasPrefix(s, eofPrefix) {
+				// Recirculate the marker for sibling replicas, then
+				// check whether every producer has finished.
+				alreadySeen := r.seenEOF[s]
+				r.seenEOF[s] = true
+				if err := r.q.Enqueue(item); err != nil {
+					return nil, false, err
+				}
+				if len(r.seenEOF) >= r.producers {
+					r.done = true
+					return nil, false, nil
+				}
+				if alreadySeen {
+					// Nothing new: yield so we don't spin on the
+					// circulating markers.
+					time.Sleep(time.Millisecond)
+				}
+				continue
+			}
+			return item, true, nil
+		case errors.Is(err, core.ErrEmpty):
+			// Wait for a notification (or a short timeout as fallback).
+			if r.listener != nil {
+				r.listener.Get(5 * time.Millisecond)
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		default:
+			return nil, false, err
+		}
+	}
+}
+
+// readFile implements the file-channel read path: block until every
+// producer has closed the channel (Dryad's readiness rule), then
+// iterate the materialized records.
+func (r *Reader) readFile(ctx context.Context) ([]byte, bool, error) {
+	if !r.loaded {
+		// The done-queue uses the same marker protocol as queue
+		// channels; drain it through the queue path until done.
+		for !r.done {
+			if _, ok, err := r.readQueueToken(ctx); err != nil {
+				return nil, false, err
+			} else if ok {
+				// Real items never travel on the done-queue.
+				return nil, false, fmt.Errorf("dataflow: unexpected item on done channel")
+			}
+		}
+		items, err := readAllFramed(r.f)
+		if err != nil {
+			return nil, false, err
+		}
+		r.items = items
+		r.loaded = true
+	}
+	if r.idx >= len(r.items) {
+		return nil, false, nil
+	}
+	item := r.items[r.idx]
+	r.idx++
+	return item, true, nil
+}
+
+// readQueueToken runs one step of the queue read loop (used by the
+// file gate).
+func (r *Reader) readQueueToken(ctx context.Context) ([]byte, bool, error) {
+	saveF := r.f
+	r.f = nil
+	defer func() { r.f = saveF }()
+	return r.Read(ctx)
+}
+
+func (r *Reader) close() {
+	if r.listener != nil {
+		r.listener.Close()
+		r.listener = nil
+	}
+}

@@ -1,0 +1,423 @@
+package dataflow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jiffy"
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+)
+
+func testClient(t *testing.T) *client.Client {
+	t.Helper()
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	c, err := cluster.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestLinearPipeline runs source → transform → sink.
+func TestLinearPipeline(t *testing.T) {
+	c := testClient(t)
+	var got []string
+	var mu sync.Mutex
+	err := Run(context.Background(), c, Graph{
+		JobID: "pipeline",
+		Vertices: []Vertex{
+			{
+				Name: "source", Outputs: []string{"raw"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for i := 0; i < 20; i++ {
+						if err := out[0].Write([]byte(fmt.Sprintf("item-%d", i))); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "upper", Inputs: []string{"raw"}, Outputs: []string{"shouted"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						item, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						if err := out[0].Write(bytes.ToUpper(item)); err != nil {
+							return err
+						}
+					}
+				},
+			},
+			{
+				Name: "sink", Inputs: []string{"shouted"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						item, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						mu.Lock()
+						got = append(got, string(item))
+						mu.Unlock()
+					}
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("sink received %d items: %v", len(got), got)
+	}
+	// FIFO order preserved through the pipeline.
+	for i, item := range got {
+		if item != fmt.Sprintf("ITEM-%d", i) {
+			t.Errorf("item %d = %q", i, item)
+		}
+	}
+}
+
+// TestFanOutFanIn checks multiple replicas draining a shared channel
+// and merging into one output — the partition/count shape of the
+// Fig. 13(a) streaming word-count.
+func TestFanOutFanIn(t *testing.T) {
+	c := testClient(t)
+	var count int
+	var mu sync.Mutex
+	err := Run(context.Background(), c, Graph{
+		JobID: "fan",
+		Vertices: []Vertex{
+			{
+				Name: "gen", Outputs: []string{"work"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for i := 0; i < 100; i++ {
+						if err := out[0].Write([]byte{byte(i)}); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "worker", Inputs: []string{"work"}, Outputs: []string{"done"},
+				Replicas: 4,
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						item, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						if err := out[0].Write(item); err != nil {
+							return err
+						}
+					}
+				},
+			},
+			{
+				Name: "collect", Inputs: []string{"done"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						_, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						mu.Lock()
+						count++
+						mu.Unlock()
+					}
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("collected %d items, want 100", count)
+	}
+}
+
+// Replicated consumers share EOF markers; verify a worker pool
+// terminates even when one replica consumes several markers.
+// (The EOF protocol counts markers per channel, produced once per
+// producer replica; consumers re-enqueue none, so the total is fixed.)
+func TestReplicatedConsumersTerminate(t *testing.T) {
+	c := testClient(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(context.Background(), c, Graph{
+			JobID: "term",
+			Vertices: []Vertex{
+				{
+					Name: "src", Outputs: []string{"q"}, Replicas: 3,
+					Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+						return out[0].Write([]byte("x"))
+					},
+				},
+				{
+					Name: "snk", Inputs: []string{"q"},
+					Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+						n := 0
+						for {
+							_, ok, err := in[0].Read(ctx)
+							if err != nil {
+								return err
+							}
+							if !ok {
+								if n != 3 {
+									return fmt.Errorf("got %d items, want 3", n)
+								}
+								return nil
+							}
+							n++
+						}
+					},
+				},
+			},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("graph did not terminate")
+	}
+}
+
+func TestVertexErrorPropagates(t *testing.T) {
+	c := testClient(t)
+	boom := errors.New("vertex failed")
+	err := Run(context.Background(), c, Graph{
+		JobID: "failflow",
+		Vertices: []Vertex{
+			{
+				Name: "bad", Outputs: []string{"out"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					return boom
+				},
+			},
+			{
+				Name: "down", Inputs: []string{"out"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						_, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+					}
+				},
+			},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "vertex failed") {
+		t.Errorf("err = %v", err)
+	}
+	// Downstream still terminated (EOF emitted on failure) — Run
+	// returned rather than hanging, and resources were released.
+	stats, _ := c.ControllerStats()
+	if stats.AllocatedBlocks != 0 {
+		t.Errorf("blocks leaked: %d", stats.AllocatedBlocks)
+	}
+}
+
+func TestUnboundChannelRejected(t *testing.T) {
+	c := testClient(t)
+	err := Run(context.Background(), c, Graph{
+		JobID: "badgraph",
+		Vertices: []Vertex{
+			{
+				Name: "reader", Inputs: []string{"nobody-writes-this"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					return nil
+				},
+			},
+		},
+	})
+	if err == nil {
+		t.Error("graph with unbound input accepted")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	c := testClient(t)
+	if err := Run(context.Background(), c, Graph{JobID: "empty"}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c := testClient(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	err := Run(ctx, c, Graph{
+		JobID: "cancelflow",
+		Vertices: []Vertex{
+			{
+				Name: "idle-producer", Outputs: []string{"never"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					<-ctx.Done() // produce nothing, wait for cancel
+					return ctx.Err()
+				},
+			},
+			{
+				Name: "blocked-consumer", Inputs: []string{"never"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					_, _, err := in[0].Read(ctx)
+					return err
+				},
+			},
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFileChannelGating verifies Dryad's file-channel readiness rule:
+// the consumer sees nothing until every producer has closed the
+// channel, then reads the fully materialized data.
+func TestFileChannelGating(t *testing.T) {
+	c := testClient(t)
+	var order []string
+	var mu sync.Mutex
+	mark := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	err := Run(context.Background(), c, Graph{
+		JobID:        "filechan",
+		FileChannels: []string{"materialized"},
+		Vertices: []Vertex{
+			{
+				Name: "producer", Outputs: []string{"materialized"}, Replicas: 2,
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for i := 0; i < 10; i++ {
+						if err := out[0].Write([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+							return err
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+					mark("producer-done")
+					return nil
+				},
+			},
+			{
+				Name: "consumer", Inputs: []string{"materialized"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					count := 0
+					for {
+						_, ok, err := in[0].Read(ctx)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							break
+						}
+						if count == 0 {
+							mark("consumer-first-read")
+						}
+						count++
+					}
+					if count != 20 {
+						return fmt.Errorf("consumer saw %d records, want 20", count)
+					}
+					return nil
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both producers finished before the consumer's first record.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[2] != "consumer-first-read" {
+		t.Errorf("scheduling order = %v; consumer ran before producers finished", order)
+	}
+}
+
+// TestMixedChannels: a graph combining a file channel (batch stage) and
+// a queue channel (streaming stage).
+func TestMixedChannels(t *testing.T) {
+	c := testClient(t)
+	var got []string
+	var mu sync.Mutex
+	err := Run(context.Background(), c, Graph{
+		JobID:        "mixed",
+		FileChannels: []string{"batch"},
+		Vertices: []Vertex{
+			{
+				Name: "gen", Outputs: []string{"batch"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for i := 0; i < 5; i++ {
+						if err := out[0].Write([]byte(fmt.Sprintf("%d", i))); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "transform", Inputs: []string{"batch"}, Outputs: []string{"stream"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						item, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						if err := out[0].Write(append([]byte("x"), item...)); err != nil {
+							return err
+						}
+					}
+				},
+			},
+			{
+				Name: "sink", Inputs: []string{"stream"},
+				Fn: func(ctx context.Context, in []*Reader, out []*Writer) error {
+					for {
+						item, ok, err := in[0].Read(ctx)
+						if err != nil || !ok {
+							return err
+						}
+						mu.Lock()
+						got = append(got, string(item))
+						mu.Unlock()
+					}
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != "x0" || got[4] != "x4" {
+		t.Errorf("sink got %v", got)
+	}
+}

@@ -1,0 +1,676 @@
+package ds
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jiffy/internal/core"
+)
+
+// --- codec ----------------------------------------------------------------
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	f := func(op uint8, block uint64, args [][]byte) bool {
+		data := EncodeRequest(core.OpType(op), core.BlockID(block), args)
+		gotOp, gotBlock, gotArgs, err := DecodeRequest(data)
+		if err != nil {
+			return false
+		}
+		if gotOp != core.OpType(op) || gotBlock != core.BlockID(block) {
+			return false
+		}
+		if len(gotArgs) != len(args) {
+			return false
+		}
+		for i := range args {
+			if !bytes.Equal(gotArgs[i], args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValsCodecRoundTrip(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		got, err := DecodeVals(EncodeVals(vals))
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if !bytes.Equal(got[i], vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	full := EncodeRequest(core.OpPut, 7, [][]byte{[]byte("key"), []byte("value")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := DecodeRequest(full[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		got, err := ParseU64(U64(v))
+		if err != nil || got != v {
+			t.Errorf("U64(%d) round trip = %d, %v", v, got, err)
+		}
+	}
+	if _, err := ParseU64([]byte{1, 2}); err == nil {
+		t.Error("short integer accepted")
+	}
+}
+
+// --- file -------------------------------------------------------------------
+
+func TestFileWriteRead(t *testing.T) {
+	f := NewFile(1024)
+	if f.Type() != core.DSFile || f.Capacity() != 1024 {
+		t.Fatal("metadata wrong")
+	}
+	n, err := f.WriteAt(0, []byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got, err := f.ReadAt(0, 5)
+	if err != nil || string(got) != "hello" {
+		t.Errorf("ReadAt = %q, %v", got, err)
+	}
+	if f.Bytes() != 5 {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+}
+
+func TestFileSparseWrite(t *testing.T) {
+	f := NewFile(1024)
+	f.WriteAt(100, []byte("tail"))
+	if f.Bytes() != 104 {
+		t.Errorf("high-water mark = %d, want 104", f.Bytes())
+	}
+	got, _ := f.ReadAt(0, 10)
+	if len(got) != 10 || !bytes.Equal(got, make([]byte, 10)) {
+		t.Errorf("hole read = %v", got)
+	}
+}
+
+func TestFileReadBeyondEOF(t *testing.T) {
+	f := NewFile(100)
+	f.WriteAt(0, []byte("abc"))
+	got, err := f.ReadAt(3, 10)
+	if err != nil || len(got) != 0 {
+		t.Errorf("read at EOF = %v, %v", got, err)
+	}
+	got, err = f.ReadAt(2, 10) // short read
+	if err != nil || string(got) != "c" {
+		t.Errorf("short read = %q, %v", got, err)
+	}
+}
+
+func TestFileCapacityEnforced(t *testing.T) {
+	f := NewFile(10)
+	if _, err := f.WriteAt(5, []byte("123456")); !errors.Is(err, core.ErrBlockFull) {
+		t.Errorf("over-capacity write = %v", err)
+	}
+	if _, err := f.WriteAt(-1, []byte("x")); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestFileApply(t *testing.T) {
+	f := NewFile(100)
+	res, err := f.Apply(core.OpFileWrite, [][]byte{U64(0), []byte("data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ParseU64(res[0]); n != 4 {
+		t.Errorf("written = %d", n)
+	}
+	res, err = f.Apply(core.OpFileRead, [][]byte{U64(0), U64(4)})
+	if err != nil || string(res[0]) != "data" {
+		t.Errorf("read = %q, %v", res[0], err)
+	}
+	if _, err := f.Apply(core.OpPut, [][]byte{nil, nil}); !errors.Is(err, core.ErrWrongType) {
+		t.Errorf("kv op on file = %v", err)
+	}
+	if _, err := f.Apply(core.OpFileWrite, nil); err == nil {
+		t.Error("missing args accepted")
+	}
+}
+
+func TestFileSnapshotRestore(t *testing.T) {
+	f := NewFile(100)
+	f.WriteAt(0, []byte("persistent"))
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewFile(0)
+	if err := g.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.ReadAt(0, 10)
+	if string(got) != "persistent" || g.Capacity() != 100 {
+		t.Errorf("restored = %q cap=%d", got, g.Capacity())
+	}
+}
+
+// --- queue -------------------------------------------------------------------
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(1024)
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue([]byte(fmt.Sprintf("item-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 10 {
+		t.Errorf("len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		item, err := q.Dequeue()
+		if err != nil || string(item) != fmt.Sprintf("item-%d", i) {
+			t.Fatalf("dequeue %d = %q, %v", i, item, err)
+		}
+	}
+	if _, err := q.Dequeue(); !errors.Is(err, core.ErrEmpty) {
+		t.Errorf("empty dequeue = %v", err)
+	}
+	if q.Bytes() != 0 {
+		t.Errorf("bytes after drain = %d", q.Bytes())
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := NewQueue(10)
+	if err := q.Enqueue(make([]byte, 11)); !errors.Is(err, core.ErrTooLarge) {
+		t.Errorf("oversized item = %v", err)
+	}
+	q.Enqueue(make([]byte, 6))
+	if err := q.Enqueue(make([]byte, 6)); !errors.Is(err, core.ErrBlockFull) {
+		t.Errorf("over-capacity enqueue = %v", err)
+	}
+	// Dequeue frees space.
+	q.Dequeue()
+	if err := q.Enqueue(make([]byte, 6)); err != nil {
+		t.Errorf("enqueue after dequeue = %v", err)
+	}
+}
+
+func TestQueueRedirect(t *testing.T) {
+	q := NewQueue(10)
+	q.Enqueue([]byte("last"))
+	next := core.BlockInfo{ID: 42, Server: "srv-2"}
+	q.SetNext(next)
+	// Sealed segment redirects enqueues.
+	err := q.Enqueue([]byte("x"))
+	if !errors.Is(err, core.ErrRedirect) {
+		t.Fatalf("enqueue on sealed = %v", err)
+	}
+	got, perr := ParseRedirect(RedirectPayloadOf(err))
+	if perr != nil || got != next {
+		t.Errorf("redirect target = %v, %v", got, perr)
+	}
+	// Pending items still dequeue locally, then redirect.
+	if item, err := q.Dequeue(); err != nil || string(item) != "last" {
+		t.Fatalf("dequeue = %q, %v", item, err)
+	}
+	if !q.Drained() {
+		t.Error("sealed+empty should be drained")
+	}
+	err = q.Dequeue2()
+	if !errors.Is(err, core.ErrRedirect) {
+		t.Errorf("drained dequeue = %v", err)
+	}
+}
+
+// Dequeue2 is a helper to get just the error.
+func (q *Queue) Dequeue2() error { _, err := q.Dequeue(); return err }
+
+func TestQueueApply(t *testing.T) {
+	q := NewQueue(100)
+	if _, err := q.Apply(core.OpEnqueue, [][]byte{[]byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Apply(core.OpDequeue, nil)
+	if err != nil || string(res[0]) != "a" {
+		t.Errorf("dequeue = %v, %v", res, err)
+	}
+	if _, err := q.Apply(core.OpGet, [][]byte{[]byte("k")}); !errors.Is(err, core.ErrWrongType) {
+		t.Errorf("kv op on queue = %v", err)
+	}
+}
+
+func TestQueueSnapshotRestore(t *testing.T) {
+	q := NewQueue(1000)
+	q.Enqueue([]byte("one"))
+	q.Enqueue([]byte("two"))
+	q.Dequeue() // consume "one"; snapshot holds only pending items
+	q.SetNext(core.BlockInfo{ID: 9, Server: "s"})
+	snap, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewQueue(0)
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	item, err := r.Dequeue()
+	if err != nil || string(item) != "two" {
+		t.Errorf("restored dequeue = %q, %v", item, err)
+	}
+	next, ok := r.Next()
+	if !ok || next.ID != 9 {
+		t.Errorf("restored next = %v, %v", next, ok)
+	}
+}
+
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(items [][]byte) bool {
+		q := NewQueue(1 << 30)
+		for _, it := range items {
+			if err := q.Enqueue(it); err != nil {
+				return false
+			}
+		}
+		for _, want := range items {
+			got, err := q.Dequeue()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err := q.Dequeue()
+		return errors.Is(err, core.ErrEmpty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- kv ---------------------------------------------------------------------
+
+func fullKV(capacity int) *KV {
+	return NewKV(capacity, 64, []SlotRange{{Lo: 0, Hi: 63}})
+}
+
+func TestKVPutGetDelete(t *testing.T) {
+	kv := fullKV(core.MB)
+	if err := kv.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := kv.Get("k1")
+	if err != nil || string(v) != "v1" {
+		t.Errorf("Get = %q, %v", v, err)
+	}
+	old, err := kv.Delete("k1")
+	if err != nil || string(old) != "v1" {
+		t.Errorf("Delete = %q, %v", old, err)
+	}
+	if _, err := kv.Get("k1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get deleted = %v", err)
+	}
+	if _, err := kv.Delete("k1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Delete missing = %v", err)
+	}
+}
+
+func TestKVUpdate(t *testing.T) {
+	kv := fullKV(core.MB)
+	if _, err := kv.Update("k", []byte("v")); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("update missing = %v", err)
+	}
+	kv.Put("k", []byte("v1"))
+	old, err := kv.Update("k", []byte("v2"))
+	if err != nil || string(old) != "v1" {
+		t.Errorf("update = %q, %v", old, err)
+	}
+	v, _ := kv.Get("k")
+	if string(v) != "v2" {
+		t.Errorf("after update = %q", v)
+	}
+}
+
+func TestKVOwnership(t *testing.T) {
+	// Shard owning no slots rejects everything with ErrStaleEpoch.
+	kv := NewKV(core.MB, 64, nil)
+	if err := kv.Put("k", []byte("v")); !errors.Is(err, core.ErrStaleEpoch) {
+		t.Errorf("put on disowned = %v", err)
+	}
+	if _, err := kv.Get("k"); !errors.Is(err, core.ErrStaleEpoch) {
+		t.Errorf("get on disowned = %v", err)
+	}
+}
+
+func TestKVCapacity(t *testing.T) {
+	kv := fullKV(100)
+	if err := kv.Put("k", make([]byte, 200)); !errors.Is(err, core.ErrTooLarge) {
+		t.Errorf("oversized = %v", err)
+	}
+	kv.Put("a", make([]byte, 60))
+	if err := kv.Put("b", make([]byte, 60)); !errors.Is(err, core.ErrBlockFull) {
+		t.Errorf("over capacity = %v", err)
+	}
+	// Overwriting an existing key is allowed even at capacity.
+	if err := kv.Put("a", make([]byte, 50)); err != nil {
+		t.Errorf("overwrite at capacity = %v", err)
+	}
+}
+
+func TestKVApply(t *testing.T) {
+	kv := fullKV(core.MB)
+	if _, err := kv.Apply(core.OpPut, [][]byte{[]byte("k"), []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := kv.Apply(core.OpGet, [][]byte{[]byte("k")})
+	if err != nil || string(res[0]) != "v" {
+		t.Errorf("get = %v, %v", res, err)
+	}
+	if _, err := kv.Apply(core.OpExists, [][]byte{[]byte("k")}); err != nil {
+		t.Errorf("exists = %v", err)
+	}
+	if _, err := kv.Apply(core.OpExists, [][]byte{[]byte("zz")}); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("exists missing = %v", err)
+	}
+	if _, err := kv.Apply(core.OpEnqueue, [][]byte{[]byte("x")}); !errors.Is(err, core.ErrWrongType) {
+		t.Errorf("queue op on kv = %v", err)
+	}
+}
+
+func TestKVSplitUpper(t *testing.T) {
+	kv := fullKV(core.MB)
+	upper, ok := kv.SplitUpper()
+	if !ok {
+		t.Fatal("split of 64 slots should succeed")
+	}
+	count := 0
+	for _, r := range upper {
+		count += r.Count()
+	}
+	if count != 32 {
+		t.Errorf("upper half = %d slots, want 32", count)
+	}
+	// A single-slot shard cannot split.
+	tiny := NewKV(core.MB, 64, []SlotRange{{Lo: 5, Hi: 5}})
+	if _, ok := tiny.SplitUpper(); ok {
+		t.Error("single-slot shard split should fail")
+	}
+}
+
+func TestKVExportImport(t *testing.T) {
+	donor := fullKV(core.MB)
+	const n = 500
+	for i := 0; i < n; i++ {
+		donor.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	upper, _ := donor.SplitUpper()
+	moved := donor.ExportSlots(upper)
+	if len(moved) == 0 || len(moved) == n {
+		t.Fatalf("moved %d of %d entries; expected a proper subset", len(moved), n)
+	}
+	recipient := NewKV(core.MB, 64, nil)
+	recipient.ImportEntries(upper, moved)
+
+	// Every key is now reachable from exactly one shard.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := fmt.Sprintf("val-%d", i)
+		dv, derr := donor.Get(key)
+		rv, rerr := recipient.Get(key)
+		switch {
+		case derr == nil && rerr != nil:
+			if string(dv) != want {
+				t.Errorf("%s from donor = %q", key, dv)
+			}
+		case derr != nil && rerr == nil:
+			if string(rv) != want {
+				t.Errorf("%s from recipient = %q", key, rv)
+			}
+		default:
+			t.Errorf("%s reachable from %v shards (donor err %v, recipient err %v)",
+				key, map[bool]int{true: 2, false: 0}[derr == nil && rerr == nil], derr, rerr)
+		}
+	}
+	// Donor disowned the moved slots.
+	for _, e := range moved {
+		if err := donor.Put(e.Key, []byte("x")); !errors.Is(err, core.ErrStaleEpoch) {
+			t.Errorf("donor accepted write to moved key %q: %v", e.Key, err)
+		}
+	}
+}
+
+// TestKVSplitPreservesData is the repartition-invariant property test:
+// after any sequence of splits, the union of shards contains exactly
+// the original pairs.
+func TestKVSplitPreservesData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := []*KV{fullKV(core.MB)}
+		want := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("key-%d", rng.Intn(1000))
+			v := fmt.Sprintf("val-%d", rng.Int())
+			// Route to owning shard.
+			for _, s := range shards {
+				if err := s.Put(k, []byte(v)); err == nil {
+					want[k] = v
+					break
+				} else if !errors.Is(err, core.ErrStaleEpoch) {
+					return false
+				}
+			}
+			// Occasionally split a random shard.
+			if i%50 == 49 {
+				donor := shards[rng.Intn(len(shards))]
+				if upper, ok := donor.SplitUpper(); ok {
+					entries := donor.ExportSlots(upper)
+					fresh := NewKV(core.MB, 64, nil)
+					fresh.ImportEntries(upper, entries)
+					shards = append(shards, fresh)
+				}
+			}
+		}
+		// Every expected pair is reachable from exactly one shard.
+		for k, v := range want {
+			found := 0
+			for _, s := range shards {
+				if got, err := s.Get(k); err == nil {
+					if string(got) != v {
+						return false
+					}
+					found++
+				}
+			}
+			if found != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVSnapshotRestore(t *testing.T) {
+	kv := NewKV(1000, 64, []SlotRange{{Lo: 0, Hi: 31}})
+	for i := 0; i < 20; i++ {
+		kv.Put(fmt.Sprintf("k%d", i), []byte("v")) // some will fail ownership
+	}
+	snap, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewKV(0, 0, nil)
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != kv.Len() || r.Capacity() != 1000 {
+		t.Errorf("restored len=%d cap=%d, want len=%d cap=1000", r.Len(), r.Capacity(), kv.Len())
+	}
+	owned := r.Owned()
+	if len(owned) != 1 || owned[0] != (SlotRange{Lo: 0, Hi: 31}) {
+		t.Errorf("restored owned = %v", owned)
+	}
+}
+
+// --- slot range algebra -------------------------------------------------------
+
+func TestSubtractRanges(t *testing.T) {
+	owned := []SlotRange{{Lo: 0, Hi: 63}}
+	out := subtractRanges(owned, []SlotRange{{Lo: 32, Hi: 63}})
+	if len(out) != 1 || out[0] != (SlotRange{Lo: 0, Hi: 31}) {
+		t.Errorf("subtract upper = %v", out)
+	}
+	out = subtractRanges(owned, []SlotRange{{Lo: 10, Hi: 20}})
+	if len(out) != 2 || out[0] != (SlotRange{Lo: 0, Hi: 9}) || out[1] != (SlotRange{Lo: 21, Hi: 63}) {
+		t.Errorf("subtract middle = %v", out)
+	}
+	out = subtractRanges(owned, []SlotRange{{Lo: 0, Hi: 63}})
+	if len(out) != 0 {
+		t.Errorf("subtract all = %v", out)
+	}
+}
+
+func TestAddRangesCoalesces(t *testing.T) {
+	out := addRanges([]SlotRange{{Lo: 0, Hi: 31}}, []SlotRange{{Lo: 32, Hi: 63}})
+	if len(out) != 1 || out[0] != (SlotRange{Lo: 0, Hi: 63}) {
+		t.Errorf("adjacent ranges not coalesced: %v", out)
+	}
+	out = addRanges([]SlotRange{{Lo: 0, Hi: 10}}, []SlotRange{{Lo: 20, Hi: 30}})
+	if len(out) != 2 {
+		t.Errorf("disjoint ranges merged: %v", out)
+	}
+}
+
+func TestRangeAlgebraProperty(t *testing.T) {
+	// Property: subtract-then-add restores coverage of every slot.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := rng.Intn(32)
+		hi := lo + rng.Intn(32)
+		owned := []SlotRange{{Lo: 0, Hi: 63}}
+		sub := []SlotRange{{Lo: lo, Hi: hi}}
+		reduced := subtractRanges(owned, sub)
+		restored := addRanges(reduced, sub)
+		for s := 0; s <= 63; s++ {
+			inReduced := false
+			for _, r := range reduced {
+				if r.Contains(s) {
+					inReduced = true
+				}
+			}
+			wantReduced := s < lo || s > hi
+			if inReduced != wantReduced {
+				return false
+			}
+			inRestored := false
+			for _, r := range restored {
+				if r.Contains(s) {
+					inRestored = true
+				}
+			}
+			if !inRestored {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotOfStableAndBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s1 := SlotOf(key, 64)
+		s2 := SlotOf(key, 64)
+		if s1 != s2 {
+			t.Fatalf("SlotOf unstable for %q", key)
+		}
+		if s1 < 0 || s1 >= 64 {
+			t.Fatalf("SlotOf(%q) = %d out of range", key, s1)
+		}
+	}
+}
+
+// --- partition map -----------------------------------------------------------
+
+func TestPartitionMapRouting(t *testing.T) {
+	m := &PartitionMap{
+		Type:     core.DSKV,
+		NumSlots: 64,
+		Blocks: []PartitionEntry{
+			{Info: core.BlockInfo{ID: 1, Server: "a"}, Slots: []SlotRange{{Lo: 0, Hi: 31}}},
+			{Info: core.BlockInfo{ID: 2, Server: "b"}, Slots: []SlotRange{{Lo: 32, Hi: 63}}},
+		},
+	}
+	e, ok := m.BlockForSlot(5)
+	if !ok || e.Info.ID != 1 {
+		t.Errorf("slot 5 → %v, %v", e, ok)
+	}
+	e, ok = m.BlockForSlot(40)
+	if !ok || e.Info.ID != 2 {
+		t.Errorf("slot 40 → %v, %v", e, ok)
+	}
+	if _, ok := m.BlockForSlot(64); ok {
+		t.Error("out-of-range slot routed")
+	}
+}
+
+func TestPartitionMapChunksAndQueueEnds(t *testing.T) {
+	m := &PartitionMap{
+		Type: core.DSQueue,
+		Blocks: []PartitionEntry{
+			{Info: core.BlockInfo{ID: 10, Server: "a"}, Chunk: 2},
+			{Info: core.BlockInfo{ID: 11, Server: "b"}, Chunk: 0},
+			{Info: core.BlockInfo{ID: 12, Server: "c"}, Chunk: 1},
+		},
+	}
+	head, ok := m.Head()
+	if !ok || head.Info.ID != 11 {
+		t.Errorf("head = %v", head)
+	}
+	tail, ok := m.Tail()
+	if !ok || tail.Info.ID != 10 {
+		t.Errorf("tail = %v", tail)
+	}
+	c, ok := m.BlockForChunk(1)
+	if !ok || c.Info.ID != 12 {
+		t.Errorf("chunk 1 = %v", c)
+	}
+	if _, ok := m.BlockForChunk(9); ok {
+		t.Error("missing chunk found")
+	}
+	empty := &PartitionMap{}
+	if _, ok := empty.Head(); ok {
+		t.Error("empty map has a head")
+	}
+}
+
+func TestNewPartition(t *testing.T) {
+	for _, typ := range []core.DSType{core.DSFile, core.DSQueue, core.DSKV} {
+		p, err := New(typ, 1024, 64)
+		if err != nil || p.Type() != typ {
+			t.Errorf("New(%v) = %v, %v", typ, p, err)
+		}
+	}
+	if _, err := New(core.DSNone, 1024, 64); err == nil {
+		t.Error("DSNone partition created")
+	}
+}

@@ -1,0 +1,221 @@
+package ds
+
+import (
+	"fmt"
+	"sync"
+
+	"jiffy/internal/core"
+)
+
+// File is the partition engine for one chunk of a Jiffy file (§5.1).
+// A Jiffy file is a sequence of blocks, each owning a fixed-size chunk
+// of the file's byte range; the controller maps chunk index → block and
+// the client routes by offset. Within a block, offsets are
+// chunk-relative. Files are append-oriented but support writes at
+// arbitrary in-capacity offsets (needed when concurrent map tasks write
+// disjoint regions of a shuffle file) and seek reads.
+type File struct {
+	mu   sync.RWMutex
+	data []byte
+	size int // high-water mark of written bytes
+	cap  int
+}
+
+// NewFile creates an empty file chunk of the given capacity.
+func NewFile(capacity int) *File {
+	return &File{cap: capacity}
+}
+
+// Type implements Partition.
+func (f *File) Type() core.DSType { return core.DSFile }
+
+// Capacity implements Partition.
+func (f *File) Capacity() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.cap
+}
+
+// Bytes implements Partition: the written high-water mark.
+func (f *File) Bytes() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.size
+}
+
+// Apply implements Partition.
+//
+//	OpFileWrite: args[0]=chunk-relative offset (u64), args[1]=data
+//	             → [bytesWritten u64]
+//	OpFileRead:  args[0]=offset (u64), args[1]=length (u64)
+//	             → [data] (short or empty at end of written region)
+func (f *File) Apply(op core.OpType, args [][]byte) ([][]byte, error) {
+	switch op {
+	case core.OpFileWrite:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("ds: file write wants 2 args, got %d", len(args))
+		}
+		off, err := ParseU64(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := f.WriteAt(int(off), args[1])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{U64(uint64(n))}, nil
+	case core.OpFileRead:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("ds: file read wants 2 args, got %d", len(args))
+		}
+		off, err := ParseU64(args[0])
+		if err != nil {
+			return nil, err
+		}
+		length, err := ParseU64(args[1])
+		if err != nil {
+			return nil, err
+		}
+		data, err := f.ReadAt(int(off), int(length))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{data}, nil
+	case core.OpFileAppend:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ds: file append wants 1 arg, got %d", len(args))
+		}
+		off, err := f.Append(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{U64(uint64(off))}, nil
+	case core.OpUsage:
+		return [][]byte{U64(uint64(f.Bytes()))}, nil
+	default:
+		return nil, fmt.Errorf("ds: file: %w (%v)", core.ErrWrongType, op)
+	}
+}
+
+// Append atomically writes data at the chunk's current high-water mark
+// and returns the chunk-relative offset it landed at. Appends that do
+// not fit entirely are rejected with ErrBlockFull (the record moves
+// whole to the next chunk), which is what lets many concurrent map
+// tasks interleave records in one shuffle file safely (§5.1).
+func (f *File) Append(data []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(data) > f.cap {
+		return 0, fmt.Errorf("ds: record of %d bytes exceeds chunk capacity %d: %w",
+			len(data), f.cap, core.ErrTooLarge)
+	}
+	off := f.size
+	if off+len(data) > f.cap {
+		return 0, fmt.Errorf("ds: append of %d bytes at %d exceeds chunk capacity %d: %w",
+			len(data), off, f.cap, core.ErrBlockFull)
+	}
+	f.grow(off + len(data))
+	copy(f.data[off:], data)
+	f.size = off + len(data)
+	return off, nil
+}
+
+// WriteAt stores data at the chunk-relative offset. A write that would
+// cross the chunk capacity is rejected with ErrBlockFull — clients
+// split writes at chunk boundaries, so this only fires on misuse.
+func (f *File) WriteAt(off int, data []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ds: negative offset %d", off)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off+len(data) > f.cap {
+		return 0, fmt.Errorf("ds: write [%d,%d) exceeds chunk capacity %d: %w",
+			off, off+len(data), f.cap, core.ErrBlockFull)
+	}
+	f.grow(off + len(data))
+	copy(f.data[off:], data)
+	if off+len(data) > f.size {
+		f.size = off + len(data)
+	}
+	return len(data), nil
+}
+
+// grow extends the backing buffer to at least need bytes, doubling
+// capacity (bounded by the chunk capacity) so sequences of small
+// appends stay amortized O(1). Caller holds the lock; need <= f.cap.
+func (f *File) grow(need int) {
+	if need <= len(f.data) {
+		return
+	}
+	if need <= cap(f.data) {
+		f.data = f.data[:need]
+		return
+	}
+	newCap := 2 * cap(f.data)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 4096 {
+		newCap = 4096
+	}
+	if newCap > f.cap {
+		newCap = f.cap
+	}
+	grown := make([]byte, need, newCap)
+	copy(grown, f.data)
+	f.data = grown
+}
+
+// ReadAt returns up to length bytes starting at the chunk-relative
+// offset, truncated at the written high-water mark. Reading at or past
+// the mark yields an empty slice (end of written data).
+func (f *File) ReadAt(off, length int) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("ds: negative offset/length")
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= f.size {
+		return nil, nil
+	}
+	end := off + length
+	if end > f.size {
+		end = f.size
+	}
+	out := make([]byte, end-off)
+	copy(out, f.data[off:end])
+	return out, nil
+}
+
+// fileSnapshot is the serialized form of a file chunk.
+type fileSnapshot struct {
+	Data []byte
+	Size int
+	Cap  int
+}
+
+// Snapshot implements Partition.
+func (f *File) Snapshot() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return gobEncode(fileSnapshot{
+		Data: f.data[:f.size],
+		Size: f.size,
+		Cap:  f.cap,
+	})
+}
+
+// Restore implements Partition.
+func (f *File) Restore(snapshot []byte) error {
+	var s fileSnapshot
+	if err := gobDecode(snapshot, &s); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.data = append([]byte(nil), s.Data...)
+	f.size = s.Size
+	f.cap = s.Cap
+	return nil
+}

@@ -1,0 +1,231 @@
+package mr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"jiffy"
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+)
+
+func testClient(t *testing.T) *client.Client {
+	t.Helper()
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	c, err := cluster.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func wordCountMap(split string, emit func(k, v string)) error {
+	for _, w := range strings.Fields(split) {
+		emit(strings.ToLower(strings.Trim(w, ".,!?")), "1")
+	}
+	return nil
+}
+
+func wordCountReduce(key string, values []string) (string, error) {
+	return strconv.Itoa(len(values)), nil
+}
+
+func TestWordCount(t *testing.T) {
+	c := testClient(t)
+	res, err := Run(context.Background(), c, Config{
+		JobID: "wc",
+		Inputs: []string{
+			"the quick brown fox",
+			"the lazy dog",
+			"the fox jumps over the dog",
+		},
+		Reducers: 3,
+		Map:      wordCountMap,
+		Reduce:   wordCountReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"the": "4", "fox": "2", "dog": "2", "quick": "1",
+		"brown": "1", "lazy": "1", "jumps": "1", "over": "1",
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v", res.Output)
+	}
+	for k, v := range want {
+		if res.Output[k] != v {
+			t.Errorf("count[%q] = %q, want %q", k, res.Output[k], v)
+		}
+	}
+	if res.MapTasks != 3 || res.ReduceTasks != 3 {
+		t.Errorf("tasks = %d/%d", res.MapTasks, res.ReduceTasks)
+	}
+	// The job deregistered: its blocks are back in the pool.
+	stats, _ := c.ControllerStats()
+	if stats.AllocatedBlocks != 0 {
+		t.Errorf("blocks leaked: %d", stats.AllocatedBlocks)
+	}
+}
+
+// TestLargeShuffle pushes enough intermediate data through the shuffle
+// files that they must grow across multiple chunks.
+func TestLargeShuffle(t *testing.T) {
+	c := testClient(t)
+	// 8 splits × 2000 words with padded values → several hundred KB of
+	// shuffle data against 64KB chunks.
+	inputs := make([]string, 8)
+	for i := range inputs {
+		var sb strings.Builder
+		for w := 0; w < 2000; w++ {
+			fmt.Fprintf(&sb, "word%03d ", w%100)
+		}
+		inputs[i] = sb.String()
+	}
+	pad := strings.Repeat("x", 30)
+	res, err := Run(context.Background(), c, Config{
+		JobID:    "bigshuffle",
+		Inputs:   inputs,
+		Reducers: 4,
+		Map: func(split string, emit func(k, v string)) error {
+			for _, w := range strings.Fields(split) {
+				emit(w, pad)
+			}
+			return nil
+		},
+		Reduce: wordCountReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 100 {
+		t.Fatalf("distinct keys = %d, want 100", len(res.Output))
+	}
+	for k, v := range res.Output {
+		if v != "160" { // 8 splits × 20 occurrences of each word
+			t.Errorf("count[%q] = %s, want 160", k, v)
+		}
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	c := testClient(t)
+	boom := errors.New("map exploded")
+	_, err := Run(context.Background(), c, Config{
+		JobID:    "failjob",
+		Inputs:   []string{"a"},
+		Reducers: 1,
+		Map: func(string, func(k, v string)) error {
+			return boom
+		},
+		Reduce:         wordCountReduce,
+		MaxTaskRetries: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Errorf("err = %v", err)
+	}
+	// Failed jobs still release their resources.
+	stats, _ := c.ControllerStats()
+	if stats.AllocatedBlocks != 0 {
+		t.Errorf("blocks leaked after failure: %d", stats.AllocatedBlocks)
+	}
+}
+
+func TestMapRetrySucceeds(t *testing.T) {
+	c := testClient(t)
+	attempts := 0
+	res, err := Run(context.Background(), c, Config{
+		JobID:    "flaky",
+		Inputs:   []string{"hello world"},
+		Reducers: 1,
+		Map: func(split string, emit func(k, v string)) error {
+			attempts++
+			if attempts == 1 {
+				return errors.New("transient")
+			}
+			return wordCountMap(split, emit)
+		},
+		Reduce:         wordCountReduce,
+		MaxTaskRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output["hello"] != "1" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	c := testClient(t)
+	cases := []Config{
+		{},
+		{JobID: "x", Reducers: 1, Map: wordCountMap, Reduce: wordCountReduce},           // no inputs
+		{JobID: "x", Inputs: []string{"a"}, Map: wordCountMap, Reduce: wordCountReduce}, // no reducers
+		{JobID: "x", Inputs: []string{"a"}, Reducers: 1, Reduce: wordCountReduce},       // no map
+		{JobID: "x", Inputs: []string{"a"}, Reducers: 1, Map: wordCountMap},             // no reduce
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), c, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRecordCodec(t *testing.T) {
+	pairs := []KeyValue{
+		{Key: "a", Value: "1"},
+		{Key: "longer-key", Value: strings.Repeat("v", 500)},
+		{Key: "empty-value", Value: ""},
+	}
+	var buf bytes.Buffer
+	for _, kv := range pairs {
+		buf.Write(encodeRecord(kv))
+	}
+	// Simulate the zero-filled chunk tail.
+	buf.Write(make([]byte, 64))
+	got, err := decodeRecords(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if got[i] != pairs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], pairs[i])
+		}
+	}
+}
+
+func TestRecordCodecCorrupt(t *testing.T) {
+	rec := encodeRecord(KeyValue{Key: "k", Value: "v"})
+	if _, err := decodeRecords(rec[:len(rec)-1]); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestPartitionStable(t *testing.T) {
+	for _, key := range []string{"a", "b", "word42"} {
+		p1 := partitionOf(key, 7)
+		p2 := partitionOf(key, 7)
+		if p1 != p2 || p1 < 0 || p1 >= 7 {
+			t.Errorf("partitionOf(%q) unstable or out of range: %d/%d", key, p1, p2)
+		}
+	}
+}

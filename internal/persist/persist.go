@@ -1,0 +1,277 @@
+// Package persist provides the persistent-storage tier that Jiffy
+// flushes intermediate data to on lease expiry, spills to when memory
+// capacity is exhausted, and loads from via loadAddrPrefix (§3.2,
+// §4.2.2). The paper uses S3; since this reproduction runs without AWS,
+// the package offers an in-memory object store, a local-directory
+// store, and a latency/bandwidth-model wrapper that makes any store
+// behave like a remote service (S3-like or SSD-like service times) —
+// preserving the performance asymmetry between far-memory and the
+// persistent tier that Figs. 9 and 10 depend on.
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+)
+
+// Store is the external persistent-object interface (S3-shaped).
+type Store interface {
+	// Put stores data under key, overwriting any previous object.
+	Put(key string, data []byte) error
+	// Get returns the object stored under key.
+	Get(key string) ([]byte, error)
+	// Delete removes the object; deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns the keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// MemStore is an in-memory Store; the default persistent tier for
+// tests and in-process experiments.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("persist: object %q: %w", key, core.ErrNotFound)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	keys := make([]string, 0)
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the number of stored objects.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Bytes returns the total stored payload size.
+func (s *MemStore) Bytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.objects {
+		n += len(v)
+	}
+	return n
+}
+
+// DirStore persists objects as files under a root directory; object
+// keys map to file paths with path separators escaped.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and wraps the directory at root.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create root: %w", err)
+	}
+	return &DirStore{root: root}, nil
+}
+
+// escape flattens an object key into one file name.
+func escape(key string) string {
+	r := strings.NewReplacer("%", "%25", "/", "%2F")
+	return r.Replace(key)
+}
+
+func unescape(name string) string {
+	r := strings.NewReplacer("%2F", "/", "%25", "%")
+	return r.Replace(name)
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, data []byte) error {
+	path := filepath.Join(s.root, escape(key))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, escape(key)))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: object %q: %w", key, core.ErrNotFound)
+	}
+	return data, err
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(key string) error {
+	err := os.Remove(filepath.Join(s.root, escape(key)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store.
+func (s *DirStore) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0)
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		k := unescape(e.Name())
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// LatencyModel describes the service time of a storage medium:
+// a fixed per-operation latency plus a size-proportional transfer time.
+type LatencyModel struct {
+	// PutLatency / GetLatency are the fixed per-op costs.
+	PutLatency, GetLatency time.Duration
+	// BandwidthBps is the transfer rate in bytes/second; zero means
+	// infinite (no size-dependent term).
+	BandwidthBps float64
+	// MaxObjectSize, if positive, rejects larger objects with
+	// ErrTooLarge (DynamoDB's 128KB item cap in Fig. 10).
+	MaxObjectSize int
+}
+
+// ServiceTime computes the modeled duration of an op on size bytes.
+func (m LatencyModel) ServiceTime(fixed time.Duration, size int) time.Duration {
+	d := fixed
+	if m.BandwidthBps > 0 {
+		d += time.Duration(float64(size) / m.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// Canonical media models used by the experiment harness. The constants
+// reflect the orders of magnitude in Fig. 10: in-memory stores are
+// sub-millisecond, SSD is ~10× slower, S3 is ~100× slower with
+// tens-of-ms base latency.
+var (
+	// S3Model approximates S3 object operations.
+	S3Model = LatencyModel{
+		PutLatency:   30 * time.Millisecond,
+		GetLatency:   15 * time.Millisecond,
+		BandwidthBps: 80 * core.MB,
+	}
+	// SSDModel approximates a local NVMe/SSD tier (Pocket's spill tier).
+	SSDModel = LatencyModel{
+		PutLatency:   400 * time.Microsecond,
+		GetLatency:   250 * time.Microsecond,
+		BandwidthBps: 500 * core.MB,
+	}
+	// DRAMModel approximates remote-DRAM access over the datacenter
+	// network (the far-memory medium itself).
+	DRAMModel = LatencyModel{
+		PutLatency:   150 * time.Microsecond,
+		GetLatency:   120 * time.Microsecond,
+		BandwidthBps: 1.2 * core.GB,
+	}
+)
+
+// ModeledStore wraps a Store, sleeping (on the supplied clock) for the
+// modeled service time of each operation.
+type ModeledStore struct {
+	inner Store
+	model LatencyModel
+	clk   clock.Clock
+}
+
+// NewModeledStore wraps inner with the latency model, using clk for
+// sleeps (a virtual clock makes modeled delays free in simulations).
+func NewModeledStore(inner Store, model LatencyModel, clk clock.Clock) *ModeledStore {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &ModeledStore{inner: inner, model: model, clk: clk}
+}
+
+// Put implements Store with modeled latency.
+func (s *ModeledStore) Put(key string, data []byte) error {
+	if s.model.MaxObjectSize > 0 && len(data) > s.model.MaxObjectSize {
+		return fmt.Errorf("persist: %d bytes exceeds %d: %w",
+			len(data), s.model.MaxObjectSize, core.ErrTooLarge)
+	}
+	s.clk.Sleep(s.model.ServiceTime(s.model.PutLatency, len(data)))
+	return s.inner.Put(key, data)
+}
+
+// Get implements Store with modeled latency.
+func (s *ModeledStore) Get(key string) ([]byte, error) {
+	data, err := s.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	s.clk.Sleep(s.model.ServiceTime(s.model.GetLatency, len(data)))
+	return data, nil
+}
+
+// Delete implements Store with the fixed put-side latency.
+func (s *ModeledStore) Delete(key string) error {
+	s.clk.Sleep(s.model.PutLatency)
+	return s.inner.Delete(key)
+}
+
+// List implements Store with the fixed get-side latency.
+func (s *ModeledStore) List(prefix string) ([]string, error) {
+	s.clk.Sleep(s.model.GetLatency)
+	return s.inner.List(prefix)
+}

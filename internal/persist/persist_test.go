@@ -1,0 +1,183 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+)
+
+// storeSuite runs the Store contract against any implementation.
+func storeSuite(t *testing.T, s Store) {
+	t.Helper()
+	// Missing key.
+	if _, err := s.Get("nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+	// Put / Get round trip.
+	if err := s.Put("a/b/1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a/b/2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a/c/3", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b/1")
+	if err != nil || string(got) != "one" {
+		t.Errorf("Get = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := s.Put("a/b/1", []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("a/b/1")
+	if string(got) != "uno" {
+		t.Errorf("after overwrite = %q", got)
+	}
+	// List by prefix, sorted.
+	keys, err := s.List("a/b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/b/1" || keys[1] != "a/b/2" {
+		t.Errorf("List = %v", keys)
+	}
+	all, _ := s.List("")
+	if len(all) != 3 {
+		t.Errorf("List all = %v", all)
+	}
+	// Delete (idempotent).
+	if err := s.Delete("a/b/1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/b/1"); err != nil {
+		t.Errorf("double delete = %v", err)
+	}
+	if _, err := s.Get("a/b/1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get deleted = %v", err)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) { storeSuite(t, NewMemStore()) }
+
+func TestDirStoreContract(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeSuite(t, s)
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("mutable")
+	s.Put("k", data)
+	data[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "mutable" {
+		t.Error("store aliases caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get("k")
+	if string(again) != "mutable" {
+		t.Error("store returns aliased buffer")
+	}
+}
+
+func TestMemStoreStats(t *testing.T) {
+	s := NewMemStore()
+	s.Put("a", []byte("12345"))
+	s.Put("b", []byte("123"))
+	if s.Len() != 2 || s.Bytes() != 8 {
+		t.Errorf("len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestDirStoreKeyEscaping(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "job1/T4/T6/block%7"
+	if err := s.Put(key, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || string(got) != "data" {
+		t.Errorf("Get = %q, %v", got, err)
+	}
+	keys, _ := s.List("job1/")
+	if len(keys) != 1 || keys[0] != key {
+		t.Errorf("List = %v", keys)
+	}
+}
+
+func TestLatencyModelServiceTime(t *testing.T) {
+	m := LatencyModel{PutLatency: 10 * time.Millisecond, BandwidthBps: 1000}
+	// 500 bytes at 1000 B/s = 500ms transfer.
+	got := m.ServiceTime(m.PutLatency, 500)
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Errorf("ServiceTime = %v, want %v", got, want)
+	}
+	// Zero bandwidth = fixed only.
+	m2 := LatencyModel{GetLatency: time.Millisecond}
+	if m2.ServiceTime(m2.GetLatency, 1<<30) != time.Millisecond {
+		t.Error("zero bandwidth should ignore size")
+	}
+}
+
+func TestModeledStoreVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	inner := NewMemStore()
+	s := NewModeledStore(inner, LatencyModel{
+		PutLatency: time.Second, GetLatency: time.Second,
+	}, vc)
+
+	done := make(chan error, 1)
+	go func() { done <- s.Put("k", []byte("v")) }()
+	// The put is blocked on the virtual clock until we advance it.
+	select {
+	case <-done:
+		t.Fatal("put returned before clock advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	vc.Advance(2 * time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inner.Get("k"); err != nil {
+		t.Errorf("object not stored: %v", err)
+	}
+}
+
+func TestModeledStoreMaxObjectSize(t *testing.T) {
+	s := NewModeledStore(NewMemStore(), LatencyModel{MaxObjectSize: 10}, clock.Real{})
+	if err := s.Put("big", make([]byte, 11)); !errors.Is(err, core.ErrTooLarge) {
+		t.Errorf("oversized put = %v, want ErrTooLarge", err)
+	}
+	if err := s.Put("ok", make([]byte, 10)); err != nil {
+		t.Errorf("at-limit put = %v", err)
+	}
+}
+
+func TestModeledStorePassThrough(t *testing.T) {
+	inner := NewMemStore()
+	s := NewModeledStore(inner, LatencyModel{}, clock.Real{})
+	storeSuite(t, s)
+}
+
+func TestCanonicalModelsOrdering(t *testing.T) {
+	// The figures depend on DRAM < SSD < S3 service times.
+	size := 1 * core.MB
+	dram := DRAMModel.ServiceTime(DRAMModel.GetLatency, size)
+	ssd := SSDModel.ServiceTime(SSDModel.GetLatency, size)
+	s3 := S3Model.ServiceTime(S3Model.GetLatency, size)
+	if !(dram < ssd && ssd < s3) {
+		t.Errorf("media ordering violated: dram=%v ssd=%v s3=%v", dram, ssd, s3)
+	}
+}

@@ -1,0 +1,244 @@
+// Package piccolo implements the Piccolo programming model on Jiffy
+// (§5.3 of the paper): kernel functions express sequential application
+// logic and share distributed mutable state through key-value tables;
+// a centralized control function creates tables, launches kernel
+// instances across tasks (goroutines standing in for serverless
+// functions), coordinates iterations with barriers, and resolves
+// concurrent updates to the same key with user-defined accumulators.
+// Tables checkpoint by flushing their address prefixes to the
+// persistent store, exactly as Piccolo checkpoints its tables.
+package piccolo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+)
+
+// Accumulator merges a new contribution into a key's current value
+// (Piccolo's user-defined accumulation). current is nil when the key
+// is absent.
+type Accumulator func(current, update []byte) []byte
+
+// Sum is the classic summing accumulator over decimal-encoded floats.
+// See AccumFloat64 helpers to build others.
+
+// Table is a shared mutable KV table.
+type Table struct {
+	name string
+	path core.Path
+	kv   *client.KV
+	acc  Accumulator
+
+	// accMu serializes read-modify-write accumulations per key within
+	// this process; kernels partition keys across instances, so
+	// cross-process conflicts do not occur by construction (Piccolo's
+	// ownership discipline), and in-process conflicts are resolved
+	// here.
+	accMu sync.Mutex
+}
+
+// Get reads a key (ErrNotFound if absent).
+func (t *Table) Get(key string) ([]byte, error) { return t.kv.Get(key) }
+
+// Put overwrites a key.
+func (t *Table) Put(key string, value []byte) error { return t.kv.Put(key, value) }
+
+// Contains reports key presence.
+func (t *Table) Contains(key string) (bool, error) { return t.kv.Exists(key) }
+
+// Accumulate merges update into the key's value using the table's
+// accumulator.
+func (t *Table) Accumulate(key string, update []byte) error {
+	if t.acc == nil {
+		return fmt.Errorf("piccolo: table %q has no accumulator", t.name)
+	}
+	t.accMu.Lock()
+	defer t.accMu.Unlock()
+	current, err := t.kv.Get(key)
+	if err != nil && !errors.Is(err, core.ErrNotFound) {
+		return err
+	}
+	if errors.Is(err, core.ErrNotFound) {
+		current = nil
+	}
+	return t.kv.Put(key, t.acc(current, update))
+}
+
+// Kernel is one kernel-function instance. Instances are numbered
+// [0, Instances); applications partition their key space by instance.
+type Kernel func(ctx context.Context, k *KernelCtx) error
+
+// KernelCtx gives a kernel access to its tables and identity.
+type KernelCtx struct {
+	// Instance is this kernel's index; Instances the total count.
+	Instance, Instances int
+	// Iteration is the current control-loop iteration.
+	Iteration int
+	tables    map[string]*Table
+}
+
+// Table resolves a table by name.
+func (k *KernelCtx) Table(name string) (*Table, error) {
+	t, ok := k.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("piccolo: unknown table %q: %w", name, core.ErrNotFound)
+	}
+	return t, nil
+}
+
+// TableSpec declares a shared table.
+type TableSpec struct {
+	Name string
+	// InitialBlocks pre-provisions the table.
+	InitialBlocks int
+	// Accumulator resolves concurrent updates (may be nil for
+	// put/get-only tables).
+	Accumulator Accumulator
+}
+
+// Config describes a Piccolo program.
+type Config struct {
+	JobID  core.JobID
+	Tables []TableSpec
+	// Kernel is the per-instance computation; it runs Instances times
+	// per iteration.
+	Kernel    Kernel
+	Instances int
+	// Iterations is the number of barrier-separated rounds (default 1).
+	Iterations int
+	// LeaseRenewInterval paces the master's renewals.
+	LeaseRenewInterval time.Duration
+}
+
+// Runtime is a running Piccolo program's control handle.
+type Runtime struct {
+	c      *client.Client
+	cfg    Config
+	tables map[string]*Table
+	root   core.Path
+}
+
+// New sets up the job: registers it, creates one KV prefix per table.
+func New(c *client.Client, cfg Config) (*Runtime, error) {
+	if cfg.JobID == "" || cfg.Kernel == nil || cfg.Instances <= 0 || len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("piccolo: incomplete config")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.LeaseRenewInterval <= 0 {
+		cfg.LeaseRenewInterval = 250 * time.Millisecond
+	}
+	if err := c.RegisterJob(cfg.JobID); err != nil {
+		return nil, fmt.Errorf("piccolo: register: %w", err)
+	}
+	rt := &Runtime{
+		c:      c,
+		cfg:    cfg,
+		tables: make(map[string]*Table),
+		root:   core.Path(string(cfg.JobID)),
+	}
+	for _, spec := range cfg.Tables {
+		path := rt.root.MustChild("table-" + spec.Name)
+		if _, _, err := c.CreatePrefix(path, nil, core.DSKV, spec.InitialBlocks, 0); err != nil {
+			c.DeregisterJob(cfg.JobID)
+			return nil, fmt.Errorf("piccolo: create table %q: %w", spec.Name, err)
+		}
+		kv, err := c.OpenKV(path)
+		if err != nil {
+			c.DeregisterJob(cfg.JobID)
+			return nil, err
+		}
+		rt.tables[spec.Name] = &Table{
+			name: spec.Name, path: path, kv: kv, acc: spec.Accumulator,
+		}
+	}
+	return rt, nil
+}
+
+// Run executes the configured iterations: each iteration launches
+// Instances kernel tasks and barriers on their completion, with the
+// master renewing leases throughout (the paper: "The master
+// periodically renews leases for Jiffy KV-stores").
+func (rt *Runtime) Run(ctx context.Context) error {
+	renewer := rt.c.StartRenewer(rt.cfg.LeaseRenewInterval, rt.root)
+	defer renewer.Stop()
+	for iter := 0; iter < rt.cfg.Iterations; iter++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for inst := 0; inst < rt.cfg.Instances; inst++ {
+			wg.Add(1)
+			go func(inst int) {
+				defer wg.Done()
+				kctx := &KernelCtx{
+					Instance:  inst,
+					Instances: rt.cfg.Instances,
+					Iteration: iter,
+					tables:    rt.tables,
+				}
+				if err := rt.cfg.Kernel(ctx, kctx); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("piccolo: kernel %d iter %d: %w", inst, iter, err)
+					}
+					mu.Unlock()
+				}
+			}(inst)
+		}
+		wg.Wait() // barrier between iterations
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+// Table resolves a table from the control function.
+func (rt *Runtime) Table(name string) (*Table, error) {
+	t, ok := rt.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("piccolo: unknown table %q: %w", name, core.ErrNotFound)
+	}
+	return t, nil
+}
+
+// Checkpoint flushes a table to the external store (Piccolo
+// checkpointing via flushAddrPrefix).
+func (rt *Runtime) Checkpoint(table, externalPath string) error {
+	t, err := rt.Table(table)
+	if err != nil {
+		return err
+	}
+	_, err = rt.c.FlushPrefix(t.path, externalPath)
+	return err
+}
+
+// Restore loads a table back from a checkpoint.
+func (rt *Runtime) Restore(table, externalPath string) error {
+	t, err := rt.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := rt.c.LoadPrefix(t.path, externalPath); err != nil {
+		return err
+	}
+	// Reopen the handle so it picks up the new partition map epoch.
+	kv, err := rt.c.OpenKV(t.path)
+	if err != nil {
+		return err
+	}
+	t.kv = kv
+	return nil
+}
+
+// Close releases the job's resources.
+func (rt *Runtime) Close() error {
+	return rt.c.DeregisterJob(rt.cfg.JobID)
+}

@@ -1,0 +1,244 @@
+package piccolo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"jiffy"
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+)
+
+func testClient(t *testing.T) *client.Client {
+	t.Helper()
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	c, err := cluster.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// sumAcc accumulates decimal integers.
+func sumAcc(current, update []byte) []byte {
+	cur := 0
+	if current != nil {
+		cur, _ = strconv.Atoi(string(current))
+	}
+	u, _ := strconv.Atoi(string(update))
+	return []byte(strconv.Itoa(cur + u))
+}
+
+func TestSharedStateAcrossKernels(t *testing.T) {
+	c := testClient(t)
+	rt, err := New(c, Config{
+		JobID:     "pic1",
+		Tables:    []TableSpec{{Name: "state", Accumulator: sumAcc}},
+		Instances: 4,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			tb, err := k.Table("state")
+			if err != nil {
+				return err
+			}
+			// Each instance owns its own key (Piccolo key partitioning)
+			// and contributes to a shared counter via the accumulator.
+			if err := tb.Put(fmt.Sprintf("own-%d", k.Instance), []byte("mine")); err != nil {
+				return err
+			}
+			return tb.Accumulate("shared-counter", []byte("1"))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := rt.Table("state")
+	v, err := tb.Get("shared-counter")
+	if err != nil || string(v) != "4" {
+		t.Errorf("shared counter = %q, %v", v, err)
+	}
+	for i := 0; i < 4; i++ {
+		if v, err := tb.Get(fmt.Sprintf("own-%d", i)); err != nil || string(v) != "mine" {
+			t.Errorf("own-%d = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestIterationsWithBarrier(t *testing.T) {
+	c := testClient(t)
+	rt, err := New(c, Config{
+		JobID:      "pic-iter",
+		Tables:     []TableSpec{{Name: "t", Accumulator: sumAcc}},
+		Instances:  3,
+		Iterations: 5,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			tb, _ := k.Table("t")
+			// The barrier guarantee: at iteration i, all i×Instances
+			// prior-round contributions are visible. Same-round
+			// siblings may already have added up to Instances-1 more
+			// (and this instance not yet), bounding the observation.
+			if k.Instance == 0 && k.Iteration > 0 {
+				v, err := tb.Get("rounds")
+				if err != nil {
+					return err
+				}
+				got, _ := strconv.Atoi(string(v))
+				lo := k.Iteration * k.Instances
+				hi := lo + k.Instances - 1
+				if got < lo || got > hi {
+					return fmt.Errorf("iteration %d sees %d contributions, want [%d,%d]",
+						k.Iteration, got, lo, hi)
+				}
+			}
+			return tb.Accumulate("rounds", []byte("1"))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := rt.Table("t")
+	v, _ := tb.Get("rounds")
+	if string(v) != "15" {
+		t.Errorf("total = %q, want 15", v)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	c := testClient(t)
+	rt, err := New(c, Config{
+		JobID:     "pic-ckpt",
+		Tables:    []TableSpec{{Name: "t", Accumulator: sumAcc}},
+		Instances: 1,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			tb, _ := k.Table("t")
+			return tb.Put("k", []byte("checkpointed"))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Checkpoint("t", "ckpt/pic"); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := rt.Table("t")
+	tb.Put("k", []byte("dirty"))
+	if err := rt.Restore("t", "ckpt/pic"); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ = rt.Table("t")
+	v, err := tb.Get("k")
+	if err != nil || string(v) != "checkpointed" {
+		t.Errorf("restored = %q, %v", v, err)
+	}
+}
+
+func TestKernelErrorStopsRun(t *testing.T) {
+	c := testClient(t)
+	boom := errors.New("kernel panic-ish")
+	iterations := 0
+	rt, err := New(c, Config{
+		JobID:      "pic-fail",
+		Tables:     []TableSpec{{Name: "t"}},
+		Instances:  2,
+		Iterations: 5,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			if k.Instance == 0 {
+				iterations = k.Iteration + 1
+			}
+			if k.Iteration == 1 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	err = rt.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if iterations != 2 {
+		t.Errorf("ran %d iterations before stopping, want 2", iterations)
+	}
+}
+
+func TestAccumulateWithoutAccumulator(t *testing.T) {
+	c := testClient(t)
+	rt, err := New(c, Config{
+		JobID:     "pic-noacc",
+		Tables:    []TableSpec{{Name: "t"}},
+		Instances: 1,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			tb, _ := k.Table("t")
+			return tb.Accumulate("k", []byte("x"))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(context.Background()); err == nil {
+		t.Error("accumulate on table without accumulator should fail")
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	c := testClient(t)
+	rt, err := New(c, Config{
+		JobID:     "pic-unknown",
+		Tables:    []TableSpec{{Name: "t"}},
+		Instances: 1,
+		Kernel: func(ctx context.Context, k *KernelCtx) error {
+			_, err := k.Table("nope")
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(context.Background()); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	c := testClient(t)
+	bad := []Config{
+		{},
+		{JobID: "x", Instances: 1, Kernel: func(context.Context, *KernelCtx) error { return nil }},
+		{JobID: "x", Tables: []TableSpec{{Name: "t"}}, Kernel: func(context.Context, *KernelCtx) error { return nil }},
+		{JobID: "x", Tables: []TableSpec{{Name: "t"}}, Instances: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(c, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package proto defines the control-plane RPC surface shared by the
+// controller, memory servers and clients: method identifiers and the
+// gob-encoded request/response messages. Data-plane operations use the
+// compact binary codec in internal/ds instead and are identified by
+// MethodDataOp.
+package proto
+
+import (
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+)
+
+// Controller methods.
+const (
+	// MethodRegisterJob registers a job and creates its hierarchy root.
+	MethodRegisterJob uint16 = 0x0001
+	// MethodDeregisterJob removes a job, releasing all its resources.
+	MethodDeregisterJob uint16 = 0x0002
+	// MethodCreatePrefix adds an address prefix (createAddrPrefix).
+	MethodCreatePrefix uint16 = 0x0003
+	// MethodCreateHierarchy builds the full hierarchy from a DAG
+	// (createHierarchy).
+	MethodCreateHierarchy uint16 = 0x0004
+	// MethodRemovePrefix explicitly reclaims a prefix and its blocks.
+	MethodRemovePrefix uint16 = 0x0005
+	// MethodRenewLease renews leases for one or more prefixes.
+	MethodRenewLease uint16 = 0x0006
+	// MethodLeaseInfo queries a prefix's lease state (getLeaseDuration).
+	MethodLeaseInfo uint16 = 0x0007
+	// MethodOpen fetches a data structure's partition map and lease
+	// duration (initDataStructure / handle acquisition).
+	MethodOpen uint16 = 0x0008
+	// MethodFlushPrefix persists a prefix's data to the external store.
+	MethodFlushPrefix uint16 = 0x0009
+	// MethodLoadPrefix loads a prefix's data back from the external
+	// store.
+	MethodLoadPrefix uint16 = 0x000a
+	// MethodRegisterServer announces a memory server and its capacity.
+	MethodRegisterServer uint16 = 0x000b
+	// MethodScaleUp is the overload signal (Fig. 8 step 1); also used
+	// by clients that hit ErrBlockFull before the proactive signal
+	// lands.
+	MethodScaleUp uint16 = 0x000c
+	// MethodScaleDown is the underload signal; the controller merges
+	// and reclaims the block.
+	MethodScaleDown uint16 = 0x000d
+	// MethodControllerStats reports controller-wide statistics.
+	MethodControllerStats uint16 = 0x000e
+	// MethodListPrefixes lists the address hierarchy of a job.
+	MethodListPrefixes uint16 = 0x000f
+	// MethodSaveState checkpoints controller metadata to the
+	// persistent store (primary-backup building block).
+	MethodSaveState uint16 = 0x0010
+)
+
+// Memory-server methods.
+const (
+	// MethodDataOp executes a data-plane op (binary codec, not gob).
+	MethodDataOp uint16 = 0x0101
+	// MethodCreateBlock installs a partition in a block.
+	MethodCreateBlock uint16 = 0x0102
+	// MethodDeleteBlock frees a block's partition.
+	MethodDeleteBlock uint16 = 0x0103
+	// MethodSetNext links a queue segment to its successor and seals it.
+	MethodSetNext uint16 = 0x0104
+	// MethodMoveSlots makes the server export KV slots from a donor
+	// block and push them to the target block (possibly remote).
+	MethodMoveSlots uint16 = 0x0105
+	// MethodImportEntries receives KV entries during a move
+	// (server-to-server).
+	MethodImportEntries uint16 = 0x0106
+	// MethodFlushBlock snapshots a block into the persistent store.
+	MethodFlushBlock uint16 = 0x0107
+	// MethodLoadBlock restores a block from the persistent store.
+	MethodLoadBlock uint16 = 0x0108
+	// MethodSubscribe registers for notifications on a set of blocks.
+	MethodSubscribe uint16 = 0x0109
+	// MethodUnsubscribe removes a subscription.
+	MethodUnsubscribe uint16 = 0x010a
+	// MethodServerStats reports server statistics.
+	MethodServerStats uint16 = 0x010b
+	// MethodSetOwnedSlots overwrites a KV block's owned slot ranges
+	// (merge commits).
+	MethodSetOwnedSlots uint16 = 0x010c
+	// MethodReplicate applies a replicated mutation at a chain
+	// successor.
+	MethodReplicate uint16 = 0x010d
+	// MethodSnapshotBlock returns a block's serialized partition state
+	// (chain resynchronization after slot moves).
+	MethodSnapshotBlock uint16 = 0x010e
+	// MethodRestoreBlock replaces a block's partition state from a
+	// snapshot.
+	MethodRestoreBlock uint16 = 0x010f
+)
+
+// --- controller messages ----------------------------------------------------
+
+// RegisterJobReq registers jobID; Prefix optionally names a pre-known
+// execution DAG (see CreateHierarchyReq for the structure).
+type RegisterJobReq struct {
+	Job core.JobID
+}
+
+// RegisterJobResp acknowledges registration.
+type RegisterJobResp struct{}
+
+// DeregisterJobReq removes the job and all its prefixes.
+type DeregisterJobReq struct {
+	Job core.JobID
+}
+
+// DeregisterJobResp acknowledges removal.
+type DeregisterJobResp struct{}
+
+// CreatePrefixReq creates one address prefix (createAddrPrefix §4.1).
+type CreatePrefixReq struct {
+	// Path is the new prefix (its first component is the job).
+	Path core.Path
+	// Parents are additional parent prefixes beyond the path parent
+	// (the DAG edges; e.g. T5 depends on both T1 and T2).
+	Parents []core.Path
+	// Type attaches a data structure; DSNone creates a bare interior
+	// node.
+	Type core.DSType
+	// InitialBlocks pre-allocates capacity (optionalArgs in the paper).
+	InitialBlocks int
+	// MaxBlocks bounds the structure's size in blocks; the controller
+	// refuses to scale beyond it and writers see ErrBlockFull — the
+	// generalization of the paper's maxQueueLength bound (§5.2). Zero
+	// means unbounded.
+	MaxBlocks int
+	// LeaseDuration overrides the system default when positive.
+	LeaseDuration time.Duration
+}
+
+// CreatePrefixResp returns the initial partition map.
+type CreatePrefixResp struct {
+	Map           ds.PartitionMap
+	LeaseDuration time.Duration
+}
+
+// DagNode is one task in an execution DAG.
+type DagNode struct {
+	Name    string
+	Parents []string
+	// Type and InitialBlocks configure the node's data structure.
+	Type          core.DSType
+	InitialBlocks int
+	// MaxBlocks bounds the structure (0 = unbounded).
+	MaxBlocks int
+}
+
+// CreateHierarchyReq builds a job's whole hierarchy from its execution
+// plan (createHierarchy §4.1).
+type CreateHierarchyReq struct {
+	Job   core.JobID
+	Nodes []DagNode
+	// LeaseDuration applies to every node when positive.
+	LeaseDuration time.Duration
+}
+
+// CreateHierarchyResp acknowledges hierarchy creation.
+type CreateHierarchyResp struct{}
+
+// RemovePrefixReq explicitly reclaims a prefix.
+type RemovePrefixReq struct {
+	Path core.Path
+}
+
+// RemovePrefixResp acknowledges removal.
+type RemovePrefixResp struct{}
+
+// RenewLeaseReq renews leases for the given prefixes; renewal
+// propagates to ancestors and descendants (§3.2).
+type RenewLeaseReq struct {
+	Paths []core.Path
+}
+
+// RenewLeaseResp reports how many hierarchy nodes were touched.
+type RenewLeaseResp struct {
+	Renewed int
+}
+
+// LeaseInfoReq queries lease state.
+type LeaseInfoReq struct {
+	Path core.Path
+}
+
+// LeaseInfoResp carries the prefix's lease configuration and state.
+type LeaseInfoResp struct {
+	Duration    time.Duration
+	LastRenewed time.Time
+}
+
+// OpenReq fetches the current partition map for a prefix.
+type OpenReq struct {
+	Path core.Path
+}
+
+// OpenResp returns the map and the prefix's lease duration.
+type OpenResp struct {
+	Map           ds.PartitionMap
+	LeaseDuration time.Duration
+}
+
+// FlushPrefixReq persists the prefix's blocks under ExternalPath.
+type FlushPrefixReq struct {
+	Path         core.Path
+	ExternalPath string
+}
+
+// FlushPrefixResp reports the number of blocks flushed.
+type FlushPrefixResp struct {
+	Blocks int
+}
+
+// LoadPrefixReq restores the prefix's blocks from ExternalPath.
+type LoadPrefixReq struct {
+	Path         core.Path
+	ExternalPath string
+}
+
+// LoadPrefixResp returns the refreshed partition map.
+type LoadPrefixResp struct {
+	Map ds.PartitionMap
+}
+
+// SaveStateReq checkpoints the controller's metadata under Key.
+type SaveStateReq struct {
+	Key string
+}
+
+// SaveStateResp acknowledges the checkpoint.
+type SaveStateResp struct{}
+
+// RegisterServerReq announces a memory server contributing NumBlocks
+// blocks of the system block size.
+type RegisterServerReq struct {
+	Addr      string
+	NumBlocks int
+}
+
+// RegisterServerResp returns the ID range assigned to the new blocks:
+// [FirstID, FirstID+NumBlocks).
+type RegisterServerResp struct {
+	FirstID core.BlockID
+}
+
+// ScaleUpReq signals that a block crossed the high usage threshold
+// (server-initiated, Fig. 8) or rejected a write with ErrBlockFull
+// (client-initiated fallback).
+type ScaleUpReq struct {
+	Path  core.Path
+	Block core.BlockID
+}
+
+// ScaleUpResp returns the refreshed partition map (epoch advanced if
+// the controller scaled the structure; unchanged if the signal was
+// stale).
+type ScaleUpResp struct {
+	Map ds.PartitionMap
+}
+
+// ScaleDownReq signals that a block dropped below the low usage
+// threshold and is a merge/reclaim candidate.
+type ScaleDownReq struct {
+	Path  core.Path
+	Block core.BlockID
+}
+
+// ScaleDownResp returns the refreshed partition map.
+type ScaleDownResp struct {
+	Map ds.PartitionMap
+}
+
+// ControllerStatsReq requests controller statistics.
+type ControllerStatsReq struct{}
+
+// ControllerStatsResp reports allocator and hierarchy statistics.
+type ControllerStatsResp struct {
+	TotalBlocks     int
+	FreeBlocks      int
+	AllocatedBlocks int
+	Jobs            int
+	Prefixes        int
+	Servers         int
+	// MetadataBytes approximates controller metadata footprint (the
+	// §6.4 storage-overhead measurement).
+	MetadataBytes int
+}
+
+// ListPrefixesReq lists a job's address hierarchy.
+type ListPrefixesReq struct {
+	Job core.JobID
+}
+
+// PrefixInfo describes one hierarchy node.
+type PrefixInfo struct {
+	Path        core.Path
+	Type        core.DSType
+	Blocks      int
+	UsedBytes   int
+	LastRenewed time.Time
+}
+
+// ListPrefixesResp returns the hierarchy nodes in depth-first order.
+type ListPrefixesResp struct {
+	Prefixes []PrefixInfo
+}
+
+// --- memory-server messages ---------------------------------------------------
+
+// CreateBlockReq installs a partition in block ID.
+type CreateBlockReq struct {
+	Block    core.BlockID
+	Path     core.Path
+	Type     core.DSType
+	Capacity int
+	NumSlots int
+	// Slots are the initially owned KV slot ranges.
+	Slots []ds.SlotRange
+	// Chunk is the file chunk index / queue segment sequence number.
+	Chunk int
+	// Chain is the replication chain this block belongs to; empty or
+	// single-entry means unreplicated.
+	Chain core.ReplicaChain
+}
+
+// CreateBlockResp acknowledges creation.
+type CreateBlockResp struct{}
+
+// DeleteBlockReq frees the block.
+type DeleteBlockReq struct {
+	Block core.BlockID
+}
+
+// DeleteBlockResp acknowledges deletion.
+type DeleteBlockResp struct{}
+
+// SetNextReq links a queue segment to its successor and seals it.
+type SetNextReq struct {
+	Block core.BlockID
+	Next  core.BlockInfo
+}
+
+// SetNextResp acknowledges the link.
+type SetNextResp struct{}
+
+// MoveSlotsReq asks the donor server to move the given slot ranges
+// from Block to Target (Fig. 8 step 4).
+type MoveSlotsReq struct {
+	Block  core.BlockID
+	Ranges []ds.SlotRange
+	Target core.BlockInfo
+}
+
+// MoveSlotsResp reports how many pairs moved.
+type MoveSlotsResp struct {
+	Moved int
+}
+
+// ImportEntriesReq delivers moved KV pairs to the recipient block.
+type ImportEntriesReq struct {
+	Block   core.BlockID
+	Ranges  []ds.SlotRange
+	Entries []ds.KVEntry
+}
+
+// ImportEntriesResp acknowledges the import.
+type ImportEntriesResp struct{}
+
+// SetOwnedSlotsReq overwrites the owned ranges of a KV block.
+type SetOwnedSlotsReq struct {
+	Block  core.BlockID
+	Ranges []ds.SlotRange
+}
+
+// SetOwnedSlotsResp acknowledges the update.
+type SetOwnedSlotsResp struct{}
+
+// FlushBlockReq snapshots the block into the persistent store under
+// Key. The block's data remains in memory (deletion is separate).
+type FlushBlockReq struct {
+	Block core.BlockID
+	Key   string
+}
+
+// FlushBlockResp reports the snapshot size.
+type FlushBlockResp struct {
+	Bytes int
+}
+
+// LoadBlockReq restores the block's partition from the persistent
+// store.
+type LoadBlockReq struct {
+	Block core.BlockID
+	Key   string
+}
+
+// LoadBlockResp acknowledges the restore.
+type LoadBlockResp struct{}
+
+// SubscribeReq registers the calling connection for notifications on
+// the given blocks and op types (ds.subscribe §4.1).
+type SubscribeReq struct {
+	Blocks []core.BlockID
+	Ops    []core.OpType
+}
+
+// SubscribeResp returns the subscription ID carried by push frames.
+type SubscribeResp struct {
+	SubID uint64
+}
+
+// UnsubscribeReq removes a subscription.
+type UnsubscribeReq struct {
+	SubID uint64
+}
+
+// UnsubscribeResp acknowledges removal.
+type UnsubscribeResp struct{}
+
+// Notification is the push payload delivered to subscribers.
+type Notification struct {
+	Block core.BlockID
+	Op    core.OpType
+	// Data is the op's first argument (enqueued item, written key, ...).
+	Data []byte
+}
+
+// ServerStatsReq requests server statistics.
+type ServerStatsReq struct{}
+
+// ServerStatsResp reports data-plane statistics.
+type ServerStatsResp struct {
+	Blocks    int
+	UsedBytes int
+	Capacity  int
+	Ops       int64
+}
+
+// SnapshotBlockReq fetches a block's serialized partition state.
+type SnapshotBlockReq struct {
+	Block core.BlockID
+}
+
+// SnapshotBlockResp carries the snapshot.
+type SnapshotBlockResp struct {
+	Snapshot []byte
+}
+
+// RestoreBlockReq replaces a block's partition state.
+type RestoreBlockReq struct {
+	Block    core.BlockID
+	Snapshot []byte
+}
+
+// RestoreBlockResp acknowledges the restore.
+type RestoreBlockResp struct{}
+
+// ReplicateReq applies a mutation at a replication-chain successor and
+// forwards it down the chain.
+type ReplicateReq struct {
+	Block core.BlockID
+	Op    core.OpType
+	Args  [][]byte
+	// Chain is the block's full replication chain.
+	Chain core.ReplicaChain
+	// Seq orders the chain's mutation stream; replicas apply strictly
+	// in sequence order.
+	Seq uint64
+}
+
+// ReplicateResp acknowledges chain application.
+type ReplicateResp struct{}

@@ -1,0 +1,81 @@
+package rpc
+
+import (
+	"sync"
+
+	"jiffy/internal/core"
+)
+
+// Pool caches one Client per remote address. Both the controller (which
+// calls into every memory server) and the client library (which talks
+// to the controller plus the servers hosting its blocks) use it.
+type Pool struct {
+	mu     sync.Mutex
+	conns  map[string]*Client
+	dial   func(addr string) (*Client, error)
+	closed bool
+}
+
+// NewPool creates a pool using dial (defaults to Dial).
+func NewPool(dial func(addr string) (*Client, error)) *Pool {
+	if dial == nil {
+		dial = Dial
+	}
+	return &Pool{conns: make(map[string]*Client), dial: dial}
+}
+
+// Get returns the cached client for addr, dialing on first use.
+func (p *Pool) Get(addr string) (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, core.ErrClosed
+	}
+	if c, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	// Dial outside the lock; racing dials are resolved below.
+	c, err := p.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return nil, core.ErrClosed
+	}
+	if existing, ok := p.conns[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+// Drop removes and closes the cached client for addr (after a
+// connection-level failure, so the next Get re-dials).
+func (p *Pool) Drop(addr string) {
+	p.mu.Lock()
+	c, ok := p.conns[addr]
+	delete(p.conns, addr)
+	p.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+// Close closes every cached connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = map[string]*Client{}
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

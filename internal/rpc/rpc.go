@@ -1,0 +1,209 @@
+// Package rpc provides the request/response layer on top of the framed
+// wire protocol: multiplexed in-flight calls with sequence matching on
+// the client, per-connection dispatch with bounded concurrency on the
+// server, and server-push frames for the notification interface.
+//
+// This mirrors the role of the paper's optimized Thrift layer (§4.2.2):
+// asynchronous framed IO multiplexing many sessions so requests across
+// sessions proceed non-blockingly.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"jiffy/internal/core"
+	"jiffy/internal/wire"
+)
+
+// Marshal gob-encodes a control-plane message.
+func Marshal(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes into v.
+func Unmarshal(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Client is one logical connection to an RPC server. It is safe for
+// concurrent use: calls from many goroutines are multiplexed over the
+// single connection and matched to responses by sequence number.
+type Client struct {
+	conn *wire.Conn
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *wire.Frame
+	closed  bool
+
+	// onPush, if set, receives push frames (subscription notifications).
+	onPush func(subID uint64, payload []byte)
+
+	readerDone chan struct{}
+}
+
+// DialFunc customizes how clients reach servers; the default uses
+// wire.Dial (TCP or mem://).
+type DialFunc func(addr string) (*Client, error)
+
+// Dial connects to an RPC server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(wire.NewConn(nc)), nil
+}
+
+// NewClient builds a client over an established framed connection and
+// starts its read pump.
+func NewClient(conn *wire.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]chan *wire.Frame),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// OnPush installs the handler invoked (from the read pump goroutine)
+// for every push frame. Must be set before the first subscription is
+// created.
+func (c *Client) OnPush(fn func(subID uint64, payload []byte)) {
+	c.mu.Lock()
+	c.onPush = fn
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		f, err := c.conn.ReadFrame()
+		if err != nil {
+			c.failAll()
+			return
+		}
+		switch f.Kind {
+		case wire.KindResponse:
+			c.mu.Lock()
+			ch, ok := c.pending[f.Seq]
+			if ok {
+				delete(c.pending, f.Seq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		case wire.KindPush:
+			c.mu.Lock()
+			fn := c.onPush
+			c.mu.Unlock()
+			if fn != nil {
+				fn(f.Seq, f.Payload)
+			}
+		}
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		close(ch)
+	}
+}
+
+// Call performs a synchronous RPC: sends payload for method and waits
+// for the matching response. The returned payload is the server's
+// response body; a non-OK wire code becomes the corresponding sentinel
+// error from internal/core.
+func (c *Client) Call(method uint16, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), method, payload)
+}
+
+// CallContext is Call with cancellation. A canceled context abandons
+// the response (the pending entry is removed; a late response frame is
+// dropped by the read pump).
+func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, core.ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan *wire.Frame, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	err := c.conn.WriteFrame(&wire.Frame{
+		Kind:    wire.KindRequest,
+		Seq:     seq,
+		Method:  method,
+		Payload: payload,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return nil, core.ErrClosed
+		}
+		if f.Code != core.CodeOK {
+			return f.Payload, core.ErrOf(f.Code, string(f.Payload))
+		}
+		return f.Payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// CallGob marshals req, performs the call and unmarshals into resp
+// (which may be nil when no body is expected).
+func (c *Client) CallGob(method uint16, req, resp interface{}) error {
+	var payload []byte
+	var err error
+	if req != nil {
+		payload, err = Marshal(req)
+		if err != nil {
+			return err
+		}
+	}
+	out, err := c.Call(method, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return Unmarshal(out, resp)
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}

@@ -1,0 +1,196 @@
+package rpc
+
+import (
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+
+	"jiffy/internal/core"
+	"jiffy/internal/wire"
+)
+
+// Handler processes one request. conn identifies the client connection
+// (used by the notification machinery to push frames back); method is
+// the method identifier; payload the request body. The returned bytes
+// become the response body; a returned error maps onto a wire error
+// code (sentinels from internal/core travel losslessly).
+type Handler func(conn *ServerConn, method uint16, payload []byte) ([]byte, error)
+
+// Server accepts framed connections and dispatches requests to a
+// Handler. Each connection gets a read pump; each request runs in its
+// own goroutine so slow handlers don't head-of-line-block a session —
+// matching the paper's asynchronous framed IO design.
+type Server struct {
+	handler Handler
+	lis     net.Listener
+	log     *slog.Logger
+
+	mu     sync.Mutex
+	conns  map[*ServerConn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	// OnDisconnect, if set, runs after a client connection is torn
+	// down; the subscription registry uses it to drop dead listeners.
+	OnDisconnect func(*ServerConn)
+}
+
+// NewServer creates a server around handler. Call Serve to start.
+func NewServer(handler Handler, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		handler: handler,
+		log:     logger,
+		conns:   make(map[*ServerConn]struct{}),
+	}
+}
+
+// Listen binds addr (TCP or mem://) and starts serving in background
+// goroutines. It returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := wire.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(lis)
+	}()
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		sc := &ServerConn{conn: wire.NewConn(nc), srv: s}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.readLoop()
+			s.dropConn(sc)
+		}()
+	}
+}
+
+func (s *Server) dropConn(sc *ServerConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	sc.conn.Close()
+	if s.OnDisconnect != nil {
+		s.OnDisconnect(sc)
+	}
+}
+
+// Close stops accepting, closes all live connections and waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]*ServerConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ServerConn represents one client connection on the server side.
+// Handlers may retain it to push notifications later; Push fails once
+// the peer disconnects.
+type ServerConn struct {
+	conn *wire.Conn
+	srv  *Server
+
+	reqWG sync.WaitGroup
+}
+
+// Push sends an unsolicited notification frame tagged with subID.
+func (sc *ServerConn) Push(subID uint64, payload []byte) error {
+	return sc.conn.WriteFrame(&wire.Frame{
+		Kind:    wire.KindPush,
+		Seq:     subID,
+		Payload: payload,
+	})
+}
+
+// RemoteAddr exposes the peer address.
+func (sc *ServerConn) RemoteAddr() net.Addr { return sc.conn.RemoteAddr() }
+
+func (sc *ServerConn) readLoop() {
+	for {
+		f, err := sc.conn.ReadFrame()
+		if err != nil {
+			sc.reqWG.Wait()
+			return
+		}
+		if f.Kind != wire.KindRequest {
+			continue // ignore stray frames
+		}
+		sc.reqWG.Add(1)
+		go func(f *wire.Frame) {
+			defer sc.reqWG.Done()
+			sc.dispatch(f)
+		}(f)
+	}
+}
+
+func (sc *ServerConn) dispatch(f *wire.Frame) {
+	resp, err := sc.callHandler(f)
+	out := &wire.Frame{Kind: wire.KindResponse, Seq: f.Seq}
+	if err != nil {
+		out.Code = core.CodeOf(err)
+		if out.Code == core.CodeOther {
+			out.Payload = []byte(err.Error())
+		} else {
+			// Sentinel errors may carry a redirect/diagnostic payload.
+			out.Payload = resp
+		}
+	} else {
+		out.Payload = resp
+	}
+	if werr := sc.conn.WriteFrame(out); werr != nil && !errors.Is(werr, net.ErrClosed) {
+		sc.srv.log.Debug("rpc: response write failed", "err", werr)
+	}
+}
+
+func (sc *ServerConn) callHandler(f *wire.Frame) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.srv.log.Error("rpc: handler panic", "method", f.Method, "panic", r)
+			err = core.ErrClosed
+		}
+	}()
+	return sc.srv.handler(sc, f.Method, f.Payload)
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"fmt"
+
+	"jiffy/internal/blockstore"
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// handle is the memory server's RPC dispatch.
+func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+	switch method {
+	case proto.MethodDataOp:
+		return s.handleDataOp(payload)
+
+	case proto.MethodCreateBlock:
+		var req proto.CreateBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.createBlock(req); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.CreateBlockResp{})
+
+	case proto.MethodDeleteBlock:
+		var req proto.DeleteBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.store.Delete(req.Block); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.DeleteBlockResp{})
+
+	case proto.MethodSetNext:
+		var req proto.SetNextReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		// Sealing is a sequenced mutation: on replicated queues it
+		// flows down the chain in order with the enqueues it follows.
+		if _, err := s.applyMutation(req.Block, core.OpQueueSetNext,
+			[][]byte{ds.RedirectPayload(req.Next)}); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.SetNextResp{})
+
+	case proto.MethodMoveSlots:
+		var req proto.MoveSlotsReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		moved, err := s.moveSlots(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.MoveSlotsResp{Moved: moved})
+
+	case proto.MethodImportEntries:
+		var req proto.ImportEntriesReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.importEntries(req); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.ImportEntriesResp{})
+
+	case proto.MethodSetOwnedSlots:
+		var req proto.SetOwnedSlotsReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		kv, ok := b.Partition.(*ds.KV)
+		if !ok {
+			return nil, fmt.Errorf("server: block %v is not a kv shard: %w",
+				req.Block, core.ErrWrongType)
+		}
+		kv.SetOwned(req.Ranges)
+		return rpc.Marshal(proto.SetOwnedSlotsResp{})
+
+	case proto.MethodFlushBlock:
+		var req proto.FlushBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := b.Partition.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.persist.Put(req.Key, snap); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.FlushBlockResp{Bytes: len(snap)})
+
+	case proto.MethodLoadBlock:
+		var req proto.LoadBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := s.persist.Get(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Partition.Restore(snap); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.LoadBlockResp{})
+
+	case proto.MethodSubscribe:
+		var req proto.SubscribeReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		id := s.subs.add(conn, req.Blocks, req.Ops)
+		return rpc.Marshal(proto.SubscribeResp{SubID: id})
+
+	case proto.MethodUnsubscribe:
+		var req proto.UnsubscribeReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.subs.remove(req.SubID)
+		return rpc.Marshal(proto.UnsubscribeResp{})
+
+	case proto.MethodServerStats:
+		blocks, used, _ := s.store.Stats()
+		return rpc.Marshal(proto.ServerStatsResp{
+			Blocks:    blocks,
+			UsedBytes: used,
+			Capacity:  blocks * s.cfg.BlockSize,
+			Ops:       s.ops.Load(),
+		})
+
+	case proto.MethodSnapshotBlock:
+		var req proto.SnapshotBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := b.Partition.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.SnapshotBlockResp{Snapshot: snap})
+
+	case proto.MethodRestoreBlock:
+		var req proto.RestoreBlockReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Partition.Restore(req.Snapshot); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.RestoreBlockResp{})
+
+	case proto.MethodReplicate:
+		var req proto.ReplicateReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.applyReplicated(req); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.ReplicateResp{})
+
+	default:
+		return nil, fmt.Errorf("server: unknown method %#x: %w", method, core.ErrNotFound)
+	}
+}
+
+// handleDataOp executes one data-plane operation: apply locally,
+// propagate down the replication chain for mutations, then notify
+// subscribers.
+func (s *Server) handleDataOp(payload []byte) ([]byte, error) {
+	op, blockID, args, err := ds.DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.ops.Add(1)
+
+	var res [][]byte
+	if op.IsMutation() {
+		res, err = s.applyMutation(blockID, op, args)
+	} else {
+		res, err = s.store.Apply(blockID, op, args)
+	}
+	if err != nil {
+		// Redirect errors carry the successor block in their payload.
+		if p := ds.RedirectPayloadOf(err); p != nil {
+			return p, core.ErrRedirect
+		}
+		return nil, err
+	}
+	var notifyData []byte
+	if len(args) > 0 {
+		notifyData = args[0]
+	}
+	s.notify(blockID, op, notifyData)
+	return ds.EncodeVals(res), nil
+}
+
+// applyMutation applies a mutating op, sequencing and propagating it
+// down the replication chain when the block is a replicated head.
+func (s *Server) applyMutation(blockID core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
+	b, gerr := s.store.Get(blockID)
+	if gerr != nil {
+		return nil, gerr
+	}
+	if len(b.Chain) > 1 && b.Chain.Head().ID == blockID {
+		// Replicated mutation at the chain head: apply under the
+		// block's sequence lock so the propagation stream's order
+		// matches local order, then forward synchronously.
+		res, seq, err := b.NextReplSeq(func() ([][]byte, error) {
+			return s.store.Apply(blockID, op, args)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rerr := s.propagate(b, seq, op, args); rerr != nil {
+			return nil, rerr
+		}
+		return res, nil
+	}
+	return s.store.Apply(blockID, op, args)
+}
+
+// createBlock installs a partition per the controller's instruction.
+func (s *Server) createBlock(req proto.CreateBlockReq) error {
+	var part ds.Partition
+	switch req.Type {
+	case core.DSFile:
+		part = ds.NewFile(req.Capacity)
+	case core.DSQueue:
+		part = ds.NewQueue(req.Capacity)
+	case core.DSKV:
+		part = ds.NewKV(req.Capacity, req.NumSlots, req.Slots)
+	default:
+		p, err := ds.NewCustom(req.Type, req.Capacity, req.NumSlots)
+		if err != nil {
+			return fmt.Errorf("server: create block of type %v: %w", req.Type, core.ErrWrongType)
+		}
+		part = p
+	}
+	return s.store.Create(&blockstore.Block{
+		ID:        req.Block,
+		Path:      req.Path,
+		Partition: part,
+		Chunk:     req.Chunk,
+		Chain:     req.Chain,
+	})
+}
+
+// moveSlots is the donor side of KV repartitioning (Fig. 8 step 4):
+// export the pairs in the moving ranges and deliver them to the target
+// block — possibly on another server, possibly on this one.
+func (s *Server) moveSlots(req proto.MoveSlotsReq) (int, error) {
+	b, err := s.store.Get(req.Block)
+	if err != nil {
+		return 0, err
+	}
+	kv, ok := b.Partition.(*ds.KV)
+	if !ok {
+		return 0, fmt.Errorf("server: block %v is not a kv shard: %w",
+			req.Block, core.ErrWrongType)
+	}
+	entries := kv.ExportSlots(req.Ranges)
+	imp := proto.ImportEntriesReq{Block: req.Target.ID, Ranges: req.Ranges, Entries: entries}
+	if req.Target.Server == s.addr {
+		if err := s.importEntries(imp); err != nil {
+			return 0, err
+		}
+	} else {
+		peer, err := s.peers.Get(req.Target.Server)
+		if err != nil {
+			return 0, err
+		}
+		var resp proto.ImportEntriesResp
+		if err := peer.CallGob(proto.MethodImportEntries, imp, &resp); err != nil {
+			return 0, err
+		}
+	}
+	return len(entries), nil
+}
+
+// importEntries is the recipient side of a slot move.
+func (s *Server) importEntries(req proto.ImportEntriesReq) error {
+	b, err := s.store.Get(req.Block)
+	if err != nil {
+		return err
+	}
+	kv, ok := b.Partition.(*ds.KV)
+	if !ok {
+		return fmt.Errorf("server: block %v is not a kv shard: %w",
+			req.Block, core.ErrWrongType)
+	}
+	kv.ImportEntries(req.Ranges, req.Entries)
+	return nil
+}

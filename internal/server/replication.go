@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+
+	"jiffy/internal/blockstore"
+	"jiffy/internal/core"
+	"jiffy/internal/proto"
+)
+
+// Chain replication (§4.2.2): Jiffy supports chain replication at
+// block granularity for applications that need intermediate-data fault
+// tolerance. Writes enter at the chain head; the head applies each
+// mutation under a per-block sequence lock (so the propagation
+// stream's sequence order equals its local apply order) and forwards
+// it synchronously to its successor, which applies mutations strictly
+// in sequence order and forwards onwards. By the time the head
+// acknowledges a write, every replica holds it. Reads are served at
+// the tail — the classic chain-replication consistency argument: the
+// tail only ever holds fully propagated writes. The controller
+// provisions chains, spreads members across servers, and resynchronizes
+// replicas by snapshot after KV slot moves (which bypass this path).
+
+// propagate forwards a sequenced mutation from the chain head to its
+// first successor.
+func (s *Server) propagate(b *blockstore.Block, seq uint64, op core.OpType, args [][]byte) error {
+	pos := chainPos(b.Chain, b.ID)
+	if pos < 0 || pos+1 >= len(b.Chain) {
+		return nil // sole replica or tail: nothing to forward
+	}
+	return s.forward(b.Chain[pos+1], seq, op, args, b.Chain)
+}
+
+// applyReplicated applies a forwarded mutation in sequence order and
+// continues the chain.
+func (s *Server) applyReplicated(req proto.ReplicateReq) error {
+	b, err := s.store.Get(req.Block)
+	if err != nil {
+		return err
+	}
+	if _, err := b.ApplyInOrder(req.Seq, func() ([][]byte, error) {
+		return s.store.Apply(req.Block, req.Op, req.Args)
+	}); err != nil {
+		return fmt.Errorf("server: replica apply: %w", err)
+	}
+	pos := chainPos(req.Chain, req.Block)
+	if pos < 0 || pos+1 >= len(req.Chain) {
+		return nil
+	}
+	return s.forward(req.Chain[pos+1], req.Seq, req.Op, req.Args, req.Chain)
+}
+
+// forward ships a mutation to the next chain hop.
+func (s *Server) forward(next core.BlockInfo, seq uint64, op core.OpType, args [][]byte,
+	chain core.ReplicaChain) error {
+	peer, err := s.peers.Get(next.Server)
+	if err != nil {
+		return fmt.Errorf("server: chain hop %v unreachable: %w", next, err)
+	}
+	var resp proto.ReplicateResp
+	return peer.CallGob(proto.MethodReplicate, proto.ReplicateReq{
+		Block: next.ID,
+		Op:    op,
+		Args:  args,
+		Chain: chain,
+		Seq:   seq,
+	}, &resp)
+}
+
+// chainPos locates id inside chain (-1 when absent).
+func chainPos(chain core.ReplicaChain, id core.BlockID) int {
+	for i, b := range chain {
+		if b.ID == id {
+			return i
+		}
+	}
+	return -1
+}

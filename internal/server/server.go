@@ -1,0 +1,191 @@
+// Package server implements the Jiffy memory server (data plane,
+// §4.2.2): it hosts fixed-size blocks in a blockstore, serves
+// data-structure operations over the framed RPC protocol, pushes
+// notifications to subscribers, signals the controller when blocks
+// cross the repartitioning thresholds, executes controller-shipped
+// repartitioning (slot moves), participates in chain replication, and
+// flushes/loads blocks to/from the persistent tier.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"jiffy/internal/blockstore"
+	"jiffy/internal/core"
+	"jiffy/internal/persist"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// Options configures a memory server.
+type Options struct {
+	// Config supplies block size and thresholds.
+	Config core.Config
+	// ControllerAddr is where overload/underload signals go. Empty
+	// disables signaling (unit tests drive scaling manually).
+	ControllerAddr string
+	// NumBlocks is the capacity contribution announced at registration.
+	NumBlocks int
+	// Persist is the store used for block flush/load (defaults to an
+	// in-memory store; production points at the shared external tier).
+	Persist persist.Store
+	// Logger receives operational logs.
+	Logger *slog.Logger
+	// Dial customizes outbound connections (controller, peer servers).
+	Dial func(addr string) (*rpc.Client, error)
+}
+
+// Server is one memory server.
+type Server struct {
+	cfg     core.Config
+	log     *slog.Logger
+	persist persist.Store
+
+	store  *blockstore.Store
+	rpcSrv *rpc.Server
+	peers  *rpc.Pool
+
+	addr           string
+	controllerAddr string
+
+	signals chan signal
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	subs subRegistry
+
+	ops atomic.Int64
+}
+
+type signal struct {
+	path  core.Path
+	block core.BlockID
+	over  bool
+}
+
+// New creates a memory server; call Listen then Register.
+func New(opts Options) (*Server, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Persist == nil {
+		opts.Persist = persist.NewMemStore()
+	}
+	s := &Server{
+		cfg:            opts.Config,
+		log:            opts.Logger,
+		persist:        opts.Persist,
+		peers:          rpc.NewPool(opts.Dial),
+		controllerAddr: opts.ControllerAddr,
+		signals:        make(chan signal, 1024),
+		stop:           make(chan struct{}),
+	}
+	s.store = blockstore.NewStore(opts.Config.HighThreshold, opts.Config.LowThreshold, s.onSignal)
+	s.subs.init()
+	s.rpcSrv = rpc.NewServer(s.handle, opts.Logger)
+	s.rpcSrv.OnDisconnect = func(conn *rpc.ServerConn) { s.subs.dropConn(conn) }
+	s.wg.Add(1)
+	go s.signalWorker()
+	return s, nil
+}
+
+// Listen binds the data-plane endpoint and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	bound, err := s.rpcSrv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = bound
+	return bound, nil
+}
+
+// Addr returns the bound data-plane address.
+func (s *Server) Addr() string { return s.addr }
+
+// Register announces this server's capacity to the controller.
+func (s *Server) Register(numBlocks int) error {
+	if s.controllerAddr == "" {
+		return fmt.Errorf("server: no controller address configured")
+	}
+	ctrl, err := s.peers.Get(s.controllerAddr)
+	if err != nil {
+		return err
+	}
+	var resp proto.RegisterServerResp
+	return ctrl.CallGob(proto.MethodRegisterServer,
+		proto.RegisterServerReq{Addr: s.addr, NumBlocks: numBlocks}, &resp)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+	s.rpcSrv.Close()
+	s.peers.Close()
+	return nil
+}
+
+// onSignal enqueues a threshold crossing for the signal worker; a full
+// queue drops the signal (it will re-fire after ResetSignal or on the
+// client-triggered fallback path).
+func (s *Server) onSignal(path core.Path, block core.BlockID, over bool) {
+	select {
+	case s.signals <- signal{path: path, block: block, over: over}:
+	default:
+		s.log.Debug("server: signal queue full; dropping", "block", block)
+	}
+}
+
+// signalWorker forwards threshold crossings to the controller (Fig. 8
+// step 1) asynchronously, so data-path operations never wait on the
+// control plane.
+func (s *Server) signalWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case sig := <-s.signals:
+			s.deliverSignal(sig)
+		}
+	}
+}
+
+func (s *Server) deliverSignal(sig signal) {
+	if s.controllerAddr == "" {
+		return
+	}
+	ctrl, err := s.peers.Get(s.controllerAddr)
+	if err != nil {
+		s.log.Warn("server: cannot reach controller for signal", "err", err)
+		return
+	}
+	if sig.over {
+		var resp proto.ScaleUpResp
+		err = ctrl.CallGob(proto.MethodScaleUp,
+			proto.ScaleUpReq{Path: sig.path, Block: sig.block}, &resp)
+	} else {
+		var resp proto.ScaleDownResp
+		err = ctrl.CallGob(proto.MethodScaleDown,
+			proto.ScaleDownReq{Path: sig.path, Block: sig.block}, &resp)
+	}
+	if err != nil {
+		s.log.Debug("server: scale signal failed", "block", sig.block, "err", err)
+	}
+	// Re-arm threshold detection for the block (it may have been
+	// deleted by a scale-down; ResetSignal tolerates that).
+	s.store.ResetSignal(sig.block)
+}
+
+// Store exposes the blockstore for tests and the experiment harness.
+func (s *Server) Store() *blockstore.Store { return s.store }

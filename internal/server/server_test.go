@@ -1,0 +1,317 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/persist"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+	"jiffy/internal/server"
+)
+
+var srvSeq int
+
+// newServer boots one standalone memory server (no controller) plus a
+// client connection to it.
+func newServer(t *testing.T) (*server.Server, *rpc.Client, *persist.MemStore) {
+	t.Helper()
+	srvSeq++
+	store := persist.NewMemStore()
+	cfg := core.TestConfig()
+	s, err := server.New(server.Options{Config: cfg, Persist: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen(fmt.Sprintf("mem://standalone-srv-%d", srvSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return s, c, store
+}
+
+func createBlock(t *testing.T, c *rpc.Client, id core.BlockID, typ core.DSType,
+	slots []ds.SlotRange, chunk int, chain core.ReplicaChain) {
+	t.Helper()
+	var resp proto.CreateBlockResp
+	err := c.CallGob(proto.MethodCreateBlock, proto.CreateBlockReq{
+		Block: id, Path: "j/t", Type: typ,
+		Capacity: 64 * core.KB, NumSlots: 64, Slots: slots, Chunk: chunk, Chain: chain,
+	}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dataOp(c *rpc.Client, id core.BlockID, op core.OpType, args ...[]byte) ([][]byte, error) {
+	payload, err := c.Call(proto.MethodDataOp, ds.EncodeRequest(op, id, args))
+	if err != nil {
+		return nil, err
+	}
+	return ds.DecodeVals(payload)
+}
+
+func TestDataOpLifecycle(t *testing.T) {
+	_, c, _ := newServer(t)
+	createBlock(t, c, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, nil)
+	if _, err := dataOp(c, 1, core.OpPut, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dataOp(c, 1, core.OpGet, []byte("k"))
+	if err != nil || string(res[0]) != "v" {
+		t.Errorf("get = %v, %v", res, err)
+	}
+	// Delete the block; further ops report stale metadata.
+	var dresp proto.DeleteBlockResp
+	if err := c.CallGob(proto.MethodDeleteBlock, proto.DeleteBlockReq{Block: 1}, &dresp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataOp(c, 1, core.OpGet, []byte("k")); !errors.Is(err, core.ErrStaleEpoch) {
+		t.Errorf("op on deleted block = %v", err)
+	}
+}
+
+func TestQueueRedirectOverRPC(t *testing.T) {
+	_, c, _ := newServer(t)
+	createBlock(t, c, 1, core.DSQueue, nil, 0, nil)
+	createBlock(t, c, 2, core.DSQueue, nil, 1, nil)
+	var resp proto.SetNextResp
+	err := c.CallGob(proto.MethodSetNext, proto.SetNextReq{
+		Block: 1, Next: core.BlockInfo{ID: 2, Server: "elsewhere"},
+	}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sealed segment redirects enqueues, carrying the successor.
+	payload, err := c.Call(proto.MethodDataOp, ds.EncodeRequest(core.OpEnqueue, 1, [][]byte{[]byte("x")}))
+	if !errors.Is(err, core.ErrRedirect) {
+		t.Fatalf("err = %v", err)
+	}
+	next, perr := ds.ParseRedirect(payload)
+	if perr != nil || next.ID != 2 || next.Server != "elsewhere" {
+		t.Errorf("redirect = %+v, %v", next, perr)
+	}
+}
+
+func TestMoveSlotsLocal(t *testing.T) {
+	s, c, _ := newServer(t)
+	createBlock(t, c, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, nil)
+	createBlock(t, c, 2, core.DSKV, nil, 0, nil)
+	// Populate through the RPC path.
+	for i := 0; i < 50; i++ {
+		if _, err := dataOp(c, 1, core.OpPut, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mresp proto.MoveSlotsResp
+	err := c.CallGob(proto.MethodMoveSlots, proto.MoveSlotsReq{
+		Block:  1,
+		Ranges: []ds.SlotRange{{Lo: 32, Hi: 63}},
+		Target: core.BlockInfo{ID: 2, Server: s.Addr()},
+	}, &mresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Moved == 0 {
+		t.Fatal("nothing moved")
+	}
+	// Every key is now reachable from exactly one block.
+	found := 0
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		_, err1 := dataOp(c, 1, core.OpGet, key)
+		_, err2 := dataOp(c, 2, core.OpGet, key)
+		if (err1 == nil) == (err2 == nil) {
+			t.Errorf("key %s reachable from both or neither: %v / %v", key, err1, err2)
+		}
+		if err1 == nil || err2 == nil {
+			found++
+		}
+	}
+	if found != 50 {
+		t.Errorf("found %d of 50 keys", found)
+	}
+}
+
+func TestMoveSlotsRemote(t *testing.T) {
+	_, c1, _ := newServer(t)
+	s2, c2, _ := newServer(t)
+	createBlock(t, c1, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, nil)
+	createBlock(t, c2, 2, core.DSKV, nil, 0, nil)
+	for i := 0; i < 30; i++ {
+		if _, err := dataOp(c1, 1, core.OpPut, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mresp proto.MoveSlotsResp
+	err := c1.CallGob(proto.MethodMoveSlots, proto.MoveSlotsReq{
+		Block:  1,
+		Ranges: []ds.SlotRange{{Lo: 0, Hi: 63}},
+		Target: core.BlockInfo{ID: 2, Server: s2.Addr()},
+	}, &mresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Moved != 30 {
+		t.Errorf("moved = %d, want 30", mresp.Moved)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := dataOp(c2, 2, core.OpGet, []byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Errorf("k%d missing on target: %v", i, err)
+		}
+	}
+}
+
+func TestFlushLoadBlock(t *testing.T) {
+	_, c, store := newServer(t)
+	createBlock(t, c, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, nil)
+	dataOp(c, 1, core.OpPut, []byte("persist-me"), []byte("v1"))
+	var fresp proto.FlushBlockResp
+	if err := c.CallGob(proto.MethodFlushBlock, proto.FlushBlockReq{Block: 1, Key: "snap/1"}, &fresp); err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Bytes == 0 {
+		t.Error("empty snapshot")
+	}
+	if _, err := store.Get("snap/1"); err != nil {
+		t.Errorf("snapshot not in store: %v", err)
+	}
+	// Clobber and restore.
+	dataOp(c, 1, core.OpPut, []byte("persist-me"), []byte("dirty"))
+	var lresp proto.LoadBlockResp
+	if err := c.CallGob(proto.MethodLoadBlock, proto.LoadBlockReq{Block: 1, Key: "snap/1"}, &lresp); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dataOp(c, 1, core.OpGet, []byte("persist-me"))
+	if err != nil || string(res[0]) != "v1" {
+		t.Errorf("restored = %v, %v", res, err)
+	}
+}
+
+func TestChainReplication(t *testing.T) {
+	s1, c1, _ := newServer(t)
+	s2, c2, _ := newServer(t)
+	s3, c3, _ := newServer(t)
+	chain := core.ReplicaChain{
+		{ID: 1, Server: s1.Addr()},
+		{ID: 2, Server: s2.Addr()},
+		{ID: 3, Server: s3.Addr()},
+	}
+	createBlock(t, c1, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, chain)
+	createBlock(t, c2, 2, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, chain)
+	createBlock(t, c3, 3, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, chain)
+
+	// Write at the head; the mutation propagates down the chain before
+	// the head acknowledges.
+	if _, err := dataOp(c1, 1, core.OpPut, []byte("replicated"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Read at the tail (chain-replication reads) and the middle.
+	res, err := dataOp(c3, 3, core.OpGet, []byte("replicated"))
+	if err != nil || string(res[0]) != "v" {
+		t.Errorf("tail read = %v, %v", res, err)
+	}
+	res, err = dataOp(c2, 2, core.OpGet, []byte("replicated"))
+	if err != nil || string(res[0]) != "v" {
+		t.Errorf("middle read = %v, %v", res, err)
+	}
+	// Deletes propagate too.
+	if _, err := dataOp(c1, 1, core.OpDelete, []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataOp(c3, 3, core.OpGet, []byte("replicated")); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("tail read after delete = %v", err)
+	}
+}
+
+func TestSubscriptionDelivery(t *testing.T) {
+	_, c, _ := newServer(t)
+	createBlock(t, c, 1, core.DSQueue, nil, 0, nil)
+	notifs := make(chan proto.Notification, 16)
+	c.OnPush(func(subID uint64, payload []byte) {
+		var n proto.Notification
+		if rpc.Unmarshal(payload, &n) == nil {
+			notifs <- n
+		}
+	})
+	var sresp proto.SubscribeResp
+	err := c.CallGob(proto.MethodSubscribe, proto.SubscribeReq{
+		Blocks: []core.BlockID{1}, Ops: []core.OpType{core.OpEnqueue},
+	}, &sresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOp(c, 1, core.OpEnqueue, []byte("notify-me"))
+	select {
+	case n := <-notifs:
+		if n.Op != core.OpEnqueue || string(n.Data) != "notify-me" {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification")
+	}
+	// Dequeues are not subscribed: no notification.
+	dataOp(c, 1, core.OpDequeue)
+	select {
+	case n := <-notifs:
+		t.Errorf("unexpected notification %+v", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Unsubscribe stops delivery.
+	var uresp proto.UnsubscribeResp
+	c.CallGob(proto.MethodUnsubscribe, proto.UnsubscribeReq{SubID: sresp.SubID}, &uresp)
+	dataOp(c, 1, core.OpEnqueue, []byte("after-unsub"))
+	select {
+	case n := <-notifs:
+		t.Errorf("notification after unsubscribe: %+v", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	_, c, _ := newServer(t)
+	createBlock(t, c, 1, core.DSKV, []ds.SlotRange{{Lo: 0, Hi: 63}}, 0, nil)
+	dataOp(c, 1, core.OpPut, []byte("k"), []byte("0123456789"))
+	var stats proto.ServerStatsResp
+	if err := c.CallGob(proto.MethodServerStats, proto.ServerStatsReq{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != 1 || stats.UsedBytes != 11 || stats.Ops < 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestCreateBlockValidation(t *testing.T) {
+	_, c, _ := newServer(t)
+	var resp proto.CreateBlockResp
+	err := c.CallGob(proto.MethodCreateBlock, proto.CreateBlockReq{
+		Block: 1, Type: core.DSNone, Capacity: 1024,
+	}, &resp)
+	if !errors.Is(err, core.ErrWrongType) {
+		t.Errorf("DSNone block accepted: %v", err)
+	}
+	// Duplicate creation rejected.
+	createBlock(t, c, 2, core.DSFile, nil, 0, nil)
+	err = c.CallGob(proto.MethodCreateBlock, proto.CreateBlockReq{
+		Block: 2, Type: core.DSFile, Capacity: 1024,
+	}, &resp)
+	if !errors.Is(err, core.ErrExists) {
+		t.Errorf("duplicate block accepted: %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Call(0x7777, nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,296 @@
+// Package sim replays synthetic Snowflake-like traces (internal/trace)
+// against capacity-allocation policies (internal/baseline) in virtual
+// time, producing the paper's constrained-capacity results:
+//
+//   - Fig. 9(a): average job slowdown vs. memory capacity (% of peak)
+//   - Fig. 9(b): average resource utilization vs. capacity
+//   - Fig. 14:   sensitivity of allocated-vs-used storage to block
+//     size, lease duration and repartition threshold (via
+//     baseline.JiffyPolicy parameters)
+//
+// The simulator advances jobs stage by stage. When a stage starts, the
+// policy places its output data on a medium (DRAM / SSD / S3); the
+// stage's duration is its compute time plus the IO time of writing its
+// output and reading its input at the media's modeled bandwidths. A
+// policy that spills more data to slow media therefore stretches jobs —
+// exactly the §6.1 mechanism ("reads and writes executed on slower
+// storage").
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"jiffy/internal/baseline"
+	"jiffy/internal/metrics"
+	"jiffy/internal/trace"
+)
+
+// Stats summarizes one replay.
+type Stats struct {
+	Policy string
+	// Capacity is the DRAM pool size in bytes.
+	Capacity int64
+	// AvgSlowdown is mean(jobTime / idealJobTime) across completed
+	// jobs.
+	AvgSlowdown float64
+	// P95Slowdown is the 95th-percentile job slowdown.
+	P95Slowdown float64
+	// AvgUtilization is mean over time of UsedBytes/Capacity (in %).
+	AvgUtilization float64
+	// AvgOccupancy is mean over time of OccupiedBytes/Capacity (in %).
+	AvgOccupancy float64
+	// SpillFracSSD / SpillFracS3 are the byte fractions placed on
+	// slower media.
+	SpillFracSSD, SpillFracS3 float64
+	// Jobs is the number of completed jobs.
+	Jobs int
+	// UsedSeries / OccupiedSeries sample DRAM usage over virtual time
+	// (for the Fig. 11(a)/14 storage plots).
+	UsedSeries, OccupiedSeries *metrics.Series
+
+	spillTotal, spillSSD, spillS3 int64
+}
+
+// jobState tracks one in-flight job.
+type jobState struct {
+	job        *trace.Job
+	stage      int           // current stage index
+	remaining  time.Duration // time left in the current stage
+	started    time.Duration // virtual start
+	stageSplit []baseline.Split
+	// readLeft is the time until the current stage finishes reading
+	// its input, after which the input data is released — consumers
+	// free intermediate data as soon as they have read it, not when
+	// they finish computing.
+	readLeft time.Duration
+	// inputReleased marks whether the current stage's input was freed.
+	inputReleased bool
+}
+
+// idealStageTime is the stage duration with all data in DRAM.
+func idealStageTime(j *trace.Job, s int) time.Duration {
+	d := j.Stages[s].Duration
+	d += splitIOTime(baseline.Split{DRAM: j.Stages[s].Bytes})
+	if s > 0 {
+		d += splitIOTime(baseline.Split{DRAM: j.Stages[s-1].Bytes})
+	}
+	return d
+}
+
+// IdealJobTime is the job's duration with unlimited DRAM — the
+// denominator of slowdown.
+func IdealJobTime(j *trace.Job) time.Duration {
+	var d time.Duration
+	for s := range j.Stages {
+		d += idealStageTime(j, s)
+	}
+	return d
+}
+
+// splitIOTime models reading or writing a stage's data given its
+// placement across media.
+func splitIOTime(s baseline.Split) time.Duration {
+	t := float64(s.DRAM)/baseline.MediumDRAM.Bandwidth() +
+		float64(s.SSD)/baseline.MediumSSD.Bandwidth() +
+		float64(s.S3)/baseline.MediumS3.Bandwidth()
+	return time.Duration(t * float64(time.Second))
+}
+
+// PeakDemand is what a job would declare to a reservation-based system:
+// its maximum concurrently alive intermediate data (a stage's output
+// plus its still-alive input).
+func PeakDemand(j *trace.Job) int64 {
+	var peak int64
+	for s := range j.Stages {
+		cur := j.Stages[s].Bytes
+		if s > 0 {
+			cur += j.Stages[s-1].Bytes
+		}
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// PeakCapacity computes the workload's peak aggregate alive bytes —
+// the 100% reference point for the Fig. 9 capacity sweep.
+func PeakCapacity(tr *trace.Trace, step time.Duration) int64 {
+	return int64(tr.TotalSeries(step).Max())
+}
+
+// Run replays the trace against a policy.
+func Run(tr *trace.Trace, policy baseline.Policy, capacity int64, step time.Duration) Stats {
+	if step <= 0 {
+		step = time.Second
+	}
+	st := Stats{
+		Policy:         policy.Name(),
+		Capacity:       capacity,
+		UsedSeries:     &metrics.Series{Name: policy.Name() + "/used"},
+		OccupiedSeries: &metrics.Series{Name: policy.Name() + "/occupied"},
+	}
+	// Jobs sorted by arrival (trace generation emits per-tenant order;
+	// merge-sort by arrival).
+	pending := make([]*trace.Job, 0, len(tr.Jobs))
+	for i := range tr.Jobs {
+		pending = append(pending, &tr.Jobs[i])
+	}
+	sortJobs(pending)
+
+	var active []*jobState
+	slowdowns := metrics.NewHistogram()
+	var utilSum, occSum float64
+	var samples int
+	epoch := time.Unix(0, 0)
+
+	now := time.Duration(0)
+	nextJob := 0
+	// Run until every job has completed (the window bounds arrivals,
+	// not completions).
+	for nextJob < len(pending) || len(active) > 0 {
+		// Admit arrivals.
+		for nextJob < len(pending) && pending[nextJob].Arrival <= now {
+			j := pending[nextJob]
+			nextJob++
+			policy.JobArrive(j.ID, j.Tenant, PeakDemand(j))
+			js := &jobState{job: j, started: now, stageSplit: make([]baseline.Split, len(j.Stages))}
+			js.beginStage(policy, &st)
+			active = append(active, js)
+		}
+		// Advance active jobs by one step.
+		kept := active[:0]
+		for _, js := range active {
+			if js.advance(policy, step, &st) {
+				// Job finished: release its final stage and its
+				// reservation.
+				policy.Release(js.job.ID, len(js.job.Stages)-1)
+				policy.JobDone(js.job.ID)
+				ideal := IdealJobTime(js.job)
+				actual := now + step - js.started
+				if ideal > 0 {
+					slowdowns.Record(time.Duration(float64(actual) / float64(ideal) * float64(time.Second)))
+				}
+				st.Jobs++
+			} else {
+				kept = append(kept, js)
+			}
+		}
+		active = kept
+
+		now += step
+		policy.Tick(now)
+
+		// Sample utilization.
+		if capacity > 0 {
+			used := float64(policy.UsedBytes()) / float64(capacity) * 100
+			occ := float64(policy.OccupiedBytes()) / float64(capacity) * 100
+			utilSum += used
+			occSum += occ
+			samples++
+			st.UsedSeries.Add(epoch.Add(now), float64(policy.UsedBytes()))
+			st.OccupiedSeries.Add(epoch.Add(now), float64(policy.OccupiedBytes()))
+		}
+	}
+
+	if samples > 0 {
+		st.AvgUtilization = utilSum / float64(samples)
+		st.AvgOccupancy = occSum / float64(samples)
+	}
+	// Histogram stores slowdown×1s as a duration.
+	st.AvgSlowdown = float64(slowdowns.Mean()) / float64(time.Second)
+	st.P95Slowdown = float64(slowdowns.Percentile(95)) / float64(time.Second)
+	finalizeSpill(&st)
+	return st
+}
+
+// beginStage places the new stage's output and computes its duration.
+func (js *jobState) beginStage(policy baseline.Policy, st *Stats) {
+	s := js.stage
+	j := js.job
+	split := policy.Place(j.ID, j.Tenant, s, j.Stages[s].Bytes)
+	js.stageSplit[s] = split
+	recordSpill(st, split)
+
+	d := j.Stages[s].Duration
+	d += splitIOTime(split)
+	js.inputReleased = s == 0
+	js.readLeft = 0
+	if s > 0 {
+		readTime := splitIOTime(js.stageSplit[s-1])
+		d += readTime
+		js.readLeft = readTime
+	}
+	js.remaining = d
+}
+
+// advance progresses the job by dt; returns true when the job
+// completed.
+func (js *jobState) advance(policy baseline.Policy, dt time.Duration, st *Stats) bool {
+	for dt > 0 {
+		// Release the input as soon as the read phase completes.
+		if !js.inputReleased {
+			if js.readLeft > dt {
+				js.readLeft -= dt
+			} else {
+				js.readLeft = 0
+				js.inputReleased = true
+				policy.Release(js.job.ID, js.stage-1)
+			}
+		}
+		if js.remaining > dt {
+			js.remaining -= dt
+			return false
+		}
+		dt -= js.remaining
+		js.remaining = 0
+		// Stage finished; a not-yet-released input goes now.
+		if !js.inputReleased && js.stage > 0 {
+			policy.Release(js.job.ID, js.stage-1)
+			js.inputReleased = true
+		}
+		js.stage++
+		if js.stage >= len(js.job.Stages) {
+			return true
+		}
+		js.beginStage(policy, st)
+	}
+	return false
+}
+
+func recordSpill(st *Stats, s baseline.Split) {
+	st.spillTotal += s.Total()
+	st.spillSSD += s.SSD
+	st.spillS3 += s.S3
+}
+
+func finalizeSpill(st *Stats) {
+	if st.spillTotal == 0 {
+		return
+	}
+	st.SpillFracSSD = float64(st.spillSSD) / float64(st.spillTotal)
+	st.SpillFracS3 = float64(st.spillS3) / float64(st.spillTotal)
+}
+
+// sortJobs orders jobs by arrival time.
+func sortJobs(jobs []*trace.Job) {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+}
+
+// Fig9TraceConfig is the scaled-down Snowflake-like workload used to
+// regenerate Fig. 9: many tenants submitting bursty, IO-dominated,
+// multi-stage jobs. The paper replays ~50,000 jobs from 100 tenants
+// over 5 hours; this configuration preserves the load shape (heavy
+// tails, deep DAGs, intermediate data ≫ compute) at laptop scale.
+func Fig9TraceConfig() trace.Config {
+	cfg := trace.DefaultConfig()
+	cfg.Tenants = 100
+	cfg.Window = 10 * time.Minute
+	cfg.JobsPerTenant = 20
+	cfg.MeanStageBytes = 2 * 1024 * 1024 * 1024
+	cfg.MeanStageDuration = 10 * time.Second
+	cfg.MinStages = 4
+	cfg.MaxStages = 12
+	return cfg
+}

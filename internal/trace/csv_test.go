@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	orig := Generate(cfg, 11)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(orig.Jobs) || back.Tenants != orig.Tenants {
+		t.Fatalf("jobs=%d/%d tenants=%d/%d",
+			len(back.Jobs), len(orig.Jobs), back.Tenants, orig.Tenants)
+	}
+	for i := range orig.Jobs {
+		o, b := orig.Jobs[i], back.Jobs[i]
+		if o.ID != b.ID || o.Tenant != b.Tenant || len(o.Stages) != len(b.Stages) {
+			t.Fatalf("job %d metadata differs", i)
+		}
+		// Millisecond truncation is the only allowed loss.
+		if o.Arrival.Truncate(time.Millisecond) != b.Arrival {
+			t.Fatalf("job %d arrival %v vs %v", i, o.Arrival, b.Arrival)
+		}
+		for s := range o.Stages {
+			if o.Stages[s].Bytes != b.Stages[s].Bytes ||
+				o.Stages[s].Tasks != b.Stages[s].Tasks {
+				t.Fatalf("job %d stage %d differs", i, s)
+			}
+		}
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := []struct {
+		name, csv string
+	}{
+		{"bad header", "nope,columns\n"},
+		{"wrong column", "job_id,tenant,arrival_ms,stage,tasks,duration_ms,size\n"},
+		{"non-numeric", "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\nj,x,0,0,1,10,5\n"},
+		{"negative bytes", "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\nj,0,0,0,1,10,-5\n"},
+		{"zero tasks", "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\nj,0,0,0,0,10,5\n"},
+		{"gap in stages", "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\nj,0,0,0,1,10,5\nj,0,0,2,1,10,5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadCSVWindowInference(t *testing.T) {
+	csv := "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\n" +
+		"j1,0,1000,0,2,500,1024\n" +
+		"j1,0,1000,1,2,500,2048\n" +
+		"j2,1,5000,0,1,1000,512\n"
+	tr, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tenants != 2 || len(tr.Jobs) != 2 {
+		t.Fatalf("tenants=%d jobs=%d", tr.Tenants, len(tr.Jobs))
+	}
+	// Window = last job end = 5000ms + 1000ms.
+	if tr.Window != 6*time.Second {
+		t.Errorf("window = %v", tr.Window)
+	}
+	if tr.Jobs[0].TotalBytes() != 3072 {
+		t.Errorf("job1 bytes = %d", tr.Jobs[0].TotalBytes())
+	}
+}

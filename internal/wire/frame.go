@@ -1,0 +1,144 @@
+// Package wire implements Jiffy's framed binary message protocol and
+// its transports. The paper's implementation uses Apache Thrift with
+// asynchronous framed IO (§4.2.2); this package plays the same role
+// using only the standard library: fixed-header frames multiplexing
+// many in-flight requests over one connection, plus server-push frames
+// for the notification interface.
+//
+// Frame layout on the wire (big endian):
+//
+//	u32  length of the remainder (header after length + payload)
+//	u8   kind        (request / response / push)
+//	u64  seq         (request sequence number, or subscription id for push)
+//	u16  method      (method identifier; 0 for responses and pushes)
+//	u8   code        (error code; meaningful on responses)
+//	...  payload
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"jiffy/internal/core"
+)
+
+// Kind discriminates frame roles.
+type Kind uint8
+
+// Frame kinds.
+const (
+	// KindRequest carries a client→server call.
+	KindRequest Kind = iota + 1
+	// KindResponse carries the server's reply, matched by seq.
+	KindResponse
+	// KindPush carries an unsolicited server→client notification; seq
+	// holds the subscription identifier.
+	KindPush
+)
+
+// headerLen is the fixed header size after the length prefix.
+const headerLen = 1 + 8 + 2 + 1
+
+// MaxFrameSize bounds a single frame (header + payload). Large objects
+// (up to the 128MB block size) must fit; we allow 256MB.
+const MaxFrameSize = 256 * core.MB
+
+// Frame is one protocol message.
+type Frame struct {
+	Kind    Kind
+	Seq     uint64
+	Method  uint16
+	Code    core.ErrorCode
+	Payload []byte
+}
+
+// Conn wraps a net.Conn with buffered framed IO. Reads must come from a
+// single goroutine; writes are serialized internally and may come from
+// many goroutines.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+	hdr [4 + headerLen]byte
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps nc.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64*core.KB),
+		w:  bufio.NewWriterSize(nc, 64*core.KB),
+	}
+}
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// WriteFrame sends one frame, flushing the buffer. Safe for concurrent
+// use.
+func (c *Conn) WriteFrame(f *Frame) error {
+	n := headerLen + len(f.Payload)
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	binary.BigEndian.PutUint32(c.hdr[0:4], uint32(n))
+	c.hdr[4] = byte(f.Kind)
+	binary.BigEndian.PutUint64(c.hdr[5:13], f.Seq)
+	binary.BigEndian.PutUint16(c.hdr[13:15], f.Method)
+	c.hdr[15] = byte(f.Code)
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(f.Payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ReadFrame reads the next frame. Must be called from one goroutine.
+func (c *Conn) ReadFrame() (*Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen || n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Kind:   Kind(buf[0]),
+		Seq:    binary.BigEndian.Uint64(buf[1:9]),
+		Method: binary.BigEndian.Uint16(buf[9:11]),
+		Code:   core.ErrorCode(buf[11]),
+	}
+	if n > headerLen {
+		f.Payload = buf[headerLen:]
+	}
+	switch f.Kind {
+	case KindRequest, KindResponse, KindPush:
+	default:
+		return nil, fmt.Errorf("wire: invalid frame kind %d", f.Kind)
+	}
+	return f, nil
+}
+
+// Close tears down the underlying connection. Idempotent.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}

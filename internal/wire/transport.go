@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Addresses starting with this prefix route through the in-process
+// transport instead of TCP; the remainder is a registry name. The
+// in-process transport exists so that tests, examples and the
+// experiment harness can run a whole cluster inside one process with
+// no network configuration, exercising the same framed protocol.
+const MemPrefix = "mem://"
+
+// Listen opens a listener for addr: "mem://name" registers an
+// in-process endpoint; anything else is a TCP address.
+func Listen(addr string) (net.Listener, error) {
+	if name, ok := strings.CutPrefix(addr, MemPrefix); ok {
+		return listenMem(name)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Dial connects to addr using the matching transport.
+func Dial(addr string) (net.Conn, error) {
+	if name, ok := strings.CutPrefix(addr, MemPrefix); ok {
+		return dialMem(name)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// memRegistry maps endpoint names to their listeners.
+var memRegistry = struct {
+	sync.Mutex
+	m map[string]*memListener
+}{m: make(map[string]*memListener)}
+
+type memListener struct {
+	name   string
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func listenMem(name string) (net.Listener, error) {
+	memRegistry.Lock()
+	defer memRegistry.Unlock()
+	if _, exists := memRegistry.m[name]; exists {
+		return nil, fmt.Errorf("wire: mem endpoint %q already in use", name)
+	}
+	l := &memListener{
+		name:   name,
+		accept: make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	memRegistry.m[name] = l
+	return l, nil
+}
+
+func dialMem(name string) (net.Conn, error) {
+	memRegistry.Lock()
+	l, ok := memRegistry.m[name]
+	memRegistry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: no mem endpoint %q", name)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("wire: mem endpoint %q closed", name)
+	}
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("wire: mem listener %q closed", l.name)
+	}
+}
+
+// Close implements net.Listener and removes the endpoint from the
+// registry.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		memRegistry.Lock()
+		delete(memRegistry.m, l.name)
+		memRegistry.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.name) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return MemPrefix + string(a) }

@@ -1,0 +1,154 @@
+package jiffy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+// TestTaskLevelIsolation verifies the §3.1 isolation property: one
+// address prefix's lifecycle (expiry and reclamation) does not disturb
+// sibling prefixes of the same job — arrival and departure of tasks
+// leave other tasks' resources untouched.
+func TestTaskLevelIsolation(t *testing.T) {
+	cfg := core.TestConfig() // 200ms leases, 20ms scans
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+
+	c.RegisterJob("iso")
+	// Two sibling tasks; only taskA is renewed.
+	if _, _, err := c.CreatePrefix("iso/taskA", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CreatePrefix("iso/taskB", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	renewer := c.StartRenewer(50*time.Millisecond, "iso/taskA")
+	defer renewer.Stop()
+
+	kvA, _ := c.OpenKV("iso/taskA")
+	kvB, _ := c.OpenKV("iso/taskB")
+	kvA.Put("a", []byte("alive"))
+	kvB.Put("b", []byte("doomed"))
+
+	// taskB's lease lapses; its memory is reclaimed.
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.Controller.ExpiryCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cluster.Controller.ExpiryCount() != 1 {
+		t.Fatalf("expiries = %d, want exactly taskB", cluster.Controller.ExpiryCount())
+	}
+	// taskA's handle keeps working without a single hiccup — no
+	// refresh, no reload.
+	for i := 0; i < 20; i++ {
+		if v, err := kvA.Get("a"); err != nil || string(v) != "alive" {
+			t.Fatalf("sibling expiry disturbed taskA: %q, %v", v, err)
+		}
+	}
+	// taskB's data is recoverable (flushed before reclaim), proving
+	// the reclaim was the lease's doing, not data loss.
+	kvB2, err := c.OpenKV("iso/taskB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := kvB2.Get("b"); err != nil || string(v) != "doomed" {
+		t.Errorf("taskB flush/reload = %q, %v", v, err)
+	}
+}
+
+// TestStageLevelIsolation demonstrates §3.1's "coarser-grained
+// isolation by removing a layer": tasks share one stage-level prefix,
+// so a single renewal covers the whole stage and the stage lives and
+// dies as a unit.
+func TestStageLevelIsolation(t *testing.T) {
+	cfg := core.TestConfig()
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+
+	c.RegisterJob("stagejob")
+	// One shared prefix for the whole map stage (instead of one per
+	// task): the hierarchy layer that would separate tasks is omitted.
+	if _, _, err := c.CreatePrefix("stagejob/map-stage", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	renewer := c.StartRenewer(50*time.Millisecond, "stagejob/map-stage")
+
+	// Many "tasks" write under the single stage prefix.
+	kv, _ := c.OpenKV("stagejob/map-stage")
+	for task := 0; task < 8; task++ {
+		if err := kv.Put(fmt.Sprintf("task-%d", task), []byte("output")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One renewal message covers all eight tasks' data.
+	time.Sleep(500 * time.Millisecond) // several lease periods
+	if n := cluster.Controller.ExpiryCount(); n != 0 {
+		t.Fatalf("stage expired despite renewal: %d", n)
+	}
+	// Stop renewing: the whole stage is reclaimed as one unit.
+	renewer.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.Controller.ExpiryCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cluster.Controller.ExpiryCount() != 1 {
+		t.Errorf("stage reclaim count = %d, want 1", cluster.Controller.ExpiryCount())
+	}
+}
+
+// TestFinerGrainedIsolation demonstrates §3.1's "finer isolation by
+// adding a layer": per-table prefixes under a task, individually
+// renewable and reclaimable.
+func TestFinerGrainedIsolation(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 1, BlocksPerServer: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+
+	c.RegisterJob("lake")
+	if _, _, err := c.CreatePrefix("lake/etl", nil, DSNone, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An extra layer: per-table structures under the task.
+	for _, table := range []string{"orders", "customers"} {
+		p := core.MustPath("lake", "etl", table)
+		if _, _, err := c.CreatePrefix(p, nil, DSKV, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reclaiming one table's prefix leaves the other untouched.
+	if err := c.RemovePrefix("lake/etl/orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenKV("lake/etl/customers"); err != nil {
+		t.Errorf("sibling table disturbed: %v", err)
+	}
+	stats, _ := c.ControllerStats()
+	if stats.AllocatedBlocks != 1 {
+		t.Errorf("allocated = %d, want 1", stats.AllocatedBlocks)
+	}
+}

@@ -1,0 +1,112 @@
+// Package jiffy is a Go implementation of Jiffy, the elastic
+// far-memory system for stateful serverless analytics from EuroSys '22
+// ("Jiffy: Elastic Far-Memory for Stateful Serverless Analytics",
+// Khandelwal et al.).
+//
+// Jiffy stores intermediate data for analytics jobs in memory blocks
+// spread across a pool of memory servers, allocating capacity at the
+// granularity of small fixed-size blocks rather than whole-job
+// reservations. Jobs organize their data in a hierarchical address
+// space that mirrors their execution DAG; leases tied to that hierarchy
+// manage data lifetime (renewing a task's prefix keeps its inputs and
+// consumers alive); and data structures repartition themselves inside
+// the storage system as blocks fill and drain.
+//
+// # Quick start
+//
+//	cluster, _ := jiffy.StartCluster(jiffy.ClusterOptions{
+//		Servers:         2,
+//		BlocksPerServer: 64,
+//	})
+//	defer cluster.Close()
+//
+//	c, _ := cluster.Connect()
+//	defer c.Close()
+//
+//	c.RegisterJob("job1")
+//	c.CreatePrefix("job1/task1", nil, core.DSKV, 1, 0)
+//	kv, _ := c.OpenKV("job1/task1")
+//	kv.Put("hello", []byte("world"))
+//
+// The public surface re-exports the client library (the user-facing
+// API of Table 1 in the paper) plus cluster bootstrap helpers; the
+// mechanisms live under internal/.
+package jiffy
+
+import (
+	"time"
+
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+	"jiffy/internal/proto"
+)
+
+// Re-exported types: the public API mirrors the paper's user-facing
+// interface (Table 1).
+type (
+	// Client is a connection to a Jiffy cluster.
+	Client = client.Client
+	// KV is a key-value store handle (§5.3).
+	KV = client.KV
+	// File is an append-oriented file handle (§5.1).
+	File = client.File
+	// Queue is a FIFO queue handle (§5.2).
+	Queue = client.Queue
+	// Listener delivers data-structure notifications.
+	Listener = client.Listener
+	// Renewer keeps leases alive for a set of prefixes.
+	Renewer = client.Renewer
+	// Path is a hierarchical address prefix ("job/task/...").
+	Path = core.Path
+	// JobID identifies a registered job.
+	JobID = core.JobID
+	// DSType selects a built-in data structure.
+	DSType = core.DSType
+	// DagNode describes one task when building a hierarchy from an
+	// execution plan (createHierarchy).
+	DagNode = proto.DagNode
+	// Config carries the system tunables (block size, lease duration,
+	// repartition thresholds).
+	Config = core.Config
+)
+
+// Data structure types for CreatePrefix / DagNode.
+const (
+	DSNone  = core.DSNone
+	DSFile  = core.DSFile
+	DSQueue = core.DSQueue
+	DSKV    = core.DSKV
+)
+
+// Common errors returned by the API.
+var (
+	ErrNotFound     = core.ErrNotFound
+	ErrExists       = core.ErrExists
+	ErrNoCapacity   = core.ErrNoCapacity
+	ErrEmpty        = core.ErrEmpty
+	ErrLeaseExpired = core.ErrLeaseExpired
+	ErrTimeout      = core.ErrTimeout
+)
+
+// DefaultConfig returns the paper's defaults: 128MB blocks, 1s leases,
+// 95%/5% repartition thresholds, 1024 hash slots.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Connect dials a running Jiffy controller (connect(jiffyAddress)).
+func Connect(controllerAddr string) (*Client, error) {
+	return client.Connect(controllerAddr, client.Options{})
+}
+
+// ConnectMulti dials a hash-partitioned controller group (§4.2.1
+// multi-controller scaling); the address order must match across all
+// clients.
+func ConnectMulti(controllerAddrs []string) (*Client, error) {
+	return client.ConnectMulti(controllerAddrs, client.Options{})
+}
+
+// MustPath builds a Path from components, panicking on invalid input;
+// convenient for literals in examples and tests.
+func MustPath(components ...string) Path { return core.MustPath(components...) }
+
+// A re-export of the lease-renewal sweet spot from the paper (§6.6).
+const DefaultLeaseDuration = time.Second

@@ -1,0 +1,178 @@
+package jiffy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+// TestKVModelEquivalenceEndToEnd drives the full stack (client →
+// controller → servers, with splits and merges happening underneath)
+// with a random operation sequence and checks it stays equivalent to a
+// plain map — the repo's strongest end-to-end correctness property.
+func TestKVModelEquivalenceEndToEnd(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+	c.RegisterJob("model")
+	if _, _, err := c.CreatePrefix("model/kv", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.OpenKV("model/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string][]byte{}
+		// Values large enough that splits occur during the run.
+		for op := 0; op < 400; op++ {
+			key := fmt.Sprintf("s%d-k%d", seed, rng.Intn(64))
+			switch rng.Intn(5) {
+			case 0, 1: // put
+				val := make([]byte, 256+rng.Intn(512))
+				rng.Read(val)
+				if err := kv.Put(key, val); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				model[key] = val
+			case 2: // get
+				got, err := kv.Get(key)
+				want, ok := model[key]
+				if ok != (err == nil) {
+					t.Logf("get presence mismatch for %q: %v", key, err)
+					return false
+				}
+				if ok && !bytes.Equal(got, want) {
+					t.Logf("get value mismatch for %q", key)
+					return false
+				}
+			case 3: // delete
+				_, err := kv.Delete(key)
+				_, ok := model[key]
+				if ok != (err == nil) {
+					t.Logf("delete presence mismatch for %q: %v", key, err)
+					return false
+				}
+				delete(model, key)
+			case 4: // exists
+				has, err := kv.Exists(key)
+				if err != nil {
+					t.Logf("exists: %v", err)
+					return false
+				}
+				_, ok := model[key]
+				if has != ok {
+					t.Logf("exists mismatch for %q", key)
+					return false
+				}
+			}
+		}
+		// Sweep: every model key readable with the right value.
+		for key, want := range model {
+			got, err := kv.Get(key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Logf("final sweep mismatch for %q: %v", key, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+	// The store did elastically scale during the run.
+	stats, _ := c.ControllerStats()
+	if stats.AllocatedBlocks < 2 {
+		t.Errorf("expected splits during model run; allocated = %d", stats.AllocatedBlocks)
+	}
+}
+
+// TestQueueModelEquivalenceEndToEnd: random interleavings of enqueue
+// and dequeue preserve exact FIFO order through segment scaling and
+// reclamation.
+func TestQueueModelEquivalenceEndToEnd(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c, _ := cluster.Connect()
+	defer c.Close()
+	c.RegisterJob("model")
+
+	f := func(seed int64) bool {
+		path := core.Path(fmt.Sprintf("model/q%d", seed&0xffff))
+		if _, _, err := c.CreatePrefix(path, nil, DSQueue, 1, 0); err != nil {
+			t.Logf("create: %v", err)
+			return false
+		}
+		defer c.RemovePrefix(path)
+		q, err := c.OpenQueue(path)
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var modelQ [][]byte
+		next := 0
+		for op := 0; op < 500; op++ {
+			if rng.Intn(3) != 0 { // bias toward enqueue
+				item := make([]byte, 128+rng.Intn(512))
+				rng.Read(item)
+				if err := q.Enqueue(item); err != nil {
+					t.Logf("enqueue: %v", err)
+					return false
+				}
+				modelQ = append(modelQ, item)
+			} else {
+				got, err := q.Dequeue()
+				if len(modelQ) == next {
+					if !errors.Is(err, core.ErrEmpty) {
+						t.Logf("dequeue on empty = %v", err)
+						return false
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(got, modelQ[next]) {
+					t.Logf("dequeue order mismatch at %d: %v", next, err)
+					return false
+				}
+				next++
+			}
+		}
+		// Drain the rest.
+		for ; next < len(modelQ); next++ {
+			got, err := q.Dequeue()
+			if err != nil || !bytes.Equal(got, modelQ[next]) {
+				t.Logf("drain mismatch at %d: %v", next, err)
+				return false
+			}
+		}
+		_, err = q.Dequeue()
+		return errors.Is(err, core.ErrEmpty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package jiffy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+// TestMultiControllerCluster exercises the §4.2.1 multi-controller
+// scaling path: jobs hash-partition across controllers, each
+// controller owns a disjoint slice of the memory-server pool, and
+// clients route per-job control operations to the owning controller
+// transparently.
+func TestMultiControllerCluster(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Controllers: 3, Servers: 6, BlocksPerServer: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if len(cluster.Controllers) != 3 || len(cluster.ControllerAddrs) != 3 {
+		t.Fatalf("controllers = %d", len(cluster.Controllers))
+	}
+	c, err := cluster.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Many jobs, spread across the group; full data-path lifecycle on
+	// each.
+	const jobs = 12
+	for i := 0; i < jobs; i++ {
+		job := core.JobID(fmt.Sprintf("mcjob%d", i))
+		if err := c.RegisterJob(job); err != nil {
+			t.Fatalf("register %s: %v", job, err)
+		}
+		path := core.Path(string(job)).MustChild("kv")
+		if _, _, err := c.CreatePrefix(path, nil, DSKV, 1, 0); err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		kv, err := c.OpenKV(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		if err := kv.Put("k", []byte(string(job))); err != nil {
+			t.Fatalf("put %s: %v", path, err)
+		}
+	}
+	// Every job readable; renewals route correctly.
+	var paths []core.Path
+	for i := 0; i < jobs; i++ {
+		job := core.JobID(fmt.Sprintf("mcjob%d", i))
+		path := core.Path(string(job)).MustChild("kv")
+		kv, _ := c.OpenKV(path)
+		v, err := kv.Get("k")
+		if err != nil || string(v) != string(job) {
+			t.Fatalf("get %s = %q, %v", path, v, err)
+		}
+		paths = append(paths, path)
+	}
+	if _, err := c.RenewLease(paths...); err != nil {
+		t.Fatalf("cross-controller renew: %v", err)
+	}
+
+	// The group actually partitioned the jobs: no controller owns all
+	// of them (12 jobs across 3 controllers).
+	perCtrl := make([]int, len(cluster.Controllers))
+	for i, ctrl := range cluster.Controllers {
+		perCtrl[i] = ctrl.Stats().Jobs
+	}
+	total := 0
+	for i, n := range perCtrl {
+		total += n
+		if n == jobs {
+			t.Errorf("controller %d owns every job; partitioning broken", i)
+		}
+	}
+	if total != jobs {
+		t.Errorf("job ownership sums to %d, want %d: %v", total, jobs, perCtrl)
+	}
+	// Aggregated stats see the whole picture.
+	stats, err := c.ControllerStats()
+	if err != nil || stats.Jobs != jobs {
+		t.Errorf("aggregate stats = %+v, %v", stats, err)
+	}
+	if stats.Servers != 6 {
+		t.Errorf("aggregate servers = %d", stats.Servers)
+	}
+
+	// Jobs route to a deterministic controller: registering a
+	// duplicate job fails on the same controller.
+	if err := c.RegisterJob("mcjob0"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate register across group = %v", err)
+	}
+}
+
+// TestMultiControllerValidation: more controllers than servers is a
+// configuration error (a controller without memory servers could never
+// place blocks).
+func TestMultiControllerValidation(t *testing.T) {
+	_, err := StartCluster(ClusterOptions{
+		Config: core.TestConfig(), Controllers: 3, Servers: 2,
+	})
+	if err == nil {
+		t.Fatal("3 controllers with 2 servers accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package jiffy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/proto"
+)
+
+// replicatedCluster boots a cluster with chain length 2 across three
+// servers.
+func replicatedCluster(t *testing.T) (*Cluster, *Client) {
+	t.Helper()
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cfg.ChainLength = 2
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 3, BlocksPerServer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	c, err := cluster.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return cluster, c
+}
+
+func TestReplicatedKVEndToEnd(t *testing.T) {
+	cluster, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+	m, _, err := c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The map records a two-member chain with the head as Info.
+	if len(m.Blocks) != 1 || len(m.Blocks[0].Chain) != 2 {
+		t.Fatalf("chain = %+v", m.Blocks[0].Chain)
+	}
+	if m.Blocks[0].Chain[0] != m.Blocks[0].Info {
+		t.Error("Info is not the chain head")
+	}
+	kv, err := c.OpenKV("rj/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reads are served by the tail — and must see every write (chain
+	// propagation is synchronous).
+	for i := 0; i < 50; i++ {
+		v, err := kv.Get(fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get k%d from tail = %q, %v", i, v, err)
+		}
+	}
+	// Both replicas physically hold the data.
+	counts := replicaLens(cluster, m.Blocks[0].Chain)
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Errorf("replica entry counts = %v, want [50 50]", counts)
+	}
+}
+
+// replicaLens finds each chain member's pair count across the
+// cluster's blockstores.
+func replicaLens(cluster *Cluster, chain core.ReplicaChain) []int {
+	out := make([]int, len(chain))
+	for i, member := range chain {
+		for _, srv := range cluster.Servers {
+			for _, b := range srv.Store().List() {
+				if b.ID == member.ID {
+					if res, err := b.Partition.Apply(core.OpUsage, nil); err == nil {
+						_ = res
+					}
+					out[i] = partitionLen(b.Partition)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func partitionLen(p interface{ Bytes() int }) int {
+	type lener interface{ Len() int }
+	if l, ok := p.(lener); ok {
+		return l.Len()
+	}
+	return -1
+}
+
+// TestReplicatedKVSplitResync fills a replicated KV store past one
+// block so the controller must split — slot moves bypass op-level
+// replication, so this exercises the snapshot resync path.
+func TestReplicatedKVSplitResync(t *testing.T) {
+	_, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+	if _, _, err := c.CreatePrefix("rj/t", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := c.OpenKV("rj/t")
+	val := bytes.Repeat([]byte("r"), 1024)
+	const n = 200 // ~200KB against 64KB blocks: several splits
+	for i := 0; i < n; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%03d", i), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := kv.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("get %d after splits: %v", i, err)
+		}
+	}
+}
+
+func TestReplicatedQueueAndFile(t *testing.T) {
+	_, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+
+	// Queue across replicated segments.
+	if _, _, err := c.CreatePrefix("rj/q", nil, DSQueue, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.OpenQueue("rj/q")
+	item := bytes.Repeat([]byte("q"), 1024)
+	for i := 0; i < 100; i++ {
+		if err := q.Enqueue(append([]byte(fmt.Sprintf("%03d:", i)), item...)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := q.Dequeue()
+		if err != nil || string(got[:4]) != fmt.Sprintf("%03d:", i) {
+			t.Fatalf("dequeue %d = %q, %v", i, got[:4], err)
+		}
+	}
+
+	// File across replicated chunks; reads come from the tails.
+	if _, _, err := c.CreatePrefix("rj/f", nil, DSFile, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c.OpenFile("rj/f")
+	payload := bytes.Repeat([]byte("f"), 150*1024) // spans ~3 chunks
+	if err := f.WriteAt(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAt(0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("file read back %d bytes, %v", len(got), err)
+	}
+}
+
+// TestReplicatedFlushLoad verifies the checkpoint path uses the chain
+// tail and restores full chains.
+func TestReplicatedFlushLoad(t *testing.T) {
+	_, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+	c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	kv, _ := c.OpenKV("rj/t")
+	kv.Put("persist", []byte("me"))
+	if _, err := c.FlushPrefix("rj/t", "ckpt/repl"); err != nil {
+		t.Fatal(err)
+	}
+	kv.Put("persist", []byte("dirty"))
+	if err := c.LoadPrefix("rj/t", "ckpt/repl"); err != nil {
+		t.Fatal(err)
+	}
+	kv2, _ := c.OpenKV("rj/t")
+	v, err := kv2.Get("persist")
+	if err != nil || string(v) != "me" {
+		t.Fatalf("restored = %q, %v", v, err)
+	}
+}
+
+// TestChainSpreadAcrossServers checks the allocator's least-loaded
+// placement puts chain members on distinct servers when possible.
+func TestChainSpreadAcrossServers(t *testing.T) {
+	_, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+	m, _, err := c.CreatePrefix("rj/t", nil, DSKV, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Blocks {
+		if len(e.Chain) != 2 {
+			t.Fatalf("chain length = %d", len(e.Chain))
+		}
+		if e.Chain[0].Server == e.Chain[1].Server {
+			t.Errorf("chain members co-located on %s", e.Chain[0].Server)
+		}
+	}
+}
+
+// TestReplicaSignalsAreHarmless: replicas crossing thresholds send
+// scale signals with replica block IDs the controller does not know as
+// heads; those must be ignored without error.
+func TestReplicaSignalsAreHarmless(t *testing.T) {
+	cluster, c := replicatedCluster(t)
+	c.RegisterJob("rj")
+	m, _, _ := c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	replica := m.Blocks[0].Chain[1]
+	resp, err := cluster.Controller.ScaleUp(proto.ScaleUpReq{Path: "rj/t", Block: replica.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Map.Blocks) != 1 {
+		t.Errorf("replica signal scaled the structure: %d blocks", len(resp.Map.Blocks))
+	}
+}
