@@ -10,6 +10,7 @@ import (
 	"jiffy/internal/controller"
 	"jiffy/internal/core"
 	"jiffy/internal/persist"
+	"jiffy/internal/rpc"
 	"jiffy/internal/server"
 )
 
@@ -44,6 +45,10 @@ type ClusterOptions struct {
 	Logger *slog.Logger
 	// DisableExpiry turns off the lease expiry worker.
 	DisableExpiry bool
+	// Dial customizes every outbound connection made by the cluster's
+	// controllers and memory servers (chaos tests route these through a
+	// fault injector; nil uses the plain transports).
+	Dial func(addr string) (*rpc.Client, error)
 }
 
 // Cluster is an in-process Jiffy deployment: one or more controllers
@@ -60,6 +65,9 @@ type Cluster struct {
 	ControllerAddr  string
 	Servers         []*server.Server
 	Store           persist.Store
+
+	cfg  core.Config
+	dial func(addr string) (*rpc.Client, error)
 }
 
 // clusterSeq disambiguates mem:// endpoint names across clusters in
@@ -98,7 +106,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	seq := clusterSeq.Add(1)
 
-	c := &Cluster{Store: opts.Persist}
+	c := &Cluster{Store: opts.Persist, cfg: opts.Config, dial: opts.Dial}
 	for i := 0; i < opts.Controllers; i++ {
 		ctrl, err := controller.New(controller.Options{
 			Config:        opts.Config,
@@ -107,6 +115,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 			Persist:       opts.Persist,
 			Logger:        opts.Logger,
 			DisableExpiry: opts.DisableExpiry,
+			Dial:          opts.Dial,
 		})
 		if err != nil {
 			c.Close()
@@ -134,6 +143,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 			ControllerAddr: ctrlAddr,
 			Persist:        opts.Persist,
 			Logger:         opts.Logger,
+			Dial:           opts.Dial,
 		})
 		if err != nil {
 			c.Close()
@@ -161,9 +171,17 @@ func endpoint(transport, name string) string {
 	return "mem://" + name
 }
 
-// Connect opens a client against the cluster's controller group.
+// Connect opens a client against the cluster's controller group. The
+// client inherits the cluster's RPC timeout and custom dialer (if any).
 func (c *Cluster) Connect() (*Client, error) {
-	return client.ConnectMulti(c.ControllerAddrs, client.Options{})
+	timeout := c.cfg.RPCTimeout
+	if timeout == 0 {
+		timeout = -1 // cluster configured unbounded calls; honor that
+	}
+	return client.ConnectMulti(c.ControllerAddrs, client.Options{
+		Dial:       c.dial,
+		RPCTimeout: timeout,
+	})
 }
 
 // Close tears the cluster down: servers first, then the controllers.

@@ -26,6 +26,10 @@ type Options struct {
 	// RetryLimit bounds data-plane retries after map refreshes
 	// (default 32).
 	RetryLimit int
+	// RPCTimeout bounds every control- and data-plane call so a dead
+	// peer fails the call instead of hanging it. Zero means
+	// core.DefaultRPCTimeout; negative disables the bound.
+	RPCTimeout time.Duration
 }
 
 // Client is one application's connection to a Jiffy cluster. It may
@@ -59,12 +63,16 @@ func ConnectMulti(controllerAddrs []string, opts Options) (*Client, error) {
 	if len(controllerAddrs) == 0 {
 		return nil, fmt.Errorf("client: no controller addresses")
 	}
-	if opts.Dial == nil {
-		opts.Dial = rpc.Dial
-	}
 	if opts.RetryLimit <= 0 {
 		opts.RetryLimit = 32
 	}
+	if opts.RPCTimeout == 0 {
+		opts.RPCTimeout = core.DefaultRPCTimeout
+	}
+	if opts.RPCTimeout < 0 {
+		opts.RPCTimeout = 0 // explicit opt-out: unbounded calls
+	}
+	opts.Dial = rpc.WithTimeout(opts.Dial, opts.RPCTimeout)
 	c := &Client{
 		ctrlAddrs: controllerAddrs,
 		pool:      rpc.NewPool(opts.Dial),

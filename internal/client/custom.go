@@ -62,6 +62,12 @@ func (cu *Custom) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error)
 				return nil, rerr
 			}
 			backoff(attempt)
+		case isConnErr(err):
+			lastErr = err
+			if rerr := cu.h.refresh(); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			backoff(attempt)
 		default:
 			return nil, err
 		}

@@ -110,6 +110,12 @@ func (f *File) writeChunk(ci, in int, data []byte) error {
 				return rerr
 			}
 			backoff(attempt)
+		case isConnErr(err):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+				return rerr
+			}
+			backoff(attempt)
 		default:
 			return err
 		}
@@ -179,6 +185,12 @@ func (f *File) readChunk(ci, in, n int) ([]byte, error) {
 				return nil, rerr
 			}
 			backoff(attempt)
+		case isConnErr(err):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			backoff(attempt)
 		default:
 			return nil, err
 		}
@@ -241,6 +253,12 @@ func (f *File) AppendRecord(data []byte) (int, error) {
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
 			if rerr := f.h.refresh(); rerr != nil {
+				return 0, rerr
+			}
+			backoff(attempt)
+		case isConnErr(err):
+			lastErr = err
+			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
 				return 0, rerr
 			}
 			backoff(attempt)

@@ -74,14 +74,22 @@ func (h *handle) requestScale(block core.BlockID) error {
 	return nil
 }
 
-// do executes one data-plane op against a block.
+// do executes one data-plane op against a block. Connection-level
+// failures evict the pooled session so the next attempt re-dials.
 func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
 	conn, err := h.c.dataConn(info.Server)
 	if err != nil {
-		return nil, err
+		// An unreachable server is a connection failure like any other:
+		// classify it so retries avoid the server and reads fall back
+		// along the replica chain.
+		return nil, fmt.Errorf("client: dial %s: %v: %w", info.Server, err, core.ErrClosed)
 	}
 	payload, err := conn.Call(proto.MethodDataOp, ds.EncodeRequest(op, info.ID, args))
 	if err != nil {
+		if isConnErr(err) {
+			h.c.dropData(info.Server)
+			return nil, err
+		}
 		if errors.Is(err, core.ErrRedirect) {
 			// The payload names the block to retry against.
 			next, perr := ds.ParseRedirect(payload)
@@ -101,13 +109,26 @@ type redirect struct{ next core.BlockInfo }
 func (r *redirect) Error() string { return core.ErrRedirect.Error() }
 func (r *redirect) Unwrap() error { return core.ErrRedirect }
 
-// backoff sleeps briefly between retries; attempt is zero-based.
-func backoff(attempt int) {
+// isConnErr reports whether err means the session (not the operation)
+// failed: the connection died mid-call or the call timed out. Both are
+// retryable after the pooled session is evicted and re-dialed.
+func isConnErr(err error) bool {
+	return errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout)
+}
+
+// backoffDelay computes the retry delay for a zero-based attempt:
+// linear growth capped at 5ms, so a full retry budget stays bounded.
+func backoffDelay(attempt int) time.Duration {
 	d := time.Duration(attempt+1) * 200 * time.Microsecond
 	if d > 5*time.Millisecond {
 		d = 5 * time.Millisecond
 	}
-	time.Sleep(d)
+	return d
+}
+
+// backoff sleeps briefly between retries; attempt is zero-based.
+func backoff(attempt int) {
+	time.Sleep(backoffDelay(attempt))
 }
 
 // retryLimit exposes the client's retry bound to the typed handles.

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/rpc"
+)
+
+// TestBackoffDelayBounded pins the retry backoff contract: linear
+// growth from 200µs, capped at 5ms, never decreasing — so a full retry
+// budget cannot stall a caller for more than retries × 5ms.
+func TestBackoffDelayBounded(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 200 * time.Microsecond},
+		{1, 400 * time.Microsecond},
+		{4, time.Millisecond},
+		{24, 5 * time.Millisecond},
+		{25, 5 * time.Millisecond}, // capped
+		{1000, 5 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := backoffDelay(c.attempt); got != c.want {
+			t.Errorf("backoffDelay(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+	prev := time.Duration(0)
+	for i := 0; i < 64; i++ {
+		d := backoffDelay(i)
+		if d < prev {
+			t.Fatalf("backoffDelay not monotonic at attempt %d: %v < %v", i, d, prev)
+		}
+		if d > 5*time.Millisecond {
+			t.Fatalf("backoffDelay(%d) = %v exceeds the 5ms cap", i, d)
+		}
+		prev = d
+	}
+}
+
+// TestErrRetriesExhaustedWrapsCause: after the retry budget is spent,
+// the returned error still exposes the final cause through errors.Is,
+// so callers can distinguish "gave up on a dead server" from "gave up
+// on stale metadata".
+func TestErrRetriesExhaustedWrapsCause(t *testing.T) {
+	causes := []error{
+		core.ErrTimeout,
+		core.ErrStaleEpoch,
+		&rpc.SessionError{Cause: errors.New("conn reset")},
+		fmt.Errorf("wrapped: %w", core.ErrClosed),
+	}
+	for _, cause := range causes {
+		err := errRetriesExhausted("kv get", cause)
+		if !errors.Is(err, cause) {
+			t.Errorf("errRetriesExhausted lost cause %v", cause)
+		}
+	}
+	// The session-error cause also still unwraps to ErrClosed.
+	err := errRetriesExhausted("enqueue", &rpc.SessionError{Cause: errors.New("x")})
+	if !errors.Is(err, core.ErrClosed) {
+		t.Error("session-error cause no longer unwraps to ErrClosed")
+	}
+}
+
+// TestIsConnErr classifies which failures are worth a re-dial retry.
+func TestIsConnErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{core.ErrClosed, true},
+		{core.ErrTimeout, true},
+		{&rpc.SessionError{Cause: errors.New("eof")}, true},
+		{fmt.Errorf("call 3 timed out: %w", core.ErrTimeout), true},
+		{core.ErrNotFound, false},
+		{core.ErrStaleEpoch, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := isConnErr(c.err); got != c.want {
+			t.Errorf("isConnErr(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

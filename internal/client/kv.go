@@ -22,7 +22,11 @@ func (k *KV) Path() core.Path { return k.h.path }
 
 // route picks the block for key from the cached map: mutations go to
 // the chain head, reads to the tail (plain Info when unreplicated).
-func (k *KV) route(key string, op core.OpType) (core.BlockInfo, bool) {
+// Servers in avoid have failed at the connection level this operation;
+// reads fall back to the closest upstream chain member still reachable
+// — safe because chain propagation is synchronous, so every replica
+// holds all acknowledged writes.
+func (k *KV) route(key string, op core.OpType, avoid map[string]bool) (core.BlockInfo, bool) {
 	m := k.h.snapshot()
 	if m.NumSlots == 0 {
 		return core.BlockInfo{}, false
@@ -34,14 +38,23 @@ func (k *KV) route(key string, op core.OpType) (core.BlockInfo, bool) {
 	if op.IsMutation() {
 		return e.WriteTarget(), true
 	}
-	return e.ReadTarget(), true
+	rt := e.ReadTarget()
+	if avoid[rt.Server] {
+		for i := len(e.Chain) - 1; i >= 0; i-- {
+			if !avoid[e.Chain[i].Server] {
+				return e.Chain[i], true
+			}
+		}
+	}
+	return rt, true
 }
 
-// exec runs op with staleness/full recovery.
+// exec runs op with staleness/full/connection recovery.
 func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
 	var lastErr error
+	var avoid map[string]bool
 	for attempt := 0; attempt < k.h.retryLimit(); attempt++ {
-		info, ok := k.route(key, op)
+		info, ok := k.route(key, op, avoid)
 		if !ok {
 			if err := k.h.refresh(); err != nil {
 				return nil, err
@@ -64,6 +77,20 @@ func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
 			if serr := k.h.requestScale(info.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				return nil, serr
+			}
+			backoff(attempt)
+		case isConnErr(err):
+			// The session died or timed out: mark the server so reads
+			// fall back along the chain, pick up a fresh map (the
+			// controller may have repaired or moved blocks), re-dial on
+			// the next attempt.
+			lastErr = err
+			if avoid == nil {
+				avoid = make(map[string]bool)
+			}
+			avoid[info.Server] = true
+			if rerr := k.h.refresh(); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
 			}
 			backoff(attempt)
 		default:

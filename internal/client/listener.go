@@ -35,11 +35,19 @@ func (r *pushRouter) route(subID uint64, payload []byte) {
 }
 
 // dataConn returns the pooled connection to a memory server with its
-// push router installed.
+// push router installed. A cached session that has died (server crash,
+// forced disconnect) is evicted and re-dialed transparently.
 func (c *Client) dataConn(addr string) (*rpc.Client, error) {
 	conn, err := c.pool.Get(addr)
 	if err != nil {
 		return nil, err
+	}
+	if conn.IsClosed() {
+		c.dropData(addr)
+		conn, err = c.pool.Get(addr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	c.mu.Lock()
 	if _, ok := c.routers[addr]; !ok {
@@ -49,6 +57,17 @@ func (c *Client) dataConn(addr string) (*rpc.Client, error) {
 	}
 	c.mu.Unlock()
 	return conn, nil
+}
+
+// dropData evicts a dead data-plane session and its push router; the
+// next dataConn re-dials and re-installs routing. Live subscriptions
+// over the old session are gone server-side; Listener.Resync detects
+// the dead session and re-subscribes.
+func (c *Client) dropData(addr string) {
+	c.pool.Drop(addr)
+	c.mu.Lock()
+	delete(c.routers, addr)
+	c.mu.Unlock()
 }
 
 func (c *Client) router(addr string) *pushRouter {
@@ -77,6 +96,11 @@ type Listener struct {
 type serverSub struct {
 	addr  string
 	subID uint64
+	// blocks covered through this subscription; uncovered again if the
+	// session dies so Resync re-subscribes them.
+	blocks []core.BlockID
+	// conn is the session the subscription was registered over.
+	conn *rpc.Client
 }
 
 // subscribe registers op-type subscriptions on every server currently
@@ -120,7 +144,7 @@ func (l *Listener) subscribeNew(m ds.PartitionMap) error {
 		router.mu.Lock()
 		router.chans[resp.SubID] = l.ch
 		router.mu.Unlock()
-		l.subs = append(l.subs, serverSub{addr: addr, subID: resp.SubID})
+		l.subs = append(l.subs, serverSub{addr: addr, subID: resp.SubID, blocks: blocks, conn: conn})
 		for _, b := range blocks {
 			l.covered[b] = true
 		}
@@ -128,9 +152,31 @@ func (l *Listener) subscribeNew(m ds.PartitionMap) error {
 	return nil
 }
 
+// pruneDead drops subscriptions whose sessions have died (server crash
+// or forced disconnect) and marks their blocks uncovered, so the next
+// subscribeNew re-registers them over a fresh connection — the server
+// side dropped them on disconnect.
+func (l *Listener) pruneDead() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.subs[:0]
+	for _, s := range l.subs {
+		if s.conn != nil && s.conn.IsClosed() {
+			for _, b := range s.blocks {
+				delete(l.covered, b)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.subs = kept
+}
+
 // Resync refreshes the partition map and extends the subscription to
-// any blocks added by elastic scaling since Subscribe.
+// any blocks added by elastic scaling since Subscribe; subscriptions
+// lost to dead connections are re-established.
 func (l *Listener) Resync() error {
+	l.pruneDead()
 	if err := l.h.refresh(); err != nil {
 		return err
 	}

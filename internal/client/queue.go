@@ -102,6 +102,14 @@ func (q *Queue) Enqueue(item []byte) error {
 				return rerr
 			}
 			backoff(attempt)
+		case isConnErr(err):
+			// Session died or timed out: re-dial and re-learn the ends
+			// on the next attempt.
+			lastErr = err
+			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
+				return rerr
+			}
+			backoff(attempt)
 		default:
 			return err
 		}
@@ -137,6 +145,12 @@ func (q *Queue) Dequeue() ([]byte, error) {
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
 			if rerr := q.reseed(); rerr != nil {
+				return nil, rerr
+			}
+			backoff(attempt)
+		case isConnErr(err):
+			lastErr = err
+			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
 				return nil, rerr
 			}
 			backoff(attempt)

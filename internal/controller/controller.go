@@ -103,7 +103,7 @@ func New(opts Options) (*Controller, error) {
 		log:     opts.Logger,
 		persist: opts.Persist,
 		alloc:   alloc.New(),
-		servers: rpc.NewPool(opts.Dial),
+		servers: rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
 		stop:    make(chan struct{}),
 	}
 	for i := 0; i < opts.Shards; i++ {

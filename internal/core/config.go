@@ -21,6 +21,7 @@ const (
 	DefaultLowThreshold    = 0.05
 	DefaultNumHashSlots    = 1024
 	DefaultLeaseScanPeriod = 250 * time.Millisecond
+	DefaultRPCTimeout      = 30 * time.Second
 )
 
 // Config carries the tunables evaluated in the paper's sensitivity
@@ -51,6 +52,10 @@ type Config struct {
 	// ChainLength is the replication chain length for blocks; 1 (the
 	// default) disables replication.
 	ChainLength int
+	// RPCTimeout bounds every RPC without an explicit context deadline,
+	// so a peer that stops reading fails the call instead of hanging it.
+	// Zero disables the bound (calls wait forever); negative is invalid.
+	RPCTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -63,6 +68,7 @@ func DefaultConfig() Config {
 		LowThreshold:    DefaultLowThreshold,
 		NumHashSlots:    DefaultNumHashSlots,
 		ChainLength:     1,
+		RPCTimeout:      DefaultRPCTimeout,
 	}
 }
 
@@ -74,6 +80,7 @@ func TestConfig() Config {
 	c.LeaseDuration = 200 * time.Millisecond
 	c.LeaseScanPeriod = 20 * time.Millisecond
 	c.NumHashSlots = 64
+	c.RPCTimeout = 10 * time.Second
 	return c
 }
 
@@ -99,6 +106,9 @@ func (c Config) Validate() error {
 	}
 	if c.ChainLength < 1 {
 		return fmt.Errorf("core: chain length must be >= 1, got %d", c.ChainLength)
+	}
+	if c.RPCTimeout < 0 {
+		return fmt.Errorf("core: rpc timeout must be >= 0, got %v", c.RPCTimeout)
 	}
 	return nil
 }

@@ -1,0 +1,295 @@
+// Package faultinject is a deterministic, seed-driven fault layer for
+// chaos-testing the live RPC stack and the persistent tier. It wraps
+// the transports under internal/wire (both TCP and the in-process
+// mem:// pipes speak net.Conn, so one wrapper covers both) and the
+// persist.Store interface, injecting:
+//
+//   - latency and jitter (slept on a clock.Clock, so a virtual clock
+//     makes injected delays free and steerable in simulations)
+//   - message drops (a swallowed Write: the peer never sees the frame)
+//   - connection resets (the conn is closed mid-operation)
+//   - one-way partitions (every send toward a matching endpoint is
+//     blackholed until healed; the reverse direction still flows)
+//   - persist-tier errors (Put/Get/Delete/List fail with ErrInjected)
+//
+// Reproducibility contract: every probabilistic decision is a pure
+// function of (seed, rule name, per-rule operation index) — not of
+// goroutine interleaving or a shared RNG stream — so a fixed seed
+// fixes the entire fault schedule. Schedule exposes that schedule for
+// inspection; the chaos suite asserts same-seed runs agree.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jiffy/internal/clock"
+)
+
+// ErrInjected marks every error produced by the fault layer, so tests
+// can distinguish injected faults from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule describes one fault source. Match is a substring tested against
+// the operation's point label; labels are "send:<addr>" and
+// "recv:<addr>" for connection traffic and "persist:put", "persist:get",
+// "persist:delete", "persist:list" for the storage tier (so
+// Match: "send:" hits all outbound traffic, Match: "persist:" the whole
+// storage tier, Match: "mem://jiffy-1-server-0" one endpoint).
+type Rule struct {
+	// Name identifies the rule; it salts the decision hash, so two
+	// rules with identical probabilities fire on different schedules.
+	Name string
+	// Match is the substring selecting the operations this rule applies to.
+	Match string
+	// DropProb is the probability a matched send is swallowed whole.
+	DropProb float64
+	// ResetProb is the probability the connection is closed instead of
+	// carrying the message.
+	ResetProb float64
+	// ErrProb is the probability a matched persist operation fails.
+	ErrProb float64
+	// Latency is a fixed delay added to every matched operation.
+	Latency time.Duration
+	// Jitter adds a deterministic pseudo-uniform [0, Jitter) extra delay.
+	Jitter time.Duration
+}
+
+// Decision is the resolved outcome of one rule application; Schedule
+// returns these for reproducibility checks.
+type Decision struct {
+	Drop  bool
+	Reset bool
+	Err   bool
+	Delay time.Duration
+}
+
+// rule pairs the immutable description with its operation counter.
+type rule struct {
+	Rule
+	hash uint64
+	n    atomic.Uint64
+}
+
+// Injector owns the rule set, the partition list, and the registry of
+// live wrapped connections. Safe for concurrent use.
+type Injector struct {
+	seed uint64
+	clk  clock.Clock
+
+	mu         sync.Mutex
+	rules      []*rule
+	partitions []string
+	conns      map[*Conn]struct{}
+	disabled   bool
+}
+
+// New creates an injector; clk drives injected latency (nil = wall
+// clock). The same seed with the same rule set reproduces the same
+// fault schedule.
+func New(seed int64, clk clock.Clock) *Injector {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Injector{
+		seed:  uint64(seed),
+		clk:   clk,
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// AddRule installs a fault rule; its operation counter starts at zero.
+func (i *Injector) AddRule(r Rule) {
+	h := fnv.New64a()
+	h.Write([]byte(r.Name))
+	i.mu.Lock()
+	i.rules = append(i.rules, &rule{Rule: r, hash: h.Sum64()})
+	i.mu.Unlock()
+}
+
+// RemoveRule deletes the named rule.
+func (i *Injector) RemoveRule(name string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	kept := i.rules[:0]
+	for _, r := range i.rules {
+		if r.Name != name {
+			kept = append(kept, r)
+		}
+	}
+	i.rules = kept
+}
+
+// Partition blackholes every send whose label contains match — a
+// one-way partition: A→B messages vanish while B→A still flows. The
+// senders are not told; their calls time out via the RPC deadline.
+func (i *Injector) Partition(match string) {
+	i.mu.Lock()
+	i.partitions = append(i.partitions, match)
+	i.mu.Unlock()
+}
+
+// Heal removes a partition previously installed with Partition.
+func (i *Injector) Heal(match string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	kept := i.partitions[:0]
+	for _, p := range i.partitions {
+		if p != match {
+			kept = append(kept, p)
+		}
+	}
+	i.partitions = kept
+}
+
+// HealAll removes every partition.
+func (i *Injector) HealAll() {
+	i.mu.Lock()
+	i.partitions = nil
+	i.mu.Unlock()
+}
+
+// SetEnabled pauses (false) or resumes (true) all injection — rules,
+// partitions and counters stay intact, so a pause does not perturb the
+// schedule of faults that do fire.
+func (i *Injector) SetEnabled(v bool) {
+	i.mu.Lock()
+	i.disabled = !v
+	i.mu.Unlock()
+}
+
+// BreakConns force-closes every live wrapped connection whose endpoint
+// contains match, and returns how many it severed — a crash/disconnect
+// primitive: in-flight calls over those sessions fail fast with a
+// session error.
+func (i *Injector) BreakConns(match string) int {
+	i.mu.Lock()
+	var victims []*Conn
+	for c := range i.conns {
+		if match == "" || contains(c.endpoint, match) {
+			victims = append(victims, c)
+		}
+	}
+	i.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
+// blocked reports whether a send label is currently partitioned.
+func (i *Injector) blocked(label string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.disabled {
+		return false
+	}
+	for _, p := range i.partitions {
+		if contains(label, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// decide resolves the combined outcome of every rule matching label,
+// consuming one schedule slot per matching rule. Delays add; any
+// matched drop/reset/err applies.
+func (i *Injector) decide(label string) Decision {
+	i.mu.Lock()
+	if i.disabled {
+		i.mu.Unlock()
+		return Decision{}
+	}
+	var matched []*rule
+	for _, r := range i.rules {
+		if contains(label, r.Match) {
+			matched = append(matched, r)
+		}
+	}
+	i.mu.Unlock()
+
+	var d Decision
+	for _, r := range matched {
+		n := r.n.Add(1) - 1
+		step := decisionAt(i.seed, r, n)
+		d.Drop = d.Drop || step.Drop
+		d.Reset = d.Reset || step.Reset
+		d.Err = d.Err || step.Err
+		d.Delay += step.Delay
+	}
+	return d
+}
+
+// Schedule returns the decisions the named rule will make for its
+// operation indices [0, n), without consuming the counter — the
+// reproducibility contract made inspectable.
+func (i *Injector) Schedule(name string, n int) []Decision {
+	i.mu.Lock()
+	var target *rule
+	for _, r := range i.rules {
+		if r.Name == name {
+			target = r
+			break
+		}
+	}
+	i.mu.Unlock()
+	if target == nil {
+		return nil
+	}
+	out := make([]Decision, n)
+	for k := 0; k < n; k++ {
+		out[k] = decisionAt(i.seed, target, uint64(k))
+	}
+	return out
+}
+
+// decisionAt computes rule r's decision for its k-th operation. Each
+// probabilistic draw hashes (seed, rule, k, salt) through SplitMix64 —
+// no shared RNG stream, so concurrency cannot reorder the schedule.
+func decisionAt(seed uint64, r *rule, k uint64) Decision {
+	var d Decision
+	d.Drop = r.DropProb > 0 && unit(seed, r.hash, k, 1) < r.DropProb
+	d.Reset = r.ResetProb > 0 && unit(seed, r.hash, k, 2) < r.ResetProb
+	d.Err = r.ErrProb > 0 && unit(seed, r.hash, k, 3) < r.ErrProb
+	d.Delay = r.Latency
+	if r.Jitter > 0 {
+		d.Delay += time.Duration(unit(seed, r.hash, k, 4) * float64(r.Jitter))
+	}
+	return d
+}
+
+// unit maps (seed, rule, op index, salt) to a uniform float in [0, 1).
+func unit(seed, ruleHash, k, salt uint64) float64 {
+	h := splitmix64(seed ^ ruleHash ^ splitmix64(k*8+salt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer
+// whose output is a pure function of its input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// contains matches an operation label against a rule/partition pattern.
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// sleep applies an injected delay on the injector's clock.
+func (i *Injector) sleep(d time.Duration) {
+	if d > 0 {
+		i.clk.Sleep(d)
+	}
+}
+
+// injectedErr builds a typed injected-fault error.
+func injectedErr(what, where string) error {
+	return fmt.Errorf("faultinject: %s %s: %w", what, where, ErrInjected)
+}

@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"jiffy/internal/clock"
+	"jiffy/internal/persist"
+)
+
+// TestScheduleDeterminism is the reproducibility contract: the same
+// seed and rule set produce the identical fault schedule, and a
+// different seed produces a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	mk := func(seed int64) []Decision {
+		inj := New(seed, nil)
+		inj.AddRule(Rule{
+			Name: "flaky", Match: "send:", DropProb: 0.3, ResetProb: 0.05,
+			Latency: time.Millisecond, Jitter: time.Millisecond,
+		})
+		return inj.Schedule("flaky", 256)
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// The schedule has roughly the configured drop rate.
+	drops := 0
+	for _, d := range a {
+		if d.Drop {
+			drops++
+		}
+	}
+	if drops < len(a)/5 || drops > len(a)/2 {
+		t.Errorf("drop rate %d/%d far from configured 0.3", drops, len(a))
+	}
+}
+
+// TestDecideMatchesSchedule: live decisions consume the same schedule
+// that Schedule reports, independent of other rules' traffic.
+func TestDecideMatchesSchedule(t *testing.T) {
+	inj := New(7, nil)
+	inj.AddRule(Rule{Name: "r1", Match: "send:a", DropProb: 0.5})
+	inj.AddRule(Rule{Name: "r2", Match: "send:b", DropProb: 0.5})
+	want := inj.Schedule("r1", 64)
+	for i := 0; i < 64; i++ {
+		// Interleave unrelated traffic; r1's schedule must not shift.
+		inj.decide("send:b")
+		got := inj.decide("send:a")
+		if got.Drop != want[i].Drop {
+			t.Fatalf("op %d: live drop=%v, schedule drop=%v", i, got.Drop, want[i].Drop)
+		}
+	}
+}
+
+// TestConnDropAndPartition exercises the wrapper over a real pipe.
+func TestConnDropAndPartition(t *testing.T) {
+	inj := New(1, nil)
+	client, server := net.Pipe()
+	wrapped := inj.WrapConn("peer", client)
+	defer server.Close()
+
+	read := func() chan []byte {
+		ch := make(chan []byte, 1)
+		go func() {
+			buf := make([]byte, 16)
+			n, err := server.Read(buf)
+			if err != nil {
+				close(ch)
+				return
+			}
+			ch <- buf[:n]
+		}()
+		return ch
+	}
+
+	// No rules: bytes flow.
+	ch := read()
+	if _, err := wrapped.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-ch; string(got) != "hello" {
+		t.Fatalf("passthrough read %q", got)
+	}
+
+	// Partitioned: the write "succeeds" but the peer never sees it.
+	inj.Partition("send:peer")
+	if n, err := wrapped.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("partitioned write = %d, %v", n, err)
+	}
+	ch = read()
+	select {
+	case got, ok := <-ch:
+		if ok {
+			t.Fatalf("partitioned message arrived: %q", got)
+		}
+	case <-time.After(50 * time.Millisecond):
+		// Expected: nothing arrives.
+	}
+
+	// Healed: flow resumes (the pending read above is still waiting).
+	inj.Heal("send:peer")
+	if _, err := wrapped.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-ch; string(got) != "back" {
+		t.Fatalf("post-heal read %q", got)
+	}
+}
+
+// TestConnReset: a reset rule closes the transport and errors the write.
+func TestConnReset(t *testing.T) {
+	inj := New(1, nil)
+	inj.AddRule(Rule{Name: "kill", Match: "send:victim", ResetProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	wrapped := inj.WrapConn("victim", client)
+	if _, err := wrapped.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset write err = %v", err)
+	}
+	// The underlying conn is closed.
+	if _, err := client.Write([]byte("y")); err == nil {
+		t.Error("underlying conn still open after reset")
+	}
+}
+
+// TestBreakConns severs live wrapped connections by endpoint match.
+func TestBreakConns(t *testing.T) {
+	inj := New(1, nil)
+	c1, s1 := net.Pipe()
+	c2, s2 := net.Pipe()
+	defer s1.Close()
+	defer s2.Close()
+	w1 := inj.WrapConn("mem://srv-1", c1)
+	w2 := inj.WrapConn("mem://srv-2", c2)
+	if n := inj.BreakConns("srv-1"); n != 1 {
+		t.Fatalf("broke %d conns, want 1", n)
+	}
+	if _, err := w1.Write([]byte("x")); err == nil {
+		t.Error("broken conn still writable")
+	}
+	go s2.Read(make([]byte, 1)) // net.Pipe writes rendezvous with a reader
+	if _, err := w2.Write([]byte("x")); err != nil {
+		t.Errorf("unmatched conn was severed: %v", err)
+	}
+}
+
+// TestStoreInjection: persist faults fire deterministically and wrap
+// ErrInjected; disabling the injector restores the inner store.
+func TestStoreInjection(t *testing.T) {
+	inj := New(99, nil)
+	inj.AddRule(Rule{Name: "s3down", Match: "persist:put", ErrProb: 1})
+	st := inj.Store(persist.NewMemStore())
+	if err := st.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put err = %v", err)
+	}
+	inj.SetEnabled(false)
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put with injection disabled: %v", err)
+	}
+	if got, err := st.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+}
+
+// TestLatencyOnVirtualClock: injected delays sleep on the supplied
+// clock, so a virtual clock makes them free and steerable.
+func TestLatencyOnVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	inj := New(5, vc)
+	inj.AddRule(Rule{Name: "wan", Match: "persist:get", Latency: time.Hour})
+	st := inj.Store(persist.NewMemStore())
+	st.Put("k", []byte("v")) // no rule on put: immediate
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Get("k")
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("get returned before the virtual clock advanced")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Wait for the Get goroutine to park its timer, then advance.
+	for vc.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	vc.Advance(time.Hour)
+	if err := <-done; err != nil {
+		t.Fatalf("get after advance: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"jiffy/internal/persist"
+)
+
+// Store wraps a persist.Store with injected latency and errors, for
+// chaos-testing flush/load/spill paths (lease-expiry flushes must
+// survive a flaky persistent tier without losing data). Rules match
+// the labels "persist:put", "persist:get", "persist:delete",
+// "persist:list"; injected failures wrap ErrInjected.
+type Store struct {
+	inner persist.Store
+	inj   *Injector
+}
+
+// Store wraps inner with this injector's fault plan.
+func (i *Injector) Store(inner persist.Store) *Store {
+	return &Store{inner: inner, inj: i}
+}
+
+// apply resolves faults for one persist op; Drop and Err both mean the
+// operation fails (there is no silent drop for storage).
+func (s *Store) apply(label string) error {
+	d := s.inj.decide(label)
+	s.inj.sleep(d.Delay)
+	if d.Err || d.Drop || d.Reset {
+		return injectedErr("persist fault", label)
+	}
+	return nil
+}
+
+// Put implements persist.Store.
+func (s *Store) Put(key string, data []byte) error {
+	if err := s.apply("persist:put"); err != nil {
+		return err
+	}
+	return s.inner.Put(key, data)
+}
+
+// Get implements persist.Store.
+func (s *Store) Get(key string) ([]byte, error) {
+	if err := s.apply("persist:get"); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+// Delete implements persist.Store.
+func (s *Store) Delete(key string) error {
+	if err := s.apply("persist:delete"); err != nil {
+		return err
+	}
+	return s.inner.Delete(key)
+}
+
+// List implements persist.Store.
+func (s *Store) List(prefix string) ([]string, error) {
+	if err := s.apply("persist:list"); err != nil {
+		return nil, err
+	}
+	return s.inner.List(prefix)
+}

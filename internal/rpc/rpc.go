@@ -14,10 +14,30 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
+	"jiffy/internal/clock"
 	"jiffy/internal/core"
 	"jiffy/internal/wire"
 )
+
+// SessionError reports that an RPC session died with calls in flight:
+// the read pump hit a connection error (peer crash, reset, network
+// partition) and every pending request was failed fast rather than
+// left hanging. It unwraps to core.ErrClosed so existing errors.Is
+// checks keep working; Cause carries the underlying transport error.
+type SessionError struct {
+	// Cause is the read-pump error that killed the session.
+	Cause error
+}
+
+// Error implements error.
+func (e *SessionError) Error() string {
+	return fmt.Sprintf("rpc: session closed: %v", e.Cause)
+}
+
+// Unwrap maps the session failure onto the ErrClosed sentinel.
+func (e *SessionError) Unwrap() error { return core.ErrClosed }
 
 // Marshal gob-encodes a control-plane message.
 func Marshal(v interface{}) ([]byte, error) {
@@ -46,6 +66,15 @@ type Client struct {
 	nextSeq uint64
 	pending map[uint64]chan *wire.Frame
 	closed  bool
+	// sessionErr records why the session died; returned to callers whose
+	// pending requests were failed by failAll.
+	sessionErr error
+
+	// timeout bounds every Call without an explicit context deadline;
+	// zero disables the bound. clk drives the timeout timer (virtual in
+	// simulations).
+	timeout time.Duration
+	clk     clock.Clock
 
 	// onPush, if set, receives push frames (subscription notifications).
 	onPush func(subID uint64, payload []byte)
@@ -72,10 +101,60 @@ func NewClient(conn *wire.Conn) *Client {
 	c := &Client{
 		conn:       conn,
 		pending:    make(map[uint64]chan *wire.Frame),
+		clk:        clock.Real{},
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// SetTimeout installs the default per-call deadline; zero disables it.
+// Calls already in flight are unaffected.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// SetClock overrides the timeout timer source (tests and simulations
+// use a virtual clock).
+func (c *Client) SetClock(clk clock.Clock) {
+	c.mu.Lock()
+	c.clk = clk
+	c.mu.Unlock()
+}
+
+// IsClosed reports whether the session has terminated (read pump gone).
+func (c *Client) IsClosed() bool {
+	select {
+	case <-c.readerDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done is closed when the session terminates; connection caches watch
+// it to evict dead sessions.
+func (c *Client) Done() <-chan struct{} { return c.readerDone }
+
+// WithTimeout wraps a dial function so every client it produces carries
+// the default per-call deadline d.
+func WithTimeout(dial func(addr string) (*Client, error), d time.Duration) func(addr string) (*Client, error) {
+	if dial == nil {
+		dial = Dial
+	}
+	if d <= 0 {
+		return dial
+	}
+	return func(addr string) (*Client, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.SetTimeout(d)
+		return c, nil
+	}
 }
 
 // OnPush installs the handler invoked (from the read pump goroutine)
@@ -92,7 +171,7 @@ func (c *Client) readLoop() {
 	for {
 		f, err := c.conn.ReadFrame()
 		if err != nil {
-			c.failAll()
+			c.failAll(err)
 			return
 		}
 		switch f.Kind {
@@ -117,10 +196,16 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) failAll() {
+// failAll marks the session dead and fails every pending call fast
+// with a SessionError carrying cause — callers never hang on a peer
+// that stopped responding.
+func (c *Client) failAll(cause error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
+	if c.sessionErr == nil {
+		c.sessionErr = &SessionError{Cause: cause}
+	}
 	for seq, ch := range c.pending {
 		delete(c.pending, seq)
 		close(ch)
@@ -137,17 +222,26 @@ func (c *Client) Call(method uint16, payload []byte) ([]byte, error) {
 
 // CallContext is Call with cancellation. A canceled context abandons
 // the response (the pending entry is removed; a late response frame is
-// dropped by the read pump).
+// dropped by the read pump). When the client carries a default timeout
+// and ctx has no deadline of its own, the call fails with ErrTimeout
+// once the timeout elapses — a peer that stops reading cannot hang the
+// caller forever.
 func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
+		err := c.sessionErr
 		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		return nil, core.ErrClosed
 	}
 	c.nextSeq++
 	seq := c.nextSeq
 	ch := make(chan *wire.Frame, 1)
 	c.pending[seq] = ch
+	timeout := c.timeout
+	clk := c.clk
 	c.mu.Unlock()
 
 	err := c.conn.WriteFrame(&wire.Frame{
@@ -163,15 +257,33 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 		return nil, err
 	}
 
+	var timer <-chan time.Time
+	if timeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			timer = clk.After(timeout)
+		}
+	}
+
 	select {
 	case f, ok := <-ch:
 		if !ok {
+			c.mu.Lock()
+			serr := c.sessionErr
+			c.mu.Unlock()
+			if serr != nil {
+				return nil, serr
+			}
 			return nil, core.ErrClosed
 		}
 		if f.Code != core.CodeOK {
 			return f.Payload, core.ErrOf(f.Code, string(f.Payload))
 		}
 		return f.Payload, nil
+	case <-timer:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: call %d timed out after %v: %w", method, timeout, core.ErrTimeout)
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, seq)

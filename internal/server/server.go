@@ -81,7 +81,7 @@ func New(opts Options) (*Server, error) {
 		cfg:            opts.Config,
 		log:            opts.Logger,
 		persist:        opts.Persist,
-		peers:          rpc.NewPool(opts.Dial),
+		peers:          rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
 		controllerAddr: opts.ControllerAddr,
 		signals:        make(chan signal, 1024),
 		stop:           make(chan struct{}),
