@@ -1,0 +1,265 @@
+package jiffy
+
+// End-to-end behavior tests for the batched multi-op API: value
+// round-trips, per-op error attribution, chunk/segment boundaries
+// crossed mid-batch, and a batch racing a repartition.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"jiffy/internal/core"
+)
+
+func batchKV(t *testing.T, c *Client, prefix core.Path, blocks int) *KV {
+	t.Helper()
+	if _, _, err := c.CreatePrefix(prefix, nil, DSKV, blocks, 0); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.OpenKV(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv
+}
+
+func TestMultiPutMultiGetRoundTrip(t *testing.T) {
+	_, c := testCluster(t, 2, 32)
+	c.RegisterJob("batch")
+	kv := batchKV(t, c, "batch/t", 4)
+
+	const n = 100
+	pairs := make([]KVPair, n)
+	keys := make([]string, n)
+	for i := range pairs {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		pairs[i] = KVPair{Key: keys[i], Value: []byte(fmt.Sprintf("val-%03d", i))}
+	}
+	if err := kv.MultiPut(pairs); err != nil {
+		t.Fatalf("MultiPut: %v", err)
+	}
+	vals, err := kv.MultiGet(keys)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	if len(vals) != n {
+		t.Fatalf("MultiGet returned %d values for %d keys", len(vals), n)
+	}
+	for i, v := range vals {
+		if string(v) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("vals[%d] = %q", i, v)
+		}
+	}
+	// Batched writes are real writes: the single-op path sees them.
+	if v, err := kv.Get(keys[n-1]); err != nil || string(v) != fmt.Sprintf("val-%03d", n-1) {
+		t.Fatalf("single Get after MultiPut = %q, %v", v, err)
+	}
+}
+
+func TestMultiGetMissingKeysAttributed(t *testing.T) {
+	_, c := testCluster(t, 2, 32)
+	c.RegisterJob("batch")
+	kv := batchKV(t, c, "batch/miss", 4)
+
+	const n = 40
+	var pairs []KVPair
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		if i%2 == 0 {
+			pairs = append(pairs, KVPair{Key: keys[i], Value: []byte("present")})
+		}
+	}
+	if err := kv.MultiPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := kv.MultiGet(keys)
+	if err == nil {
+		t.Fatal("MultiGet with missing keys reported total success")
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aggregate error does not unwrap to ErrNotFound: %v", err)
+	}
+	var me *MultiError
+	if !errors.As(err, &me) || len(me.Errs) != n {
+		t.Fatalf("error = %T with %d outcomes, want *MultiError with %d", err, len(me.Errs), n)
+	}
+	for i := range keys {
+		present := i%2 == 0
+		switch {
+		case present && (me.Errs[i] != nil || string(vals[i]) != "present"):
+			t.Fatalf("present key %d: val=%q err=%v", i, vals[i], me.Errs[i])
+		case !present && !errors.Is(me.Errs[i], ErrNotFound):
+			t.Fatalf("missing key %d attributed %v, want ErrNotFound", i, me.Errs[i])
+		case !present && vals[i] != nil:
+			t.Fatalf("missing key %d has value %q", i, vals[i])
+		}
+	}
+}
+
+func TestBatchEmptyAndSingle(t *testing.T) {
+	_, c := testCluster(t, 1, 16)
+	c.RegisterJob("batch")
+	kv := batchKV(t, c, "batch/edge", 1)
+
+	if err := kv.MultiPut(nil); err != nil {
+		t.Errorf("empty MultiPut = %v", err)
+	}
+	if vals, err := kv.MultiGet(nil); err != nil || len(vals) != 0 {
+		t.Errorf("empty MultiGet = %v, %v", vals, err)
+	}
+	if err := kv.MultiPut([]KVPair{{Key: "only", Value: []byte("one")}}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := kv.MultiGet([]string{"only"})
+	if err != nil || len(vals) != 1 || string(vals[0]) != "one" {
+		t.Fatalf("single-op batch = %q, %v", vals, err)
+	}
+}
+
+// TestAppendBatchAcrossChunkBoundary appends far more than one chunk in
+// batches: the tail must fill mid-batch, the unplaced suffix scale up
+// and land on the new tail, and every returned offset read back the
+// record that was appended there.
+func TestAppendBatchAcrossChunkBoundary(t *testing.T) {
+	_, c := testCluster(t, 2, 32)
+	c.RegisterJob("batch")
+	if _, _, err := c.CreatePrefix("batch/f", nil, DSFile, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.OpenFile("batch/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1KB records against 64KB chunks: 150 records span >2 chunks.
+	const n = 150
+	records := make([][]byte, n)
+	for i := range records {
+		records[i] = bytes.Repeat([]byte{byte(i)}, 1024)
+	}
+	var offs []int
+	for lo := 0; lo < n; lo += 50 {
+		batch, err := f.AppendBatch(records[lo : lo+50])
+		if err != nil {
+			t.Fatalf("AppendBatch[%d:]: %v", lo, err)
+		}
+		offs = append(offs, batch...)
+	}
+
+	chunks, err := f.Chunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks < 3 {
+		t.Fatalf("file has %d chunks; the batch never crossed a boundary", chunks)
+	}
+	seen := make(map[int]bool)
+	for i, off := range offs {
+		if seen[off] {
+			t.Fatalf("records %d shares offset %d with an earlier record", i, off)
+		}
+		seen[off] = true
+		got, err := f.ReadAt(off, len(records[i]))
+		if err != nil || !bytes.Equal(got, records[i]) {
+			t.Fatalf("record %d at offset %d: len=%d err=%v", i, off, len(got), err)
+		}
+	}
+}
+
+// TestEnqueueBatchFIFOAcrossSegments enqueues enough that the tail
+// segment seals mid-batch (redirect path) and verifies strict FIFO
+// order across the segment boundary on dequeue.
+func TestEnqueueBatchFIFOAcrossSegments(t *testing.T) {
+	_, c := testCluster(t, 2, 32)
+	c.RegisterJob("batch")
+	if _, _, err := c.CreatePrefix("batch/q", nil, DSQueue, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.OpenQueue("batch/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1KB items against 64KB segments: 150 items cross segments.
+	const n = 150
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = append(bytes.Repeat([]byte{byte(i)}, 1023), byte(i))
+	}
+	for lo := 0; lo < n; lo += 50 {
+		if err := q.EnqueueBatch(items[lo : lo+50]); err != nil {
+			t.Fatalf("EnqueueBatch[%d:]: %v", lo, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := q.Dequeue()
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if !bytes.Equal(got, items[i]) {
+			t.Fatalf("dequeue %d out of order: got tag %d, want %d", i, got[0], i)
+		}
+	}
+}
+
+// TestBatchSpanningRepartitionInFlight is the stale-map scenario: a
+// handle caches the partition map, the structure repartitions underneath
+// it (driven through a second handle), and then a batch through the
+// stale handle spans blocks that moved. The per-op ErrStaleEpoch
+// responses must drive a refresh-and-regroup, not surface to the
+// caller, and every op must land under the new map.
+func TestBatchSpanningRepartitionInFlight(t *testing.T) {
+	_, c := testCluster(t, 2, 64)
+	c.RegisterJob("batch")
+	staleKV := batchKV(t, c, "batch/repart", 1) // caches the 1-block map
+
+	// Drive repeated splits through an independent handle: the stale
+	// handle's cached map now points most slots at the wrong block.
+	writerKV, err := c.OpenKV("batch/repart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 400; i++ {
+		if err := writerKV.Put(fmt.Sprintf("fill-%04d", i), filler); err != nil {
+			t.Fatalf("fill put %d: %v", i, err)
+		}
+	}
+	stats, err := c.ControllerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AllocatedBlocks < 4 {
+		t.Fatalf("allocated blocks = %d; the store never repartitioned", stats.AllocatedBlocks)
+	}
+
+	// A batch through the stale handle: its ops hit moved blocks, the
+	// servers answer ErrStaleEpoch per op, and the batch engine must
+	// split the batch and retry against the refreshed map.
+	const n = 80
+	pairs := make([]KVPair, n)
+	keys := make([]string, n)
+	for i := range pairs {
+		keys[i] = fmt.Sprintf("batch-%03d", i)
+		pairs[i] = KVPair{Key: keys[i], Value: []byte(fmt.Sprintf("bv-%03d", i))}
+	}
+	if err := staleKV.MultiPut(pairs); err != nil {
+		t.Fatalf("MultiPut through stale handle: %v", err)
+	}
+	vals, err := staleKV.MultiGet(keys)
+	if err != nil {
+		t.Fatalf("MultiGet through refreshed handle: %v", err)
+	}
+	for i, v := range vals {
+		if string(v) != fmt.Sprintf("bv-%03d", i) {
+			t.Fatalf("vals[%d] = %q after repartition", i, v)
+		}
+	}
+	// The fill data survived the batch traffic too.
+	if v, err := writerKV.Get("fill-0000"); err != nil || !bytes.Equal(v, filler) {
+		t.Fatalf("fill key after batch: len=%d err=%v", len(v), err)
+	}
+}

@@ -441,6 +441,129 @@ func TestChaosListenerResubscribeAcrossDisconnect(t *testing.T) {
 	}
 }
 
+// TestChaosServerDiesMidBatch kills one of two servers under a batch
+// whose ops span both, under a seeded fault schedule. The batched path
+// must attribute outcomes per op — every op on the dead server fails
+// with a classified connection-level error, every op on the survivor
+// succeeds and stays readable, and no op reports silent success — and
+// the injector's schedule for the scenario's rule must be reproducible
+// from the seed alone.
+func TestChaosServerDiesMidBatch(t *testing.T) {
+	const seed = 707
+	jitter := faultinject.Rule{
+		Name: "wire-jitter", Match: "send:",
+		Latency: 50 * time.Microsecond, Jitter: 150 * time.Microsecond,
+	}
+	inj := faultinject.New(seed, nil)
+	inj.AddRule(jitter)
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cfg.RPCTimeout = time.Second
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 2, BlocksPerServer: 16})
+	c, err := client.ConnectMulti(cluster.ControllerAddrs, client.Options{
+		Dial: inj.Dial, RPCTimeout: cfg.RPCTimeout, RetryLimit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob("midbatch")
+	m, _, err := c.CreatePrefix("midbatch/t", nil, DSKV, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.OpenKV("midbatch/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build one batch spanning both servers and record, per op, whether
+	// its block lives on the server about to die.
+	const n = 64
+	pairs := make([]KVPair, n)
+	onDead := make([]bool, n)
+	deadCount := 0
+	for i := range pairs {
+		key := fmt.Sprintf("mb-%03d", i)
+		pairs[i] = KVPair{Key: key, Value: []byte("v-" + key)}
+		e, ok := m.BlockForSlot(ds.SlotOf(key, m.NumSlots))
+		if !ok {
+			t.Fatalf("no block for key %s", key)
+		}
+		onDead[i] = strings.Contains(e.Info.Server, "server-1")
+		if onDead[i] {
+			deadCount++
+		}
+	}
+	if deadCount == 0 || deadCount == n {
+		t.Fatalf("batch does not span both servers: %d/%d ops on server-1", deadCount, n)
+	}
+
+	// The server dies with the batch about to hit it: listener gone,
+	// every live session severed.
+	cluster.Servers[1].Close()
+	inj.BreakConns("server-1")
+
+	err = kv.MultiPut(pairs)
+	if err == nil {
+		t.Fatal("batch spanning a dead server reported total success")
+	}
+	var me *MultiError
+	if !errors.As(err, &me) {
+		t.Fatalf("batch failure is %T (%v), want *MultiError with per-op attribution", err, err)
+	}
+	if len(me.Errs) != n {
+		t.Fatalf("MultiError carries %d outcomes for %d ops", len(me.Errs), n)
+	}
+	for i, oerr := range me.Errs {
+		switch {
+		case onDead[i] && oerr == nil:
+			t.Fatalf("op %d (%s) targeted the dead server but reported success", i, pairs[i].Key)
+		case onDead[i] && !errors.Is(oerr, core.ErrClosed) && !errors.Is(oerr, ErrTimeout):
+			t.Fatalf("op %d (%s) failed with unclassified error: %v", i, pairs[i].Key, oerr)
+		case !onDead[i] && oerr != nil:
+			t.Fatalf("op %d (%s) on the surviving server failed: %v", i, pairs[i].Key, oerr)
+		}
+	}
+
+	// No silent partial success in either direction: every op the batch
+	// acknowledged is readable with the written value.
+	for i, p := range pairs {
+		if onDead[i] {
+			continue
+		}
+		v, gerr := kv.Get(p.Key)
+		if gerr != nil || string(v) != string(p.Value) {
+			t.Fatalf("acked op %s unreadable after mid-batch crash: %q, %v", p.Key, v, gerr)
+		}
+	}
+
+	// The fault schedule is a pure function of (seed, rule, op index):
+	// a fresh injector with the same seed produces the identical
+	// schedule, and the schedule is non-trivial under this rule.
+	sched := inj.Schedule("wire-jitter", 64)
+	inj2 := faultinject.New(seed, nil)
+	inj2.AddRule(jitter)
+	resched := inj2.Schedule("wire-jitter", 64)
+	if len(sched) != 64 || len(resched) != 64 {
+		t.Fatalf("schedule lengths = %d, %d", len(sched), len(resched))
+	}
+	varied := false
+	for k := range sched {
+		if sched[k] != resched[k] {
+			t.Fatalf("same seed, different decision at op %d: %+v vs %+v", k, sched[k], resched[k])
+		}
+		if k > 0 && sched[k].Delay != sched[0].Delay {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter schedule is constant; the seeded draw did not engage")
+	}
+	t.Logf("batch of %d ops: %d attributed to dead server, %d acked on survivor",
+		n, deadCount, n-deadCount)
+}
+
 // flakyFlushAttempts runs the lease-expiry flush against a persist tier
 // failing puts with probability 0.6 under the given seed, and returns
 // how many expiry scans it took until the flush went through and the

@@ -1,0 +1,65 @@
+// jiffy-regress runs the hot-path micro-benchmarks (single-op vs
+// batched KV/file/queue operations over the mem:// transport), writes
+// the results as machine-readable JSON, and optionally compares them
+// against a checked-in baseline, exiting non-zero on regression.
+//
+//	jiffy-regress -out BENCH_hotpath.json                 # record
+//	jiffy-regress -quick -baseline BENCH_hotpath.json     # CI gate
+//
+// The default comparison is hardware-neutral (batch-vs-single speedup
+// ratios and allocs/op); pass -absolute to also gate on raw ops/sec
+// when baseline and current ran on the same machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jiffy/internal/bench/hotpath"
+	"jiffy/internal/bench/regress"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "path to write the JSON report (empty = don't write)")
+	baseline := flag.String("baseline", "", "baseline report to compare against (empty = record only)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression before failing")
+	absolute := flag.Bool("absolute", false, "also compare raw ops/sec (same-machine baselines only)")
+	quick := flag.Bool("quick", false, "smaller cluster and working set (CI smoke mode)")
+	flag.Parse()
+
+	rep := regress.Run(hotpath.Benches(*quick), *quick, func(format string, args ...interface{}) {
+		fmt.Printf(format, args...)
+	})
+
+	for fam, speedup := range rep.Speedups() {
+		fmt.Printf("%-24s batch speedup %.2fx\n", fam, speedup)
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: write %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		base, err := regress.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: %v\n", err)
+			os.Exit(2)
+		}
+		regs := regress.Compare(base, rep, regress.Options{
+			Tolerance: *tolerance, Absolute: *absolute,
+		})
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: %d regression(s) vs %s:\n", len(regs), *baseline)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (tolerance %d%%)\n", *baseline, int(*tolerance*100))
+	}
+}

@@ -1,0 +1,34 @@
+package jiffy_test
+
+// Hot-path single-op vs batched micro-benchmarks. The bodies live in
+// internal/bench/hotpath so cmd/jiffy-regress can run the identical
+// code and emit BENCH_hotpath.json; these wrappers expose them to the
+// standard `go test -bench` flow:
+//
+//	go test -bench 'KVPut|KVGet|FileAppend|QueueEnqueue' -benchmem
+
+import (
+	"testing"
+
+	"jiffy/internal/bench/hotpath"
+)
+
+func hotpathBench(b *testing.B, name string) {
+	b.Helper()
+	for _, bench := range hotpath.Benches(false) {
+		if bench.Name == name {
+			bench.F(b)
+			return
+		}
+	}
+	b.Fatalf("no hotpath benchmark named %q", name)
+}
+
+func BenchmarkKVPutSingle(b *testing.B)        { hotpathBench(b, "KVPutSingle") }
+func BenchmarkKVPutBatch(b *testing.B)         { hotpathBench(b, "KVPutBatch") }
+func BenchmarkKVGetSingle(b *testing.B)        { hotpathBench(b, "KVGetSingle") }
+func BenchmarkKVGetBatch(b *testing.B)         { hotpathBench(b, "KVGetBatch") }
+func BenchmarkFileAppendSingle(b *testing.B)   { hotpathBench(b, "FileAppendSingle") }
+func BenchmarkFileAppendBatch(b *testing.B)    { hotpathBench(b, "FileAppendBatch") }
+func BenchmarkQueueEnqueueSingle(b *testing.B) { hotpathBench(b, "QueueEnqueueSingle") }
+func BenchmarkQueueEnqueueBatch(b *testing.B)  { hotpathBench(b, "QueueEnqueueBatch") }

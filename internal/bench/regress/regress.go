@@ -1,0 +1,206 @@
+// Package regress is a small benchmark-regression harness: it runs
+// named benchmark functions through testing.Benchmark, emits the
+// results as machine-readable JSON (BENCH_hotpath.json is the first
+// consumer), and compares a fresh report against a checked-in baseline.
+//
+// Comparison is hardware-neutral by default. Raw ops/sec differs
+// wildly across laptops and CI runners, so instead of absolute
+// throughput the default mode checks the metrics that survive a
+// machine change: the batch-vs-single speedup ratio per benchmark
+// family (a collapsing speedup is exactly the regression the batched
+// hot path must guard against) and allocs/op (deterministic for a
+// given code version). Same-machine workflows can opt into absolute
+// throughput comparison with Options.Absolute.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Schema identifies the report format version.
+const Schema = "jiffy-bench/1"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"` // iterations measured (b.N)
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is a full benchmark run.
+type Report struct {
+	Schema    string    `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Quick     bool      `json:"quick,omitempty"`
+	Results   []Result  `json:"results"`
+}
+
+// Bench is one runnable benchmark.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Run executes every benchmark through testing.Benchmark and collects
+// a report. log, when non-nil, receives one progress line per bench.
+func Run(benches []Bench, quick bool, log func(format string, args ...interface{})) Report {
+	rep := Report{
+		Schema:    Schema,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.F)
+		res := FromBenchmarkResult(bench.Name, r)
+		rep.Results = append(rep.Results, res)
+		if log != nil {
+			log("%-24s %10d ops  %12.0f ops/sec  %8.1f allocs/op\n",
+				res.Name, res.Ops, res.OpsPerSec, res.AllocsPerOp)
+		}
+	}
+	return rep
+}
+
+// FromBenchmarkResult converts a testing.BenchmarkResult.
+func FromBenchmarkResult(name string, r testing.BenchmarkResult) Result {
+	ns := float64(r.NsPerOp())
+	ops := 0.0
+	if r.T > 0 {
+		ops = float64(r.N) / r.T.Seconds()
+	}
+	return Result{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     ns,
+		OpsPerSec:   ops,
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// Find returns the named result.
+func (rep *Report) Find(name string) (Result, bool) {
+	for _, r := range rep.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteFile marshals the report to path.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report from path.
+func ReadFile(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("regress: parse %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return rep, fmt.Errorf("regress: %s has schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+// Options configures Compare.
+type Options struct {
+	// Tolerance is the allowed fractional slack (0.25 = a 25% drop
+	// fails).
+	Tolerance float64
+	// Absolute additionally compares raw ops/sec per benchmark — only
+	// meaningful when baseline and current ran on the same machine.
+	Absolute bool
+}
+
+// Speedups extracts the batch-vs-single ops/sec ratio for every
+// benchmark family present as both <family>Single and <family>Batch.
+func (rep *Report) Speedups() map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range rep.Results {
+		fam, ok := strings.CutSuffix(r.Name, "Single")
+		if !ok {
+			continue
+		}
+		if batch, found := rep.Find(fam + "Batch"); found && r.OpsPerSec > 0 {
+			out[fam] = batch.OpsPerSec / r.OpsPerSec
+		}
+	}
+	return out
+}
+
+// Compare reports regressions of current against baseline; an empty
+// slice means the run is clean. Checks, in order: every baseline
+// benchmark still present; per-family batch speedup not collapsed by
+// more than Tolerance; allocs/op not grown by more than Tolerance
+// (plus one alloc of absolute slack); and, with Absolute, raw ops/sec
+// not dropped by more than Tolerance.
+func Compare(baseline, current Report, opts Options) []string {
+	tol := opts.Tolerance
+	var regs []string
+
+	for _, b := range baseline.Results {
+		c, ok := current.Find(b.Name)
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if allowed := b.AllocsPerOp*(1+tol) + 1; c.AllocsPerOp > allowed {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %.1f exceeds baseline %.1f (+%d%% tolerance)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, int(tol*100)))
+		}
+		if opts.Absolute && c.OpsPerSec < b.OpsPerSec*(1-tol) {
+			regs = append(regs, fmt.Sprintf("%s: ops/sec %.0f below baseline %.0f (-%d%% tolerance)",
+				b.Name, c.OpsPerSec, b.OpsPerSec, int(tol*100)))
+		}
+	}
+
+	baseSpeedups := baseline.Speedups()
+	curSpeedups := current.Speedups()
+	fams := make([]string, 0, len(baseSpeedups))
+	for fam := range baseSpeedups {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		base := baseSpeedups[fam]
+		cur, ok := curSpeedups[fam]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: speedup pair missing from current run", fam))
+			continue
+		}
+		if cur < base*(1-tol) {
+			regs = append(regs, fmt.Sprintf("%s: batch speedup %.2fx below baseline %.2fx (-%d%% tolerance)",
+				fam, cur, base, int(tol*100)))
+		}
+	}
+	return regs
+}

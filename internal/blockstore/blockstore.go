@@ -139,6 +139,22 @@ func (s *Store) Get(id core.BlockID) (*Block, error) {
 	return b, nil
 }
 
+// GetMany resolves a set of block IDs under a single read-lock
+// acquisition — the batch path's lookup. The returned map holds only
+// the blocks that exist; absent IDs mean the client's partition map is
+// stale (same contract as Get).
+func (s *Store) GetMany(ids []core.BlockID) map[core.BlockID]*Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[core.BlockID]*Block, len(ids))
+	for _, id := range ids {
+		if b, ok := s.blocks[id]; ok {
+			out[id] = b
+		}
+	}
+	return out
+}
+
 // Apply executes a data-plane op against a block, re-evaluating
 // thresholds after mutations.
 func (s *Store) Apply(id core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
@@ -146,13 +162,28 @@ func (s *Store) Apply(id core.BlockID, op core.OpType, args [][]byte) ([][]byte,
 	if err != nil {
 		return nil, err
 	}
+	return s.ApplyOn(b, op, args, true)
+}
+
+// ApplyOn executes an op against an already-resolved block. checkNow
+// controls whether repartition thresholds are re-evaluated inline after
+// a mutation; batch execution passes false and calls CheckThresholds
+// once per mutated block after the whole batch applies, so a 64-op
+// batch costs one threshold evaluation instead of 64.
+func (s *Store) ApplyOn(b *Block, op core.OpType, args [][]byte, checkNow bool) ([][]byte, error) {
 	res, err := b.Partition.Apply(op, args)
 	s.ops.Add(1)
-	if op.IsMutation() {
+	if checkNow && op.IsMutation() {
 		s.checkThresholds(b)
 	}
 	return res, err
 }
+
+// CheckThresholds re-evaluates a block against the repartition
+// thresholds, emitting the overload/underload signal on a crossing.
+// Deferred-check callers (ApplyOn with checkNow=false) must invoke it
+// after their mutations land.
+func (s *Store) CheckThresholds(b *Block) { s.checkThresholds(b) }
 
 // checkThresholds emits at most one signal per threshold crossing.
 func (s *Store) checkThresholds(b *Block) {

@@ -9,6 +9,7 @@ import (
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
 	"jiffy/internal/proto"
+	"jiffy/internal/wire"
 )
 
 // handle is the shared machinery under every data-structure handle:
@@ -84,7 +85,12 @@ func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byt
 		// along the replica chain.
 		return nil, fmt.Errorf("client: dial %s: %v: %w", info.Server, err, core.ErrClosed)
 	}
-	payload, err := conn.Call(proto.MethodDataOp, ds.EncodeRequest(op, info.ID, args))
+	// Encode into a pooled buffer: Call stages the frame into the
+	// session's write buffer before returning, so the request bytes can
+	// be recycled immediately after.
+	req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
+	payload, err := conn.Call(proto.MethodDataOp, req)
+	wire.PutBuf(req)
 	if err != nil {
 		if isConnErr(err) {
 			h.c.dropData(info.Server)
@@ -101,6 +107,28 @@ func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byt
 		return nil, err
 	}
 	return ds.DecodeVals(payload)
+}
+
+// doBatch ships a group of ops bound for one server as a single
+// MethodDataOpBatch frame and returns the per-op results. A returned
+// error means the whole call failed (encode, connection, or decode);
+// op-level failures live inside the results. Connection-level failures
+// evict the pooled session like the single-op path.
+func (h *handle) doBatch(server string, ops []ds.BatchOp) ([]ds.BatchResult, error) {
+	conn, err := h.c.dataConn(server)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %v: %w", server, err, core.ErrClosed)
+	}
+	req := ds.AppendBatchRequest(wire.GetBuf(), ops)
+	payload, err := conn.Call(proto.MethodDataOpBatch, req)
+	wire.PutBuf(req)
+	if err != nil {
+		if isConnErr(err) {
+			h.c.dropData(server)
+		}
+		return nil, err
+	}
+	return ds.DecodeBatchResults(payload)
 }
 
 // redirect is the client-side form of a queue head/tail redirection.

@@ -12,8 +12,12 @@ import (
 )
 
 // pushRouter dispatches push frames on one data-plane connection to
-// the listeners that subscribed through it.
+// the listeners that subscribed through it. conn records the session
+// the router is installed on: the pool replaces dead sessions
+// transparently, so dataConn must re-install routing whenever the
+// session it gets back is not the one the router was bound to.
 type pushRouter struct {
+	conn  *rpc.Client
 	mu    sync.Mutex
 	chans map[uint64]chan proto.Notification
 }
@@ -50,8 +54,12 @@ func (c *Client) dataConn(addr string) (*rpc.Client, error) {
 		}
 	}
 	c.mu.Lock()
-	if _, ok := c.routers[addr]; !ok {
-		router := &pushRouter{chans: make(map[uint64]chan proto.Notification)}
+	if r, ok := c.routers[addr]; !ok || r.conn != conn {
+		// First use of this address, or the pool evicted a dead session
+		// and handed back a fresh one: (re)install push routing. Old
+		// subscriptions died with the old session; Listener.Resync
+		// re-registers them and repopulates the new router.
+		router := &pushRouter{conn: conn, chans: make(map[uint64]chan proto.Notification)}
 		c.routers[addr] = router
 		conn.OnPush(router.route)
 	}

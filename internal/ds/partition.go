@@ -210,29 +210,35 @@ func (m *PartitionMap) extremum(min bool) (PartitionEntry, bool) {
 //	u16  number of args
 //	per arg: u32 length + bytes
 
+// AppendRequest appends a data-plane operation's encoding to dst. The
+// hot path encodes into pooled buffers (wire.GetBuf) via this form;
+// EncodeRequest wraps it for callers that want a fresh buffer.
+func AppendRequest(dst []byte, op core.OpType, block core.BlockID, args [][]byte) []byte {
+	dst = append(dst, byte(op))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(block))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(args)))
+	for _, a := range args {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
 // EncodeRequest serializes a data-plane operation.
 func EncodeRequest(op core.OpType, block core.BlockID, args [][]byte) []byte {
 	n := 1 + 8 + 2
 	for _, a := range args {
 		n += 4 + len(a)
 	}
-	buf := make([]byte, n)
-	buf[0] = byte(op)
-	binary.BigEndian.PutUint64(buf[1:9], uint64(block))
-	binary.BigEndian.PutUint16(buf[9:11], uint16(len(args)))
-	off := 11
-	for _, a := range args {
-		binary.BigEndian.PutUint32(buf[off:off+4], uint32(len(a)))
-		off += 4
-		off += copy(buf[off:], a)
-	}
-	return buf
+	return AppendRequest(make([]byte, 0, n), op, block, args)
 }
 
-// DecodeRequest parses a data-plane operation.
-func DecodeRequest(data []byte) (op core.OpType, block core.BlockID, args [][]byte, err error) {
+// decodeRequestPrefix parses one operation from the front of data and
+// returns the remainder — the shared scanner under DecodeRequest and
+// DecodeBatchRequest. Args alias data.
+func decodeRequestPrefix(data []byte) (op core.OpType, block core.BlockID, args [][]byte, rest []byte, err error) {
 	if len(data) < 11 {
-		return 0, 0, nil, fmt.Errorf("ds: request too short (%d bytes)", len(data))
+		return 0, 0, nil, nil, fmt.Errorf("ds: request too short (%d bytes)", len(data))
 	}
 	op = core.OpType(data[0])
 	block = core.BlockID(binary.BigEndian.Uint64(data[1:9]))
@@ -241,34 +247,44 @@ func DecodeRequest(data []byte) (op core.OpType, block core.BlockID, args [][]by
 	args = make([][]byte, 0, nargs)
 	for i := 0; i < nargs; i++ {
 		if off+4 > len(data) {
-			return 0, 0, nil, fmt.Errorf("ds: truncated arg header")
+			return 0, 0, nil, nil, fmt.Errorf("ds: truncated arg header")
 		}
 		l := int(binary.BigEndian.Uint32(data[off : off+4]))
 		off += 4
-		if off+l > len(data) {
-			return 0, 0, nil, fmt.Errorf("ds: truncated arg body")
+		if l < 0 || off+l > len(data) {
+			return 0, 0, nil, nil, fmt.Errorf("ds: truncated arg body")
 		}
 		args = append(args, data[off:off+l])
 		off += l
 	}
-	return op, block, args, nil
+	return op, block, args, data[off:], nil
 }
 
-// EncodeVals serializes a result vector (same layout as request args).
+// DecodeRequest parses a data-plane operation.
+func DecodeRequest(data []byte) (op core.OpType, block core.BlockID, args [][]byte, err error) {
+	op, block, args, _, err = decodeRequestPrefix(data)
+	return op, block, args, err
+}
+
+// AppendVals appends a result vector's encoding to dst (same layout as
+// request args); the server's batch path encodes into pooled buffers
+// via this form.
+func AppendVals(dst []byte, vals [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(vals)))
+	for _, v := range vals {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// EncodeVals serializes a result vector.
 func EncodeVals(vals [][]byte) []byte {
 	n := 2
 	for _, v := range vals {
 		n += 4 + len(v)
 	}
-	buf := make([]byte, n)
-	binary.BigEndian.PutUint16(buf[0:2], uint16(len(vals)))
-	off := 2
-	for _, v := range vals {
-		binary.BigEndian.PutUint32(buf[off:off+4], uint32(len(v)))
-		off += 4
-		off += copy(buf[off:], v)
-	}
-	return buf
+	return AppendVals(make([]byte, 0, n), vals)
 }
 
 // DecodeVals parses a result vector.

@@ -93,6 +93,10 @@ const (
 	// MethodRestoreBlock replaces a block's partition state from a
 	// snapshot.
 	MethodRestoreBlock uint16 = 0x010f
+	// MethodDataOpBatch executes many data-plane ops from one request
+	// frame, replying with per-op results in one response frame (binary
+	// codec in internal/ds, see EncodeBatchRequest).
+	MethodDataOpBatch uint16 = 0x0110
 )
 
 // --- controller messages ----------------------------------------------------

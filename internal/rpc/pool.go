@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"fmt"
 	"sync"
 
 	"jiffy/internal/core"
@@ -24,7 +25,9 @@ func NewPool(dial func(addr string) (*Client, error)) *Pool {
 	return &Pool{conns: make(map[string]*Client), dial: dial}
 }
 
-// Get returns the cached client for addr, dialing on first use.
+// Get returns the cached client for addr, dialing on first use. A
+// cached session whose read pump has died is evicted and re-dialed
+// transparently, so callers never receive a client that can only fail.
 func (p *Pool) Get(addr string) (*Client, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -32,15 +35,22 @@ func (p *Pool) Get(addr string) (*Client, error) {
 		return nil, core.ErrClosed
 	}
 	if c, ok := p.conns[addr]; ok {
-		p.mu.Unlock()
-		return c, nil
+		if !c.IsClosed() {
+			p.mu.Unlock()
+			return c, nil
+		}
+		delete(p.conns, addr)
 	}
 	p.mu.Unlock()
 
-	// Dial outside the lock; racing dials are resolved below.
+	// Dial outside the lock; racing dials are resolved below. An
+	// unreachable address classifies as a connection failure: before
+	// dead-session eviction existed, callers saw ErrClosed from the
+	// cached dead session's first call, and retry/fallback logic
+	// throughout keys on that classification.
 	c, err := p.dial(addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rpc: dial %s: %v: %w", addr, err, core.ErrClosed)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

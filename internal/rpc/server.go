@@ -15,6 +15,13 @@ import (
 // the method identifier; payload the request body. The returned bytes
 // become the response body; a returned error maps onto a wire error
 // code (sentinels from internal/core travel losslessly).
+//
+// Ownership contract: the returned payload passes to the rpc layer,
+// which recycles it into the wire buffer pool once the response frame
+// is written. Handlers must therefore return a buffer they no longer
+// reference after returning — freshly encoded (rpc.Marshal,
+// ds.EncodeVals) or taken from wire.GetBuf — never a slice aliasing
+// long-lived state.
 type Handler func(conn *ServerConn, method uint16, payload []byte) ([]byte, error)
 
 // Server accepts framed connections and dispatches requests to a
@@ -183,6 +190,9 @@ func (sc *ServerConn) dispatch(f *wire.Frame) {
 	if werr := sc.conn.WriteFrame(out); werr != nil && !errors.Is(werr, net.ErrClosed) {
 		sc.srv.log.Debug("rpc: response write failed", "err", werr)
 	}
+	// WriteFrame consumed the payload (see the Handler ownership
+	// contract); recycle it for the next response.
+	wire.PutBuf(out.Payload)
 }
 
 func (sc *ServerConn) callHandler(f *wire.Frame) (resp []byte, err error) {

@@ -8,6 +8,7 @@ import (
 	"jiffy/internal/ds"
 	"jiffy/internal/proto"
 	"jiffy/internal/rpc"
+	"jiffy/internal/wire"
 )
 
 // handle is the memory server's RPC dispatch.
@@ -15,6 +16,9 @@ func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]
 	switch method {
 	case proto.MethodDataOp:
 		return s.handleDataOp(payload)
+
+	case proto.MethodDataOpBatch:
+		return s.handleDataOpBatch(payload)
 
 	case proto.MethodCreateBlock:
 		var req proto.CreateBlockReq
@@ -223,6 +227,66 @@ func (s *Server) handleDataOp(payload []byte) ([]byte, error) {
 	return ds.EncodeVals(res), nil
 }
 
+// handleDataOpBatch executes many data-plane ops from one request
+// frame. All destination blocks are resolved under a single blockstore
+// lock acquisition, ops apply in request order with per-op error
+// attribution (one op's failure never aborts its neighbours), and
+// repartition-threshold checks run once per mutated block after the
+// whole batch lands. The per-op results travel back in one response
+// frame, encoded into a pooled buffer.
+func (s *Server) handleDataOpBatch(payload []byte) ([]byte, error) {
+	ops, err := ds.DecodeBatchRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.ops.Add(int64(len(ops)))
+
+	ids := make([]core.BlockID, 0, len(ops))
+	seen := make(map[core.BlockID]struct{}, len(ops))
+	for _, o := range ops {
+		if _, dup := seen[o.Block]; !dup {
+			seen[o.Block] = struct{}{}
+			ids = append(ids, o.Block)
+		}
+	}
+	blocks := s.store.GetMany(ids)
+
+	results := make([]ds.BatchResult, len(ops))
+	mutated := make(map[core.BlockID]*blockstore.Block, len(blocks))
+	for i, o := range ops {
+		b, ok := blocks[o.Block]
+		if !ok {
+			results[i] = ds.ErrResult(fmt.Errorf("blockstore: block %v unknown: %w",
+				o.Block, core.ErrStaleEpoch))
+			continue
+		}
+		var res [][]byte
+		var oerr error
+		if o.Op.IsMutation() {
+			res, oerr = s.applyMutationOn(b, o.Op, o.Args, false)
+			if oerr == nil {
+				mutated[o.Block] = b
+			}
+		} else {
+			res, oerr = s.store.ApplyOn(b, o.Op, o.Args, false)
+		}
+		if oerr != nil {
+			results[i] = ds.ErrResult(oerr)
+			continue
+		}
+		var notifyData []byte
+		if len(o.Args) > 0 {
+			notifyData = o.Args[0]
+		}
+		s.notify(o.Block, o.Op, notifyData)
+		results[i] = ds.OKResult(res)
+	}
+	for _, b := range mutated {
+		s.store.CheckThresholds(b)
+	}
+	return ds.AppendBatchResults(wire.GetBuf(), results), nil
+}
+
 // applyMutation applies a mutating op, sequencing and propagating it
 // down the replication chain when the block is a replicated head.
 func (s *Server) applyMutation(blockID core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
@@ -230,12 +294,19 @@ func (s *Server) applyMutation(blockID core.BlockID, op core.OpType, args [][]by
 	if gerr != nil {
 		return nil, gerr
 	}
-	if len(b.Chain) > 1 && b.Chain.Head().ID == blockID {
+	return s.applyMutationOn(b, op, args, true)
+}
+
+// applyMutationOn applies a mutating op against a resolved block.
+// checkNow is threaded to the blockstore's threshold evaluation (false
+// on the batch path, which checks once per block afterwards).
+func (s *Server) applyMutationOn(b *blockstore.Block, op core.OpType, args [][]byte, checkNow bool) ([][]byte, error) {
+	if len(b.Chain) > 1 && b.Chain.Head().ID == b.ID {
 		// Replicated mutation at the chain head: apply under the
 		// block's sequence lock so the propagation stream's order
 		// matches local order, then forward synchronously.
 		res, seq, err := b.NextReplSeq(func() ([][]byte, error) {
-			return s.store.Apply(blockID, op, args)
+			return s.store.ApplyOn(b, op, args, checkNow)
 		})
 		if err != nil {
 			return nil, err
@@ -245,7 +316,7 @@ func (s *Server) applyMutation(blockID core.BlockID, op core.OpType, args [][]by
 		}
 		return res, nil
 	}
-	return s.store.Apply(blockID, op, args)
+	return s.store.ApplyOn(b, op, args, checkNow)
 }
 
 // createBlock installs a partition per the controller's instruction.

@@ -13,6 +13,13 @@
 //	u16  method      (method identifier; 0 for responses and pushes)
 //	u8   code        (error code; meaningful on responses)
 //	...  payload
+//
+// The write path is batching-aware: WriteFrames coalesces many frames
+// into a single buffered flush, and WriteFrame group-commits — when
+// several goroutines write concurrently over one session, only the
+// last writer in the convoy flushes, so N concurrent single-frame
+// writes cost far fewer than N flushes (see DESIGN.md, "Batched hot
+// path").
 package wire
 
 import (
@@ -22,6 +29,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"jiffy/internal/core"
 )
@@ -47,6 +55,12 @@ const headerLen = 1 + 8 + 2 + 1
 // (up to the 128MB block size) must fit; we allow 256MB.
 const MaxFrameSize = 256 * core.MB
 
+// readAllocChunk bounds the upfront allocation for an incoming frame.
+// Frames claiming more are read in chunks, so a garbage length prefix
+// cannot force a huge allocation before the stream proves it actually
+// has the bytes.
+const readAllocChunk = core.MB
+
 // Frame is one protocol message.
 type Frame struct {
 	Kind    Kind
@@ -62,6 +76,12 @@ type Frame struct {
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
+
+	// writers counts goroutines inside WriteFrame(s) — holding or
+	// queued for wmu. A writer that sees other writers pending skips
+	// its flush: the last member of the convoy flushes for everyone
+	// (group commit).
+	writers atomic.Int32
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -83,15 +103,54 @@ func NewConn(nc net.Conn) *Conn {
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 
-// WriteFrame sends one frame, flushing the buffer. Safe for concurrent
-// use.
+// WriteFrame sends one frame. Safe for concurrent use. The flush is
+// opportunistically coalesced: if other writers are already queued on
+// this connection, the buffer is left for the last of them to flush,
+// so concurrent single-op callers sharing a session amortize flushes.
+// f.Payload is fully consumed before return and may be reused.
 func (c *Conn) WriteFrame(f *Frame) error {
+	c.writers.Add(1)
+	c.wmu.Lock()
+	err := c.writeFrameLocked(f)
+	if err == nil {
+		err = c.maybeFlushLocked()
+	} else {
+		c.writers.Add(-1)
+	}
+	c.wmu.Unlock()
+	return err
+}
+
+// WriteFrames sends many frames under one lock acquisition and at most
+// one flush — the wire-level frame coalescer used by batched calls.
+func (c *Conn) WriteFrames(frames ...*Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.writers.Add(1)
+	c.wmu.Lock()
+	var err error
+	for _, f := range frames {
+		if err = c.writeFrameLocked(f); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = c.maybeFlushLocked()
+	} else {
+		c.writers.Add(-1)
+	}
+	c.wmu.Unlock()
+	return err
+}
+
+// writeFrameLocked stages one frame into the write buffer. Caller holds
+// wmu.
+func (c *Conn) writeFrameLocked(f *Frame) error {
 	n := headerLen + len(f.Payload)
 	if n > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
 	}
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	binary.BigEndian.PutUint32(c.hdr[0:4], uint32(n))
 	c.hdr[4] = byte(f.Kind)
 	binary.BigEndian.PutUint64(c.hdr[5:13], f.Seq)
@@ -100,25 +159,43 @@ func (c *Conn) WriteFrame(f *Frame) error {
 	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
 	}
-	if _, err := c.w.Write(f.Payload); err != nil {
-		return err
+	_, err := c.w.Write(f.Payload)
+	return err
+}
+
+// maybeFlushLocked releases this goroutine's writer slot and flushes
+// unless another writer is already committed to acquiring wmu — that
+// writer will stage its own frame and flush both. The convoy's last
+// writer always observes zero pending writers and flushes, so every
+// staged frame reaches the wire. Caller holds wmu.
+func (c *Conn) maybeFlushLocked() error {
+	if c.writers.Add(-1) > 0 {
+		return nil
 	}
 	return c.w.Flush()
 }
 
-// ReadFrame reads the next frame. Must be called from one goroutine.
-func (c *Conn) ReadFrame() (*Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < headerLen || n > MaxFrameSize {
-		return nil, fmt.Errorf("wire: invalid frame length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return nil, err
+// appendFrame appends f's wire encoding (length prefix, header,
+// payload) to dst. Shared by tests/fuzzers; the live write path stages
+// straight into the bufio writer instead to avoid the copy.
+func appendFrame(dst []byte, f *Frame) []byte {
+	var hdr [4 + headerLen]byte
+	n := headerLen + len(f.Payload)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = byte(f.Kind)
+	binary.BigEndian.PutUint64(hdr[5:13], f.Seq)
+	binary.BigEndian.PutUint16(hdr[13:15], f.Method)
+	hdr[15] = byte(f.Code)
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// parseFrame decodes the post-length-prefix portion of a frame. buf
+// must be at least headerLen bytes (the caller validated the length
+// prefix); the returned frame's payload aliases buf.
+func parseFrame(buf []byte) (*Frame, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("wire: frame shorter than header (%d bytes)", len(buf))
 	}
 	f := &Frame{
 		Kind:   Kind(buf[0]),
@@ -126,7 +203,7 @@ func (c *Conn) ReadFrame() (*Frame, error) {
 		Method: binary.BigEndian.Uint16(buf[9:11]),
 		Code:   core.ErrorCode(buf[11]),
 	}
-	if n > headerLen {
+	if len(buf) > headerLen {
 		f.Payload = buf[headerLen:]
 	}
 	switch f.Kind {
@@ -135,6 +212,41 @@ func (c *Conn) ReadFrame() (*Frame, error) {
 		return nil, fmt.Errorf("wire: invalid frame kind %d", f.Kind)
 	}
 	return f, nil
+}
+
+// ReadFrame reads the next frame. Must be called from one goroutine.
+func (c *Conn) ReadFrame() (*Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if n < headerLen || n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	var buf []byte
+	if n <= readAllocChunk {
+		buf = make([]byte, n)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, err
+		}
+	} else {
+		// Chunked read: the allocation grows only as the bytes actually
+		// arrive, so a forged length cannot balloon memory.
+		buf = make([]byte, 0, readAllocChunk)
+		for len(buf) < n {
+			chunk := n - len(buf)
+			if chunk > readAllocChunk {
+				chunk = readAllocChunk
+			}
+			start := len(buf)
+			buf = append(buf, make([]byte, chunk)...)
+			if _, err := io.ReadFull(c.r, buf[start:]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return parseFrame(buf)
 }
 
 // Close tears down the underlying connection. Idempotent.

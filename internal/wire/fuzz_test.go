@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"jiffy/internal/core"
+)
+
+// fuzzConn wraps a byte stream in a read-only frame decoder.
+func fuzzConn(data []byte) *Conn {
+	return &Conn{r: bufio.NewReader(bytes.NewReader(data))}
+}
+
+// FuzzFrameRoundTrip encodes an arbitrary frame and decodes it back:
+// every field must survive, the stream must be consumed exactly, and
+// nothing may panic — batched requests stack many frames back to back,
+// so a single mis-sized frame would desynchronize the whole session.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(0), uint16(0), byte(0), []byte(nil))
+	f.Add(byte(2), uint64(42), uint16(7), byte(3), []byte("hello jiffy"))
+	f.Add(byte(3), uint64(1)<<60, uint16(0x0110), byte(255), bytes.Repeat([]byte{0xab}, 4096))
+	f.Fuzz(func(t *testing.T, kind byte, seq uint64, method uint16, code byte, payload []byte) {
+		in := &Frame{
+			Kind:    Kind(kind%3 + 1), // wire kinds are 1..3; decode rejects the rest
+			Seq:     seq,
+			Method:  method,
+			Code:    core.ErrorCode(code),
+			Payload: payload,
+		}
+		// Two frames back to back: the decoder must consume exactly one
+		// frame per call, or batched writes would desynchronize.
+		buf := appendFrame(appendFrame(nil, in), in)
+		c := fuzzConn(buf)
+		for i := 0; i < 2; i++ {
+			out, err := c.ReadFrame()
+			if err != nil {
+				t.Fatalf("frame %d: decode: %v", i, err)
+			}
+			if out.Kind != in.Kind || out.Seq != in.Seq ||
+				out.Method != in.Method || out.Code != in.Code ||
+				!bytes.Equal(out.Payload, in.Payload) {
+				t.Fatalf("frame %d: got %+v, want %+v", i, out, in)
+			}
+		}
+		if _, err := c.ReadFrame(); err != io.EOF {
+			t.Fatalf("trailing read = %v, want io.EOF", err)
+		}
+	})
+}
+
+// FuzzFrameDecode feeds arbitrary bytes into the frame reader: it must
+// parse frames or fail cleanly — never panic, never hang, never let an
+// invalid kind escape, and never hold a payload beyond the frame
+// bound, no matter what a malicious or corrupted peer sends.
+func FuzzFrameDecode(f *testing.F) {
+	// A valid 1-byte-payload request frame.
+	f.Add(appendFrame(nil, &Frame{Kind: KindRequest, Seq: 42, Method: 7, Payload: []byte("A")}))
+	// Truncated: claims 16 bytes, delivers 2.
+	f.Add([]byte("\x00\x00\x00\x10\x02\x01"))
+	// Length prefix far above MaxFrameSize.
+	f.Add([]byte("\xff\xff\xff\xff\x00\x00\x00\x00"))
+	// Claims a 16MB frame (chunked-allocation path), delivers 4 bytes.
+	f.Add([]byte("\x01\x00\x00\x00ABCD"))
+	// Below-header length.
+	f.Add([]byte("\x00\x00\x00\x01\x00\x00\x00\x00"))
+	// Garbage.
+	f.Add([]byte("not a frame at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := fuzzConn(data)
+		for i := 0; i < 64; i++ {
+			fr, err := c.ReadFrame()
+			if err != nil {
+				return // clean rejection
+			}
+			switch fr.Kind {
+			case KindRequest, KindResponse, KindPush:
+			default:
+				t.Fatalf("invalid kind %d escaped the decoder", fr.Kind)
+			}
+			if len(fr.Payload) > MaxFrameSize {
+				t.Fatalf("payload of %d bytes exceeds MaxFrameSize", len(fr.Payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"sync"
+
+	"jiffy/internal/core"
+)
+
+// maxPooledBuf caps the size of buffers kept in the pool so one giant
+// frame cannot pin megabytes of idle memory for the session's lifetime.
+const maxPooledBuf = core.MB
+
+// payloadPool recycles frame/payload staging buffers on the data-plane
+// hot path: request encoding on the client, response encoding on the
+// server. Both sides encode into a pooled buffer, hand it to the frame
+// writer (which copies it into the connection's write buffer
+// synchronously), and return it — cutting the dominant per-op
+// allocation on each end.
+var payloadPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns an empty buffer from the pool. Append into it, use the
+// result, then release it with PutBuf.
+func GetBuf() []byte {
+	p := payloadPool.Get().(*[]byte)
+	return (*p)[:0]
+}
+
+// PutBuf returns a buffer to the pool. The caller must not touch b
+// afterwards. Buffers that grew beyond maxPooledBuf are dropped so the
+// pool holds only hot-path-sized memory; nil and zero-capacity slices
+// are ignored, so PutBuf is safe to call on any response/request slice
+// whose ownership has ended.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}

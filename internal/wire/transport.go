@@ -93,6 +93,17 @@ func (l *memListener) Close() error {
 		memRegistry.Lock()
 		delete(memRegistry.m, l.name)
 		memRegistry.Unlock()
+		// Reset dialed-but-not-yet-accepted connections, like a kernel
+		// dropping the TCP accept backlog: their peers must observe the
+		// close rather than hang on a pipe nobody will ever serve.
+		for {
+			select {
+			case c := <-l.accept:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

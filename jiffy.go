@@ -56,6 +56,10 @@ type (
 	Listener = client.Listener
 	// Renewer keeps leases alive for a set of prefixes.
 	Renewer = client.Renewer
+	// MultiError carries per-op outcomes of a batched call.
+	MultiError = client.MultiError
+	// KVPair is one key-value pair in a KV.MultiPut.
+	KVPair = client.KVPair
 	// Path is a hierarchical address prefix ("job/task/...").
 	Path = core.Path
 	// JobID identifies a registered job.
