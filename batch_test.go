@@ -6,6 +6,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -15,10 +16,10 @@ import (
 
 func batchKV(t *testing.T, c *Client, prefix core.Path, blocks int) *KV {
 	t.Helper()
-	if _, _, err := c.CreatePrefix(prefix, nil, DSKV, blocks, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), prefix, nil, DSKV, blocks, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV(prefix)
+	kv, err := c.OpenKV(context.Background(), prefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func batchKV(t *testing.T, c *Client, prefix core.Path, blocks int) *KV {
 
 func TestMultiPutMultiGetRoundTrip(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	c.RegisterJob("batch")
+	c.RegisterJob(context.Background(), "batch")
 	kv := batchKV(t, c, "batch/t", 4)
 
 	const n = 100
@@ -37,10 +38,10 @@ func TestMultiPutMultiGetRoundTrip(t *testing.T) {
 		keys[i] = fmt.Sprintf("key-%03d", i)
 		pairs[i] = KVPair{Key: keys[i], Value: []byte(fmt.Sprintf("val-%03d", i))}
 	}
-	if err := kv.MultiPut(pairs); err != nil {
+	if err := kv.MultiPut(context.Background(), pairs); err != nil {
 		t.Fatalf("MultiPut: %v", err)
 	}
-	vals, err := kv.MultiGet(keys)
+	vals, err := kv.MultiGet(context.Background(), keys)
 	if err != nil {
 		t.Fatalf("MultiGet: %v", err)
 	}
@@ -53,14 +54,14 @@ func TestMultiPutMultiGetRoundTrip(t *testing.T) {
 		}
 	}
 	// Batched writes are real writes: the single-op path sees them.
-	if v, err := kv.Get(keys[n-1]); err != nil || string(v) != fmt.Sprintf("val-%03d", n-1) {
+	if v, err := kv.Get(context.Background(), keys[n-1]); err != nil || string(v) != fmt.Sprintf("val-%03d", n-1) {
 		t.Fatalf("single Get after MultiPut = %q, %v", v, err)
 	}
 }
 
 func TestMultiGetMissingKeysAttributed(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	c.RegisterJob("batch")
+	c.RegisterJob(context.Background(), "batch")
 	kv := batchKV(t, c, "batch/miss", 4)
 
 	const n = 40
@@ -72,10 +73,10 @@ func TestMultiGetMissingKeysAttributed(t *testing.T) {
 			pairs = append(pairs, KVPair{Key: keys[i], Value: []byte("present")})
 		}
 	}
-	if err := kv.MultiPut(pairs); err != nil {
+	if err := kv.MultiPut(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
-	vals, err := kv.MultiGet(keys)
+	vals, err := kv.MultiGet(context.Background(), keys)
 	if err == nil {
 		t.Fatal("MultiGet with missing keys reported total success")
 	}
@@ -101,19 +102,19 @@ func TestMultiGetMissingKeysAttributed(t *testing.T) {
 
 func TestBatchEmptyAndSingle(t *testing.T) {
 	_, c := testCluster(t, 1, 16)
-	c.RegisterJob("batch")
+	c.RegisterJob(context.Background(), "batch")
 	kv := batchKV(t, c, "batch/edge", 1)
 
-	if err := kv.MultiPut(nil); err != nil {
+	if err := kv.MultiPut(context.Background(), nil); err != nil {
 		t.Errorf("empty MultiPut = %v", err)
 	}
-	if vals, err := kv.MultiGet(nil); err != nil || len(vals) != 0 {
+	if vals, err := kv.MultiGet(context.Background(), nil); err != nil || len(vals) != 0 {
 		t.Errorf("empty MultiGet = %v, %v", vals, err)
 	}
-	if err := kv.MultiPut([]KVPair{{Key: "only", Value: []byte("one")}}); err != nil {
+	if err := kv.MultiPut(context.Background(), []KVPair{{Key: "only", Value: []byte("one")}}); err != nil {
 		t.Fatal(err)
 	}
-	vals, err := kv.MultiGet([]string{"only"})
+	vals, err := kv.MultiGet(context.Background(), []string{"only"})
 	if err != nil || len(vals) != 1 || string(vals[0]) != "one" {
 		t.Fatalf("single-op batch = %q, %v", vals, err)
 	}
@@ -125,11 +126,11 @@ func TestBatchEmptyAndSingle(t *testing.T) {
 // record that was appended there.
 func TestAppendBatchAcrossChunkBoundary(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	c.RegisterJob("batch")
-	if _, _, err := c.CreatePrefix("batch/f", nil, DSFile, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "batch")
+	if _, _, err := c.CreatePrefix(context.Background(), "batch/f", nil, DSFile, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.OpenFile("batch/f")
+	f, err := c.OpenFile(context.Background(), "batch/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,14 +143,14 @@ func TestAppendBatchAcrossChunkBoundary(t *testing.T) {
 	}
 	var offs []int
 	for lo := 0; lo < n; lo += 50 {
-		batch, err := f.AppendBatch(records[lo : lo+50])
+		batch, err := f.AppendBatch(context.Background(), records[lo:lo+50])
 		if err != nil {
 			t.Fatalf("AppendBatch[%d:]: %v", lo, err)
 		}
 		offs = append(offs, batch...)
 	}
 
-	chunks, err := f.Chunks()
+	chunks, err := f.Chunks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestAppendBatchAcrossChunkBoundary(t *testing.T) {
 			t.Fatalf("records %d shares offset %d with an earlier record", i, off)
 		}
 		seen[off] = true
-		got, err := f.ReadAt(off, len(records[i]))
+		got, err := f.ReadAt(context.Background(), off, len(records[i]))
 		if err != nil || !bytes.Equal(got, records[i]) {
 			t.Fatalf("record %d at offset %d: len=%d err=%v", i, off, len(got), err)
 		}
@@ -174,11 +175,11 @@ func TestAppendBatchAcrossChunkBoundary(t *testing.T) {
 // order across the segment boundary on dequeue.
 func TestEnqueueBatchFIFOAcrossSegments(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	c.RegisterJob("batch")
-	if _, _, err := c.CreatePrefix("batch/q", nil, DSQueue, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "batch")
+	if _, _, err := c.CreatePrefix(context.Background(), "batch/q", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, err := c.OpenQueue("batch/q")
+	q, err := c.OpenQueue(context.Background(), "batch/q")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,12 +191,12 @@ func TestEnqueueBatchFIFOAcrossSegments(t *testing.T) {
 		items[i] = append(bytes.Repeat([]byte{byte(i)}, 1023), byte(i))
 	}
 	for lo := 0; lo < n; lo += 50 {
-		if err := q.EnqueueBatch(items[lo : lo+50]); err != nil {
+		if err := q.EnqueueBatch(context.Background(), items[lo:lo+50]); err != nil {
 			t.Fatalf("EnqueueBatch[%d:]: %v", lo, err)
 		}
 	}
 	for i := 0; i < n; i++ {
-		got, err := q.Dequeue()
+		got, err := q.Dequeue(context.Background())
 		if err != nil {
 			t.Fatalf("dequeue %d: %v", i, err)
 		}
@@ -213,22 +214,22 @@ func TestEnqueueBatchFIFOAcrossSegments(t *testing.T) {
 // caller, and every op must land under the new map.
 func TestBatchSpanningRepartitionInFlight(t *testing.T) {
 	_, c := testCluster(t, 2, 64)
-	c.RegisterJob("batch")
+	c.RegisterJob(context.Background(), "batch")
 	staleKV := batchKV(t, c, "batch/repart", 1) // caches the 1-block map
 
 	// Drive repeated splits through an independent handle: the stale
 	// handle's cached map now points most slots at the wrong block.
-	writerKV, err := c.OpenKV("batch/repart")
+	writerKV, err := c.OpenKV(context.Background(), "batch/repart")
 	if err != nil {
 		t.Fatal(err)
 	}
 	filler := bytes.Repeat([]byte("x"), 1024)
 	for i := 0; i < 400; i++ {
-		if err := writerKV.Put(fmt.Sprintf("fill-%04d", i), filler); err != nil {
+		if err := writerKV.Put(context.Background(), fmt.Sprintf("fill-%04d", i), filler); err != nil {
 			t.Fatalf("fill put %d: %v", i, err)
 		}
 	}
-	stats, err := c.ControllerStats()
+	stats, err := c.ControllerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,10 +247,10 @@ func TestBatchSpanningRepartitionInFlight(t *testing.T) {
 		keys[i] = fmt.Sprintf("batch-%03d", i)
 		pairs[i] = KVPair{Key: keys[i], Value: []byte(fmt.Sprintf("bv-%03d", i))}
 	}
-	if err := staleKV.MultiPut(pairs); err != nil {
+	if err := staleKV.MultiPut(context.Background(), pairs); err != nil {
 		t.Fatalf("MultiPut through stale handle: %v", err)
 	}
-	vals, err := staleKV.MultiGet(keys)
+	vals, err := staleKV.MultiGet(context.Background(), keys)
 	if err != nil {
 		t.Fatalf("MultiGet through refreshed handle: %v", err)
 	}
@@ -259,7 +260,7 @@ func TestBatchSpanningRepartitionInFlight(t *testing.T) {
 		}
 	}
 	// The fill data survived the batch traffic too.
-	if v, err := writerKV.Get("fill-0000"); err != nil || !bytes.Equal(v, filler) {
+	if v, err := writerKV.Get(context.Background(), "fill-0000"); err != nil || !bytes.Equal(v, filler) {
 		t.Fatalf("fill key after batch: len=%d err=%v", len(v), err)
 	}
 }

@@ -11,6 +11,7 @@ package jiffy_test
 // EXPERIMENTS.md records full-scale results.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -110,7 +111,7 @@ func benchCluster(b *testing.B) *jiffy.Client {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -122,16 +123,16 @@ func benchCluster(b *testing.B) *jiffy.Client {
 // stack.
 func BenchmarkKVPut(b *testing.B) {
 	c := benchCluster(b)
-	c.RegisterJob("bench")
-	c.CreatePrefix("bench/kv", nil, jiffy.DSKV, 4, 0)
-	kv, err := c.OpenKV("bench/kv")
+	c.RegisterJob(context.Background(), "bench")
+	c.CreatePrefix(context.Background(), "bench/kv", nil, jiffy.DSKV, 4, 0)
+	kv, err := c.OpenKV(context.Background(), "bench/kv")
 	if err != nil {
 		b.Fatal(err)
 	}
 	val := make([]byte, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := kv.Put(fmt.Sprintf("key-%d", i%4096), val); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("key-%d", i%4096), val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,16 +141,16 @@ func BenchmarkKVPut(b *testing.B) {
 // BenchmarkKVGet measures end-to-end KV reads.
 func BenchmarkKVGet(b *testing.B) {
 	c := benchCluster(b)
-	c.RegisterJob("bench")
-	c.CreatePrefix("bench/kv", nil, jiffy.DSKV, 4, 0)
-	kv, _ := c.OpenKV("bench/kv")
+	c.RegisterJob(context.Background(), "bench")
+	c.CreatePrefix(context.Background(), "bench/kv", nil, jiffy.DSKV, 4, 0)
+	kv, _ := c.OpenKV(context.Background(), "bench/kv")
 	val := make([]byte, 128)
 	for i := 0; i < 1024; i++ {
-		kv.Put(fmt.Sprintf("key-%d", i), val)
+		kv.Put(context.Background(), fmt.Sprintf("key-%d", i), val)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := kv.Get(fmt.Sprintf("key-%d", i%1024)); err != nil {
+		if _, err := kv.Get(context.Background(), fmt.Sprintf("key-%d", i%1024)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,16 +159,16 @@ func BenchmarkKVGet(b *testing.B) {
 // BenchmarkQueueEnqueueDequeue measures queue round trips.
 func BenchmarkQueueEnqueueDequeue(b *testing.B) {
 	c := benchCluster(b)
-	c.RegisterJob("bench")
-	c.CreatePrefix("bench/q", nil, jiffy.DSQueue, 1, 0)
-	q, _ := c.OpenQueue("bench/q")
+	c.RegisterJob(context.Background(), "bench")
+	c.CreatePrefix(context.Background(), "bench/q", nil, jiffy.DSQueue, 1, 0)
+	q, _ := c.OpenQueue(context.Background(), "bench/q")
 	item := make([]byte, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := q.Enqueue(item); err != nil {
+		if err := q.Enqueue(context.Background(), item); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := q.Dequeue(); err != nil {
+		if _, err := q.Dequeue(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,13 +177,13 @@ func BenchmarkQueueEnqueueDequeue(b *testing.B) {
 // BenchmarkFileAppendRecord measures concurrent-safe record appends.
 func BenchmarkFileAppendRecord(b *testing.B) {
 	c := benchCluster(b)
-	c.RegisterJob("bench")
-	c.CreatePrefix("bench/f", nil, jiffy.DSFile, 1, 0)
-	f, _ := c.OpenFile("bench/f")
+	c.RegisterJob(context.Background(), "bench")
+	c.CreatePrefix(context.Background(), "bench/f", nil, jiffy.DSFile, 1, 0)
+	f, _ := c.OpenFile(context.Background(), "bench/f")
 	rec := make([]byte, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.AppendRecord(rec); err != nil {
+		if _, err := f.AppendRecord(context.Background(), rec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,11 +192,11 @@ func BenchmarkFileAppendRecord(b *testing.B) {
 // BenchmarkLeaseRenewal measures the dominant control-plane op.
 func BenchmarkLeaseRenewal(b *testing.B) {
 	c := benchCluster(b)
-	c.RegisterJob("bench")
-	c.CreatePrefix("bench/kv", nil, jiffy.DSKV, 1, 0)
+	c.RegisterJob(context.Background(), "bench")
+	c.CreatePrefix(context.Background(), "bench/kv", nil, jiffy.DSKV, 1, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RenewLease("bench/kv"); err != nil {
+		if _, err := c.RenewLease(context.Background(), "bench/kv"); err != nil {
 			b.Fatal(err)
 		}
 	}

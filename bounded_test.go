@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -22,14 +23,14 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("bq")
-	if _, _, err := c.CreateBoundedPrefix("bq/q", nil, DSQueue, 1, 2, 0); err != nil {
+	c.RegisterJob(context.Background(), "bq")
+	if _, _, err := c.CreateBoundedPrefix(context.Background(), "bq/q", nil, DSQueue, 1, 2, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, err := c.OpenQueue("bq/q")
+	q, err := c.OpenQueue(context.Background(), "bq/q")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 	accepted := 0
 	var fullErr error
 	for i := 0; i < 100; i++ {
-		if err := q.Enqueue(item); err != nil {
+		if err := q.Enqueue(context.Background(), item); err != nil {
 			fullErr = err
 			break
 		}
@@ -53,7 +54,7 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 	// Drain one segment's worth; the sealed head is reclaimed on the
 	// underload signal, freeing a block slot under the bound.
 	for i := 0; i < accepted/2; i++ {
-		if _, err := q.Dequeue(); err != nil {
+		if _, err := q.Dequeue(context.Background()); err != nil {
 			t.Fatalf("dequeue %d: %v", i, err)
 		}
 	}
@@ -61,7 +62,7 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	var reErr error
 	for time.Now().Before(deadline) {
-		if reErr = q.Enqueue(item); reErr == nil {
+		if reErr = q.Enqueue(context.Background(), item); reErr == nil {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -82,19 +83,21 @@ func TestBoundedFileStopsGrowing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("bf")
-	if _, _, err := c.CreateBoundedPrefix("bf/f", nil, DSFile, 1, 2, 0); err != nil {
+	c.RegisterJob(context.Background(), "bf")
+	if _, _, err := c.CreateBoundedPrefix(context.Background(), "bf/f", nil, DSFile, 1, 2, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.OpenFile("bf/f")
+	f, _ := c.OpenFile(context.Background(
 	// Two 64KB chunks fit; writing past 128KB must fail.
-	if err := f.WriteAt(0, make([]byte, 2*64*core.KB)); err != nil {
+	), "bf/f")
+
+	if err := f.WriteAt(context.Background(), 0, make([]byte, 2*64*core.KB)); err != nil {
 		t.Fatalf("write within bound: %v", err)
 	}
-	err = f.WriteAt(2*64*core.KB, []byte("overflow"))
+	err = f.WriteAt(context.Background(), 2*64*core.KB, []byte("overflow"))
 	if err == nil {
 		t.Fatal("write beyond bound accepted")
 	}
@@ -111,10 +114,10 @@ func TestBoundedInitialClamp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
-	c.RegisterJob("bc")
-	m, _, err := c.CreateBoundedPrefix("bc/kv", nil, DSKV, 8, 2, 0)
+	c.RegisterJob(context.Background(), "bc")
+	m, _, err := c.CreateBoundedPrefix(context.Background(), "bc/kv", nil, DSKV, 8, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

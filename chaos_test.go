@@ -6,6 +6,7 @@ package jiffy
 // marked long are skipped under -short.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,18 +57,18 @@ func TestChaosServerCrashMidRepartition(t *testing.T) {
 	cfg.LeaseDuration = time.Minute
 	cfg.RPCTimeout = 2 * time.Second
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 3, BlocksPerServer: 16})
-	c, err := client.ConnectMulti(cluster.ControllerAddrs, client.Options{
-		Dial: inj.Dial, RPCTimeout: cfg.RPCTimeout, RetryLimit: 6,
-	})
+	c, err := client.ConnectMulti(context.Background(), cluster.ControllerAddrs,
+		client.WithDial(inj.Dial), client.WithRPCTimeout(cfg.RPCTimeout),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("chaos")
-	if _, _, err := c.CreatePrefix("chaos/t", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "chaos")
+	if _, _, err := c.CreatePrefix(context.Background(), "chaos/t", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV("chaos/t")
+	kv, err := c.OpenKV(context.Background(), "chaos/t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestChaosServerCrashMidRepartition(t *testing.T) {
 			inj.BreakConns("server-2")
 		}
 		key := fmt.Sprintf("key-%04d", i)
-		err := kv.Put(key, []byte(val))
+		err := kv.Put(context.Background(), key, []byte(val))
 		switch {
 		case err == nil:
 			acked[key] = true
@@ -114,7 +115,7 @@ func TestChaosServerCrashMidRepartition(t *testing.T) {
 			t.Fatalf("no block for acked key %s", key)
 		}
 		onDead := strings.Contains(e.Info.Server, "server-2")
-		v, err := kv.Get(key)
+		v, err := kv.Get(context.Background(), key)
 		switch {
 		case err == nil && string(v) == val:
 			read++
@@ -136,7 +137,7 @@ func TestChaosServerCrashMidRepartition(t *testing.T) {
 	// Control-plane calls still return within the deadline budget
 	// (bounded by the RPC timeout, not a hang), whatever their outcome.
 	start := time.Now()
-	_, _, _ = c.CreatePrefix("chaos/t2", nil, DSKV, 1, 0)
+	_, _, _ = c.CreatePrefix(context.Background(), "chaos/t2", nil, DSKV, 1, 0)
 	if elapsed := time.Since(start); elapsed > 3*cfg.RPCTimeout {
 		t.Errorf("post-crash CreatePrefix took %v; deadline not enforced", elapsed)
 	}
@@ -157,19 +158,19 @@ func TestChaosLeaseExpiryUnderNetworkDelay(t *testing.T) {
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
 		Servers: 1, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
 	})
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("lease")
-	if _, _, err := c.CreatePrefix("lease/t", nil, DSKV, 1, 10*time.Second); err != nil {
+	c.RegisterJob(context.Background(), "lease")
+	if _, _, err := c.CreatePrefix(context.Background(), "lease/t", nil, DSKV, 1, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("lease/t")
+	kv, _ := c.OpenKV(context.Background(), "lease/t")
 	const n = 40
 	for i := 0; i < n; i++ {
-		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
@@ -181,7 +182,7 @@ func TestChaosLeaseExpiryUnderNetworkDelay(t *testing.T) {
 	vclock.Advance(8 * time.Second)
 	inj.Partition("send:" + cluster.ControllerAddr)
 	start := time.Now()
-	if _, err := c.RenewLease("lease/t"); !errors.Is(err, ErrTimeout) {
+	if _, err := c.RenewLease(context.Background(), "lease/t"); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("partitioned renew = %v, want timeout", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*cfg.RPCTimeout {
@@ -201,12 +202,12 @@ func TestChaosLeaseExpiryUnderNetworkDelay(t *testing.T) {
 	// The network heals; a fresh handle reloads the flushed prefix and
 	// every acknowledged write is still there.
 	inj.HealAll()
-	kv2, err := c.OpenKV("lease/t")
+	kv2, err := c.OpenKV(context.Background(), "lease/t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		v, err := kv2.Get(fmt.Sprintf("k%d", i))
+		v, err := kv2.Get(context.Background(), fmt.Sprintf("k%d", i))
 		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("acked write k%d lost across lease expiry: %q, %v", i, v, err)
 		}
@@ -225,15 +226,17 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 	cfg.LeaseDuration = time.Hour // survive the failover window
 	cfg.RPCTimeout = 2 * time.Second
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 2, BlocksPerServer: 32})
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("ha")
-	// Enough initial blocks that the load below never splits: the block
-	// layout at checkpoint time must match the layout at restore time.
-	if _, _, err := c.CreatePrefix("ha/t", nil, DSKV, 4, 0); err != nil {
+	c.RegisterJob(context.
+		// Enough initial blocks that the load below never splits: the block
+		// layout at checkpoint time must match the layout at restore time.
+		Background(), "ha")
+
+	if _, _, err := c.CreatePrefix(context.Background(), "ha/t", nil, DSKV, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -249,7 +252,7 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			kv, err := c.OpenKV("ha/t")
+			kv, err := c.OpenKV(context.Background(), "ha/t")
 			if err != nil {
 				return
 			}
@@ -260,7 +263,7 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 				default:
 				}
 				key := fmt.Sprintf("w%d-%d", g, i)
-				if err := kv.Put(key, []byte(key)); err == nil {
+				if err := kv.Put(context.Background(), key, []byte(key)); err == nil {
 					mu.Lock()
 					acked = append(acked, key)
 					mu.Unlock()
@@ -272,7 +275,7 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 
 	// Let the load build, checkpoint under load, keep loading, crash.
 	time.Sleep(50 * time.Millisecond)
-	if err := c.SaveControllerState("ckpt/chaos"); err != nil {
+	if err := c.SaveControllerState(context.Background(), "ckpt/chaos"); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -282,7 +285,7 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 	// A control-plane call against the dead controller fails fast with
 	// the typed session-close error — pending calls don't hang.
 	start := time.Now()
-	_, err = c.ControllerStats()
+	_, err = c.ControllerStats(context.Background())
 	if err == nil {
 		t.Fatal("stats against dead controller succeeded")
 	}
@@ -319,17 +322,18 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := client.Connect(addr2, client.Options{Dial: inj.Dial, RPCTimeout: cfg.RPCTimeout})
+	c2, err := client.Connect(context.Background(), addr2,
+		client.WithDial(inj.Dial), client.WithRPCTimeout(cfg.RPCTimeout))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	kv2, err := c2.OpenKV("ha/t")
+	kv2, err := c2.OpenKV(context.Background(), "ha/t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range ackedAll {
-		v, err := kv2.Get(key)
+		v, err := kv2.Get(context.Background(), key)
 		if err != nil || string(v) != key {
 			t.Fatalf("acked write %s lost across failover: %q, %v", key, v, err)
 		}
@@ -348,13 +352,13 @@ func TestChaosChainReplicaKillTailReadContinuity(t *testing.T) {
 	cfg.ChainLength = 2
 	cfg.RPCTimeout = 2 * time.Second
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 3, BlocksPerServer: 16})
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("rj")
-	m, _, err := c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	c.RegisterJob(context.Background(), "rj")
+	m, _, err := c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,10 +366,10 @@ func TestChaosChainReplicaKillTailReadContinuity(t *testing.T) {
 	if len(chain) != 2 {
 		t.Fatalf("chain = %+v", chain)
 	}
-	kv, _ := c.OpenKV("rj/t")
+	kv, _ := c.OpenKV(context.Background(), "rj/t")
 	const n = 50
 	for i := 0; i < n; i++ {
-		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
@@ -383,7 +387,7 @@ func TestChaosChainReplicaKillTailReadContinuity(t *testing.T) {
 	// Reads were routed to the tail; they must keep answering from the
 	// upstream member without a single lost acked write.
 	for i := 0; i < n; i++ {
-		v, err := kv.Get(fmt.Sprintf("k%d", i))
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
 		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("read continuity broken at k%d after tail kill: %q, %v", i, v, err)
 		}
@@ -399,24 +403,24 @@ func TestChaosListenerResubscribeAcrossDisconnect(t *testing.T) {
 	cfg.LeaseDuration = time.Minute
 	cfg.RPCTimeout = 2 * time.Second
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 1, BlocksPerServer: 16})
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("sub")
-	if _, _, err := c.CreatePrefix("sub/chan", nil, DSQueue, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "sub")
+	if _, _, err := c.CreatePrefix(context.Background(), "sub/chan", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	consumer, _ := c.OpenQueue("sub/chan")
-	listener, err := consumer.Subscribe(core.OpEnqueue)
+	consumer, _ := c.OpenQueue(context.Background(), "sub/chan")
+	listener, err := consumer.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer listener.Close()
-	producer, _ := c.OpenQueue("sub/chan")
+	producer, _ := c.OpenQueue(context.Background(), "sub/chan")
 
-	if err := producer.Enqueue([]byte("before")); err != nil {
+	if err := producer.Enqueue(context.Background(), []byte("before")); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := listener.Get(2 * time.Second); err != nil || string(n.Data) != "before" {
@@ -432,7 +436,7 @@ func TestChaosListenerResubscribeAcrossDisconnect(t *testing.T) {
 	if _, err := listener.Get(150 * time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("post-disconnect Get = %v, want timeout-triggered resync", err)
 	}
-	if err := producer.Enqueue([]byte("after")); err != nil {
+	if err := producer.Enqueue(context.Background(), []byte("after")); err != nil {
 		t.Fatalf("post-disconnect enqueue: %v", err)
 	}
 	n, err := listener.Get(2 * time.Second)
@@ -460,19 +464,19 @@ func TestChaosServerDiesMidBatch(t *testing.T) {
 	cfg.LeaseDuration = time.Minute
 	cfg.RPCTimeout = time.Second
 	cluster := chaosCluster(t, inj, cfg, ClusterOptions{Servers: 2, BlocksPerServer: 16})
-	c, err := client.ConnectMulti(cluster.ControllerAddrs, client.Options{
-		Dial: inj.Dial, RPCTimeout: cfg.RPCTimeout, RetryLimit: 3,
-	})
+	c, err := client.ConnectMulti(context.Background(), cluster.ControllerAddrs,
+		client.WithDial(inj.Dial), client.WithRPCTimeout(cfg.RPCTimeout),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("midbatch")
-	m, _, err := c.CreatePrefix("midbatch/t", nil, DSKV, 4, 0)
+	c.RegisterJob(context.Background(), "midbatch")
+	m, _, err := c.CreatePrefix(context.Background(), "midbatch/t", nil, DSKV, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV("midbatch/t")
+	kv, err := c.OpenKV(context.Background(), "midbatch/t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +508,7 @@ func TestChaosServerDiesMidBatch(t *testing.T) {
 	cluster.Servers[1].Close()
 	inj.BreakConns("server-1")
 
-	err = kv.MultiPut(pairs)
+	err = kv.MultiPut(context.Background(), pairs)
 	if err == nil {
 		t.Fatal("batch spanning a dead server reported total success")
 	}
@@ -532,7 +536,7 @@ func TestChaosServerDiesMidBatch(t *testing.T) {
 		if onDead[i] {
 			continue
 		}
-		v, gerr := kv.Get(p.Key)
+		v, gerr := kv.Get(context.Background(), p.Key)
 		if gerr != nil || string(v) != string(p.Value) {
 			t.Fatalf("acked op %s unreadable after mid-batch crash: %q, %v", p.Key, v, gerr)
 		}
@@ -581,19 +585,19 @@ func flakyFlushAttempts(t *testing.T, seed int64) int {
 		Servers: 1, BlocksPerServer: 16, Persist: store,
 		Clock: vclock, DisableExpiry: true,
 	})
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("flaky")
-	if _, _, err := c.CreatePrefix("flaky/t", nil, DSKV, 1, 5*time.Second); err != nil {
+	c.RegisterJob(context.Background(), "flaky")
+	if _, _, err := c.CreatePrefix(context.Background(), "flaky/t", nil, DSKV, 1, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("flaky/t")
+	kv, _ := c.OpenKV(context.Background(), "flaky/t")
 	const n = 20
 	for i := 0; i < n; i++ {
-		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
@@ -605,7 +609,7 @@ func flakyFlushAttempts(t *testing.T, seed int64) int {
 			break
 		}
 		// Failed flush: the data must still be live in memory, untouched.
-		if v, err := kv.Get("k0"); err != nil || string(v) != "v0" {
+		if v, err := kv.Get(context.Background(), "k0"); err != nil || string(v) != "v0" {
 			t.Fatalf("data lost after failed flush attempt %d: %q, %v", attempts, v, err)
 		}
 	}
@@ -613,12 +617,12 @@ func flakyFlushAttempts(t *testing.T, seed int64) int {
 		t.Fatal("flush never succeeded in 50 expiry scans")
 	}
 	// Reclaimed now — and recoverable without loss.
-	kv2, err := c.OpenKV("flaky/t")
+	kv2, err := c.OpenKV(context.Background(), "flaky/t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		v, err := kv2.Get(fmt.Sprintf("k%d", i))
+		v, err := kv2.Get(context.Background(), fmt.Sprintf("k%d", i))
 		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("acked write k%d lost across flaky-flush expiry: %q, %v", i, v, err)
 		}

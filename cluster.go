@@ -1,6 +1,7 @@
 package jiffy
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"sync/atomic"
@@ -172,16 +173,18 @@ func endpoint(transport, name string) string {
 }
 
 // Connect opens a client against the cluster's controller group. The
-// client inherits the cluster's RPC timeout and custom dialer (if any).
-func (c *Cluster) Connect() (*Client, error) {
+// client inherits the cluster's RPC timeout and custom dialer; extra
+// options are applied on top (so a test can, e.g., add WithTracing).
+func (c *Cluster) Connect(ctx context.Context, opts ...client.Option) (*Client, error) {
 	timeout := c.cfg.RPCTimeout
 	if timeout == 0 {
 		timeout = -1 // cluster configured unbounded calls; honor that
 	}
-	return client.ConnectMulti(c.ControllerAddrs, client.Options{
-		Dial:       c.dial,
-		RPCTimeout: timeout,
-	})
+	base := []client.Option{
+		client.WithDial(c.dial),
+		client.WithRPCTimeout(timeout),
+	}
+	return client.ConnectMulti(ctx, c.ControllerAddrs, append(base, opts...)...)
 }
 
 // Close tears the cluster down: servers first, then the controllers.

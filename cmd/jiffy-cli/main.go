@@ -15,17 +15,23 @@
 //	jiffy-cli load  job1/t1 s3://bucket/ckpt
 //	jiffy-cli ls job1
 //	jiffy-cli stats
+//	jiffy-cli stats --watch --admin localhost:9190
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"jiffy"
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 )
 
 func main() {
@@ -37,7 +43,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c, err := jiffy.ConnectMulti(strings.Split(*controller, ","))
+	c, err := jiffy.ConnectMulti(context.Background(), strings.Split(*controller, ","))
 	if err != nil {
 		fatal("connect: %v", err)
 	}
@@ -52,17 +58,17 @@ func run(c *jiffy.Client, args []string) error {
 	switch cmd {
 	case "register-job":
 		need(rest, 1)
-		return c.RegisterJob(core.JobID(rest[0]))
+		return c.RegisterJob(context.Background(), core.JobID(rest[0]))
 	case "deregister-job":
 		need(rest, 1)
-		return c.DeregisterJob(core.JobID(rest[0]))
+		return c.DeregisterJob(context.Background(), core.JobID(rest[0]))
 	case "create":
 		need(rest, 2)
 		t, err := core.ParseDSType(rest[1])
 		if err != nil {
 			return err
 		}
-		_, lease, err := c.CreatePrefix(core.Path(rest[0]), nil, t, 1, 0)
+		_, lease, err := c.CreatePrefix(context.Background(), core.Path(rest[0]), nil, t, 1, 0)
 		if err != nil {
 			return err
 		}
@@ -70,21 +76,21 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "remove":
 		need(rest, 1)
-		return c.RemovePrefix(core.Path(rest[0]))
+		return c.RemovePrefix(context.Background(), core.Path(rest[0]))
 	case "put":
 		need(rest, 3)
-		kv, err := c.OpenKV(core.Path(rest[0]))
+		kv, err := c.OpenKV(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		return kv.Put(rest[1], []byte(rest[2]))
+		return kv.Put(context.Background(), rest[1], []byte(rest[2]))
 	case "get":
 		need(rest, 2)
-		kv, err := c.OpenKV(core.Path(rest[0]))
+		kv, err := c.OpenKV(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		v, err := kv.Get(rest[1])
+		v, err := kv.Get(context.Background(), rest[1])
 		if err != nil {
 			return err
 		}
@@ -92,11 +98,11 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "del":
 		need(rest, 2)
-		kv, err := c.OpenKV(core.Path(rest[0]))
+		kv, err := c.OpenKV(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		old, err := kv.Delete(rest[1])
+		old, err := kv.Delete(context.Background(), rest[1])
 		if err != nil {
 			return err
 		}
@@ -104,18 +110,18 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "enqueue":
 		need(rest, 2)
-		q, err := c.OpenQueue(core.Path(rest[0]))
+		q, err := c.OpenQueue(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		return q.Enqueue([]byte(rest[1]))
+		return q.Enqueue(context.Background(), []byte(rest[1]))
 	case "dequeue":
 		need(rest, 1)
-		q, err := c.OpenQueue(core.Path(rest[0]))
+		q, err := c.OpenQueue(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		item, err := q.Dequeue()
+		item, err := q.Dequeue(context.Background())
 		if err != nil {
 			return err
 		}
@@ -123,11 +129,11 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "append":
 		need(rest, 2)
-		f, err := c.OpenFile(core.Path(rest[0]))
+		f, err := c.OpenFile(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
-		off, err := f.AppendRecord([]byte(rest[1]))
+		off, err := f.AppendRecord(context.Background(), []byte(rest[1]))
 		if err != nil {
 			return err
 		}
@@ -135,7 +141,7 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "read":
 		need(rest, 3)
-		f, err := c.OpenFile(core.Path(rest[0]))
+		f, err := c.OpenFile(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -144,7 +150,7 @@ func run(c *jiffy.Client, args []string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("read wants numeric offset and length")
 		}
-		data, err := f.ReadAt(off, n)
+		data, err := f.ReadAt(context.Background(), off, n)
 		if err != nil {
 			return err
 		}
@@ -153,7 +159,7 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "renew":
 		need(rest, 1)
-		n, err := c.RenewLease(core.Path(rest[0]))
+		n, err := c.RenewLease(context.Background(), core.Path(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -161,7 +167,7 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "flush":
 		need(rest, 2)
-		n, err := c.FlushPrefix(core.Path(rest[0]), rest[1])
+		n, err := c.FlushPrefix(context.Background(), core.Path(rest[0]), rest[1])
 		if err != nil {
 			return err
 		}
@@ -169,10 +175,10 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "load":
 		need(rest, 2)
-		return c.LoadPrefix(core.Path(rest[0]), rest[1])
+		return c.LoadPrefix(context.Background(), core.Path(rest[0]), rest[1])
 	case "ls":
 		need(rest, 1)
-		prefixes, err := c.ListPrefixes(core.JobID(rest[0]))
+		prefixes, err := c.ListPrefixes(context.Background(), core.JobID(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -183,24 +189,74 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "save-state":
 		need(rest, 1)
-		return c.SaveControllerState(rest[0])
+		return c.SaveControllerState(context.Background(), rest[0])
 	case "stats":
-		s, err := c.ControllerStats()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("servers:          %d\n", s.Servers)
-		fmt.Printf("blocks total:     %d\n", s.TotalBlocks)
-		fmt.Printf("blocks free:      %d\n", s.FreeBlocks)
-		fmt.Printf("blocks allocated: %d\n", s.AllocatedBlocks)
-		fmt.Printf("jobs:             %d\n", s.Jobs)
-		fmt.Printf("prefixes:         %d\n", s.Prefixes)
-		fmt.Printf("metadata bytes:   %d\n", s.MetadataBytes)
-		return nil
+		return stats(c, rest)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// stats prints controller statistics once, or — with --watch —
+// refreshes periodically; --admin switches the source from the
+// controller-stats RPC to an admin endpoint's Prometheus /metrics.
+func stats(c *jiffy.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "refresh until interrupted")
+	admin := fs.String("admin", "", "read an admin endpoint's /metrics instead of the stats RPC")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period with --watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for {
+		var err error
+		if *admin != "" {
+			err = printAdminMetrics(*admin)
+		} else {
+			err = printControllerStats(c)
+		}
+		if err != nil || !*watch {
+			return err
+		}
+		time.Sleep(*interval)
+		fmt.Println()
+	}
+}
+
+func printControllerStats(c *jiffy.Client) error {
+	s, err := c.ControllerStats(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("servers:          %d\n", s.Servers)
+	fmt.Printf("blocks total:     %d\n", s.TotalBlocks)
+	fmt.Printf("blocks free:      %d\n", s.FreeBlocks)
+	fmt.Printf("blocks allocated: %d\n", s.AllocatedBlocks)
+	fmt.Printf("jobs:             %d\n", s.Jobs)
+	fmt.Printf("prefixes:         %d\n", s.Prefixes)
+	fmt.Printf("metadata bytes:   %d\n", s.MetadataBytes)
+	return nil
+}
+
+func printAdminMetrics(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	vals := obs.ParsePrometheus(body)
+	for _, k := range obs.SortedKeys(vals) {
+		fmt.Printf("%-60s %g\n", k, vals[k])
+	}
+	return nil
 }
 
 func need(args []string, n int) {
@@ -220,7 +276,7 @@ commands:
   enqueue <path> <item>         dequeue <path>
   append <path> <data>          read <path> <off> <len>
   renew <path>                  flush <path> <dest>     load <path> <src>
-  ls <job>                      stats
+  ls <job>                      stats [--watch] [--admin addr]
   save-state <key>`)
 }
 

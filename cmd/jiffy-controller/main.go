@@ -21,6 +21,7 @@ import (
 
 	"jiffy/internal/controller"
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 	"jiffy/internal/persist"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "control-plane shards (jobs hash across them)")
 		persistDir = flag.String("persist-dir", "", "directory for the persistent tier (default: in-memory)")
 		restore    = flag.String("restore", "", "restore controller metadata from this checkpoint key at startup")
+		admin      = flag.String("admin", "", "serve /metrics, /healthz, /spans and pprof on this address (e.g. :9190)")
 		verbose    = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -81,6 +83,17 @@ func main() {
 	addr, err := ctrl.Listen(*listen)
 	if err != nil {
 		fatal("listen: %v", err)
+	}
+	if *admin != "" {
+		adminSrv, err := obs.ServeAdmin(*admin, obs.AdminOptions{
+			Registry: ctrl.Obs(),
+			Spans:    ctrl.Spans(),
+		})
+		if err != nil {
+			fatal("admin endpoint: %v", err)
+		}
+		defer adminSrv.Close()
+		logger.Info("admin endpoint up", "addr", adminSrv.Addr)
 	}
 	logger.Info("jiffy controller up",
 		"addr", addr,

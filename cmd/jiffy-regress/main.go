@@ -5,6 +5,7 @@
 //
 //	jiffy-regress -out BENCH_hotpath.json                 # record
 //	jiffy-regress -quick -baseline BENCH_hotpath.json     # CI gate
+//	jiffy-regress -quick -overhead                        # telemetry on/off A-B gate
 //
 // The default comparison is hardware-neutral (batch-vs-single speedup
 // ratios and allocs/op); pass -absolute to also gate on raw ops/sec
@@ -26,7 +27,28 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression before failing")
 	absolute := flag.Bool("absolute", false, "also compare raw ops/sec (same-machine baselines only)")
 	quick := flag.Bool("quick", false, "smaller cluster and working set (CI smoke mode)")
+	overhead := flag.Bool("overhead", false, "A/B the batched hot path with telemetry on vs off and gate the difference")
+	overheadTol := flag.Float64("overhead-tolerance", 0.02, "allowed fractional telemetry overhead with -overhead")
+	overheadRounds := flag.Int("overhead-rounds", 3, "interleaved A/B rounds per benchmark with -overhead")
 	flag.Parse()
+
+	if *overhead {
+		failed := false
+		for _, r := range hotpath.MeasureOverhead(*quick, *overheadRounds, func(format string, args ...interface{}) {
+			fmt.Printf(format, args...)
+		}) {
+			if r.Overhead() > *overheadTol {
+				failed = true
+				fmt.Fprintf(os.Stderr, "jiffy-regress: %s telemetry overhead %.2f%% exceeds %.2f%%\n",
+					r.Name, 100*r.Overhead(), 100**overheadTol)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry overhead within %.1f%%\n", 100**overheadTol)
+		return
+	}
 
 	rep := regress.Run(hotpath.Benches(*quick), *quick, func(format string, args ...interface{}) {
 		fmt.Printf(format, args...)

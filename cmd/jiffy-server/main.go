@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 	"jiffy/internal/persist"
 	"jiffy/internal/server"
 )
@@ -35,6 +36,7 @@ func main() {
 		high       = flag.Float64("high-threshold", core.DefaultHighThreshold, "scale-up usage fraction")
 		low        = flag.Float64("low-threshold", core.DefaultLowThreshold, "scale-down usage fraction")
 		persistDir = flag.String("persist-dir", "", "directory for the persistent tier (default: in-memory)")
+		admin      = flag.String("admin", "", "serve /metrics, /healthz, /spans and pprof on this address (e.g. :9191)")
 		verbose    = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -81,6 +83,18 @@ func main() {
 		// warn the operator to set -advertise in multi-host setups.
 		logger.Warn("listening on a wildcard address; set -advertise for multi-host deployments",
 			"port", port)
+	}
+
+	if *admin != "" {
+		adminSrv, err := obs.ServeAdmin(*admin, obs.AdminOptions{
+			Registry: srv.Obs(),
+			Spans:    srv.Spans(),
+		})
+		if err != nil {
+			fatal("admin endpoint: %v", err)
+		}
+		defer adminSrv.Close()
+		logger.Info("admin endpoint up", "addr", adminSrv.Addr)
 	}
 
 	numBlocks := int(*capacityGB * float64(core.GB) / float64(cfg.BlockSize))

@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -141,14 +142,14 @@ func TestCustomDataStructureEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("cj")
-	if _, _, err := c.CreatePrefix("cj/hits", nil, dsCounter, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "cj")
+	if _, _, err := c.CreatePrefix(context.Background(), "cj/hits", nil, dsCounter, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	h, err := c.OpenCustom("cj/hits", dsCounter)
+	h, err := c.OpenCustom(context.Background(), "cj/hits", dsCounter)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestCustomDataStructureEndToEnd(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if _, err := h.Exec(0, core.OpUpdate, []byte("requests"), delta(1)); err != nil {
+				if _, err := h.Exec(context.Background(), 0, core.OpUpdate, []byte("requests"), delta(1)); err != nil {
 					t.Errorf("update: %v", err)
 					return
 				}
@@ -167,7 +168,7 @@ func TestCustomDataStructureEndToEnd(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	res, err := h.Exec(0, core.OpGet, []byte("requests"))
+	res, err := h.Exec(context.Background(), 0, core.OpGet, []byte("requests"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,33 +177,33 @@ func TestCustomDataStructureEndToEnd(t *testing.T) {
 	}
 
 	// Checkpoint and restore through the generic snapshot machinery.
-	if _, err := c.FlushPrefix("cj/hits", "ckpt/counters"); err != nil {
+	if _, err := c.FlushPrefix(context.Background(), "cj/hits", "ckpt/counters"); err != nil {
 		t.Fatal(err)
 	}
-	h.Exec(0, core.OpUpdate, []byte("requests"), delta(999))
-	if err := c.LoadPrefix("cj/hits", "ckpt/counters"); err != nil {
+	h.Exec(context.Background(), 0, core.OpUpdate, []byte("requests"), delta(999))
+	if err := c.LoadPrefix(context.Background(), "cj/hits", "ckpt/counters"); err != nil {
 		t.Fatal(err)
 	}
-	h2, _ := c.OpenCustom("cj/hits", dsCounter)
-	res, err = h2.Exec(0, core.OpGet, []byte("requests"))
+	h2, _ := c.OpenCustom(context.Background(), "cj/hits", dsCounter)
+	res, err = h2.Exec(context.Background(), 0, core.OpGet, []byte("requests"))
 	if err != nil || int64(binary.BigEndian.Uint64(res[0])) != 100 {
 		t.Errorf("restored counter = %v, %v", res, err)
 	}
 
 	// Growth appends chunk-indexed blocks.
-	if err := h2.Grow(); err != nil {
+	if err := h2.Grow(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	n, _ := h2.Blocks()
+	n, _ := h2.Blocks(context.Background())
 	if n != 2 {
 		t.Errorf("blocks after grow = %d", n)
 	}
-	if _, err := h2.Exec(1, core.OpUpdate, []byte("other"), delta(5)); err != nil {
+	if _, err := h2.Exec(context.Background(), 1, core.OpUpdate, []byte("other"), delta(5)); err != nil {
 		t.Errorf("op on grown chunk: %v", err)
 	}
 
 	// Wrong type code is rejected at open.
-	if _, err := c.OpenCustom("cj/hits", dsCounter+1); !errors.Is(err, core.ErrWrongType) {
+	if _, err := c.OpenCustom(context.Background(), "cj/hits", dsCounter+1); !errors.Is(err, core.ErrWrongType) {
 		t.Errorf("open with wrong code = %v", err)
 	}
 }

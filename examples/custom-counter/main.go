@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -112,18 +113,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	c.RegisterJob("metrics")
-	defer c.DeregisterJob("metrics")
-	if _, _, err := c.CreatePrefix("metrics/hits", nil, dsCounter, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "metrics")
+	defer c.DeregisterJob(context.Background(), "metrics")
+	if _, _, err := c.CreatePrefix(context.Background(), "metrics/hits", nil, dsCounter, 1, 0); err != nil {
 		log.Fatal(err)
 	}
-	h, err := c.OpenCustom("metrics/hits", dsCounter)
+	h, err := c.OpenCustom(context.Background(), "metrics/hits", dsCounter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func main() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				name := fmt.Sprintf("endpoint-%d", i%4)
-				if _, err := h.Exec(0, core.OpUpdate, []byte(name), one); err != nil {
+				if _, err := h.Exec(context.Background(), 0, core.OpUpdate, []byte(name), one); err != nil {
 					log.Printf("task %d: %v", task, err)
 					return
 				}
@@ -148,13 +149,13 @@ func main() {
 	wg.Wait()
 
 	// Checkpoint the counters like any other prefix.
-	if _, err := c.FlushPrefix("metrics/hits", "ckpt/hits"); err != nil {
+	if _, err := c.FlushPrefix(context.Background(), "metrics/hits", "ckpt/hits"); err != nil {
 		log.Fatal(err)
 	}
 
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("endpoint-%d", i)
-		res, err := h.Exec(0, core.OpGet, []byte(name))
+		res, err := h.Exec(context.Background(), 0, core.OpGet, []byte(name))
 		if err != nil {
 			log.Fatal(err)
 		}

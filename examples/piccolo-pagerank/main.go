@@ -44,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,7 +28,7 @@ func main() {
 	}
 	defer cluster.Close()
 
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,90 +37,92 @@ func main() {
 	// Jobs own hierarchical address spaces; prefixes under a job hold
 	// data structures whose memory is allocated block by block as data
 	// arrives — no capacity declaration anywhere.
-	if err := c.RegisterJob("quickstart"); err != nil {
+	if err := c.RegisterJob(context.Background(), "quickstart"); err != nil {
 		log.Fatal(err)
 	}
-	defer c.DeregisterJob("quickstart")
+	defer c.DeregisterJob(context.Background(
 
 	// Keep the whole job alive with one renewal loop: renewing the
 	// root propagates to every descendant prefix.
+	), "quickstart")
+
 	renewer := c.StartRenewer(100*time.Millisecond, "quickstart")
 	defer renewer.Stop()
 
 	// --- KV store -----------------------------------------------------
-	if _, _, err := c.CreatePrefix("quickstart/state", nil, jiffy.DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "quickstart/state", nil, jiffy.DSKV, 1, 0); err != nil {
 		log.Fatal(err)
 	}
-	kv, err := c.OpenKV("quickstart/state")
+	kv, err := c.OpenKV(context.Background(), "quickstart/state")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := kv.Put("greeting", []byte("hello, far memory")); err != nil {
+	if err := kv.Put(context.Background(), "greeting", []byte("hello, far memory")); err != nil {
 		log.Fatal(err)
 	}
-	v, err := kv.Get("greeting")
+	v, err := kv.Get(context.Background(), "greeting")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("kv: greeting = %q\n", v)
 
 	// --- File ----------------------------------------------------------
-	if _, _, err := c.CreatePrefix("quickstart/logfile", nil, jiffy.DSFile, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "quickstart/logfile", nil, jiffy.DSFile, 1, 0); err != nil {
 		log.Fatal(err)
 	}
-	f, err := c.OpenFile("quickstart/logfile")
+	f, err := c.OpenFile(context.Background(), "quickstart/logfile")
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := f.Append([]byte(fmt.Sprintf("line %d\n", i))); err != nil {
+		if _, err := f.Append(context.Background(), []byte(fmt.Sprintf("line %d\n", i))); err != nil {
 			log.Fatal(err)
 		}
 	}
-	data, err := f.ReadAt(0, 1024)
+	data, err := f.ReadAt(context.Background(), 0, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("file contents:\n%s", data)
 
 	// --- Queue with notifications ---------------------------------------
-	if _, _, err := c.CreatePrefix("quickstart/work", nil, jiffy.DSQueue, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "quickstart/work", nil, jiffy.DSQueue, 1, 0); err != nil {
 		log.Fatal(err)
 	}
-	q, err := c.OpenQueue("quickstart/work")
+	q, err := c.OpenQueue(context.Background(), "quickstart/work")
 	if err != nil {
 		log.Fatal(err)
 	}
-	listener, err := q.Subscribe(core.OpEnqueue)
+	listener, err := q.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer listener.Close()
-	if err := q.Enqueue([]byte("task-1")); err != nil {
+	if err := q.Enqueue(context.Background(), []byte("task-1")); err != nil {
 		log.Fatal(err)
 	}
 	if n, err := listener.Get(time.Second); err == nil {
 		fmt.Printf("queue: notified of %s %q\n", n.Op, n.Data)
 	}
-	item, err := q.Dequeue()
+	item, err := q.Dequeue(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("queue: dequeued %q\n", item)
 
 	// --- Checkpoint & restore -------------------------------------------
-	if _, err := c.FlushPrefix("quickstart/state", "ckpt/state-v1"); err != nil {
+	if _, err := c.FlushPrefix(context.Background(), "quickstart/state", "ckpt/state-v1"); err != nil {
 		log.Fatal(err)
 	}
-	kv.Put("greeting", []byte("overwritten"))
-	if err := c.LoadPrefix("quickstart/state", "ckpt/state-v1"); err != nil {
+	kv.Put(context.Background(), "greeting", []byte("overwritten"))
+	if err := c.LoadPrefix(context.Background(), "quickstart/state", "ckpt/state-v1"); err != nil {
 		log.Fatal(err)
 	}
-	kv, _ = c.OpenKV("quickstart/state")
-	v, _ = kv.Get("greeting")
+	kv, _ = c.OpenKV(context.Background(), "quickstart/state")
+	v, _ = kv.Get(context.Background(), "greeting")
 	fmt.Printf("kv after checkpoint restore: greeting = %q\n", v)
 
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	fmt.Printf("cluster: %d/%d blocks allocated, %d bytes of controller metadata\n",
 		stats.AllocatedBlocks, stats.TotalBlocks, stats.MetadataBytes)
 }

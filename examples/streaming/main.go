@@ -44,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,11 +52,11 @@ func main() {
 
 	// The running counts live in a Jiffy KV store owned by a separate
 	// job, so they outlive the dataflow graph below.
-	if err := c.RegisterJob("counts"); err != nil {
+	if err := c.RegisterJob(context.Background(), "counts"); err != nil {
 		log.Fatal(err)
 	}
-	defer c.DeregisterJob("counts")
-	if _, _, err := c.CreatePrefix("counts/table", nil, jiffy.DSKV, 1, 0); err != nil {
+	defer c.DeregisterJob(context.Background(), "counts")
+	if _, _, err := c.CreatePrefix(context.Background(), "counts/table", nil, jiffy.DSKV, 1, 0); err != nil {
 		log.Fatal(err)
 	}
 	countsRenewer := c.StartRenewer(jiffy.DefaultLeaseDuration/4, "counts")
@@ -107,7 +107,7 @@ func main() {
 			Name:   fmt.Sprintf("count-%d", i),
 			Inputs: []string{fmt.Sprintf("words-%d", i)},
 			Fn: func(ctx context.Context, in []*dataflow.Reader, out []*dataflow.Writer) error {
-				kv, err := c.OpenKV("counts/table")
+				kv, err := c.OpenKV(ctx, "counts/table")
 				if err != nil {
 					return err
 				}
@@ -119,7 +119,7 @@ func main() {
 					}
 					w := string(item)
 					local[w]++
-					if err := kv.Put(w, []byte(strconv.Itoa(local[w]))); err != nil {
+					if err := kv.Put(ctx, w, []byte(strconv.Itoa(local[w]))); err != nil {
 						return err
 					}
 					processed.Add(1)
@@ -136,7 +136,7 @@ func main() {
 	}
 
 	// Read the final counts back from far memory.
-	kv, err := c.OpenKV("counts/table")
+	kv, err := c.OpenKV(context.Background(), "counts/table")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func main() {
 	}
 	var result []wc
 	for w := range words {
-		if v, err := kv.Get(w); err == nil {
+		if v, err := kv.Get(context.Background(), w); err == nil {
 			n, _ := strconv.Atoi(string(v))
 			result = append(result, wc{w, n})
 		}

@@ -1,6 +1,7 @@
 package jiffy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -25,18 +26,18 @@ func TestControllerFailover(t *testing.T) {
 	}
 	defer cluster.Close()
 
-	c, _ := cluster.Connect()
-	c.RegisterJob("ha")
-	if _, _, err := c.CreatePrefix("ha/t", nil, DSKV, 2, 0); err != nil {
+	c, _ := cluster.Connect(context.Background())
+	c.RegisterJob(context.Background(), "ha")
+	if _, _, err := c.CreatePrefix(context.Background(), "ha/t", nil, DSKV, 2, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("ha/t")
+	kv, _ := c.OpenKV(context.Background(), "ha/t")
 	for i := 0; i < 20; i++ {
-		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.SaveControllerState("ckpt/ha"); err != nil {
+	if err := c.SaveControllerState(context.Background(), "ckpt/ha"); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -61,35 +62,35 @@ func TestControllerFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := client.Connect(addr2, client.Options{})
+	c2, err := client.Connect(context.Background(), addr2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
 
 	// Reads hit the same live blocks through the restored metadata.
-	kv2, err := c2.OpenKV("ha/t")
+	kv2, err := c2.OpenKV(context.Background(), "ha/t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		v, err := kv2.Get(fmt.Sprintf("k%d", i))
+		v, err := kv2.Get(context.Background(), fmt.Sprintf("k%d", i))
 		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("post-failover get k%d = %q, %v", i, v, err)
 		}
 	}
 	// Writes, scaling and new prefixes keep working.
-	if err := kv2.Put("post-failover", []byte("write")); err != nil {
+	if err := kv2.Put(context.Background(), "post-failover", []byte("write")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c2.CreatePrefix("ha/t2", nil, DSQueue, 1, 0); err != nil {
+	if _, _, err := c2.CreatePrefix(context.Background(), "ha/t2", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, _ := c2.OpenQueue("ha/t2")
-	if err := q.Enqueue([]byte("alive")); err != nil {
+	q, _ := c2.OpenQueue(context.Background(), "ha/t2")
+	if err := q.Enqueue(context.Background(), []byte("alive")); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ := c2.ControllerStats()
+	stats, _ := c2.ControllerStats(context.Background())
 	if stats.Jobs != 1 || stats.AllocatedBlocks < 3 {
 		t.Errorf("restored stats = %+v", stats)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -131,16 +132,16 @@ func AblationProactive(w io.Writer, opts Options) error {
 			return nil, err
 		}
 		defer cluster.Close()
-		c, err := cluster.Connect()
+		c, err := cluster.Connect(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		defer c.Close()
-		c.RegisterJob("abl")
-		if _, _, err := c.CreatePrefix("abl/q", nil, core.DSQueue, 1, 0); err != nil {
+		c.RegisterJob(context.Background(), "abl")
+		if _, _, err := c.CreatePrefix(context.Background(), "abl/q", nil, core.DSQueue, 1, 0); err != nil {
 			return nil, err
 		}
-		q, err := c.OpenQueue("abl/q")
+		q, err := c.OpenQueue(context.Background(), "abl/q")
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +149,7 @@ func AblationProactive(w io.Writer, opts Options) error {
 		h := metrics.NewHistogram()
 		for i := 0; i < items; i++ {
 			start := time.Now()
-			if err := q.Enqueue(item); err != nil {
+			if err := q.Enqueue(context.Background(), item); err != nil {
 				return nil, err
 			}
 			h.Record(time.Since(start))

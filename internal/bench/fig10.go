@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -42,18 +43,18 @@ func Fig10(w io.Writer, opts Options) error {
 		return err
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	if err := c.RegisterJob("fig10"); err != nil {
+	if err := c.RegisterJob(context.Background(), "fig10"); err != nil {
 		return err
 	}
-	if _, _, err := c.CreatePrefix("fig10/kv", nil, core.DSKV, 4, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "fig10/kv", nil, core.DSKV, 4, 0); err != nil {
 		return err
 	}
-	kv, err := c.OpenKV("fig10/kv")
+	kv, err := c.OpenKV(context.Background(), "fig10/kv")
 	if err != nil {
 		return err
 	}
@@ -66,8 +67,12 @@ func Fig10(w io.Writer, opts Options) error {
 		baseline.NewPocket(),
 		&baseline.FuncStore{
 			StoreName: "Jiffy",
-			PutFunc:   kv.Put,
-			GetFunc:   kv.Get,
+			PutFunc: func(key string, val []byte) error {
+				return kv.Put(context.Background(), key, val)
+			},
+			GetFunc: func(key string) ([]byte, error) {
+				return kv.Get(context.Background(), key)
+			},
 		},
 	}
 

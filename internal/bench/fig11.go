@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -57,16 +58,16 @@ func runLifetimeTrace(structure core.DSType, window time.Duration, opts Options)
 		return nil, nil, err
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
 	defer c.Close()
-	if err := c.RegisterJob("fig11a"); err != nil {
+	if err := c.RegisterJob(context.Background(), "fig11a"); err != nil {
 		return nil, nil, err
 	}
 	path := core.MustPath("fig11a", "ds")
-	if _, _, err := c.CreatePrefix(path, nil, structure, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), path, nil, structure, 1, 0); err != nil {
 		return nil, nil, err
 	}
 	renewer := c.StartRenewer(100*time.Millisecond, path)
@@ -91,7 +92,7 @@ func runLifetimeTrace(structure core.DSType, window time.Duration, opts Options)
 					_, ub, _ := s.Store().Stats()
 					u += ub
 				}
-				stats, err := c.ControllerStats()
+				stats, err := c.ControllerStats(context.Background())
 				if err != nil {
 					continue
 				}
@@ -120,11 +121,11 @@ func runLifetimeTrace(structure core.DSType, window time.Duration, opts Options)
 	for writes := 0; writes < totalWrites && time.Now().Before(writeUntil); writes++ {
 		switch structure {
 		case core.DSQueue:
-			err = q.Enqueue(item)
+			err = q.Enqueue(context.Background(), item)
 		case core.DSFile:
-			_, err = f.AppendRecord(item)
+			_, err = f.AppendRecord(context.Background(), item)
 		case core.DSKV:
-			err = kv.Put(zipf(), item)
+			err = kv.Put(context.Background(), zipf(), item)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -138,14 +139,14 @@ func runLifetimeTrace(structure core.DSType, window time.Duration, opts Options)
 	for time.Now().Before(consumeUntil) {
 		switch structure {
 		case core.DSQueue:
-			if _, err := q.Dequeue(); err != nil {
+			if _, err := q.Dequeue(context.Background()); err != nil {
 				time.Sleep(5 * time.Millisecond)
 			}
 		case core.DSFile:
-			f.ReadAt(0, 64*core.KB)
+			f.ReadAt(context.Background(), 0, 64*core.KB)
 			time.Sleep(time.Millisecond)
 		case core.DSKV:
-			kv.Get(zipf())
+			kv.Get(context.Background(), zipf())
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -163,13 +164,13 @@ func runLifetimeTrace(structure core.DSType, window time.Duration, opts Options)
 func openHandles(c *jiffy.Client, path core.Path, structure core.DSType) (*jiffy.Queue, *jiffy.File, *jiffy.KV, error) {
 	switch structure {
 	case core.DSQueue:
-		q, err := c.OpenQueue(path)
+		q, err := c.OpenQueue(context.Background(), path)
 		return q, nil, nil, err
 	case core.DSFile:
-		f, err := c.OpenFile(path)
+		f, err := c.OpenFile(context.Background(), path)
 		return nil, f, nil, err
 	case core.DSKV:
-		kv, err := c.OpenKV(path)
+		kv, err := c.OpenKV(context.Background(), path)
 		return nil, nil, kv, err
 	}
 	return nil, nil, nil, fmt.Errorf("bench: unsupported structure %v", structure)
@@ -195,12 +196,12 @@ func Fig11b(w io.Writer, opts Options) error {
 		return err
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	if err := c.RegisterJob("fig11b"); err != nil {
+	if err := c.RegisterJob(context.Background(), "fig11b"); err != nil {
 		return err
 	}
 
@@ -224,24 +225,24 @@ func Fig11b(w io.Writer, opts Options) error {
 
 	// --- op latency before vs during KV repartitioning -----------------
 	path := core.MustPath("fig11b", "live")
-	if _, _, err := c.CreatePrefix(path, nil, core.DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), path, nil, core.DSKV, 1, 0); err != nil {
 		return err
 	}
-	kv, err := c.OpenKV(path)
+	kv, err := c.OpenKV(context.Background(), path)
 	if err != nil {
 		return err
 	}
 	val := make([]byte, 8*core.KB)
 	// Preload some keys to read.
 	for i := 0; i < 16; i++ {
-		if err := kv.Put(fmt.Sprintf("read-%d", i), val); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("read-%d", i), val); err != nil {
 			return err
 		}
 	}
 	before := metrics.NewHistogram()
 	for i := 0; i < 300; i++ {
 		start := time.Now()
-		if _, err := kv.Get(fmt.Sprintf("read-%d", i%16)); err != nil {
+		if _, err := kv.Get(context.Background(), fmt.Sprintf("read-%d", i%16)); err != nil {
 			return err
 		}
 		before.Record(time.Since(start))
@@ -252,7 +253,7 @@ func Fig11b(w io.Writer, opts Options) error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		writer, err := c.OpenKV(path)
+		writer, err := c.OpenKV(context.Background(), path)
 		if err != nil {
 			return
 		}
@@ -262,7 +263,7 @@ func Fig11b(w io.Writer, opts Options) error {
 			case <-stop:
 				return
 			default:
-				writer.Put(fmt.Sprintf("fill-%d", i), val)
+				writer.Put(context.Background(), fmt.Sprintf("fill-%d", i), val)
 				i++
 			}
 		}
@@ -270,7 +271,7 @@ func Fig11b(w io.Writer, opts Options) error {
 	during := metrics.NewHistogram()
 	for i := 0; i < 300; i++ {
 		start := time.Now()
-		if _, err := kv.Get(fmt.Sprintf("read-%d", i%16)); err != nil {
+		if _, err := kv.Get(context.Background(), fmt.Sprintf("read-%d", i%16)); err != nil {
 			return err
 		}
 		during.Record(time.Since(start))
@@ -293,7 +294,7 @@ func measureScaleUp(c *jiffy.Client, cluster *jiffy.Cluster,
 	structure core.DSType, i int) (time.Duration, error) {
 
 	path := core.MustPath("fig11b", fmt.Sprintf("%s-%d", structure, i))
-	m, _, err := c.CreatePrefix(path, nil, structure, 1, 0)
+	m, _, err := c.CreatePrefix(context.Background(), path, nil, structure, 1, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -304,30 +305,30 @@ func measureScaleUp(c *jiffy.Client, cluster *jiffy.Cluster,
 	target := int(0.9 * float64(blockSize))
 	switch structure {
 	case core.DSQueue:
-		q, err := c.OpenQueue(path)
+		q, err := c.OpenQueue(context.Background(), path)
 		if err != nil {
 			return 0, err
 		}
 		for written := 0; written < target; written += len(payload) {
-			if err := q.Enqueue(payload); err != nil {
+			if err := q.Enqueue(context.Background(), payload); err != nil {
 				return 0, err
 			}
 		}
 	case core.DSFile:
-		f, err := c.OpenFile(path)
+		f, err := c.OpenFile(context.Background(), path)
 		if err != nil {
 			return 0, err
 		}
-		if err := f.WriteAt(0, make([]byte, target)); err != nil {
+		if err := f.WriteAt(context.Background(), 0, make([]byte, target)); err != nil {
 			return 0, err
 		}
 	case core.DSKV:
-		kv, err := c.OpenKV(path)
+		kv, err := c.OpenKV(context.Background(), path)
 		if err != nil {
 			return 0, err
 		}
 		for written, k := 0, 0; written < target; written, k = written+len(payload), k+1 {
-			if err := kv.Put(fmt.Sprintf("fill-%d-%d", i, k), payload); err != nil {
+			if err := kv.Put(context.Background(), fmt.Sprintf("fill-%d-%d", i, k), payload); err != nil {
 				return 0, err
 			}
 		}
@@ -340,7 +341,7 @@ func measureScaleUp(c *jiffy.Client, cluster *jiffy.Cluster,
 	}
 	d := time.Since(start)
 	// Clean up so each measurement starts fresh.
-	if err := c.RemovePrefix(path); err != nil {
+	if err := c.RemovePrefix(context.Background(), path); err != nil {
 		return 0, err
 	}
 	return d, nil

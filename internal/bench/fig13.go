@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -75,29 +76,29 @@ func streamingWordCountJiffy(corpus []string, batches, tasks int) (*metrics.Hist
 		return nil, err
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
-	if err := c.RegisterJob("wcstream"); err != nil {
+	if err := c.RegisterJob(context.Background(), "wcstream"); err != nil {
 		return nil, err
 	}
 	// One queue per count task (partitioned channels) + a shared KV.
 	queues := make([]*jiffy.Queue, tasks)
 	for i := 0; i < tasks; i++ {
 		p := core.MustPath("wcstream", fmt.Sprintf("ch%d", i))
-		if _, _, err := c.CreatePrefix(p, nil, core.DSQueue, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(context.Background(), p, nil, core.DSQueue, 1, 0); err != nil {
 			return nil, err
 		}
-		q, err := c.OpenQueue(p)
+		q, err := c.OpenQueue(context.Background(), p)
 		if err != nil {
 			return nil, err
 		}
 		queues[i] = q
 	}
 	kvPath := core.MustPath("wcstream", "counts")
-	if _, _, err := c.CreatePrefix(kvPath, nil, core.DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), kvPath, nil, core.DSKV, 1, 0); err != nil {
 		return nil, err
 	}
 	renewer := c.StartRenewer(200*time.Millisecond, core.Path("wcstream"))
@@ -112,13 +113,13 @@ func streamingWordCountJiffy(corpus []string, batches, tasks int) (*metrics.Hist
 		workers.Add(1)
 		go func(i int) {
 			defer workers.Done()
-			kv, err := c.OpenKV(kvPath)
+			kv, err := c.OpenKV(context.Background(), kvPath)
 			if err != nil {
 				return
 			}
 			counts := map[string]int{}
 			for {
-				item, err := queues[i].Dequeue()
+				item, err := queues[i].Dequeue(context.Background())
 				if err != nil {
 					select {
 					case <-stop:
@@ -130,7 +131,7 @@ func streamingWordCountJiffy(corpus []string, batches, tasks int) (*metrics.Hist
 				}
 				word := string(item)
 				counts[word]++
-				kv.Put(fmt.Sprintf("%d/%s", i, word), []byte(fmt.Sprintf("%d", counts[word])))
+				kv.Put(context.Background(), fmt.Sprintf("%d/%s", i, word), []byte(fmt.Sprintf("%d", counts[word])))
 				acked.Done()
 			}
 		}(i)
@@ -154,7 +155,7 @@ func streamingWordCountJiffy(corpus []string, batches, tasks int) (*metrics.Hist
 					for _, wd := range strings.Fields(batch[s]) {
 						acked.Add(1)
 						q := queues[int(fnvHash(wd))%tasks]
-						if err := q.Enqueue([]byte(wd)); err != nil {
+						if err := q.Enqueue(context.Background(), []byte(wd)); err != nil {
 							acked.Done()
 						}
 					}
@@ -325,27 +326,27 @@ func Fig13b(w io.Writer, opts Options) error {
 		return err
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	if err := c.RegisterJob("excamera"); err != nil {
+	if err := c.RegisterJob(context.Background(), "excamera"); err != nil {
 		return err
 	}
 	queues := make([]*jiffy.Queue, tasks+1)
 	listeners := make([]*jiffy.Listener, tasks+1)
 	for i := 0; i <= tasks; i++ {
 		p := core.MustPath("excamera", fmt.Sprintf("edge%d", i))
-		if _, _, err := c.CreatePrefix(p, nil, core.DSQueue, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(context.Background(), p, nil, core.DSQueue, 1, 0); err != nil {
 			return err
 		}
-		q, err := c.OpenQueue(p)
+		q, err := c.OpenQueue(context.Background(), p)
 		if err != nil {
 			return err
 		}
 		queues[i] = q
-		l, err := q.Subscribe(core.OpEnqueue)
+		l, err := q.Subscribe(context.Background(), core.OpEnqueue)
 		if err != nil {
 			return err
 		}
@@ -353,10 +354,10 @@ func Fig13b(w io.Writer, opts Options) error {
 		defer l.Close()
 	}
 	jiffyLat, jiffyWait := runExCamera(tasks, encodeTime,
-		func(i int, state []byte) { queues[i+1].Enqueue(state) },
+		func(i int, state []byte) { queues[i+1].Enqueue(context.Background(), state) },
 		func(i int) []byte {
 			for {
-				if item, err := queues[i].Dequeue(); err == nil {
+				if item, err := queues[i].Dequeue(context.Background()); err == nil {
 					return item
 				}
 				// Block on the enqueue notification instead of polling.

@@ -6,6 +6,7 @@
 package hotpath
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -60,7 +61,7 @@ func (p params) client(b *testing.B) *jiffy.Client {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func (p params) client(b *testing.B) *jiffy.Client {
 func (p params) kv(b *testing.B) *jiffy.KV {
 	b.Helper()
 	c := p.client(b)
-	c.RegisterJob("bench")
-	if _, _, err := c.CreatePrefix("bench/kv", nil, jiffy.DSKV, 4, 0); err != nil {
+	c.RegisterJob(context.Background(), "bench")
+	if _, _, err := c.CreatePrefix(context.Background(), "bench/kv", nil, jiffy.DSKV, 4, 0); err != nil {
 		b.Fatal(err)
 	}
-	kv, err := c.OpenKV("bench/kv")
+	kv, err := c.OpenKV(context.Background(), "bench/kv")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func (p params) kvPutSingle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := kv.Put(keys[i%len(keys)], val); err != nil {
+		if err := kv.Put(context.Background(), keys[i%len(keys)], val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,7 +119,7 @@ func (p params) kvPutBatch(b *testing.B) {
 		for j := 0; j < m; j++ {
 			pairs[j] = jiffy.KVPair{Key: keys[(n+j)%len(keys)], Value: val}
 		}
-		if err := kv.MultiPut(pairs[:m]); err != nil {
+		if err := kv.MultiPut(context.Background(), pairs[:m]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,7 +136,7 @@ func (p params) kvPreloaded(b *testing.B) (*jiffy.KV, []string) {
 		for j := i; j < i+BatchSize && j < len(keys); j++ {
 			pairs = append(pairs, jiffy.KVPair{Key: keys[j], Value: val})
 		}
-		if err := kv.MultiPut(pairs); err != nil {
+		if err := kv.MultiPut(context.Background(), pairs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func (p params) kvGetSingle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := kv.Get(keys[i%len(keys)]); err != nil {
+		if _, err := kv.Get(context.Background(), keys[i%len(keys)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func (p params) kvGetBatch(b *testing.B) {
 		for j := 0; j < m; j++ {
 			batch[j] = keys[(n+j)%len(keys)]
 		}
-		if _, err := kv.MultiGet(batch[:m]); err != nil {
+		if _, err := kv.MultiGet(context.Background(), batch[:m]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,7 +196,7 @@ type session struct {
 func (p params) session(b *testing.B, kind core.DSType) *session {
 	b.Helper()
 	c := p.client(b)
-	c.RegisterJob("bench")
+	c.RegisterJob(context.Background(), "bench")
 	s := &session{b: b, c: c, kind: kind, gen: -1}
 	s.roll()
 	return s
@@ -207,20 +208,20 @@ func (s *session) path(gen int) core.Path {
 
 func (s *session) roll() {
 	if s.gen >= 0 {
-		if err := s.c.RemovePrefix(s.path(s.gen)); err != nil {
+		if err := s.c.RemovePrefix(context.Background(), s.path(s.gen)); err != nil {
 			s.b.Fatal(err)
 		}
 	}
 	s.gen++
-	if _, _, err := s.c.CreatePrefix(s.path(s.gen), nil, s.kind, 1, 0); err != nil {
+	if _, _, err := s.c.CreatePrefix(context.Background(), s.path(s.gen), nil, s.kind, 1, 0); err != nil {
 		s.b.Fatal(err)
 	}
 	var err error
 	switch s.kind {
 	case jiffy.DSFile:
-		s.file, err = s.c.OpenFile(s.path(s.gen))
+		s.file, err = s.c.OpenFile(context.Background(), s.path(s.gen))
 	case jiffy.DSQueue:
-		s.queue, err = s.c.OpenQueue(s.path(s.gen))
+		s.queue, err = s.c.OpenQueue(context.Background(), s.path(s.gen))
 	}
 	if err != nil {
 		s.b.Fatal(err)
@@ -246,7 +247,7 @@ func (p params) fileAppendSingle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.charge(valSize)
-		if _, err := s.file.AppendRecord(rec); err != nil {
+		if _, err := s.file.AppendRecord(context.Background(), rec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -267,7 +268,7 @@ func (p params) fileAppendBatch(b *testing.B) {
 			m = b.N - n
 		}
 		s.charge(m * valSize)
-		if _, err := s.file.AppendBatch(recs[:m]); err != nil {
+		if _, err := s.file.AppendBatch(context.Background(), recs[:m]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,7 +281,7 @@ func (p params) queueEnqueueSingle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.charge(valSize)
-		if err := s.queue.Enqueue(item); err != nil {
+		if err := s.queue.Enqueue(context.Background(), item); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -301,7 +302,7 @@ func (p params) queueEnqueueBatch(b *testing.B) {
 			m = b.N - n
 		}
 		s.charge(m * valSize)
-		if err := s.queue.EnqueueBatch(items[:m]); err != nil {
+		if err := s.queue.EnqueueBatch(context.Background(), items[:m]); err != nil {
 			b.Fatal(err)
 		}
 	}

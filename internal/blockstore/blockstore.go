@@ -14,6 +14,7 @@ import (
 
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
+	"jiffy/internal/obs"
 )
 
 // Signal is the threshold-crossing callback: over is true for a
@@ -91,6 +92,11 @@ type Store struct {
 	blocks map[core.BlockID]*Block
 
 	ops atomic.Int64
+
+	// telemetry (nil until Instrument; the data path stays alloc-free
+	// and lock-free either way).
+	created *obs.Counter
+	deleted *obs.Counter
 }
 
 // NewStore creates an empty store with the given thresholds. onSignal
@@ -112,6 +118,9 @@ func (s *Store) Create(b *Block) error {
 		return fmt.Errorf("blockstore: block %v: %w", b.ID, core.ErrExists)
 	}
 	s.blocks[b.ID] = b
+	if s.created != nil && obs.On() {
+		s.created.Inc()
+	}
 	return nil
 }
 
@@ -123,6 +132,9 @@ func (s *Store) Delete(id core.BlockID) error {
 		return fmt.Errorf("blockstore: block %v: %w", id, core.ErrNotFound)
 	}
 	delete(s.blocks, id)
+	if s.deleted != nil && obs.On() {
+		s.deleted.Inc()
+	}
 	return nil
 }
 
@@ -228,6 +240,39 @@ func (s *Store) ResetSignal(id core.BlockID) {
 	if b, err := s.Get(id); err == nil {
 		b.signaled.Store(0)
 	}
+}
+
+// Instrument registers the store's metrics with a registry: lifetime
+// block create/delete counters plus live gauges for block count, used
+// and capacity bytes (utilization is their ratio), and applied ops.
+// The gauges read store state only at scrape time, so the data path
+// pays nothing for them.
+func (s *Store) Instrument(r *obs.Registry) {
+	s.created = r.Counter("jiffy_store_blocks_created_total",
+		"blocks installed into this store over its lifetime")
+	s.deleted = r.Counter("jiffy_store_blocks_deleted_total",
+		"blocks removed from this store over its lifetime")
+	r.GaugeFunc("jiffy_store_blocks", "blocks currently hosted", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.blocks))
+	})
+	r.GaugeFunc("jiffy_store_used_bytes", "bytes stored across hosted blocks", func() int64 {
+		_, used, _ := s.Stats()
+		return int64(used)
+	})
+	r.GaugeFunc("jiffy_store_capacity_bytes", "capacity across hosted blocks", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var capacity int64
+		for _, b := range s.blocks {
+			capacity += int64(b.Partition.Capacity())
+		}
+		return capacity
+	})
+	r.GaugeFunc("jiffy_store_ops_total", "data-plane operations applied", func() int64 {
+		return s.ops.Load()
+	})
 }
 
 // List returns a snapshot of the hosted blocks.

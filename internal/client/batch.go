@@ -1,11 +1,13 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
+	"jiffy/internal/obs"
 )
 
 // Batched multi-op API. Each call groups operations by destination
@@ -71,14 +73,14 @@ type KVPair struct {
 
 // MultiPut stores many pairs in one round trip per destination server.
 // On partial failure it returns a *MultiError indexed like pairs.
-func (k *KV) MultiPut(pairs []KVPair) error {
+func (k *KV) MultiPut(ctx context.Context, pairs []KVPair) error {
 	keys := make([]string, len(pairs))
 	args := make([][][]byte, len(pairs))
 	for i, p := range pairs {
 		keys[i] = p.Key
 		args[i] = [][]byte{[]byte(p.Key), p.Value}
 	}
-	_, err := k.execBatch(core.OpPut, keys, args)
+	_, err := k.execBatch(ctx, core.OpPut, keys, args)
 	return err
 }
 
@@ -86,12 +88,12 @@ func (k *KV) MultiPut(pairs []KVPair) error {
 // The returned values align with keys; a key whose lookup failed (e.g.
 // ErrNotFound) has a nil value and its error recorded in the returned
 // *MultiError.
-func (k *KV) MultiGet(keys []string) ([][]byte, error) {
+func (k *KV) MultiGet(ctx context.Context, keys []string) ([][]byte, error) {
 	args := make([][][]byte, len(keys))
 	for i, key := range keys {
 		args[i] = [][]byte{[]byte(key)}
 	}
-	res, err := k.execBatch(core.OpGet, keys, args)
+	res, err := k.execBatch(ctx, core.OpGet, keys, args)
 	vals := make([][]byte, len(keys))
 	for i, r := range res {
 		if len(r) > 0 {
@@ -103,7 +105,7 @@ func (k *KV) MultiGet(keys []string) ([][]byte, error) {
 
 // execBatch drives a set of same-op keyed operations to completion.
 // Results align with keys; the error is nil or a *MultiError.
-func (k *KV) execBatch(op core.OpType, keys []string, args [][][]byte) ([][][]byte, error) {
+func (k *KV) execBatch(ctx context.Context, op core.OpType, keys []string, args [][][]byte) ([][][]byte, error) {
 	n := len(keys)
 	results := make([][][]byte, n)
 	errs := make([]error, n)
@@ -144,13 +146,16 @@ func (k *KV) execBatch(op core.OpType, keys []string, args [][][]byte) ([][][]by
 		}
 
 		for server, g := range groups {
-			rs, cerr := k.h.doBatch(server, g.ops)
+			rs, cerr := k.h.doBatch(ctx, server, g.ops)
 			if cerr != nil {
 				// The whole group's call failed: attribute the error to
 				// every op in it and retry them all — none of them got a
-				// definitive answer.
+				// definitive answer. A caller-context failure is final.
 				for _, i := range g.idxs {
 					errs[i] = cerr
+				}
+				if ctxErr(cerr) != nil {
+					return results, multiErr(errs)
 				}
 				next = append(next, g.idxs...)
 				if isConnErr(cerr) {
@@ -185,7 +190,7 @@ func (k *KV) execBatch(op core.OpType, keys []string, args [][][]byte) ([][][]by
 					needRefresh = true
 				case errors.Is(oerr, core.ErrBlockFull):
 					errs[i] = oerr
-					if serr := k.h.requestScale(g.ops[j].Block); serr != nil &&
+					if serr := k.h.requestScale(ctx, g.ops[j].Block); serr != nil &&
 						!errors.Is(serr, core.ErrNoCapacity) {
 						errs[i] = serr
 						continue
@@ -203,14 +208,22 @@ func (k *KV) execBatch(op core.OpType, keys []string, args [][][]byte) ([][][]by
 			break
 		}
 		if needRefresh {
-			if rerr := k.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if obs.On() {
+				k.h.c.staleRegroups.Inc()
+			}
+			if rerr := k.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				for _, i := range pending {
 					errs[i] = rerr
 				}
 				return results, multiErr(errs)
 			}
 		}
-		backoff(attempt)
+		if berr := k.h.backoff(ctx, attempt); berr != nil {
+			for _, i := range pending {
+				errs[i] = berr
+			}
+			return results, multiErr(errs)
+		}
 	}
 
 	for _, i := range pending {
@@ -225,7 +238,7 @@ func (k *KV) execBatch(op core.OpType, keys []string, args [][][]byte) ([][][]by
 // chunks. When the tail fills mid-batch the unplaced suffix requests a
 // scale-up and retries against the new tail; on partial failure the
 // error is a *MultiError indexed like records.
-func (f *File) AppendBatch(records [][]byte) ([]int, error) {
+func (f *File) AppendBatch(ctx context.Context, records [][]byte) ([]int, error) {
 	cs := f.chunkSize()
 	if cs <= 0 {
 		return nil, fmt.Errorf("client: file has no chunk size")
@@ -255,18 +268,23 @@ func (f *File) AppendBatch(records [][]byte) ([]int, error) {
 		for j, i := range pending {
 			ops[j] = ds.BatchOp{Op: core.OpFileAppend, Block: tail.Info.ID, Args: [][]byte{records[i]}}
 		}
-		rs, cerr := f.h.doBatch(tail.Info.Server, ops)
+		rs, cerr := f.h.doBatch(ctx, tail.Info.Server, ops)
 		if cerr != nil {
 			for _, i := range pending {
 				errs[i] = cerr
 			}
+			if ctxErr(cerr) != nil {
+				return offs, multiErr(errs)
+			}
 			if !isConnErr(cerr) && !errors.Is(cerr, core.ErrStaleEpoch) {
 				return offs, multiErr(errs)
 			}
-			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return offs, multiErr(errs)
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return offs, multiErr(errs)
+			}
 			continue
 		}
 		var next []int
@@ -302,7 +320,7 @@ func (f *File) AppendBatch(records [][]byte) ([]int, error) {
 			}
 		}
 		if needScale {
-			if serr := f.h.requestScale(tail.Info.ID); serr != nil &&
+			if serr := f.h.requestScale(ctx, tail.Info.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				for _, i := range next {
 					errs[i] = serr
@@ -310,7 +328,10 @@ func (f *File) AppendBatch(records [][]byte) ([]int, error) {
 				return offs, multiErr(errs)
 			}
 		} else if needRefresh {
-			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if obs.On() {
+				f.h.c.staleRegroups.Inc()
+			}
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				for _, i := range next {
 					errs[i] = rerr
 				}
@@ -319,7 +340,12 @@ func (f *File) AppendBatch(records [][]byte) ([]int, error) {
 		}
 		pending = next
 		if len(pending) > 0 {
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				for _, i := range pending {
+					errs[i] = berr
+				}
+				return offs, multiErr(errs)
+			}
 		}
 	}
 
@@ -333,7 +359,7 @@ func (f *File) AppendBatch(records [][]byte) ([]int, error) {
 // Sealed-segment redirects advance the cached tail and retry the
 // unplaced suffix, mirroring Enqueue; on partial failure the error is
 // a *MultiError indexed like items.
-func (q *Queue) EnqueueBatch(items [][]byte) error {
+func (q *Queue) EnqueueBatch(ctx context.Context, items [][]byte) error {
 	n := len(items)
 	errs := make([]error, n)
 	if n == 0 {
@@ -356,18 +382,23 @@ func (q *Queue) EnqueueBatch(items [][]byte) error {
 		for j, i := range pending {
 			ops[j] = ds.BatchOp{Op: core.OpEnqueue, Block: tail.ID, Args: [][]byte{items[i]}}
 		}
-		rs, cerr := q.h.doBatch(tail.Server, ops)
+		rs, cerr := q.h.doBatch(ctx, tail.Server, ops)
 		if cerr != nil {
 			for _, i := range pending {
 				errs[i] = cerr
 			}
+			if ctxErr(cerr) != nil {
+				return multiErr(errs)
+			}
 			if !isConnErr(cerr) && !errors.Is(cerr, core.ErrStaleEpoch) {
 				return multiErr(errs)
 			}
-			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
 				return multiErr(errs)
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return multiErr(errs)
+			}
 			continue
 		}
 		var next []int
@@ -404,14 +435,14 @@ func (q *Queue) EnqueueBatch(items [][]byte) error {
 			}
 		}
 		if needScale {
-			if serr := q.h.requestScale(tail.ID); serr != nil &&
+			if serr := q.h.requestScale(ctx, tail.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				for _, i := range next {
 					errs[i] = serr
 				}
 				return multiErr(errs)
 			}
-			if rerr := q.reseed(); rerr != nil {
+			if rerr := q.reseed(ctx); rerr != nil {
 				for _, i := range next {
 					errs[i] = rerr
 				}
@@ -429,7 +460,10 @@ func (q *Queue) EnqueueBatch(items [][]byte) error {
 				}
 			}
 		} else if needReseed {
-			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
+			if obs.On() {
+				q.h.c.staleRegroups.Inc()
+			}
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
 				for _, i := range next {
 					errs[i] = rerr
 				}
@@ -438,7 +472,12 @@ func (q *Queue) EnqueueBatch(items [][]byte) error {
 		}
 		pending = next
 		if len(pending) > 0 {
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				for _, i := range pending {
+					errs[i] = berr
+				}
+				return multiErr(errs)
+			}
 		}
 	}
 

@@ -5,31 +5,86 @@
 // ("access data directly from the memory servers", §2). Data-structure
 // handles cache partition maps and refresh them when the data plane
 // reports staleness — the client-side half of seamless repartitioning.
+//
+// The API is context-first: every control- and data-path call takes a
+// context.Context whose deadline bounds the call (taking precedence
+// over the session-level RPC timeout) and whose cancellation fails
+// pending calls with context.Canceled wrapped in the typed errors.
+// Pre-context signatures survive as deprecated NoCtx views (compat.go).
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
+	"jiffy/internal/obs"
 	"jiffy/internal/proto"
 	"jiffy/internal/rpc"
 )
 
-// Options configures a Client.
-type Options struct {
-	// Dial customizes outbound connections (tests inject mem://
-	// transports).
-	Dial func(addr string) (*rpc.Client, error)
-	// RetryLimit bounds data-plane retries after map refreshes
-	// (default 32).
-	RetryLimit int
-	// RPCTimeout bounds every control- and data-plane call so a dead
-	// peer fails the call instead of hanging it. Zero means
-	// core.DefaultRPCTimeout; negative disables the bound.
-	RPCTimeout time.Duration
+// RetryPolicy bounds the data-plane recovery loops.
+type RetryPolicy struct {
+	// Limit bounds retries after map refreshes (default 32).
+	Limit int
+	// MaxBackoff caps the linearly growing between-retry delay
+	// (default 5ms), keeping a full retry budget bounded.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy returns the retry bounds used when no
+// WithRetryPolicy option is given.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Limit: 32, MaxBackoff: 5 * time.Millisecond}
+}
+
+// config collects the dialing/retry/telemetry knobs behind the
+// functional options.
+type config struct {
+	dial     func(addr string) (*rpc.Client, error)
+	policy   RetryPolicy
+	timeout  time.Duration
+	exporter obs.SpanExporter
+}
+
+// Option configures Connect/ConnectMulti.
+type Option func(*config)
+
+// WithDial customizes outbound connections (tests inject mem://
+// transports and fault injectors).
+func WithDial(dial func(addr string) (*rpc.Client, error)) Option {
+	return func(c *config) { c.dial = dial }
+}
+
+// WithRPCTimeout bounds every control- and data-plane call so a dead
+// peer fails the call instead of hanging it. Zero means
+// core.DefaultRPCTimeout; negative disables the bound. A context
+// deadline on an individual call always takes precedence.
+func WithRPCTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithRetryPolicy overrides the data-plane retry bounds. Zero fields
+// keep their defaults.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) {
+		if p.Limit > 0 {
+			c.policy.Limit = p.Limit
+		}
+		if p.MaxBackoff > 0 {
+			c.policy.MaxBackoff = p.MaxBackoff
+		}
+	}
+}
+
+// WithTracing installs a span exporter: every RPC issued by the client
+// records a span, and the trace/span IDs ride the wire to the servers
+// so server-side spans nest under client calls.
+func WithTracing(exp obs.SpanExporter) Option {
+	return func(c *config) { c.exporter = exp }
 }
 
 // Client is one application's connection to a Jiffy cluster. It may
@@ -41,7 +96,20 @@ type Client struct {
 	ctrlAddrs []string
 	ctrls     []*rpc.Client
 	pool      *rpc.Pool
-	retry     int
+	policy    RetryPolicy
+
+	// ctrlIdx memoizes jobHash(job) % len(ctrls) so hot control paths
+	// (lease renewal ticks, per-op scale requests) skip the hash.
+	ctrlIdx sync.Map // core.JobID -> int
+
+	// Telemetry: per-method RPC metrics (role "client"), client-loop
+	// counters, and the optional tracer, all served via Obs().
+	reg           *obs.Registry
+	rpcm          *obs.RPCMetrics
+	tracer        *obs.Tracer
+	batchSizes    *obs.Histogram
+	mapRefreshes  *obs.Counter
+	staleRegroups *obs.Counter
 
 	mu sync.Mutex
 	// routers dispatches push notifications per data-plane connection.
@@ -51,36 +119,58 @@ type Client struct {
 	closed   bool
 }
 
-// Connect dials the controller (connect(jiffyAddress) in Table 1).
-func Connect(controllerAddr string, opts Options) (*Client, error) {
-	return ConnectMulti([]string{controllerAddr}, opts)
+// Connect dials the controller (connect(jiffyAddress) in Table 1). ctx
+// bounds the dial and initial handshake only; per-call contexts bound
+// the individual operations that follow.
+func Connect(ctx context.Context, controllerAddr string, opts ...Option) (*Client, error) {
+	return ConnectMulti(ctx, []string{controllerAddr}, opts...)
 }
 
 // ConnectMulti dials a hash-partitioned controller group. The address
 // order must match across every client and every memory-server
 // assignment (each controller owns the jobs that hash to its index).
-func ConnectMulti(controllerAddrs []string, opts Options) (*Client, error) {
+func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option) (*Client, error) {
 	if len(controllerAddrs) == 0 {
 		return nil, fmt.Errorf("client: no controller addresses")
 	}
-	if opts.RetryLimit <= 0 {
-		opts.RetryLimit = 32
+	cfg := config{policy: DefaultRetryPolicy(), timeout: core.DefaultRPCTimeout}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if opts.RPCTimeout == 0 {
-		opts.RPCTimeout = core.DefaultRPCTimeout
+	if cfg.timeout < 0 {
+		cfg.timeout = 0 // explicit opt-out: unbounded calls
 	}
-	if opts.RPCTimeout < 0 {
-		opts.RPCTimeout = 0 // explicit opt-out: unbounded calls
-	}
-	opts.Dial = rpc.WithTimeout(opts.Dial, opts.RPCTimeout)
+
 	c := &Client{
 		ctrlAddrs: controllerAddrs,
-		pool:      rpc.NewPool(opts.Dial),
-		retry:     opts.RetryLimit,
+		policy:    cfg.policy,
 		routers:   make(map[string]*pushRouter),
+		reg:       obs.NewRegistry(),
+		rpcm:      obs.NewRPCMetrics("client"),
 	}
+	if cfg.exporter != nil {
+		c.tracer = obs.NewTracer(cfg.exporter, nil)
+	}
+	c.rpcm.Register(c.reg, proto.MethodName)
+	c.batchSizes = c.reg.Histogram("jiffy_client_batch_ops",
+		"Operations per batched data-plane call")
+	c.mapRefreshes = c.reg.Counter("jiffy_client_map_refreshes_total",
+		"Partition-map refreshes triggered by staleness or failures")
+	c.staleRegroups = c.reg.Counter("jiffy_client_stale_regroups_total",
+		"Batched calls regrouped after a stale partition map")
+
+	dial := rpc.WithTimeout(cfg.dial, cfg.timeout)
+	dial = rpc.WithInstrumentation(dial, c.rpcm, c.tracer)
+	c.pool = rpc.NewPool(dial)
+
 	for _, addr := range controllerAddrs {
-		ctrl, err := opts.Dial(addr)
+		if err := ctx.Err(); err != nil {
+			for _, done := range c.ctrls {
+				done.Close()
+			}
+			return nil, fmt.Errorf("client: connect: %w", err)
+		}
+		ctrl, err := dial(addr)
 		if err != nil {
 			for _, done := range c.ctrls {
 				done.Close()
@@ -92,13 +182,25 @@ func ConnectMulti(controllerAddrs []string, opts Options) (*Client, error) {
 	return c, nil
 }
 
+// Obs exposes the client-side metric registry (per-method RPC stats,
+// batch sizes, map refreshes) for embedding into an application's
+// admin endpoint.
+func (c *Client) Obs() *obs.Registry { return c.reg }
+
 // ctrlFor routes a job to its owning controller, mirroring the
-// controller-side hash partitioning.
+// controller-side hash partitioning. The hash→index mapping is
+// memoized per job: clients touch the same few jobs on every lease
+// tick and scale request, so the FNV walk is paid once per job.
 func (c *Client) ctrlFor(job core.JobID) *rpc.Client {
 	if len(c.ctrls) == 1 {
 		return c.ctrls[0]
 	}
-	return c.ctrls[int(jobHash(job))%len(c.ctrls)]
+	if idx, ok := c.ctrlIdx.Load(job); ok {
+		return c.ctrls[idx.(int)]
+	}
+	idx := int(jobHash(job)) % len(c.ctrls)
+	c.ctrlIdx.Store(job, idx)
+	return c.ctrls[idx]
 }
 
 // jobHash is the FNV-32a hash both sides use to place jobs.
@@ -138,23 +240,23 @@ func (c *Client) Close() error {
 // --- control-plane operations (Table 1) -------------------------------------
 
 // RegisterJob registers a job with the control plane.
-func (c *Client) RegisterJob(job core.JobID) error {
+func (c *Client) RegisterJob(ctx context.Context, job core.JobID) error {
 	var resp proto.RegisterJobResp
-	return c.ctrlFor(job).CallGob(proto.MethodRegisterJob, proto.RegisterJobReq{Job: job}, &resp)
+	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodRegisterJob, proto.RegisterJobReq{Job: job}, &resp)
 }
 
 // DeregisterJob releases all of a job's resources.
-func (c *Client) DeregisterJob(job core.JobID) error {
+func (c *Client) DeregisterJob(ctx context.Context, job core.JobID) error {
 	var resp proto.DeregisterJobResp
-	return c.ctrlFor(job).CallGob(proto.MethodDeregisterJob, proto.DeregisterJobReq{Job: job}, &resp)
+	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodDeregisterJob, proto.DeregisterJobReq{Job: job}, &resp)
 }
 
 // CreatePrefix implements createAddrPrefix: adds an address prefix with
 // optional extra DAG parents and an attached data structure.
-func (c *Client) CreatePrefix(path core.Path, parents []core.Path, t core.DSType,
+func (c *Client) CreatePrefix(ctx context.Context, path core.Path, parents []core.Path, t core.DSType,
 	initialBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.CreatePrefixResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodCreatePrefix, proto.CreatePrefixReq{
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
 		Path:          path,
 		Parents:       parents,
 		Type:          t,
@@ -169,10 +271,10 @@ func (c *Client) CreatePrefix(path core.Path, parents []core.Path, t core.DSType
 // when it is full — the generalization of the paper's maxQueueLength
 // (§5.2). Consumers freeing space (dequeues, deletes) make writes
 // succeed again.
-func (c *Client) CreateBoundedPrefix(path core.Path, parents []core.Path, t core.DSType,
+func (c *Client) CreateBoundedPrefix(ctx context.Context, path core.Path, parents []core.Path, t core.DSType,
 	initialBlocks, maxBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.CreatePrefixResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodCreatePrefix, proto.CreatePrefixReq{
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
 		Path:          path,
 		Parents:       parents,
 		Type:          t,
@@ -185,27 +287,27 @@ func (c *Client) CreateBoundedPrefix(path core.Path, parents []core.Path, t core
 
 // CreateHierarchy implements createHierarchy: builds the job's address
 // hierarchy from an execution DAG.
-func (c *Client) CreateHierarchy(job core.JobID, nodes []proto.DagNode,
+func (c *Client) CreateHierarchy(ctx context.Context, job core.JobID, nodes []proto.DagNode,
 	leaseDuration time.Duration) error {
 	var resp proto.CreateHierarchyResp
-	return c.ctrlFor(job).CallGob(proto.MethodCreateHierarchy, proto.CreateHierarchyReq{
+	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodCreateHierarchy, proto.CreateHierarchyReq{
 		Job: job, Nodes: nodes, LeaseDuration: leaseDuration,
 	}, &resp)
 }
 
 // RemovePrefix explicitly reclaims a prefix.
-func (c *Client) RemovePrefix(path core.Path) error {
+func (c *Client) RemovePrefix(ctx context.Context, path core.Path) error {
 	var resp proto.RemovePrefixResp
-	return c.ctrlFor(path.Job()).CallGob(proto.MethodRemovePrefix, proto.RemovePrefixReq{Path: path}, &resp)
+	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodRemovePrefix, proto.RemovePrefixReq{Path: path}, &resp)
 }
 
 // RenewLease implements renewLease for one or more prefixes; paths
 // spanning several jobs are grouped and routed to each job's owning
 // controller.
-func (c *Client) RenewLease(paths ...core.Path) (int, error) {
+func (c *Client) RenewLease(ctx context.Context, paths ...core.Path) (int, error) {
 	if len(c.ctrls) == 1 {
 		var resp proto.RenewLeaseResp
-		err := c.anyCtrl().CallGob(proto.MethodRenewLease, proto.RenewLeaseReq{Paths: paths}, &resp)
+		err := c.anyCtrl().CallGobCtx(ctx, proto.MethodRenewLease, proto.RenewLeaseReq{Paths: paths}, &resp)
 		return resp.Renewed, err
 	}
 	byCtrl := make(map[*rpc.Client][]core.Path)
@@ -216,7 +318,7 @@ func (c *Client) RenewLease(paths ...core.Path) (int, error) {
 	total := 0
 	for ctrl, group := range byCtrl {
 		var resp proto.RenewLeaseResp
-		if err := ctrl.CallGob(proto.MethodRenewLease, proto.RenewLeaseReq{Paths: group}, &resp); err != nil {
+		if err := ctrl.CallGobCtx(ctx, proto.MethodRenewLease, proto.RenewLeaseReq{Paths: group}, &resp); err != nil {
 			return total, err
 		}
 		total += resp.Renewed
@@ -225,17 +327,17 @@ func (c *Client) RenewLease(paths ...core.Path) (int, error) {
 }
 
 // LeaseDuration implements getLeaseDuration.
-func (c *Client) LeaseDuration(path core.Path) (time.Duration, error) {
+func (c *Client) LeaseDuration(ctx context.Context, path core.Path) (time.Duration, error) {
 	var resp proto.LeaseInfoResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodLeaseInfo, proto.LeaseInfoReq{Path: path}, &resp)
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodLeaseInfo, proto.LeaseInfoReq{Path: path}, &resp)
 	return resp.Duration, err
 }
 
 // FlushPrefix implements flushAddrPrefix: checkpoint the prefix to the
 // external store.
-func (c *Client) FlushPrefix(path core.Path, externalPath string) (int, error) {
+func (c *Client) FlushPrefix(ctx context.Context, path core.Path, externalPath string) (int, error) {
 	var resp proto.FlushPrefixResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodFlushPrefix, proto.FlushPrefixReq{
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodFlushPrefix, proto.FlushPrefixReq{
 		Path: path, ExternalPath: externalPath,
 	}, &resp)
 	return resp.Blocks, err
@@ -243,9 +345,9 @@ func (c *Client) FlushPrefix(path core.Path, externalPath string) (int, error) {
 
 // LoadPrefix implements loadAddrPrefix: restore the prefix from the
 // external store.
-func (c *Client) LoadPrefix(path core.Path, externalPath string) error {
+func (c *Client) LoadPrefix(ctx context.Context, path core.Path, externalPath string) error {
 	var resp proto.LoadPrefixResp
-	return c.ctrlFor(path.Job()).CallGob(proto.MethodLoadPrefix, proto.LoadPrefixReq{
+	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodLoadPrefix, proto.LoadPrefixReq{
 		Path: path, ExternalPath: externalPath,
 	}, &resp)
 }
@@ -254,14 +356,14 @@ func (c *Client) LoadPrefix(path core.Path, externalPath string) error {
 // persistent store (operators run this periodically; a replacement
 // controller restores it with the -restore flag of jiffy-controller).
 // With a controller group, controller i saves under "<key>-<i>".
-func (c *Client) SaveControllerState(key string) error {
+func (c *Client) SaveControllerState(ctx context.Context, key string) error {
 	if len(c.ctrls) == 1 {
 		var resp proto.SaveStateResp
-		return c.anyCtrl().CallGob(proto.MethodSaveState, proto.SaveStateReq{Key: key}, &resp)
+		return c.anyCtrl().CallGobCtx(ctx, proto.MethodSaveState, proto.SaveStateReq{Key: key}, &resp)
 	}
 	for i, ctrl := range c.ctrls {
 		var resp proto.SaveStateResp
-		if err := ctrl.CallGob(proto.MethodSaveState,
+		if err := ctrl.CallGobCtx(ctx, proto.MethodSaveState,
 			proto.SaveStateReq{Key: fmt.Sprintf("%s-%d", key, i)}, &resp); err != nil {
 			return err
 		}
@@ -271,11 +373,11 @@ func (c *Client) SaveControllerState(key string) error {
 
 // ControllerStats fetches controller statistics, aggregated across the
 // controller group.
-func (c *Client) ControllerStats() (proto.ControllerStatsResp, error) {
+func (c *Client) ControllerStats(ctx context.Context) (proto.ControllerStatsResp, error) {
 	var agg proto.ControllerStatsResp
 	for _, ctrl := range c.ctrls {
 		var resp proto.ControllerStatsResp
-		if err := ctrl.CallGob(proto.MethodControllerStats, proto.ControllerStatsReq{}, &resp); err != nil {
+		if err := ctrl.CallGobCtx(ctx, proto.MethodControllerStats, proto.ControllerStatsReq{}, &resp); err != nil {
 			return agg, err
 		}
 		agg.TotalBlocks += resp.TotalBlocks
@@ -290,16 +392,16 @@ func (c *Client) ControllerStats() (proto.ControllerStatsResp, error) {
 }
 
 // ListPrefixes lists a job's address hierarchy.
-func (c *Client) ListPrefixes(job core.JobID) ([]proto.PrefixInfo, error) {
+func (c *Client) ListPrefixes(ctx context.Context, job core.JobID) ([]proto.PrefixInfo, error) {
 	var resp proto.ListPrefixesResp
-	err := c.ctrlFor(job).CallGob(proto.MethodListPrefixes, proto.ListPrefixesReq{Job: job}, &resp)
+	err := c.ctrlFor(job).CallGobCtx(ctx, proto.MethodListPrefixes, proto.ListPrefixesReq{Job: job}, &resp)
 	return resp.Prefixes, err
 }
 
 // open fetches the current partition map for a prefix.
-func (c *Client) open(path core.Path) (ds.PartitionMap, time.Duration, error) {
+func (c *Client) open(ctx context.Context, path core.Path) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.OpenResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
 	return resp.Map, resp.LeaseDuration, err
 }
 
@@ -307,15 +409,15 @@ func (c *Client) open(path core.Path) (ds.PartitionMap, time.Duration, error) {
 // when a write bounces off a full block before the server's proactive
 // signal has landed, the client asks the controller to scale directly
 // and receives the refreshed map in the response.
-func (c *Client) requestScale(path core.Path, block core.BlockID) (ds.PartitionMap, error) {
+func (c *Client) requestScale(ctx context.Context, path core.Path, block core.BlockID) (ds.PartitionMap, error) {
 	var resp proto.ScaleUpResp
-	err := c.ctrlFor(path.Job()).CallGob(proto.MethodScaleUp, proto.ScaleUpReq{Path: path, Block: block}, &resp)
+	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodScaleUp, proto.ScaleUpReq{Path: path, Block: block}, &resp)
 	return resp.Map, err
 }
 
 // OpenKV opens a handle to the KV store at path (initDataStructure).
-func (c *Client) OpenKV(path core.Path) (*KV, error) {
-	h, err := c.newHandle(path, core.DSKV)
+func (c *Client) OpenKV(ctx context.Context, path core.Path) (*KV, error) {
+	h, err := c.newHandle(ctx, path, core.DSKV)
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +425,8 @@ func (c *Client) OpenKV(path core.Path) (*KV, error) {
 }
 
 // OpenFile opens a handle to the file at path.
-func (c *Client) OpenFile(path core.Path) (*File, error) {
-	h, err := c.newHandle(path, core.DSFile)
+func (c *Client) OpenFile(ctx context.Context, path core.Path) (*File, error) {
+	h, err := c.newHandle(ctx, path, core.DSFile)
 	if err != nil {
 		return nil, err
 	}
@@ -332,8 +434,8 @@ func (c *Client) OpenFile(path core.Path) (*File, error) {
 }
 
 // OpenQueue opens a handle to the FIFO queue at path.
-func (c *Client) OpenQueue(path core.Path) (*Queue, error) {
-	h, err := c.newHandle(path, core.DSQueue)
+func (c *Client) OpenQueue(ctx context.Context, path core.Path) (*Queue, error) {
+	h, err := c.newHandle(ctx, path, core.DSQueue)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,7 +24,7 @@ func testCluster(t *testing.T) (*jiffy.Cluster, *client.Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,30 +34,30 @@ func testCluster(t *testing.T) (*jiffy.Cluster, *client.Client) {
 
 func TestOpenWrongType(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/kv", nil, core.DSKV, 1, 0)
-	if _, err := c.OpenQueue("j/kv"); !errors.Is(err, core.ErrWrongType) {
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/kv", nil, core.DSKV, 1, 0)
+	if _, err := c.OpenQueue(context.Background(), "j/kv"); !errors.Is(err, core.ErrWrongType) {
 		t.Errorf("OpenQueue on KV = %v", err)
 	}
-	if _, err := c.OpenFile("j/kv"); !errors.Is(err, core.ErrWrongType) {
+	if _, err := c.OpenFile(context.Background(), "j/kv"); !errors.Is(err, core.ErrWrongType) {
 		t.Errorf("OpenFile on KV = %v", err)
 	}
-	if _, err := c.OpenKV("j/missing"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.OpenKV(context.Background(), "j/missing"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("OpenKV on missing = %v", err)
 	}
 }
 
 func TestKVExistsSemantics(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/t", nil, core.DSKV, 1, 0)
-	kv, _ := c.OpenKV("j/t")
-	ok, err := kv.Exists("ghost")
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/t", nil, core.DSKV, 1, 0)
+	kv, _ := c.OpenKV(context.Background(), "j/t")
+	ok, err := kv.Exists(context.Background(), "ghost")
 	if err != nil || ok {
 		t.Errorf("Exists(ghost) = %v, %v", ok, err)
 	}
-	kv.Put("real", []byte("v"))
-	ok, err = kv.Exists("real")
+	kv.Put(context.Background(), "real", []byte("v"))
+	ok, err = kv.Exists(context.Background(), "real")
 	if err != nil || !ok {
 		t.Errorf("Exists(real) = %v, %v", ok, err)
 	}
@@ -66,23 +67,25 @@ func TestKVExistsSemantics(t *testing.T) {
 // after the store has scaled several times.
 func TestStaleHandleRecovers(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/t", nil, core.DSKV, 1, 0)
-	early, _ := c.OpenKV("j/t")
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/t", nil, core.DSKV, 1, 0)
+	early, _ := c.OpenKV(context.Background(
 	// Force splits with a second handle.
-	writer, _ := c.OpenKV("j/t")
+	), "j/t")
+
+	writer, _ := c.OpenKV(context.Background(), "j/t")
 	big := make([]byte, 1024)
 	for i := 0; i < 400; i++ {
-		if err := writer.Put(fmt.Sprintf("grow-%d", i), big); err != nil {
+		if err := writer.Put(context.Background(), fmt.Sprintf("grow-%d", i), big); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// The early handle's cached map is several epochs stale; its ops
 	// must still succeed via refresh-and-retry.
-	if err := early.Put("after-splits", []byte("ok")); err != nil {
+	if err := early.Put(context.Background(), "after-splits", []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := early.Get("grow-42")
+	v, err := early.Get(context.Background(), "grow-42")
 	if err != nil || len(v) != 1024 {
 		t.Errorf("stale-handle get = %d bytes, %v", len(v), err)
 	}
@@ -90,9 +93,9 @@ func TestStaleHandleRecovers(t *testing.T) {
 
 func TestConcurrentHandleRefresh(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/t", nil, core.DSKV, 1, 0)
-	kv, _ := c.OpenKV("j/t")
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/t", nil, core.DSKV, 1, 0)
+	kv, _ := c.OpenKV(context.Background(), "j/t")
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -100,11 +103,11 @@ func TestConcurrentHandleRefresh(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				key := fmt.Sprintf("g%d-%d", g, i)
-				if err := kv.Put(key, make([]byte, 512)); err != nil {
+				if err := kv.Put(context.Background(), key, make([]byte, 512)); err != nil {
 					t.Errorf("put: %v", err)
 					return
 				}
-				if _, err := kv.Get(key); err != nil {
+				if _, err := kv.Get(context.Background(), key); err != nil {
 					t.Errorf("get: %v", err)
 					return
 				}
@@ -123,12 +126,12 @@ func TestRenewerAddRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("j")
-	c.CreatePrefix("j/keep", nil, core.DSKV, 1, 0)
-	c.CreatePrefix("j/drop", nil, core.DSKV, 1, 0)
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/keep", nil, core.DSKV, 1, 0)
+	c.CreatePrefix(context.Background(), "j/drop", nil, core.DSKV, 1, 0)
 	r := c.StartRenewer(50*time.Millisecond, "j/keep")
 	r.Add("j/drop")
 	time.Sleep(400 * time.Millisecond)
@@ -150,10 +153,10 @@ func TestRenewerAddRemove(t *testing.T) {
 
 func TestListenerTryGet(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/q", nil, core.DSQueue, 1, 0)
-	q, _ := c.OpenQueue("j/q")
-	l, err := q.Subscribe(core.OpEnqueue)
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/q", nil, core.DSQueue, 1, 0)
+	q, _ := c.OpenQueue(context.Background(), "j/q")
+	l, err := q.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestListenerTryGet(t *testing.T) {
 	if _, ok := l.TryGet(); ok {
 		t.Error("TryGet on idle listener returned a notification")
 	}
-	q.Enqueue([]byte("x"))
+	q.Enqueue(context.Background(), []byte("x"))
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		if n, ok := l.TryGet(); ok {
@@ -179,10 +182,10 @@ func TestListenerTryGet(t *testing.T) {
 
 func TestListenerTimeout(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/q", nil, core.DSQueue, 1, 0)
-	q, _ := c.OpenQueue("j/q")
-	l, err := q.Subscribe(core.OpEnqueue)
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/q", nil, core.DSQueue, 1, 0)
+	q, _ := c.OpenQueue(context.Background(), "j/q")
+	l, err := q.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +202,7 @@ func TestListenerTimeout(t *testing.T) {
 
 func TestClientCloseIdempotent(t *testing.T) {
 	cluster, _ := testCluster(t)
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,12 +216,12 @@ func TestClientCloseIdempotent(t *testing.T) {
 
 func TestFileReadAcrossUnwrittenChunk(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("j")
-	c.CreatePrefix("j/f", nil, core.DSFile, 1, 0)
-	f, _ := c.OpenFile("j/f")
-	f.WriteAt(0, []byte("head"))
+	c.RegisterJob(context.Background(), "j")
+	c.CreatePrefix(context.Background(), "j/f", nil, core.DSFile, 1, 0)
+	f, _ := c.OpenFile(context.Background(), "j/f")
+	f.WriteAt(context.Background(), 0, []byte("head"))
 	// Reading far past EOF yields empty, not an error.
-	data, err := f.ReadAt(1<<20, 100)
+	data, err := f.ReadAt(context.Background(), 1<<20, 100)
 	if err != nil || len(data) != 0 {
 		t.Errorf("far read = %d bytes, %v", len(data), err)
 	}
@@ -229,20 +232,20 @@ func TestFileReadAcrossUnwrittenChunk(t *testing.T) {
 // blocks added afterwards (the listener resyncs its coverage).
 func TestListenerCoversScaledBlocks(t *testing.T) {
 	_, c := testCluster(t)
-	c.RegisterJob("lsc")
-	c.CreatePrefix("lsc/q", nil, core.DSQueue, 1, 0)
-	consumer, _ := c.OpenQueue("lsc/q")
-	l, err := consumer.Subscribe(core.OpEnqueue)
+	c.RegisterJob(context.Background(), "lsc")
+	c.CreatePrefix(context.Background(), "lsc/q", nil, core.DSQueue, 1, 0)
+	consumer, _ := c.OpenQueue(context.Background(), "lsc/q")
+	l, err := consumer.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l.Close()
 
 	// Fill well past one 64KB segment so the queue scales.
-	producer, _ := c.OpenQueue("lsc/q")
+	producer, _ := c.OpenQueue(context.Background(), "lsc/q")
 	item := make([]byte, 4*1024)
 	for i := 0; i < 40; i++ {
-		if err := producer.Enqueue(item); err != nil {
+		if err := producer.Enqueue(context.Background(), item); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -254,7 +257,7 @@ func TestListenerCoversScaledBlocks(t *testing.T) {
 			break
 		}
 	}
-	if err := producer.Enqueue([]byte("late-item")); err != nil {
+	if err := producer.Enqueue(context.Background(), []byte("late-item")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)

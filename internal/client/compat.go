@@ -1,0 +1,253 @@
+package client
+
+import (
+	"context"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+)
+
+// Pre-context compatibility layer. The primary API is context-first
+// (see client.go); these views keep the old signatures callable during
+// incremental migration: `kv.Put(k, v)` becomes `kv.NoCtx().Put(k, v)`
+// with identical behavior (context.Background() on every call), and is
+// then migrated to `kv.Put(ctx, k, v)` at leisure.
+//
+// Everything in this file is deprecated and will be removed once the
+// examples and external callers have migrated.
+
+// ConnectNoCtx dials the controller without a context.
+//
+// Deprecated: use Connect with a context.
+func ConnectNoCtx(controllerAddr string, opts ...Option) (*Client, error) {
+	return Connect(context.Background(), controllerAddr, opts...)
+}
+
+// ConnectMultiNoCtx dials a controller group without a context.
+//
+// Deprecated: use ConnectMulti with a context.
+func ConnectMultiNoCtx(controllerAddrs []string, opts ...Option) (*Client, error) {
+	return ConnectMulti(context.Background(), controllerAddrs, opts...)
+}
+
+// ClientNoCtx is the pre-context view of Client's control-plane API.
+//
+// Deprecated: call the context-first methods on Client directly.
+type ClientNoCtx struct{ c *Client }
+
+// NoCtx returns the pre-context view of the client.
+//
+// Deprecated: call the context-first methods on Client directly.
+func (c *Client) NoCtx() ClientNoCtx { return ClientNoCtx{c} }
+
+func (v ClientNoCtx) RegisterJob(job core.JobID) error {
+	return v.c.RegisterJob(context.Background(), job)
+}
+
+func (v ClientNoCtx) DeregisterJob(job core.JobID) error {
+	return v.c.DeregisterJob(context.Background(), job)
+}
+
+func (v ClientNoCtx) CreatePrefix(path core.Path, parents []core.Path, t core.DSType,
+	initialBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
+	return v.c.CreatePrefix(context.Background(), path, parents, t, initialBlocks, leaseDuration)
+}
+
+func (v ClientNoCtx) CreateBoundedPrefix(path core.Path, parents []core.Path, t core.DSType,
+	initialBlocks, maxBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
+	return v.c.CreateBoundedPrefix(context.Background(), path, parents, t, initialBlocks, maxBlocks, leaseDuration)
+}
+
+func (v ClientNoCtx) CreateHierarchy(job core.JobID, nodes []proto.DagNode, leaseDuration time.Duration) error {
+	return v.c.CreateHierarchy(context.Background(), job, nodes, leaseDuration)
+}
+
+func (v ClientNoCtx) RemovePrefix(path core.Path) error {
+	return v.c.RemovePrefix(context.Background(), path)
+}
+
+func (v ClientNoCtx) RenewLease(paths ...core.Path) (int, error) {
+	return v.c.RenewLease(context.Background(), paths...)
+}
+
+func (v ClientNoCtx) LeaseDuration(path core.Path) (time.Duration, error) {
+	return v.c.LeaseDuration(context.Background(), path)
+}
+
+func (v ClientNoCtx) FlushPrefix(path core.Path, externalPath string) (int, error) {
+	return v.c.FlushPrefix(context.Background(), path, externalPath)
+}
+
+func (v ClientNoCtx) LoadPrefix(path core.Path, externalPath string) error {
+	return v.c.LoadPrefix(context.Background(), path, externalPath)
+}
+
+func (v ClientNoCtx) SaveControllerState(key string) error {
+	return v.c.SaveControllerState(context.Background(), key)
+}
+
+func (v ClientNoCtx) ControllerStats() (proto.ControllerStatsResp, error) {
+	return v.c.ControllerStats(context.Background())
+}
+
+func (v ClientNoCtx) ListPrefixes(job core.JobID) ([]proto.PrefixInfo, error) {
+	return v.c.ListPrefixes(context.Background(), job)
+}
+
+func (v ClientNoCtx) OpenKV(path core.Path) (*KV, error) {
+	return v.c.OpenKV(context.Background(), path)
+}
+
+func (v ClientNoCtx) OpenFile(path core.Path) (*File, error) {
+	return v.c.OpenFile(context.Background(), path)
+}
+
+func (v ClientNoCtx) OpenQueue(path core.Path) (*Queue, error) {
+	return v.c.OpenQueue(context.Background(), path)
+}
+
+func (v ClientNoCtx) OpenCustom(path core.Path, t core.DSType) (*Custom, error) {
+	return v.c.OpenCustom(context.Background(), path, t)
+}
+
+// KVNoCtx is the pre-context view of a KV handle.
+//
+// Deprecated: call the context-first methods on KV directly.
+type KVNoCtx struct{ kv *KV }
+
+// NoCtx returns the pre-context view of the handle.
+//
+// Deprecated: call the context-first methods on KV directly.
+func (k *KV) NoCtx() KVNoCtx { return KVNoCtx{k} }
+
+func (v KVNoCtx) Put(key string, value []byte) error {
+	return v.kv.Put(context.Background(), key, value)
+}
+
+func (v KVNoCtx) Get(key string) ([]byte, error) {
+	return v.kv.Get(context.Background(), key)
+}
+
+func (v KVNoCtx) Exists(key string) (bool, error) {
+	return v.kv.Exists(context.Background(), key)
+}
+
+func (v KVNoCtx) Delete(key string) ([]byte, error) {
+	return v.kv.Delete(context.Background(), key)
+}
+
+func (v KVNoCtx) Update(key string, value []byte) ([]byte, error) {
+	return v.kv.Update(context.Background(), key, value)
+}
+
+func (v KVNoCtx) MultiPut(pairs []KVPair) error {
+	return v.kv.MultiPut(context.Background(), pairs)
+}
+
+func (v KVNoCtx) MultiGet(keys []string) ([][]byte, error) {
+	return v.kv.MultiGet(context.Background(), keys)
+}
+
+func (v KVNoCtx) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return v.kv.Subscribe(context.Background(), ops...)
+}
+
+// FileNoCtx is the pre-context view of a File handle.
+//
+// Deprecated: call the context-first methods on File directly.
+type FileNoCtx struct{ f *File }
+
+// NoCtx returns the pre-context view of the handle.
+//
+// Deprecated: call the context-first methods on File directly.
+func (f *File) NoCtx() FileNoCtx { return FileNoCtx{f} }
+
+func (v FileNoCtx) WriteAt(off int, data []byte) error {
+	return v.f.WriteAt(context.Background(), off, data)
+}
+
+func (v FileNoCtx) Append(data []byte) (int, error) {
+	return v.f.Append(context.Background(), data)
+}
+
+func (v FileNoCtx) ReadAt(off, n int) ([]byte, error) {
+	return v.f.ReadAt(context.Background(), off, n)
+}
+
+func (v FileNoCtx) Read(n int) ([]byte, error) {
+	return v.f.Read(context.Background(), n)
+}
+
+func (v FileNoCtx) AppendRecord(data []byte) (int, error) {
+	return v.f.AppendRecord(context.Background(), data)
+}
+
+func (v FileNoCtx) AppendBatch(records [][]byte) ([]int, error) {
+	return v.f.AppendBatch(context.Background(), records)
+}
+
+func (v FileNoCtx) Chunks() (int, error) {
+	return v.f.Chunks(context.Background())
+}
+
+func (v FileNoCtx) ReadChunk(ci int) ([]byte, error) {
+	return v.f.ReadChunk(context.Background(), ci)
+}
+
+func (v FileNoCtx) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return v.f.Subscribe(context.Background(), ops...)
+}
+
+// QueueNoCtx is the pre-context view of a Queue handle.
+//
+// Deprecated: call the context-first methods on Queue directly.
+type QueueNoCtx struct{ q *Queue }
+
+// NoCtx returns the pre-context view of the handle.
+//
+// Deprecated: call the context-first methods on Queue directly.
+func (q *Queue) NoCtx() QueueNoCtx { return QueueNoCtx{q} }
+
+func (v QueueNoCtx) Enqueue(item []byte) error {
+	return v.q.Enqueue(context.Background(), item)
+}
+
+func (v QueueNoCtx) Dequeue() ([]byte, error) {
+	return v.q.Dequeue(context.Background())
+}
+
+func (v QueueNoCtx) EnqueueBatch(items [][]byte) error {
+	return v.q.EnqueueBatch(context.Background(), items)
+}
+
+func (v QueueNoCtx) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return v.q.Subscribe(context.Background(), ops...)
+}
+
+// CustomNoCtx is the pre-context view of a Custom handle.
+//
+// Deprecated: call the context-first methods on Custom directly.
+type CustomNoCtx struct{ cu *Custom }
+
+// NoCtx returns the pre-context view of the handle.
+//
+// Deprecated: call the context-first methods on Custom directly.
+func (cu *Custom) NoCtx() CustomNoCtx { return CustomNoCtx{cu} }
+
+func (v CustomNoCtx) Blocks() (int, error) {
+	return v.cu.Blocks(context.Background())
+}
+
+func (v CustomNoCtx) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error) {
+	return v.cu.Exec(context.Background(), ci, op, args...)
+}
+
+func (v CustomNoCtx) Grow() error {
+	return v.cu.Grow(context.Background())
+}
+
+func (v CustomNoCtx) Subscribe(ops ...core.OpType) (*Listener, error) {
+	return v.cu.Subscribe(context.Background(), ops...)
+}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,8 +19,8 @@ type Custom struct {
 
 // OpenCustom opens a handle to the custom structure at path,
 // validating its registered type code.
-func (c *Client) OpenCustom(path core.Path, t core.DSType) (*Custom, error) {
-	h, err := c.newHandle(path, t)
+func (c *Client) OpenCustom(ctx context.Context, path core.Path, t core.DSType) (*Custom, error) {
+	h, err := c.newHandle(ctx, path, t)
 	if err != nil {
 		return nil, err
 	}
@@ -30,8 +31,8 @@ func (c *Client) OpenCustom(path core.Path, t core.DSType) (*Custom, error) {
 func (cu *Custom) Path() core.Path { return cu.h.path }
 
 // Blocks returns the structure's current chunk count (after a refresh).
-func (cu *Custom) Blocks() (int, error) {
-	if err := cu.h.refresh(); err != nil {
+func (cu *Custom) Blocks(ctx context.Context) (int, error) {
+	if err := cu.h.refresh(ctx); err != nil {
 		return 0, err
 	}
 	return len(cu.h.snapshot().Blocks), nil
@@ -40,7 +41,7 @@ func (cu *Custom) Blocks() (int, error) {
 // Exec runs one operation against chunk index ci, retrying through
 // map refreshes. Reads route to the chunk's chain tail, mutations to
 // its head.
-func (cu *Custom) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error) {
+func (cu *Custom) Exec(ctx context.Context, ci int, op core.OpType, args ...[]byte) ([][]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < cu.h.retryLimit(); attempt++ {
 		m := cu.h.snapshot()
@@ -52,22 +53,28 @@ func (cu *Custom) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error)
 		if op.IsMutation() {
 			target = e.WriteTarget()
 		}
-		res, err := cu.h.do(target, op, args)
+		res, err := cu.h.do(ctx, target, op, args)
 		switch {
 		case err == nil:
 			return res, nil
+		case ctxErr(err) != nil:
+			return nil, err
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := cu.h.refresh(); rerr != nil {
+			if rerr := cu.h.refresh(ctx); rerr != nil {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := cu.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case isConnErr(err):
 			lastErr = err
-			if rerr := cu.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := cu.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := cu.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		default:
 			return nil, err
 		}
@@ -77,19 +84,19 @@ func (cu *Custom) Exec(ci int, op core.OpType, args ...[]byte) ([][]byte, error)
 
 // Grow asks the controller to append one more block to the structure
 // (custom structures scale like files: new chunks, no data movement).
-func (cu *Custom) Grow() error {
+func (cu *Custom) Grow(ctx context.Context) error {
 	m := cu.h.snapshot()
 	last, ok := m.Tail()
 	if !ok {
 		return core.ErrNotFound
 	}
-	if err := cu.h.requestScale(last.Info.ID); err != nil {
+	if err := cu.h.requestScale(ctx, last.Info.ID); err != nil {
 		return err
 	}
-	return cu.h.refresh()
+	return cu.h.refresh(ctx)
 }
 
 // Subscribe registers for notifications on the structure's blocks.
-func (cu *Custom) Subscribe(ops ...core.OpType) (*Listener, error) {
-	return cu.h.c.subscribe(cu.h, ops)
+func (cu *Custom) Subscribe(ctx context.Context, ops ...core.OpType) (*Listener, error) {
+	return cu.h.c.subscribe(ctx, cu.h, ops)
 }

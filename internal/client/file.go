@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,7 +35,7 @@ func (f *File) chunkSize() int {
 // blockFor resolves the block holding chunk index ci, growing the file
 // if the chunk does not exist yet (for writes). Writes target the
 // chain head, reads the tail.
-func (f *File) blockFor(ci int, grow bool) (core.BlockInfo, error) {
+func (f *File) blockFor(ctx context.Context, ci int, grow bool) (core.BlockInfo, error) {
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		m := f.h.snapshot()
 		if e, ok := m.BlockForChunk(ci); ok {
@@ -50,23 +51,25 @@ func (f *File) blockFor(ci int, grow bool) (core.BlockInfo, error) {
 		// proactive server-side signal usually beats us here).
 		last, ok := m.Tail()
 		if !ok {
-			if err := f.h.refresh(); err != nil {
+			if err := f.h.refresh(ctx); err != nil {
 				return core.BlockInfo{}, err
 			}
 			continue
 		}
-		if err := f.h.requestScale(last.Info.ID); err != nil &&
+		if err := f.h.requestScale(ctx, last.Info.ID); err != nil &&
 			!errors.Is(err, core.ErrNoCapacity) {
 			return core.BlockInfo{}, err
 		}
-		backoff(attempt)
+		if err := f.h.backoff(ctx, attempt); err != nil {
+			return core.BlockInfo{}, err
+		}
 	}
 	return core.BlockInfo{}, errRetriesExhausted(fmt.Sprintf("file grow to chunk %d", ci), core.ErrBlockFull)
 }
 
 // WriteAt writes data at an absolute file offset, spanning chunks as
 // needed.
-func (f *File) WriteAt(off int, data []byte) error {
+func (f *File) WriteAt(ctx context.Context, off int, data []byte) error {
 	cs := f.chunkSize()
 	if cs <= 0 {
 		return fmt.Errorf("client: file has no chunk size")
@@ -78,7 +81,7 @@ func (f *File) WriteAt(off int, data []byte) error {
 		if n > len(data) {
 			n = len(data)
 		}
-		if err := f.writeChunk(ci, in, data[:n]); err != nil {
+		if err := f.writeChunk(ctx, ci, in, data[:n]); err != nil {
 			return err
 		}
 		off += n
@@ -93,29 +96,35 @@ func (f *File) WriteAt(off int, data []byte) error {
 }
 
 // writeChunk writes within one chunk with staleness recovery.
-func (f *File) writeChunk(ci, in int, data []byte) error {
+func (f *File) writeChunk(ctx context.Context, ci, in int, data []byte) error {
 	var lastErr error
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
-		info, err := f.blockFor(ci, true)
+		info, err := f.blockFor(ctx, ci, true)
 		if err != nil {
 			return err
 		}
-		_, err = f.h.do(info, core.OpFileWrite, [][]byte{ds.U64(uint64(in)), data})
+		_, err = f.h.do(ctx, info, core.OpFileWrite, [][]byte{ds.U64(uint64(in)), data})
 		switch {
 		case err == nil:
 			return nil
+		case ctxErr(err) != nil:
+			return err
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil {
+			if rerr := f.h.refresh(ctx); rerr != nil {
 				return rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		case isConnErr(err):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		default:
 			return err
 		}
@@ -124,12 +133,12 @@ func (f *File) writeChunk(ci, in int, data []byte) error {
 }
 
 // Append writes data at this handle's append cursor and advances it.
-func (f *File) Append(data []byte) (int, error) {
+func (f *File) Append(ctx context.Context, data []byte) (int, error) {
 	f.mu.Lock()
 	off := f.wcur
 	f.wcur += len(data)
 	f.mu.Unlock()
-	if err := f.WriteAt(off, data); err != nil {
+	if err := f.WriteAt(ctx, off, data); err != nil {
 		return off, err
 	}
 	return off, nil
@@ -137,7 +146,7 @@ func (f *File) Append(data []byte) (int, error) {
 
 // ReadAt reads up to n bytes at an absolute offset; a short result
 // means end of written data.
-func (f *File) ReadAt(off, n int) ([]byte, error) {
+func (f *File) ReadAt(ctx context.Context, off, n int) ([]byte, error) {
 	cs := f.chunkSize()
 	if cs <= 0 {
 		return nil, fmt.Errorf("client: file has no chunk size")
@@ -150,7 +159,7 @@ func (f *File) ReadAt(off, n int) ([]byte, error) {
 		if want > n {
 			want = n
 		}
-		part, err := f.readChunk(ci, in, want)
+		part, err := f.readChunk(ctx, ci, in, want)
 		if err != nil {
 			if errors.Is(err, core.ErrNotFound) {
 				break // past the last chunk
@@ -168,29 +177,35 @@ func (f *File) ReadAt(off, n int) ([]byte, error) {
 }
 
 // readChunk reads within one chunk with staleness recovery.
-func (f *File) readChunk(ci, in, n int) ([]byte, error) {
+func (f *File) readChunk(ctx context.Context, ci, in, n int) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
-		info, err := f.blockFor(ci, false)
+		info, err := f.blockFor(ctx, ci, false)
 		if err != nil {
 			return nil, err
 		}
-		res, err := f.h.do(info, core.OpFileRead, [][]byte{ds.U64(uint64(in)), ds.U64(uint64(n))})
+		res, err := f.h.do(ctx, info, core.OpFileRead, [][]byte{ds.U64(uint64(in)), ds.U64(uint64(n))})
 		switch {
 		case err == nil:
 			return res[0], nil
+		case ctxErr(err) != nil:
+			return nil, err
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil {
+			if rerr := f.h.refresh(ctx); rerr != nil {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case isConnErr(err):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		default:
 			return nil, err
 		}
@@ -206,11 +221,11 @@ func (f *File) Seek(off int) {
 }
 
 // Read reads up to n bytes at the read cursor and advances it.
-func (f *File) Read(n int) ([]byte, error) {
+func (f *File) Read(ctx context.Context, n int) ([]byte, error) {
 	f.mu.Lock()
 	off := f.rcur
 	f.mu.Unlock()
-	data, err := f.ReadAt(off, n)
+	data, err := f.ReadAt(ctx, off, n)
 	f.mu.Lock()
 	f.rcur = off + len(data)
 	f.mu.Unlock()
@@ -223,7 +238,7 @@ func (f *File) Read(n int) ([]byte, error) {
 // writers (MapReduce shuffle files, §5.1): the server serializes
 // appends within a chunk, and records never straddle chunks — a record
 // that does not fit moves whole to the next chunk.
-func (f *File) AppendRecord(data []byte) (int, error) {
+func (f *File) AppendRecord(ctx context.Context, data []byte) (int, error) {
 	cs := f.chunkSize()
 	if cs <= 0 {
 		return 0, fmt.Errorf("client: file has no chunk size")
@@ -235,7 +250,7 @@ func (f *File) AppendRecord(data []byte) (int, error) {
 		if !ok {
 			return 0, fmt.Errorf("client: file has no chunks: %w", core.ErrNotFound)
 		}
-		res, err := f.h.do(tail.Info, core.OpFileAppend, [][]byte{data})
+		res, err := f.h.do(ctx, tail.Info, core.OpFileAppend, [][]byte{data})
 		switch {
 		case err == nil:
 			off, perr := ds.ParseU64(res[0])
@@ -243,25 +258,33 @@ func (f *File) AppendRecord(data []byte) (int, error) {
 				return 0, perr
 			}
 			return tail.Chunk*cs + int(off), nil
+		case ctxErr(err) != nil:
+			return 0, err
 		case errors.Is(err, core.ErrBlockFull):
 			lastErr = err
-			if serr := f.h.requestScale(tail.Info.ID); serr != nil &&
+			if serr := f.h.requestScale(ctx, tail.Info.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				return 0, serr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return 0, berr
+			}
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil {
+			if rerr := f.h.refresh(ctx); rerr != nil {
 				return 0, rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return 0, berr
+			}
 		case isConnErr(err):
 			lastErr = err
-			if rerr := f.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return 0, rerr
 			}
-			backoff(attempt)
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return 0, berr
+			}
 		default:
 			return 0, err
 		}
@@ -271,8 +294,8 @@ func (f *File) AppendRecord(data []byte) (int, error) {
 
 // Chunks returns the current number of chunks (after a refresh), so
 // readers can scan chunk by chunk.
-func (f *File) Chunks() (int, error) {
-	if err := f.h.refresh(); err != nil {
+func (f *File) Chunks(ctx context.Context) (int, error) {
+	if err := f.h.refresh(ctx); err != nil {
 		return 0, err
 	}
 	m := f.h.snapshot()
@@ -286,15 +309,15 @@ func (f *File) Chunks() (int, error) {
 }
 
 // ReadChunk reads one whole chunk's written bytes.
-func (f *File) ReadChunk(ci int) ([]byte, error) {
+func (f *File) ReadChunk(ctx context.Context, ci int) ([]byte, error) {
 	cs := f.chunkSize()
 	if cs <= 0 {
 		return nil, fmt.Errorf("client: file has no chunk size")
 	}
-	return f.readChunk(ci, 0, cs)
+	return f.readChunk(ctx, ci, 0, cs)
 }
 
 // Subscribe registers for notifications on the file's blocks.
-func (f *File) Subscribe(ops ...core.OpType) (*Listener, error) {
-	return f.h.c.subscribe(f.h, ops)
+func (f *File) Subscribe(ctx context.Context, ops ...core.OpType) (*Listener, error) {
+	return f.h.c.subscribe(ctx, f.h, ops)
 }

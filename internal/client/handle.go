@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
+	"jiffy/internal/obs"
 	"jiffy/internal/proto"
 	"jiffy/internal/wire"
 )
@@ -24,8 +26,8 @@ type handle struct {
 }
 
 // newHandle opens a prefix and validates its data-structure type.
-func (c *Client) newHandle(path core.Path, want core.DSType) (*handle, error) {
-	m, _, err := c.open(path)
+func (c *Client) newHandle(ctx context.Context, path core.Path, want core.DSType) (*handle, error) {
+	m, _, err := c.open(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -46,8 +48,11 @@ func (h *handle) snapshot() ds.PartitionMap {
 // refresh re-fetches the partition map from the controller. It only
 // installs maps with a newer epoch, so concurrent refreshes can't
 // regress the cache.
-func (h *handle) refresh() error {
-	m, _, err := h.c.open(h.path)
+func (h *handle) refresh(ctx context.Context) error {
+	if obs.On() {
+		h.c.mapRefreshes.Inc()
+	}
+	m, _, err := h.c.open(ctx, h.path)
 	if err != nil {
 		return err
 	}
@@ -66,8 +71,8 @@ func (h *handle) install(m ds.PartitionMap) {
 
 // requestScale asks the controller to grow the structure at block and
 // installs the refreshed map from the response.
-func (h *handle) requestScale(block core.BlockID) error {
-	m, err := h.c.requestScale(h.path, block)
+func (h *handle) requestScale(ctx context.Context, block core.BlockID) error {
+	m, err := h.c.requestScale(ctx, h.path, block)
 	if err != nil {
 		return err
 	}
@@ -77,7 +82,7 @@ func (h *handle) requestScale(block core.BlockID) error {
 
 // do executes one data-plane op against a block. Connection-level
 // failures evict the pooled session so the next attempt re-dials.
-func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
+func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
 	conn, err := h.c.dataConn(info.Server)
 	if err != nil {
 		// An unreachable server is a connection failure like any other:
@@ -89,7 +94,7 @@ func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byt
 	// session's write buffer before returning, so the request bytes can
 	// be recycled immediately after.
 	req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
-	payload, err := conn.Call(proto.MethodDataOp, req)
+	payload, err := conn.CallContext(ctx, proto.MethodDataOp, req)
 	wire.PutBuf(req)
 	if err != nil {
 		if isConnErr(err) {
@@ -97,6 +102,9 @@ func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byt
 			return nil, err
 		}
 		if errors.Is(err, core.ErrRedirect) {
+			if obs.On() {
+				h.c.rpcm.Redirects.Inc()
+			}
 			// The payload names the block to retry against.
 			next, perr := ds.ParseRedirect(payload)
 			if perr != nil {
@@ -114,13 +122,16 @@ func (h *handle) do(info core.BlockInfo, op core.OpType, args [][]byte) ([][]byt
 // error means the whole call failed (encode, connection, or decode);
 // op-level failures live inside the results. Connection-level failures
 // evict the pooled session like the single-op path.
-func (h *handle) doBatch(server string, ops []ds.BatchOp) ([]ds.BatchResult, error) {
+func (h *handle) doBatch(ctx context.Context, server string, ops []ds.BatchOp) ([]ds.BatchResult, error) {
+	if obs.On() {
+		h.c.batchSizes.Observe(int64(len(ops)))
+	}
 	conn, err := h.c.dataConn(server)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %v: %w", server, err, core.ErrClosed)
 	}
 	req := ds.AppendBatchRequest(wire.GetBuf(), ops)
-	payload, err := conn.Call(proto.MethodDataOpBatch, req)
+	payload, err := conn.CallContext(ctx, proto.MethodDataOpBatch, req)
 	wire.PutBuf(req)
 	if err != nil {
 		if isConnErr(err) {
@@ -139,28 +150,64 @@ func (r *redirect) Unwrap() error { return core.ErrRedirect }
 
 // isConnErr reports whether err means the session (not the operation)
 // failed: the connection died mid-call or the call timed out. Both are
-// retryable after the pooled session is evicted and re-dialed.
+// retryable after the pooled session is evicted and re-dialed — unless
+// the caller's context is what expired, which ctxErr distinguishes.
 func isConnErr(err error) bool {
 	return errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout)
 }
 
+// ctxErr extracts the caller's context error from err, if any. A call
+// that failed because the caller's deadline expired or the caller
+// canceled must not be retried: the rpc layer wraps those failures so
+// both the typed sentinel and the context error are visible.
+func ctxErr(err error) error {
+	if errors.Is(err, context.Canceled) {
+		return context.Canceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 // backoffDelay computes the retry delay for a zero-based attempt:
-// linear growth capped at 5ms, so a full retry budget stays bounded.
-func backoffDelay(attempt int) time.Duration {
+// linear growth capped at limit, so a full retry budget stays bounded.
+func backoffDelay(attempt int, limit time.Duration) time.Duration {
 	d := time.Duration(attempt+1) * 200 * time.Microsecond
-	if d > 5*time.Millisecond {
-		d = 5 * time.Millisecond
+	if limit <= 0 {
+		limit = 5 * time.Millisecond
+	}
+	if d > limit {
+		d = limit
 	}
 	return d
 }
 
-// backoff sleeps briefly between retries; attempt is zero-based.
+// backoff sleeps briefly between retries (attempt is zero-based),
+// counts the retry, and aborts early when ctx ends — the loop must
+// stop retrying the moment the caller's deadline expires.
+func (h *handle) backoff(ctx context.Context, attempt int) error {
+	if obs.On() {
+		h.c.rpcm.Retries.Inc()
+	}
+	t := time.NewTimer(backoffDelay(attempt, h.c.policy.MaxBackoff))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoff is the context-free variant used by code without a retry
+// context of its own.
 func backoff(attempt int) {
-	time.Sleep(backoffDelay(attempt))
+	time.Sleep(backoffDelay(attempt, 0))
 }
 
 // retryLimit exposes the client's retry bound to the typed handles.
-func (h *handle) retryLimit() int { return h.c.retry }
+func (h *handle) retryLimit() int { return h.c.policy.Limit }
 
 // errRetriesExhausted wraps the final error after the retry budget is
 // spent.

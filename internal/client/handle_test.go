@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"testing"
 	"time"
 
@@ -25,14 +26,15 @@ func TestBackoffDelayBounded(t *testing.T) {
 		{25, 5 * time.Millisecond}, // capped
 		{1000, 5 * time.Millisecond},
 	}
+	limit := DefaultRetryPolicy().MaxBackoff
 	for _, c := range cases {
-		if got := backoffDelay(c.attempt); got != c.want {
+		if got := backoffDelay(c.attempt, limit); got != c.want {
 			t.Errorf("backoffDelay(%d) = %v, want %v", c.attempt, got, c.want)
 		}
 	}
 	prev := time.Duration(0)
 	for i := 0; i < 64; i++ {
-		d := backoffDelay(i)
+		d := backoffDelay(i, limit)
 		if d < prev {
 			t.Fatalf("backoffDelay not monotonic at attempt %d: %v < %v", i, d, prev)
 		}
@@ -40,6 +42,14 @@ func TestBackoffDelayBounded(t *testing.T) {
 			t.Fatalf("backoffDelay(%d) = %v exceeds the 5ms cap", i, d)
 		}
 		prev = d
+	}
+	// A custom cap is honored, and a zero/negative cap falls back to the
+	// default so a zero-valued RetryPolicy cannot produce unbounded waits.
+	if got := backoffDelay(1000, time.Millisecond); got != time.Millisecond {
+		t.Errorf("backoffDelay custom cap = %v, want 1ms", got)
+	}
+	if got := backoffDelay(1000, 0); got != 5*time.Millisecond {
+		t.Errorf("backoffDelay zero cap = %v, want 5ms fallback", got)
 	}
 }
 
@@ -85,5 +95,55 @@ func TestIsConnErr(t *testing.T) {
 		if got := isConnErr(c.err); got != c.want {
 			t.Errorf("isConnErr(%v) = %v, want %v", c.err, got, c.want)
 		}
+	}
+}
+
+// TestJobHashStability pins jobHash to FNV-32a: the client and the
+// multi-controller deployment both derive job placement from this hash,
+// so silently changing it would re-home every job's metadata. The
+// stdlib implementation is the reference.
+func TestJobHashStability(t *testing.T) {
+	jobs := []core.JobID{"", "j", "job1", "sort-100g", "a/b/c", "Job1"}
+	for _, j := range jobs {
+		ref := fnv.New32a()
+		ref.Write([]byte(j))
+		if got, want := jobHash(j), ref.Sum32(); got != want {
+			t.Errorf("jobHash(%q) = %d, want FNV-32a %d", j, got, want)
+		}
+	}
+	// Absolute golden value so even a stdlib-tracking rewrite that
+	// changed the algorithm would be caught.
+	if got := jobHash(""); got != 2166136261 {
+		t.Errorf("jobHash(\"\") = %d, want FNV-32a offset basis", got)
+	}
+}
+
+// TestCtrlForMemoized verifies per-job controller routing: the mapping
+// is jobHash % len(ctrls), it is stable across calls, and after the
+// first lookup it is served from the memo rather than re-hashed.
+func TestCtrlForMemoized(t *testing.T) {
+	c := &Client{ctrls: []*rpc.Client{{}, {}, {}}}
+	jobs := []core.JobID{"alpha", "beta", "gamma", "delta", "job-42"}
+	for _, j := range jobs {
+		want := c.ctrls[int(jobHash(j))%len(c.ctrls)]
+		if got := c.ctrlFor(j); got != want {
+			t.Errorf("ctrlFor(%q) routed to unexpected controller", j)
+		}
+		if got := c.ctrlFor(j); got != want {
+			t.Errorf("ctrlFor(%q) unstable across calls", j)
+		}
+	}
+	// Poison the memo: if ctrlFor really reads it, the poisoned index
+	// wins; a re-hash would return the original controller.
+	c.ctrlIdx.Store(core.JobID("alpha"), (int(jobHash("alpha"))+1)%len(c.ctrls))
+	poisoned := c.ctrls[(int(jobHash("alpha"))+1)%len(c.ctrls)]
+	if got := c.ctrlFor("alpha"); got != poisoned {
+		t.Error("ctrlFor ignored the memoized index (not actually memoized)")
+	}
+	// Single-controller clients route everything to controller 0 without
+	// touching the memo.
+	single := &Client{ctrls: []*rpc.Client{{}}}
+	if got := single.ctrlFor("anything"); got != single.ctrls[0] {
+		t.Error("single-controller ctrlFor missed ctrls[0]")
 	}
 }

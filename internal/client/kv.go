@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,36 +50,46 @@ func (k *KV) route(key string, op core.OpType, avoid map[string]bool) (core.Bloc
 	return rt, true
 }
 
-// exec runs op with staleness/full/connection recovery.
-func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
+// exec runs op with staleness/full/connection recovery. ctx bounds the
+// whole retry loop: once it ends, the loop stops instead of burning
+// the remaining budget against a caller that has gone away.
+func (k *KV) exec(ctx context.Context, op core.OpType, key string, args [][]byte) ([][]byte, error) {
 	var lastErr error
 	var avoid map[string]bool
 	for attempt := 0; attempt < k.h.retryLimit(); attempt++ {
 		info, ok := k.route(key, op, avoid)
 		if !ok {
-			if err := k.h.refresh(); err != nil {
+			if err := k.h.refresh(ctx); err != nil {
 				return nil, err
 			}
-			backoff(attempt)
+			if err := k.h.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
 			continue
 		}
-		res, err := k.h.do(info, op, args)
+		res, err := k.h.do(ctx, info, op, args)
 		switch {
 		case err == nil:
 			return res, nil
+		case ctxErr(err) != nil:
+			return nil, err
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := k.h.refresh(); rerr != nil {
+			if rerr := k.h.refresh(ctx); rerr != nil {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := k.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case errors.Is(err, core.ErrBlockFull):
 			lastErr = err
-			if serr := k.h.requestScale(info.ID); serr != nil &&
+			if serr := k.h.requestScale(ctx, info.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				return nil, serr
 			}
-			backoff(attempt)
+			if berr := k.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case isConnErr(err):
 			// The session died or timed out: mark the server so reads
 			// fall back along the chain, pick up a fresh map (the
@@ -89,10 +100,12 @@ func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
 				avoid = make(map[string]bool)
 			}
 			avoid[info.Server] = true
-			if rerr := k.h.refresh(); rerr != nil && !isConnErr(rerr) {
+			if rerr := k.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := k.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		default:
 			return nil, err
 		}
@@ -101,14 +114,14 @@ func (k *KV) exec(op core.OpType, key string, args [][]byte) ([][]byte, error) {
 }
 
 // Put stores a key-value pair.
-func (k *KV) Put(key string, value []byte) error {
-	_, err := k.exec(core.OpPut, key, [][]byte{[]byte(key), value})
+func (k *KV) Put(ctx context.Context, key string, value []byte) error {
+	_, err := k.exec(ctx, core.OpPut, key, [][]byte{[]byte(key), value})
 	return err
 }
 
 // Get fetches the value for key.
-func (k *KV) Get(key string) ([]byte, error) {
-	res, err := k.exec(core.OpGet, key, [][]byte{[]byte(key)})
+func (k *KV) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := k.exec(ctx, core.OpGet, key, [][]byte{[]byte(key)})
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +129,8 @@ func (k *KV) Get(key string) ([]byte, error) {
 }
 
 // Exists reports whether key is present.
-func (k *KV) Exists(key string) (bool, error) {
-	_, err := k.exec(core.OpExists, key, [][]byte{[]byte(key)})
+func (k *KV) Exists(ctx context.Context, key string) (bool, error) {
+	_, err := k.exec(ctx, core.OpExists, key, [][]byte{[]byte(key)})
 	if errors.Is(err, core.ErrNotFound) {
 		return false, nil
 	}
@@ -125,8 +138,8 @@ func (k *KV) Exists(key string) (bool, error) {
 }
 
 // Delete removes key and returns the previous value.
-func (k *KV) Delete(key string) ([]byte, error) {
-	res, err := k.exec(core.OpDelete, key, [][]byte{[]byte(key)})
+func (k *KV) Delete(ctx context.Context, key string) ([]byte, error) {
+	res, err := k.exec(ctx, core.OpDelete, key, [][]byte{[]byte(key)})
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +148,8 @@ func (k *KV) Delete(key string) ([]byte, error) {
 
 // Update overwrites an existing key and returns the previous value;
 // fails with ErrNotFound if the key is absent.
-func (k *KV) Update(key string, value []byte) ([]byte, error) {
-	res, err := k.exec(core.OpUpdate, key, [][]byte{[]byte(key), value})
+func (k *KV) Update(ctx context.Context, key string, value []byte) ([]byte, error) {
+	res, err := k.exec(ctx, core.OpUpdate, key, [][]byte{[]byte(key), value})
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +158,6 @@ func (k *KV) Update(key string, value []byte) ([]byte, error) {
 
 // Subscribe registers for notifications on the given op types across
 // all blocks of the KV store (ds.subscribe in Table 1).
-func (k *KV) Subscribe(ops ...core.OpType) (*Listener, error) {
-	return k.h.c.subscribe(k.h, ops)
+func (k *KV) Subscribe(ctx context.Context, ops ...core.OpType) (*Listener, error) {
+	return k.h.c.subscribe(ctx, k.h, ops)
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -112,8 +113,9 @@ type serverSub struct {
 }
 
 // subscribe registers op-type subscriptions on every server currently
-// hosting blocks of the handle's data structure.
-func (c *Client) subscribe(h *handle, ops []core.OpType) (*Listener, error) {
+// hosting blocks of the handle's data structure. ctx bounds the
+// initial registration round trips; the listener itself outlives it.
+func (c *Client) subscribe(ctx context.Context, h *handle, ops []core.OpType) (*Listener, error) {
 	l := &Listener{
 		c:       c,
 		h:       h,
@@ -121,7 +123,7 @@ func (c *Client) subscribe(h *handle, ops []core.OpType) (*Listener, error) {
 		ch:      make(chan proto.Notification, 1024),
 		covered: make(map[core.BlockID]bool),
 	}
-	if err := l.subscribeNew(h.snapshot()); err != nil {
+	if err := l.subscribeNew(ctx, h.snapshot()); err != nil {
 		l.Close()
 		return nil, err
 	}
@@ -129,7 +131,7 @@ func (c *Client) subscribe(h *handle, ops []core.OpType) (*Listener, error) {
 }
 
 // subscribeNew subscribes to any blocks of m not yet covered.
-func (l *Listener) subscribeNew(m ds.PartitionMap) error {
+func (l *Listener) subscribeNew(ctx context.Context, m ds.PartitionMap) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	byServer := make(map[string][]core.BlockID)
@@ -144,7 +146,7 @@ func (l *Listener) subscribeNew(m ds.PartitionMap) error {
 			return err
 		}
 		var resp proto.SubscribeResp
-		if err := conn.CallGob(proto.MethodSubscribe,
+		if err := conn.CallGobCtx(ctx, proto.MethodSubscribe,
 			proto.SubscribeReq{Blocks: blocks, Ops: l.ops}, &resp); err != nil {
 			return err
 		}
@@ -184,11 +186,12 @@ func (l *Listener) pruneDead() {
 // any blocks added by elastic scaling since Subscribe; subscriptions
 // lost to dead connections are re-established.
 func (l *Listener) Resync() error {
+	ctx := context.Background()
 	l.pruneDead()
-	if err := l.h.refresh(); err != nil {
+	if err := l.h.refresh(ctx); err != nil {
 		return err
 	}
-	return l.subscribeNew(l.h.snapshot())
+	return l.subscribeNew(ctx, l.h.snapshot())
 }
 
 // Get waits up to timeout for the next notification

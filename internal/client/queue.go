@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,8 +42,8 @@ func (q *Queue) ends() (core.BlockInfo, core.BlockInfo, error) {
 }
 
 // reseed drops the cached ends and refreshes the map.
-func (q *Queue) reseed() error {
-	if err := q.h.refresh(); err != nil {
+func (q *Queue) reseed(ctx context.Context) error {
+	if err := q.h.refresh(ctx); err != nil {
 		return err
 	}
 	m := q.h.snapshot()
@@ -58,17 +59,19 @@ func (q *Queue) reseed() error {
 }
 
 // Enqueue appends an item to the queue tail.
-func (q *Queue) Enqueue(item []byte) error {
+func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 	var lastErr error
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		_, tail, err := q.ends()
 		if err != nil {
 			return err
 		}
-		_, err = q.h.do(tail, core.OpEnqueue, [][]byte{item})
+		_, err = q.h.do(ctx, tail, core.OpEnqueue, [][]byte{item})
 		switch {
 		case err == nil:
 			return nil
+		case ctxErr(err) != nil:
+			return err
 		case errors.Is(err, core.ErrRedirect):
 			// The tail moved; follow the link.
 			var r *redirect
@@ -76,16 +79,16 @@ func (q *Queue) Enqueue(item []byte) error {
 				q.mu.Lock()
 				q.tail = r.next
 				q.mu.Unlock()
-			} else if rerr := q.reseed(); rerr != nil {
+			} else if rerr := q.reseed(ctx); rerr != nil {
 				return rerr
 			}
 		case errors.Is(err, core.ErrBlockFull):
 			lastErr = err
-			if serr := q.h.requestScale(tail.ID); serr != nil &&
+			if serr := q.h.requestScale(ctx, tail.ID); serr != nil &&
 				!errors.Is(serr, core.ErrNoCapacity) {
 				return serr
 			}
-			if rerr := q.reseed(); rerr != nil {
+			if rerr := q.reseed(ctx); rerr != nil {
 				return rerr
 			}
 			// A bounded queue at its block limit cannot grow: report
@@ -95,21 +98,27 @@ func (q *Queue) Enqueue(item []byte) error {
 					return fmt.Errorf("client: bounded queue full: %w", core.ErrBlockFull)
 				}
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := q.reseed(); rerr != nil {
+			if rerr := q.reseed(ctx); rerr != nil {
 				return rerr
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		case isConnErr(err):
 			// Session died or timed out: re-dial and re-learn the ends
 			// on the next attempt.
 			lastErr = err
-			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
 				return rerr
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		default:
 			return err
 		}
@@ -119,17 +128,19 @@ func (q *Queue) Enqueue(item []byte) error {
 
 // Dequeue removes and returns the oldest item; returns ErrEmpty when
 // the queue has no pending items.
-func (q *Queue) Dequeue() ([]byte, error) {
+func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		head, _, err := q.ends()
 		if err != nil {
 			return nil, err
 		}
-		res, err := q.h.do(head, core.OpDequeue, nil)
+		res, err := q.h.do(ctx, head, core.OpDequeue, nil)
 		switch {
 		case err == nil:
 			return res[0], nil
+		case ctxErr(err) != nil:
+			return nil, err
 		case errors.Is(err, core.ErrRedirect):
 			// The head segment drained; advance to its successor.
 			var r *redirect
@@ -137,23 +148,27 @@ func (q *Queue) Dequeue() ([]byte, error) {
 				q.mu.Lock()
 				q.head = r.next
 				q.mu.Unlock()
-			} else if rerr := q.reseed(); rerr != nil {
+			} else if rerr := q.reseed(ctx); rerr != nil {
 				return nil, rerr
 			}
 		case errors.Is(err, core.ErrEmpty):
 			return nil, err
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
-			if rerr := q.reseed(); rerr != nil {
+			if rerr := q.reseed(ctx); rerr != nil {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case isConnErr(err):
 			lastErr = err
-			if rerr := q.reseed(); rerr != nil && !isConnErr(rerr) {
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
 				return nil, rerr
 			}
-			backoff(attempt)
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		default:
 			return nil, err
 		}
@@ -164,6 +179,6 @@ func (q *Queue) Dequeue() ([]byte, error) {
 // Subscribe registers for notifications on the queue's blocks —
 // dataflow consumers subscribe to enqueue to learn when channel data is
 // available (§5.2).
-func (q *Queue) Subscribe(ops ...core.OpType) (*Listener, error) {
-	return q.h.c.subscribe(q.h, ops)
+func (q *Queue) Subscribe(ctx context.Context, ops ...core.OpType) (*Listener, error) {
+	return q.h.c.subscribe(ctx, q.h, ops)
 }

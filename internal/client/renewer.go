@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -97,5 +98,7 @@ func (r *Renewer) renewOnce() {
 	}
 	// Renewal failures are retried on the next tick; the flush-on-
 	// expiry guarantee means a transient failure cannot lose data.
-	r.c.RenewLease(paths...)
+	// The session RPC timeout bounds the sweep; no per-tick deadline,
+	// since a late renewal is still better than a dropped one.
+	r.c.RenewLease(context.Background(), paths...)
 }

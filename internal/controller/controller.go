@@ -13,6 +13,7 @@ package controller
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -21,7 +22,9 @@ import (
 	"jiffy/internal/clock"
 	"jiffy/internal/core"
 	"jiffy/internal/hierarchy"
+	"jiffy/internal/obs"
 	"jiffy/internal/persist"
+	"jiffy/internal/proto"
 	"jiffy/internal/rpc"
 )
 
@@ -71,6 +74,13 @@ type Controller struct {
 	scaleUps    atomic.Int64
 	scaleDowns  atomic.Int64
 	flushBlocks atomic.Int64
+
+	// telemetry: the counters above plus allocator and per-job gauges,
+	// per-method RPC stats, and recent spans, served via Obs()/Spans().
+	reg    *obs.Registry
+	rpcm   *obs.RPCMetrics
+	tracer *obs.Tracer
+	spans  *obs.RingExporter
 }
 
 // shard owns a disjoint subset of jobs.
@@ -109,6 +119,7 @@ func New(opts Options) (*Controller, error) {
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &shard{jobs: make(map[core.JobID]*hierarchy.Hierarchy)})
 	}
+	c.instrument()
 	if !opts.DisableExpiry {
 		c.wg.Add(1)
 		go c.expiryWorker()
@@ -116,10 +127,68 @@ func New(opts Options) (*Controller, error) {
 	return c, nil
 }
 
+// instrument builds the controller's metric registry: lifetime counters
+// (lease renewals/expiries, splits/merges, flush-before-reclaim),
+// allocator pool gauges, and a per-job block-count collector. Gauges
+// and collectors read controller state only at scrape time.
+func (c *Controller) instrument() {
+	c.reg = obs.NewRegistry()
+	c.rpcm = obs.NewRPCMetrics("controller")
+	c.rpcm.Register(c.reg, proto.MethodName)
+	c.spans = obs.NewRingExporter(512)
+	c.tracer = obs.NewTracer(c.spans, c.log)
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"jiffy_ctrl_control_ops_total", "control-plane RPCs handled", &c.ops},
+		{"jiffy_ctrl_lease_renewals_total", "explicit lease renewals applied", &c.renews},
+		{"jiffy_ctrl_lease_expiries_total", "prefixes flushed and reclaimed on lease expiry", &c.expiries},
+		{"jiffy_ctrl_scale_ups_total", "block splits / scale-up actions", &c.scaleUps},
+		{"jiffy_ctrl_scale_downs_total", "block merges / scale-down actions", &c.scaleDowns},
+		{"jiffy_ctrl_flushed_blocks_total", "blocks flushed to the persistent tier", &c.flushBlocks},
+	}
+	c.reg.RegisterCollector(func(w io.Writer) {
+		for _, ctr := range counters {
+			obs.WriteHeader(w, ctr.name, ctr.help, "counter")
+			obs.WriteSample(w, ctr.name, "", ctr.v.Load())
+		}
+	})
+	c.reg.GaugeFunc("jiffy_ctrl_blocks_total", "blocks contributed by registered servers",
+		func() int64 { total, _, _ := c.alloc.Stats(); return int64(total) })
+	c.reg.GaugeFunc("jiffy_ctrl_blocks_free", "blocks on the free list",
+		func() int64 { _, free, _ := c.alloc.Stats(); return int64(free) })
+	c.reg.GaugeFunc("jiffy_ctrl_servers", "registered memory servers",
+		func() int64 { _, _, servers := c.alloc.Stats(); return int64(servers) })
+	c.reg.RegisterCollector(func(w io.Writer) {
+		obs.WriteHeader(w, "jiffy_ctrl_job_blocks", "blocks allocated per registered job", "gauge")
+		for _, s := range c.shards {
+			s.mu.Lock()
+			for job, h := range s.jobs {
+				var blocks int64
+				h.Walk(func(n *hierarchy.Node) bool {
+					blocks += int64(len(n.Map.Blocks))
+					return true
+				})
+				obs.WriteSample(w, "jiffy_ctrl_job_blocks",
+					fmt.Sprintf("{job=%q}", string(job)), blocks)
+			}
+			s.mu.Unlock()
+		}
+	})
+}
+
+// Obs exposes the controller's metric registry for the admin endpoint.
+func (c *Controller) Obs() *obs.Registry { return c.reg }
+
+// Spans exposes the bounded ring of recent controller-side RPC spans.
+func (c *Controller) Spans() *obs.RingExporter { return c.spans }
+
 // Listen starts serving control RPCs on addr and returns the bound
 // address.
 func (c *Controller) Listen(addr string) (string, error) {
 	c.rpcSrv = rpc.NewServer(c.handle, c.log)
+	c.rpcSrv.SetObserver(c.rpcm, c.tracer)
 	return c.rpcSrv.Listen(addr)
 }
 

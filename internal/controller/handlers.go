@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 
 	"jiffy/internal/core"
@@ -8,8 +9,12 @@ import (
 	"jiffy/internal/rpc"
 )
 
-// handle is the controller's RPC dispatch table.
-func (c *Controller) handle(_ *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+// handle is the controller's RPC dispatch table. The request context
+// (span propagation, cancellation) is currently consumed by the rpc
+// layer's dispatch instrumentation; controller-internal operations are
+// lock-scoped and do not block on remote peers mid-request except via
+// the server pool, which applies its own deadlines.
+func (c *Controller) handle(_ context.Context, _ *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
 	c.ops.Add(1)
 	switch method {
 	case proto.MethodRegisterJob:

@@ -102,10 +102,10 @@ func Run(ctx context.Context, c *client.Client, g Graph) error {
 		return err
 	}
 
-	if err := c.RegisterJob(g.JobID); err != nil {
+	if err := c.RegisterJob(ctx, g.JobID); err != nil {
 		return fmt.Errorf("dataflow: register: %w", err)
 	}
-	defer c.DeregisterJob(g.JobID)
+	defer c.DeregisterJob(ctx, g.JobID)
 
 	root := core.Path(string(g.JobID))
 	for name, ch := range channels {
@@ -116,17 +116,17 @@ func Run(ctx context.Context, c *client.Client, g Graph) error {
 		}
 		switch ch.Kind {
 		case FileChannel:
-			if _, _, err := c.CreatePrefix(p, nil, core.DSFile, blocks, 0); err != nil {
+			if _, _, err := c.CreatePrefix(ctx, p, nil, core.DSFile, blocks, 0); err != nil {
 				return fmt.Errorf("dataflow: create file channel %q: %w", name, err)
 			}
 			// The companion done-queue gates consumers until every
 			// producer has closed the channel.
-			if _, _, err := c.CreatePrefix(root.MustChild("chdone-"+name), nil,
+			if _, _, err := c.CreatePrefix(ctx, root.MustChild("chdone-"+name), nil,
 				core.DSQueue, 1, 0); err != nil {
 				return fmt.Errorf("dataflow: create done channel %q: %w", name, err)
 			}
 		default:
-			if _, _, err := c.CreatePrefix(p, nil, core.DSQueue, blocks, 0); err != nil {
+			if _, _, err := c.CreatePrefix(ctx, p, nil, core.DSQueue, blocks, 0); err != nil {
 				return fmt.Errorf("dataflow: create channel %q: %w", name, err)
 			}
 		}
@@ -207,17 +207,17 @@ func runVertex(ctx context.Context, c *client.Client, g Graph,
 	for i, in := range v.Inputs {
 		ch := channels[in]
 		if ch.Kind == FileChannel {
-			f, err := c.OpenFile(root.MustChild("ch-" + in))
+			f, err := c.OpenFile(ctx, root.MustChild("ch-"+in))
 			if err != nil {
 				return err
 			}
-			dq, err := c.OpenQueue(root.MustChild("chdone-" + in))
+			dq, err := c.OpenQueue(ctx, root.MustChild("chdone-"+in))
 			if err != nil {
 				return err
 			}
 			readers[i] = newFileReader(f, dq, ch.Producers)
 		} else {
-			q, err := c.OpenQueue(root.MustChild("ch-" + in))
+			q, err := c.OpenQueue(ctx, root.MustChild("ch-"+in))
 			if err != nil {
 				return err
 			}
@@ -228,17 +228,17 @@ func runVertex(ctx context.Context, c *client.Client, g Graph,
 	for i, out := range v.Outputs {
 		id := fmt.Sprintf("%s/%d", v.Name, replica)
 		if channels[out].Kind == FileChannel {
-			f, err := c.OpenFile(root.MustChild("ch-" + out))
+			f, err := c.OpenFile(ctx, root.MustChild("ch-"+out))
 			if err != nil {
 				return err
 			}
-			dq, err := c.OpenQueue(root.MustChild("chdone-" + out))
+			dq, err := c.OpenQueue(ctx, root.MustChild("chdone-"+out))
 			if err != nil {
 				return err
 			}
 			writers[i] = &Writer{f: f, doneQ: dq, id: id}
 		} else {
-			q, err := c.OpenQueue(root.MustChild("ch-" + out))
+			q, err := c.OpenQueue(ctx, root.MustChild("ch-"+out))
 			if err != nil {
 				return err
 			}
@@ -273,12 +273,14 @@ func (w *Writer) Write(item []byte) error {
 	if w.f != nil {
 		return appendFramed(w.f, item)
 	}
-	return w.q.Enqueue(item)
+	return w.q.Enqueue(context.Background(
+
+	// Close marks this producer finished: queue channels get the tagged
+	// EOF marker; file channels get a completion token on the companion
+	// done-queue (the file-channel readiness gate). Idempotent.
+	), item)
 }
 
-// Close marks this producer finished: queue channels get the tagged
-// EOF marker; file channels get a completion token on the companion
-// done-queue (the file-channel readiness gate). Idempotent.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -287,9 +289,9 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.f != nil {
-		return w.doneQ.Enqueue([]byte(eofPrefix + w.id))
+		return w.doneQ.Enqueue(context.Background(), []byte(eofPrefix+w.id))
 	}
-	return w.q.Enqueue([]byte(eofPrefix + w.id))
+	return w.q.Enqueue(context.Background(), []byte(eofPrefix+w.id))
 }
 
 // appendFramed writes a length-prefixed record; a zero length word is
@@ -299,19 +301,19 @@ func appendFramed(f *client.File, item []byte) error {
 	buf := make([]byte, 4+len(item))
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(item))+1) // +1: never zero
 	copy(buf[4:], item)
-	_, err := f.AppendRecord(buf)
+	_, err := f.AppendRecord(context.Background(), buf)
 	return err
 }
 
 // readAllFramed parses every framed record in the file.
 func readAllFramed(f *client.File) ([][]byte, error) {
-	n, err := f.Chunks()
+	n, err := f.Chunks(context.Background())
 	if err != nil {
 		return nil, err
 	}
 	var out [][]byte
 	for ci := 0; ci < n; ci++ {
-		data, err := f.ReadChunk(ci)
+		data, err := f.ReadChunk(context.Background(), ci)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +356,7 @@ func newReader(q *client.Queue, producers int) *Reader {
 	r := &Reader{q: q, producers: producers, seenEOF: make(map[string]bool)}
 	// Subscribe to enqueues so Read blocks without polling; fall back
 	// to polling if the subscription fails.
-	if l, err := q.Subscribe(core.OpEnqueue); err == nil {
+	if l, err := q.Subscribe(context.Background(), core.OpEnqueue); err == nil {
 		r.listener = l
 	}
 	return r
@@ -381,7 +383,7 @@ func (r *Reader) Read(ctx context.Context) (item []byte, ok bool, err error) {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		item, err := r.q.Dequeue()
+		item, err := r.q.Dequeue(ctx)
 		switch {
 		case err == nil:
 			if s := string(item); strings.HasPrefix(s, eofPrefix) {
@@ -389,7 +391,7 @@ func (r *Reader) Read(ctx context.Context) (item []byte, ok bool, err error) {
 				// check whether every producer has finished.
 				alreadySeen := r.seenEOF[s]
 				r.seenEOF[s] = true
-				if err := r.q.Enqueue(item); err != nil {
+				if err := r.q.Enqueue(ctx, item); err != nil {
 					return nil, false, err
 				}
 				if len(r.seenEOF) >= r.producers {

@@ -26,7 +26,7 @@ func testClient(t *testing.T) *client.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestVertexErrorPropagates(t *testing.T) {
 	}
 	// Downstream still terminated (EOF emitted on failure) — Run
 	// returned rather than hanging, and resources were released.
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 0 {
 		t.Errorf("blocks leaked: %d", stats.AllocatedBlocks)
 	}

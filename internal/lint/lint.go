@@ -1,0 +1,156 @@
+// Package lint holds small source-analysis checks enforced in CI.
+//
+// The context-first check guards the client API redesign: every
+// exported method on an exported receiver type in the scanned packages
+// must take a context.Context as its first parameter, unless it is a
+// known local/lifecycle method (allowlisted), a deprecated
+// compatibility shim, or a *NoCtx view type. New public surface that
+// forgets the context fails CI rather than review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultAllow lists the existing context-free public surface, keyed
+// "Type.Method" (or a bare function name). These are local or
+// lifecycle operations that perform no RPC — everything else must be
+// context-first.
+func DefaultAllow() map[string]bool {
+	return map[string]bool{
+		// Lifecycle and purely local accessors.
+		"Client.Close":        true,
+		"Client.NoCtx":        true,
+		"Client.Obs":          true,
+		"Client.StartRenewer": true,
+		"KV.Path":             true,
+		"KV.NoCtx":            true,
+		"File.Path":           true,
+		"File.Seek":           true,
+		"File.NoCtx":          true,
+		"Queue.Path":          true,
+		"Queue.NoCtx":         true,
+		"Custom.Path":         true,
+		"Custom.NoCtx":        true,
+		// The listener's public contract is timeout-based (Table 1
+		// listener.get(timeout)); contexts are threaded internally.
+		"Listener.Get":      true,
+		"Listener.TryGet":   true,
+		"Listener.Resync":   true,
+		"Listener.Close":    true,
+		"Renewer.Add":       true,
+		"Renewer.Remove":    true,
+		"Renewer.Stop":      true,
+		"MultiError.Error":  true,
+		"MultiError.Unwrap": true,
+		"Cluster.Close":     true,
+	}
+}
+
+// Violation is one public declaration missing its leading context.
+type Violation struct {
+	Pos  token.Position
+	Name string // "Type.Method" or function name
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s must take context.Context as its first parameter", v.Pos, v.Name)
+}
+
+// CtxFirst scans the non-test Go files of one directory and reports
+// exported methods on exported receiver types — plus package-level
+// Connect* functions — whose first parameter is not a context.Context.
+func CtxFirst(dir string, allow map[string]bool) ([]Violation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var violations []Violation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || deprecated(fn) {
+				continue
+			}
+			label, check := subject(fn)
+			if !check || allow[label] {
+				continue
+			}
+			if !firstParamIsCtx(fn.Type) {
+				violations = append(violations, Violation{
+					Pos:  fset.Position(fn.Pos()),
+					Name: label,
+				})
+			}
+		}
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].Pos, violations[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return violations, nil
+}
+
+// subject names the declaration and decides whether the check applies:
+// exported methods on exported receivers (excluding *NoCtx views), and
+// package-level Connect* constructors.
+func subject(fn *ast.FuncDecl) (label string, check bool) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		if strings.HasPrefix(fn.Name.Name, "Connect") {
+			return fn.Name.Name, true
+		}
+		return fn.Name.Name, false
+	}
+	recv := receiverType(fn.Recv.List[0].Type)
+	if recv == "" || !ast.IsExported(recv) || strings.HasSuffix(recv, "NoCtx") {
+		return "", false
+	}
+	return recv + "." + fn.Name.Name, true
+}
+
+func receiverType(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverType(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverType(t.X)
+	}
+	return ""
+}
+
+func firstParamIsCtx(ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	sel, ok := ft.Params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+func deprecated(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "Deprecated:")
+}

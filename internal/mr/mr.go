@@ -73,23 +73,23 @@ func Run(ctx context.Context, c *client.Client, cfg Config) (*Result, error) {
 		cfg.LeaseRenewInterval = 250 * time.Millisecond
 	}
 
-	if err := c.RegisterJob(cfg.JobID); err != nil {
+	if err := c.RegisterJob(ctx, cfg.JobID); err != nil {
 		return nil, fmt.Errorf("mr: register: %w", err)
 	}
-	defer c.DeregisterJob(cfg.JobID)
+	defer c.DeregisterJob(ctx, cfg.JobID)
 
 	// Hierarchy: jobID/map/shuffle-<r> — shuffle files are children of
 	// the map stage, so renewing the map prefix keeps every shuffle
 	// file alive (§3.2 propagation).
 	root := core.Path(string(cfg.JobID))
 	mapPrefix := root.MustChild("map")
-	if _, _, err := c.CreatePrefix(mapPrefix, nil, core.DSNone, 0, 0); err != nil {
+	if _, _, err := c.CreatePrefix(ctx, mapPrefix, nil, core.DSNone, 0, 0); err != nil {
 		return nil, fmt.Errorf("mr: create map prefix: %w", err)
 	}
 	shufflePaths := make([]core.Path, cfg.Reducers)
 	for r := 0; r < cfg.Reducers; r++ {
 		shufflePaths[r] = mapPrefix.MustChild(fmt.Sprintf("shuffle-%d", r))
-		if _, _, err := c.CreatePrefix(shufflePaths[r], nil, core.DSFile, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(ctx, shufflePaths[r], nil, core.DSFile, 1, 0); err != nil {
 			return nil, fmt.Errorf("mr: create shuffle %d: %w", r, err)
 		}
 	}
@@ -103,7 +103,7 @@ func Run(ctx context.Context, c *client.Client, cfg Config) (*Result, error) {
 	// --- Map phase ---------------------------------------------------
 	shuffles := make([]*client.File, cfg.Reducers)
 	for r := range shuffles {
-		f, err := c.OpenFile(shufflePaths[r])
+		f, err := c.OpenFile(ctx, shufflePaths[r])
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +194,7 @@ func runMapTask(ctx context.Context, cfg Config, shuffles []*client.File, split 
 			return err
 		}
 		for _, kv := range pairs {
-			if _, err := shuffles[r].AppendRecord(encodeRecord(kv)); err != nil {
+			if _, err := shuffles[r].AppendRecord(ctx, encodeRecord(kv)); err != nil {
 				return err
 			}
 		}
@@ -207,7 +207,7 @@ func runMapTask(ctx context.Context, cfg Config, shuffles []*client.File, split 
 func runReduceTask(ctx context.Context, cfg Config, c *client.Client,
 	path core.Path) (map[string]string, error) {
 
-	f, err := c.OpenFile(path)
+	f, err := c.OpenFile(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -280,13 +280,13 @@ func decodeRecords(data []byte) ([]KeyValue, error) {
 // ReadAllRecords scans a shuffle file chunk by chunk; records never
 // straddle chunks, so per-chunk parsing is complete.
 func ReadAllRecords(f *client.File) ([]KeyValue, error) {
-	n, err := f.Chunks()
+	n, err := f.Chunks(context.Background())
 	if err != nil {
 		return nil, err
 	}
 	var all []KeyValue
 	for ci := 0; ci < n; ci++ {
-		data, err := f.ReadChunk(ci)
+		data, err := f.ReadChunk(context.Background(), ci)
 		if err != nil {
 			return nil, err
 		}

@@ -26,7 +26,7 @@ func testClient(t *testing.T) *client.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestWordCount(t *testing.T) {
 		t.Errorf("tasks = %d/%d", res.MapTasks, res.ReduceTasks)
 	}
 	// The job deregistered: its blocks are back in the pool.
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 0 {
 		t.Errorf("blocks leaked: %d", stats.AllocatedBlocks)
 	}
@@ -140,7 +140,7 @@ func TestMapErrorPropagates(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 	// Failed jobs still release their resources.
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 0 {
 		t.Errorf("blocks leaked after failure: %d", stats.AllocatedBlocks)
 	}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminOptions configures the per-process admin endpoint.
+type AdminOptions struct {
+	// Registry backs /metrics (required for that route).
+	Registry *Registry
+	// Spans backs the /spans recent-trace dump (optional).
+	Spans *RingExporter
+	// Health, if set, is consulted by /healthz; a non-nil error turns
+	// the response into 503. Nil means always healthy.
+	Health func() error
+}
+
+// NewAdminMux builds the admin handler: Prometheus text-format
+// /metrics, /healthz, a /spans recent-trace dump, and /debug/pprof/*.
+func NewAdminMux(opts AdminOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var spans []SpanEvent
+		var total int64
+		if opts.Spans != nil {
+			spans = opts.Spans.Snapshot()
+			total = opts.Spans.Total()
+		}
+		json.NewEncoder(w).Encode(struct {
+			Total int64       `json:"total"`
+			Spans []SpanEvent `json:"spans"`
+		}{Total: total, Spans: spans})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	// Addr is the bound listen address (resolves ":0").
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// ServeAdmin binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// admin mux in a background goroutine.
+func ServeAdmin(addr string, opts AdminOptions) (*AdminServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewAdminMux(opts), ReadHeaderTimeout: 5 * time.Second}
+	a := &AdminServer{Addr: lis.Addr().String(), srv: srv, lis: lis}
+	go srv.Serve(lis)
+	return a, nil
+}
+
+// Close shuts the endpoint down.
+func (a *AdminServer) Close() error { return a.srv.Close() }

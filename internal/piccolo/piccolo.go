@@ -44,30 +44,42 @@ type Table struct {
 }
 
 // Get reads a key (ErrNotFound if absent).
-func (t *Table) Get(key string) ([]byte, error) { return t.kv.Get(key) }
+func (t *Table) Get(key string) ([]byte, error) {
+	return t.kv.Get(context.Background(
 
-// Put overwrites a key.
-func (t *Table) Put(key string, value []byte) error { return t.kv.Put(key, value) }
+	// Put overwrites a key.
+	), key)
+}
 
-// Contains reports key presence.
-func (t *Table) Contains(key string) (bool, error) { return t.kv.Exists(key) }
+func (t *Table) Put(key string, value []byte) error {
+	return t.kv.Put(context.Background(
 
-// Accumulate merges update into the key's value using the table's
-// accumulator.
+	// Contains reports key presence.
+	), key, value)
+}
+
+func (t *Table) Contains(key string) (bool, error) {
+	return t.kv.Exists(context.Background(
+
+	// Accumulate merges update into the key's value using the table's
+	// accumulator.
+	), key)
+}
+
 func (t *Table) Accumulate(key string, update []byte) error {
 	if t.acc == nil {
 		return fmt.Errorf("piccolo: table %q has no accumulator", t.name)
 	}
 	t.accMu.Lock()
 	defer t.accMu.Unlock()
-	current, err := t.kv.Get(key)
+	current, err := t.kv.Get(context.Background(), key)
 	if err != nil && !errors.Is(err, core.ErrNotFound) {
 		return err
 	}
 	if errors.Is(err, core.ErrNotFound) {
 		current = nil
 	}
-	return t.kv.Put(key, t.acc(current, update))
+	return t.kv.Put(context.Background(), key, t.acc(current, update))
 }
 
 // Kernel is one kernel-function instance. Instances are numbered
@@ -135,7 +147,7 @@ func New(c *client.Client, cfg Config) (*Runtime, error) {
 	if cfg.LeaseRenewInterval <= 0 {
 		cfg.LeaseRenewInterval = 250 * time.Millisecond
 	}
-	if err := c.RegisterJob(cfg.JobID); err != nil {
+	if err := c.RegisterJob(context.Background(), cfg.JobID); err != nil {
 		return nil, fmt.Errorf("piccolo: register: %w", err)
 	}
 	rt := &Runtime{
@@ -146,13 +158,13 @@ func New(c *client.Client, cfg Config) (*Runtime, error) {
 	}
 	for _, spec := range cfg.Tables {
 		path := rt.root.MustChild("table-" + spec.Name)
-		if _, _, err := c.CreatePrefix(path, nil, core.DSKV, spec.InitialBlocks, 0); err != nil {
-			c.DeregisterJob(cfg.JobID)
+		if _, _, err := c.CreatePrefix(context.Background(), path, nil, core.DSKV, spec.InitialBlocks, 0); err != nil {
+			c.DeregisterJob(context.Background(), cfg.JobID)
 			return nil, fmt.Errorf("piccolo: create table %q: %w", spec.Name, err)
 		}
-		kv, err := c.OpenKV(path)
+		kv, err := c.OpenKV(context.Background(), path)
 		if err != nil {
-			c.DeregisterJob(cfg.JobID)
+			c.DeregisterJob(context.Background(), cfg.JobID)
 			return nil, err
 		}
 		rt.tables[spec.Name] = &Table{
@@ -216,7 +228,7 @@ func (rt *Runtime) Checkpoint(table, externalPath string) error {
 	if err != nil {
 		return err
 	}
-	_, err = rt.c.FlushPrefix(t.path, externalPath)
+	_, err = rt.c.FlushPrefix(context.Background(), t.path, externalPath)
 	return err
 }
 
@@ -226,11 +238,11 @@ func (rt *Runtime) Restore(table, externalPath string) error {
 	if err != nil {
 		return err
 	}
-	if err := rt.c.LoadPrefix(t.path, externalPath); err != nil {
+	if err := rt.c.LoadPrefix(context.Background(), t.path, externalPath); err != nil {
 		return err
 	}
 	// Reopen the handle so it picks up the new partition map epoch.
-	kv, err := rt.c.OpenKV(t.path)
+	kv, err := rt.c.OpenKV(context.Background(), t.path)
 	if err != nil {
 		return err
 	}
@@ -240,5 +252,5 @@ func (rt *Runtime) Restore(table, externalPath string) error {
 
 // Close releases the job's resources.
 func (rt *Runtime) Close() error {
-	return rt.c.DeregisterJob(rt.cfg.JobID)
+	return rt.c.DeregisterJob(context.Background(), rt.cfg.JobID)
 }

@@ -24,7 +24,7 @@ func testClient(t *testing.T) *client.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -479,3 +479,44 @@ type ReplicateReq struct {
 
 // ReplicateResp acknowledges chain application.
 type ReplicateResp struct{}
+
+// methodNames maps method identifiers to stable human-readable names
+// for metrics labels and span events.
+var methodNames = map[uint16]string{
+	MethodRegisterJob:     "RegisterJob",
+	MethodDeregisterJob:   "DeregisterJob",
+	MethodCreatePrefix:    "CreatePrefix",
+	MethodCreateHierarchy: "CreateHierarchy",
+	MethodRemovePrefix:    "RemovePrefix",
+	MethodRenewLease:      "RenewLease",
+	MethodLeaseInfo:       "LeaseInfo",
+	MethodOpen:            "Open",
+	MethodFlushPrefix:     "FlushPrefix",
+	MethodLoadPrefix:      "LoadPrefix",
+	MethodRegisterServer:  "RegisterServer",
+	MethodScaleUp:         "ScaleUp",
+	MethodScaleDown:       "ScaleDown",
+	MethodControllerStats: "ControllerStats",
+	MethodListPrefixes:    "ListPrefixes",
+	MethodSaveState:       "SaveState",
+	MethodDataOp:          "DataOp",
+	MethodCreateBlock:     "CreateBlock",
+	MethodDeleteBlock:     "DeleteBlock",
+	MethodSetNext:         "SetNext",
+	MethodMoveSlots:       "MoveSlots",
+	MethodImportEntries:   "ImportEntries",
+	MethodFlushBlock:      "FlushBlock",
+	MethodLoadBlock:       "LoadBlock",
+	MethodSubscribe:       "Subscribe",
+	MethodUnsubscribe:     "Unsubscribe",
+	MethodServerStats:     "ServerStats",
+	MethodSetOwnedSlots:   "SetOwnedSlots",
+	MethodReplicate:       "Replicate",
+	MethodSnapshotBlock:   "SnapshotBlock",
+	MethodRestoreBlock:    "RestoreBlock",
+	MethodDataOpBatch:     "DataOpBatch",
+}
+
+// MethodName returns the human-readable name of a method identifier,
+// or "" when unknown (callers fall back to the hex value).
+func MethodName(method uint16) string { return methodNames[method] }

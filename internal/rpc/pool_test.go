@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -11,7 +12,7 @@ import (
 // tests can kill it and bring a replacement up at the same endpoint.
 func newEchoServer(t *testing.T, addr string) *Server {
 	t.Helper()
-	srv := NewServer(func(conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
+	srv := NewServer(func(_ context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
 		if method == methodEcho {
 			return payload, nil
 		}

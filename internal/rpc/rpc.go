@@ -12,12 +12,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jiffy/internal/clock"
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
+	"jiffy/internal/proto"
 	"jiffy/internal/wire"
 )
 
@@ -79,7 +84,19 @@ type Client struct {
 	// onPush, if set, receives push frames (subscription notifications).
 	onPush func(subID uint64, payload []byte)
 
+	// instr carries the optional telemetry attachment (per-method
+	// metrics, tracer, peer label). Atomic so instrumentation can be
+	// installed by dial wrappers without racing in-flight calls.
+	instr atomic.Pointer[instrumentation]
+
 	readerDone chan struct{}
+}
+
+// instrumentation bundles a session's telemetry sinks.
+type instrumentation struct {
+	metrics *obs.RPCMetrics
+	tracer  *obs.Tracer
+	peer    string
 }
 
 // DialFunc customizes how clients reach servers; the default uses
@@ -137,6 +154,40 @@ func (c *Client) IsClosed() bool {
 // Done is closed when the session terminates; connection caches watch
 // it to evict dead sessions.
 func (c *Client) Done() <-chan struct{} { return c.readerDone }
+
+// SetInstrumentation attaches per-method metrics and a tracer to the
+// session; peer labels outbound span events (usually the dialed
+// address). Any argument may be nil.
+func (c *Client) SetInstrumentation(m *obs.RPCMetrics, tr *obs.Tracer, peer string) {
+	c.instr.Store(&instrumentation{metrics: m, tracer: tr, peer: peer})
+}
+
+// WithInstrumentation wraps a dial function so every session it
+// produces reports into m and tr (either may be nil).
+func WithInstrumentation(dial func(addr string) (*Client, error), m *obs.RPCMetrics, tr *obs.Tracer) func(addr string) (*Client, error) {
+	if dial == nil {
+		dial = Dial
+	}
+	if m == nil && tr == nil {
+		return dial
+	}
+	return func(addr string) (*Client, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.SetInstrumentation(m, tr, addr)
+		return c, nil
+	}
+}
+
+// methodLabel names a method for spans and error text.
+func methodLabel(method uint16) string {
+	if n := proto.MethodName(method); n != "" {
+		return n
+	}
+	return "0x" + strconv.FormatUint(uint64(method), 16)
+}
 
 // WithTimeout wraps a dial function so every client it produces carries
 // the default per-call deadline d.
@@ -222,11 +273,52 @@ func (c *Client) Call(method uint16, payload []byte) ([]byte, error) {
 
 // CallContext is Call with cancellation. A canceled context abandons
 // the response (the pending entry is removed; a late response frame is
-// dropped by the read pump). When the client carries a default timeout
-// and ctx has no deadline of its own, the call fails with ErrTimeout
-// once the timeout elapses — a peer that stops reading cannot hang the
-// caller forever.
+// dropped by the read pump) and the call fails with the context's
+// error: context.Canceled, or ErrTimeout wrapping
+// context.DeadlineExceeded when the ctx deadline expires. A ctx
+// deadline takes precedence over the session's default timeout, which
+// only arms when ctx carries no deadline of its own — a peer that
+// stops reading still cannot hang the caller forever.
+//
+// When instrumentation is attached the call updates the per-method
+// stats (requests, bytes, in-flight, latency histogram) and, when a
+// tracer or an inbound span rides ctx, propagates the span to the
+// peer via a trace-extension frame written in the same flush as the
+// request.
 func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	in := c.instr.Load()
+	var stats *obs.MethodStats
+	var tracer *obs.Tracer
+	var start time.Time
+	if in != nil && obs.On() {
+		tracer = in.tracer
+		if in.metrics != nil {
+			stats = in.metrics.Method(method)
+			stats.Requests.Inc()
+			stats.BytesOut.Add(int64(len(payload)))
+			stats.InFlight.Inc()
+			start = time.Now()
+		}
+	}
+	var span obs.Span
+	if tracer != nil {
+		ctx, span = tracer.Begin(ctx, "rpc:"+methodLabel(method), in.peer)
+	}
+	out, err := c.call(ctx, method, payload)
+	span.End(err)
+	if stats != nil {
+		stats.InFlight.Dec()
+		stats.Latency.ObserveDuration(time.Since(start))
+		stats.BytesIn.Add(int64(len(out)))
+		if err != nil {
+			stats.Errors.Inc()
+		}
+	}
+	return out, err
+}
+
+// call is the uninstrumented request/response core.
+func (c *Client) call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.sessionErr
@@ -244,12 +336,23 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 	clk := c.clk
 	c.mu.Unlock()
 
-	err := c.conn.WriteFrame(&wire.Frame{
+	req := &wire.Frame{
 		Kind:    wire.KindRequest,
 		Seq:     seq,
 		Method:  method,
 		Payload: payload,
-	})
+	}
+	var err error
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {
+		// The trace extension travels immediately before its request,
+		// under the same seq and in the same flush. Old peers skip
+		// non-request frames, so this stays wire-compatible.
+		ext := &wire.Frame{Kind: wire.KindTraceExt, Seq: seq,
+			Payload: wire.EncodeTraceExt(sc.TraceID, sc.SpanID)}
+		err = c.conn.WriteFrames(ext, req)
+	} else {
+		err = c.conn.WriteFrame(req)
+	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
@@ -288,13 +391,25 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		cerr := ctx.Err()
+		if errors.Is(cerr, context.DeadlineExceeded) {
+			// Map context deadlines onto the typed timeout error so the
+			// retry/failover classification built around ErrTimeout keeps
+			// working; errors.Is still sees context.DeadlineExceeded.
+			return nil, fmt.Errorf("rpc: call %s: %w: %w", methodLabel(method), core.ErrTimeout, cerr)
+		}
+		return nil, fmt.Errorf("rpc: call %s: %w", methodLabel(method), cerr)
 	}
 }
 
 // CallGob marshals req, performs the call and unmarshals into resp
 // (which may be nil when no body is expected).
 func (c *Client) CallGob(method uint16, req, resp interface{}) error {
+	return c.CallGobCtx(context.Background(), method, req, resp)
+}
+
+// CallGobCtx is CallGob with cancellation and span propagation.
+func (c *Client) CallGobCtx(ctx context.Context, method uint16, req, resp interface{}) error {
 	var payload []byte
 	var err error
 	if req != nil {
@@ -303,7 +418,7 @@ func (c *Client) CallGob(method uint16, req, resp interface{}) error {
 			return err
 		}
 	}
-	out, err := c.Call(method, payload)
+	out, err := c.CallContext(ctx, method, payload)
 	if err != nil {
 		return err
 	}

@@ -24,7 +24,7 @@ const (
 func newTestServer(t *testing.T) (addr string, srv *Server) {
 	t.Helper()
 	var subConns sync.Map
-	handler := func(conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
+	handler := func(_ context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
 		switch method {
 		case methodEcho:
 			return payload, nil

@@ -1,20 +1,26 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 	"jiffy/internal/wire"
 )
 
-// Handler processes one request. conn identifies the client connection
-// (used by the notification machinery to push frames back); method is
-// the method identifier; payload the request body. The returned bytes
-// become the response body; a returned error maps onto a wire error
-// code (sentinels from internal/core travel losslessly).
+// Handler processes one request. ctx carries cancellation and the
+// propagated span context when the client attached a trace-extension
+// frame (handlers thread it into any onward RPCs so traces span
+// hops); conn identifies the client connection (used by the
+// notification machinery to push frames back); method is the method
+// identifier; payload the request body. The returned bytes become the
+// response body; a returned error maps onto a wire error code
+// (sentinels from internal/core travel losslessly).
 //
 // Ownership contract: the returned payload passes to the rpc layer,
 // which recycles it into the wire buffer pool once the response frame
@@ -22,7 +28,7 @@ import (
 // reference after returning — freshly encoded (rpc.Marshal,
 // ds.EncodeVals) or taken from wire.GetBuf — never a slice aliasing
 // long-lived state.
-type Handler func(conn *ServerConn, method uint16, payload []byte) ([]byte, error)
+type Handler func(ctx context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error)
 
 // Server accepts framed connections and dispatches requests to a
 // Handler. Each connection gets a read pump; each request runs in its
@@ -39,9 +45,22 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// metrics/tracer are the optional server-side telemetry sinks,
+	// installed via SetObserver before Listen.
+	metrics *obs.RPCMetrics
+	tracer  *obs.Tracer
+
 	// OnDisconnect, if set, runs after a client connection is torn
 	// down; the subscription registry uses it to drop dead listeners.
 	OnDisconnect func(*ServerConn)
+}
+
+// SetObserver attaches inbound-dispatch telemetry: per-method metrics
+// and a tracer recording one server-side span per traced request.
+// Must be called before Listen.
+func (s *Server) SetObserver(m *obs.RPCMetrics, tr *obs.Tracer) {
+	s.metrics = m
+	s.tracer = tr
 }
 
 // NewServer creates a server around handler. Call Serve to start.
@@ -155,26 +174,81 @@ func (sc *ServerConn) Push(subID uint64, payload []byte) error {
 // RemoteAddr exposes the peer address.
 func (sc *ServerConn) RemoteAddr() net.Addr { return sc.conn.RemoteAddr() }
 
+// maxPendingTrace bounds the per-connection trace-extension pairing
+// map so a peer spraying extensions without requests cannot grow it
+// unboundedly.
+const maxPendingTrace = 4096
+
 func (sc *ServerConn) readLoop() {
+	// pendingTrace pairs trace-extension frames with the request that
+	// follows under the same seq. Only this goroutine touches it.
+	var pendingTrace map[uint64]obs.SpanContext
 	for {
 		f, err := sc.conn.ReadFrame()
 		if err != nil {
 			sc.reqWG.Wait()
 			return
 		}
-		if f.Kind != wire.KindRequest {
+		switch f.Kind {
+		case wire.KindRequest:
+		case wire.KindTraceExt:
+			if trace, span, ok := wire.DecodeTraceExt(f.Payload); ok {
+				if pendingTrace == nil {
+					pendingTrace = make(map[uint64]obs.SpanContext)
+				}
+				if len(pendingTrace) < maxPendingTrace {
+					pendingTrace[f.Seq] = obs.SpanContext{TraceID: trace, SpanID: span}
+				}
+			}
+			continue
+		default:
 			continue // ignore stray frames
 		}
+		var trace obs.SpanContext
+		if len(pendingTrace) > 0 {
+			trace = pendingTrace[f.Seq]
+			delete(pendingTrace, f.Seq)
+		}
 		sc.reqWG.Add(1)
-		go func(f *wire.Frame) {
+		go func(f *wire.Frame, trace obs.SpanContext) {
 			defer sc.reqWG.Done()
-			sc.dispatch(f)
-		}(f)
+			sc.dispatch(f, trace)
+		}(f, trace)
 	}
 }
 
-func (sc *ServerConn) dispatch(f *wire.Frame) {
-	resp, err := sc.callHandler(f)
+func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
+	metrics, tracer := sc.srv.metrics, sc.srv.tracer
+	if !obs.On() {
+		metrics, tracer = nil, nil
+	}
+	var stats *obs.MethodStats
+	var start time.Time
+	if metrics != nil || (tracer != nil && trace.Valid()) {
+		start = time.Now()
+	}
+	if metrics != nil {
+		stats = metrics.Method(f.Method)
+		stats.Requests.Inc()
+		stats.BytesIn.Add(int64(len(f.Payload)))
+		stats.InFlight.Inc()
+	}
+	ctx := context.Background()
+	spanID := uint64(0)
+	if trace.Valid() {
+		if tracer != nil {
+			// One server-side span per traced request, child of the
+			// client's span; the handler ctx carries it onward.
+			spanID = obs.NewID()
+			ctx = obs.ContextWithSpan(ctx, obs.SpanContext{TraceID: trace.TraceID, SpanID: spanID})
+		} else {
+			// No local recorder: pass the inbound span through untouched
+			// so downstream hops stay in the trace.
+			ctx = obs.ContextWithSpan(ctx, trace)
+		}
+	}
+
+	resp, err := sc.callHandler(ctx, f)
 	out := &wire.Frame{Kind: wire.KindResponse, Seq: f.Seq}
 	if err != nil {
 		out.Code = core.CodeOf(err)
@@ -190,17 +264,41 @@ func (sc *ServerConn) dispatch(f *wire.Frame) {
 	if werr := sc.conn.WriteFrame(out); werr != nil && !errors.Is(werr, net.ErrClosed) {
 		sc.srv.log.Debug("rpc: response write failed", "err", werr)
 	}
+
+	if tracer != nil && trace.Valid() {
+		ev := obs.SpanEvent{
+			TraceID:  trace.TraceID,
+			SpanID:   spanID,
+			ParentID: trace.SpanID,
+			Name:     "srv:" + methodLabel(f.Method),
+			Peer:     sc.conn.RemoteAddr().String(),
+			Start:    start,
+			Duration: time.Since(start),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		tracer.Record(ev)
+	}
+	if stats != nil {
+		stats.InFlight.Dec()
+		stats.Latency.ObserveDuration(time.Since(start))
+		stats.BytesOut.Add(int64(len(out.Payload)))
+		if err != nil {
+			stats.Errors.Inc()
+		}
+	}
 	// WriteFrame consumed the payload (see the Handler ownership
 	// contract); recycle it for the next response.
 	wire.PutBuf(out.Payload)
 }
 
-func (sc *ServerConn) callHandler(f *wire.Frame) (resp []byte, err error) {
+func (sc *ServerConn) callHandler(ctx context.Context, f *wire.Frame) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sc.srv.log.Error("rpc: handler panic", "method", f.Method, "panic", r)
 			err = core.ErrClosed
 		}
 	}()
-	return sc.srv.handler(sc, f.Method, f.Payload)
+	return sc.srv.handler(ctx, sc, f.Method, f.Payload)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
 	"jiffy/internal/blockstore"
@@ -12,13 +13,13 @@ import (
 )
 
 // handle is the memory server's RPC dispatch.
-func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+func (s *Server) handle(ctx context.Context, conn *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
 	switch method {
 	case proto.MethodDataOp:
-		return s.handleDataOp(payload)
+		return s.handleDataOp(ctx, payload)
 
 	case proto.MethodDataOpBatch:
-		return s.handleDataOpBatch(payload)
+		return s.handleDataOpBatch(ctx, payload)
 
 	case proto.MethodCreateBlock:
 		var req proto.CreateBlockReq
@@ -47,7 +48,7 @@ func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]
 		}
 		// Sealing is a sequenced mutation: on replicated queues it
 		// flows down the chain in order with the enqueues it follows.
-		if _, err := s.applyMutation(req.Block, core.OpQueueSetNext,
+		if _, err := s.applyMutation(ctx, req.Block, core.OpQueueSetNext,
 			[][]byte{ds.RedirectPayload(req.Next)}); err != nil {
 			return nil, err
 		}
@@ -58,7 +59,7 @@ func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		moved, err := s.moveSlots(req)
+		moved, err := s.moveSlots(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +187,7 @@ func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		if err := s.applyReplicated(req); err != nil {
+		if err := s.applyReplicated(ctx, req); err != nil {
 			return nil, err
 		}
 		return rpc.Marshal(proto.ReplicateResp{})
@@ -199,7 +200,7 @@ func (s *Server) handle(conn *rpc.ServerConn, method uint16, payload []byte) ([]
 // handleDataOp executes one data-plane operation: apply locally,
 // propagate down the replication chain for mutations, then notify
 // subscribers.
-func (s *Server) handleDataOp(payload []byte) ([]byte, error) {
+func (s *Server) handleDataOp(ctx context.Context, payload []byte) ([]byte, error) {
 	op, blockID, args, err := ds.DecodeRequest(payload)
 	if err != nil {
 		return nil, err
@@ -208,7 +209,7 @@ func (s *Server) handleDataOp(payload []byte) ([]byte, error) {
 
 	var res [][]byte
 	if op.IsMutation() {
-		res, err = s.applyMutation(blockID, op, args)
+		res, err = s.applyMutation(ctx, blockID, op, args)
 	} else {
 		res, err = s.store.Apply(blockID, op, args)
 	}
@@ -234,7 +235,7 @@ func (s *Server) handleDataOp(payload []byte) ([]byte, error) {
 // repartition-threshold checks run once per mutated block after the
 // whole batch lands. The per-op results travel back in one response
 // frame, encoded into a pooled buffer.
-func (s *Server) handleDataOpBatch(payload []byte) ([]byte, error) {
+func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	ops, err := ds.DecodeBatchRequest(payload)
 	if err != nil {
 		return nil, err
@@ -263,7 +264,7 @@ func (s *Server) handleDataOpBatch(payload []byte) ([]byte, error) {
 		var res [][]byte
 		var oerr error
 		if o.Op.IsMutation() {
-			res, oerr = s.applyMutationOn(b, o.Op, o.Args, false)
+			res, oerr = s.applyMutationOn(ctx, b, o.Op, o.Args, false)
 			if oerr == nil {
 				mutated[o.Block] = b
 			}
@@ -289,18 +290,18 @@ func (s *Server) handleDataOpBatch(payload []byte) ([]byte, error) {
 
 // applyMutation applies a mutating op, sequencing and propagating it
 // down the replication chain when the block is a replicated head.
-func (s *Server) applyMutation(blockID core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
+func (s *Server) applyMutation(ctx context.Context, blockID core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
 	b, gerr := s.store.Get(blockID)
 	if gerr != nil {
 		return nil, gerr
 	}
-	return s.applyMutationOn(b, op, args, true)
+	return s.applyMutationOn(ctx, b, op, args, true)
 }
 
 // applyMutationOn applies a mutating op against a resolved block.
 // checkNow is threaded to the blockstore's threshold evaluation (false
 // on the batch path, which checks once per block afterwards).
-func (s *Server) applyMutationOn(b *blockstore.Block, op core.OpType, args [][]byte, checkNow bool) ([][]byte, error) {
+func (s *Server) applyMutationOn(ctx context.Context, b *blockstore.Block, op core.OpType, args [][]byte, checkNow bool) ([][]byte, error) {
 	if len(b.Chain) > 1 && b.Chain.Head().ID == b.ID {
 		// Replicated mutation at the chain head: apply under the
 		// block's sequence lock so the propagation stream's order
@@ -311,7 +312,7 @@ func (s *Server) applyMutationOn(b *blockstore.Block, op core.OpType, args [][]b
 		if err != nil {
 			return nil, err
 		}
-		if rerr := s.propagate(b, seq, op, args); rerr != nil {
+		if rerr := s.propagate(ctx, b, seq, op, args); rerr != nil {
 			return nil, rerr
 		}
 		return res, nil
@@ -348,7 +349,7 @@ func (s *Server) createBlock(req proto.CreateBlockReq) error {
 // moveSlots is the donor side of KV repartitioning (Fig. 8 step 4):
 // export the pairs in the moving ranges and deliver them to the target
 // block — possibly on another server, possibly on this one.
-func (s *Server) moveSlots(req proto.MoveSlotsReq) (int, error) {
+func (s *Server) moveSlots(ctx context.Context, req proto.MoveSlotsReq) (int, error) {
 	b, err := s.store.Get(req.Block)
 	if err != nil {
 		return 0, err
@@ -370,7 +371,7 @@ func (s *Server) moveSlots(req proto.MoveSlotsReq) (int, error) {
 			return 0, err
 		}
 		var resp proto.ImportEntriesResp
-		if err := peer.CallGob(proto.MethodImportEntries, imp, &resp); err != nil {
+		if err := peer.CallGobCtx(ctx, proto.MethodImportEntries, imp, &resp); err != nil {
 			return 0, err
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
 	"jiffy/internal/blockstore"
@@ -23,17 +24,17 @@ import (
 
 // propagate forwards a sequenced mutation from the chain head to its
 // first successor.
-func (s *Server) propagate(b *blockstore.Block, seq uint64, op core.OpType, args [][]byte) error {
+func (s *Server) propagate(ctx context.Context, b *blockstore.Block, seq uint64, op core.OpType, args [][]byte) error {
 	pos := chainPos(b.Chain, b.ID)
 	if pos < 0 || pos+1 >= len(b.Chain) {
 		return nil // sole replica or tail: nothing to forward
 	}
-	return s.forward(b.Chain[pos+1], seq, op, args, b.Chain)
+	return s.forward(ctx, b.Chain[pos+1], seq, op, args, b.Chain)
 }
 
 // applyReplicated applies a forwarded mutation in sequence order and
 // continues the chain.
-func (s *Server) applyReplicated(req proto.ReplicateReq) error {
+func (s *Server) applyReplicated(ctx context.Context, req proto.ReplicateReq) error {
 	b, err := s.store.Get(req.Block)
 	if err != nil {
 		return err
@@ -47,18 +48,18 @@ func (s *Server) applyReplicated(req proto.ReplicateReq) error {
 	if pos < 0 || pos+1 >= len(req.Chain) {
 		return nil
 	}
-	return s.forward(req.Chain[pos+1], req.Seq, req.Op, req.Args, req.Chain)
+	return s.forward(ctx, req.Chain[pos+1], req.Seq, req.Op, req.Args, req.Chain)
 }
 
 // forward ships a mutation to the next chain hop.
-func (s *Server) forward(next core.BlockInfo, seq uint64, op core.OpType, args [][]byte,
+func (s *Server) forward(ctx context.Context, next core.BlockInfo, seq uint64, op core.OpType, args [][]byte,
 	chain core.ReplicaChain) error {
 	peer, err := s.peers.Get(next.Server)
 	if err != nil {
 		return fmt.Errorf("server: chain hop %v unreachable: %w", next, err)
 	}
 	var resp proto.ReplicateResp
-	return peer.CallGob(proto.MethodReplicate, proto.ReplicateReq{
+	return peer.CallGobCtx(ctx, proto.MethodReplicate, proto.ReplicateReq{
 		Block: next.ID,
 		Op:    op,
 		Args:  args,

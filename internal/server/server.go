@@ -15,6 +15,7 @@ import (
 
 	"jiffy/internal/blockstore"
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 	"jiffy/internal/persist"
 	"jiffy/internal/proto"
 	"jiffy/internal/rpc"
@@ -58,6 +59,13 @@ type Server struct {
 	subs subRegistry
 
 	ops atomic.Int64
+
+	// telemetry: per-method inbound RPC stats, store gauges, and a
+	// bounded ring of recent server-side spans, served via Obs()/Spans().
+	reg    *obs.Registry
+	rpcm   *obs.RPCMetrics
+	tracer *obs.Tracer
+	spans  *obs.RingExporter
 }
 
 type signal struct {
@@ -88,7 +96,16 @@ func New(opts Options) (*Server, error) {
 	}
 	s.store = blockstore.NewStore(opts.Config.HighThreshold, opts.Config.LowThreshold, s.onSignal)
 	s.subs.init()
+	s.reg = obs.NewRegistry()
+	s.rpcm = obs.NewRPCMetrics("server")
+	s.rpcm.Register(s.reg, proto.MethodName)
+	s.spans = obs.NewRingExporter(512)
+	s.tracer = obs.NewTracer(s.spans, opts.Logger)
+	s.store.Instrument(s.reg)
+	s.reg.GaugeFunc("jiffy_server_subscriptions", "live notification subscriptions",
+		func() int64 { return s.subs.count() })
 	s.rpcSrv = rpc.NewServer(s.handle, opts.Logger)
+	s.rpcSrv.SetObserver(s.rpcm, s.tracer)
 	s.rpcSrv.OnDisconnect = func(conn *rpc.ServerConn) { s.subs.dropConn(conn) }
 	s.wg.Add(1)
 	go s.signalWorker()
@@ -189,3 +206,9 @@ func (s *Server) deliverSignal(sig signal) {
 
 // Store exposes the blockstore for tests and the experiment harness.
 func (s *Server) Store() *blockstore.Store { return s.store }
+
+// Obs exposes the server's metric registry for the admin endpoint.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Spans exposes the bounded ring of recent server-side RPC spans.
+func (s *Server) Spans() *obs.RingExporter { return s.spans }

@@ -56,6 +56,13 @@ func (r *subRegistry) add(conn *rpc.ServerConn, blocks []core.BlockID, ops []cor
 	return sub.id
 }
 
+// count reports the number of live subscriptions (telemetry).
+func (r *subRegistry) count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.subs))
+}
+
 // remove drops one subscription.
 func (r *subRegistry) remove(id uint64) {
 	r.mu.Lock()

@@ -46,6 +46,12 @@ const (
 	// KindPush carries an unsolicited server→client notification; seq
 	// holds the subscription identifier.
 	KindPush
+	// KindTraceExt is the optional frame-header extension carrying span
+	// propagation state for the request with the same seq, written
+	// immediately before it in the same flush. Wire-compatible: peers
+	// that predate it ignore non-request/response/push frames, so a
+	// traced client can talk to an untraced server and vice versa.
+	KindTraceExt
 )
 
 // headerLen is the fixed header size after the length prefix.
@@ -207,11 +213,38 @@ func parseFrame(buf []byte) (*Frame, error) {
 		f.Payload = buf[headerLen:]
 	}
 	switch f.Kind {
-	case KindRequest, KindResponse, KindPush:
+	case KindRequest, KindResponse, KindPush, KindTraceExt:
 	default:
 		return nil, fmt.Errorf("wire: invalid frame kind %d", f.Kind)
 	}
 	return f, nil
+}
+
+// Trace-extension payload layout: u8 version, u64 trace ID, u64 span
+// ID. Decoders ignore trailing bytes so future versions can append
+// fields without breaking old peers.
+const (
+	traceExtVersion = 1
+	traceExtLen     = 1 + 8 + 8
+)
+
+// EncodeTraceExt builds the payload of a KindTraceExt frame.
+func EncodeTraceExt(trace, span uint64) []byte {
+	buf := make([]byte, traceExtLen)
+	buf[0] = traceExtVersion
+	binary.BigEndian.PutUint64(buf[1:9], trace)
+	binary.BigEndian.PutUint64(buf[9:17], span)
+	return buf
+}
+
+// DecodeTraceExt parses a KindTraceExt payload. ok is false for
+// unknown versions or truncated payloads (the extension is optional:
+// an undecodable one is dropped, never an error).
+func DecodeTraceExt(p []byte) (trace, span uint64, ok bool) {
+	if len(p) < traceExtLen || p[0] != traceExtVersion {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]), true
 }
 
 // ReadFrame reads the next frame. Must be called from one goroutine.

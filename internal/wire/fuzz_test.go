@@ -22,9 +22,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(byte(1), uint64(0), uint16(0), byte(0), []byte(nil))
 	f.Add(byte(2), uint64(42), uint16(7), byte(3), []byte("hello jiffy"))
 	f.Add(byte(3), uint64(1)<<60, uint16(0x0110), byte(255), bytes.Repeat([]byte{0xab}, 4096))
+	// Trace-extension frame with a well-formed extension payload.
+	f.Add(byte(4), uint64(77), uint16(0), byte(0), EncodeTraceExt(0xdeadbeef, 0xfeedface))
 	f.Fuzz(func(t *testing.T, kind byte, seq uint64, method uint16, code byte, payload []byte) {
 		in := &Frame{
-			Kind:    Kind(kind%3 + 1), // wire kinds are 1..3; decode rejects the rest
+			Kind:    Kind(kind%4 + 1), // wire kinds are 1..4; decode rejects the rest
 			Seq:     seq,
 			Method:  method,
 			Code:    core.ErrorCode(code),
@@ -68,6 +70,15 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte("\x00\x00\x00\x01\x00\x00\x00\x00"))
 	// Garbage.
 	f.Add([]byte("not a frame at all"))
+	// A trace-extension frame followed by the request it annotates —
+	// the exact byte sequence a tracing client emits.
+	f.Add(appendFrame(
+		appendFrame(nil, &Frame{Kind: KindTraceExt, Seq: 9, Payload: EncodeTraceExt(1, 2)}),
+		&Frame{Kind: KindRequest, Seq: 9, Method: 0x0101, Payload: []byte("op")}))
+	// Truncated / version-skewed trace extensions: must decode as frames
+	// but fail DecodeTraceExt cleanly.
+	f.Add(appendFrame(nil, &Frame{Kind: KindTraceExt, Seq: 9, Payload: []byte{1, 2, 3}}))
+	f.Add(appendFrame(nil, &Frame{Kind: KindTraceExt, Seq: 9, Payload: append([]byte{99}, EncodeTraceExt(1, 2)...)}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := fuzzConn(data)
 		for i := 0; i < 64; i++ {
@@ -77,6 +88,10 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 			switch fr.Kind {
 			case KindRequest, KindResponse, KindPush:
+			case KindTraceExt:
+				// The extension decoder must reject or accept without
+				// panicking, whatever the payload.
+				DecodeTraceExt(fr.Payload)
 			default:
 				t.Fatalf("invalid kind %d escaped the decoder", fr.Kind)
 			}

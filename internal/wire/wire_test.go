@@ -309,3 +309,33 @@ func TestReadFrameHugeLengthRejected(t *testing.T) {
 		t.Error("4GB frame length accepted")
 	}
 }
+
+// TestTraceExtRoundTrip covers the trace-extension payload codec and
+// its forward/backward compatibility contract.
+func TestTraceExtRoundTrip(t *testing.T) {
+	p := EncodeTraceExt(0x1122334455667788, 0x99aabbccddeeff00)
+	tr, sp, ok := DecodeTraceExt(p)
+	if !ok || tr != 0x1122334455667788 || sp != 0x99aabbccddeeff00 {
+		t.Fatalf("round trip: %x %x %v", tr, sp, ok)
+	}
+	// Trailing bytes are ignored (future versions may append fields).
+	if tr, sp, ok = DecodeTraceExt(append(p, 1, 2, 3)); !ok || tr != 0x1122334455667788 || sp != 0x99aabbccddeeff00 {
+		t.Fatal("trailing bytes must be ignored")
+	}
+	// Truncated or version-skewed payloads are rejected cleanly.
+	if _, _, ok = DecodeTraceExt(p[:10]); ok {
+		t.Fatal("truncated payload accepted")
+	}
+	bad := append([]byte(nil), p...)
+	bad[0] = 2
+	if _, _, ok = DecodeTraceExt(bad); ok {
+		t.Fatal("unknown version accepted")
+	}
+	// A trace-ext frame survives the frame codec.
+	f := &Frame{Kind: KindTraceExt, Seq: 7, Payload: p}
+	c := fuzzConn(appendFrame(nil, f))
+	out, err := c.ReadFrame()
+	if err != nil || out.Kind != KindTraceExt || out.Seq != 7 {
+		t.Fatalf("trace-ext frame: %+v, %v", out, err)
+	}
+}

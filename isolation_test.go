@@ -1,6 +1,7 @@
 package jiffy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -21,24 +22,26 @@ func TestTaskLevelIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("iso")
+	c.RegisterJob(context.Background(
 	// Two sibling tasks; only taskA is renewed.
-	if _, _, err := c.CreatePrefix("iso/taskA", nil, DSKV, 1, 0); err != nil {
+	), "iso")
+
+	if _, _, err := c.CreatePrefix(context.Background(), "iso/taskA", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.CreatePrefix("iso/taskB", nil, DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "iso/taskB", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	renewer := c.StartRenewer(50*time.Millisecond, "iso/taskA")
 	defer renewer.Stop()
 
-	kvA, _ := c.OpenKV("iso/taskA")
-	kvB, _ := c.OpenKV("iso/taskB")
-	kvA.Put("a", []byte("alive"))
-	kvB.Put("b", []byte("doomed"))
+	kvA, _ := c.OpenKV(context.Background(), "iso/taskA")
+	kvB, _ := c.OpenKV(context.Background(), "iso/taskB")
+	kvA.Put(context.Background(), "a", []byte("alive"))
+	kvB.Put(context.Background(), "b", []byte("doomed"))
 
 	// taskB's lease lapses; its memory is reclaimed.
 	deadline := time.Now().Add(5 * time.Second)
@@ -51,17 +54,17 @@ func TestTaskLevelIsolation(t *testing.T) {
 	// taskA's handle keeps working without a single hiccup — no
 	// refresh, no reload.
 	for i := 0; i < 20; i++ {
-		if v, err := kvA.Get("a"); err != nil || string(v) != "alive" {
+		if v, err := kvA.Get(context.Background(), "a"); err != nil || string(v) != "alive" {
 			t.Fatalf("sibling expiry disturbed taskA: %q, %v", v, err)
 		}
 	}
 	// taskB's data is recoverable (flushed before reclaim), proving
 	// the reclaim was the lease's doing, not data loss.
-	kvB2, err := c.OpenKV("iso/taskB")
+	kvB2, err := c.OpenKV(context.Background(), "iso/taskB")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, err := kvB2.Get("b"); err != nil || string(v) != "doomed" {
+	if v, err := kvB2.Get(context.Background(), "b"); err != nil || string(v) != "doomed" {
 		t.Errorf("taskB flush/reload = %q, %v", v, err)
 	}
 }
@@ -79,21 +82,23 @@ func TestStageLevelIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("stagejob")
+	c.RegisterJob(context.Background(
 	// One shared prefix for the whole map stage (instead of one per
 	// task): the hierarchy layer that would separate tasks is omitted.
-	if _, _, err := c.CreatePrefix("stagejob/map-stage", nil, DSKV, 1, 0); err != nil {
+	), "stagejob")
+
+	if _, _, err := c.CreatePrefix(context.Background(), "stagejob/map-stage", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	renewer := c.StartRenewer(50*time.Millisecond, "stagejob/map-stage")
 
 	// Many "tasks" write under the single stage prefix.
-	kv, _ := c.OpenKV("stagejob/map-stage")
+	kv, _ := c.OpenKV(context.Background(), "stagejob/map-stage")
 	for task := 0; task < 8; task++ {
-		if err := kv.Put(fmt.Sprintf("task-%d", task), []byte("output")); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("task-%d", task), []byte("output")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,28 +131,28 @@ func TestFinerGrainedIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("lake")
-	if _, _, err := c.CreatePrefix("lake/etl", nil, DSNone, 0, 0); err != nil {
+	c.RegisterJob(context.Background(), "lake")
+	if _, _, err := c.CreatePrefix(context.Background(), "lake/etl", nil, DSNone, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	// An extra layer: per-table structures under the task.
 	for _, table := range []string{"orders", "customers"} {
 		p := core.MustPath("lake", "etl", table)
-		if _, _, err := c.CreatePrefix(p, nil, DSKV, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(context.Background(), p, nil, DSKV, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Reclaiming one table's prefix leaves the other untouched.
-	if err := c.RemovePrefix("lake/etl/orders"); err != nil {
+	if err := c.RemovePrefix(context.Background(), "lake/etl/orders"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.OpenKV("lake/etl/customers"); err != nil {
+	if _, err := c.OpenKV(context.Background(), "lake/etl/customers"); err != nil {
 		t.Errorf("sibling table disturbed: %v", err)
 	}
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 1 {
 		t.Errorf("allocated = %d, want 1", stats.AllocatedBlocks)
 	}

@@ -20,13 +20,19 @@
 //	})
 //	defer cluster.Close()
 //
-//	c, _ := cluster.Connect()
+//	ctx := context.Background()
+//	c, _ := cluster.Connect(ctx)
 //	defer c.Close()
 //
-//	c.RegisterJob("job1")
-//	c.CreatePrefix("job1/task1", nil, core.DSKV, 1, 0)
-//	kv, _ := c.OpenKV("job1/task1")
-//	kv.Put("hello", []byte("world"))
+//	c.RegisterJob(ctx, "job1")
+//	c.CreatePrefix(ctx, "job1/task1", nil, core.DSKV, 1, 0)
+//	kv, _ := c.OpenKV(ctx, "job1/task1")
+//	kv.Put(ctx, "hello", []byte("world"))
+//
+// Every data-path call takes a context.Context: a context deadline
+// bounds the call (taking precedence over the session RPC timeout) and
+// cancellation aborts retries promptly. Connections are configured with
+// functional options (WithRPCTimeout, WithRetryPolicy, WithTracing).
 //
 // The public surface re-exports the client library (the user-facing
 // API of Table 1 in the paper) plus cluster bootstrap helpers; the
@@ -34,10 +40,12 @@
 package jiffy
 
 import (
+	"context"
 	"time"
 
 	"jiffy/internal/client"
 	"jiffy/internal/core"
+	"jiffy/internal/obs"
 	"jiffy/internal/proto"
 )
 
@@ -72,6 +80,17 @@ type (
 	// Config carries the system tunables (block size, lease duration,
 	// repartition thresholds).
 	Config = core.Config
+
+	// Option configures a connection (see WithRPCTimeout,
+	// WithRetryPolicy, WithTracing).
+	Option = client.Option
+	// RetryPolicy bounds the client's refresh-and-retry loops.
+	RetryPolicy = client.RetryPolicy
+
+	// SpanExporter receives completed RPC spans when tracing is on.
+	SpanExporter = obs.SpanExporter
+	// SpanEvent is one completed span delivered to a SpanExporter.
+	SpanEvent = obs.SpanEvent
 )
 
 // Data structure types for CreatePrefix / DagNode.
@@ -96,16 +115,52 @@ var (
 // 95%/5% repartition thresholds, 1024 hash slots.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// Connection options, re-exported from the client library.
+var (
+	// WithRPCTimeout sets the per-call RPC timeout (zero keeps the
+	// default; negative disables the session timeout — a context
+	// deadline still applies).
+	WithRPCTimeout = client.WithRPCTimeout
+	// WithRetryPolicy bounds the refresh-and-retry loops.
+	WithRetryPolicy = client.WithRetryPolicy
+	// WithTracing enables span collection on the connection, delivering
+	// completed spans to the exporter (see NewRingExporter).
+	WithTracing = client.WithTracing
+)
+
+// DefaultRetryPolicy returns the default retry budget.
+func DefaultRetryPolicy() RetryPolicy { return client.DefaultRetryPolicy() }
+
+// NewRingExporter returns a fixed-capacity in-memory span sink: the
+// last n completed spans are retained and readable via Spans().
+func NewRingExporter(n int) *obs.RingExporter { return obs.NewRingExporter(n) }
+
 // Connect dials a running Jiffy controller (connect(jiffyAddress)).
-func Connect(controllerAddr string) (*Client, error) {
-	return client.Connect(controllerAddr, client.Options{})
+// ctx bounds the dial and initial handshake only; the connection
+// outlives it.
+func Connect(ctx context.Context, controllerAddr string, opts ...Option) (*Client, error) {
+	return client.Connect(ctx, controllerAddr, opts...)
 }
 
 // ConnectMulti dials a hash-partitioned controller group (§4.2.1
 // multi-controller scaling); the address order must match across all
 // clients.
-func ConnectMulti(controllerAddrs []string) (*Client, error) {
-	return client.ConnectMulti(controllerAddrs, client.Options{})
+func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option) (*Client, error) {
+	return client.ConnectMulti(ctx, controllerAddrs, opts...)
+}
+
+// ConnectNoCtx dials a controller without a context.
+//
+// Deprecated: use Connect with a context.
+func ConnectNoCtx(controllerAddr string, opts ...Option) (*Client, error) {
+	return client.Connect(context.Background(), controllerAddr, opts...)
+}
+
+// ConnectMultiNoCtx dials a controller group without a context.
+//
+// Deprecated: use ConnectMulti with a context.
+func ConnectMultiNoCtx(controllerAddrs []string, opts ...Option) (*Client, error) {
+	return client.ConnectMulti(context.Background(), controllerAddrs, opts...)
 }
 
 // MustPath builds a Path from components, panicking on invalid input;

@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,7 +27,7 @@ func testCluster(t *testing.T, servers, blocksPerServer int) (*Cluster, *Client)
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,36 +37,36 @@ func testCluster(t *testing.T, servers, blocksPerServer int) (*Cluster, *Client)
 
 func TestKVEndToEnd(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	if err := c.RegisterJob("job1"); err != nil {
+	if err := c.RegisterJob(context.Background(), "job1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV("job1/t1")
+	kv, err := c.OpenKV(context.Background(), "job1/t1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := kv.Put("greeting", []byte("hello")); err != nil {
+	if err := kv.Put(context.Background(), "greeting", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := kv.Get("greeting")
+	v, err := kv.Get(context.Background(), "greeting")
 	if err != nil || string(v) != "hello" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}
-	ok, err := kv.Exists("greeting")
+	ok, err := kv.Exists(context.Background(), "greeting")
 	if err != nil || !ok {
 		t.Errorf("Exists = %v, %v", ok, err)
 	}
-	old, err := kv.Update("greeting", []byte("bonjour"))
+	old, err := kv.Update(context.Background(), "greeting", []byte("bonjour"))
 	if err != nil || string(old) != "hello" {
 		t.Errorf("Update = %q, %v", old, err)
 	}
-	del, err := kv.Delete("greeting")
+	del, err := kv.Delete(context.Background(), "greeting")
 	if err != nil || string(del) != "bonjour" {
 		t.Errorf("Delete = %q, %v", del, err)
 	}
-	if _, err := kv.Get("greeting"); !errors.Is(err, ErrNotFound) {
+	if _, err := kv.Get(context.Background(), "greeting"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete = %v", err)
 	}
 }
@@ -75,13 +76,13 @@ func TestKVEndToEnd(t *testing.T) {
 // scaling path end to end.
 func TestKVElasticSplit(t *testing.T) {
 	cluster, c := testCluster(t, 2, 64)
-	if err := c.RegisterJob("job1"); err != nil {
+	if err := c.RegisterJob(context.Background(), "job1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV("job1/t1")
+	kv, err := c.OpenKV(context.Background(), "job1/t1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +90,17 @@ func TestKVElasticSplit(t *testing.T) {
 	val := bytes.Repeat([]byte("x"), 1024)
 	const n = 600
 	for i := 0; i < n; i++ {
-		if err := kv.Put(fmt.Sprintf("key-%04d", i), val); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("key-%04d", i), val); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	for i := 0; i < n; i++ {
-		v, err := kv.Get(fmt.Sprintf("key-%04d", i))
+		v, err := kv.Get(context.Background(), fmt.Sprintf("key-%04d", i))
 		if err != nil || !bytes.Equal(v, val) {
 			t.Fatalf("get %d: len=%d err=%v", i, len(v), err)
 		}
 	}
-	stats, err := c.ControllerStats()
+	stats, err := c.ControllerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,8 +113,8 @@ func TestKVElasticSplit(t *testing.T) {
 
 func TestKVConcurrentClientsAcrossSplits(t *testing.T) {
 	_, c := testCluster(t, 2, 64)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -122,7 +123,7 @@ func TestKVConcurrentClientsAcrossSplits(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			kv, err := c.OpenKV("job1/t1")
+			kv, err := c.OpenKV(context.Background(), "job1/t1")
 			if err != nil {
 				errCh <- err
 				return
@@ -130,11 +131,11 @@ func TestKVConcurrentClientsAcrossSplits(t *testing.T) {
 			val := bytes.Repeat([]byte{byte(g)}, 512)
 			for i := 0; i < 100; i++ {
 				key := fmt.Sprintf("g%d-k%d", g, i)
-				if err := kv.Put(key, val); err != nil {
+				if err := kv.Put(context.Background(), key, val); err != nil {
 					errCh <- fmt.Errorf("put %s: %w", key, err)
 					return
 				}
-				got, err := kv.Get(key)
+				got, err := kv.Get(context.Background(), key)
 				if err != nil || !bytes.Equal(got, val) {
 					errCh <- fmt.Errorf("get %s: %v", key, err)
 					return
@@ -151,11 +152,11 @@ func TestKVConcurrentClientsAcrossSplits(t *testing.T) {
 
 func TestFileMultiChunk(t *testing.T) {
 	_, c := testCluster(t, 2, 32)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/shuffle", nil, DSFile, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/shuffle", nil, DSFile, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.OpenFile("job1/shuffle")
+	f, err := c.OpenFile(context.Background(), "job1/shuffle")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +165,10 @@ func TestFileMultiChunk(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i % 251)
 	}
-	if _, err := f.Append(payload); err != nil {
+	if _, err := f.Append(context.Background(), payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.ReadAt(0, len(payload))
+	got, err := f.ReadAt(context.Background(), 0, len(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,12 +177,12 @@ func TestFileMultiChunk(t *testing.T) {
 	}
 	// Seek + sequential read.
 	f.Seek(100 * 1024)
-	part, err := f.Read(1000)
+	part, err := f.Read(context.Background(), 1000)
 	if err != nil || !bytes.Equal(part, payload[100*1024:100*1024+1000]) {
 		t.Errorf("seek read mismatch: %d bytes, %v", len(part), err)
 	}
 	// Reading past EOF yields short data.
-	tail, err := f.ReadAt(len(payload)-10, 100)
+	tail, err := f.ReadAt(context.Background(), len(payload)-10, 100)
 	if err != nil || len(tail) != 10 {
 		t.Errorf("tail read = %d bytes, %v", len(tail), err)
 	}
@@ -189,11 +190,11 @@ func TestFileMultiChunk(t *testing.T) {
 
 func TestQueueAcrossSegments(t *testing.T) {
 	_, c := testCluster(t, 2, 64)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/chan", nil, DSQueue, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/chan", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, err := c.OpenQueue("job1/chan")
+	q, err := c.OpenQueue(context.Background(), "job1/chan")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,12 +202,12 @@ func TestQueueAcrossSegments(t *testing.T) {
 	const n = 300
 	for i := 0; i < n; i++ {
 		item := append([]byte(fmt.Sprintf("item-%04d-", i)), bytes.Repeat([]byte("q"), 1000)...)
-		if err := q.Enqueue(item); err != nil {
+		if err := q.Enqueue(context.Background(), item); err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
 		}
 	}
 	for i := 0; i < n; i++ {
-		item, err := q.Dequeue()
+		item, err := q.Dequeue(context.Background())
 		if err != nil {
 			t.Fatalf("dequeue %d: %v", i, err)
 		}
@@ -215,25 +216,25 @@ func TestQueueAcrossSegments(t *testing.T) {
 			t.Fatalf("dequeue %d = %q...", i, item[:len(want)])
 		}
 	}
-	if _, err := q.Dequeue(); !errors.Is(err, ErrEmpty) {
+	if _, err := q.Dequeue(context.Background()); !errors.Is(err, ErrEmpty) {
 		t.Errorf("dequeue on empty = %v", err)
 	}
 }
 
 func TestQueueInterleavedProducerConsumer(t *testing.T) {
 	_, c := testCluster(t, 1, 64)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/chan", nil, DSQueue, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/chan", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	prod, _ := c.OpenQueue("job1/chan")
-	cons, _ := c.OpenQueue("job1/chan")
+	prod, _ := c.OpenQueue(context.Background(), "job1/chan")
+	cons, _ := c.OpenQueue(context.Background(), "job1/chan")
 	done := make(chan struct{})
 	const n = 500
 	go func() {
 		defer close(done)
 		for i := 0; i < n; i++ {
-			if err := prod.Enqueue([]byte(fmt.Sprintf("%d", i))); err != nil {
+			if err := prod.Enqueue(context.Background(), []byte(fmt.Sprintf("%d", i))); err != nil {
 				t.Errorf("enqueue: %v", err)
 				return
 			}
@@ -242,7 +243,7 @@ func TestQueueInterleavedProducerConsumer(t *testing.T) {
 	got := 0
 	deadline := time.Now().Add(10 * time.Second)
 	for got < n && time.Now().Before(deadline) {
-		item, err := cons.Dequeue()
+		item, err := cons.Dequeue(context.Background())
 		if errors.Is(err, ErrEmpty) {
 			time.Sleep(time.Millisecond)
 			continue
@@ -263,19 +264,19 @@ func TestQueueInterleavedProducerConsumer(t *testing.T) {
 
 func TestNotifications(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/chan", nil, DSQueue, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/chan", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	consumer, _ := c.OpenQueue("job1/chan")
-	listener, err := consumer.Subscribe(core.OpEnqueue)
+	consumer, _ := c.OpenQueue(context.Background(), "job1/chan")
+	listener, err := consumer.Subscribe(context.Background(), core.OpEnqueue)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer listener.Close()
 
-	producer, _ := c.OpenQueue("job1/chan")
-	if err := producer.Enqueue([]byte("ping")); err != nil {
+	producer, _ := c.OpenQueue(context.Background(), "job1/chan")
+	if err := producer.Enqueue(context.Background(), []byte("ping")); err != nil {
 		t.Fatal(err)
 	}
 	n, err := listener.Get(2 * time.Second)
@@ -289,8 +290,8 @@ func TestNotifications(t *testing.T) {
 
 func TestHierarchyAndRenewal(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("dagjob")
-	err := c.CreateHierarchy("dagjob", []DagNode{
+	c.RegisterJob(context.Background(), "dagjob")
+	err := c.CreateHierarchy(context.Background(), "dagjob", []DagNode{
 		{Name: "T1", Type: DSFile},
 		{Name: "T2", Type: DSFile},
 		{Name: "T5", Parents: []string{"T1", "T2"}, Type: DSKV},
@@ -299,23 +300,23 @@ func TestHierarchyAndRenewal(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Multi-path resolution through either parent.
-	if _, err := c.OpenKV("dagjob/T1/T5"); err != nil {
+	if _, err := c.OpenKV(context.Background(), "dagjob/T1/T5"); err != nil {
 		t.Errorf("open via T1: %v", err)
 	}
-	if _, err := c.OpenKV("dagjob/T2/T5"); err != nil {
+	if _, err := c.OpenKV(context.Background(), "dagjob/T2/T5"); err != nil {
 		t.Errorf("open via T2: %v", err)
 	}
-	renewed, err := c.RenewLease("dagjob/T1/T5")
+	renewed, err := c.RenewLease(context.Background(), "dagjob/T1/T5")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if renewed != 3 { // T5 + parents T1, T2
 		t.Errorf("renewed = %d, want 3", renewed)
 	}
-	if d, err := c.LeaseDuration("dagjob/T1/T5"); err != nil || d != time.Minute {
+	if d, err := c.LeaseDuration(context.Background(), "dagjob/T1/T5"); err != nil || d != time.Minute {
 		t.Errorf("lease duration = %v, %v", d, err)
 	}
-	prefixes, err := c.ListPrefixes("dagjob")
+	prefixes, err := c.ListPrefixes(context.Background(), "dagjob")
 	if err != nil || len(prefixes) != 4 { // root + 3 tasks
 		t.Errorf("prefixes = %d, %v", len(prefixes), err)
 	}
@@ -333,15 +334,15 @@ func TestLeaseExpiryFlushesAndReloads(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("job1/t1")
-	if err := kv.Put("persisted", []byte("across expiry")); err != nil {
+	kv, _ := c.OpenKV(context.Background(), "job1/t1")
+	if err := kv.Put(context.Background(), "persisted", []byte("across expiry")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -353,18 +354,18 @@ func TestLeaseExpiryFlushesAndReloads(t *testing.T) {
 	if cluster.Controller.ExpiryCount() == 0 {
 		t.Fatal("lease never expired")
 	}
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 0 {
 		t.Errorf("blocks still allocated after expiry: %d", stats.AllocatedBlocks)
 	}
 
 	// Opening the prefix again transparently reloads from the
 	// persistent tier.
-	kv2, err := c.OpenKV("job1/t1")
+	kv2, err := c.OpenKV(context.Background(), "job1/t1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := kv2.Get("persisted")
+	v, err := kv2.Get(context.Background(), "persisted")
 	if err != nil || string(v) != "across expiry" {
 		t.Fatalf("after reload: %q, %v", v, err)
 	}
@@ -381,117 +382,117 @@ func TestRenewalPreventsExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
 
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	renewer := c.StartRenewer(50*time.Millisecond, "job1/t1")
 	defer renewer.Stop()
-	kv, _ := c.OpenKV("job1/t1")
-	kv.Put("k", []byte("v"))
+	kv, _ := c.OpenKV(context.Background(), "job1/t1")
+	kv.Put(context.Background(), "k", []byte("v"))
 
 	time.Sleep(600 * time.Millisecond) // 3 lease durations
 	if got := cluster.Controller.ExpiryCount(); got != 0 {
 		t.Errorf("prefix expired %d times despite renewal", got)
 	}
-	if v, err := kv.Get("k"); err != nil || string(v) != "v" {
+	if v, err := kv.Get(context.Background(), "k"); err != nil || string(v) != "v" {
 		t.Errorf("data lost: %q, %v", v, err)
 	}
 }
 
 func TestExplicitFlushLoad(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("job1")
-	if _, _, err := c.CreatePrefix("job1/t1", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "job1")
+	if _, _, err := c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("job1/t1")
-	kv.Put("checkpoint", []byte("me"))
-	n, err := c.FlushPrefix("job1/t1", "s3://bucket/ckpt1")
+	kv, _ := c.OpenKV(context.Background(), "job1/t1")
+	kv.Put(context.Background(), "checkpoint", []byte("me"))
+	n, err := c.FlushPrefix(context.Background(), "job1/t1", "s3://bucket/ckpt1")
 	if err != nil || n != 1 {
 		t.Fatalf("flush = %d, %v", n, err)
 	}
 	// Mutate after the checkpoint, then load the checkpoint back.
-	kv.Put("checkpoint", []byte("overwritten"))
-	kv.Put("extra", []byte("new"))
-	if err := c.LoadPrefix("job1/t1", "s3://bucket/ckpt1"); err != nil {
+	kv.Put(context.Background(), "checkpoint", []byte("overwritten"))
+	kv.Put(context.Background(), "extra", []byte("new"))
+	if err := c.LoadPrefix(context.Background(), "job1/t1", "s3://bucket/ckpt1"); err != nil {
 		t.Fatal(err)
 	}
-	kv2, _ := c.OpenKV("job1/t1")
-	v, err := kv2.Get("checkpoint")
+	kv2, _ := c.OpenKV(context.Background(), "job1/t1")
+	v, err := kv2.Get(context.Background(), "checkpoint")
 	if err != nil || string(v) != "me" {
 		t.Errorf("after load: %q, %v", v, err)
 	}
-	if _, err := kv2.Get("extra"); !errors.Is(err, ErrNotFound) {
+	if _, err := kv2.Get(context.Background(), "extra"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("post-checkpoint key survived load: %v", err)
 	}
 }
 
 func TestDeregisterJobFreesEverything(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("job1")
-	c.CreatePrefix("job1/t1", nil, DSKV, 2, 0)
-	c.CreatePrefix("job1/t2", nil, DSFile, 2, 0)
-	stats, _ := c.ControllerStats()
+	c.RegisterJob(context.Background(), "job1")
+	c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 2, 0)
+	c.CreatePrefix(context.Background(), "job1/t2", nil, DSFile, 2, 0)
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 4 {
 		t.Fatalf("allocated = %d, want 4", stats.AllocatedBlocks)
 	}
-	if err := c.DeregisterJob("job1"); err != nil {
+	if err := c.DeregisterJob(context.Background(), "job1"); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ = c.ControllerStats()
+	stats, _ = c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks != 0 || stats.Jobs != 0 {
 		t.Errorf("after deregister: %d blocks, %d jobs", stats.AllocatedBlocks, stats.Jobs)
 	}
 	// Operations on the dead job fail.
-	if _, err := c.OpenKV("job1/t1"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.OpenKV(context.Background(), "job1/t1"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("open on dead job = %v", err)
 	}
 }
 
 func TestJobIsolation(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("jobA")
-	c.RegisterJob("jobB")
-	c.CreatePrefix("jobA/t", nil, DSKV, 1, 0)
-	c.CreatePrefix("jobB/t", nil, DSKV, 1, 0)
-	kvA, _ := c.OpenKV("jobA/t")
-	kvB, _ := c.OpenKV("jobB/t")
-	kvA.Put("k", []byte("A"))
-	kvB.Put("k", []byte("B"))
-	a, _ := kvA.Get("k")
-	b, _ := kvB.Get("k")
+	c.RegisterJob(context.Background(), "jobA")
+	c.RegisterJob(context.Background(), "jobB")
+	c.CreatePrefix(context.Background(), "jobA/t", nil, DSKV, 1, 0)
+	c.CreatePrefix(context.Background(), "jobB/t", nil, DSKV, 1, 0)
+	kvA, _ := c.OpenKV(context.Background(), "jobA/t")
+	kvB, _ := c.OpenKV(context.Background(), "jobB/t")
+	kvA.Put(context.Background(), "k", []byte("A"))
+	kvB.Put(context.Background(), "k", []byte("B"))
+	a, _ := kvA.Get(context.Background(), "k")
+	b, _ := kvB.Get(context.Background(), "k")
 	if string(a) != "A" || string(b) != "B" {
 		t.Errorf("cross-job contamination: %q, %q", a, b)
 	}
 	// Dropping jobA leaves jobB intact.
-	c.DeregisterJob("jobA")
-	if v, err := kvB.Get("k"); err != nil || string(v) != "B" {
+	c.DeregisterJob(context.Background(), "jobA")
+	if v, err := kvB.Get(context.Background(), "k"); err != nil || string(v) != "B" {
 		t.Errorf("jobB affected by jobA teardown: %q, %v", v, err)
 	}
 }
 
 func TestRegisterDuplicateJob(t *testing.T) {
 	_, c := testCluster(t, 1, 8)
-	if err := c.RegisterJob("dup"); err != nil {
+	if err := c.RegisterJob(context.Background(), "dup"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RegisterJob("dup"); !errors.Is(err, ErrExists) {
+	if err := c.RegisterJob(context.Background(), "dup"); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate register = %v", err)
 	}
 }
 
 func TestNoCapacity(t *testing.T) {
 	_, c := testCluster(t, 1, 2)
-	c.RegisterJob("hungry")
-	if _, _, err := c.CreatePrefix("hungry/t", nil, DSKV, 5, 0); !errors.Is(err, ErrNoCapacity) {
+	c.RegisterJob(context.Background(), "hungry")
+	if _, _, err := c.CreatePrefix(context.Background(), "hungry/t", nil, DSKV, 5, 0); !errors.Is(err, ErrNoCapacity) {
 		t.Errorf("over-allocation = %v", err)
 	}
 	// The failed create must not leave a half-built prefix behind.
-	if _, _, err := c.CreatePrefix("hungry/t", nil, DSKV, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "hungry/t", nil, DSKV, 1, 0); err != nil {
 		t.Errorf("retry after failure = %v", err)
 	}
 }
@@ -506,20 +507,20 @@ func TestTCPTransportCluster(t *testing.T) {
 		t.Skipf("tcp unavailable: %v", err)
 	}
 	defer cluster.Close()
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RegisterJob("tcpjob")
-	if _, _, err := c.CreatePrefix("tcpjob/t", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "tcpjob")
+	if _, _, err := c.CreatePrefix(context.Background(), "tcpjob/t", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("tcpjob/t")
-	if err := kv.Put("over", []byte("tcp")); err != nil {
+	kv, _ := c.OpenKV(context.Background(), "tcpjob/t")
+	if err := kv.Put(context.Background(), "over", []byte("tcp")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := kv.Get("over")
+	v, err := kv.Get(context.Background(), "over")
 	if err != nil || string(v) != "tcp" {
 		t.Errorf("Get = %q, %v", v, err)
 	}
@@ -529,9 +530,9 @@ func TestTCPTransportCluster(t *testing.T) {
 // per block of controller metadata.
 func TestMetadataOverhead(t *testing.T) {
 	_, c := testCluster(t, 1, 32)
-	c.RegisterJob("job1")
-	c.CreatePrefix("job1/t1", nil, DSKV, 4, 0)
-	stats, _ := c.ControllerStats()
+	c.RegisterJob(context.Background(), "job1")
+	c.CreatePrefix(context.Background(), "job1/t1", nil, DSKV, 4, 0)
+	stats, _ := c.ControllerStats(context.Background())
 	want := 2*64 + 4*8 // root + t1 tasks, 4 blocks
 	if stats.MetadataBytes != want {
 		t.Errorf("metadata bytes = %d, want %d", stats.MetadataBytes, want)

@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,13 +27,13 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
-	c.RegisterJob("model")
-	if _, _, err := c.CreatePrefix("model/kv", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "model")
+	if _, _, err := c.CreatePrefix(context.Background(), "model/kv", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, err := c.OpenKV("model/kv")
+	kv, err := c.OpenKV(context.Background(), "model/kv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,13 +48,13 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 			case 0, 1: // put
 				val := make([]byte, 256+rng.Intn(512))
 				rng.Read(val)
-				if err := kv.Put(key, val); err != nil {
+				if err := kv.Put(context.Background(), key, val); err != nil {
 					t.Logf("put: %v", err)
 					return false
 				}
 				model[key] = val
 			case 2: // get
-				got, err := kv.Get(key)
+				got, err := kv.Get(context.Background(), key)
 				want, ok := model[key]
 				if ok != (err == nil) {
 					t.Logf("get presence mismatch for %q: %v", key, err)
@@ -64,7 +65,7 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 					return false
 				}
 			case 3: // delete
-				_, err := kv.Delete(key)
+				_, err := kv.Delete(context.Background(), key)
 				_, ok := model[key]
 				if ok != (err == nil) {
 					t.Logf("delete presence mismatch for %q: %v", key, err)
@@ -72,7 +73,7 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 				}
 				delete(model, key)
 			case 4: // exists
-				has, err := kv.Exists(key)
+				has, err := kv.Exists(context.Background(), key)
 				if err != nil {
 					t.Logf("exists: %v", err)
 					return false
@@ -86,7 +87,7 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 		}
 		// Sweep: every model key readable with the right value.
 		for key, want := range model {
-			got, err := kv.Get(key)
+			got, err := kv.Get(context.Background(), key)
 			if err != nil || !bytes.Equal(got, want) {
 				t.Logf("final sweep mismatch for %q: %v", key, err)
 				return false
@@ -98,7 +99,7 @@ func TestKVModelEquivalenceEndToEnd(t *testing.T) {
 		t.Error(err)
 	}
 	// The store did elastically scale during the run.
-	stats, _ := c.ControllerStats()
+	stats, _ := c.ControllerStats(context.Background())
 	if stats.AllocatedBlocks < 2 {
 		t.Errorf("expected splits during model run; allocated = %d", stats.AllocatedBlocks)
 	}
@@ -117,18 +118,18 @@ func TestQueueModelEquivalenceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	c, _ := cluster.Connect()
+	c, _ := cluster.Connect(context.Background())
 	defer c.Close()
-	c.RegisterJob("model")
+	c.RegisterJob(context.Background(), "model")
 
 	f := func(seed int64) bool {
 		path := core.Path(fmt.Sprintf("model/q%d", seed&0xffff))
-		if _, _, err := c.CreatePrefix(path, nil, DSQueue, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(context.Background(), path, nil, DSQueue, 1, 0); err != nil {
 			t.Logf("create: %v", err)
 			return false
 		}
-		defer c.RemovePrefix(path)
-		q, err := c.OpenQueue(path)
+		defer c.RemovePrefix(context.Background(), path)
+		q, err := c.OpenQueue(context.Background(), path)
 		if err != nil {
 			t.Logf("open: %v", err)
 			return false
@@ -140,13 +141,13 @@ func TestQueueModelEquivalenceEndToEnd(t *testing.T) {
 			if rng.Intn(3) != 0 { // bias toward enqueue
 				item := make([]byte, 128+rng.Intn(512))
 				rng.Read(item)
-				if err := q.Enqueue(item); err != nil {
+				if err := q.Enqueue(context.Background(), item); err != nil {
 					t.Logf("enqueue: %v", err)
 					return false
 				}
 				modelQ = append(modelQ, item)
 			} else {
-				got, err := q.Dequeue()
+				got, err := q.Dequeue(context.Background())
 				if len(modelQ) == next {
 					if !errors.Is(err, core.ErrEmpty) {
 						t.Logf("dequeue on empty = %v", err)
@@ -163,13 +164,13 @@ func TestQueueModelEquivalenceEndToEnd(t *testing.T) {
 		}
 		// Drain the rest.
 		for ; next < len(modelQ); next++ {
-			got, err := q.Dequeue()
+			got, err := q.Dequeue(context.Background())
 			if err != nil || !bytes.Equal(got, modelQ[next]) {
 				t.Logf("drain mismatch at %d: %v", next, err)
 				return false
 			}
 		}
-		_, err = q.Dequeue()
+		_, err = q.Dequeue(context.Background())
 		return errors.Is(err, core.ErrEmpty)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {

@@ -1,6 +1,7 @@
 package jiffy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -27,7 +28,7 @@ func TestMultiControllerCluster(t *testing.T) {
 	if len(cluster.Controllers) != 3 || len(cluster.ControllerAddrs) != 3 {
 		t.Fatalf("controllers = %d", len(cluster.Controllers))
 	}
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,18 +39,18 @@ func TestMultiControllerCluster(t *testing.T) {
 	const jobs = 12
 	for i := 0; i < jobs; i++ {
 		job := core.JobID(fmt.Sprintf("mcjob%d", i))
-		if err := c.RegisterJob(job); err != nil {
+		if err := c.RegisterJob(context.Background(), job); err != nil {
 			t.Fatalf("register %s: %v", job, err)
 		}
 		path := core.Path(string(job)).MustChild("kv")
-		if _, _, err := c.CreatePrefix(path, nil, DSKV, 1, 0); err != nil {
+		if _, _, err := c.CreatePrefix(context.Background(), path, nil, DSKV, 1, 0); err != nil {
 			t.Fatalf("create %s: %v", path, err)
 		}
-		kv, err := c.OpenKV(path)
+		kv, err := c.OpenKV(context.Background(), path)
 		if err != nil {
 			t.Fatalf("open %s: %v", path, err)
 		}
-		if err := kv.Put("k", []byte(string(job))); err != nil {
+		if err := kv.Put(context.Background(), "k", []byte(string(job))); err != nil {
 			t.Fatalf("put %s: %v", path, err)
 		}
 	}
@@ -58,14 +59,14 @@ func TestMultiControllerCluster(t *testing.T) {
 	for i := 0; i < jobs; i++ {
 		job := core.JobID(fmt.Sprintf("mcjob%d", i))
 		path := core.Path(string(job)).MustChild("kv")
-		kv, _ := c.OpenKV(path)
-		v, err := kv.Get("k")
+		kv, _ := c.OpenKV(context.Background(), path)
+		v, err := kv.Get(context.Background(), "k")
 		if err != nil || string(v) != string(job) {
 			t.Fatalf("get %s = %q, %v", path, v, err)
 		}
 		paths = append(paths, path)
 	}
-	if _, err := c.RenewLease(paths...); err != nil {
+	if _, err := c.RenewLease(context.Background(), paths...); err != nil {
 		t.Fatalf("cross-controller renew: %v", err)
 	}
 
@@ -86,7 +87,7 @@ func TestMultiControllerCluster(t *testing.T) {
 		t.Errorf("job ownership sums to %d, want %d: %v", total, jobs, perCtrl)
 	}
 	// Aggregated stats see the whole picture.
-	stats, err := c.ControllerStats()
+	stats, err := c.ControllerStats(context.Background())
 	if err != nil || stats.Jobs != jobs {
 		t.Errorf("aggregate stats = %+v, %v", stats, err)
 	}
@@ -96,7 +97,7 @@ func TestMultiControllerCluster(t *testing.T) {
 
 	// Jobs route to a deterministic controller: registering a
 	// duplicate job fails on the same controller.
-	if err := c.RegisterJob("mcjob0"); !errors.Is(err, ErrExists) {
+	if err := c.RegisterJob(context.Background(), "mcjob0"); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate register across group = %v", err)
 	}
 }

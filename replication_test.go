@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func replicatedCluster(t *testing.T) (*Cluster, *Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect()
+	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +35,8 @@ func replicatedCluster(t *testing.T) (*Cluster, *Client) {
 
 func TestReplicatedKVEndToEnd(t *testing.T) {
 	cluster, c := replicatedCluster(t)
-	c.RegisterJob("rj")
-	m, _, err := c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	c.RegisterJob(context.Background(), "rj")
+	m, _, err := c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,19 +47,19 @@ func TestReplicatedKVEndToEnd(t *testing.T) {
 	if m.Blocks[0].Chain[0] != m.Blocks[0].Info {
 		t.Error("Info is not the chain head")
 	}
-	kv, err := c.OpenKV("rj/t")
+	kv, err := c.OpenKV(context.Background(), "rj/t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Reads are served by the tail — and must see every write (chain
 	// propagation is synchronous).
 	for i := 0; i < 50; i++ {
-		v, err := kv.Get(fmt.Sprintf("k%d", i))
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
 		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("get k%d from tail = %q, %v", i, v, err)
 		}
@@ -102,20 +103,20 @@ func partitionLen(p interface{ Bytes() int }) int {
 // replication, so this exercises the snapshot resync path.
 func TestReplicatedKVSplitResync(t *testing.T) {
 	_, c := replicatedCluster(t)
-	c.RegisterJob("rj")
-	if _, _, err := c.CreatePrefix("rj/t", nil, DSKV, 1, 0); err != nil {
+	c.RegisterJob(context.Background(), "rj")
+	if _, _, err := c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	kv, _ := c.OpenKV("rj/t")
+	kv, _ := c.OpenKV(context.Background(), "rj/t")
 	val := bytes.Repeat([]byte("r"), 1024)
 	const n = 200 // ~200KB against 64KB blocks: several splits
 	for i := 0; i < n; i++ {
-		if err := kv.Put(fmt.Sprintf("key-%03d", i), val); err != nil {
+		if err := kv.Put(context.Background(), fmt.Sprintf("key-%03d", i), val); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	for i := 0; i < n; i++ {
-		v, err := kv.Get(fmt.Sprintf("key-%03d", i))
+		v, err := kv.Get(context.Background(), fmt.Sprintf("key-%03d", i))
 		if err != nil || !bytes.Equal(v, val) {
 			t.Fatalf("get %d after splits: %v", i, err)
 		}
@@ -124,36 +125,38 @@ func TestReplicatedKVSplitResync(t *testing.T) {
 
 func TestReplicatedQueueAndFile(t *testing.T) {
 	_, c := replicatedCluster(t)
-	c.RegisterJob("rj")
+	c.RegisterJob(context.Background(
 
 	// Queue across replicated segments.
-	if _, _, err := c.CreatePrefix("rj/q", nil, DSQueue, 1, 0); err != nil {
+	), "rj")
+
+	if _, _, err := c.CreatePrefix(context.Background(), "rj/q", nil, DSQueue, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, _ := c.OpenQueue("rj/q")
+	q, _ := c.OpenQueue(context.Background(), "rj/q")
 	item := bytes.Repeat([]byte("q"), 1024)
 	for i := 0; i < 100; i++ {
-		if err := q.Enqueue(append([]byte(fmt.Sprintf("%03d:", i)), item...)); err != nil {
+		if err := q.Enqueue(context.Background(), append([]byte(fmt.Sprintf("%03d:", i)), item...)); err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
 		}
 	}
 	for i := 0; i < 100; i++ {
-		got, err := q.Dequeue()
+		got, err := q.Dequeue(context.Background())
 		if err != nil || string(got[:4]) != fmt.Sprintf("%03d:", i) {
 			t.Fatalf("dequeue %d = %q, %v", i, got[:4], err)
 		}
 	}
 
 	// File across replicated chunks; reads come from the tails.
-	if _, _, err := c.CreatePrefix("rj/f", nil, DSFile, 1, 0); err != nil {
+	if _, _, err := c.CreatePrefix(context.Background(), "rj/f", nil, DSFile, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.OpenFile("rj/f")
+	f, _ := c.OpenFile(context.Background(), "rj/f")
 	payload := bytes.Repeat([]byte("f"), 150*1024) // spans ~3 chunks
-	if err := f.WriteAt(0, payload); err != nil {
+	if err := f.WriteAt(context.Background(), 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.ReadAt(0, len(payload))
+	got, err := f.ReadAt(context.Background(), 0, len(payload))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("file read back %d bytes, %v", len(got), err)
 	}
@@ -163,19 +166,19 @@ func TestReplicatedQueueAndFile(t *testing.T) {
 // tail and restores full chains.
 func TestReplicatedFlushLoad(t *testing.T) {
 	_, c := replicatedCluster(t)
-	c.RegisterJob("rj")
-	c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
-	kv, _ := c.OpenKV("rj/t")
-	kv.Put("persist", []byte("me"))
-	if _, err := c.FlushPrefix("rj/t", "ckpt/repl"); err != nil {
+	c.RegisterJob(context.Background(), "rj")
+	c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 1, 0)
+	kv, _ := c.OpenKV(context.Background(), "rj/t")
+	kv.Put(context.Background(), "persist", []byte("me"))
+	if _, err := c.FlushPrefix(context.Background(), "rj/t", "ckpt/repl"); err != nil {
 		t.Fatal(err)
 	}
-	kv.Put("persist", []byte("dirty"))
-	if err := c.LoadPrefix("rj/t", "ckpt/repl"); err != nil {
+	kv.Put(context.Background(), "persist", []byte("dirty"))
+	if err := c.LoadPrefix(context.Background(), "rj/t", "ckpt/repl"); err != nil {
 		t.Fatal(err)
 	}
-	kv2, _ := c.OpenKV("rj/t")
-	v, err := kv2.Get("persist")
+	kv2, _ := c.OpenKV(context.Background(), "rj/t")
+	v, err := kv2.Get(context.Background(), "persist")
 	if err != nil || string(v) != "me" {
 		t.Fatalf("restored = %q, %v", v, err)
 	}
@@ -185,8 +188,8 @@ func TestReplicatedFlushLoad(t *testing.T) {
 // placement puts chain members on distinct servers when possible.
 func TestChainSpreadAcrossServers(t *testing.T) {
 	_, c := replicatedCluster(t)
-	c.RegisterJob("rj")
-	m, _, err := c.CreatePrefix("rj/t", nil, DSKV, 2, 0)
+	c.RegisterJob(context.Background(), "rj")
+	m, _, err := c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,8 +208,8 @@ func TestChainSpreadAcrossServers(t *testing.T) {
 // heads; those must be ignored without error.
 func TestReplicaSignalsAreHarmless(t *testing.T) {
 	cluster, c := replicatedCluster(t)
-	c.RegisterJob("rj")
-	m, _, _ := c.CreatePrefix("rj/t", nil, DSKV, 1, 0)
+	c.RegisterJob(context.Background(), "rj")
+	m, _, _ := c.CreatePrefix(context.Background(), "rj/t", nil, DSKV, 1, 0)
 	replica := m.Blocks[0].Chain[1]
 	resp, err := cluster.Controller.ScaleUp(proto.ScaleUpReq{Path: "rj/t", Block: replica.ID})
 	if err != nil {
