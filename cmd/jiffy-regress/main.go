@@ -10,16 +10,54 @@
 // The default comparison is hardware-neutral (batch-vs-single speedup
 // ratios and allocs/op); pass -absolute to also gate on raw ops/sec
 // when baseline and current ran on the same machine.
+//
+// Claimed optimizations are pinned with the repeatable -improve flag:
+//
+//	jiffy-regress -quick -baseline BENCH_hotpath.json -improve FileRead1M:1.5:0.5
+//
+// which requires the named benchmark to beat the baseline by >= 1.5x
+// ops/sec while allocating <= 0.5x the baseline's bytes/op.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"jiffy/internal/bench/hotpath"
 	"jiffy/internal/bench/regress"
 )
+
+// improveFlag collects repeated -improve Name:minOpsRatio:maxBytesRatio
+// claims.
+type improveFlag []regress.Improvement
+
+func (f *improveFlag) String() string {
+	parts := make([]string, 0, len(*f))
+	for _, imp := range *f {
+		parts = append(parts, fmt.Sprintf("%s:%g:%g", imp.Name, imp.MinOpsRatio, imp.MaxBytesRatio))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *improveFlag) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return fmt.Errorf("want Name:minOpsRatio:maxBytesRatio, got %q", v)
+	}
+	minOps, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad minOpsRatio in %q: %v", v, err)
+	}
+	maxBytes, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad maxBytesRatio in %q: %v", v, err)
+	}
+	*f = append(*f, regress.Improvement{Name: parts[0], MinOpsRatio: minOps, MaxBytesRatio: maxBytes})
+	return nil
+}
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "path to write the JSON report (empty = don't write)")
@@ -30,6 +68,10 @@ func main() {
 	overhead := flag.Bool("overhead", false, "A/B the batched hot path with telemetry on vs off and gate the difference")
 	overheadTol := flag.Float64("overhead-tolerance", 0.02, "allowed fractional telemetry overhead with -overhead")
 	overheadRounds := flag.Int("overhead-rounds", 3, "interleaved A/B rounds per benchmark with -overhead")
+	rounds := flag.Int("rounds", 1, "measurement rounds per benchmark; the best round is kept (use >1 on noisy machines)")
+	var improvements improveFlag
+	flag.Var(&improvements, "improve",
+		"claimed win to enforce vs the baseline, Name:minOpsRatio:maxBytesRatio (repeatable)")
 	flag.Parse()
 
 	if *overhead {
@@ -50,7 +92,7 @@ func main() {
 		return
 	}
 
-	rep := regress.Run(hotpath.Benches(*quick), *quick, func(format string, args ...interface{}) {
+	rep := regress.Run(hotpath.Benches(*quick), *quick, *rounds, func(format string, args ...interface{}) {
 		fmt.Printf(format, args...)
 	})
 
@@ -73,7 +115,7 @@ func main() {
 			os.Exit(2)
 		}
 		regs := regress.Compare(base, rep, regress.Options{
-			Tolerance: *tolerance, Absolute: *absolute,
+			Tolerance: *tolerance, Absolute: *absolute, Improvements: improvements,
 		})
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "jiffy-regress: %d regression(s) vs %s:\n", len(regs), *baseline)

@@ -31,6 +31,7 @@ func Benches(quick bool) []regress.Bench {
 	if quick {
 		p = params{servers: 1, blocksPerServer: 64, keys: 512}
 	}
+	lp := largeParams(quick)
 	return []regress.Bench{
 		{Name: "KVPutSingle", F: p.kvPutSingle},
 		{Name: "KVPutBatch", F: p.kvPutBatch},
@@ -40,6 +41,11 @@ func Benches(quick bool) []regress.Bench {
 		{Name: "FileAppendBatch", F: p.fileAppendBatch},
 		{Name: "QueueEnqueueSingle", F: p.queueEnqueueSingle},
 		{Name: "QueueEnqueueBatch", F: p.queueEnqueueBatch},
+		{Name: "FileRead64K", F: lp.fileReadLarge(64 * core.KB)},
+		{Name: "FileRead1M", F: lp.fileReadLarge(core.MB)},
+		{Name: "FileWrite64K", F: lp.fileWriteLarge(64 * core.KB)},
+		{Name: "FileWrite1M", F: lp.fileWriteLarge(core.MB)},
+		{Name: "KVGet64K", F: lp.kvGetLarge(64 * core.KB)},
 	}
 }
 
@@ -47,12 +53,16 @@ type params struct {
 	servers         int
 	blocksPerServer int
 	keys            int
+	blockSize       int // 0 means core.MB
 }
 
 func (p params) client(b *testing.B) *jiffy.Client {
 	b.Helper()
 	cfg := core.TestConfig()
 	cfg.BlockSize = core.MB
+	if p.blockSize != 0 {
+		cfg.BlockSize = p.blockSize
+	}
 	cfg.LeaseDuration = time.Hour
 	cluster, err := jiffy.StartCluster(jiffy.ClusterOptions{
 		Config: cfg, Servers: p.servers, BlocksPerServer: p.blocksPerServer,
@@ -191,13 +201,14 @@ type session struct {
 	file    *jiffy.File
 	queue   *jiffy.Queue
 	written int
+	budget  int
 }
 
 func (p params) session(b *testing.B, kind core.DSType) *session {
 	b.Helper()
 	c := p.client(b)
 	c.RegisterJob(context.Background(), "bench")
-	s := &session{b: b, c: c, kind: kind, gen: -1}
+	s := &session{b: b, c: c, kind: kind, gen: -1, budget: rolloverBudget}
 	s.roll()
 	return s
 }
@@ -232,7 +243,7 @@ func (s *session) roll() {
 // charge accounts n bytes about to be appended, rolling to a fresh
 // prefix outside the timer when the budget is spent.
 func (s *session) charge(n int) {
-	if s.written+n > rolloverBudget {
+	if s.written+n > s.budget {
 		s.b.StopTimer()
 		s.roll()
 		s.b.StartTimer()

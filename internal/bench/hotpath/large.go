@@ -1,0 +1,107 @@
+package hotpath
+
+import (
+	"context"
+	"testing"
+
+	"jiffy"
+	"jiffy/internal/core"
+)
+
+// Large-value profiles: 64 KiB and 1 MiB File reads/writes and 64 KiB
+// KV gets. Shuffle-style transfers of large intermediate objects are
+// where payload copies (not per-request overhead) dominate, so these
+// profiles are the ones the zero-copy data plane is gated on.
+
+// largeBlockSize is the chunk size for the large-value profiles: big
+// enough that a 1 MiB record is a fraction of a chunk, so reads stay
+// within one chunk and appends don't roll a block per record.
+const largeBlockSize = 4 * core.MB
+
+// largeWriteBudget replaces rolloverBudget for the append profiles;
+// 1 MiB records would roll every 8 appends under the small budget.
+const largeWriteBudget = 32 * core.MB
+
+func largeParams(quick bool) params {
+	p := params{servers: 2, blocksPerServer: 24, keys: 16, blockSize: largeBlockSize}
+	if quick {
+		p = params{servers: 1, blocksPerServer: 16, keys: 8, blockSize: largeBlockSize}
+	}
+	return p
+}
+
+// fileReadLarge preloads one full chunk and reads aligned size-byte
+// spans from it, so every read is served by a single data op against a
+// single block.
+func (p params) fileReadLarge(size int) func(*testing.B) {
+	return func(b *testing.B) {
+		c := p.client(b)
+		c.RegisterJob(context.Background(), "bench")
+		if _, _, err := c.CreatePrefix(context.Background(), "bench/lfile", nil, jiffy.DSFile, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		f, err := c.OpenFile(context.Background(), "bench/lfile")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, p.blockSize)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := f.WriteAt(context.Background(), 0, data); err != nil {
+			b.Fatal(err)
+		}
+		spans := p.blockSize / size
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := f.ReadAt(context.Background(), (i%spans)*size, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != size {
+				b.Fatalf("read %d bytes, want %d", len(got), size)
+			}
+		}
+	}
+}
+
+func (p params) fileWriteLarge(size int) func(*testing.B) {
+	return func(b *testing.B) {
+		s := p.session(b, jiffy.DSFile)
+		s.budget = largeWriteBudget
+		rec := make([]byte, size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.charge(size)
+			if _, err := s.file.AppendRecord(context.Background(), rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func (p params) kvGetLarge(size int) func(*testing.B) {
+	return func(b *testing.B) {
+		kv := p.kv(b)
+		keys := keyPool(p.keys)
+		val := make([]byte, size)
+		for _, k := range keys {
+			if err := kv.Put(context.Background(), k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := kv.Get(context.Background(), keys[i%len(keys)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != size {
+				b.Fatalf("got %d bytes, want %d", len(got), size)
+			}
+		}
+	}
+}

@@ -83,13 +83,23 @@ func (b *Block) ApplyInOrder(seq uint64, fn func() ([][]byte, error)) ([][]byte,
 	return res, err
 }
 
+// blockMap is the value type behind the store's copy-on-write pointer.
+type blockMap = map[core.BlockID]*Block
+
 // Store is the set of blocks hosted by one memory server.
 type Store struct {
 	high, low float64
 	onSignal  Signal
 
-	mu     sync.RWMutex
-	blocks map[core.BlockID]*Block
+	// blocks is a copy-on-write map: block resolution — the per-op
+	// lookup on the data plane — is a single atomic load with no lock,
+	// while Create/Delete (control-plane rare) clone the map under
+	// writeMu and publish the copy. Readers may briefly see a block
+	// that was just deleted; that is indistinguishable from the op
+	// racing ahead of the delete, which the epoch protocol already
+	// handles.
+	blocks  atomic.Pointer[blockMap]
+	writeMu sync.Mutex
 
 	ops atomic.Int64
 
@@ -102,22 +112,34 @@ type Store struct {
 // NewStore creates an empty store with the given thresholds. onSignal
 // may be nil (signals dropped).
 func NewStore(high, low float64, onSignal Signal) *Store {
-	return &Store{
+	s := &Store{
 		high:     high,
 		low:      low,
 		onSignal: onSignal,
-		blocks:   make(map[core.BlockID]*Block),
 	}
+	m := make(blockMap)
+	s.blocks.Store(&m)
+	return s
 }
+
+// snapshotMap returns the current published block map. Callers must
+// treat it as immutable.
+func (s *Store) snapshotMap() blockMap { return *s.blocks.Load() }
 
 // Create installs a partition in a new block.
 func (s *Store) Create(b *Block) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.blocks[b.ID]; exists {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	old := s.snapshotMap()
+	if _, exists := old[b.ID]; exists {
 		return fmt.Errorf("blockstore: block %v: %w", b.ID, core.ErrExists)
 	}
-	s.blocks[b.ID] = b
+	next := make(blockMap, len(old)+1)
+	for id, blk := range old {
+		next[id] = blk
+	}
+	next[b.ID] = b
+	s.blocks.Store(&next)
 	if s.created != nil && obs.On() {
 		s.created.Inc()
 	}
@@ -126,12 +148,19 @@ func (s *Store) Create(b *Block) error {
 
 // Delete removes a block.
 func (s *Store) Delete(id core.BlockID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.blocks[id]; !exists {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	old := s.snapshotMap()
+	if _, exists := old[id]; !exists {
 		return fmt.Errorf("blockstore: block %v: %w", id, core.ErrNotFound)
 	}
-	delete(s.blocks, id)
+	next := make(blockMap, len(old))
+	for bid, blk := range old {
+		if bid != id {
+			next[bid] = blk
+		}
+	}
+	s.blocks.Store(&next)
 	if s.deleted != nil && obs.On() {
 		s.deleted.Inc()
 	}
@@ -140,32 +169,33 @@ func (s *Store) Delete(id core.BlockID) error {
 
 // Get returns the block, or ErrStaleEpoch when unknown — an unknown
 // block ID means the client is operating on reclaimed or moved state
-// and must refresh its partition map.
+// and must refresh its partition map. Lock-free.
 func (s *Store) Get(id core.BlockID) (*Block, error) {
-	s.mu.RLock()
-	b, ok := s.blocks[id]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("blockstore: block %v unknown: %w", id, core.ErrStaleEpoch)
+	if b, ok := s.snapshotMap()[id]; ok {
+		return b, nil
 	}
-	return b, nil
+	return nil, fmt.Errorf("blockstore: block %v unknown: %w", id, core.ErrStaleEpoch)
 }
 
-// GetMany resolves a set of block IDs under a single read-lock
-// acquisition — the batch path's lookup. The returned map holds only
-// the blocks that exist; absent IDs mean the client's partition map is
-// stale (same contract as Get).
+// GetMany resolves a set of block IDs against one consistent snapshot
+// of the block map — the batch path's lookup. The returned map holds
+// only the blocks that exist; absent IDs mean the client's partition
+// map is stale (same contract as Get).
 func (s *Store) GetMany(ids []core.BlockID) map[core.BlockID]*Block {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	m := s.snapshotMap()
 	out := make(map[core.BlockID]*Block, len(ids))
 	for _, id := range ids {
-		if b, ok := s.blocks[id]; ok {
+		if b, ok := m[id]; ok {
 			out[id] = b
 		}
 	}
 	return out
 }
+
+// CountOps adds n to the applied-op counter for ops executed outside
+// Apply/ApplyOn — the zero-copy view path, which reads partition
+// memory directly.
+func (s *Store) CountOps(n int64) { s.ops.Add(n) }
 
 // Apply executes a data-plane op against a block, re-evaluating
 // thresholds after mutations.
@@ -253,19 +283,15 @@ func (s *Store) Instrument(r *obs.Registry) {
 	s.deleted = r.Counter("jiffy_store_blocks_deleted_total",
 		"blocks removed from this store over its lifetime")
 	r.GaugeFunc("jiffy_store_blocks", "blocks currently hosted", func() int64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return int64(len(s.blocks))
+		return int64(len(s.snapshotMap()))
 	})
 	r.GaugeFunc("jiffy_store_used_bytes", "bytes stored across hosted blocks", func() int64 {
 		_, used, _ := s.Stats()
 		return int64(used)
 	})
 	r.GaugeFunc("jiffy_store_capacity_bytes", "capacity across hosted blocks", func() int64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		var capacity int64
-		for _, b := range s.blocks {
+		for _, b := range s.snapshotMap() {
 			capacity += int64(b.Partition.Capacity())
 		}
 		return capacity
@@ -277,10 +303,9 @@ func (s *Store) Instrument(r *obs.Registry) {
 
 // List returns a snapshot of the hosted blocks.
 func (s *Store) List() []*Block {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Block, 0, len(s.blocks))
-	for _, b := range s.blocks {
+	m := s.snapshotMap()
+	out := make([]*Block, 0, len(m))
+	for _, b := range m {
 		out = append(out, b)
 	}
 	return out
@@ -288,10 +313,9 @@ func (s *Store) List() []*Block {
 
 // Stats summarizes the store.
 func (s *Store) Stats() (blocks int, usedBytes int, ops int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, b := range s.blocks {
+	m := s.snapshotMap()
+	for _, b := range m {
 		usedBytes += b.Partition.Bytes()
 	}
-	return len(s.blocks), usedBytes, s.ops.Load()
+	return len(m), usedBytes, s.ops.Load()
 }

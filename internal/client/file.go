@@ -151,6 +151,20 @@ func (f *File) ReadAt(ctx context.Context, off, n int) ([]byte, error) {
 	if cs <= 0 {
 		return nil, fmt.Errorf("client: file has no chunk size")
 	}
+	// Fast path: a read confined to one chunk returns the decoded
+	// response slice directly instead of accumulating into a fresh
+	// buffer — with the server's zero-copy view path this makes a
+	// single-chunk read one copy end to end (socket → response buffer).
+	if n > 0 && off/cs == (off+n-1)/cs {
+		part, err := f.readChunk(ctx, off/cs, off%cs, n)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return nil, nil // past the last chunk
+			}
+			return nil, err
+		}
+		return part, nil
+	}
 	out := make([]byte, 0, n)
 	for n > 0 {
 		ci := off / cs

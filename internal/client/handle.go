@@ -92,10 +92,20 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 	}
 	// Encode into a pooled buffer: Call stages the frame into the
 	// session's write buffer before returning, so the request bytes can
-	// be recycled immediately after.
-	req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
-	payload, err := conn.CallContext(ctx, proto.MethodDataOp, req)
-	wire.PutBuf(req)
+	// be recycled immediately after. Requests carrying large bodies
+	// (writes, puts) skip the encode copy entirely: the header and
+	// length prefixes go into the pooled buffer and the caller's arg
+	// slices ride to the socket as scatter-gather segments.
+	var payload []byte
+	if argsBytes(args) >= vecRequestThreshold {
+		vec, buf := ds.AppendRequestVec(wire.GetBuf(), op, info.ID, args)
+		payload, err = conn.CallVecContext(ctx, proto.MethodDataOp, vec)
+		wire.PutBuf(buf)
+	} else {
+		req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
+		payload, err = conn.CallContext(ctx, proto.MethodDataOp, req)
+		wire.PutBuf(req)
+	}
 	if err != nil {
 		if isConnErr(err) {
 			h.c.dropData(info.Server)
@@ -115,6 +125,21 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 		return nil, err
 	}
 	return ds.DecodeVals(payload)
+}
+
+// vecRequestThreshold is the total argument size above which do()
+// switches to the scatter-gather request encoding. Below it, one
+// contiguous copy into a pooled buffer is cheaper than the extra
+// segment bookkeeping.
+const vecRequestThreshold = 4 * core.KB
+
+// argsBytes sums the argument payload sizes of one op.
+func argsBytes(args [][]byte) int {
+	n := 0
+	for _, a := range args {
+		n += len(a)
+	}
+	return n
 }
 
 // doBatch ships a group of ops bound for one server as a single

@@ -176,6 +176,59 @@ func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 	return nil, errRetriesExhausted("dequeue", lastErr)
 }
 
+// Peek returns the oldest pending item without consuming it; returns
+// ErrEmpty when the queue has no pending items. Peeks follow the same
+// redirect chain as dequeues, and on the server they share the
+// segment's read lock, so concurrent peeks never serialize against
+// each other.
+func (q *Queue) Peek(ctx context.Context) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
+		head, _, err := q.ends()
+		if err != nil {
+			return nil, err
+		}
+		res, err := q.h.do(ctx, head, core.OpQueuePeek, nil)
+		switch {
+		case err == nil:
+			return res[0], nil
+		case ctxErr(err) != nil:
+			return nil, err
+		case errors.Is(err, core.ErrRedirect):
+			// The head segment drained; advance to its successor.
+			var r *redirect
+			if errors.As(err, &r) {
+				q.mu.Lock()
+				q.head = r.next
+				q.mu.Unlock()
+			} else if rerr := q.reseed(ctx); rerr != nil {
+				return nil, rerr
+			}
+		case errors.Is(err, core.ErrEmpty):
+			return nil, err
+		case errors.Is(err, core.ErrStaleEpoch):
+			lastErr = err
+			if rerr := q.reseed(ctx); rerr != nil {
+				return nil, rerr
+			}
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
+		case isConnErr(err):
+			lastErr = err
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetriesExhausted("peek", lastErr)
+}
+
 // Subscribe registers for notifications on the queue's blocks —
 // dataflow consumers subscribe to enqueue to learn when channel data is
 // available (§5.2).

@@ -187,7 +187,7 @@ func (c *Controller) Spans() *obs.RingExporter { return c.spans }
 // Listen starts serving control RPCs on addr and returns the bound
 // address.
 func (c *Controller) Listen(addr string) (string, error) {
-	c.rpcSrv = rpc.NewServer(c.handle, c.log)
+	c.rpcSrv = rpc.NewServer(rpc.BytesHandler(c.handle), c.log)
 	c.rpcSrv.SetObserver(c.rpcm, c.tracer)
 	return c.rpcSrv.Listen(addr)
 }

@@ -111,6 +111,10 @@ const (
 	// stream as enqueues — a replica can never seal ahead of an
 	// in-flight enqueue that preceded the seal at the head.
 	OpQueueSetNext // args: redirect payload          -> ok
+	// OpQueuePeek reads the head segment's oldest pending item without
+	// consuming it (non-mutating; follows the same redirect chain as
+	// dequeues).
+	OpQueuePeek // args: -                             -> item / redirect / empty
 )
 
 // String names the op; used by the subscription/notification machinery
@@ -147,6 +151,8 @@ func (o OpType) String() string {
 		return "usage"
 	case OpQueueSetNext:
 		return "setnext"
+	case OpQueuePeek:
+		return "peek"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -156,7 +162,7 @@ func (o OpType) String() string {
 func ParseOpType(s string) (OpType, error) {
 	for _, o := range []OpType{
 		OpFileWrite, OpFileRead, OpFileAppend, OpEnqueue, OpDequeue,
-		OpPut, OpGet, OpDelete, OpExists, OpUpdate,
+		OpQueuePeek, OpPut, OpGet, OpDelete, OpExists, OpUpdate,
 	} {
 		if o.String() == strings.ToLower(s) {
 			return o, nil

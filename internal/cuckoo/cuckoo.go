@@ -4,17 +4,21 @@
 // two-choice bucketized cuckoo hashing with 4-way buckets,
 // breadth-first-search relocation on insert, and automatic growth.
 //
-// A Table is safe for concurrent use. Reads take a shared lock; writes
-// take an exclusive lock (relocation paths may touch many buckets, so
-// per-bucket locking would need the full libcuckoo fine-grained
-// protocol; the per-block tables here are small enough that a
-// readers-writer lock at table granularity measures within noise of the
-// striped design in our benchmarks).
+// A Table is safe for concurrent use, with libcuckoo-style fine-grained
+// locking: each operation touches at most two candidate buckets, so the
+// common paths (Get, overwrite Put, insert into a bucket with a free
+// slot, Delete) lock only the one or two cache-line-padded stripes
+// guarding those buckets, in ascending stripe order. A table-wide
+// resize lock is held shared by those paths and exclusively by the slow
+// paths whose footprint is unbounded — BFS relocation, growth, Range
+// and Clear — so relocation never races a reader across buckets.
+// Len and Bytes are lock-free atomic counters.
 package cuckoo
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -25,6 +29,11 @@ const (
 	maxBFSDepth = 5
 	// minBuckets is the smallest table (power of two).
 	minBuckets = 4
+	// numStripes is the bucket-lock stripe count (power of two). Bucket
+	// i is guarded by stripe i % numStripes; tables smaller than
+	// numStripes buckets get one stripe per bucket.
+	numStripes = 64
+	stripeMask = numStripes - 1
 )
 
 type entry struct {
@@ -38,14 +47,31 @@ type bucket struct {
 	entries  [slotsPerBucket]entry
 }
 
+// stripe is one bucket lock, padded out to its own cache line so
+// contended neighbours don't false-share.
+type stripe struct {
+	mu sync.RWMutex
+	_  [40]byte
+}
+
 // Table is a concurrent cuckoo hash table from string keys to byte
 // values.
 type Table struct {
-	mu      sync.RWMutex
+	// resizeMu is held shared by every bucket-local operation and
+	// exclusively by operations with unbounded bucket footprint (BFS
+	// relocation, grow, Range, Clear). While it is held exclusively no
+	// stripe locks are needed: every other path is blocked at the
+	// shared acquisition.
+	resizeMu sync.RWMutex
+	stripes  [numStripes]stripe
+
+	// buckets and mask are written only under resizeMu held
+	// exclusively; bucket-local paths read them under the shared lock.
 	buckets []bucket
 	mask    uint64
-	count   int
-	bytes   int // sum of len(key)+len(val) for accounting
+
+	count atomic.Int64
+	bytes atomic.Int64 // sum of len(key)+len(val) for accounting
 }
 
 // New creates a table pre-sized for hint entries.
@@ -54,7 +80,9 @@ func New(hint int) *Table {
 	for n*slotsPerBucket < hint {
 		n <<= 1
 	}
-	return &Table{buckets: make([]bucket, n), mask: uint64(n - 1)}
+	t := &Table{buckets: make([]bucket, n)}
+	t.mask = uint64(n - 1)
+	return t
 }
 
 // fnv64a is the stable string hash used for both bucket choices. The
@@ -84,16 +112,65 @@ func (t *Table) i2(i uint64, h uint64) uint64 {
 	return (i ^ (tag * 0x5bd1e995)) & t.mask
 }
 
+// lockPair write-locks the stripes guarding buckets i and j in
+// ascending stripe order (the deadlock-avoidance discipline); when both
+// buckets share a stripe it locks once.
+func (t *Table) lockPair(i, j uint64) {
+	a, b := i&stripeMask, j&stripeMask
+	if a == b {
+		t.stripes[a].mu.Lock()
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	t.stripes[a].mu.Lock()
+	t.stripes[b].mu.Lock()
+}
+
+func (t *Table) unlockPair(i, j uint64) {
+	a, b := i&stripeMask, j&stripeMask
+	t.stripes[a].mu.Unlock()
+	if a != b {
+		t.stripes[b].mu.Unlock()
+	}
+}
+
+// rlockPair is lockPair for readers.
+func (t *Table) rlockPair(i, j uint64) {
+	a, b := i&stripeMask, j&stripeMask
+	if a == b {
+		t.stripes[a].mu.RLock()
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	t.stripes[a].mu.RLock()
+	t.stripes[b].mu.RLock()
+}
+
+func (t *Table) runlockPair(i, j uint64) {
+	a, b := i&stripeMask, j&stripeMask
+	t.stripes[a].mu.RUnlock()
+	if a != b {
+		t.stripes[b].mu.RUnlock()
+	}
+}
+
 // Get returns the value stored for key.
 func (t *Table) Get(key string) ([]byte, bool) {
 	h := fnv64a(key)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
 	i1 := t.i1(h)
+	i2 := t.i2(i1, h)
+	t.rlockPair(i1, i2)
+	defer t.runlockPair(i1, i2)
 	if v, ok := t.lookupIn(i1, h, key); ok {
 		return v, true
 	}
-	return t.lookupIn(t.i2(i1, h), h, key)
+	return t.lookupIn(i2, h, key)
 }
 
 func (t *Table) lookupIn(i uint64, h uint64, key string) ([]byte, bool) {
@@ -110,30 +187,67 @@ func (t *Table) lookupIn(i uint64, h uint64, key string) ([]byte, bool) {
 // none) and whether the key already existed.
 func (t *Table) Put(key string, val []byte) (prev []byte, existed bool) {
 	h := fnv64a(key)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 
-	// Overwrite in place if present.
+	// Fast path under the shared resize lock: overwrite in place or
+	// take a free slot in a candidate bucket, holding only the two
+	// stripes involved. Concurrent Puts of the same key hash to the
+	// same stripes and serialize there.
+	t.resizeMu.RLock()
 	i1 := t.i1(h)
 	i2 := t.i2(i1, h)
+	t.lockPair(i1, i2)
+	prev, existed, done := t.putLocal(i1, i2, h, key, val)
+	t.unlockPair(i1, i2)
+	t.resizeMu.RUnlock()
+	if done {
+		return prev, existed
+	}
+
+	// Both candidate buckets full: relocation (or growth) has an
+	// unbounded bucket footprint, so take the table exclusively. No
+	// stripe locks are needed past this point.
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	i1 = t.i1(h)
+	i2 = t.i2(i1, h)
+	// Re-check: between the fast path and the exclusive acquisition
+	// another writer may have inserted the key or freed a slot.
+	if prev, existed, done := t.putLocal(i1, i2, h, key, val); done {
+		return prev, existed
+	}
+	for !t.insertFresh(h, key, val) {
+		t.grow()
+	}
+	t.count.Add(1)
+	t.bytes.Add(int64(len(key) + len(val)))
+	return nil, false
+}
+
+// putLocal attempts the bucket-local insert: overwrite an existing
+// entry or claim a free slot in either candidate bucket. done=false
+// means both buckets are full and the caller must relocate. Caller
+// holds the locks covering buckets i1 and i2.
+func (t *Table) putLocal(i1, i2 uint64, h uint64, key string, val []byte) (prev []byte, existed, done bool) {
 	for _, i := range [2]uint64{i1, i2} {
 		b := &t.buckets[i]
 		for s := 0; s < slotsPerBucket; s++ {
 			if b.occupied[s] && b.entries[s].hash == h && b.entries[s].key == key {
 				prev = b.entries[s].val
-				t.bytes += len(val) - len(prev)
+				t.bytes.Add(int64(len(val) - len(prev)))
 				b.entries[s].val = val
-				return prev, true
+				return prev, true, true
 			}
 		}
 	}
-
-	for !t.insertFresh(h, key, val) {
-		t.grow()
+	for _, i := range [2]uint64{i1, i2} {
+		if s := t.freeSlot(i); s >= 0 {
+			t.place(i, s, entry{hash: h, key: key, val: val})
+			t.count.Add(1)
+			t.bytes.Add(int64(len(key) + len(val)))
+			return nil, false, true
+		}
 	}
-	t.count++
-	t.bytes += len(key) + len(val)
-	return nil, false
+	return nil, false, false
 }
 
 // bfsNode is one step in the relocation search: an entry from slot
@@ -147,7 +261,9 @@ type bfsNode struct {
 // insertFresh places a new entry, relocating existing entries via a
 // breadth-first search (libcuckoo-style) if both candidate buckets are
 // full. Returns false when no relocation path exists within the search
-// bound — the caller grows the table.
+// bound — the caller grows the table. Caller holds resizeMu
+// exclusively: the search and the displacement walk touch arbitrary
+// buckets.
 func (t *Table) insertFresh(h uint64, key string, val []byte) bool {
 	i1 := t.i1(h)
 	i2 := t.i2(i1, h)
@@ -205,7 +321,8 @@ func (t *Table) place(i uint64, s int, e entry) {
 	b.entries[s] = e
 }
 
-// grow doubles the bucket array and rehashes every entry.
+// grow doubles the bucket array and rehashes every entry. Caller holds
+// resizeMu exclusively.
 func (t *Table) grow() {
 	old := t.buckets
 	t.buckets = make([]bucket, len(old)*2)
@@ -233,18 +350,21 @@ func (t *Table) grow() {
 // present.
 func (t *Table) Delete(key string) ([]byte, bool) {
 	h := fnv64a(key)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
 	i1 := t.i1(h)
-	for _, i := range [2]uint64{i1, t.i2(i1, h)} {
+	i2 := t.i2(i1, h)
+	t.lockPair(i1, i2)
+	defer t.unlockPair(i1, i2)
+	for _, i := range [2]uint64{i1, i2} {
 		b := &t.buckets[i]
 		for s := 0; s < slotsPerBucket; s++ {
 			if b.occupied[s] && b.entries[s].hash == h && b.entries[s].key == key {
 				val := b.entries[s].val
 				b.occupied[s] = false
 				b.entries[s] = entry{}
-				t.count--
-				t.bytes -= len(key) + len(val)
+				t.count.Add(-1)
+				t.bytes.Add(-int64(len(key) + len(val)))
 				return val, true
 			}
 		}
@@ -252,26 +372,20 @@ func (t *Table) Delete(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Len returns the number of entries.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
-}
+// Len returns the number of entries. Lock-free.
+func (t *Table) Len() int { return int(t.count.Load()) }
 
 // Bytes returns the accounted payload size: sum of key and value
-// lengths. Block usage tracking is built on this.
-func (t *Table) Bytes() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.bytes
-}
+// lengths. Block usage tracking is built on this; it runs after every
+// mutation, which is why it is a lock-free atomic load.
+func (t *Table) Bytes() int { return int(t.bytes.Load()) }
 
 // Range calls fn for every entry until fn returns false. The table is
-// read-locked for the duration; fn must not call mutating methods.
+// locked exclusively for the duration (Range visits every bucket, which
+// the stripe discipline cannot cover); fn must not call table methods.
 func (t *Table) Range(fn func(key string, val []byte) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
 	for bi := range t.buckets {
 		b := &t.buckets[bi]
 		for s := 0; s < slotsPerBucket; s++ {
@@ -286,18 +400,18 @@ func (t *Table) Range(fn func(key string, val []byte) bool) {
 
 // Clear removes all entries, keeping the bucket array.
 func (t *Table) Clear() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
 	for i := range t.buckets {
 		t.buckets[i] = bucket{}
 	}
-	t.count = 0
-	t.bytes = 0
+	t.count.Store(0)
+	t.bytes.Store(0)
 }
 
 // LoadFactor reports occupied slots over total slots.
 func (t *Table) LoadFactor() float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return float64(t.count) / float64(len(t.buckets)*slotsPerBucket)
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	return float64(t.count.Load()) / float64(len(t.buckets)*slotsPerBucket)
 }

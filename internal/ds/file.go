@@ -188,6 +188,46 @@ func (f *File) ReadAt(off, length int) ([]byte, error) {
 	return out, nil
 }
 
+// ApplyView implements ViewReader for OpFileRead. Unlike KV values and
+// queue items, file bytes ARE mutated in place (WriteAt over written
+// regions), so the view is leased: it returns with the chunk's read
+// lock held and Release drops it, which blocks writers — but not other
+// readers or Snapshot — for exactly as long as the response is being
+// handed to the transport.
+func (f *File) ApplyView(op core.OpType, args [][]byte) (View, bool, error) {
+	if op != core.OpFileRead {
+		return View{}, false, nil
+	}
+	if len(args) != 2 {
+		return View{}, true, fmt.Errorf("ds: file read wants 2 args, got %d", len(args))
+	}
+	off, err := ParseU64(args[0])
+	if err != nil {
+		return View{}, true, err
+	}
+	length, err := ParseU64(args[1])
+	if err != nil {
+		return View{}, true, err
+	}
+	o, l := int(off), int(length)
+	if o < 0 || l < 0 {
+		return View{}, true, fmt.Errorf("ds: negative offset/length")
+	}
+	f.mu.RLock()
+	if o >= f.size {
+		f.mu.RUnlock()
+		return View{Vals: [][]byte{nil}}, true, nil
+	}
+	end := o + l
+	if end > f.size || end < o {
+		end = f.size
+	}
+	return View{
+		Vals:    [][]byte{f.data[o:end]},
+		Release: f.mu.RUnlock,
+	}, true, nil
+}
+
 // fileSnapshot is the serialized form of a file chunk.
 type fileSnapshot struct {
 	Data []byte

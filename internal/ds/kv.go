@@ -156,6 +156,24 @@ func (k *KV) Apply(op core.OpType, args [][]byte) ([][]byte, error) {
 	}
 }
 
+// ApplyView implements ViewReader for OpGet: the returned value aliases
+// the stored bytes with no lease needed — Put and Update copy values in
+// and never mutate stored bytes, and repartitioning moves slice headers,
+// not bytes (immutable-values regime, see view.go).
+func (k *KV) ApplyView(op core.OpType, args [][]byte) (View, bool, error) {
+	if op != core.OpGet {
+		return View{}, false, nil
+	}
+	if len(args) != 1 {
+		return View{}, true, fmt.Errorf("ds: get wants 1 arg, got %d", len(args))
+	}
+	v, err := k.Get(string(args[0]))
+	if err != nil {
+		return View{}, true, err
+	}
+	return View{Vals: [][]byte{v}}, true, nil
+}
+
 // Put inserts or overwrites a pair. Writes that would push the shard
 // beyond its capacity are rejected with ErrBlockFull; the proactive
 // high-threshold split normally prevents ever reaching this.

@@ -14,8 +14,16 @@ import (
 // plus a pointer to the next segment; when a drained segment has a
 // successor, dequeues are redirected there (and the controller reclaims
 // the empty segment).
+//
+// Invariant: item bytes are immutable once stored — Enqueue copies the
+// item in, and nothing ever writes through a stored slice. Dequeue and
+// Peek may therefore return the stored slice itself (no copy): dequeue
+// transfers ownership outright, and a peeked alias stays valid even if
+// the item is dequeued, snapshotted or the segment reclaimed while the
+// response is in flight, because those drop references rather than
+// scribble bytes.
 type Queue struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	items [][]byte
 	head  int // index of the next item to dequeue
 	bytes int // payload bytes of pending items
@@ -38,22 +46,22 @@ func (q *Queue) Type() core.DSType { return core.DSQueue }
 
 // Capacity implements Partition.
 func (q *Queue) Capacity() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return q.cap
 }
 
 // Bytes implements Partition: payload bytes of items not yet dequeued.
 func (q *Queue) Bytes() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return q.bytes
 }
 
 // Len returns the number of pending items in this segment.
 func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return len(q.items) - q.head
 }
 
@@ -69,8 +77,8 @@ func (q *Queue) SetNext(next core.BlockInfo) {
 
 // Next returns the successor link.
 func (q *Queue) Next() (core.BlockInfo, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return q.next, q.next.Server != ""
 }
 
@@ -116,6 +124,12 @@ func (q *Queue) Apply(op core.OpType, args [][]byte) ([][]byte, error) {
 		return nil, q.Enqueue(args[0])
 	case core.OpDequeue:
 		item, err := q.Dequeue()
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{item}, nil
+	case core.OpQueuePeek:
+		item, err := q.Peek()
 		if err != nil {
 			return nil, err
 		}
@@ -197,11 +211,40 @@ func (q *Queue) Dequeue() ([]byte, error) {
 	return item, nil
 }
 
+// Peek returns the oldest pending item without removing it; concurrent
+// peeks share the read lock. The returned slice aliases the stored
+// item (safe: see the immutability invariant on Queue).
+func (q *Queue) Peek() ([]byte, error) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.head >= len(q.items) {
+		if q.next.Server != "" {
+			return nil, &redirectError{payload: redirectPayload(q.next)}
+		}
+		return nil, core.ErrEmpty
+	}
+	return q.items[q.head], nil
+}
+
+// ApplyView implements ViewReader for OpQueuePeek: the returned value
+// aliases the stored item with no lease needed (immutability
+// invariant).
+func (q *Queue) ApplyView(op core.OpType, args [][]byte) (View, bool, error) {
+	if op != core.OpQueuePeek {
+		return View{}, false, nil
+	}
+	item, err := q.Peek()
+	if err != nil {
+		return View{}, true, err
+	}
+	return View{Vals: [][]byte{item}}, true, nil
+}
+
 // Drained reports whether the segment is sealed and fully consumed —
 // the condition under which the controller reclaims it.
 func (q *Queue) Drained() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return q.sealed && q.head >= len(q.items)
 }
 
@@ -216,8 +259,8 @@ type queueSnapshot struct {
 
 // Snapshot implements Partition.
 func (q *Queue) Snapshot() ([]byte, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	pending := make([][]byte, 0, len(q.items)-q.head)
 	pending = append(pending, q.items[q.head:]...)
 	return gobEncode(queueSnapshot{

@@ -20,9 +20,9 @@ func TestSpanPropagation(t *testing.T) {
 	for _, addr := range []string{"mem://spanprop", "127.0.0.1:0"} {
 		t.Run(addr, func(t *testing.T) {
 			srvRing := obs.NewRingExporter(64)
-			srv := NewServer(func(_ context.Context, _ *ServerConn, method uint16, payload []byte) ([]byte, error) {
+			srv := NewServer(BytesHandler(func(_ context.Context, _ *ServerConn, method uint16, payload []byte) ([]byte, error) {
 				return append([]byte(nil), payload...), nil
-			}, nil)
+			}), nil)
 			srv.SetObserver(obs.NewRPCMetrics("server"), obs.NewTracer(srvRing, nil))
 			bound, err := srv.Listen(addr)
 			if err != nil {
@@ -77,9 +77,9 @@ func TestSpanPropagation(t *testing.T) {
 // server without an observer must work unchanged — the trace extension
 // is optional and ignored.
 func TestSpanPropagationUntracedServer(t *testing.T) {
-	srv := NewServer(func(_ context.Context, _ *ServerConn, _ uint16, payload []byte) ([]byte, error) {
+	srv := NewServer(BytesHandler(func(_ context.Context, _ *ServerConn, _ uint16, payload []byte) ([]byte, error) {
 		return append([]byte(nil), payload...), nil
-	}, nil)
+	}), nil)
 	bound, err := srv.Listen("mem://spanprop-untraced")
 	if err != nil {
 		t.Fatal(err)
@@ -104,12 +104,12 @@ func TestSpanPropagationUntracedServer(t *testing.T) {
 // equal the request counter (the no-lost-samples invariant).
 func TestPerMethodMetrics(t *testing.T) {
 	serverMetrics := obs.NewRPCMetrics("server")
-	srv := NewServer(func(_ context.Context, _ *ServerConn, method uint16, payload []byte) ([]byte, error) {
+	srv := NewServer(BytesHandler(func(_ context.Context, _ *ServerConn, method uint16, payload []byte) ([]byte, error) {
 		if method == proto.MethodCreateBlock {
 			return nil, core.ErrExists
 		}
 		return append([]byte(nil), payload...), nil
-	}, nil)
+	}), nil)
 	srv.SetObserver(serverMetrics, nil)
 	bound, err := srv.Listen("mem://permethod")
 	if err != nil {
@@ -171,10 +171,10 @@ func TestPerMethodMetrics(t *testing.T) {
 // must take precedence over the session default timeout.
 func TestCallContextCancellation(t *testing.T) {
 	block := make(chan struct{})
-	srv := NewServer(func(_ context.Context, _ *ServerConn, _ uint16, _ []byte) ([]byte, error) {
+	srv := NewServer(BytesHandler(func(_ context.Context, _ *ServerConn, _ uint16, _ []byte) ([]byte, error) {
 		<-block
 		return nil, nil
-	}, nil)
+	}), nil)
 	bound, err := srv.Listen("mem://cancel")
 	if err != nil {
 		t.Fatal(err)

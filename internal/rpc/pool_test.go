@@ -12,12 +12,12 @@ import (
 // tests can kill it and bring a replacement up at the same endpoint.
 func newEchoServer(t *testing.T, addr string) *Server {
 	t.Helper()
-	srv := NewServer(func(_ context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
+	srv := NewServer(BytesHandler(func(_ context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error) {
 		if method == methodEcho {
 			return payload, nil
 		}
 		return nil, fmt.Errorf("unknown method %d", method)
-	}, nil)
+	}), nil)
 	if _, err := srv.Listen(addr); err != nil {
 		t.Fatal(err)
 	}

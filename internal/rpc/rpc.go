@@ -286,6 +286,20 @@ func (c *Client) Call(method uint16, payload []byte) ([]byte, error) {
 // peer via a trace-extension frame written in the same flush as the
 // request.
 func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	return c.callInstrumented(ctx, method, payload, nil)
+}
+
+// CallVecContext is CallContext for requests whose body is assembled
+// from scatter-gather segments (see ds.AppendRequestVec): the segments
+// concatenate on the wire without an intermediate copy. They are fully
+// consumed before the call blocks on the response, so the caller may
+// reuse or release the underlying memory as soon as CallVecContext
+// returns.
+func (c *Client) CallVecContext(ctx context.Context, method uint16, vec [][]byte) ([]byte, error) {
+	return c.callInstrumented(ctx, method, nil, vec)
+}
+
+func (c *Client) callInstrumented(ctx context.Context, method uint16, payload []byte, vec [][]byte) ([]byte, error) {
 	in := c.instr.Load()
 	var stats *obs.MethodStats
 	var tracer *obs.Tracer
@@ -295,7 +309,11 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 		if in.metrics != nil {
 			stats = in.metrics.Method(method)
 			stats.Requests.Inc()
-			stats.BytesOut.Add(int64(len(payload)))
+			n := len(payload)
+			for _, seg := range vec {
+				n += len(seg)
+			}
+			stats.BytesOut.Add(int64(n))
 			stats.InFlight.Inc()
 			start = time.Now()
 		}
@@ -304,7 +322,7 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 	if tracer != nil {
 		ctx, span = tracer.Begin(ctx, "rpc:"+methodLabel(method), in.peer)
 	}
-	out, err := c.call(ctx, method, payload)
+	out, err := c.call(ctx, method, payload, vec)
 	span.End(err)
 	if stats != nil {
 		stats.InFlight.Dec()
@@ -317,8 +335,9 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 	return out, err
 }
 
-// call is the uninstrumented request/response core.
-func (c *Client) call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+// call is the uninstrumented request/response core. vec, when non-nil,
+// carries scatter-gather body segments written after payload.
+func (c *Client) call(ctx context.Context, method uint16, payload []byte, vec [][]byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.sessionErr
@@ -337,10 +356,11 @@ func (c *Client) call(ctx context.Context, method uint16, payload []byte) ([]byt
 	c.mu.Unlock()
 
 	req := &wire.Frame{
-		Kind:    wire.KindRequest,
-		Seq:     seq,
-		Method:  method,
-		Payload: payload,
+		Kind:       wire.KindRequest,
+		Seq:        seq,
+		Method:     method,
+		Payload:    payload,
+		PayloadVec: vec,
 	}
 	var err error
 	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {

@@ -47,7 +47,7 @@ func newTestServer(t *testing.T) (addr string, srv *Server) {
 		}
 		return nil, fmt.Errorf("unknown method %d", method)
 	}
-	srv = NewServer(handler, nil)
+	srv = NewServer(BytesHandler(handler), nil)
 	addr, err := srv.Listen(fmt.Sprintf("mem://rpc-test-%p", srv))
 	if err != nil {
 		t.Fatal(err)

@@ -13,22 +13,53 @@ import (
 	"jiffy/internal/wire"
 )
 
+// Response is a handler's reply.
+//
+// Ownership contract: Payload passes to the rpc layer, which recycles
+// it into the wire buffer pool once the response frame is written —
+// so it must be freshly encoded (rpc.Marshal, ds codec helpers) or
+// taken from wire.GetBuf, never a slice aliasing long-lived state.
+// Vec segments are the opposite: they MAY alias long-lived block
+// memory (that is the zero-copy read path's whole point), and the rpc
+// layer only reads them. Release tells the handler when that reading
+// is over.
+type Response struct {
+	// Payload is the contiguous response body, written first.
+	Payload []byte
+	// Vec is an optional scatter-gather body written after Payload;
+	// on the wire the two concatenate into one response payload.
+	Vec [][]byte
+	// Release, if non-nil, runs exactly once when the connection is
+	// done with the frame's bytes — staged into the session write
+	// buffer or handed to the socket, on success and error alike. It is
+	// the point where memory aliased by Vec may be unpinned (e.g. a
+	// file chunk's read lease dropped).
+	Release func()
+}
+
+// BytesResponse wraps a contiguous body in a Response.
+func BytesResponse(b []byte) Response { return Response{Payload: b} }
+
 // Handler processes one request. ctx carries cancellation and the
 // propagated span context when the client attached a trace-extension
 // frame (handlers thread it into any onward RPCs so traces span
 // hops); conn identifies the client connection (used by the
 // notification machinery to push frames back); method is the method
-// identifier; payload the request body. The returned bytes become the
-// response body; a returned error maps onto a wire error code
-// (sentinels from internal/core travel losslessly).
-//
-// Ownership contract: the returned payload passes to the rpc layer,
-// which recycles it into the wire buffer pool once the response frame
-// is written. Handlers must therefore return a buffer they no longer
-// reference after returning — freshly encoded (rpc.Marshal,
-// ds.EncodeVals) or taken from wire.GetBuf — never a slice aliasing
-// long-lived state.
-type Handler func(ctx context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error)
+// identifier; payload the request body. The returned Response becomes
+// the response body (see its ownership contract); a returned error
+// maps onto a wire error code (sentinels from internal/core travel
+// losslessly).
+type Handler func(ctx context.Context, conn *ServerConn, method uint16, payload []byte) (Response, error)
+
+// BytesHandler adapts a contiguous-payload handler function to the
+// Handler contract — the natural shape for control planes whose
+// replies are always freshly gob-encoded.
+func BytesHandler(fn func(ctx context.Context, conn *ServerConn, method uint16, payload []byte) ([]byte, error)) Handler {
+	return func(ctx context.Context, conn *ServerConn, method uint16, payload []byte) (Response, error) {
+		b, err := fn(ctx, conn, method, payload)
+		return Response{Payload: b}, err
+	}
+}
 
 // Server accepts framed connections and dispatches requests to a
 // Handler. Each connection gets a read pump; each request runs in its
@@ -179,10 +210,37 @@ func (sc *ServerConn) RemoteAddr() net.Addr { return sc.conn.RemoteAddr() }
 // unboundedly.
 const maxPendingTrace = 4096
 
+// traceCache pairs trace-extension frames with the request that
+// follows under the same seq. Single-goroutine use (the connection's
+// read loop). When a burst of orphaned extensions fills it, the stale
+// pairings are dropped wholesale: losing trace parentage for in-flight
+// requests of one pathological burst is better than refusing every
+// new pairing for the rest of the connection's life.
+type traceCache struct {
+	m map[uint64]obs.SpanContext
+}
+
+func (tc *traceCache) put(seq uint64, sc obs.SpanContext) {
+	if tc.m == nil {
+		tc.m = make(map[uint64]obs.SpanContext)
+	}
+	if len(tc.m) >= maxPendingTrace {
+		clear(tc.m)
+	}
+	tc.m[seq] = sc
+}
+
+func (tc *traceCache) take(seq uint64) (sc obs.SpanContext) {
+	if len(tc.m) == 0 {
+		return
+	}
+	sc = tc.m[seq]
+	delete(tc.m, seq)
+	return
+}
+
 func (sc *ServerConn) readLoop() {
-	// pendingTrace pairs trace-extension frames with the request that
-	// follows under the same seq. Only this goroutine touches it.
-	var pendingTrace map[uint64]obs.SpanContext
+	var pending traceCache
 	for {
 		f, err := sc.conn.ReadFrame()
 		if err != nil {
@@ -193,22 +251,13 @@ func (sc *ServerConn) readLoop() {
 		case wire.KindRequest:
 		case wire.KindTraceExt:
 			if trace, span, ok := wire.DecodeTraceExt(f.Payload); ok {
-				if pendingTrace == nil {
-					pendingTrace = make(map[uint64]obs.SpanContext)
-				}
-				if len(pendingTrace) < maxPendingTrace {
-					pendingTrace[f.Seq] = obs.SpanContext{TraceID: trace, SpanID: span}
-				}
+				pending.put(f.Seq, obs.SpanContext{TraceID: trace, SpanID: span})
 			}
 			continue
 		default:
 			continue // ignore stray frames
 		}
-		var trace obs.SpanContext
-		if len(pendingTrace) > 0 {
-			trace = pendingTrace[f.Seq]
-			delete(pendingTrace, f.Seq)
-		}
+		trace := pending.take(f.Seq)
 		sc.reqWG.Add(1)
 		go func(f *wire.Frame, trace obs.SpanContext) {
 			defer sc.reqWG.Done()
@@ -249,18 +298,24 @@ func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
 	}
 
 	resp, err := sc.callHandler(ctx, f)
-	out := &wire.Frame{Kind: wire.KindResponse, Seq: f.Seq}
+	// The release hook rides on the frame so it fires exactly once on
+	// every write path — success, staging error, or dead connection —
+	// which is what lets handlers lease block memory into Vec.
+	out := &wire.Frame{Kind: wire.KindResponse, Seq: f.Seq, Release: resp.Release}
 	if err != nil {
 		out.Code = core.CodeOf(err)
 		if out.Code == core.CodeOther {
 			out.Payload = []byte(err.Error())
 		} else {
 			// Sentinel errors may carry a redirect/diagnostic payload.
-			out.Payload = resp
+			out.Payload = resp.Payload
+			out.PayloadVec = resp.Vec
 		}
 	} else {
-		out.Payload = resp
+		out.Payload = resp.Payload
+		out.PayloadVec = resp.Vec
 	}
+	respBytes := out.PayloadLen()
 	if werr := sc.conn.WriteFrame(out); werr != nil && !errors.Is(werr, net.ErrClosed) {
 		sc.srv.log.Debug("rpc: response write failed", "err", werr)
 	}
@@ -283,21 +338,22 @@ func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
 	if stats != nil {
 		stats.InFlight.Dec()
 		stats.Latency.ObserveDuration(time.Since(start))
-		stats.BytesOut.Add(int64(len(out.Payload)))
+		stats.BytesOut.Add(int64(respBytes))
 		if err != nil {
 			stats.Errors.Inc()
 		}
 	}
-	// WriteFrame consumed the payload (see the Handler ownership
-	// contract); recycle it for the next response.
-	wire.PutBuf(out.Payload)
+	// WriteFrame consumed the contiguous payload (see the Response
+	// ownership contract); recycle it for the next response. Vec
+	// segments are the handler's memory — never pooled here.
+	wire.PutBuf(resp.Payload)
 }
 
-func (sc *ServerConn) callHandler(ctx context.Context, f *wire.Frame) (resp []byte, err error) {
+func (sc *ServerConn) callHandler(ctx context.Context, f *wire.Frame) (resp Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sc.srv.log.Error("rpc: handler panic", "method", f.Method, "panic", r)
-			err = core.ErrClosed
+			resp, err = Response{}, core.ErrClosed
 		}
 	}()
 	return sc.srv.handler(ctx, sc, f.Method, f.Payload)

@@ -1,0 +1,56 @@
+package rpc
+
+import (
+	"testing"
+
+	"jiffy/internal/obs"
+)
+
+// TestTraceCachePairing covers the basic put/take contract: a pairing
+// is returned exactly once, and unknown seqs yield the zero context.
+func TestTraceCachePairing(t *testing.T) {
+	var tc traceCache
+	if got := tc.take(7); got.Valid() {
+		t.Fatalf("empty cache returned a valid context: %+v", got)
+	}
+	tc.put(7, obs.SpanContext{TraceID: 1, SpanID: 2})
+	if got := tc.take(7); got.TraceID != 1 || got.SpanID != 2 {
+		t.Fatalf("take(7) = %+v, want {1 2}", got)
+	}
+	if got := tc.take(7); got.Valid() {
+		t.Fatalf("second take(7) returned a valid context: %+v", got)
+	}
+}
+
+// TestTraceCacheEviction exercises the clear-on-full bound: a peer
+// spraying extensions without requests fills the cache, after which the
+// stale pairings are dropped wholesale and new pairings keep working —
+// the map never exceeds maxPendingTrace entries.
+func TestTraceCacheEviction(t *testing.T) {
+	var tc traceCache
+	for seq := uint64(0); seq < maxPendingTrace; seq++ {
+		tc.put(seq, obs.SpanContext{TraceID: seq + 1, SpanID: 1})
+	}
+	if len(tc.m) != maxPendingTrace {
+		t.Fatalf("cache holds %d entries, want %d", len(tc.m), maxPendingTrace)
+	}
+
+	// The put that would exceed the bound clears the stale pairings and
+	// installs only itself.
+	tc.put(99999, obs.SpanContext{TraceID: 42, SpanID: 7})
+	if len(tc.m) != 1 {
+		t.Fatalf("cache holds %d entries after eviction, want 1", len(tc.m))
+	}
+	if got := tc.take(0); got.Valid() {
+		t.Fatalf("evicted pairing survived: %+v", got)
+	}
+	if got := tc.take(99999); got.TraceID != 42 {
+		t.Fatalf("post-eviction pairing lost: %+v", got)
+	}
+
+	// The cache keeps accepting pairings after an eviction cycle.
+	tc.put(5, obs.SpanContext{TraceID: 9, SpanID: 9})
+	if got := tc.take(5); got.TraceID != 9 {
+		t.Fatalf("pairing after eviction lost: %+v", got)
+	}
+}

@@ -12,15 +12,26 @@ import (
 	"jiffy/internal/wire"
 )
 
-// handle is the memory server's RPC dispatch.
-func (s *Server) handle(ctx context.Context, conn *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+// handle is the memory server's RPC dispatch. Data-plane ops build
+// their responses as scatter-gather views into block memory (see
+// handleDataOp); the control-plane methods reply with freshly
+// gob-encoded bodies.
+func (s *Server) handle(ctx context.Context, conn *rpc.ServerConn, method uint16, payload []byte) (rpc.Response, error) {
 	switch method {
 	case proto.MethodDataOp:
 		return s.handleDataOp(ctx, payload)
-
 	case proto.MethodDataOpBatch:
-		return s.handleDataOpBatch(ctx, payload)
+		b, err := s.handleDataOpBatch(ctx, payload)
+		return rpc.BytesResponse(b), err
+	default:
+		b, err := s.handleControl(ctx, conn, method, payload)
+		return rpc.BytesResponse(b), err
+	}
+}
 
+// handleControl serves the control-plane methods.
+func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
+	switch method {
 	case proto.MethodCreateBlock:
 		var req proto.CreateBlockReq
 		if err := rpc.Unmarshal(payload, &req); err != nil {
@@ -200,32 +211,54 @@ func (s *Server) handle(ctx context.Context, conn *rpc.ServerConn, method uint16
 // handleDataOp executes one data-plane operation: apply locally,
 // propagate down the replication chain for mutations, then notify
 // subscribers.
-func (s *Server) handleDataOp(ctx context.Context, payload []byte) ([]byte, error) {
+//
+// Non-mutating ops are tried on the zero-copy view path first: the
+// result slices alias block memory and travel to the socket without a
+// server-side copy, with Response.Release carrying any read lease the
+// partition holds (fired by the wire layer once the frame's bytes are
+// consumed). Mutations and ops without a view form fall back to Apply,
+// whose results are owned by the response outright — dequeued items and
+// deleted/updated previous values are removed from the partition when
+// they are returned, so vectoring them is ownership transfer, not
+// aliasing.
+func (s *Server) handleDataOp(ctx context.Context, payload []byte) (rpc.Response, error) {
 	op, blockID, args, err := ds.DecodeRequest(payload)
 	if err != nil {
-		return nil, err
+		return rpc.Response{}, err
 	}
 	s.ops.Add(1)
 
+	b, err := s.store.Get(blockID)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+
 	var res [][]byte
+	var release func()
 	if op.IsMutation() {
-		res, err = s.applyMutation(ctx, blockID, op, args)
+		res, err = s.applyMutationOn(ctx, b, op, args, true)
+	} else if v, handled, verr := ds.ApplyView(b.Partition, op, args); handled {
+		// The view path bypasses Store.ApplyOn; keep the op counter
+		// accurate. On error no lease is held (ViewReader contract).
+		s.store.CountOps(1)
+		res, release, err = v.Vals, v.Release, verr
 	} else {
-		res, err = s.store.Apply(blockID, op, args)
+		res, err = s.store.ApplyOn(b, op, args, true)
 	}
 	if err != nil {
 		// Redirect errors carry the successor block in their payload.
 		if p := ds.RedirectPayloadOf(err); p != nil {
-			return p, core.ErrRedirect
+			return rpc.BytesResponse(p), core.ErrRedirect
 		}
-		return nil, err
+		return rpc.Response{}, err
 	}
 	var notifyData []byte
 	if len(args) > 0 {
 		notifyData = args[0]
 	}
 	s.notify(blockID, op, notifyData)
-	return ds.EncodeVals(res), nil
+	head, vec := ds.AppendValsVec(wire.GetBuf(), res)
+	return rpc.Response{Payload: head, Vec: vec, Release: release}, nil
 }
 
 // handleDataOpBatch executes many data-plane ops from one request

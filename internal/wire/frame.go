@@ -64,8 +64,11 @@ const MaxFrameSize = 256 * core.MB
 // readAllocChunk bounds the upfront allocation for an incoming frame.
 // Frames claiming more are read in chunks, so a garbage length prefix
 // cannot force a huge allocation before the stream proves it actually
-// has the bytes.
-const readAllocChunk = core.MB
+// has the bytes. The bound sits above the largest hot-path frame — a
+// 1MiB file read plus vector prefixes — because a frame a few bytes
+// over the chunk size would otherwise pay a full extra allocation and
+// copy when the chunked growth rounds up to the true length.
+const readAllocChunk = core.MB + 64*core.KB
 
 // Frame is one protocol message.
 type Frame struct {
@@ -74,6 +77,38 @@ type Frame struct {
 	Method  uint16
 	Code    core.ErrorCode
 	Payload []byte
+
+	// PayloadVec carries additional payload segments written after
+	// Payload by scatter-gather IO — the zero-copy path for bodies that
+	// alias long-lived block memory. It is a write-side construct only:
+	// frames always arrive from ReadFrame with a single contiguous
+	// Payload.
+	PayloadVec [][]byte
+
+	// Release, when non-nil, is invoked exactly once when the
+	// connection is done with the frame's payload memory — after the
+	// bytes have been staged into the write buffer or handed to the
+	// socket, on success and error paths alike. Handlers use it to
+	// unpin block memory aliased by Payload/PayloadVec.
+	Release func()
+}
+
+// PayloadLen is the total payload size across Payload and PayloadVec.
+func (f *Frame) PayloadLen() int {
+	n := len(f.Payload)
+	for _, p := range f.PayloadVec {
+		n += len(p)
+	}
+	return n
+}
+
+// release fires the Release hook at most once.
+func (f *Frame) release() {
+	if f.Release != nil {
+		r := f.Release
+		f.Release = nil
+		r()
+	}
 }
 
 // Conn wraps a net.Conn with buffered framed IO. Reads must come from a
@@ -113,7 +148,8 @@ func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 // opportunistically coalesced: if other writers are already queued on
 // this connection, the buffer is left for the last of them to flush,
 // so concurrent single-op callers sharing a session amortize flushes.
-// f.Payload is fully consumed before return and may be reused.
+// f.Payload and f.PayloadVec are fully consumed before return and may
+// be reused; f.Release (if set) has fired by then.
 func (c *Conn) WriteFrame(f *Frame) error {
 	c.writers.Add(1)
 	c.wmu.Lock()
@@ -136,8 +172,13 @@ func (c *Conn) WriteFrames(frames ...*Frame) error {
 	c.writers.Add(1)
 	c.wmu.Lock()
 	var err error
-	for _, f := range frames {
+	for i, f := range frames {
 		if err = c.writeFrameLocked(f); err != nil {
+			// The failing frame released itself; frames never staged must
+			// still release so their payload memory is unpinned.
+			for _, g := range frames[i+1:] {
+				g.release()
+			}
 			break
 		}
 	}
@@ -150,10 +191,25 @@ func (c *Conn) WriteFrames(frames ...*Frame) error {
 	return err
 }
 
-// writeFrameLocked stages one frame into the write buffer. Caller holds
-// wmu.
+// directWriteThreshold is the PayloadVec size above which the write
+// path bypasses the bufio copy and hands the segments to the kernel as
+// one vectored write. Below it, staging through the 64KB write buffer
+// is cheaper than a syscall per frame.
+const directWriteThreshold = 32 * core.KB
+
+// writeFrameLocked stages one frame into the write buffer, or — for
+// frames carrying a large PayloadVec — flushes staged bytes and writes
+// the segments with scatter-gather IO (writev on TCP), so big bodies
+// aliasing block memory reach the socket without an intermediate copy.
+// The frame's Release hook fires before return on every path. Caller
+// holds wmu.
 func (c *Conn) writeFrameLocked(f *Frame) error {
-	n := headerLen + len(f.Payload)
+	defer f.release()
+	vecLen := 0
+	for _, p := range f.PayloadVec {
+		vecLen += len(p)
+	}
+	n := headerLen + len(f.Payload) + vecLen
 	if n > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
 	}
@@ -165,8 +221,28 @@ func (c *Conn) writeFrameLocked(f *Frame) error {
 	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
 	}
-	_, err := c.w.Write(f.Payload)
-	return err
+	if _, err := c.w.Write(f.Payload); err != nil {
+		return err
+	}
+	if vecLen == 0 {
+		return nil
+	}
+	if c.nc != nil && vecLen >= directWriteThreshold {
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		// net.Buffers.WriteTo consumes its slice, so hand it a copy.
+		bufs := make(net.Buffers, len(f.PayloadVec))
+		copy(bufs, f.PayloadVec)
+		_, err := bufs.WriteTo(c.nc)
+		return err
+	}
+	for _, p := range f.PayloadVec {
+		if _, err := c.w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // maybeFlushLocked releases this goroutine's writer slot and flushes
@@ -186,14 +262,18 @@ func (c *Conn) maybeFlushLocked() error {
 // straight into the bufio writer instead to avoid the copy.
 func appendFrame(dst []byte, f *Frame) []byte {
 	var hdr [4 + headerLen]byte
-	n := headerLen + len(f.Payload)
+	n := headerLen + f.PayloadLen()
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = byte(f.Kind)
 	binary.BigEndian.PutUint64(hdr[5:13], f.Seq)
 	binary.BigEndian.PutUint16(hdr[13:15], f.Method)
 	hdr[15] = byte(f.Code)
 	dst = append(dst, hdr[:]...)
-	return append(dst, f.Payload...)
+	dst = append(dst, f.Payload...)
+	for _, p := range f.PayloadVec {
+		dst = append(dst, p...)
+	}
+	return dst
 }
 
 // parseFrame decodes the post-length-prefix portion of a frame. buf
@@ -265,15 +345,26 @@ func (c *Conn) ReadFrame() (*Frame, error) {
 		}
 	} else {
 		// Chunked read: the allocation grows only as the bytes actually
-		// arrive, so a forged length cannot balloon memory.
+		// arrive, so a forged length cannot balloon memory. Growth
+		// doubles but is capped at exactly n — append's overshoot would
+		// cost a 1 MiB frame an extra 2 MiB allocation.
 		buf = make([]byte, 0, readAllocChunk)
 		for len(buf) < n {
-			chunk := n - len(buf)
-			if chunk > readAllocChunk {
-				chunk = readAllocChunk
+			if len(buf) == cap(buf) {
+				grown := cap(buf) * 2
+				if grown > n {
+					grown = n
+				}
+				next := make([]byte, len(buf), grown)
+				copy(next, buf)
+				buf = next
+			}
+			chunk := cap(buf) - len(buf)
+			if rem := n - len(buf); chunk > rem {
+				chunk = rem
 			}
 			start := len(buf)
-			buf = append(buf, make([]byte, chunk)...)
+			buf = buf[:start+chunk]
 			if _, err := io.ReadFull(c.r, buf[start:]); err != nil {
 				return nil, err
 			}

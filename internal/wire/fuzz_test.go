@@ -101,3 +101,59 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFrameVecRoundTrip covers the scatter-gather write path: a frame
+// whose body is split across Payload and PayloadVec segments must
+// produce the same byte stream from the test encoder and the live
+// staged write path, decode back as one contiguous payload, and fire
+// its Release hook exactly once.
+func FuzzFrameVecRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(0), uint16(0), byte(0), []byte(nil), []byte(nil), []byte(nil))
+	f.Add(byte(2), uint64(42), uint16(7), byte(0), []byte("head"), []byte("vec-a"), []byte("vec-b"))
+	f.Add(byte(2), uint64(9), uint16(0x0101), byte(0), []byte{0, 6}, bytes.Repeat([]byte{0xcd}, 1024), []byte(nil))
+	f.Add(byte(3), uint64(1)<<40, uint16(0x0110), byte(5), []byte(nil), []byte("only-vec"), bytes.Repeat([]byte{0x11}, 100))
+	f.Fuzz(func(t *testing.T, kind byte, seq uint64, method uint16, code byte, payload, vecA, vecB []byte) {
+		in := &Frame{
+			Kind:       Kind(kind%4 + 1),
+			Seq:        seq,
+			Method:     method,
+			Code:       core.ErrorCode(code),
+			Payload:    payload,
+			PayloadVec: [][]byte{vecA, vecB},
+		}
+		want := append(append(append([]byte(nil), payload...), vecA...), vecB...)
+
+		encoded := appendFrame(nil, in)
+
+		// The live write path must emit identical bytes and fire the
+		// release hook exactly once, staged or vectored alike.
+		released := 0
+		var stream bytes.Buffer
+		wc := &Conn{w: bufio.NewWriterSize(&stream, 64*core.KB)}
+		live := *in
+		live.Release = func() { released++ }
+		if err := wc.WriteFrame(&live); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if released != 1 {
+			t.Fatalf("release fired %d times, want 1", released)
+		}
+		if !bytes.Equal(stream.Bytes(), encoded) {
+			t.Fatalf("write path emitted %d bytes != appendFrame's %d", stream.Len(), len(encoded))
+		}
+
+		out, err := fuzzConn(encoded).ReadFrame()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Kind != in.Kind || out.Seq != in.Seq || out.Method != in.Method || out.Code != in.Code {
+			t.Fatalf("header: got %+v, want %+v", out, in)
+		}
+		if !bytes.Equal(out.Payload, want) {
+			t.Fatalf("payload: got %d bytes, want %d", len(out.Payload), len(want))
+		}
+		if len(out.PayloadVec) != 0 {
+			t.Fatalf("decoded frame has PayloadVec (%d segments); reads are contiguous", len(out.PayloadVec))
+		}
+	})
+}

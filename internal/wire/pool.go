@@ -27,7 +27,9 @@ var payloadPool = sync.Pool{
 // result, then release it with PutBuf.
 func GetBuf() []byte {
 	p := payloadPool.Get().(*[]byte)
-	return (*p)[:0]
+	b := (*p)[:0]
+	debugTrackGet(b)
+	return b
 }
 
 // PutBuf returns a buffer to the pool. The caller must not touch b
@@ -39,6 +41,7 @@ func PutBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBuf {
 		return
 	}
+	debugTrackPut(b)
 	b = b[:0]
 	payloadPool.Put(&b)
 }

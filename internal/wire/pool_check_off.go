@@ -1,0 +1,10 @@
+//go:build !jiffydebug
+
+package wire
+
+// Release builds compile the pool ownership hooks away entirely; the
+// assertions live in pool_check_on.go behind -tags jiffydebug.
+
+func debugTrackGet([]byte) {}
+
+func debugTrackPut([]byte) {}

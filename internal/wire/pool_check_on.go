@@ -1,0 +1,65 @@
+//go:build jiffydebug
+
+package wire
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Debug-build buffer-ownership assertions (-tags jiffydebug). The
+// release-hook payload contract makes ownership bugs easy to write, so
+// under this tag the pool becomes an oracle for the two classic ones:
+//
+//   - double put: PutBuf records each pooled buffer by backing-array
+//     address; a second PutBuf before GetBuf hands it out again panics.
+//   - use after put: PutBuf poisons the buffer's full capacity; GetBuf
+//     verifies the poison is intact, so a holder that kept writing
+//     through a released slice panics at the buffer's next reuse.
+//
+// PutBuf is documented as safe on arbitrary slices, so buffers that
+// never came from the pool are tracked from their first Put onward —
+// only genuinely double-released pool-eligible buffers trip the panic.
+
+const poisonByte = 0xDB
+
+// pooledBufs maps backing-array pointer → struct{} for buffers
+// currently inside the pool. Entries for buffers the GC collects out of
+// the pool leak; acceptable for a debug build.
+var pooledBufs sync.Map
+
+func bufKey(b []byte) unsafe.Pointer {
+	return unsafe.Pointer(unsafe.SliceData(b))
+}
+
+func debugTrackGet(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	if _, wasPooled := pooledBufs.LoadAndDelete(bufKey(b)); wasPooled {
+		verifyPoison(b)
+	}
+}
+
+func debugTrackPut(b []byte) {
+	if _, loaded := pooledBufs.LoadOrStore(bufKey(b), struct{}{}); loaded {
+		panic("wire: double PutBuf of the same buffer")
+	}
+	poison(b)
+}
+
+func poison(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+func verifyPoison(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		if b[i] != poisonByte {
+			panic("wire: buffer written after PutBuf (use after put)")
+		}
+	}
+}
