@@ -145,6 +145,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 			Persist:        opts.Persist,
 			Logger:         opts.Logger,
 			Dial:           opts.Dial,
+			Clock:          opts.Clock,
 		})
 		if err != nil {
 			c.Close()

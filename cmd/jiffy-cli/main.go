@@ -190,6 +190,14 @@ func run(c *jiffy.Client, args []string) error {
 	case "save-state":
 		need(rest, 1)
 		return c.SaveControllerState(context.Background(), rest[0])
+	case "drain":
+		need(rest, 1)
+		n, err := c.DrainServer(context.Background(), rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained %s: migrated %d partition entries\n", rest[0], n)
+		return nil
 	case "stats":
 		return stats(c, rest)
 	default:
@@ -277,7 +285,7 @@ commands:
   append <path> <data>          read <path> <off> <len>
   renew <path>                  flush <path> <dest>     load <path> <src>
   ls <job>                      stats [--watch] [--admin addr]
-  save-state <key>`)
+  save-state <key>              drain <server-addr>`)
 }
 
 func fatal(format string, args ...interface{}) {

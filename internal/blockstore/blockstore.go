@@ -30,8 +30,11 @@ type Block struct {
 	Partition ds.Partition
 	// Chunk is the file chunk index or queue segment sequence number.
 	Chunk int
-	// Chain is the block's replication chain (empty = unreplicated).
-	Chain core.ReplicaChain
+
+	// chain is the block's replication chain (nil = unreplicated),
+	// behind an atomic pointer: chain repair replaces it in place while
+	// the data path reads it lock-free on every mutation.
+	chain atomic.Pointer[core.ReplicaChain]
 
 	// signaled tracks the threshold state to de-duplicate signals:
 	// 0 = normal, 1 = over signaled, -1 = under signaled.
@@ -40,41 +43,82 @@ type Block struct {
 	// freshly created empty blocks don't immediately signal underload.
 	armedUnder atomic.Bool
 
-	// Replication ordering state (only used when Chain is non-empty).
-	// At the chain head, replMu serializes mutation application with
-	// sequence assignment so the propagation stream's sequence order
-	// equals local apply order; at replicas, applySeq/applyCond make
-	// forwarded mutations apply in that same order even though the RPC
-	// layer dispatches them concurrently.
+	// Replication ordering state (only used when the chain is
+	// non-empty). At the chain head, replMu serializes mutation
+	// application with sequence assignment so the propagation stream's
+	// sequence order equals local apply order; at replicas,
+	// applySeq/applyCond make forwarded mutations apply in that same
+	// order even though the RPC layer dispatches them concurrently.
+	// replGen identifies the chain configuration the sequence stream
+	// belongs to: a repair splice resets the sequence counters and bumps
+	// the generation, so stragglers from the old chain fail fast instead
+	// of waiting for sequence numbers that will never arrive.
 	replMu    sync.Mutex
 	replSeq   uint64
+	replGen   uint64
 	applySeq  uint64
 	applyCond *sync.Cond
 }
 
+// Chain returns the block's current replication chain (nil when
+// unreplicated). The returned slice must not be mutated.
+func (b *Block) Chain() core.ReplicaChain {
+	if p := b.chain.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetChain installs a replication chain and generation, resetting the
+// sequence stream: the chain's members were just (re)synchronized by
+// snapshot, so the next mutation starts a fresh stream at sequence 0.
+// Waiters from the previous generation are woken and fail fast.
+func (b *Block) SetChain(chain core.ReplicaChain, gen uint64) {
+	b.replMu.Lock()
+	b.chain.Store(&chain)
+	b.replSeq = 0
+	b.applySeq = 0
+	b.replGen = gen
+	if b.applyCond != nil {
+		b.applyCond.Broadcast()
+	}
+	b.replMu.Unlock()
+}
+
 // NextReplSeq atomically applies a head-side mutation via fn and
-// assigns it the next replication sequence number.
-func (b *Block) NextReplSeq(fn func() ([][]byte, error)) (res [][]byte, seq uint64, err error) {
+// assigns it the next replication sequence number, stamped with the
+// chain generation it belongs to.
+func (b *Block) NextReplSeq(fn func() ([][]byte, error)) (res [][]byte, seq, gen uint64, err error) {
 	b.replMu.Lock()
 	defer b.replMu.Unlock()
 	res, err = fn()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	seq = b.replSeq
+	gen = b.replGen
 	b.replSeq++
-	return res, seq, nil
+	return res, seq, gen, nil
 }
 
 // ApplyInOrder blocks until it is seq's turn at this replica, applies
-// fn, and releases the next sequence number.
-func (b *Block) ApplyInOrder(seq uint64, fn func() ([][]byte, error)) ([][]byte, error) {
+// fn, and releases the next sequence number. A mutation from a
+// different chain generation than the replica's current one returns
+// ErrStaleEpoch immediately (or as soon as a repair bumps the
+// generation mid-wait): its sender is propagating along a chain that no
+// longer exists, and must refresh.
+func (b *Block) ApplyInOrder(seq, gen uint64, fn func() ([][]byte, error)) ([][]byte, error) {
 	b.replMu.Lock()
 	if b.applyCond == nil {
 		b.applyCond = sync.NewCond(&b.replMu)
 	}
-	for b.applySeq != seq {
+	for b.applySeq != seq && b.replGen == gen {
 		b.applyCond.Wait()
+	}
+	if b.replGen != gen {
+		b.replMu.Unlock()
+		return nil, fmt.Errorf("blockstore: block %v: chain generation %d superseded by %d: %w",
+			b.ID, gen, b.replGen, core.ErrStaleEpoch)
 	}
 	res, err := fn()
 	b.applySeq++

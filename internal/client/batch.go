@@ -129,7 +129,12 @@ func (k *KV) execBatch(ctx context.Context, op core.OpType, keys []string, args 
 		var next []int
 		needRefresh := false
 		for _, i := range pending {
-			info, ok := k.route(keys[i], op, avoid)
+			info, ok, rerr := k.route(keys[i], op, avoid)
+			if rerr != nil {
+				// Lost block: fail this op permanently, no retry.
+				errs[i] = rerr
+				continue
+			}
 			if !ok {
 				errs[i] = core.ErrStaleEpoch
 				next = append(next, i)

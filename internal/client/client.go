@@ -391,6 +391,23 @@ func (c *Client) ControllerStats(ctx context.Context) (proto.ControllerStatsResp
 	return agg, nil
 }
 
+// DrainServer migrates every block off a memory server (graceful
+// decommission). The server is removed from the membership first, so
+// nothing new lands on it mid-drain; once the call returns it hosts no
+// data and can be shut down. Not job-scoped: the drain is sent to
+// every controller in the group.
+func (c *Client) DrainServer(ctx context.Context, addr string) (int, error) {
+	total := 0
+	for _, ctrl := range c.ctrls {
+		var resp proto.DrainServerResp
+		if err := ctrl.CallGobCtx(ctx, proto.MethodDrainServer, proto.DrainServerReq{Addr: addr}, &resp); err != nil {
+			return total, err
+		}
+		total += resp.Migrated
+	}
+	return total, nil
+}
+
 // ListPrefixes lists a job's address hierarchy.
 func (c *Client) ListPrefixes(ctx context.Context, job core.JobID) ([]proto.PrefixInfo, error) {
 	var resp proto.ListPrefixesResp

@@ -49,6 +49,9 @@ func (cu *Custom) Exec(ctx context.Context, ci int, op core.OpType, args ...[]by
 		if !ok {
 			return nil, fmt.Errorf("client: custom chunk %d: %w", ci, core.ErrNotFound)
 		}
+		if e.Lost {
+			return nil, lostErr(e)
+		}
 		target := e.ReadTarget()
 		if op.IsMutation() {
 			target = e.WriteTarget()

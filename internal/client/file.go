@@ -39,6 +39,9 @@ func (f *File) blockFor(ctx context.Context, ci int, grow bool) (core.BlockInfo,
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		m := f.h.snapshot()
 		if e, ok := m.BlockForChunk(ci); ok {
+			if e.Lost {
+				return core.BlockInfo{}, lostErr(e)
+			}
 			if grow {
 				return e.WriteTarget(), nil
 			}

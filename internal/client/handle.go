@@ -239,3 +239,10 @@ func (h *handle) retryLimit() int { return h.c.policy.Limit }
 func errRetriesExhausted(op string, err error) error {
 	return fmt.Errorf("client: %s: retries exhausted: %w", op, err)
 }
+
+// lostErr is the fail-fast error for a partition entry the controller
+// marked Lost: every replica died with no flushed copy, so no amount
+// of retrying will bring the data back.
+func lostErr(e ds.PartitionEntry) error {
+	return fmt.Errorf("client: block %d: %w", e.Info.ID, core.ErrBlockLost)
+}

@@ -27,27 +27,30 @@ func (k *KV) Path() core.Path { return k.h.path }
 // reads fall back to the closest upstream chain member still reachable
 // — safe because chain propagation is synchronous, so every replica
 // holds all acknowledged writes.
-func (k *KV) route(key string, op core.OpType, avoid map[string]bool) (core.BlockInfo, bool) {
+func (k *KV) route(key string, op core.OpType, avoid map[string]bool) (core.BlockInfo, bool, error) {
 	m := k.h.snapshot()
 	if m.NumSlots == 0 {
-		return core.BlockInfo{}, false
+		return core.BlockInfo{}, false, nil
 	}
 	e, ok := m.BlockForSlot(ds.SlotOf(key, m.NumSlots))
 	if !ok {
-		return core.BlockInfo{}, false
+		return core.BlockInfo{}, false, nil
+	}
+	if e.Lost {
+		return core.BlockInfo{}, false, lostErr(e)
 	}
 	if op.IsMutation() {
-		return e.WriteTarget(), true
+		return e.WriteTarget(), true, nil
 	}
 	rt := e.ReadTarget()
 	if avoid[rt.Server] {
 		for i := len(e.Chain) - 1; i >= 0; i-- {
 			if !avoid[e.Chain[i].Server] {
-				return e.Chain[i], true
+				return e.Chain[i], true, nil
 			}
 		}
 	}
-	return rt, true
+	return rt, true, nil
 }
 
 // exec runs op with staleness/full/connection recovery. ctx bounds the
@@ -57,7 +60,10 @@ func (k *KV) exec(ctx context.Context, op core.OpType, key string, args [][]byte
 	var lastErr error
 	var avoid map[string]bool
 	for attempt := 0; attempt < k.h.retryLimit(); attempt++ {
-		info, ok := k.route(key, op, avoid)
+		info, ok, err := k.route(key, op, avoid)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			if err := k.h.refresh(ctx); err != nil {
 				return nil, err

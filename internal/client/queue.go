@@ -36,6 +36,12 @@ func (q *Queue) ends() (core.BlockInfo, core.BlockInfo, error) {
 		if !ok1 || !ok2 {
 			return core.BlockInfo{}, core.BlockInfo{}, core.ErrNotFound
 		}
+		if h.Lost {
+			return core.BlockInfo{}, core.BlockInfo{}, lostErr(h)
+		}
+		if t.Lost {
+			return core.BlockInfo{}, core.BlockInfo{}, lostErr(t)
+		}
 		q.head, q.tail = h.Info, t.Info
 	}
 	return q.head, q.tail, nil

@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"errors"
+
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
 )
@@ -58,6 +60,34 @@ func (c *Controller) createChainOnServers(chain core.ReplicaChain, path core.Pat
 		}
 	}
 	return nil
+}
+
+// provisionChain allocates one chain and installs it on its servers,
+// retrying with a fresh allocation when a chosen server turns out to
+// be unreachable. The unreachable server is evicted — free blocks
+// removed from the allocator, membership epoch bumped, its chains
+// repaired asynchronously — so the retry deterministically lands on
+// healthy servers instead of looping on the dead one (the allocator's
+// most-free placement would otherwise keep choosing it: a dead server
+// stops consuming blocks, so its free count only looks better).
+func (c *Controller) provisionChain(path core.Path, t core.DSType, chunk int,
+	slots []ds.SlotRange) (core.ReplicaChain, error) {
+	for {
+		chains, err := c.allocateChains(1)
+		if err != nil {
+			return nil, err
+		}
+		err = c.createChainOnServers(chains[0], path, t, chunk, slots)
+		if err == nil {
+			return chains[0], nil
+		}
+		c.alloc.Free(chains[0])
+		var ue *serverUnreachableError
+		if !errors.As(err, &ue) {
+			return nil, err
+		}
+		c.evictServer(ue.addr)
+	}
 }
 
 // deleteChainOnServers removes every member of an entry's chain.

@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jiffy/internal/alloc"
 	"jiffy/internal/clock"
@@ -67,6 +68,14 @@ type Controller struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// failure detection (see health.go): last heartbeat per live
+	// server, the set of servers declared dead, and the membership
+	// epoch that advances on every membership change.
+	hbMu        sync.Mutex
+	lastBeat    map[string]time.Time
+	deadServers map[string]bool
+	memberEpoch atomic.Uint64
+
 	// counters for stats and the Fig. 12 benchmarks
 	ops         atomic.Int64
 	renews      atomic.Int64
@@ -74,6 +83,11 @@ type Controller struct {
 	scaleUps    atomic.Int64
 	scaleDowns  atomic.Int64
 	flushBlocks atomic.Int64
+
+	// recovery counters (see health.go / repair.go)
+	srvFailures  atomic.Int64
+	chainRepairs atomic.Int64
+	blocksLost   atomic.Int64
 
 	// telemetry: the counters above plus allocator and per-job gauges,
 	// per-method RPC stats, and recent spans, served via Obs()/Spans().
@@ -108,13 +122,15 @@ func New(opts Options) (*Controller, error) {
 		opts.Logger = slog.Default()
 	}
 	c := &Controller{
-		cfg:     opts.Config,
-		clk:     opts.Clock,
-		log:     opts.Logger,
-		persist: opts.Persist,
-		alloc:   alloc.New(),
-		servers: rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
-		stop:    make(chan struct{}),
+		cfg:         opts.Config,
+		clk:         opts.Clock,
+		log:         opts.Logger,
+		persist:     opts.Persist,
+		alloc:       alloc.New(),
+		servers:     rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		stop:        make(chan struct{}),
+		lastBeat:    make(map[string]time.Time),
+		deadServers: make(map[string]bool),
 	}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &shard{jobs: make(map[core.JobID]*hierarchy.Hierarchy)})
@@ -123,6 +139,13 @@ func New(opts Options) (*Controller, error) {
 	if !opts.DisableExpiry {
 		c.wg.Add(1)
 		go c.expiryWorker()
+	}
+	// The failure detector shares the background-maintenance switch:
+	// simulations that step time manually also step liveness manually
+	// (CheckLivenessNow).
+	if !opts.DisableExpiry && opts.Config.HeartbeatInterval > 0 && opts.Config.SuspicionWindow > 0 {
+		c.wg.Add(1)
+		go c.detectorWorker()
 	}
 	return c, nil
 }
@@ -147,6 +170,9 @@ func (c *Controller) instrument() {
 		{"jiffy_ctrl_scale_ups_total", "block splits / scale-up actions", &c.scaleUps},
 		{"jiffy_ctrl_scale_downs_total", "block merges / scale-down actions", &c.scaleDowns},
 		{"jiffy_ctrl_flushed_blocks_total", "blocks flushed to the persistent tier", &c.flushBlocks},
+		{"jiffy_ctrl_server_failures_total", "memory servers declared dead (or drained)", &c.srvFailures},
+		{"jiffy_ctrl_chain_repairs_total", "partition entries repaired after a server failure", &c.chainRepairs},
+		{"jiffy_ctrl_blocks_lost_total", "blocks lost with no replica or flushed copy", &c.blocksLost},
 	}
 	c.reg.RegisterCollector(func(w io.Writer) {
 		for _, ctr := range counters {
@@ -160,6 +186,8 @@ func (c *Controller) instrument() {
 		func() int64 { _, free, _ := c.alloc.Stats(); return int64(free) })
 	c.reg.GaugeFunc("jiffy_ctrl_servers", "registered memory servers",
 		func() int64 { _, _, servers := c.alloc.Stats(); return int64(servers) })
+	c.reg.GaugeFunc("jiffy_ctrl_membership_epoch", "cluster membership epoch (advances on register/death/drain)",
+		func() int64 { return int64(c.memberEpoch.Load()) })
 	c.reg.RegisterCollector(func(w io.Writer) {
 		obs.WriteHeader(w, "jiffy_ctrl_job_blocks", "blocks allocated per registered job", "gauge")
 		for _, s := range c.shards {
@@ -279,8 +307,17 @@ func (c *Controller) releaseBlocksLocked(n *hierarchy.Node) {
 }
 
 // RegisterServer records a memory server's capacity contribution.
+// Registration counts as the server's first heartbeat and revives a
+// server previously declared dead (its old blocks are gone; it
+// contributes a fresh range).
 func (c *Controller) RegisterServer(addr string, numBlocks int) (core.BlockID, error) {
-	return c.alloc.RegisterServer(addr, numBlocks)
+	first, err := c.alloc.RegisterServer(addr, numBlocks)
+	if err != nil {
+		return 0, err
+	}
+	c.noteServerAlive(addr)
+	c.memberEpoch.Add(1)
+	return first, nil
 }
 
 // Clock exposes the controller's time source (the simulator drives a

@@ -99,8 +99,11 @@ func TestExpiryKeepsDataWhenFlushFails(t *testing.T) {
 }
 
 // TestScaleUpWithDeadServer: when the server chosen for a new block is
-// unreachable, the scale-up fails cleanly, the block is not leaked,
-// and the structure keeps serving from its existing blocks.
+// unreachable, the scale-up evicts it from the allocator and retries
+// on a healthy server — the allocator's most-free placement would
+// otherwise deterministically re-pick the dead server forever. The
+// dead server's unreplicated, unflushed block is marked Lost by the
+// follow-up repair.
 func TestScaleUpWithDeadServer(t *testing.T) {
 	cfg := core.TestConfig()
 	cfg.LeaseDuration = time.Minute
@@ -129,37 +132,73 @@ func TestScaleUpWithDeadServer(t *testing.T) {
 	dead.Register(16)
 
 	ctrl.RegisterJob("j")
-	// Force the first block onto the live server by allocating while
-	// the dead one is still up, then kill it.
+	// The dead server has the most free blocks, so both the initial
+	// allocation and every retry-free scale-up would pick it.
 	resp, err := ctrl.CreatePrefix(proto.CreatePrefixReq{Path: "j/f", Type: core.DSFile})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resp.Map.Blocks[0].Info.Server != "mem://deadsrv-dead" {
+		t.Fatalf("precondition: first block on %s, want the dead server", resp.Map.Blocks[0].Info.Server)
+	}
 	dead.Close()
 
-	before := ctrl.Stats()
-	// Scale-ups will try the dead server (most free blocks) and fail.
-	_, serr := ctrl.ScaleUp(proto.ScaleUpReq{Path: "j/f", Block: resp.Map.Blocks[0].Info.ID})
-	if serr == nil {
-		// The block may have landed on the live server; that's fine,
-		// but then the allocation must be consistent.
-		after := ctrl.Stats()
-		if after.AllocatedBlocks != before.AllocatedBlocks+1 {
-			t.Errorf("inconsistent allocation after scale-up: %+v → %+v", before, after)
-		}
-		return
+	// The scale-up discovers the dead server, evicts it, and retries on
+	// the live one — it must succeed, not bounce forever.
+	sresp, serr := ctrl.ScaleUp(proto.ScaleUpReq{Path: "j/f", Block: resp.Map.Blocks[0].Info.ID})
+	if serr != nil {
+		t.Fatalf("scale-up with dead server in pool: %v", serr)
 	}
-	// Failure path: no block leaked.
-	after := ctrl.Stats()
-	if after.AllocatedBlocks != before.AllocatedBlocks {
-		t.Errorf("blocks leaked on failed scale-up: %+v → %+v", before, after)
+	var newEntry *struct {
+		server string
+		id     core.BlockID
 	}
-	// The existing block still serves (if it lives on the live server).
-	if resp.Map.Blocks[0].Info.Server == "mem://deadsrv-live" {
-		if _, err := live.Store().Apply(resp.Map.Blocks[0].Info.ID, core.OpFileWrite,
-			[][]byte{{0, 0, 0, 0, 0, 0, 0, 0}, []byte("still works")}); err != nil {
-			t.Errorf("surviving block broken: %v", err)
+	for _, e := range sresp.Map.Blocks {
+		if e.Chunk == 1 {
+			newEntry = &struct {
+				server string
+				id     core.BlockID
+			}{e.Info.Server, e.Info.ID}
 		}
+	}
+	if newEntry == nil {
+		t.Fatal("scale-up did not append a chunk")
+	}
+	if newEntry.server != "mem://deadsrv-live" {
+		t.Errorf("new chunk placed on %s, want the live server", newEntry.server)
+	}
+	if !ctrl.ServerDead("mem://deadsrv-dead") {
+		t.Error("unreachable server not declared dead")
+	}
+	stats := ctrl.Stats()
+	if stats.Servers != 1 || stats.TotalBlocks != 4 {
+		t.Errorf("dead server still in the pool: %+v", stats)
+	}
+	// Later scale-ups never retry the dead server.
+	sresp2, serr := ctrl.ScaleUp(proto.ScaleUpReq{Path: "j/f", Block: newEntry.id})
+	if serr != nil {
+		t.Fatalf("second scale-up: %v", serr)
+	}
+	for _, e := range sresp2.Map.Blocks {
+		if e.Chunk > 0 && e.Info.Server != "mem://deadsrv-live" {
+			t.Errorf("chunk %d placed on %s after eviction", e.Chunk, e.Info.Server)
+		}
+	}
+	// The dead server's unreplicated, unflushed block ends up Lost
+	// (repair runs asynchronously after the eviction).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		open, err := ctrl.Open("j/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if open.Map.Blocks[0].Lost {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead server's unreplicated block never marked lost")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

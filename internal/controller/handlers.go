@@ -134,6 +134,38 @@ func (c *Controller) handle(_ context.Context, _ *rpc.ServerConn, method uint16,
 		}
 		return rpc.Marshal(proto.RegisterServerResp{FirstID: first})
 
+	case proto.MethodHeartbeat:
+		var req proto.HeartbeatReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		epoch, err := c.Heartbeat(req.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.HeartbeatResp{Epoch: epoch})
+
+	case proto.MethodReportFailure:
+		var req proto.ReportFailureReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.ReportFailure(req); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.ReportFailureResp{})
+
+	case proto.MethodDrainServer:
+		var req proto.DrainServerReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		migrated, err := c.DrainServer(req.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.DrainServerResp{Migrated: migrated})
+
 	case proto.MethodScaleUp:
 		var req proto.ScaleUpReq
 		if err := rpc.Unmarshal(payload, &req); err != nil {

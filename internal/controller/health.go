@@ -1,0 +1,183 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/proto"
+)
+
+// Failure detection (§4.2 fault tolerance): memory servers send
+// periodic heartbeats (MethodHeartbeat); the controller tracks each
+// server's last beat on its clock and declares a server dead once the
+// beat is older than the suspicion window. Death can also be
+// established early from write-path evidence — a chain head that could
+// not reach its successor files a MethodReportFailure, which the
+// controller verifies with its own probe before acting. Either way,
+// markServerDead evicts the server's free blocks from the allocator
+// (so scale-ups stop selecting it), bumps the cluster membership
+// epoch, and chain repair follows (see repair.go).
+
+// Heartbeat records a liveness beat from addr and returns the current
+// membership epoch. A beat from a server the controller does not track
+// (never registered, declared dead, or the controller restarted)
+// returns ErrNotFound: the server must re-register its capacity.
+func (c *Controller) Heartbeat(addr string) (uint64, error) {
+	c.hbMu.Lock()
+	_, known := c.lastBeat[addr]
+	if !known || c.deadServers[addr] {
+		c.hbMu.Unlock()
+		return c.memberEpoch.Load(), fmt.Errorf("controller: server %s is not a live member: %w",
+			addr, core.ErrNotFound)
+	}
+	c.lastBeat[addr] = c.clk.Now()
+	c.hbMu.Unlock()
+	return c.memberEpoch.Load(), nil
+}
+
+// noteServerAlive (re)admits addr to the tracked membership:
+// registration counts as the first heartbeat, and re-registration
+// revives a server previously declared dead.
+func (c *Controller) noteServerAlive(addr string) {
+	c.hbMu.Lock()
+	c.lastBeat[addr] = c.clk.Now()
+	delete(c.deadServers, addr)
+	c.hbMu.Unlock()
+}
+
+// detectorWorker is the failure detector's scan loop, paced at the
+// heartbeat interval on the controller's clock (virtual in chaos
+// tests, which step it via CheckLivenessNow instead).
+func (c *Controller) detectorWorker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.clk.After(c.cfg.HeartbeatInterval):
+			c.CheckLivenessNow()
+		}
+	}
+}
+
+// CheckLivenessNow runs one failure-detection scan synchronously,
+// declaring dead (and repairing) every tracked server whose last beat
+// is older than the suspicion window. Returns the newly dead servers.
+// Deterministic tests call this directly under a virtual clock.
+func (c *Controller) CheckLivenessNow() []string {
+	if c.cfg.SuspicionWindow <= 0 {
+		return nil
+	}
+	now := c.clk.Now()
+	var suspects []string
+	c.hbMu.Lock()
+	for addr, beat := range c.lastBeat {
+		if !c.deadServers[addr] && now.Sub(beat) > c.cfg.SuspicionWindow {
+			suspects = append(suspects, addr)
+		}
+	}
+	c.hbMu.Unlock()
+	sort.Strings(suspects)
+	var dead []string
+	for _, addr := range suspects {
+		if c.FailServer(addr) {
+			dead = append(dead, addr)
+		}
+	}
+	return dead
+}
+
+// FailServer declares addr dead and synchronously repairs every chain
+// that lost a member on it. Returns false if addr was already dead.
+// Callers must not hold a shard lock (repair takes them); code that
+// does holds one uses evictServer instead.
+func (c *Controller) FailServer(addr string) bool {
+	if !c.markServerDead(addr) {
+		return false
+	}
+	c.repairAfterDeath(addr)
+	return true
+}
+
+// evictServer is FailServer for callers holding a shard lock (e.g. a
+// scale-up that just discovered an unreachable server): death
+// bookkeeping and allocator eviction happen synchronously — so the
+// caller's retry cannot re-select the dead server — while chain repair
+// runs on its own goroutine once the caller releases the lock.
+func (c *Controller) evictServer(addr string) {
+	if !c.markServerDead(addr) {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.repairAfterDeath(addr)
+	}()
+}
+
+// markServerDead performs the death bookkeeping: dedup via the dead
+// set, evict the server's free blocks from the allocator, drop its
+// pooled connection, and bump the membership epoch. Returns false if
+// the server was already dead.
+func (c *Controller) markServerDead(addr string) bool {
+	c.hbMu.Lock()
+	if c.deadServers[addr] {
+		c.hbMu.Unlock()
+		return false
+	}
+	c.deadServers[addr] = true
+	delete(c.lastBeat, addr)
+	c.hbMu.Unlock()
+	c.srvFailures.Add(1)
+	c.alloc.RemoveServer(addr)
+	c.servers.Drop(addr)
+	c.memberEpoch.Add(1)
+	c.log.Warn("controller: server declared dead", "addr", addr,
+		"epoch", c.memberEpoch.Load())
+	return true
+}
+
+// ServerDead reports whether addr has been declared dead.
+func (c *Controller) ServerDead(addr string) bool {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	return c.deadServers[addr]
+}
+
+// MembershipEpoch returns the cluster membership epoch: it advances on
+// every server registration, death and drain.
+func (c *Controller) MembershipEpoch() uint64 { return c.memberEpoch.Load() }
+
+// LastBeat returns the recorded heartbeat time for addr (test hook).
+func (c *Controller) LastBeat(addr string) (time.Time, bool) {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	t, ok := c.lastBeat[addr]
+	return t, ok
+}
+
+// ReportFailure handles write-path death evidence from a chain head.
+// The controller does not take the reporter's word for it: it probes
+// the accused server itself, and only a failed probe (or an already
+// broken pooled session) escalates to death and repair. This keeps one
+// flaky link between two servers from killing a healthy member.
+func (c *Controller) ReportFailure(req proto.ReportFailureReq) error {
+	if req.Server == "" {
+		return fmt.Errorf("controller: failure report without a server: %w", core.ErrNotFound)
+	}
+	if c.ServerDead(req.Server) {
+		return nil // already handled
+	}
+	var resp proto.ServerStatsResp
+	if err := c.callServer(req.Server, proto.MethodServerStats, proto.ServerStatsReq{}, &resp); err == nil {
+		c.log.Debug("controller: failure report not confirmed by probe",
+			"server", req.Server, "reporter", req.Reporter)
+		return nil
+	}
+	c.log.Warn("controller: failure report confirmed",
+		"server", req.Server, "reporter", req.Reporter, "block", req.Block)
+	c.FailServer(req.Server)
+	return nil
+}

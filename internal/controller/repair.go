@@ -1,0 +1,378 @@
+package controller
+
+import (
+	"fmt"
+
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/hierarchy"
+	"jiffy/internal/rpc"
+)
+
+// Chain repair (§4.2.2 fault tolerance). When a memory server dies (or
+// is drained), every chain with a member on it is spliced: the lost
+// member is removed, a replacement is allocated on a healthy server and
+// resynced from a surviving replica's snapshot, and every member —
+// survivors and replacements alike — is switched to the new chain
+// layout under a fresh replication generation (the membership epoch).
+// The generation switch is what makes the splice safe against writes
+// still in flight on the old layout: replicas reject mismatched
+// generations with ErrStaleEpoch instead of applying them out of order.
+//
+// Blocks with no surviving replica are rebuilt from the persistent
+// tier when the prefix has a flushed copy; otherwise they are marked
+// Lost in the partition map so clients fail fast with ErrBlockLost.
+
+// repairAfterDeath walks every job and repairs every partition entry
+// that had a replica on the dead server. Callers must not hold a shard
+// lock.
+func (c *Controller) repairAfterDeath(addr string) {
+	c.repairServer(addr, c.memberEpoch.Load(), false)
+}
+
+// DrainServer migrates every block off a still-healthy server using
+// the same splice machinery as death repair, then leaves the server
+// out of the membership (it is marked dead and evicted from the
+// allocator first, so concurrent scale-ups cannot re-place blocks on
+// it mid-drain). Returns the number of migrated partition entries.
+func (c *Controller) DrainServer(addr string) (int, error) {
+	known := false
+	for _, s := range c.alloc.Servers() {
+		if s == addr {
+			known = true
+			break
+		}
+	}
+	if !c.markServerDead(addr) {
+		return 0, fmt.Errorf("controller: drain %s: server already dead: %w", addr, core.ErrNotFound)
+	}
+	if !known {
+		// Nothing was ever placed there; the eviction above is enough.
+		return 0, nil
+	}
+	c.log.Info("controller: draining server", "addr", addr)
+	return c.repairServer(addr, c.memberEpoch.Load(), true), nil
+}
+
+// repairServer splices addr out of every chain that references it.
+// alive distinguishes a drain (the server still answers, so snapshots
+// may come from it and its blocks are deleted after migration) from a
+// death (never talk to it again). Returns the number of repaired
+// entries.
+func (c *Controller) repairServer(addr string, gen uint64, alive bool) int {
+	repaired := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, h := range s.jobs {
+			h.Walk(func(n *hierarchy.Node) bool {
+				repaired += c.repairNodeLocked(n, addr, gen, alive)
+				return true
+			})
+		}
+		s.mu.Unlock()
+	}
+	if repaired > 0 || !alive {
+		c.log.Info("controller: repair complete", "addr", addr,
+			"entries", repaired, "epoch", gen)
+	}
+	return repaired
+}
+
+// repairNodeLocked repairs every entry of one prefix that references
+// addr, bumping the map epoch once if anything changed. Caller holds
+// the shard lock.
+func (c *Controller) repairNodeLocked(n *hierarchy.Node, addr string, gen uint64, alive bool) int {
+	changed := 0
+	for i := range n.Map.Blocks {
+		e := &n.Map.Blocks[i]
+		if e.Lost || !entryReferences(*e, addr) {
+			continue
+		}
+		if c.repairEntryLocked(n, e, addr, gen, alive) {
+			changed++
+			c.chainRepairs.Add(1)
+		}
+	}
+	if changed > 0 {
+		n.Map.Epoch++
+	}
+	return changed
+}
+
+// entryReferences reports whether any replica of e lives on addr.
+func entryReferences(e ds.PartitionEntry, addr string) bool {
+	for _, info := range e.Replicas() {
+		if info.Server == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// repairEntryLocked splices addr out of one entry's chain. Returns
+// true when the entry changed (including being marked Lost).
+func (c *Controller) repairEntryLocked(n *hierarchy.Node, e *ds.PartitionEntry,
+	addr string, gen uint64, alive bool) bool {
+	replicas := e.Replicas()
+	var survivors, doomed core.ReplicaChain
+	for _, info := range replicas {
+		if info.Server == addr {
+			doomed = append(doomed, info)
+		} else {
+			survivors = append(survivors, info)
+		}
+	}
+	if len(survivors) == 0 {
+		return c.recoverSoleReplicaLocked(n, e, doomed, gen, alive)
+	}
+
+	// Splice: replacements go at the tail of the surviving order; the
+	// tail-most survivor (or, on a drain, the old tail itself) holds
+	// exactly the acknowledged writes and is the resync source.
+	src := survivors[len(survivors)-1]
+	if alive {
+		src = replicas[len(replicas)-1]
+	}
+	newChain := append(core.ReplicaChain(nil), survivors...)
+	replacements, err := c.alloc.Allocate(len(doomed))
+	if err != nil {
+		c.log.Warn("controller: no capacity for chain replacement; degrading chain width",
+			"block", e.Info.ID, "want", len(replicas), "have", len(survivors), "err", err)
+		replacements = nil
+	}
+	newChain = append(newChain, replacements...)
+
+	path := n.CanonicalPath()
+	for i, info := range replacements {
+		if err := c.createBlockOnServer(info, path, n.Map.Type, e.Chunk, e.Slots, chainField(newChain)); err != nil {
+			c.log.Warn("controller: chain replacement create failed; degrading chain width",
+				"block", e.Info.ID, "on", info.Server, "err", err)
+			for _, done := range replacements[:i] {
+				c.deleteBlockOnServer(done)
+			}
+			c.alloc.Free(replacements)
+			replacements = nil
+			newChain = append(core.ReplicaChain(nil), survivors...)
+			break
+		}
+	}
+	if len(replacements) > 0 {
+		if err := c.resyncMembers(src, replacements); err != nil {
+			c.log.Warn("controller: chain replacement resync failed; degrading chain width",
+				"block", e.Info.ID, "err", err)
+			for _, info := range replacements {
+				c.deleteBlockOnServer(info)
+			}
+			c.alloc.Free(replacements)
+			newChain = append(core.ReplicaChain(nil), survivors...)
+		}
+	}
+
+	// Switch every member to the new layout, tail first and head last,
+	// so the head only starts propagating under the new generation once
+	// every downstream member accepts it.
+	for i := len(newChain) - 1; i >= 0; i-- {
+		if err := c.updateChainOnServer(newChain[i], chainField(newChain), gen); err != nil {
+			c.log.Warn("controller: chain switch failed on member",
+				"block", newChain[i].ID, "on", newChain[i].Server, "err", err)
+		}
+	}
+
+	headChanged := newChain.Head() != e.Info
+	e.Info = newChain.Head()
+	e.Chain = chainField(newChain)
+	if alive {
+		for _, info := range doomed {
+			c.deleteBlockOnServer(info)
+		}
+	}
+	if headChanged {
+		c.relinkQueuePredecessorLocked(n, *e)
+	}
+	return true
+}
+
+// resyncMembers pushes src's snapshot to each target block. Survivors
+// are never restored — only replacements — so writes racing the splice
+// cannot be clobbered by an older snapshot.
+func (c *Controller) resyncMembers(src core.BlockInfo, targets core.ReplicaChain) error {
+	snap, err := c.snapshotBlockOnServer(src)
+	if err != nil {
+		return err
+	}
+	for _, info := range targets {
+		if err := c.restoreBlockOnServer(info, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverSoleReplicaLocked handles an entry whose every replica lived
+// on addr. On a drain the data is still reachable and is migrated by
+// snapshot; after a death it is rebuilt from the persistent tier when
+// the prefix has a flushed copy, and otherwise marked Lost.
+func (c *Controller) recoverSoleReplicaLocked(n *hierarchy.Node, e *ds.PartitionEntry,
+	doomed core.ReplicaChain, gen uint64, alive bool) bool {
+	path := n.CanonicalPath()
+	chains, err := c.allocateChains(1)
+	if err != nil {
+		if alive {
+			c.log.Warn("controller: drain has no capacity for block", "block", e.Info.ID, "err", err)
+			return false
+		}
+		c.markLostLocked(e, "no capacity for recovery")
+		return true
+	}
+	chain := chains[0]
+	if err := c.createChainOnServers(chain, path, n.Map.Type, e.Chunk, e.Slots); err != nil {
+		c.alloc.Free(chain)
+		if alive {
+			c.log.Warn("controller: drain cannot re-create block", "block", e.Info.ID, "err", err)
+			return false
+		}
+		c.markLostLocked(e, "recovery create failed")
+		return true
+	}
+
+	if alive {
+		// Migrate live data by snapshot.
+		if err := c.resyncMembers(e.ReadTarget(), chain); err != nil {
+			c.log.Warn("controller: drain migration failed", "block", e.Info.ID, "err", err)
+			c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
+			c.alloc.Free(chain)
+			return false
+		}
+	} else {
+		// Rebuild from the persistent tier.
+		key, ok := c.flushedKeyLocked(n, *e)
+		if !ok {
+			c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
+			c.alloc.Free(chain)
+			c.markLostLocked(e, "no flushed copy")
+			return true
+		}
+		for _, member := range chain {
+			if err := c.loadBlockOnServer(member, key); err != nil {
+				c.log.Warn("controller: recovery load failed", "block", e.Info.ID, "key", key, "err", err)
+				c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
+				c.alloc.Free(chain)
+				c.markLostLocked(e, "recovery load failed")
+				return true
+			}
+		}
+		c.log.Info("controller: block recovered from persistent tier",
+			"block", e.Info.ID, "key", key, "new", chain.Head().ID)
+	}
+
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := c.updateChainOnServer(chain[i], chainField(chain), gen); err != nil {
+			c.log.Warn("controller: chain switch failed on member",
+				"block", chain[i].ID, "on", chain[i].Server, "err", err)
+		}
+	}
+	e.Info = chain.Head()
+	e.Chain = chainField(chain)
+	e.Lost = false
+	if alive {
+		for _, info := range doomed {
+			c.deleteBlockOnServer(info)
+		}
+	}
+	c.relinkQueuePredecessorLocked(n, *e)
+	c.relinkQueueSuccessorLocked(n, *e)
+	return true
+}
+
+// markLostLocked flags an entry as unrecoverable so clients fail fast
+// with ErrBlockLost instead of retrying against a dead server.
+func (c *Controller) markLostLocked(e *ds.PartitionEntry, reason string) {
+	e.Lost = true
+	e.Chain = nil
+	c.blocksLost.Add(1)
+	c.log.Error("controller: block lost", "block", e.Info.ID, "reason", reason)
+}
+
+// flushedKeyLocked looks up the persistent-tier snapshot key for one
+// entry of a flushed prefix: it reads the flush manifest and matches
+// the entry by its partition role (chunk index, and slot ranges for KV
+// stores). Caller holds the shard lock.
+func (c *Controller) flushedKeyLocked(n *hierarchy.Node, e ds.PartitionEntry) (string, bool) {
+	if n.FlushKey == "" {
+		return "", false
+	}
+	data, err := c.persist.Get(n.FlushKey + "/manifest")
+	if err != nil {
+		return "", false
+	}
+	var m manifest
+	if err := rpc.Unmarshal(data, &m); err != nil {
+		return "", false
+	}
+	for _, me := range m.Entries {
+		if me.Chunk != e.Chunk {
+			continue
+		}
+		if n.Map.Type == core.DSKV && !slotsEqual(me.Slots, e.Slots) {
+			continue
+		}
+		return me.Key, true
+	}
+	return "", false
+}
+
+// slotsEqual reports whether two slot-range lists are identical.
+func slotsEqual(a, b []ds.SlotRange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relinkQueuePredecessorLocked re-seals the predecessor of a repaired
+// queue segment so its redirect names the new head. Sealing is a
+// sequenced mutation, so the new pointer propagates down the
+// predecessor's own chain like any enqueue.
+func (c *Controller) relinkQueuePredecessorLocked(n *hierarchy.Node, e ds.PartitionEntry) {
+	if n.Map.Type != core.DSQueue || e.Chunk == 0 {
+		return
+	}
+	for _, p := range n.Map.Blocks {
+		if p.Chunk != e.Chunk-1 {
+			continue
+		}
+		if p.Lost {
+			return
+		}
+		if err := c.setNextOnChain(p, e.Info); err != nil {
+			c.log.Warn("controller: queue relink after repair failed",
+				"from", p.Info.ID, "to", e.Info.ID, "err", err)
+		}
+		return
+	}
+}
+
+// relinkQueueSuccessorLocked re-seals a recovered queue segment toward
+// its successor: a snapshot restored from the persistent tier may
+// predate the seal, which would otherwise strand consumers at the
+// recovered segment's end.
+func (c *Controller) relinkQueueSuccessorLocked(n *hierarchy.Node, e ds.PartitionEntry) {
+	if n.Map.Type != core.DSQueue {
+		return
+	}
+	for _, s := range n.Map.Blocks {
+		if s.Chunk != e.Chunk+1 || s.Lost {
+			continue
+		}
+		if err := c.setNextOnChain(e, s.Info); err != nil {
+			c.log.Warn("controller: queue successor relink after recovery failed",
+				"from", e.Info.ID, "to", s.Info.ID, "err", err)
+		}
+		return
+	}
+}

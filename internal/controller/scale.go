@@ -72,18 +72,13 @@ func (c *Controller) scaleUpFile(n *hierarchy.Node, idx int) error {
 	if n.Map.Blocks[idx].Chunk != maxChunk {
 		return nil // stale: a later chunk already exists
 	}
-	chains, err := c.allocateChains(1)
+	// n.Map.Type rather than DSFile: custom structures share this
+	// append-a-chunk growth path.
+	chain, err := c.provisionChain(n.CanonicalPath(), n.Map.Type, maxChunk+1, nil)
 	if err != nil {
 		return err
 	}
-	// n.Map.Type rather than DSFile: custom structures share this
-	// append-a-chunk growth path.
-	if err := c.createChainOnServers(chains[0], n.CanonicalPath(), n.Map.Type,
-		maxChunk+1, nil); err != nil {
-		c.alloc.Free(chains[0])
-		return err
-	}
-	n.Map.Blocks = append(n.Map.Blocks, entryFor(chains[0], maxChunk+1, nil))
+	n.Map.Blocks = append(n.Map.Blocks, entryFor(chain, maxChunk+1, nil))
 	n.Map.Epoch++
 	return nil
 }
@@ -95,21 +90,16 @@ func (c *Controller) scaleUpQueue(n *hierarchy.Node, idx int) error {
 	if n.Map.Blocks[idx].Info.ID != tail.Info.ID {
 		return nil // stale: not the tail anymore
 	}
-	chains, err := c.allocateChains(1)
+	chain, err := c.provisionChain(n.CanonicalPath(), core.DSQueue, tail.Chunk+1, nil)
 	if err != nil {
 		return err
 	}
-	if err := c.createChainOnServers(chains[0], n.CanonicalPath(), core.DSQueue,
-		tail.Chunk+1, nil); err != nil {
-		c.alloc.Free(chains[0])
+	if err := c.setNextOnChain(tail, chain.Head()); err != nil {
+		c.deleteChainOnServers(entryFor(chain, tail.Chunk+1, nil))
+		c.alloc.Free(chain)
 		return err
 	}
-	if err := c.setNextOnChain(tail, chains[0].Head()); err != nil {
-		c.deleteChainOnServers(entryFor(chains[0], tail.Chunk+1, nil))
-		c.alloc.Free(chains[0])
-		return err
-	}
-	n.Map.Blocks = append(n.Map.Blocks, entryFor(chains[0], tail.Chunk+1, nil))
+	n.Map.Blocks = append(n.Map.Blocks, entryFor(chain, tail.Chunk+1, nil))
 	n.Map.Epoch++
 	return nil
 }
@@ -124,21 +114,16 @@ func (c *Controller) scaleUpKV(n *hierarchy.Node, idx int) error {
 	if upper == nil {
 		return nil // single-slot shard; cannot split further
 	}
-	chains, err := c.allocateChains(1)
+	// The new chain starts owning nothing; the donor-side move
+	// transfers ownership along with the data.
+	chain, err := c.provisionChain(n.CanonicalPath(), core.DSKV, 0, nil)
 	if err != nil {
 		return err
 	}
-	// The new chain starts owning nothing; the donor-side move
-	// transfers ownership along with the data.
-	if err := c.createChainOnServers(chains[0], n.CanonicalPath(), core.DSKV,
-		0, nil); err != nil {
-		c.alloc.Free(chains[0])
-		return err
-	}
-	newEntry := entryFor(chains[0], 0, upper)
-	if _, err := c.moveSlotsOnServer(donor.Info, upper, chains[0].Head()); err != nil {
+	newEntry := entryFor(chain, 0, upper)
+	if _, err := c.moveSlotsOnServer(donor.Info, upper, chain.Head()); err != nil {
 		c.deleteChainOnServers(newEntry)
-		c.alloc.Free(chains[0])
+		c.alloc.Free(chain)
 		return err
 	}
 	donor.Slots = subtractAll(donor.Slots, upper)

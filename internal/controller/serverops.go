@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 
 	"jiffy/internal/core"
@@ -8,13 +9,36 @@ import (
 	"jiffy/internal/proto"
 )
 
-// callServer performs one gob RPC against a memory server.
+// serverUnreachableError marks an RPC failure as connectivity-class:
+// the server could not be dialed, or its session broke mid-call. It is
+// evidence of server death — scale-ups use it to evict the server and
+// retry elsewhere (see provisionChain) — as opposed to an error the
+// server itself returned, which proves it is alive.
+type serverUnreachableError struct {
+	addr string
+	err  error
+}
+
+func (e *serverUnreachableError) Error() string {
+	return fmt.Sprintf("controller: server %s unreachable: %v", e.addr, e.err)
+}
+
+func (e *serverUnreachableError) Unwrap() error { return e.err }
+
+// callServer performs one gob RPC against a memory server,
+// classifying dial failures and broken sessions as
+// serverUnreachableError (and dropping the broken pooled session so
+// the next call re-dials instead of reusing a dead connection).
 func (c *Controller) callServer(addr string, method uint16, req, resp interface{}) error {
 	cl, err := c.servers.Get(addr)
 	if err != nil {
-		return fmt.Errorf("controller: dial %s: %w", addr, err)
+		return &serverUnreachableError{addr: addr, err: err}
 	}
 	if err := cl.CallGob(method, req, resp); err != nil {
+		if errors.Is(err, core.ErrClosed) {
+			c.servers.Drop(addr)
+			return &serverUnreachableError{addr: addr, err: err}
+		}
 		return fmt.Errorf("controller: %s method %#x: %w", addr, method, err)
 	}
 	return nil
@@ -85,6 +109,14 @@ func (c *Controller) restoreBlockOnServer(info core.BlockInfo, snapshot []byte) 
 	var resp proto.RestoreBlockResp
 	return c.callServer(info.Server, proto.MethodRestoreBlock,
 		proto.RestoreBlockReq{Block: info.ID, Snapshot: snapshot}, &resp)
+}
+
+// updateChainOnServer switches one block to a new chain layout under a
+// new replication generation (see repair.go).
+func (c *Controller) updateChainOnServer(member core.BlockInfo, chain core.ReplicaChain, gen uint64) error {
+	var resp proto.UpdateChainResp
+	return c.callServer(member.Server, proto.MethodUpdateChain,
+		proto.UpdateChainReq{Block: member.ID, Chain: chain, Gen: gen}, &resp)
 }
 
 // loadBlockOnServer restores a block from the persistent store.

@@ -22,6 +22,10 @@ const (
 	DefaultNumHashSlots    = 1024
 	DefaultLeaseScanPeriod = 250 * time.Millisecond
 	DefaultRPCTimeout      = 30 * time.Second
+	// Failure-detection defaults: servers beat once a second and are
+	// declared dead after five missed beats.
+	DefaultHeartbeatInterval = 1 * time.Second
+	DefaultSuspicionWindow   = 5 * time.Second
 )
 
 // Config carries the tunables evaluated in the paper's sensitivity
@@ -56,6 +60,14 @@ type Config struct {
 	// so a peer that stops reading fails the call instead of hanging it.
 	// Zero disables the bound (calls wait forever); negative is invalid.
 	RPCTimeout time.Duration
+	// HeartbeatInterval is how often a memory server sends a liveness
+	// beat to the controller, and how often the controller's failure
+	// detector rechecks suspicion. Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+	// SuspicionWindow is how long a server may go without a heartbeat
+	// before the controller declares it dead and repairs its chains.
+	// Must be at least HeartbeatInterval when heartbeats are enabled.
+	SuspicionWindow time.Duration
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -69,6 +81,9 @@ func DefaultConfig() Config {
 		NumHashSlots:    DefaultNumHashSlots,
 		ChainLength:     1,
 		RPCTimeout:      DefaultRPCTimeout,
+
+		HeartbeatInterval: DefaultHeartbeatInterval,
+		SuspicionWindow:   DefaultSuspicionWindow,
 	}
 }
 
@@ -81,6 +96,11 @@ func TestConfig() Config {
 	c.LeaseScanPeriod = 20 * time.Millisecond
 	c.NumHashSlots = 64
 	c.RPCTimeout = 10 * time.Second
+	// Heartbeats stay off in tests by default: wall-clock suspicion
+	// windows short enough to matter are flaky under -race, so recovery
+	// tests opt in explicitly and drive detection via a virtual clock.
+	c.HeartbeatInterval = 0
+	c.SuspicionWindow = 0
 	return c
 }
 
@@ -109,6 +129,13 @@ func (c Config) Validate() error {
 	}
 	if c.RPCTimeout < 0 {
 		return fmt.Errorf("core: rpc timeout must be >= 0, got %v", c.RPCTimeout)
+	}
+	if c.HeartbeatInterval < 0 {
+		return fmt.Errorf("core: heartbeat interval must be >= 0, got %v", c.HeartbeatInterval)
+	}
+	if c.HeartbeatInterval > 0 && c.SuspicionWindow < c.HeartbeatInterval {
+		return fmt.Errorf("core: suspicion window %v must be >= heartbeat interval %v",
+			c.SuspicionWindow, c.HeartbeatInterval)
 	}
 	return nil
 }

@@ -41,6 +41,10 @@ var (
 	// ErrRedirect is returned internally with a payload naming the
 	// block the client should retry against (queue head/tail moved).
 	ErrRedirect = errors.New("jiffy: redirected")
+	// ErrBlockLost reports that a block's only replica died with no
+	// flushed copy in the persist tier; its data is unrecoverable and
+	// clients must fail fast instead of retrying.
+	ErrBlockLost = errors.New("jiffy: block lost")
 )
 
 // ErrorCode is the wire representation of the sentinel errors.
@@ -62,6 +66,7 @@ const (
 	CodeTimeout
 	CodeTooLarge
 	CodeRedirect
+	CodeBlockLost
 	CodeOther
 )
 
@@ -79,6 +84,7 @@ var codeToErr = map[ErrorCode]error{
 	CodeTimeout:      ErrTimeout,
 	CodeTooLarge:     ErrTooLarge,
 	CodeRedirect:     ErrRedirect,
+	CodeBlockLost:    ErrBlockLost,
 }
 
 // CodeOf maps an error to its wire code. Wrapped sentinels are

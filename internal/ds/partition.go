@@ -136,6 +136,9 @@ type PartitionEntry struct {
 	// Chain is the block's replication chain when the structure is
 	// replicated; Info is always the chain head. Empty = unreplicated.
 	Chain core.ReplicaChain
+	// Lost marks a block whose only replica died with no flushed copy
+	// to recover from; clients fail operations on it with ErrBlockLost.
+	Lost bool
 }
 
 // WriteTarget returns the block that accepts mutations: the chain head.

@@ -53,6 +53,17 @@ const (
 	// MethodSaveState checkpoints controller metadata to the
 	// persistent store (primary-backup building block).
 	MethodSaveState uint16 = 0x0010
+	// MethodHeartbeat is a memory server's periodic liveness beat; the
+	// failure detector marks servers dead after a suspicion window
+	// without one.
+	MethodHeartbeat uint16 = 0x0011
+	// MethodReportFailure reports write-path evidence of a dead peer (a
+	// chain head that could not reach its successor) so repair triggers
+	// without waiting out the suspicion window.
+	MethodReportFailure uint16 = 0x0012
+	// MethodDrainServer gracefully migrates every block off a server
+	// before decommission, using the chain-repair machinery.
+	MethodDrainServer uint16 = 0x0013
 )
 
 // Memory-server methods.
@@ -97,6 +108,10 @@ const (
 	// frame, replying with per-op results in one response frame (binary
 	// codec in internal/ds, see EncodeBatchRequest).
 	MethodDataOpBatch uint16 = 0x0110
+	// MethodUpdateChain replaces a block's replication chain in place
+	// (chain repair: survivors must learn the spliced chain so writes
+	// propagate to the replacement, not the dead member).
+	MethodUpdateChain uint16 = 0x0111
 )
 
 // --- controller messages ----------------------------------------------------
@@ -314,6 +329,41 @@ type ListPrefixesResp struct {
 	Prefixes []PrefixInfo
 }
 
+// HeartbeatReq is a memory server's periodic liveness beat.
+type HeartbeatReq struct {
+	Addr string
+}
+
+// HeartbeatResp acknowledges the beat and tells the server the current
+// cluster membership epoch (observability; bumped on every membership
+// change).
+type HeartbeatResp struct {
+	Epoch uint64
+}
+
+// ReportFailureReq carries write-path evidence that Server is dead:
+// Reporter could not reach it while forwarding on Block's chain.
+type ReportFailureReq struct {
+	Reporter string
+	Server   string
+	Block    core.BlockID
+}
+
+// ReportFailureResp acknowledges the report. Repair runs
+// asynchronously; the reporter just retries/fails its write as usual.
+type ReportFailureResp struct{}
+
+// DrainServerReq migrates every block off Addr so it can be
+// decommissioned without data loss.
+type DrainServerReq struct {
+	Addr string
+}
+
+// DrainServerResp reports how many blocks were migrated.
+type DrainServerResp struct {
+	Migrated int
+}
+
 // --- memory-server messages ---------------------------------------------------
 
 // CreateBlockReq installs a partition in block ID.
@@ -475,10 +525,26 @@ type ReplicateReq struct {
 	// Seq orders the chain's mutation stream; replicas apply strictly
 	// in sequence order.
 	Seq uint64
+	// Gen is the chain generation Seq belongs to; a repair splice
+	// starts a new generation, and replicas reject mutations stamped
+	// with another generation (see blockstore.ApplyInOrder).
+	Gen uint64
 }
 
 // ReplicateResp acknowledges chain application.
 type ReplicateResp struct{}
+
+// UpdateChainReq replaces Block's replication chain (repair splice).
+// Gen is the new chain generation — the controller's membership epoch
+// at repair time, so every member of the spliced chain agrees on it.
+type UpdateChainReq struct {
+	Block core.BlockID
+	Chain core.ReplicaChain
+	Gen   uint64
+}
+
+// UpdateChainResp acknowledges the chain update.
+type UpdateChainResp struct{}
 
 // methodNames maps method identifiers to stable human-readable names
 // for metrics labels and span events.
@@ -499,6 +565,9 @@ var methodNames = map[uint16]string{
 	MethodControllerStats: "ControllerStats",
 	MethodListPrefixes:    "ListPrefixes",
 	MethodSaveState:       "SaveState",
+	MethodHeartbeat:       "Heartbeat",
+	MethodReportFailure:   "ReportFailure",
+	MethodDrainServer:     "DrainServer",
 	MethodDataOp:          "DataOp",
 	MethodCreateBlock:     "CreateBlock",
 	MethodDeleteBlock:     "DeleteBlock",
@@ -515,6 +584,7 @@ var methodNames = map[uint16]string{
 	MethodSnapshotBlock:   "SnapshotBlock",
 	MethodRestoreBlock:    "RestoreBlock",
 	MethodDataOpBatch:     "DataOpBatch",
+	MethodUpdateChain:     "UpdateChain",
 }
 
 // MethodName returns the human-readable name of a method identifier,

@@ -134,6 +134,18 @@ func TestPerMethodMetrics(t *testing.T) {
 		t.Fatalf("want ErrExists, got %v", err)
 	}
 
+	// Server-side stats are recorded after the response frame is
+	// written, so the last call can still be in flight on the server's
+	// bookkeeping when CallContext returns; wait for the quiesce.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if serverMetrics.Method(proto.MethodDataOp).Latency.Count() == 5 &&
+			serverMetrics.Method(proto.MethodCreateBlock).Latency.Count() == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	for _, tc := range []struct {
 		m      *obs.RPCMetrics
 		method uint16

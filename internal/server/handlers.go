@@ -203,6 +203,18 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		}
 		return rpc.Marshal(proto.ReplicateResp{})
 
+	case proto.MethodUpdateChain:
+		var req proto.UpdateChainReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		b, err := s.store.Get(req.Block)
+		if err != nil {
+			return nil, err
+		}
+		b.SetChain(req.Chain, req.Gen)
+		return rpc.Marshal(proto.UpdateChainResp{})
+
 	default:
 		return nil, fmt.Errorf("server: unknown method %#x: %w", method, core.ErrNotFound)
 	}
@@ -335,17 +347,20 @@ func (s *Server) applyMutation(ctx context.Context, blockID core.BlockID, op cor
 // checkNow is threaded to the blockstore's threshold evaluation (false
 // on the batch path, which checks once per block afterwards).
 func (s *Server) applyMutationOn(ctx context.Context, b *blockstore.Block, op core.OpType, args [][]byte, checkNow bool) ([][]byte, error) {
-	if len(b.Chain) > 1 && b.Chain.Head().ID == b.ID {
+	if chain := b.Chain(); len(chain) > 1 && chain.Head().ID == b.ID {
 		// Replicated mutation at the chain head: apply under the
 		// block's sequence lock so the propagation stream's order
-		// matches local order, then forward synchronously.
-		res, seq, err := b.NextReplSeq(func() ([][]byte, error) {
+		// matches local order, then forward synchronously. The chain
+		// snapshot read above may be one splice behind the generation
+		// stamped under the lock; replicas reject the mismatch and the
+		// client retries against the repaired chain.
+		res, seq, gen, err := b.NextReplSeq(func() ([][]byte, error) {
 			return s.store.ApplyOn(b, op, args, checkNow)
 		})
 		if err != nil {
 			return nil, err
 		}
-		if rerr := s.propagate(ctx, b, seq, op, args); rerr != nil {
+		if rerr := s.propagate(ctx, b, chain, seq, gen, op, args); rerr != nil {
 			return nil, rerr
 		}
 		return res, nil
@@ -370,13 +385,14 @@ func (s *Server) createBlock(req proto.CreateBlockReq) error {
 		}
 		part = p
 	}
-	return s.store.Create(&blockstore.Block{
+	b := &blockstore.Block{
 		ID:        req.Block,
 		Path:      req.Path,
 		Partition: part,
 		Chunk:     req.Chunk,
-		Chain:     req.Chain,
-	})
+	}
+	b.SetChain(req.Chain, 0)
+	return s.store.Create(b)
 }
 
 // moveSlots is the donor side of KV repartitioning (Fig. 8 step 4):

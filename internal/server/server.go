@@ -8,12 +8,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
 	"sync/atomic"
 
 	"jiffy/internal/blockstore"
+	"jiffy/internal/clock"
 	"jiffy/internal/core"
 	"jiffy/internal/obs"
 	"jiffy/internal/persist"
@@ -37,6 +39,9 @@ type Options struct {
 	Logger *slog.Logger
 	// Dial customizes outbound connections (controller, peer servers).
 	Dial func(addr string) (*rpc.Client, error)
+	// Clock paces the heartbeat loop (defaults to the wall clock; chaos
+	// tests drive a virtual one and beat manually via HeartbeatNow).
+	Clock clock.Clock
 }
 
 // Server is one memory server.
@@ -44,6 +49,7 @@ type Server struct {
 	cfg     core.Config
 	log     *slog.Logger
 	persist persist.Store
+	clk     clock.Clock
 
 	store  *blockstore.Store
 	rpcSrv *rpc.Server
@@ -51,8 +57,12 @@ type Server struct {
 
 	addr           string
 	controllerAddr string
+	// numBlocks is the registered capacity, kept for re-registration
+	// when the controller reports it no longer knows this server.
+	numBlocks atomic.Int64
 
 	signals chan signal
+	reports chan proto.ReportFailureReq
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
@@ -85,13 +95,18 @@ func New(opts Options) (*Server, error) {
 	if opts.Persist == nil {
 		opts.Persist = persist.NewMemStore()
 	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
 	s := &Server{
 		cfg:            opts.Config,
 		log:            opts.Logger,
 		persist:        opts.Persist,
+		clk:            opts.Clock,
 		peers:          rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
 		controllerAddr: opts.ControllerAddr,
 		signals:        make(chan signal, 1024),
+		reports:        make(chan proto.ReportFailureReq, 64),
 		stop:           make(chan struct{}),
 	}
 	s.store = blockstore.NewStore(opts.Config.HighThreshold, opts.Config.LowThreshold, s.onSignal)
@@ -109,6 +124,12 @@ func New(opts Options) (*Server, error) {
 	s.rpcSrv.OnDisconnect = func(conn *rpc.ServerConn) { s.subs.dropConn(conn) }
 	s.wg.Add(1)
 	go s.signalWorker()
+	s.wg.Add(1)
+	go s.reportWorker()
+	if opts.Config.HeartbeatInterval > 0 && opts.ControllerAddr != "" {
+		s.wg.Add(1)
+		go s.heartbeatWorker()
+	}
 	return s, nil
 }
 
@@ -134,9 +155,87 @@ func (s *Server) Register(numBlocks int) error {
 	if err != nil {
 		return err
 	}
+	s.numBlocks.Store(int64(numBlocks))
 	var resp proto.RegisterServerResp
 	return ctrl.CallGob(proto.MethodRegisterServer,
 		proto.RegisterServerReq{Addr: s.addr, NumBlocks: numBlocks}, &resp)
+}
+
+// heartbeatWorker paces periodic liveness beats to the controller.
+func (s *Server) heartbeatWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.clk.After(s.cfg.HeartbeatInterval):
+			if err := s.HeartbeatNow(); err != nil {
+				s.log.Debug("server: heartbeat failed", "err", err)
+			}
+		}
+	}
+}
+
+// HeartbeatNow sends one liveness beat synchronously. If the
+// controller no longer knows this server (it was declared dead, or the
+// controller restarted), the server re-registers its capacity — the
+// controller assigns a fresh block range; any blocks it hosted under
+// the old registration have already been repaired away or marked lost.
+// Deterministic tests call this directly instead of advancing the
+// heartbeat clock.
+func (s *Server) HeartbeatNow() error {
+	if s.controllerAddr == "" || s.addr == "" {
+		return nil
+	}
+	ctrl, err := s.peers.Get(s.controllerAddr)
+	if err != nil {
+		return err
+	}
+	var resp proto.HeartbeatResp
+	err = ctrl.CallGob(proto.MethodHeartbeat, proto.HeartbeatReq{Addr: s.addr}, &resp)
+	if errors.Is(err, core.ErrNotFound) {
+		if n := s.numBlocks.Load(); n > 0 {
+			s.log.Info("server: controller lost track of us; re-registering",
+				"addr", s.addr, "blocks", n)
+			return s.Register(int(n))
+		}
+	}
+	return err
+}
+
+// reportFailedHop enqueues write-path evidence that a chain hop's
+// server is unreachable; a full queue drops the report (the failure
+// detector will catch the death via missed heartbeats anyway).
+func (s *Server) reportFailedHop(hop core.BlockInfo) {
+	if s.controllerAddr == "" {
+		return
+	}
+	select {
+	case s.reports <- proto.ReportFailureReq{Reporter: s.addr, Server: hop.Server, Block: hop.ID}:
+	default:
+	}
+}
+
+// reportWorker forwards failed-hop reports to the controller
+// asynchronously, so the write path never waits on the control plane.
+func (s *Server) reportWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case rep := <-s.reports:
+			ctrl, err := s.peers.Get(s.controllerAddr)
+			if err != nil {
+				s.log.Debug("server: cannot reach controller for failure report", "err", err)
+				continue
+			}
+			var resp proto.ReportFailureResp
+			if err := ctrl.CallGob(proto.MethodReportFailure, rep, &resp); err != nil {
+				s.log.Debug("server: failure report rejected", "server", rep.Server, "err", err)
+			}
+		}
+	}
 }
 
 // Close stops the server.

@@ -109,6 +109,7 @@ var (
 	ErrEmpty        = core.ErrEmpty
 	ErrLeaseExpired = core.ErrLeaseExpired
 	ErrTimeout      = core.ErrTimeout
+	ErrBlockLost    = core.ErrBlockLost
 )
 
 // DefaultConfig returns the paper's defaults: 128MB blocks, 1s leases,

@@ -12,6 +12,7 @@ package jiffy
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -429,4 +430,144 @@ func TestAdminMetricsDuringChaos(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// TestAdminMetricsAfterServerFailure scrapes the self-healing counters
+// over a real admin endpoint through a server failure: a death bumps
+// jiffy_ctrl_server_failures_total and the membership-epoch gauge,
+// every affected partition entry counts toward
+// jiffy_ctrl_chain_repairs_total, and unreplicated blocks split by
+// fate — flushed ones are rebuilt from the persist tier while
+// unflushed ones land in jiffy_ctrl_blocks_lost_total and fail fast at
+// the client.
+func TestAdminMetricsAfterServerFailure(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Servers: 2, BlocksPerServer: 16, DisableExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctrlAdmin, err := obs.ServeAdmin("127.0.0.1:0", obs.AdminOptions{
+		Registry: cluster.Controller.Obs(), Spans: cluster.Controller.Spans(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrlAdmin.Close()
+
+	before := scrapeAdmin(t, ctrlAdmin.Addr)
+	for _, name := range []string{
+		"jiffy_ctrl_server_failures_total",
+		"jiffy_ctrl_chain_repairs_total",
+		"jiffy_ctrl_blocks_lost_total",
+	} {
+		if before[name] != 0 {
+			t.Fatalf("%s = %g before any failure", name, before[name])
+		}
+	}
+	if before["jiffy_ctrl_membership_epoch"] < 2 {
+		t.Fatalf("membership epoch = %g after two registrations",
+			before["jiffy_ctrl_membership_epoch"])
+	}
+
+	ctx := context.Background()
+	c, err := cluster.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterJob(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	// Four single-replica prefixes across two servers: whichever server
+	// dies hosts at least two of them.
+	paths := []core.Path{"m/a", "m/b", "m/c", "m/d"}
+	for _, p := range paths {
+		if _, _, err := c.CreatePrefix(ctx, p, nil, DSKV, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		kv, err := c.OpenKV(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(ctx, "k", []byte("v-"+string(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hosts := make(map[core.Path]string)
+	count := make(map[string]int)
+	for _, p := range paths {
+		open, err := cluster.Controller.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[p] = open.Map.Blocks[0].Info.Server
+		count[hosts[p]]++
+	}
+	victim := ""
+	for addr, n := range count {
+		if victim == "" || n > count[victim] {
+			victim = addr
+		}
+	}
+	var onVictim, flushed []core.Path
+	for _, p := range paths {
+		if hosts[p] == victim {
+			onVictim = append(onVictim, p)
+		}
+	}
+	if len(onVictim) < 2 {
+		t.Fatalf("victim %s hosts only %v; need a flushed and an unflushed prefix", victim, onVictim)
+	}
+	// Flush exactly one hosted prefix; its block must be recovered from
+	// the persist tier, while its unflushed neighbors are lost.
+	flushed = onVictim[:1]
+	if _, err := c.FlushPrefix(ctx, flushed[0], "ckpt/obs-recovery"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, srv := range cluster.Servers {
+		if strings.Contains(victim, fmt.Sprintf("server-%d", i)) {
+			srv.Close()
+		}
+	}
+	if !cluster.Controller.FailServer(victim) {
+		t.Fatal("FailServer reported the victim already dead")
+	}
+
+	after := scrapeAdmin(t, ctrlAdmin.Addr)
+	if got := after["jiffy_ctrl_server_failures_total"]; got != 1 {
+		t.Errorf("server failures = %g, want 1", got)
+	}
+	if got, want := after["jiffy_ctrl_chain_repairs_total"], float64(len(onVictim)); got != want {
+		t.Errorf("chain repairs = %g, want %g (every entry on the victim)", got, want)
+	}
+	if got, want := after["jiffy_ctrl_blocks_lost_total"], float64(len(onVictim)-1); got != want {
+		t.Errorf("blocks lost = %g, want %g (all on-victim entries minus the flushed one)", got, want)
+	}
+	if got, want := after["jiffy_ctrl_membership_epoch"], before["jiffy_ctrl_membership_epoch"]+1; got != want {
+		t.Errorf("membership epoch = %g, want %g", got, want)
+	}
+
+	// The metric split matches observable client behavior: the flushed
+	// prefix reads back its data, the lost ones fail fast.
+	kv, err := c.OpenKV(ctx, flushed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := kv.Get(ctx, "k"); err != nil || string(v) != "v-"+string(flushed[0]) {
+		t.Fatalf("flushed prefix %s unreadable after recovery: %q, %v", flushed[0], v, err)
+	}
+	for _, p := range onVictim[1:] {
+		kv, err := c.OpenKV(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kv.Get(ctx, "k"); !errors.Is(err, ErrBlockLost) {
+			t.Fatalf("lost prefix %s Get = %v, want ErrBlockLost", p, err)
+		}
+	}
 }

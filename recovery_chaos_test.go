@@ -1,0 +1,350 @@
+package jiffy
+
+// Recovery chaos suite: end-to-end proofs of the self-healing pipeline
+// (failure detection → chain repair → block recovery) under seeded
+// faults and a virtual clock. Detection is driven deterministically:
+// live servers beat via HeartbeatNow, the clock advances past the
+// suspicion window, and one CheckLivenessNow scan declares the victim
+// dead and repairs every chain synchronously — no wall-clock sleeps,
+// no flaky timers, race-clean under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"jiffy/internal/client"
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+	"jiffy/internal/faultinject"
+)
+
+// recoveryConfig is the shared shape of the repair scenarios: 3-member
+// chains with heartbeat-based detection enabled but paced on a virtual
+// clock (DisableExpiry keeps the controller's background detector off,
+// so the test owns every detection step).
+func recoveryConfig() core.Config {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cfg.RPCTimeout = 2 * time.Second
+	cfg.ChainLength = 3
+	cfg.HeartbeatInterval = time.Second
+	cfg.SuspicionWindow = 5 * time.Second
+	return cfg
+}
+
+// killServer closes the cluster server backing addr and severs every
+// live session to it. Returns the index of the killed server.
+func killServer(t *testing.T, cluster *Cluster, inj *faultinject.Injector, addr string) int {
+	t.Helper()
+	for i, srv := range cluster.Servers {
+		if strings.Contains(addr, fmt.Sprintf("server-%d", i)) {
+			srv.Close()
+			inj.BreakConns(addr)
+			return i
+		}
+	}
+	t.Fatalf("no cluster server matches %s", addr)
+	return -1
+}
+
+// detectAndRepair drives one deterministic detection round: the clock
+// jumps past the suspicion window, every surviving server beats, and a
+// single liveness scan declares the victim dead — repairing every
+// affected chain synchronously before returning.
+func detectAndRepair(t *testing.T, cluster *Cluster, vclock *clock.Virtual,
+	cfg core.Config, deadIdx int, deadAddr string) {
+	t.Helper()
+	vclock.Advance(cfg.SuspicionWindow + cfg.HeartbeatInterval)
+	for i, srv := range cluster.Servers {
+		if i == deadIdx {
+			continue
+		}
+		if err := srv.HeartbeatNow(); err != nil {
+			t.Fatalf("heartbeat from surviving server %d: %v", i, err)
+		}
+	}
+	newlyDead := cluster.Controller.CheckLivenessNow()
+	if len(newlyDead) != 1 || newlyDead[0] != deadAddr {
+		t.Fatalf("liveness scan declared %v dead, want exactly [%s]", newlyDead, deadAddr)
+	}
+	if !cluster.Controller.ServerDead(deadAddr) {
+		t.Fatal("killed server not marked dead after the scan")
+	}
+}
+
+// assertChainHealthy asserts every partition entry of path is repaired
+// to a full-width chain with no member on deadAddr and none lost.
+func assertChainHealthy(t *testing.T, cluster *Cluster, path core.Path,
+	width int, deadAddr string) {
+	t.Helper()
+	open, err := cluster.Controller.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range open.Map.Blocks {
+		if e.Lost {
+			t.Fatalf("chunk %d marked lost despite surviving replicas", e.Chunk)
+		}
+		reps := e.Replicas()
+		if len(reps) != width {
+			t.Fatalf("chunk %d repaired to width %d, want %d: %+v",
+				e.Chunk, len(reps), width, reps)
+		}
+		for _, info := range reps {
+			if info.Server == deadAddr {
+				t.Fatalf("chunk %d still references the dead server: %+v", e.Chunk, reps)
+			}
+		}
+	}
+}
+
+// TestChaosChainRepairAfterHeadKill kills the HEAD of a 3-member
+// replica chain in the middle of a write stream. Writes in the
+// detection window fail with classified connection errors; one
+// deterministic detection round splices the dead head out, promotes
+// the next survivor and resyncs a replacement from the tail-most
+// survivor's snapshot; the stream then resumes against the repaired
+// chain with zero acknowledged writes lost, and later placements never
+// select the dead server again.
+func TestChaosChainRepairAfterHeadKill(t *testing.T) {
+	inj := faultinject.New(808, nil)
+	vclock := clock.NewVirtual(time.Unix(0, 0))
+	cfg := recoveryConfig()
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
+		Servers: 4, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
+	})
+	c, err := cluster.Connect(context.Background(),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob(context.Background(), "repair")
+	m, _, err := c.CreatePrefix(context.Background(), "repair/t", nil, DSKV, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := m.Blocks[0].Chain
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v, want 3 members", chain)
+	}
+	headAddr := chain[0].Server
+	epochBefore := cluster.Controller.MembershipEpoch()
+	kv, err := c.OpenKV(context.Background(), "repair/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One continuous write stream; the head dies at killAt, detection
+	// runs at repairAt, and every write outside the outage window must
+	// be acknowledged.
+	const total, killAt, repairAt = 200, 100, 110
+	headIdx := -1
+	acked := make(map[string]string)
+	for i := 0; i < total; i++ {
+		if i == killAt {
+			headIdx = killServer(t, cluster, inj, headAddr)
+		}
+		if i == repairAt {
+			detectAndRepair(t, cluster, vclock, cfg, headIdx, headAddr)
+		}
+		key, val := fmt.Sprintf("k%04d", i), fmt.Sprintf("v%04d", i)
+		err := kv.Put(context.Background(), key, []byte(val))
+		switch {
+		case err == nil:
+			acked[key] = val
+		case i < killAt || i >= repairAt:
+			t.Fatalf("put %s outside the outage window failed: %v", key, err)
+		case !errors.Is(err, core.ErrClosed) && !errors.Is(err, ErrTimeout):
+			t.Fatalf("outage-window put %s failed with unclassified error: %v", key, err)
+		}
+	}
+	if len(acked) < total-(repairAt-killAt) {
+		t.Fatalf("only %d/%d writes acknowledged", len(acked), total)
+	}
+
+	// The chain is back at full width with the dead head spliced out.
+	assertChainHealthy(t, cluster, "repair/t", 3, headAddr)
+	if epoch := cluster.Controller.MembershipEpoch(); epoch <= epochBefore {
+		t.Errorf("membership epoch %d did not advance past %d", epoch, epochBefore)
+	}
+
+	// Zero acknowledged writes lost: every acked key reads back with
+	// the value that was acknowledged.
+	for key, val := range acked {
+		v, err := kv.Get(context.Background(), key)
+		if err != nil || string(v) != val {
+			t.Fatalf("acked write %s lost after head repair: %q, %v", key, v, err)
+		}
+	}
+
+	// Subsequent placements never touch the dead server: a fresh
+	// 4-chunk prefix (12 replica placements) lands only on survivors.
+	m2, _, err := c.CreatePrefix(context.Background(), "repair/t2", nil, DSKV, 4, 0)
+	if err != nil {
+		t.Fatalf("post-repair create: %v", err)
+	}
+	for _, e := range m2.Blocks {
+		for _, info := range e.Replicas() {
+			if info.Server == headAddr {
+				t.Fatalf("post-repair placement selected the dead server: %+v", e)
+			}
+		}
+	}
+	if stats := cluster.Controller.Stats(); stats.Servers != 3 {
+		t.Errorf("dead server still in the allocator pool: %+v", stats)
+	}
+	t.Logf("acked=%d epoch %d→%d", len(acked), epochBefore,
+		cluster.Controller.MembershipEpoch())
+}
+
+// TestChaosChainRepairAfterTailKillMidRead kills the TAIL of a
+// 3-member chain in the middle of a read scan. Reads must keep
+// answering throughout — first by falling back to the surviving
+// upstream members, then, after one deterministic detection round
+// replaces the tail, against the repaired full-width chain — with
+// every acknowledged write intact and new writes replicating at full
+// width again.
+func TestChaosChainRepairAfterTailKillMidRead(t *testing.T) {
+	inj := faultinject.New(909, nil)
+	vclock := clock.NewVirtual(time.Unix(0, 0))
+	cfg := recoveryConfig()
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
+		Servers: 4, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
+	})
+	c, err := cluster.Connect(context.Background(),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob(context.Background(), "tails")
+	m, _, err := c.CreatePrefix(context.Background(), "tails/t", nil, DSKV, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := m.Blocks[0].Chain
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v, want 3 members", chain)
+	}
+	tailAddr := chain[len(chain)-1].Server
+	kv, err := c.OpenKV(context.Background(), "tails/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i),
+			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// One continuous read scan; the tail dies halfway through. Reads
+	// were routed to the tail and must fall back to the surviving
+	// upstream members without a single miss — synchronous chain
+	// propagation means every member holds every acknowledged write.
+	tailIdx := -1
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			tailIdx = killServer(t, cluster, inj, tailAddr)
+		}
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("read continuity broken at k%d after tail kill: %q, %v", i, v, err)
+		}
+	}
+
+	// One detection round replaces the tail and resyncs it from the
+	// surviving tail-most member's snapshot.
+	detectAndRepair(t, cluster, vclock, cfg, tailIdx, tailAddr)
+	assertChainHealthy(t, cluster, "tails/t", 3, tailAddr)
+
+	// The full dataset reads back through the repaired chain, and new
+	// writes replicate at full width again.
+	for i := 0; i < n; i++ {
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("acked write k%d lost after tail repair: %q, %v", i, v, err)
+		}
+	}
+	for i := n; i < n+20; i++ {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i),
+			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("post-repair put %d: %v", i, err)
+		}
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("post-repair read %d: %q, %v", i, v, err)
+		}
+	}
+}
+
+// TestChaosDrainServerUnderLoad drains a healthy server through the
+// client API while its data is live: every partition entry migrates
+// off the drained server by snapshot, nothing is lost, and the drained
+// server leaves the membership exactly like a dead one — minus the
+// outage window, since the splice reads from the still-answering old
+// tail.
+func TestChaosDrainServerUnderLoad(t *testing.T) {
+	inj := faultinject.New(111, nil)
+	vclock := clock.NewVirtual(time.Unix(0, 0))
+	cfg := recoveryConfig()
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
+		Servers: 4, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
+	})
+	c, err := cluster.Connect(context.Background(),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob(context.Background(), "drain")
+	m, _, err := c.CreatePrefix(context.Background(), "drain/t", nil, DSKV, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := m.Blocks[0].Chain
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v, want 3 members", chain)
+	}
+	victim := chain[1].Server // drain a mid-chain member
+	kv, err := c.OpenKV(context.Background(), "drain/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i),
+			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	migrated, err := c.DrainServer(context.Background(), victim)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if migrated == 0 {
+		t.Fatal("drain migrated no partition entries despite hosted replicas")
+	}
+	assertChainHealthy(t, cluster, "drain/t", 3, victim)
+	if !cluster.Controller.ServerDead(victim) {
+		t.Error("drained server still counted a live member")
+	}
+	for i := 0; i < n; i++ {
+		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("acked write k%d lost across drain: %q, %v", i, v, err)
+		}
+	}
+	// Draining the same server twice is a typed error, not a repeat.
+	if _, err := c.DrainServer(context.Background(), victim); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second drain = %v, want ErrNotFound", err)
+	}
+	t.Logf("drained %s: %d entries migrated", victim, migrated)
+}
