@@ -58,6 +58,12 @@ type Block struct {
 	replGen   uint64
 	applySeq  uint64
 	applyCond *sync.Cond
+
+	// sealed permanently fences the block against mutations (reads keep
+	// serving): a drain seals the source before taking its migration
+	// snapshot, so no write can be acknowledged that the snapshot might
+	// miss. Never cleared — a sealed block is about to be deleted.
+	sealed atomic.Bool
 }
 
 // Chain returns the block's current replication chain (nil when
@@ -85,37 +91,64 @@ func (b *Block) SetChain(chain core.ReplicaChain, gen uint64) {
 	b.replMu.Unlock()
 }
 
+// Seal permanently fences the block against mutations; reads still
+// serve. Head-side, unreplicated, and forwarded writes all fail with
+// ErrStaleEpoch from the moment Seal returns, and replicas waiting on
+// the sequence stream are woken to fail fast.
+func (b *Block) Seal() {
+	b.replMu.Lock()
+	b.sealed.Store(true)
+	if b.applyCond != nil {
+		b.applyCond.Broadcast()
+	}
+	b.replMu.Unlock()
+}
+
+// Sealed reports whether the block has been fenced by Seal.
+func (b *Block) Sealed() bool { return b.sealed.Load() }
+
 // NextReplSeq atomically applies a head-side mutation via fn and
 // assigns it the next replication sequence number, stamped with the
-// chain generation it belongs to.
-func (b *Block) NextReplSeq(fn func() ([][]byte, error)) (res [][]byte, seq, gen uint64, err error) {
+// chain generation it belongs to. The chain snapshot is read under the
+// same lock SetChain writes it, so the returned chain always matches
+// the returned generation — a concurrent repair splice can never pair
+// a new generation with the old layout.
+func (b *Block) NextReplSeq(fn func() ([][]byte, error)) (res [][]byte, chain core.ReplicaChain, seq, gen uint64, err error) {
 	b.replMu.Lock()
 	defer b.replMu.Unlock()
+	if b.sealed.Load() {
+		return nil, nil, 0, 0, fmt.Errorf("blockstore: block %v sealed for migration: %w",
+			b.ID, core.ErrStaleEpoch)
+	}
 	res, err = fn()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, 0, 0, err
+	}
+	if p := b.chain.Load(); p != nil {
+		chain = *p
 	}
 	seq = b.replSeq
 	gen = b.replGen
 	b.replSeq++
-	return res, seq, gen, nil
+	return res, chain, seq, gen, nil
 }
 
 // ApplyInOrder blocks until it is seq's turn at this replica, applies
 // fn, and releases the next sequence number. A mutation from a
-// different chain generation than the replica's current one returns
-// ErrStaleEpoch immediately (or as soon as a repair bumps the
-// generation mid-wait): its sender is propagating along a chain that no
-// longer exists, and must refresh.
+// different chain generation than the replica's current one — or any
+// mutation once the block is sealed — returns ErrStaleEpoch
+// immediately (or as soon as a repair bumps the generation mid-wait):
+// its sender is propagating along a chain that no longer exists, and
+// must refresh.
 func (b *Block) ApplyInOrder(seq, gen uint64, fn func() ([][]byte, error)) ([][]byte, error) {
 	b.replMu.Lock()
 	if b.applyCond == nil {
 		b.applyCond = sync.NewCond(&b.replMu)
 	}
-	for b.applySeq != seq && b.replGen == gen {
+	for b.applySeq != seq && b.replGen == gen && !b.sealed.Load() {
 		b.applyCond.Wait()
 	}
-	if b.replGen != gen {
+	if b.replGen != gen || b.sealed.Load() {
 		b.replMu.Unlock()
 		return nil, fmt.Errorf("blockstore: block %v: chain generation %d superseded by %d: %w",
 			b.ID, gen, b.replGen, core.ErrStaleEpoch)

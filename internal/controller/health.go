@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -171,9 +172,16 @@ func (c *Controller) ReportFailure(req proto.ReportFailureReq) error {
 		return nil // already handled
 	}
 	var resp proto.ServerStatsResp
-	if err := c.callServer(req.Server, proto.MethodServerStats, proto.ServerStatsReq{}, &resp); err == nil {
+	err := c.callServer(req.Server, proto.MethodServerStats, proto.ServerStatsReq{}, &resp)
+	var ue *serverUnreachableError
+	if err == nil || !errors.As(err, &ue) {
+		// A clean reply — or any error the server itself returned,
+		// including a probe that merely timed out under load — proves
+		// the process is alive. Only a connectivity-class failure
+		// (undialable, session broken mid-call) corroborates the
+		// report; anything else must not kill a healthy member.
 		c.log.Debug("controller: failure report not confirmed by probe",
-			"server", req.Server, "reporter", req.Reporter)
+			"server", req.Server, "reporter", req.Reporter, "probe", err)
 		return nil
 	}
 	c.log.Warn("controller: failure report confirmed",

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 
 	"jiffy/internal/core"
@@ -15,19 +16,48 @@ import (
 // resynced from a surviving replica's snapshot, and every member —
 // survivors and replacements alike — is switched to the new chain
 // layout under a fresh replication generation (the membership epoch).
-// The generation switch is what makes the splice safe against writes
-// still in flight on the old layout: replicas reject mismatched
-// generations with ErrStaleEpoch instead of applying them out of order.
+//
+// Two orderings make the splice safe against writes still in flight on
+// the old layout:
+//
+//   - Fence before snapshot. An acknowledgement requires every member
+//     of the OLD chain to apply the write, so before the resync
+//     snapshot is taken every old-chain member except its head is made
+//     to reject further traffic — survivors by switching to the new
+//     generation (ErrStaleEpoch for old-generation propagation), still
+//     answering drained members by sealing, dead members by being
+//     dead. From that point no write can be acknowledged that the
+//     snapshot might miss; fenced writes fail fast and the client
+//     retries against the repaired chain.
+//
+//   - Head last. The head is the only member that starts a new
+//     generation's sequence stream, so it switches only after every
+//     downstream member (survivors and resynced replacements) is
+//     installed at sequence zero — a head switched early would consume
+//     sequence numbers a not-yet-ready replacement can never fill.
+//
+// Lock discipline: the shard mutex is held only to collect the
+// affected entries and to commit the result. The RPC-heavy splice
+// (snapshot/restore/create, carrying full block payloads) runs with no
+// locks held, and the commit re-validates that the entry is unchanged —
+// a lost race rolls the splice back and replans from the current map,
+// so concurrent metadata operations never stall behind a repair.
 //
 // Blocks with no surviving replica are rebuilt from the persistent
 // tier when the prefix has a flushed copy; otherwise they are marked
 // Lost in the partition map so clients fail fast with ErrBlockLost.
 
+// repairAttempts bounds the collect → splice → commit retries for one
+// entry. A retry follows either a lost commit race or the eviction of
+// a further dead server discovered mid-splice, so the loop converges
+// in practice within a round or two.
+const repairAttempts = 4
+
 // repairAfterDeath walks every job and repairs every partition entry
 // that had a replica on the dead server. Callers must not hold a shard
 // lock.
 func (c *Controller) repairAfterDeath(addr string) {
-	c.repairServer(addr, c.memberEpoch.Load(), false)
+	c.repairServer(addr, false)
 }
 
 // DrainServer migrates every block off a still-healthy server using
@@ -51,52 +81,90 @@ func (c *Controller) DrainServer(addr string) (int, error) {
 		return 0, nil
 	}
 	c.log.Info("controller: draining server", "addr", addr)
-	return c.repairServer(addr, c.memberEpoch.Load(), true), nil
+	return c.repairServer(addr, true), nil
+}
+
+// repairTarget captures, under the shard lock, everything the unlocked
+// splice needs to know about one affected partition entry.
+type repairTarget struct {
+	node     *hierarchy.Node
+	path     core.Path
+	dsType   core.DSType
+	flushKey string
+	entry    ds.PartitionEntry
+}
+
+// spliceResult is the outcome of one unlocked splice attempt.
+type spliceResult struct {
+	newChain        core.ReplicaChain // layout to commit (nil when lost or aborted)
+	replacements    core.ReplicaChain // created this attempt; rolled back on a lost commit
+	deleteAfter     core.ReplicaChain // drained members, deleted once the commit lands
+	relinkSuccessor bool              // recovered queue segment: re-seal toward its successor
+	lost            bool              // no copy anywhere: mark the entry Lost
+	lostReason      string
+	abort           bool // leave the entry untouched (e.g. no capacity on a drain)
+	demote          bool // the drained server died mid-splice: retry as a death
+}
+
+// relinkOp is a queue re-seal to run after the commit unlocks.
+type relinkOp struct {
+	tail ds.PartitionEntry
+	next core.BlockInfo
 }
 
 // repairServer splices addr out of every chain that references it.
-// alive distinguishes a drain (the server still answers, so snapshots
-// may come from it and its blocks are deleted after migration) from a
-// death (never talk to it again). Returns the number of repaired
-// entries.
-func (c *Controller) repairServer(addr string, gen uint64, alive bool) int {
+// alive distinguishes a drain (the server still answers, so its data
+// is migrated and its blocks deleted afterwards) from a death (never
+// talk to it again). Returns the number of repaired entries.
+func (c *Controller) repairServer(addr string, alive bool) int {
 	repaired := 0
-	for _, s := range c.shards {
-		s.mu.Lock()
-		for _, h := range s.jobs {
-			h.Walk(func(n *hierarchy.Node) bool {
-				repaired += c.repairNodeLocked(n, addr, gen, alive)
-				return true
-			})
+	for _, sh := range c.shards {
+		for _, t := range c.collectTargets(sh, addr) {
+			if c.repairEntry(sh, t, addr, alive) {
+				repaired++
+				c.chainRepairs.Add(1)
+			}
 		}
-		s.mu.Unlock()
 	}
 	if repaired > 0 || !alive {
 		c.log.Info("controller: repair complete", "addr", addr,
-			"entries", repaired, "epoch", gen)
+			"entries", repaired, "epoch", c.memberEpoch.Load())
 	}
 	return repaired
 }
 
-// repairNodeLocked repairs every entry of one prefix that references
-// addr, bumping the map epoch once if anything changed. Caller holds
-// the shard lock.
-func (c *Controller) repairNodeLocked(n *hierarchy.Node, addr string, gen uint64, alive bool) int {
-	changed := 0
-	for i := range n.Map.Blocks {
-		e := &n.Map.Blocks[i]
-		if e.Lost || !entryReferences(*e, addr) {
-			continue
-		}
-		if c.repairEntryLocked(n, e, addr, gen, alive) {
-			changed++
-			c.chainRepairs.Add(1)
-		}
+// collectTargets scans one shard for partition entries referencing
+// addr. The shard lock is held only for the scan — no RPCs.
+func (c *Controller) collectTargets(sh *shard, addr string) []repairTarget {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var targets []repairTarget
+	for _, h := range sh.jobs {
+		h.Walk(func(n *hierarchy.Node) bool {
+			for _, e := range n.Map.Blocks {
+				if e.Lost || !entryReferences(e, addr) {
+					continue
+				}
+				targets = append(targets, repairTarget{
+					node:     n,
+					path:     n.CanonicalPath(),
+					dsType:   n.Map.Type,
+					flushKey: n.FlushKey,
+					entry:    copyEntry(e),
+				})
+			}
+			return true
+		})
 	}
-	if changed > 0 {
-		n.Map.Epoch++
-	}
-	return changed
+	return targets
+}
+
+// copyEntry clones the slices a splice plans from, so the unlocked
+// phase never aliases map-owned memory.
+func copyEntry(e ds.PartitionEntry) ds.PartitionEntry {
+	e.Chain = append(core.ReplicaChain(nil), e.Chain...)
+	e.Slots = append([]ds.SlotRange(nil), e.Slots...)
+	return e
 }
 
 // entryReferences reports whether any replica of e lives on addr.
@@ -109,87 +177,238 @@ func entryReferences(e ds.PartitionEntry, addr string) bool {
 	return false
 }
 
-// repairEntryLocked splices addr out of one entry's chain. Returns
-// true when the entry changed (including being marked Lost).
-func (c *Controller) repairEntryLocked(n *hierarchy.Node, e *ds.PartitionEntry,
-	addr string, gen uint64, alive bool) bool {
-	replicas := e.Replicas()
-	var survivors, doomed core.ReplicaChain
+// repairEntry runs the collect → splice → commit loop for one entry.
+func (c *Controller) repairEntry(sh *shard, t repairTarget, addr string, alive bool) bool {
+	for attempt := 0; attempt < repairAttempts; attempt++ {
+		if attempt > 0 {
+			var ok bool
+			if t, ok = c.refreshTarget(sh, t, addr); !ok {
+				// The entry is gone, lost, or was already repaired by a
+				// concurrent splice.
+				return false
+			}
+		}
+		res, retry := c.spliceEntry(t, addr, c.memberEpoch.Load(), alive)
+		if res.demote {
+			alive = false
+		}
+		if retry {
+			continue
+		}
+		if res.abort {
+			return false
+		}
+		relinks, ok := c.commitRepair(sh, t, res)
+		if !ok {
+			// Lost the commit race: the entry changed while the splice
+			// ran unlocked. Undo the side effects and replan.
+			c.releaseReplacements(res.replacements)
+			continue
+		}
+		for _, info := range res.deleteAfter {
+			c.deleteBlockOnServer(info)
+		}
+		for _, r := range relinks {
+			if err := c.setNextOnChain(r.tail, r.next); err != nil {
+				c.log.Warn("controller: queue relink after repair failed",
+					"from", r.tail.Info.ID, "to", r.next.ID, "err", err)
+			}
+		}
+		return true
+	}
+	c.log.Error("controller: entry repair did not converge; chain may be degraded",
+		"block", t.entry.Info.ID, "addr", addr)
+	return false
+}
+
+// refreshTarget re-reads the current state of t's entry for a retry.
+// false when the entry no longer needs repair.
+func (c *Controller) refreshTarget(sh *shard, t repairTarget, addr string) (repairTarget, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range t.node.Map.Blocks {
+		if e.Lost || e.Chunk != t.entry.Chunk || !entryReferences(e, addr) {
+			continue
+		}
+		if t.dsType == core.DSKV && !slotsEqual(e.Slots, t.entry.Slots) {
+			continue
+		}
+		t.entry = copyEntry(e)
+		t.flushKey = t.node.FlushKey
+		return t, true
+	}
+	return t, false
+}
+
+// spliceEntry performs the RPC-heavy part of one entry's repair with no
+// locks held, returning the layout to commit. retry=true means the
+// attempt must be restarted from a fresh view of the entry (a member
+// died mid-splice, or the fence could not be established).
+func (c *Controller) spliceEntry(t repairTarget, addr string, gen uint64, alive bool) (spliceResult, bool) {
+	replicas := t.entry.Replicas()
+	var survivors, doomedAlive, doomedDead core.ReplicaChain
 	for _, info := range replicas {
-		if info.Server == addr {
-			doomed = append(doomed, info)
-		} else {
+		switch {
+		case info.Server == addr && alive:
+			doomedAlive = append(doomedAlive, info)
+		case info.Server == addr || c.ServerDead(info.Server):
+			// Members on other servers declared dead mid-repair are
+			// spliced out in the same pass.
+			doomedDead = append(doomedDead, info)
+		default:
 			survivors = append(survivors, info)
 		}
 	}
 	if len(survivors) == 0 {
-		return c.recoverSoleReplicaLocked(n, e, doomed, gen, alive)
+		return c.recoverSoleReplica(t, doomedAlive, gen)
 	}
 
-	// Splice: replacements go at the tail of the surviving order; the
-	// tail-most survivor (or, on a drain, the old tail itself) holds
-	// exactly the acknowledged writes and is the resync source.
-	src := survivors[len(survivors)-1]
-	if alive {
-		src = replicas[len(replicas)-1]
-	}
-	newChain := append(core.ReplicaChain(nil), survivors...)
-	replacements, err := c.alloc.Allocate(len(doomed))
-	if err != nil {
-		c.log.Warn("controller: no capacity for chain replacement; degrading chain width",
-			"block", e.Info.ID, "want", len(replicas), "have", len(survivors), "err", err)
-		replacements = nil
-	}
-	newChain = append(newChain, replacements...)
+	oldHead := replicas[0]
+	replacements := c.allocReplacements(t, survivors, len(doomedAlive)+len(doomedDead))
+	newChain := append(append(core.ReplicaChain(nil), survivors...), replacements...)
 
-	path := n.CanonicalPath()
-	for i, info := range replacements {
-		if err := c.createBlockOnServer(info, path, n.Map.Type, e.Chunk, e.Slots, chainField(newChain)); err != nil {
-			c.log.Warn("controller: chain replacement create failed; degrading chain width",
-				"block", e.Info.ID, "on", info.Server, "err", err)
-			for _, done := range replacements[:i] {
-				c.deleteBlockOnServer(done)
-			}
-			c.alloc.Free(replacements)
+	// Fence the old chain (see the package comment): every survivor
+	// except the old head switches to the new generation now, tail
+	// first, so old-generation propagation rejects and no write can be
+	// acknowledged after the snapshot below. A survivor that cannot be
+	// switched would stay wedged on the old generation and reject every
+	// new-generation mutation forever — so the splice restarts instead,
+	// with the member evicted when the failure was connectivity-class.
+	for i := len(survivors) - 1; i >= 0; i-- {
+		m := survivors[i]
+		if m == oldHead {
+			continue // switched last, once the replacements are ready
+		}
+		if err := c.switchMember(m, chainField(newChain), gen); err != nil {
+			c.log.Warn("controller: chain fence failed on survivor; restarting splice",
+				"block", m.ID, "on", m.Server, "err", err)
+			c.releaseReplacements(replacements)
+			return spliceResult{}, true
+		}
+	}
+	// Still-answering drained members are sealed: required when one of
+	// them is the old tail (the last unfenced ack point), and it makes
+	// writes racing the drain fail fast everywhere else too. A failed
+	// seal is fence-preserving — it means the member is unreachable or
+	// its block is already gone, and either way it can no longer apply
+	// (and so never acknowledge) a write.
+	for _, m := range doomedAlive {
+		if err := c.sealBlockOnServer(m); err != nil {
+			c.log.Debug("controller: seal of drained member failed; treating as dead",
+				"block", m.ID, "on", m.Server, "err", err)
+		}
+	}
+
+	if len(replacements) > 0 {
+		// Every old-chain member holds every acknowledged write, and
+		// the fence froze the survivors' old-generation stream, so the
+		// tail-most survivor's snapshot is a superset of all
+		// acknowledged writes.
+		src := survivors[len(survivors)-1]
+		if err := c.resyncMembers(src, replacements); err != nil {
+			c.log.Warn("controller: chain replacement resync failed; degrading chain width",
+				"block", t.entry.Info.ID, "err", err)
+			c.releaseReplacements(replacements)
+			replacements = nil
+			newChain = append(core.ReplicaChain(nil), survivors...)
+		}
+	}
+	for i := len(replacements) - 1; i >= 0; i-- {
+		if err := c.switchMember(replacements[i], chainField(newChain), gen); err != nil {
+			c.log.Warn("controller: chain switch failed on replacement; degrading chain width",
+				"block", replacements[i].ID, "on", replacements[i].Server, "err", err)
+			c.releaseReplacements(replacements)
 			replacements = nil
 			newChain = append(core.ReplicaChain(nil), survivors...)
 			break
 		}
 	}
-	if len(replacements) > 0 {
-		if err := c.resyncMembers(src, replacements); err != nil {
-			c.log.Warn("controller: chain replacement resync failed; degrading chain width",
-				"block", e.Info.ID, "err", err)
-			for _, info := range replacements {
-				c.deleteBlockOnServer(info)
+	// The head switches last (see the package comment). When the old
+	// head is doomed the new head was already switched in the fence
+	// pass — safe, because no client routes writes to it until the
+	// commit publishes it as the head.
+	if survivors[0] == oldHead {
+		if err := c.switchMember(oldHead, chainField(newChain), gen); err != nil {
+			c.log.Warn("controller: chain switch failed on head; restarting splice",
+				"block", oldHead.ID, "on", oldHead.Server, "err", err)
+			c.releaseReplacements(replacements)
+			return spliceResult{}, true
+		}
+	}
+	return spliceResult{
+		newChain:     newChain,
+		replacements: replacements,
+		deleteAfter:  doomedAlive,
+	}, false
+}
+
+// switchMember switches one member to the new layout with one retry;
+// a persistent connectivity-class failure evicts the member's server
+// so the caller's restarted splice (and the server's own death repair)
+// observe it dead instead of leaving it wedged on the old generation.
+func (c *Controller) switchMember(m core.BlockInfo, chain core.ReplicaChain, gen uint64) error {
+	err := c.updateChainOnServer(m, chain, gen)
+	if err != nil {
+		err = c.updateChainOnServer(m, chain, gen)
+	}
+	if err != nil {
+		var ue *serverUnreachableError
+		if errors.As(err, &ue) {
+			c.evictServer(ue.addr)
+		}
+	}
+	return err
+}
+
+// allocReplacements allocates and creates n replacement blocks for a
+// splice, evicting unreachable placements and retrying so the new
+// members land on healthy servers. Returns nil (degraded width) when
+// capacity runs out or a server rejects the create outright.
+func (c *Controller) allocReplacements(t repairTarget, survivors core.ReplicaChain, n int) core.ReplicaChain {
+	for {
+		repl, err := c.alloc.Allocate(n)
+		if err != nil {
+			c.log.Warn("controller: no capacity for chain replacement; degrading chain width",
+				"block", t.entry.Info.ID, "want", len(survivors)+n, "have", len(survivors), "err", err)
+			return nil
+		}
+		chain := chainField(append(append(core.ReplicaChain(nil), survivors...), repl...))
+		retry := false
+		for i, info := range repl {
+			cerr := c.createBlockOnServer(info, t.path, t.dsType, t.entry.Chunk, t.entry.Slots, chain)
+			if cerr == nil {
+				continue
 			}
-			c.alloc.Free(replacements)
-			newChain = append(core.ReplicaChain(nil), survivors...)
+			for _, done := range repl[:i] {
+				c.deleteBlockOnServer(done)
+			}
+			c.alloc.Free(repl)
+			var ue *serverUnreachableError
+			if errors.As(cerr, &ue) {
+				c.evictServer(ue.addr)
+				retry = true
+				break
+			}
+			c.log.Warn("controller: chain replacement create failed; degrading chain width",
+				"block", t.entry.Info.ID, "on", info.Server, "err", cerr)
+			return nil
+		}
+		if !retry {
+			return repl
 		}
 	}
+}
 
-	// Switch every member to the new layout, tail first and head last,
-	// so the head only starts propagating under the new generation once
-	// every downstream member accepts it.
-	for i := len(newChain) - 1; i >= 0; i-- {
-		if err := c.updateChainOnServer(newChain[i], chainField(newChain), gen); err != nil {
-			c.log.Warn("controller: chain switch failed on member",
-				"block", newChain[i].ID, "on", newChain[i].Server, "err", err)
-		}
+// releaseReplacements deletes and frees blocks created by an attempt
+// whose result was not committed.
+func (c *Controller) releaseReplacements(repl core.ReplicaChain) {
+	if len(repl) == 0 {
+		return
 	}
-
-	headChanged := newChain.Head() != e.Info
-	e.Info = newChain.Head()
-	e.Chain = chainField(newChain)
-	if alive {
-		for _, info := range doomed {
-			c.deleteBlockOnServer(info)
-		}
+	for _, info := range repl {
+		c.deleteBlockOnServer(info)
 	}
-	if headChanged {
-		c.relinkQueuePredecessorLocked(n, *e)
-	}
-	return true
+	c.alloc.Free(repl)
 }
 
 // resyncMembers pushes src's snapshot to each target block. Survivors
@@ -208,80 +427,177 @@ func (c *Controller) resyncMembers(src core.BlockInfo, targets core.ReplicaChain
 	return nil
 }
 
-// recoverSoleReplicaLocked handles an entry whose every replica lived
-// on addr. On a drain the data is still reachable and is migrated by
-// snapshot; after a death it is rebuilt from the persistent tier when
-// the prefix has a flushed copy, and otherwise marked Lost.
-func (c *Controller) recoverSoleReplicaLocked(n *hierarchy.Node, e *ds.PartitionEntry,
-	doomed core.ReplicaChain, gen uint64, alive bool) bool {
-	path := n.CanonicalPath()
-	chains, err := c.allocateChains(1)
-	if err != nil {
-		if alive {
-			c.log.Warn("controller: drain has no capacity for block", "block", e.Info.ID, "err", err)
-			return false
-		}
-		c.markLostLocked(e, "no capacity for recovery")
-		return true
-	}
-	chain := chains[0]
-	if err := c.createChainOnServers(chain, path, n.Map.Type, e.Chunk, e.Slots); err != nil {
-		c.alloc.Free(chain)
-		if alive {
-			c.log.Warn("controller: drain cannot re-create block", "block", e.Info.ID, "err", err)
-			return false
-		}
-		c.markLostLocked(e, "recovery create failed")
-		return true
+// recoverSoleReplica rebuilds an entry with no surviving replica.
+// While draining (the old members still answer) the data is migrated
+// by snapshot behind a seal fence; after a death it is rebuilt from
+// the persistent tier when the prefix has a flushed copy, and
+// otherwise marked Lost.
+func (c *Controller) recoverSoleReplica(t repairTarget, doomedAlive core.ReplicaChain, gen uint64) (spliceResult, bool) {
+	if len(doomedAlive) > 0 {
+		return c.migrateSoleReplica(t, doomedAlive, gen)
 	}
 
-	if alive {
-		// Migrate live data by snapshot.
-		if err := c.resyncMembers(e.ReadTarget(), chain); err != nil {
-			c.log.Warn("controller: drain migration failed", "block", e.Info.ID, "err", err)
-			c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
-			c.alloc.Free(chain)
-			return false
+	// Death: rebuild from the persistent tier.
+	key, ok := c.flushedKey(t)
+	if !ok {
+		return spliceResult{lost: true, lostReason: "no flushed copy"}, false
+	}
+	chain, err := c.provisionChain(t.path, t.dsType, t.entry.Chunk, t.entry.Slots)
+	if err != nil {
+		c.log.Warn("controller: no capacity to recover block", "block", t.entry.Info.ID, "err", err)
+		return spliceResult{lost: true, lostReason: "no capacity for recovery"}, false
+	}
+	for _, member := range chain {
+		if err := c.loadBlockOnServer(member, key); err != nil {
+			c.log.Warn("controller: recovery load failed", "block", t.entry.Info.ID, "key", key, "err", err)
+			c.releaseReplacements(chain)
+			return spliceResult{lost: true, lostReason: "recovery load failed"}, false
 		}
-	} else {
-		// Rebuild from the persistent tier.
-		key, ok := c.flushedKeyLocked(n, *e)
-		if !ok {
-			c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
-			c.alloc.Free(chain)
-			c.markLostLocked(e, "no flushed copy")
-			return true
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := c.switchMember(chain[i], chainField(chain), gen); err != nil {
+			c.releaseReplacements(chain)
+			return spliceResult{}, true
 		}
-		for _, member := range chain {
-			if err := c.loadBlockOnServer(member, key); err != nil {
-				c.log.Warn("controller: recovery load failed", "block", e.Info.ID, "key", key, "err", err)
-				c.deleteChainOnServers(ds.PartitionEntry{Info: chain.Head(), Chain: chainField(chain)})
-				c.alloc.Free(chain)
-				c.markLostLocked(e, "recovery load failed")
-				return true
+	}
+	c.log.Info("controller: block recovered from persistent tier",
+		"block", t.entry.Info.ID, "key", key, "new", chain.Head().ID)
+	return spliceResult{
+		newChain:        chain,
+		replacements:    chain,
+		relinkSuccessor: true,
+	}, false
+}
+
+// migrateSoleReplica moves a drained entry whose every replica lives
+// on the drained (still answering) server: provision a fresh chain,
+// seal the old members so no write can be acknowledged after the
+// migration snapshot, then snapshot, restore, and switch.
+func (c *Controller) migrateSoleReplica(t repairTarget, doomed core.ReplicaChain, gen uint64) (spliceResult, bool) {
+	chain, err := c.provisionChain(t.path, t.dsType, t.entry.Chunk, t.entry.Slots)
+	if err != nil {
+		// Nothing sealed yet: the drain skips this entry and the data
+		// stays readable and writable in place.
+		c.log.Warn("controller: drain has no capacity for block", "block", t.entry.Info.ID, "err", err)
+		return spliceResult{abort: true}, false
+	}
+	// Fence: seal every old member before the snapshot. A member that
+	// cannot be sealed may still be acknowledging writes the snapshot
+	// would miss, so the attempt restarts — as a death when the server
+	// stopped answering (its data then comes from the persist tier, if
+	// flushed).
+	for _, m := range doomed {
+		if err := c.sealBlockOnServer(m); err != nil {
+			c.log.Warn("controller: drain seal failed; restarting entry",
+				"block", m.ID, "on", m.Server, "err", err)
+			c.releaseReplacements(chain)
+			var ue *serverUnreachableError
+			return spliceResult{demote: errors.As(err, &ue)}, true
+		}
+	}
+	// The sealed old tail holds exactly the acknowledged writes.
+	if err := c.resyncMembers(t.entry.ReadTarget(), chain); err != nil {
+		c.log.Warn("controller: drain migration failed", "block", t.entry.Info.ID, "err", err)
+		c.releaseReplacements(chain)
+		var ue *serverUnreachableError
+		return spliceResult{demote: errors.As(err, &ue)}, true
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := c.switchMember(chain[i], chainField(chain), gen); err != nil {
+			c.releaseReplacements(chain)
+			return spliceResult{}, true
+		}
+	}
+	return spliceResult{
+		newChain:        chain,
+		replacements:    chain,
+		deleteAfter:     doomed,
+		relinkSuccessor: true,
+	}, false
+}
+
+// commitRepair publishes a spliced layout into the partition map. It
+// re-validates under the shard lock that the entry is exactly the one
+// the splice was planned from, so a concurrent mutation (another
+// repair, a scale action, a teardown) fails the commit instead of
+// being silently overwritten. Returns the queue relinks to run after
+// unlock.
+func (c *Controller) commitRepair(sh *shard, t repairTarget, res spliceResult) ([]relinkOp, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := findEntryLocked(t)
+	if e == nil {
+		return nil, false
+	}
+	if res.lost {
+		c.markLostLocked(e, res.lostReason)
+		t.node.Map.Epoch++
+		return nil, true
+	}
+	headChanged := res.newChain.Head() != e.Info
+	e.Info = res.newChain.Head()
+	e.Chain = chainField(res.newChain)
+	e.Lost = false
+	t.node.Map.Epoch++
+
+	// Queue segments are stitched by redirects: a repaired segment's
+	// predecessor must re-seal toward the new head, and a segment
+	// restored from the persistent tier re-seals toward its successor
+	// (the restored state may predate the original seal). The RPCs run
+	// after unlock; only the neighbor entries are captured here.
+	var relinks []relinkOp
+	if t.dsType == core.DSQueue {
+		if headChanged && e.Chunk > 0 {
+			if p, ok := queueNeighborLocked(t.node, e.Chunk-1); ok {
+				relinks = append(relinks, relinkOp{tail: p, next: e.Info})
 			}
 		}
-		c.log.Info("controller: block recovered from persistent tier",
-			"block", e.Info.ID, "key", key, "new", chain.Head().ID)
+		if res.relinkSuccessor {
+			if s2, ok := queueNeighborLocked(t.node, e.Chunk+1); ok {
+				relinks = append(relinks, relinkOp{tail: copyEntry(*e), next: s2.Info})
+			}
+		}
 	}
+	return relinks, true
+}
 
-	for i := len(chain) - 1; i >= 0; i-- {
-		if err := c.updateChainOnServer(chain[i], chainField(chain), gen); err != nil {
-			c.log.Warn("controller: chain switch failed on member",
-				"block", chain[i].ID, "on", chain[i].Server, "err", err)
+// findEntryLocked re-locates t's entry and verifies it is unchanged
+// since collection: same head, chunk, and chain, and not since marked
+// lost or torn down. Caller holds the shard lock.
+func findEntryLocked(t repairTarget) *ds.PartitionEntry {
+	for i := range t.node.Map.Blocks {
+		e := &t.node.Map.Blocks[i]
+		if !e.Lost && e.Info == t.entry.Info && e.Chunk == t.entry.Chunk &&
+			chainsEqual(e.Chain, t.entry.Chain) {
+			return e
 		}
 	}
-	e.Info = chain.Head()
-	e.Chain = chainField(chain)
-	e.Lost = false
-	if alive {
-		for _, info := range doomed {
-			c.deleteBlockOnServer(info)
+	return nil
+}
+
+// chainsEqual reports whether two chains have identical members in
+// identical order.
+func chainsEqual(a, b core.ReplicaChain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	c.relinkQueuePredecessorLocked(n, *e)
-	c.relinkQueueSuccessorLocked(n, *e)
 	return true
+}
+
+// queueNeighborLocked finds the live entry at the given chunk index.
+// Caller holds the shard lock; the returned entry is a copy.
+func queueNeighborLocked(n *hierarchy.Node, chunk int) (ds.PartitionEntry, bool) {
+	for _, e := range n.Map.Blocks {
+		if e.Chunk == chunk && !e.Lost {
+			return copyEntry(e), true
+		}
+	}
+	return ds.PartitionEntry{}, false
 }
 
 // markLostLocked flags an entry as unrecoverable so clients fail fast
@@ -293,15 +609,15 @@ func (c *Controller) markLostLocked(e *ds.PartitionEntry, reason string) {
 	c.log.Error("controller: block lost", "block", e.Info.ID, "reason", reason)
 }
 
-// flushedKeyLocked looks up the persistent-tier snapshot key for one
-// entry of a flushed prefix: it reads the flush manifest and matches
-// the entry by its partition role (chunk index, and slot ranges for KV
-// stores). Caller holds the shard lock.
-func (c *Controller) flushedKeyLocked(n *hierarchy.Node, e ds.PartitionEntry) (string, bool) {
-	if n.FlushKey == "" {
+// flushedKey looks up the persistent-tier snapshot key for the
+// target's entry: it reads the prefix's flush manifest (via the flush
+// key captured at collect time — no locks held) and matches the entry
+// by its partition role (chunk index, and slot ranges for KV stores).
+func (c *Controller) flushedKey(t repairTarget) (string, bool) {
+	if t.flushKey == "" {
 		return "", false
 	}
-	data, err := c.persist.Get(n.FlushKey + "/manifest")
+	data, err := c.persist.Get(t.flushKey + "/manifest")
 	if err != nil {
 		return "", false
 	}
@@ -310,10 +626,10 @@ func (c *Controller) flushedKeyLocked(n *hierarchy.Node, e ds.PartitionEntry) (s
 		return "", false
 	}
 	for _, me := range m.Entries {
-		if me.Chunk != e.Chunk {
+		if me.Chunk != t.entry.Chunk {
 			continue
 		}
-		if n.Map.Type == core.DSKV && !slotsEqual(me.Slots, e.Slots) {
+		if t.dsType == core.DSKV && !slotsEqual(me.Slots, t.entry.Slots) {
 			continue
 		}
 		return me.Key, true
@@ -332,47 +648,4 @@ func slotsEqual(a, b []ds.SlotRange) bool {
 		}
 	}
 	return true
-}
-
-// relinkQueuePredecessorLocked re-seals the predecessor of a repaired
-// queue segment so its redirect names the new head. Sealing is a
-// sequenced mutation, so the new pointer propagates down the
-// predecessor's own chain like any enqueue.
-func (c *Controller) relinkQueuePredecessorLocked(n *hierarchy.Node, e ds.PartitionEntry) {
-	if n.Map.Type != core.DSQueue || e.Chunk == 0 {
-		return
-	}
-	for _, p := range n.Map.Blocks {
-		if p.Chunk != e.Chunk-1 {
-			continue
-		}
-		if p.Lost {
-			return
-		}
-		if err := c.setNextOnChain(p, e.Info); err != nil {
-			c.log.Warn("controller: queue relink after repair failed",
-				"from", p.Info.ID, "to", e.Info.ID, "err", err)
-		}
-		return
-	}
-}
-
-// relinkQueueSuccessorLocked re-seals a recovered queue segment toward
-// its successor: a snapshot restored from the persistent tier may
-// predate the seal, which would otherwise strand consumers at the
-// recovered segment's end.
-func (c *Controller) relinkQueueSuccessorLocked(n *hierarchy.Node, e ds.PartitionEntry) {
-	if n.Map.Type != core.DSQueue {
-		return
-	}
-	for _, s := range n.Map.Blocks {
-		if s.Chunk != e.Chunk+1 || s.Lost {
-			continue
-		}
-		if err := c.setNextOnChain(e, s.Info); err != nil {
-			c.log.Warn("controller: queue successor relink after recovery failed",
-				"from", e.Info.ID, "to", s.Info.ID, "err", err)
-		}
-		return
-	}
 }

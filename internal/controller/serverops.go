@@ -119,6 +119,15 @@ func (c *Controller) updateChainOnServer(member core.BlockInfo, chain core.Repli
 		proto.UpdateChainReq{Block: member.ID, Chain: chain, Gen: gen}, &resp)
 }
 
+// sealBlockOnServer fences a block against all further writes (reads
+// keep serving) — the drain-time barrier taken before a migration
+// snapshot, so no acknowledged write can postdate the snapshot.
+func (c *Controller) sealBlockOnServer(member core.BlockInfo) error {
+	var resp proto.UpdateChainResp
+	return c.callServer(member.Server, proto.MethodUpdateChain,
+		proto.UpdateChainReq{Block: member.ID, Seal: true}, &resp)
+}
+
 // loadBlockOnServer restores a block from the persistent store.
 func (c *Controller) loadBlockOnServer(info core.BlockInfo, key string) error {
 	var resp proto.LoadBlockResp

@@ -537,10 +537,14 @@ type ReplicateResp struct{}
 // UpdateChainReq replaces Block's replication chain (repair splice).
 // Gen is the new chain generation — the controller's membership epoch
 // at repair time, so every member of the spliced chain agrees on it.
+// Seal instead fences the block against all further writes (reads keep
+// serving, Chain/Gen are ignored): the drain-time barrier taken before
+// a migration snapshot, so no acknowledged write can postdate it.
 type UpdateChainReq struct {
 	Block core.BlockID
 	Chain core.ReplicaChain
 	Gen   uint64
+	Seal  bool
 }
 
 // UpdateChainResp acknowledges the chain update.

@@ -212,7 +212,11 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err != nil {
 			return nil, err
 		}
-		b.SetChain(req.Chain, req.Gen)
+		if req.Seal {
+			b.Seal()
+		} else {
+			b.SetChain(req.Chain, req.Gen)
+		}
 		return rpc.Marshal(proto.UpdateChainResp{})
 
 	default:
@@ -351,21 +355,36 @@ func (s *Server) applyMutationOn(ctx context.Context, b *blockstore.Block, op co
 		// Replicated mutation at the chain head: apply under the
 		// block's sequence lock so the propagation stream's order
 		// matches local order, then forward synchronously. The chain
-		// snapshot read above may be one splice behind the generation
-		// stamped under the lock; replicas reject the mismatch and the
-		// client retries against the repaired chain.
-		res, seq, gen, err := b.NextReplSeq(func() ([][]byte, error) {
+		// used for forwarding is re-read under that lock together with
+		// the stamped generation, so a repair splice landing between
+		// the check above and the sequence assignment can never pair a
+		// new generation with the old layout (which would let mid-chain
+		// survivors apply a mutation the spliced-in replacement misses,
+		// wedging the sequence stream on the hole).
+		res, locked, seq, gen, err := b.NextReplSeq(func() ([][]byte, error) {
 			return s.store.ApplyOn(b, op, args, checkNow)
 		})
 		if err != nil {
 			return nil, err
 		}
-		if rerr := s.propagate(ctx, b, chain, seq, gen, op, args); rerr != nil {
+		if rerr := s.propagate(ctx, b, locked, seq, gen, op, args); rerr != nil {
 			return nil, rerr
 		}
 		return res, nil
 	}
-	return s.store.ApplyOn(b, op, args, checkNow)
+	if b.Sealed() {
+		return nil, fmt.Errorf("server: block %v sealed for migration: %w",
+			b.ID, core.ErrStaleEpoch)
+	}
+	res, err := s.store.ApplyOn(b, op, args, checkNow)
+	if err == nil && b.Sealed() {
+		// The seal landed while the mutation was applying: the
+		// migration snapshot may not include it, so it must not be
+		// acknowledged. The client retries against the migrated block.
+		return nil, fmt.Errorf("server: block %v sealed for migration: %w",
+			b.ID, core.ErrStaleEpoch)
+	}
+	return res, err
 }
 
 // createBlock installs a partition per the controller's instruction.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -284,12 +285,54 @@ func TestChaosChainRepairAfterTailKillMidRead(t *testing.T) {
 	}
 }
 
+// drainWithConcurrentWrites runs kv puts on a goroutine for the whole
+// duration of a DrainServer call and returns the migrated-entry count
+// plus every write acknowledged while the drain ran. A write racing
+// the drain may fail (the fence rejects it, the client's bounded
+// retries exhaust before the repaired map is published) — that is the
+// contract — but an ACKED write must never be lost, which is exactly
+// the window the fence-before-snapshot ordering exists to close.
+func drainWithConcurrentWrites(t *testing.T, c *Client, kv *client.KV,
+	victim, keyPrefix string) (int, map[string]string) {
+	t.Helper()
+	acked := make(map[string]string)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var mu sync.Mutex
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("%s%04d", keyPrefix, i)
+			val := fmt.Sprintf("dv%04d", i)
+			if err := kv.Put(context.Background(), key, []byte(val)); err == nil {
+				mu.Lock()
+				acked[key] = val
+				mu.Unlock()
+			}
+		}
+	}()
+	migrated, err := c.DrainServer(context.Background(), victim)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return migrated, acked
+}
+
 // TestChaosDrainServerUnderLoad drains a healthy server through the
-// client API while its data is live: every partition entry migrates
-// off the drained server by snapshot, nothing is lost, and the drained
-// server leaves the membership exactly like a dead one — minus the
-// outage window, since the splice reads from the still-answering old
-// tail.
+// client API while a write stream is live against it: every partition
+// entry migrates off the drained server by snapshot, and no write
+// acknowledged before OR DURING the drain is lost. The during-drain
+// half is the load-bearing one — the splice fences the old chain
+// (survivors switch generation, drained members are sealed) before
+// the migration snapshot, so a write racing the drain either lands in
+// the snapshot or is never acknowledged.
 func TestChaosDrainServerUnderLoad(t *testing.T) {
 	inj := faultinject.New(111, nil)
 	vclock := clock.NewVirtual(time.Unix(0, 0))
@@ -318,33 +361,116 @@ func TestChaosDrainServerUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 60
+	acked := make(map[string]string)
 	for i := 0; i < n; i++ {
-		if err := kv.Put(context.Background(), fmt.Sprintf("k%d", i),
-			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if err := kv.Put(context.Background(), key, []byte(val)); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
+		acked[key] = val
 	}
 
-	migrated, err := c.DrainServer(context.Background(), victim)
-	if err != nil {
-		t.Fatalf("drain: %v", err)
-	}
+	migrated, during := drainWithConcurrentWrites(t, c, kv, victim, "d")
 	if migrated == 0 {
 		t.Fatal("drain migrated no partition entries despite hosted replicas")
+	}
+	for k, v := range during {
+		acked[k] = v
 	}
 	assertChainHealthy(t, cluster, "drain/t", 3, victim)
 	if !cluster.Controller.ServerDead(victim) {
 		t.Error("drained server still counted a live member")
 	}
-	for i := 0; i < n; i++ {
-		v, err := kv.Get(context.Background(), fmt.Sprintf("k%d", i))
-		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
-			t.Fatalf("acked write k%d lost across drain: %q, %v", i, v, err)
+	// Zero acknowledged writes lost — including every write acked
+	// while the drain was in flight.
+	for key, val := range acked {
+		v, err := kv.Get(context.Background(), key)
+		if err != nil || string(v) != val {
+			t.Fatalf("acked write %s lost across drain: %q, %v", key, v, err)
+		}
+	}
+	// The repaired chain accepts new writes at full width.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("post%d", i)
+		if err := kv.Put(context.Background(), key, []byte(key)); err != nil {
+			t.Fatalf("post-drain put %s: %v", key, err)
 		}
 	}
 	// Draining the same server twice is a typed error, not a repeat.
 	if _, err := c.DrainServer(context.Background(), victim); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("second drain = %v, want ErrNotFound", err)
 	}
-	t.Logf("drained %s: %d entries migrated", victim, migrated)
+	t.Logf("drained %s: %d entries migrated, %d writes acked mid-drain",
+		victim, migrated, len(during))
+}
+
+// TestChaosDrainUnreplicatedUnderLoad drains the server hosting an
+// UNREPLICATED block while a write stream is live. With no survivors,
+// the migration has no fenced old chain to lean on: the sole replica
+// itself must be sealed before the snapshot, so a write racing the
+// drain is either captured by the snapshot or refused its ack — the
+// seal is double-checked after the local apply. Every acknowledged
+// write must read back through the migrated block.
+func TestChaosDrainUnreplicatedUnderLoad(t *testing.T) {
+	inj := faultinject.New(222, nil)
+	vclock := clock.NewVirtual(time.Unix(0, 0))
+	cfg := recoveryConfig()
+	cfg.ChainLength = 1
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
+		Servers: 3, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
+	})
+	c, err := cluster.Connect(context.Background(),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob(context.Background(), "solo")
+	m, _, err := c.CreatePrefix(context.Background(), "solo/t", nil, DSKV, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks[0].Replicas()) != 1 {
+		t.Fatalf("replicas = %+v, want an unreplicated block", m.Blocks[0].Replicas())
+	}
+	victim := m.Blocks[0].Info.Server
+	kv, err := c.OpenKV(context.Background(), "solo/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	acked := make(map[string]string)
+	for i := 0; i < n; i++ {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if err := kv.Put(context.Background(), key, []byte(val)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		acked[key] = val
+	}
+
+	migrated, during := drainWithConcurrentWrites(t, c, kv, victim, "d")
+	if migrated == 0 {
+		t.Fatal("drain migrated no partition entries despite hosting the sole replica")
+	}
+	for k, v := range during {
+		acked[k] = v
+	}
+	assertChainHealthy(t, cluster, "solo/t", 1, victim)
+	if !cluster.Controller.ServerDead(victim) {
+		t.Error("drained server still counted a live member")
+	}
+	for key, val := range acked {
+		v, err := kv.Get(context.Background(), key)
+		if err != nil || string(v) != val {
+			t.Fatalf("acked write %s lost across sole-replica drain: %q, %v", key, v, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("post%d", i)
+		if err := kv.Put(context.Background(), key, []byte(key)); err != nil {
+			t.Fatalf("post-drain put %s: %v", key, err)
+		}
+	}
+	t.Logf("sole-replica drain of %s: %d entries migrated, %d writes acked mid-drain",
+		victim, migrated, len(during))
 }
