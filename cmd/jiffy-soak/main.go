@@ -1,0 +1,67 @@
+// Command jiffy-soak runs the multi-tenant QoS soak harness
+// (internal/soak): gold/silver/bronze tenant tiers replaying the
+// synthetic trace workload against an in-process multi-server cluster,
+// with seeded wire faults, a mid-run server kill + repair and a live
+// drain, graded against per-tier SLOs, Jain fairness, throttle
+// accounting and zero acked-write loss.
+//
+//	jiffy-soak                 # the seeded CI configuration (virtual clock, ~30s)
+//	jiffy-soak -wall           # wall-clock burn-in at the same shape
+//	jiffy-soak -scale 4        # 4x the tenants per tier
+//	jiffy-soak -ticks 1200     # a longer run
+//	jiffy-soak -report out.txt # also write the report artifact
+//
+// Exits 1 when any SLO is violated or an acknowledged write is lost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jiffy/internal/soak"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "workload and fault-injection seed")
+		ticks  = flag.Int("ticks", 0, "override tick count (0 = default 120)")
+		wall   = flag.Bool("wall", false, "run on the wall clock instead of the virtual clock")
+		scale  = flag.Int("scale", 1, "multiply every tier's tenant count")
+		report = flag.String("report", "", "also write the rendered report to this file")
+		noKill = flag.Bool("no-faults", false, "disable the mid-soak server kill and drain")
+	)
+	flag.Parse()
+
+	cfg := soak.DefaultShortConfig()
+	cfg.Seed = *seed
+	cfg.Wall = *wall
+	if *ticks > 0 {
+		cfg.Ticks = *ticks
+		// Keep the fault schedule inside the run, at the same relative
+		// positions as the default (kill at 3/8, drain at 2/3).
+		cfg.KillAtTick = *ticks * 3 / 8
+		cfg.DrainAtTick = *ticks * 2 / 3
+	}
+	if *noKill {
+		cfg.KillAtTick = 0
+		cfg.DrainAtTick = 0
+	}
+	cfg = cfg.Scale(*scale)
+
+	rep, err := soak.Run(cfg, log.Printf)
+	if err != nil {
+		log.Fatalf("soak: %v", err)
+	}
+	rendered := rep.Render()
+	fmt.Print(rendered)
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(rendered), 0o644); err != nil {
+			log.Fatalf("soak: writing report: %v", err)
+		}
+	}
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+}

@@ -33,12 +33,28 @@ type RetryPolicy struct {
 	// MaxBackoff caps the linearly growing between-retry delay
 	// (default 5ms), keeping a full retry budget bounded.
 	MaxBackoff time.Duration
+	// ThrottleLimit bounds retries after admission-control refusals
+	// (default 4); past it the typed ErrQuotaExceeded surfaces to the
+	// caller, retry-after hint intact. Throttles are counted separately
+	// from Limit: quota pressure is persistent in a way staleness is
+	// not, so a throttled tenant should surface backpressure quickly
+	// rather than burn the full recovery budget.
+	ThrottleLimit int
+	// MaxThrottleWait caps the server-suggested retry-after honored
+	// between throttled attempts (default 50ms), so a deeply
+	// over-quota tenant cannot be parked for seconds inside one call.
+	MaxThrottleWait time.Duration
 }
 
 // DefaultRetryPolicy returns the retry bounds used when no
 // WithRetryPolicy option is given.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{Limit: 32, MaxBackoff: 5 * time.Millisecond}
+	return RetryPolicy{
+		Limit:           32,
+		MaxBackoff:      5 * time.Millisecond,
+		ThrottleLimit:   4,
+		MaxThrottleWait: 50 * time.Millisecond,
+	}
 }
 
 // config collects the dialing/retry/telemetry knobs behind the
@@ -77,6 +93,12 @@ func WithRetryPolicy(p RetryPolicy) Option {
 		if p.MaxBackoff > 0 {
 			c.policy.MaxBackoff = p.MaxBackoff
 		}
+		if p.ThrottleLimit > 0 {
+			c.policy.ThrottleLimit = p.ThrottleLimit
+		}
+		if p.MaxThrottleWait > 0 {
+			c.policy.MaxThrottleWait = p.MaxThrottleWait
+		}
 	}
 }
 
@@ -110,6 +132,7 @@ type Client struct {
 	batchSizes    *obs.Histogram
 	mapRefreshes  *obs.Counter
 	staleRegroups *obs.Counter
+	throttleWaits *obs.Counter
 
 	mu sync.Mutex
 	// routers dispatches push notifications per data-plane connection.
@@ -158,6 +181,8 @@ func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option)
 		"Partition-map refreshes triggered by staleness or failures")
 	c.staleRegroups = c.reg.Counter("jiffy_client_stale_regroups_total",
 		"Batched calls regrouped after a stale partition map")
+	c.throttleWaits = c.reg.Counter("jiffy_client_throttle_waits_total",
+		"Retry-after waits honored following admission-control refusals")
 
 	dial := rpc.WithTimeout(cfg.dial, cfg.timeout)
 	dial = rpc.WithInstrumentation(dial, c.rpcm, c.tracer)
@@ -406,6 +431,18 @@ func (c *Client) DrainServer(ctx context.Context, addr string) (int, error) {
 		total += resp.Migrated
 	}
 	return total, nil
+}
+
+// SetQuota registers a resource quota on a prefix. The memory
+// dimension bounds the prefix subtree's physical block footprint at
+// allocation time; rate dimensions set on a job root are enforced by
+// every memory server's admission gate, refusing over-quota traffic
+// with ErrQuotaExceeded. A zero quota clears the registration.
+func (c *Client) SetQuota(ctx context.Context, path core.Path, quota core.Quota) error {
+	var resp proto.SetQuotaResp
+	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodSetQuota, proto.SetQuotaReq{
+		Path: path, Quota: quota,
+	}, &resp)
 }
 
 // ListPrefixes lists a job's address hierarchy.

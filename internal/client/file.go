@@ -101,6 +101,7 @@ func (f *File) WriteAt(ctx context.Context, off int, data []byte) error {
 // writeChunk writes within one chunk with staleness recovery.
 func (f *File) writeChunk(ctx context.Context, ci, in int, data []byte) error {
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		info, err := f.blockFor(ctx, ci, true)
 		if err != nil {
@@ -119,6 +120,14 @@ func (f *File) writeChunk(ctx context.Context, ci, in int, data []byte) error {
 			}
 			if berr := f.h.backoff(ctx, attempt); berr != nil {
 				return berr
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > f.h.throttleLimit() {
+				return err
+			}
+			if werr := f.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return werr
 			}
 		case isConnErr(err):
 			lastErr = err
@@ -196,6 +205,7 @@ func (f *File) ReadAt(ctx context.Context, off, n int) ([]byte, error) {
 // readChunk reads within one chunk with staleness recovery.
 func (f *File) readChunk(ctx context.Context, ci, in, n int) ([]byte, error) {
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		info, err := f.blockFor(ctx, ci, false)
 		if err != nil {
@@ -214,6 +224,14 @@ func (f *File) readChunk(ctx context.Context, ci, in, n int) ([]byte, error) {
 			}
 			if berr := f.h.backoff(ctx, attempt); berr != nil {
 				return nil, berr
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > f.h.throttleLimit() {
+				return nil, err
+			}
+			if werr := f.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return nil, werr
 			}
 		case isConnErr(err):
 			lastErr = err
@@ -261,6 +279,7 @@ func (f *File) AppendRecord(ctx context.Context, data []byte) (int, error) {
 		return 0, fmt.Errorf("client: file has no chunk size")
 	}
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		m := f.h.snapshot()
 		tail, ok := m.Tail()
@@ -293,6 +312,14 @@ func (f *File) AppendRecord(ctx context.Context, data []byte) (int, error) {
 			}
 			if berr := f.h.backoff(ctx, attempt); berr != nil {
 				return 0, berr
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > f.h.throttleLimit() {
+				return 0, err
+			}
+			if werr := f.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return 0, werr
 			}
 		case isConnErr(err):
 			lastErr = err

@@ -234,6 +234,34 @@ func backoff(attempt int) {
 // retryLimit exposes the client's retry bound to the typed handles.
 func (h *handle) retryLimit() int { return h.c.policy.Limit }
 
+// throttleLimit exposes the quota-refusal retry bound.
+func (h *handle) throttleLimit() int { return h.c.policy.ThrottleLimit }
+
+// waitThrottle honors a quota refusal's backpressure: sleep the
+// server's retry-after hint — capped by MaxThrottleWait, falling back
+// to the normal backoff step when the refusal carries no hint — and
+// abort early when ctx ends.
+func (h *handle) waitThrottle(ctx context.Context, attempt int, err error) error {
+	if obs.On() {
+		h.c.throttleWaits.Inc()
+	}
+	d := core.RetryAfterOf(err)
+	if d <= 0 {
+		d = backoffDelay(attempt, h.c.policy.MaxBackoff)
+	}
+	if lim := h.c.policy.MaxThrottleWait; lim > 0 && d > lim {
+		d = lim
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // errRetriesExhausted wraps the final error after the retry budget is
 // spent.
 func errRetriesExhausted(op string, err error) error {

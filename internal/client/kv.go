@@ -59,6 +59,7 @@ func (k *KV) route(key string, op core.OpType, avoid map[string]bool) (core.Bloc
 func (k *KV) exec(ctx context.Context, op core.OpType, key string, args [][]byte) ([][]byte, error) {
 	var lastErr error
 	var avoid map[string]bool
+	throttles := 0
 	for attempt := 0; attempt < k.h.retryLimit(); attempt++ {
 		info, ok, err := k.route(key, op, avoid)
 		if err != nil {
@@ -95,6 +96,17 @@ func (k *KV) exec(ctx context.Context, op core.OpType, key string, args [][]byte
 			}
 			if berr := k.h.backoff(ctx, attempt); berr != nil {
 				return nil, berr
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			// Admission refusal: honor the retry-after hint a bounded
+			// number of times, then surface the typed error as
+			// backpressure — never silently swallow a throttle.
+			throttles++
+			if throttles > k.h.throttleLimit() {
+				return nil, err
+			}
+			if werr := k.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return nil, werr
 			}
 		case isConnErr(err):
 			// The session died or timed out: mark the server so reads

@@ -67,6 +67,7 @@ func (q *Queue) reseed(ctx context.Context) error {
 // Enqueue appends an item to the queue tail.
 func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		_, tail, err := q.ends()
 		if err != nil {
@@ -115,6 +116,14 @@ func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 			if berr := q.h.backoff(ctx, attempt); berr != nil {
 				return berr
 			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > q.h.throttleLimit() {
+				return err
+			}
+			if werr := q.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return werr
+			}
 		case isConnErr(err):
 			// Session died or timed out: re-dial and re-learn the ends
 			// on the next attempt.
@@ -136,6 +145,7 @@ func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 // the queue has no pending items.
 func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		head, _, err := q.ends()
 		if err != nil {
@@ -167,6 +177,14 @@ func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 			if berr := q.h.backoff(ctx, attempt); berr != nil {
 				return nil, berr
 			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > q.h.throttleLimit() {
+				return nil, err
+			}
+			if werr := q.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return nil, werr
+			}
 		case isConnErr(err):
 			lastErr = err
 			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
@@ -189,6 +207,7 @@ func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 // each other.
 func (q *Queue) Peek(ctx context.Context) ([]byte, error) {
 	var lastErr error
+	throttles := 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		head, _, err := q.ends()
 		if err != nil {
@@ -219,6 +238,14 @@ func (q *Queue) Peek(ctx context.Context) ([]byte, error) {
 			}
 			if berr := q.h.backoff(ctx, attempt); berr != nil {
 				return nil, berr
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			throttles++
+			if throttles > q.h.throttleLimit() {
+				return nil, err
+			}
+			if werr := q.h.waitThrottle(ctx, attempt, err); werr != nil {
+				return nil, werr
 			}
 		case isConnErr(err):
 			lastErr = err

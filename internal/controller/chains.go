@@ -114,21 +114,3 @@ func entryFor(chain core.ReplicaChain, chunk int, slots []ds.SlotRange) ds.Parti
 func (c *Controller) setNextOnChain(tail ds.PartitionEntry, next core.BlockInfo) error {
 	return c.setNextOnServer(tail.WriteTarget(), next)
 }
-
-// resyncChain pushes the head's snapshot to every other chain member —
-// used after KV slot moves, which bypass the op-level replication path.
-func (c *Controller) resyncChain(e ds.PartitionEntry) error {
-	if len(e.Chain) <= 1 {
-		return nil
-	}
-	snap, err := c.snapshotBlockOnServer(e.Chain.Head())
-	if err != nil {
-		return err
-	}
-	for _, member := range e.Chain[1:] {
-		if err := c.restoreBlockOnServer(member, snap); err != nil {
-			return err
-		}
-	}
-	return nil
-}

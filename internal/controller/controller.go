@@ -76,6 +76,11 @@ type Controller struct {
 	deadServers map[string]bool
 	memberEpoch atomic.Uint64
 
+	// tenant rate quotas registered on job roots (see quota.go); the
+	// table replays to servers that register after SetQuota.
+	qMu          sync.Mutex
+	tenantQuotas map[string]core.Quota
+
 	// counters for stats and the Fig. 12 benchmarks
 	ops         atomic.Int64
 	renews      atomic.Int64
@@ -122,15 +127,16 @@ func New(opts Options) (*Controller, error) {
 		opts.Logger = slog.Default()
 	}
 	c := &Controller{
-		cfg:         opts.Config,
-		clk:         opts.Clock,
-		log:         opts.Logger,
-		persist:     opts.Persist,
-		alloc:       alloc.New(),
-		servers:     rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
-		stop:        make(chan struct{}),
-		lastBeat:    make(map[string]time.Time),
-		deadServers: make(map[string]bool),
+		cfg:          opts.Config,
+		clk:          opts.Clock,
+		log:          opts.Logger,
+		persist:      opts.Persist,
+		alloc:        alloc.New(),
+		servers:      rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		stop:         make(chan struct{}),
+		lastBeat:     make(map[string]time.Time),
+		deadServers:  make(map[string]bool),
+		tenantQuotas: make(map[string]core.Quota),
 	}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, &shard{jobs: make(map[core.JobID]*hierarchy.Hierarchy)})
@@ -285,6 +291,7 @@ func (c *Controller) DeregisterJob(job core.JobID) error {
 		return true
 	})
 	delete(s.jobs, job)
+	c.setTenantQuota(string(job), core.Quota{})
 	return nil
 }
 
@@ -317,6 +324,7 @@ func (c *Controller) RegisterServer(addr string, numBlocks int) (core.BlockID, e
 	}
 	c.noteServerAlive(addr)
 	c.memberEpoch.Add(1)
+	c.pushTenantQuotas(addr)
 	return first, nil
 }
 

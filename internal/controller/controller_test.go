@@ -17,10 +17,11 @@ import (
 
 // rig is a controller with live memory servers, driven in-process.
 type rig struct {
-	ctrl    *controller.Controller
-	servers []*server.Server
-	vclock  *clock.Virtual
-	store   *persist.MemStore
+	ctrl     *controller.Controller
+	ctrlAddr string
+	servers  []*server.Server
+	vclock   *clock.Virtual
+	store    *persist.MemStore
 }
 
 var rigSeq int
@@ -49,6 +50,7 @@ func newRig(t *testing.T, numServers, blocksPerServer int, virtualTime bool) *ri
 	if err != nil {
 		t.Fatal(err)
 	}
+	r.ctrlAddr = ctrlAddr
 	for i := 0; i < numServers; i++ {
 		srv, err := server.New(server.Options{
 			Config:         cfg,

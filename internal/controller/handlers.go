@@ -201,6 +201,16 @@ func (c *Controller) handle(_ context.Context, _ *rpc.ServerConn, method uint16,
 	case proto.MethodControllerStats:
 		return rpc.Marshal(c.Stats())
 
+	case proto.MethodSetQuota:
+		var req proto.SetQuotaReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := c.SetQuota(req.Path, req.Quota); err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.SetQuotaResp{})
+
 	case proto.MethodListPrefixes:
 		var req proto.ListPrefixesReq
 		if err := rpc.Unmarshal(payload, &req); err != nil {

@@ -47,6 +47,9 @@ func (c *Controller) ExpireNow() int {
 // Caller holds the shard lock. Returns true if blocks were reclaimed.
 func (c *Controller) reclaimLocked(h *hierarchy.Hierarchy, n *hierarchy.Node) bool {
 	if len(n.Map.Blocks) == 0 {
+		// No data to flush, but an expired prefix still surrenders its
+		// quota registration.
+		c.releaseQuotaLocked(h, n)
 		return false
 	}
 	if _, err := c.flushLocked(n, ""); err != nil {
@@ -57,6 +60,7 @@ func (c *Controller) reclaimLocked(h *hierarchy.Hierarchy, n *hierarchy.Node) bo
 		return false
 	}
 	c.releaseBlocksLocked(n)
+	c.releaseQuotaLocked(h, n)
 	n.Flushed = true
 	c.expiries.Add(1)
 	return true

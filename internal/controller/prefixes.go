@@ -49,6 +49,9 @@ func (c *Controller) provisionLocked(n *hierarchy.Node, t core.DSType, initialBl
 	if t == core.DSKV && initialBlocks > c.cfg.NumHashSlots {
 		initialBlocks = c.cfg.NumHashSlots
 	}
+	if err := c.checkMemoryQuotaLocked(n, initialBlocks*c.cfg.ChainLength); err != nil {
+		return err
+	}
 	chains, err := c.allocateChains(initialBlocks)
 	if err != nil {
 		return err

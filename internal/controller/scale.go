@@ -30,6 +30,9 @@ func (c *Controller) ScaleUp(req proto.ScaleUpReq) (proto.ScaleUpResp, error) {
 		if n.Map.AtMaxBlocks() {
 			return nil // bounded structure: refuse growth (maxQueueLength)
 		}
+		if err := c.checkMemoryQuotaLocked(n, c.cfg.ChainLength); err != nil {
+			return err
+		}
 		switch n.Map.Type {
 		case core.DSFile:
 			return c.scaleUpFile(n, idx)
@@ -114,29 +117,73 @@ func (c *Controller) scaleUpKV(n *hierarchy.Node, idx int) error {
 	if upper == nil {
 		return nil // single-slot shard; cannot split further
 	}
-	// The new chain starts owning nothing; the donor-side move
-	// transfers ownership along with the data.
+	// The new chain starts owning nothing; the move transfers ownership
+	// along with the data into every member.
 	chain, err := c.provisionChain(n.CanonicalPath(), core.DSKV, 0, nil)
 	if err != nil {
 		return err
 	}
 	newEntry := entryFor(chain, 0, upper)
-	if _, err := c.moveSlotsOnServer(donor.Info, upper, chain.Head()); err != nil {
+	if err := c.moveSlotRanges(*donor, upper, newEntry.Replicas()); err != nil {
 		c.deleteChainOnServers(newEntry)
 		c.alloc.Free(chain)
 		return err
 	}
 	donor.Slots = subtractAll(donor.Slots, upper)
-	// Slot moves bypass op-level replication: bring both chains'
-	// replicas back in sync from their heads.
-	if err := c.resyncChain(*donor); err != nil {
-		return err
-	}
-	if err := c.resyncChain(newEntry); err != nil {
-		return err
-	}
 	n.Map.Blocks = append(n.Map.Blocks, newEntry)
 	n.Map.Epoch++
+	return nil
+}
+
+// moveSlotRanges moves ranges — pairs and slot ownership — from every
+// replica of donor into every member of targets. It deliberately never
+// restores a live replica from a snapshot: a restore would clobber
+// writes the chain acknowledged while the snapshot was in flight (the
+// repair path obeys the same rule — survivors are never restored).
+//
+// Exports run tail first. The tail holds exactly the acknowledged
+// prefix of the chain, so once its export succeeds no acknowledged pair
+// can be lost; upstream members' exports land on the targets afterwards
+// in chain order, so the head's (newest) value of each moved key wins.
+// A write racing the move is either captured by an upstream export or
+// rejected once its replica has disowned the slot — rejected writes are
+// never acknowledged and the client retries against the refreshed map.
+func (c *Controller) moveSlotRanges(donor ds.PartitionEntry, ranges []ds.SlotRange,
+	targets core.ReplicaChain) error {
+	members := donor.Replicas()
+	var exports [][]ds.KVEntry
+	var sources core.ReplicaChain
+	// undo re-imports everything exported so far back into its source
+	// replica, restoring pairs and ownership.
+	undo := func() {
+		for i := range exports {
+			if err := c.importEntriesOnServer(sources[i], ranges, exports[i]); err != nil {
+				c.log.Warn("controller: slot-move undo failed; replica dropped moved pairs",
+					"block", sources[i].ID, "on", sources[i].Server, "err", err)
+			}
+		}
+	}
+	for i := len(members) - 1; i >= 0; i-- {
+		entries, err := c.exportSlotsOnServer(members[i], ranges)
+		if err != nil {
+			undo()
+			return err
+		}
+		exports = append(exports, entries)
+		sources = append(sources, members[i])
+	}
+	for _, entries := range exports {
+		for _, t := range targets {
+			err := c.importEntriesOnServer(t, ranges, entries)
+			if err != nil {
+				err = c.importEntriesOnServer(t, ranges, entries)
+			}
+			if err != nil {
+				undo()
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -209,14 +256,14 @@ func (c *Controller) scaleDownKV(n *hierarchy.Node, idx int) error {
 			best, sibling = count, i
 		}
 	}
-	if _, err := c.moveSlotsOnServer(victim.Info, victim.Slots,
-		n.Map.Blocks[sibling].Info); err != nil {
+	// Move into every sibling replica directly: restoring the live
+	// sibling chain from a snapshot would clobber writes it acked while
+	// the snapshot was in flight (see moveSlotRanges).
+	if err := c.moveSlotRanges(victim, victim.Slots,
+		n.Map.Blocks[sibling].Replicas()); err != nil {
 		return err
 	}
 	n.Map.Blocks[sibling].Slots = unionAll(n.Map.Blocks[sibling].Slots, victim.Slots)
-	if err := c.resyncChain(n.Map.Blocks[sibling]); err != nil {
-		return err
-	}
 	c.deleteChainOnServers(victim)
 	c.alloc.Free(victim.Replicas())
 	n.Map.Blocks = append(n.Map.Blocks[:idx], n.Map.Blocks[idx+1:]...)

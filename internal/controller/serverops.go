@@ -79,14 +79,21 @@ func (c *Controller) setNextOnServer(tail core.BlockInfo, next core.BlockInfo) e
 		proto.SetNextReq{Block: tail.ID, Next: next}, &resp)
 }
 
-// moveSlotsOnServer asks the donor's server to move slot ranges to the
-// target block.
-func (c *Controller) moveSlotsOnServer(donor core.BlockInfo, ranges []ds.SlotRange,
-	target core.BlockInfo) (int, error) {
-	var resp proto.MoveSlotsResp
-	err := c.callServer(donor.Server, proto.MethodMoveSlots,
-		proto.MoveSlotsReq{Block: donor.ID, Ranges: ranges, Target: target}, &resp)
-	return resp.Moved, err
+// exportSlotsOnServer removes the given slot ranges from one replica
+// of a KV block, returning the removed pairs.
+func (c *Controller) exportSlotsOnServer(member core.BlockInfo, ranges []ds.SlotRange) ([]ds.KVEntry, error) {
+	var resp proto.ExportSlotsResp
+	err := c.callServer(member.Server, proto.MethodExportSlots,
+		proto.ExportSlotsReq{Block: member.ID, Ranges: ranges}, &resp)
+	return resp.Entries, err
+}
+
+// importEntriesOnServer installs pairs (and range ownership) into one
+// replica of a KV block.
+func (c *Controller) importEntriesOnServer(member core.BlockInfo, ranges []ds.SlotRange, entries []ds.KVEntry) error {
+	var resp proto.ImportEntriesResp
+	return c.callServer(member.Server, proto.MethodImportEntries,
+		proto.ImportEntriesReq{Block: member.ID, Ranges: ranges, Entries: entries}, &resp)
 }
 
 // flushBlockOnServer snapshots a block into the persistent store.

@@ -26,6 +26,10 @@ const (
 	// declared dead after five missed beats.
 	DefaultHeartbeatInterval = 1 * time.Second
 	DefaultSuspicionWindow   = 5 * time.Second
+	// DefaultQoSMaxWait is the admission-queue wait bound: long enough
+	// to ride out transient contention, short enough that throttled
+	// tenants learn about backpressure quickly.
+	DefaultQoSMaxWait = 2 * time.Millisecond
 )
 
 // Config carries the tunables evaluated in the paper's sensitivity
@@ -68,6 +72,16 @@ type Config struct {
 	// before the controller declares it dead and repairs its chains.
 	// Must be at least HeartbeatInterval when heartbeats are enabled.
 	SuspicionWindow time.Duration
+	// QoSConcurrency bounds concurrent data-plane ops per memory
+	// server; when the bound is hit, further ops queue per tenant and
+	// are granted in deficit-round-robin order weighted by quota. Zero
+	// disables capacity scheduling (token buckets still enforce
+	// per-tenant rates for tenants with registered quotas).
+	QoSConcurrency int
+	// QoSMaxWait bounds (in wall time) how long an op may sit in the
+	// admission queue before it is throttled with ErrQuotaExceeded
+	// instead of served. Zero means the DefaultQoSMaxWait.
+	QoSMaxWait time.Duration
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -136,6 +150,12 @@ func (c Config) Validate() error {
 	if c.HeartbeatInterval > 0 && c.SuspicionWindow < c.HeartbeatInterval {
 		return fmt.Errorf("core: suspicion window %v must be >= heartbeat interval %v",
 			c.SuspicionWindow, c.HeartbeatInterval)
+	}
+	if c.QoSConcurrency < 0 {
+		return fmt.Errorf("core: qos concurrency must be >= 0, got %d", c.QoSConcurrency)
+	}
+	if c.QoSMaxWait < 0 {
+		return fmt.Errorf("core: qos max wait must be >= 0, got %v", c.QoSMaxWait)
 	}
 	return nil
 }

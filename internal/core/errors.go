@@ -45,6 +45,12 @@ var (
 	// flushed copy in the persist tier; its data is unrecoverable and
 	// clients must fail fast instead of retrying.
 	ErrBlockLost = errors.New("jiffy: block lost")
+	// ErrQuotaExceeded reports that an operation was refused by
+	// admission control: the tenant is over one of its registered
+	// quotas (ops/sec, bytes/sec, or memory). The server-side form is a
+	// *ThrottleError carrying a retry-after hint; clients honor it as
+	// backpressure before retrying.
+	ErrQuotaExceeded = errors.New("jiffy: quota exceeded")
 )
 
 // ErrorCode is the wire representation of the sentinel errors.
@@ -67,24 +73,26 @@ const (
 	CodeTooLarge
 	CodeRedirect
 	CodeBlockLost
+	CodeQuotaExceeded
 	CodeOther
 )
 
 var codeToErr = map[ErrorCode]error{
-	CodeNotFound:     ErrNotFound,
-	CodeExists:       ErrExists,
-	CodeNoCapacity:   ErrNoCapacity,
-	CodeBlockFull:    ErrBlockFull,
-	CodeEmpty:        ErrEmpty,
-	CodeStaleEpoch:   ErrStaleEpoch,
-	CodeLeaseExpired: ErrLeaseExpired,
-	CodePermission:   ErrPermission,
-	CodeWrongType:    ErrWrongType,
-	CodeClosed:       ErrClosed,
-	CodeTimeout:      ErrTimeout,
-	CodeTooLarge:     ErrTooLarge,
-	CodeRedirect:     ErrRedirect,
-	CodeBlockLost:    ErrBlockLost,
+	CodeNotFound:      ErrNotFound,
+	CodeExists:        ErrExists,
+	CodeNoCapacity:    ErrNoCapacity,
+	CodeBlockFull:     ErrBlockFull,
+	CodeEmpty:         ErrEmpty,
+	CodeStaleEpoch:    ErrStaleEpoch,
+	CodeLeaseExpired:  ErrLeaseExpired,
+	CodePermission:    ErrPermission,
+	CodeWrongType:     ErrWrongType,
+	CodeClosed:        ErrClosed,
+	CodeTimeout:       ErrTimeout,
+	CodeTooLarge:      ErrTooLarge,
+	CodeRedirect:      ErrRedirect,
+	CodeBlockLost:     ErrBlockLost,
+	CodeQuotaExceeded: ErrQuotaExceeded,
 }
 
 // CodeOf maps an error to its wire code. Wrapped sentinels are
@@ -102,10 +110,18 @@ func CodeOf(err error) ErrorCode {
 }
 
 // ErrOf maps a wire code back to its sentinel error. CodeOther yields a
-// generic error carrying msg; CodeOK yields nil.
+// generic error carrying msg; CodeOK yields nil. CodeQuotaExceeded
+// reconstructs the typed *ThrottleError from the diagnostic payload so
+// the retry-after hint survives the wire.
 func ErrOf(code ErrorCode, msg string) error {
 	if code == CodeOK {
 		return nil
+	}
+	if code == CodeQuotaExceeded {
+		if te := parseThrottle(msg); te != nil {
+			return te
+		}
+		return ErrQuotaExceeded
 	}
 	if err, ok := codeToErr[code]; ok {
 		return err

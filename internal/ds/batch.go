@@ -46,7 +46,9 @@ func ErrResult(err error) BatchResult {
 	r := BatchResult{Code: core.CodeOf(err)}
 	if p := RedirectPayloadOf(err); p != nil {
 		r.Blob = p
-	} else if r.Code == core.CodeOther {
+	} else if r.Code == core.CodeOther || r.Code == core.CodeQuotaExceeded {
+		// Quota refusals keep their message too: ErrOf parses the
+		// retry-after hint back out of it on the client side.
 		r.Blob = []byte(err.Error())
 	}
 	return r

@@ -53,6 +53,14 @@ type Node struct {
 	Flushed bool
 	// FlushKey is where the flushed data lives in the external store.
 	FlushKey string
+
+	// Quota is the resource envelope registered on this prefix (zero =
+	// none). Rate dimensions set on a job root are pushed to the memory
+	// servers for hot-path admission; the memory dimension bounds the
+	// physical blocks of this node's subtree and is enforced by the
+	// controller at allocation time. Descendants without a quota of
+	// their own inherit the nearest ancestor's (see EffectiveQuota).
+	Quota core.Quota
 }
 
 // Parents returns the node's parent set (copy).
@@ -318,6 +326,78 @@ func (h *Hierarchy) Walk(fn func(n *Node) bool) {
 		return true
 	}
 	visit(h.root)
+}
+
+// EffectiveQuota resolves the quota governing n: its own if set,
+// otherwise the nearest ancestor's (breadth-first up the parent edges,
+// so in a DAG the closest quota-bearing ancestor wins; ties resolve to
+// the first parent edge, which is the creation-order parent). Returns
+// the zero quota when no ancestor carries one.
+func (n *Node) EffectiveQuota() core.Quota {
+	level := []*Node{n}
+	seen := map[*Node]struct{}{n: {}}
+	for len(level) > 0 {
+		var next []*Node
+		for _, cur := range level {
+			if !cur.Quota.IsZero() {
+				return cur.Quota
+			}
+			for _, p := range cur.parents {
+				if _, dup := seen[p]; !dup {
+					seen[p] = struct{}{}
+					next = append(next, p)
+				}
+			}
+		}
+		level = next
+	}
+	return core.Quota{}
+}
+
+// QuotaOwners returns every node whose memory quota constrains n: n
+// itself and all its ancestors that carry MemoryBytes > 0. An
+// allocation under n must fit within each owner's subtree budget.
+func (n *Node) QuotaOwners() []*Node {
+	var owners []*Node
+	seen := map[*Node]struct{}{}
+	var up func(cur *Node)
+	up = func(cur *Node) {
+		if _, dup := seen[cur]; dup {
+			return
+		}
+		seen[cur] = struct{}{}
+		if cur.Quota.MemoryBytes > 0 {
+			owners = append(owners, cur)
+		}
+		for _, p := range cur.parents {
+			up(p)
+		}
+	}
+	up(n)
+	return owners
+}
+
+// SubtreePhysicalBlocks counts the physical blocks (every chain
+// replica) allocated in n's subtree — the unit the memory quota is
+// charged in.
+func (n *Node) SubtreePhysicalBlocks() int {
+	total := 0
+	seen := map[*Node]struct{}{}
+	var down func(cur *Node)
+	down = func(cur *Node) {
+		if _, dup := seen[cur]; dup {
+			return
+		}
+		seen[cur] = struct{}{}
+		for _, e := range cur.Map.Blocks {
+			total += len(e.Replicas())
+		}
+		for _, c := range cur.children {
+			down(c)
+		}
+	}
+	down(n)
+	return total
 }
 
 // MetadataBytes estimates the controller metadata footprint of this

@@ -64,6 +64,11 @@ const (
 	// MethodDrainServer gracefully migrates every block off a server
 	// before decommission, using the chain-repair machinery.
 	MethodDrainServer uint16 = 0x0013
+	// MethodSetQuota registers a resource quota on a prefix. Rate
+	// dimensions on a job root fan out to every memory server for
+	// hot-path admission; the memory dimension is enforced by the
+	// controller at allocation time.
+	MethodSetQuota uint16 = 0x0014
 )
 
 // Memory-server methods.
@@ -112,6 +117,15 @@ const (
 	// (chain repair: survivors must learn the spliced chain so writes
 	// propagate to the replacement, not the dead member).
 	MethodUpdateChain uint16 = 0x0111
+	// MethodSetTenantQuota installs a tenant's rate quota on a memory
+	// server's admission gate (controller-to-server push).
+	MethodSetTenantQuota uint16 = 0x0112
+	// MethodExportSlots removes and returns the pairs in the given slot
+	// ranges from one KV replica, disowning the ranges locally. The
+	// controller drives repartitioning with per-replica exports (tail
+	// first) so a live chain never needs a snapshot restore — see
+	// controller/scale.go.
+	MethodExportSlots uint16 = 0x0113
 )
 
 // --- controller messages ----------------------------------------------------
@@ -415,6 +429,18 @@ type MoveSlotsResp struct {
 	Moved int
 }
 
+// ExportSlotsReq removes the given slot ranges (pairs and ownership)
+// from one replica of a KV block and returns the removed pairs.
+type ExportSlotsReq struct {
+	Block  core.BlockID
+	Ranges []ds.SlotRange
+}
+
+// ExportSlotsResp carries the removed pairs.
+type ExportSlotsResp struct {
+	Entries []ds.KVEntry
+}
+
 // ImportEntriesReq delivers moved KV pairs to the recipient block.
 type ImportEntriesReq struct {
 	Block   core.BlockID
@@ -550,6 +576,26 @@ type UpdateChainReq struct {
 // UpdateChainResp acknowledges the chain update.
 type UpdateChainResp struct{}
 
+// SetQuotaReq registers Quota on the prefix at Path (its first
+// component is the job). A zero quota clears the registration.
+type SetQuotaReq struct {
+	Path  core.Path
+	Quota core.Quota
+}
+
+// SetQuotaResp acknowledges quota registration.
+type SetQuotaResp struct{}
+
+// SetTenantQuotaReq installs Tenant's rate quota on a memory server's
+// admission gate. A zero quota removes the tenant's rate limits.
+type SetTenantQuotaReq struct {
+	Tenant string
+	Quota  core.Quota
+}
+
+// SetTenantQuotaResp acknowledges installation.
+type SetTenantQuotaResp struct{}
+
 // methodNames maps method identifiers to stable human-readable names
 // for metrics labels and span events.
 var methodNames = map[uint16]string{
@@ -572,11 +618,13 @@ var methodNames = map[uint16]string{
 	MethodHeartbeat:       "Heartbeat",
 	MethodReportFailure:   "ReportFailure",
 	MethodDrainServer:     "DrainServer",
+	MethodSetQuota:        "SetQuota",
 	MethodDataOp:          "DataOp",
 	MethodCreateBlock:     "CreateBlock",
 	MethodDeleteBlock:     "DeleteBlock",
 	MethodSetNext:         "SetNext",
 	MethodMoveSlots:       "MoveSlots",
+	MethodExportSlots:     "ExportSlots",
 	MethodImportEntries:   "ImportEntries",
 	MethodFlushBlock:      "FlushBlock",
 	MethodLoadBlock:       "LoadBlock",
@@ -589,6 +637,7 @@ var methodNames = map[uint16]string{
 	MethodRestoreBlock:    "RestoreBlock",
 	MethodDataOpBatch:     "DataOpBatch",
 	MethodUpdateChain:     "UpdateChain",
+	MethodSetTenantQuota:  "SetTenantQuota",
 }
 
 // MethodName returns the human-readable name of a method identifier,

@@ -1,0 +1,371 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jiffy/internal/clock"
+	"jiffy/internal/core"
+)
+
+func vclock() *clock.Virtual {
+	return clock.NewVirtual(time.Unix(0, 0))
+}
+
+// admit is a test helper that runs Admit and immediately releases.
+func admit(t *testing.T, g *Gate, tenant string, ops, bytes int64) error {
+	t.Helper()
+	release, err := g.Admit(context.Background(), tenant, ops, bytes)
+	if release != nil {
+		release()
+	}
+	return err
+}
+
+func TestInactiveGateIsFree(t *testing.T) {
+	g := NewGate(Options{Clock: vclock()})
+	if g.Active() {
+		t.Fatal("gate with no quotas and no cap reports active")
+	}
+	release, err := g.Admit(context.Background(), "t", 1, 1<<30)
+	if err != nil || release != nil {
+		t.Fatalf("inactive gate: release non-nil=%v err=%v, want nil,nil", release != nil, err)
+	}
+	if n := len(g.Stats()); n != 0 {
+		t.Fatalf("inactive gate recorded %d tenants", n)
+	}
+}
+
+func TestGateDeactivatesWhenLastQuotaCleared(t *testing.T) {
+	g := NewGate(Options{Clock: vclock()})
+	g.SetQuota("a", core.Quota{OpsPerSec: 10})
+	if !g.Active() {
+		t.Fatal("gate inactive after SetQuota")
+	}
+	g.SetQuota("a", core.Quota{})
+	if g.Active() {
+		t.Fatal("gate still active after last quota cleared")
+	}
+}
+
+// TestNoAdmissionAboveRate is the core token-bucket property: over a
+// long virtual window a tenant can never be admitted for more than
+// rate × time + burst operations, no matter how hard it hammers.
+func TestNoAdmissionAboveRate(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk})
+	const rate = 100.0
+	g.SetQuota("t", core.Quota{OpsPerSec: rate})
+
+	admitted, throttled := 0, 0
+	const seconds = 10
+	for s := 0; s < seconds; s++ {
+		// 50 attempts per 10ms tick: 5000/sec offered against 100/sec.
+		for tick := 0; tick < 100; tick++ {
+			for i := 0; i < 50; i++ {
+				if err := admit(t, g, "t", 1, 0); err != nil {
+					if !errors.Is(err, core.ErrQuotaExceeded) {
+						t.Fatalf("unexpected error type: %v", err)
+					}
+					throttled++
+				} else {
+					admitted++
+				}
+			}
+			clk.Advance(10 * time.Millisecond)
+		}
+	}
+	// Budget: burst (one second of rate) + rate × window.
+	budget := int(rate*seconds + rate)
+	if admitted > budget {
+		t.Fatalf("admitted %d ops, budget %d", admitted, budget)
+	}
+	if throttled == 0 {
+		t.Fatal("a 50x-over-quota tenant was never throttled")
+	}
+	// And the refusals must all be accounted for in the stats.
+	st := g.Stats()
+	if len(st) != 1 || st[0].Admitted != int64(admitted) || st[0].Throttled != int64(throttled) {
+		t.Fatalf("stats %+v do not match admitted=%d throttled=%d", st, admitted, throttled)
+	}
+}
+
+// TestFullAdmissionBelowRate is the dual property: a tenant offering
+// less than its rate is never refused.
+func TestFullAdmissionBelowRate(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk})
+	g.SetQuota("t", core.Quota{OpsPerSec: 100})
+	for i := 0; i < 1000; i++ {
+		// 50/sec offered against 100/sec allowed.
+		if err := admit(t, g, "t", 1, 0); err != nil {
+			t.Fatalf("op %d refused below rate: %v", i, err)
+		}
+		clk.Advance(20 * time.Millisecond)
+	}
+}
+
+func TestBytesPerSecEnforced(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk})
+	g.SetQuota("t", core.Quota{BytesPerSec: 1 << 20}) // 1 MiB/s
+	var admitted int64
+	for i := 0; i < 100; i++ {
+		if err := admit(t, g, "t", 1, 256<<10); err == nil {
+			admitted += 256 << 10
+		}
+		clk.Advance(10 * time.Millisecond)
+	}
+	// ~1s elapsed: burst (1MiB) + 1s of rate (1MiB) is the ceiling.
+	if admitted > 2<<20 {
+		t.Fatalf("admitted %d bytes in ~1s against 1MiB/s", admitted)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted at all")
+	}
+}
+
+func TestThrottleCarriesRetryAfter(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk})
+	g.SetQuota("t", core.Quota{OpsPerSec: 10})
+	// Drain the burst.
+	for {
+		if err := admit(t, g, "t", 1, 0); err != nil {
+			var te *core.ThrottleError
+			if !errors.As(err, &te) {
+				t.Fatalf("refusal is %T, want *core.ThrottleError", err)
+			}
+			if te.Tenant != "t" {
+				t.Fatalf("throttle names tenant %q", te.Tenant)
+			}
+			if te.RetryAfter <= 0 || te.RetryAfter > time.Second {
+				t.Fatalf("retry-after %v outside (0, 1s] for a 1-op deficit at 10/s", te.RetryAfter)
+			}
+			if got := core.RetryAfterOf(err); got != te.RetryAfter {
+				t.Fatalf("RetryAfterOf = %v, want %v", got, te.RetryAfter)
+			}
+			return
+		}
+	}
+}
+
+func TestUnquotedTenantUnlimitedWithoutCap(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk})
+	g.SetQuota("limited", core.Quota{OpsPerSec: 1})
+	for i := 0; i < 10000; i++ {
+		if err := admit(t, g, "free", 1, 1<<20); err != nil {
+			t.Fatalf("unquoted tenant refused: %v", err)
+		}
+	}
+}
+
+// TestDRRNoStarvationUnderSaturation: with the concurrency bound
+// saturated by a greedy tenant, a modest tenant's queued ops still get
+// served — the DRR ring guarantees every backlogged tenant a turn.
+func TestDRRNoStarvationUnderSaturation(t *testing.T) {
+	g := NewGate(Options{Clock: vclock(), Concurrency: 2, MaxWait: time.Second})
+	ctx := context.Background()
+
+	// Fill both slots and keep them busy.
+	rel1, err := g.Admit(ctx, "greedy", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Admit(ctx, "greedy", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a deep greedy backlog and one modest op behind the full gate.
+	var wg sync.WaitGroup
+	var modestServed atomic.Bool
+	greedyDone := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Admit(ctx, "greedy", 1, 0)
+			if err == nil {
+				greedyDone <- struct{}{}
+				rel()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, err := g.Admit(ctx, "modest", 1, 0)
+		if err == nil {
+			modestServed.Store(true)
+			rel()
+		}
+	}()
+
+	// Let the waiters park, then free the slots; dispatch cascades as
+	// each granted op releases.
+	time.Sleep(50 * time.Millisecond)
+	rel1()
+	rel2()
+	wg.Wait()
+
+	if !modestServed.Load() {
+		t.Fatal("modest tenant starved behind greedy backlog")
+	}
+}
+
+// TestDRRWeightedShares: two saturating tenants with 3:1 weights should
+// be granted roughly 3:1 service.
+func TestDRRWeightedShares(t *testing.T) {
+	g := NewGate(Options{Clock: vclock(), Concurrency: 1, MaxWait: 5 * time.Second})
+	g.SetQuota("heavy", core.Quota{Weight: 3})
+	g.SetQuota("light", core.Quota{Weight: 1})
+	ctx := context.Background()
+
+	hold, err := g.Admit(ctx, "seed", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perTenant = 40
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"heavy", "light"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				rel, err := g.Admit(ctx, name, 1, 0)
+				if err == nil {
+					rel()
+				}
+			}(tenant)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let all waiters park
+	hold()
+	wg.Wait()
+
+	var heavy, light int64
+	for _, st := range g.Stats() {
+		switch st.Tenant {
+		case "heavy":
+			heavy = st.Admitted
+		case "light":
+			light = st.Admitted
+		}
+	}
+	if heavy != perTenant || light != perTenant {
+		t.Fatalf("with a generous MaxWait all ops should be served: heavy=%d light=%d", heavy, light)
+	}
+}
+
+// TestQueueTimeoutRefundsBucket: an op that times out in the queue must
+// refund its bucket charge — otherwise a saturated server would also
+// burn the tenant's rate budget for work that never ran.
+func TestQueueTimeoutRefundsBucket(t *testing.T) {
+	clk := vclock()
+	g := NewGate(Options{Clock: clk, Concurrency: 1, MaxWait: 10 * time.Millisecond})
+	g.SetQuota("t", core.Quota{OpsPerSec: 10})
+	ctx := context.Background()
+
+	hold, err := g.Admit(ctx, "t", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst is 10 tokens; one is held. The next 9 queue and time out,
+	// refunding their charges.
+	for i := 0; i < 9; i++ {
+		_, err := g.Admit(ctx, "t", 1, 0)
+		if err == nil {
+			t.Fatal("second op admitted past a held concurrency slot of 1")
+		}
+		if !errors.Is(err, core.ErrQuotaExceeded) {
+			t.Fatalf("queue timeout surfaced as %v", err)
+		}
+	}
+	hold()
+	// All 9 charges were refunded: 9 tokens remain, so 9 ops admit
+	// without any clock advance.
+	for i := 0; i < 9; i++ {
+		if err := admit(t, g, "t", 1, 0); err != nil {
+			t.Fatalf("op %d refused after refunds: %v", i, err)
+		}
+	}
+}
+
+func TestQueueCancellation(t *testing.T) {
+	g := NewGate(Options{Clock: vclock(), Concurrency: 1, MaxWait: time.Minute})
+	hold, err := g.Admit(context.Background(), "t", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx, "t", 1, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter returned %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	g := NewGate(Options{Clock: vclock(), Concurrency: 1})
+	rel, err := g.Admit(context.Background(), "t", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	rel2, err := g.Admit(context.Background(), "t", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	// With cap 1 and one slot held, a fresh waiter must queue (and time
+	// out), not sail through on a double-freed slot.
+	if _, err := g.Admit(context.Background(), "t", 1, 0); err == nil {
+		t.Fatal("double release freed a phantom concurrency slot")
+	}
+}
+
+func TestOversizedOpEventuallyGranted(t *testing.T) {
+	g := NewGate(Options{Clock: vclock(), Concurrency: 1, MaxWait: 5 * time.Second})
+	hold, err := g.Admit(context.Background(), "t", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Cost = 1 + 10MiB/4KiB = 2561, far past maxDeficit (128).
+		rel, err := g.Admit(context.Background(), "t", 1, 10<<20)
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	hold()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("oversized op refused: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversized op starved in the queue")
+	}
+}

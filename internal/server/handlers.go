@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"jiffy/internal/blockstore"
@@ -75,6 +76,17 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 			return nil, err
 		}
 		return rpc.Marshal(proto.MoveSlotsResp{Moved: moved})
+
+	case proto.MethodExportSlots:
+		var req proto.ExportSlotsReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		entries, err := s.exportSlots(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(proto.ExportSlotsResp{Entries: entries})
 
 	case proto.MethodImportEntries:
 		var req proto.ImportEntriesReq
@@ -203,6 +215,14 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		}
 		return rpc.Marshal(proto.ReplicateResp{})
 
+	case proto.MethodSetTenantQuota:
+		var req proto.SetTenantQuotaReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.gate.SetQuota(req.Tenant, req.Quota)
+		return rpc.Marshal(proto.SetTenantQuotaResp{})
+
 	case proto.MethodUpdateChain:
 		var req proto.UpdateChainReq
 		if err := rpc.Unmarshal(payload, &req); err != nil {
@@ -247,6 +267,24 @@ func (s *Server) handleDataOp(ctx context.Context, payload []byte) (rpc.Response
 	b, err := s.store.Get(blockID)
 	if err != nil {
 		return rpc.Response{}, err
+	}
+
+	// Admission control keys on the tenant (the path's job component).
+	// Chain-internal traffic (MethodReplicate) is exempt: it was already
+	// admitted at the head, and re-charging it would double-bill
+	// replicated tenants.
+	admitted, aerr := s.gate.Admit(ctx, string(b.Path.Job()), 1, argBytes(args))
+	if aerr != nil {
+		var te *core.ThrottleError
+		if errors.As(aerr, &te) {
+			// The throttle rides the response payload like redirects do,
+			// so the client recovers the retry-after hint (see ErrOf).
+			return rpc.BytesResponse([]byte(te.Error())), te
+		}
+		return rpc.Response{}, aerr
+	}
+	if admitted != nil {
+		defer admitted()
 	}
 
 	var res [][]byte
@@ -301,6 +339,45 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 	}
 	blocks := s.store.GetMany(ids)
 
+	// Admission is charged once per distinct tenant in the batch (ops
+	// and bytes summed), so a batch waits in the DRR queue at most once.
+	// A throttled tenant's ops all fail with the per-tenant error;
+	// neighbours from other tenants proceed.
+	var throttledTenants map[string]error
+	if s.gate.Active() {
+		type tenantDemand struct{ ops, bytes int64 }
+		demand := make(map[string]*tenantDemand)
+		for _, o := range ops {
+			b, ok := blocks[o.Block]
+			if !ok {
+				continue
+			}
+			t := string(b.Path.Job())
+			d := demand[t]
+			if d == nil {
+				d = &tenantDemand{}
+				demand[t] = d
+			}
+			d.ops++
+			for _, a := range o.Args {
+				d.bytes += int64(len(a))
+			}
+		}
+		for t, d := range demand {
+			release, aerr := s.gate.Admit(ctx, t, d.ops, d.bytes)
+			if aerr != nil {
+				if throttledTenants == nil {
+					throttledTenants = make(map[string]error)
+				}
+				throttledTenants[t] = aerr
+				continue
+			}
+			if release != nil {
+				defer release()
+			}
+		}
+	}
+
 	results := make([]ds.BatchResult, len(ops))
 	mutated := make(map[core.BlockID]*blockstore.Block, len(blocks))
 	for i, o := range ops {
@@ -309,6 +386,12 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 			results[i] = ds.ErrResult(fmt.Errorf("blockstore: block %v unknown: %w",
 				o.Block, core.ErrStaleEpoch))
 			continue
+		}
+		if throttledTenants != nil {
+			if terr := throttledTenants[string(b.Path.Job())]; terr != nil {
+				results[i] = ds.ErrResult(terr)
+				continue
+			}
 		}
 		var res [][]byte
 		var oerr error
@@ -335,6 +418,16 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 		s.store.CheckThresholds(b)
 	}
 	return ds.AppendBatchResults(wire.GetBuf(), results), nil
+}
+
+// argBytes sums the request argument bytes of one op — the ingress
+// byte measure charged against a tenant's BytesPerSec bucket.
+func argBytes(args [][]byte) int64 {
+	var n int64
+	for _, a := range args {
+		n += int64(len(a))
+	}
+	return n
 }
 
 // applyMutation applies a mutating op, sequencing and propagating it
@@ -444,6 +537,23 @@ func (s *Server) moveSlots(ctx context.Context, req proto.MoveSlotsReq) (int, er
 		}
 	}
 	return len(entries), nil
+}
+
+// exportSlots removes and returns the pairs in the moving ranges from
+// one replica, disowning the ranges. The controller calls this on every
+// chain member (tail first) during repartitioning, so no member is ever
+// brought back in sync by a snapshot restore while live.
+func (s *Server) exportSlots(req proto.ExportSlotsReq) ([]ds.KVEntry, error) {
+	b, err := s.store.Get(req.Block)
+	if err != nil {
+		return nil, err
+	}
+	kv, ok := b.Partition.(*ds.KV)
+	if !ok {
+		return nil, fmt.Errorf("server: block %v is not a kv shard: %w",
+			req.Block, core.ErrWrongType)
+	}
+	return kv.ExportSlots(req.Ranges), nil
 }
 
 // importEntries is the recipient side of a slot move.

@@ -10,7 +10,9 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +22,7 @@ import (
 	"jiffy/internal/obs"
 	"jiffy/internal/persist"
 	"jiffy/internal/proto"
+	"jiffy/internal/qos"
 	"jiffy/internal/rpc"
 )
 
@@ -54,6 +57,7 @@ type Server struct {
 	store  *blockstore.Store
 	rpcSrv *rpc.Server
 	peers  *rpc.Pool
+	gate   *qos.Gate
 
 	addr           string
 	controllerAddr string
@@ -110,6 +114,11 @@ func New(opts Options) (*Server, error) {
 		stop:           make(chan struct{}),
 	}
 	s.store = blockstore.NewStore(opts.Config.HighThreshold, opts.Config.LowThreshold, s.onSignal)
+	s.gate = qos.NewGate(qos.Options{
+		Clock:       opts.Clock,
+		Concurrency: opts.Config.QoSConcurrency,
+		MaxWait:     opts.Config.QoSMaxWait,
+	})
 	s.subs.init()
 	s.reg = obs.NewRegistry()
 	s.rpcm = obs.NewRPCMetrics("server")
@@ -119,6 +128,30 @@ func New(opts Options) (*Server, error) {
 	s.store.Instrument(s.reg)
 	s.reg.GaugeFunc("jiffy_server_subscriptions", "live notification subscriptions",
 		func() int64 { return s.subs.count() })
+	s.reg.RegisterCollector(func(w io.Writer) {
+		stats := s.gate.Stats()
+		if len(stats) == 0 {
+			return
+		}
+		sort.Slice(stats, func(i, j int) bool { return stats[i].Tenant < stats[j].Tenant })
+		families := []struct {
+			name, help string
+			v          func(qos.TenantStats) int64
+		}{
+			{"jiffy_tenant_admitted_total", "data-plane ops admitted per tenant",
+				func(st qos.TenantStats) int64 { return st.Admitted }},
+			{"jiffy_tenant_throttled_total", "data-plane ops refused by admission control per tenant",
+				func(st qos.TenantStats) int64 { return st.Throttled }},
+			{"jiffy_tenant_bytes_total", "ingress bytes admitted per tenant",
+				func(st qos.TenantStats) int64 { return st.AdmittedBytes }},
+		}
+		for _, f := range families {
+			obs.WriteHeader(w, f.name, f.help, "counter")
+			for _, st := range stats {
+				obs.WriteSample(w, f.name, fmt.Sprintf("{tenant=%q}", st.Tenant), f.v(st))
+			}
+		}
+	})
 	s.rpcSrv = rpc.NewServer(s.handle, opts.Logger)
 	s.rpcSrv.SetObserver(s.rpcm, s.tracer)
 	s.rpcSrv.OnDisconnect = func(conn *rpc.ServerConn) { s.subs.dropConn(conn) }
@@ -305,6 +338,9 @@ func (s *Server) deliverSignal(sig signal) {
 
 // Store exposes the blockstore for tests and the experiment harness.
 func (s *Server) Store() *blockstore.Store { return s.store }
+
+// Gate exposes the admission controller for tests and the soak harness.
+func (s *Server) Gate() *qos.Gate { return s.gate }
 
 // Obs exposes the server's metric registry for the admin endpoint.
 func (s *Server) Obs() *obs.Registry { return s.reg }

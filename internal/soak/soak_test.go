@@ -1,0 +1,71 @@
+package soak_test
+
+import (
+	"os"
+	"testing"
+
+	"jiffy/internal/soak"
+)
+
+// TestShortSoak is the CI soak: the default seeded virtual-clock
+// configuration — 48 tenants in three QoS tiers with one bronze
+// burster at 10× quota, seeded wire jitter throughout, a server kill
+// plus deterministic repair at tick 45 and a live drain at tick 80 —
+// graded against per-tier throughput/p99/fairness SLOs, throttle
+// accounting (typed errors + Prometheus counters), and zero
+// acked-write loss.
+//
+// Set SOAK_REPORT=<path> to also write the rendered report (CI uploads
+// it as the run artifact).
+func TestShortSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped with -short")
+	}
+	rep, err := soak.Run(soak.DefaultShortConfig(), t.Logf)
+	if err != nil {
+		t.Fatalf("soak failed to run: %v", err)
+	}
+	rendered := rep.Render()
+	t.Log("\n" + rendered)
+	if path := os.Getenv("SOAK_REPORT"); path != "" {
+		if werr := os.WriteFile(path, []byte(rendered), 0o644); werr != nil {
+			t.Errorf("writing report artifact: %v", werr)
+		}
+	}
+	if !rep.Passed() {
+		t.Fatalf("soak failed: %d violations, %d lost writes", len(rep.Violations), rep.LostWrites)
+	}
+
+	// The burst scenario must actually have engaged admission control.
+	if rep.ServerThrottled == 0 {
+		t.Fatal("no server-side throttles: the bronze burster never hit the gate")
+	}
+	for _, tier := range rep.Tiers {
+		if tier.Name == "bronze" && tier.BursterThrottled == 0 {
+			t.Fatal("bronze burster saw no typed throttles at the client")
+		}
+	}
+}
+
+// TestJainIndex pins the fairness metric itself (exported via the
+// report) against hand-computed values.
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1.0},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{1, 0.5}, 0.9},
+	}
+	for _, c := range cases {
+		if got := soak.Jain(c.xs); !approx(got, c.want) {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes into the trace importer: it must
+// parse a trace or fail cleanly — never panic, never index past a
+// short row, never accept out-of-range fields. When a parse succeeds,
+// the structural invariants every trace consumer relies on must hold
+// (contiguous sorted stage indices, tenants within range, window
+// covering every job), and the trace must survive a WriteCSV→ReadCSV
+// round trip unchanged — soak runs export and re-import traces, so a
+// lossy round trip would silently change the replayed workload.
+func FuzzReadCSV(f *testing.F) {
+	header := "job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes\n"
+	f.Add([]byte(header))
+	f.Add([]byte(header + "j1,0,0,0,4,1000,4096\n"))
+	f.Add([]byte(header + "j1,0,0,1,4,1000,4096\nj1,0,0,0,2,500,1024\n"))
+	f.Add([]byte(header + "j1,-1,0,0,4,1000,4096\n"))
+	f.Add([]byte(header + "j1,0,0,0,4,1000\n"))
+	f.Add([]byte(header + "j1,0,0,0,4,1000,not-a-number\n"))
+	f.Add([]byte("tenant,job_id\nj1,0\n"))
+	f.Add([]byte(`job_id,tenant,arrival_ms,stage,tasks,duration_ms,bytes` + "\n" +
+		`"quoted,id",3,250,0,10,2000,1048576` + "\n"))
+	// A generated trace: the golden well-formed input.
+	var buf bytes.Buffer
+	cfg := smallConfig()
+	cfg.JobsPerTenant = 4
+	if err := Generate(cfg, 11).WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, j := range tr.Jobs {
+			if j.Tenant < 0 || j.Tenant >= tr.Tenants {
+				t.Fatalf("job %q tenant %d outside [0,%d)", j.ID, j.Tenant, tr.Tenants)
+			}
+			if end := j.Arrival + j.Duration(); end > tr.Window {
+				t.Fatalf("job %q ends at %v, past window %v", j.ID, end, tr.Window)
+			}
+			for i, s := range j.Stages {
+				if s.Index != i {
+					t.Fatalf("job %q stage %d has index %d", j.ID, i, s.Index)
+				}
+				if s.Tasks <= 0 || s.Duration <= 0 || s.Bytes < 0 {
+					t.Fatalf("job %q stage %d out of range: %+v", j.ID, i, s)
+				}
+			}
+		}
+		// Round trip: re-export and re-import must agree on the jobs.
+		// (Tenants may legitimately shrink: the importer infers the count
+		// from the max tenant seen, so it is already canonical here.)
+		var out strings.Builder
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("WriteCSV of parsed trace: %v", err)
+		}
+		tr2, err := ReadCSV(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-import of exported trace: %v", err)
+		}
+		if len(tr2.Jobs) != len(tr.Jobs) || tr2.Tenants != tr.Tenants {
+			t.Fatalf("round trip changed shape: %d/%d jobs, %d/%d tenants",
+				len(tr2.Jobs), len(tr.Jobs), tr2.Tenants, tr.Tenants)
+		}
+		for i := range tr.Jobs {
+			a, b := &tr.Jobs[i], &tr2.Jobs[i]
+			if a.ID != b.ID || a.Tenant != b.Tenant || a.Arrival.Milliseconds() != b.Arrival.Milliseconds() ||
+				len(a.Stages) != len(b.Stages) || a.TotalBytes() != b.TotalBytes() {
+				t.Fatalf("round trip changed job %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -30,6 +30,38 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateTenantStreamsIndependent checks that each tenant draws
+// from its own seeded stream: growing the tenant count must not
+// perturb the jobs of the tenants that were already there. (With a
+// single shared RNG, tenant k's jobs depended on how many draws
+// tenants 0..k-1 happened to consume.)
+func TestGenerateTenantStreamsIndependent(t *testing.T) {
+	small := smallConfig()
+	small.Tenants = 2
+	big := smallConfig()
+	big.Tenants = 6
+	a := Generate(small, 42)
+	b := Generate(big, 42)
+	for tenant := 0; tenant < small.Tenants; tenant++ {
+		ja, jb := a.TenantJobs(tenant), b.TenantJobs(tenant)
+		if len(ja) != len(jb) {
+			t.Fatalf("tenant %d: %d jobs with 2 tenants, %d with 6", tenant, len(ja), len(jb))
+		}
+		for i := range ja {
+			if ja[i].ID != jb[i].ID || ja[i].Arrival != jb[i].Arrival ||
+				ja[i].TotalBytes() != jb[i].TotalBytes() {
+				t.Fatalf("tenant %d job %d differs across tenant counts", tenant, i)
+			}
+		}
+	}
+	// And distinct tenants must not mirror each other's stream.
+	j0, j1 := b.TenantJobs(0), b.TenantJobs(1)
+	if len(j0) == len(j1) && len(j0) > 0 && j0[0].Arrival == j1[0].Arrival &&
+		j0[0].TotalBytes() == j1[0].TotalBytes() {
+		t.Error("tenants 0 and 1 generated identical streams")
+	}
+}
+
 func TestJobShape(t *testing.T) {
 	cfg := smallConfig()
 	tr := Generate(cfg, 1)

@@ -80,6 +80,12 @@ type (
 	// Config carries the system tunables (block size, lease duration,
 	// repartition thresholds).
 	Config = core.Config
+	// Quota carries a tenant's resource limits (ops/sec, bytes/sec,
+	// memory bytes) and its DRR scheduling weight.
+	Quota = core.Quota
+	// ThrottleError is the typed admission refusal carrying the
+	// throttled tenant and the server's retry-after hint.
+	ThrottleError = core.ThrottleError
 
 	// Option configures a connection (see WithRPCTimeout,
 	// WithRetryPolicy, WithTracing).
@@ -110,7 +116,14 @@ var (
 	ErrLeaseExpired = core.ErrLeaseExpired
 	ErrTimeout      = core.ErrTimeout
 	ErrBlockLost    = core.ErrBlockLost
+	// ErrQuotaExceeded reports a QoS admission refusal; match with
+	// errors.Is and read the backpressure hint with RetryAfterOf.
+	ErrQuotaExceeded = core.ErrQuotaExceeded
 )
+
+// RetryAfterOf extracts the server's retry-after hint from a quota
+// refusal (zero when err carries none).
+func RetryAfterOf(err error) time.Duration { return core.RetryAfterOf(err) }
 
 // DefaultConfig returns the paper's defaults: 128MB blocks, 1s leases,
 // 95%/5% repartition thresholds, 1024 hash slots.
