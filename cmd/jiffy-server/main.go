@@ -37,6 +37,10 @@ func main() {
 		low        = flag.Float64("low-threshold", core.DefaultLowThreshold, "scale-down usage fraction")
 		persistDir = flag.String("persist-dir", "", "directory for the persistent tier (default: in-memory)")
 		admin      = flag.String("admin", "", "serve /metrics, /healthz, /spans and pprof on this address (e.g. :9191)")
+		watermark  = flag.Int64("memory-watermark-bytes", 0, "resident-memory budget; cold blocks demote to the persist tier above it (0 disables)")
+		tierIdle   = flag.Duration("tier-idle-after", 0, "demote blocks untouched this long, regardless of pressure (0 disables)")
+		tierCool   = flag.Duration("tier-cooldown", core.DefaultTierCooldown, "never demote a block within this window of its creation or last rehydration")
+		tierScan   = flag.Duration("tier-scan-period", core.DefaultTierScanPeriod, "demotion scan interval")
 		verbose    = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -51,6 +55,10 @@ func main() {
 	cfg.BlockSize = *blockSize
 	cfg.HighThreshold = *high
 	cfg.LowThreshold = *low
+	cfg.MemoryWatermarkBytes = *watermark
+	cfg.TierIdleAfter = *tierIdle
+	cfg.TierCooldown = *tierCool
+	cfg.TierScanPeriod = *tierScan
 
 	var store persist.Store = persist.NewMemStore()
 	if *persistDir != "" {

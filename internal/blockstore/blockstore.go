@@ -64,7 +64,92 @@ type Block struct {
 	// snapshot, so no write can be acknowledged that the snapshot might
 	// miss. Never cleared — a sealed block is about to be deleted.
 	sealed atomic.Bool
+
+	// NumSlots is the KV hash-slot space size the partition was created
+	// with, recorded so a demoted block can be rebuilt with the same
+	// layout on rehydration.
+	NumSlots int
+
+	// Tiering state. tierState is the block's residency (TierMemory /
+	// TierDemoting / TierTiered); ops pin it resident via BeginOp/EndOp
+	// before touching the partition, and the demotion path flips it to
+	// Demoting then waits for inflight to drain before snapshotting.
+	// lastAccess/promotedAt are heat timestamps in store heat units
+	// (see Store.HeatNow) — stamped allocation-free on the data path.
+	tierState  atomic.Int32
+	inflight   atomic.Int64
+	lastAccess atomic.Int64
+	promotedAt atomic.Int64
+
+	// TierMu serializes demotion and rehydration for this block and
+	// guards TierKey/TierGen. It is never held while the partition is
+	// serving ops — only across the tier state transitions themselves.
+	TierMu sync.Mutex
+	// TierKey is the persist-tier key holding the demoted object
+	// ("" when resident). TierGen fences stale tier objects: it bumps
+	// on every demotion, and the controller ignores reports older than
+	// the generation it has recorded.
+	TierKey string
+	TierGen uint64
 }
+
+// Tier states for Block.tierState.
+const (
+	// TierMemory: resident, serving ops.
+	TierMemory int32 = iota
+	// TierDemoting: a demotion is draining in-flight ops; new ops wait
+	// for the transition to finish and then rehydrate.
+	TierDemoting
+	// TierTiered: the partition's contents live in the persist tier;
+	// first access rehydrates.
+	TierTiered
+)
+
+// TierState returns the block's residency state.
+func (b *Block) TierState() int32 { return b.tierState.Load() }
+
+// SetTierState publishes a residency transition. Callers hold TierMu.
+func (b *Block) SetTierState(s int32) { b.tierState.Store(s) }
+
+// BeginOp pins the block resident for one operation. It returns false
+// when the block is not in memory (tiered, or a demotion is in
+// flight) — the caller must rehydrate and retry. The recheck after
+// incrementing closes the race with a concurrent demotion: the
+// demoter flips the state to Demoting first and then waits for
+// inflight to reach zero, so an op that raced past the first check is
+// either counted (demotion waits for it) or bounced here.
+func (b *Block) BeginOp() bool {
+	if b.tierState.Load() != TierMemory {
+		return false
+	}
+	b.inflight.Add(1)
+	if b.tierState.Load() != TierMemory {
+		b.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// EndOp releases the residency pin taken by BeginOp.
+func (b *Block) EndOp() { b.inflight.Add(-1) }
+
+// Inflight returns the number of operations currently pinning the
+// block resident.
+func (b *Block) Inflight() int64 { return b.inflight.Load() }
+
+// Touch stamps the block's last-access time with the store's current
+// heat value — one atomic store, no clock read, on the data path.
+func (b *Block) Touch(heat int64) { b.lastAccess.Store(heat) }
+
+// LastAccess returns the block's last-access heat stamp.
+func (b *Block) LastAccess() int64 { return b.lastAccess.Load() }
+
+// PromotedAt returns the heat stamp of the block's creation or last
+// rehydration — the anchor of the anti-thrash cooldown window.
+func (b *Block) PromotedAt() int64 { return b.promotedAt.Load() }
+
+// SetPromotedAt stamps the promotion time (creation and rehydration).
+func (b *Block) SetPromotedAt(heat int64) { b.promotedAt.Store(heat) }
 
 // Chain returns the block's current replication chain (nil when
 // unreplicated). The returned slice must not be mutated.
@@ -180,10 +265,48 @@ type Store struct {
 
 	ops atomic.Int64
 
+	// heatNow is the current heat clock value (UnixNano), refreshed by
+	// the tiering worker at each scan. The data path stamps block
+	// last-access times from it with a single atomic load — no clock
+	// syscall per op. Coarse (scan-period granularity) is fine: the
+	// policy's windows are orders of magnitude longer.
+	heatNow atomic.Int64
+
 	// telemetry (nil until Instrument; the data path stays alloc-free
 	// and lock-free either way).
 	created *obs.Counter
 	deleted *obs.Counter
+}
+
+// SetHeatNow refreshes the heat clock (UnixNano). Called by the
+// tiering worker once per scan, and at block creation.
+func (s *Store) SetHeatNow(nanos int64) { s.heatNow.Store(nanos) }
+
+// HeatNow returns the current heat clock value.
+func (s *Store) HeatNow() int64 { return s.heatNow.Load() }
+
+// ResidentBytes sums the payload bytes of blocks currently resident in
+// memory (tiered blocks count zero — their contents live in the
+// persist tier).
+func (s *Store) ResidentBytes() int64 {
+	var total int64
+	for _, b := range s.snapshotMap() {
+		if b.TierState() != TierTiered {
+			total += int64(b.Partition.Bytes())
+		}
+	}
+	return total
+}
+
+// TieredBlocks counts blocks currently demoted to the persist tier.
+func (s *Store) TieredBlocks() int {
+	n := 0
+	for _, b := range s.snapshotMap() {
+		if b.TierState() == TierTiered {
+			n++
+		}
+	}
+	return n
 }
 
 // NewStore creates an empty store with the given thresholds. onSignal

@@ -94,6 +94,10 @@ type Controller struct {
 	chainRepairs atomic.Int64
 	blocksLost   atomic.Int64
 
+	// tiered-block records reported by memory servers (see tier.go);
+	// guarded by its own mutex, never the shard locks.
+	tiers tierState
+
 	// telemetry: the counters above plus allocator and per-job gauges,
 	// per-method RPC stats, and recent spans, served via Obs()/Spans().
 	reg    *obs.Registry
@@ -179,6 +183,9 @@ func (c *Controller) instrument() {
 		{"jiffy_ctrl_server_failures_total", "memory servers declared dead (or drained)", &c.srvFailures},
 		{"jiffy_ctrl_chain_repairs_total", "partition entries repaired after a server failure", &c.chainRepairs},
 		{"jiffy_ctrl_blocks_lost_total", "blocks lost with no replica or flushed copy", &c.blocksLost},
+		{"jiffy_ctrl_tier_demotions_total", "block demotions to the persist tier reported by servers", &c.tiers.demotes},
+		{"jiffy_ctrl_tier_promotions_total", "block rehydrations from the persist tier reported by servers", &c.tiers.promotes},
+		{"jiffy_ctrl_tier_recoveries_total", "dead blocks rebuilt from their tier objects during chain repair", &c.tiers.recoveries},
 	}
 	c.reg.RegisterCollector(func(w io.Writer) {
 		for _, ctr := range counters {
@@ -194,6 +201,8 @@ func (c *Controller) instrument() {
 		func() int64 { _, _, servers := c.alloc.Stats(); return int64(servers) })
 	c.reg.GaugeFunc("jiffy_ctrl_membership_epoch", "cluster membership epoch (advances on register/death/drain)",
 		func() int64 { return int64(c.memberEpoch.Load()) })
+	c.reg.GaugeFunc("jiffy_ctrl_blocks_tiered", "chain members currently demoted to the persist tier",
+		c.tieredBlockCount)
 	c.reg.RegisterCollector(func(w io.Writer) {
 		obs.WriteHeader(w, "jiffy_ctrl_job_blocks", "blocks allocated per registered job", "gauge")
 		for _, s := range c.shards {

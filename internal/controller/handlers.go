@@ -155,6 +155,17 @@ func (c *Controller) handle(_ context.Context, _ *rpc.ServerConn, method uint16,
 		}
 		return rpc.Marshal(proto.ReportFailureResp{})
 
+	case proto.MethodReportTier:
+		var req proto.ReportTierReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.ReportTier(req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Marshal(resp)
+
 	case proto.MethodDrainServer:
 		var req proto.DrainServerReq
 		if err := rpc.Unmarshal(payload, &req); err != nil {

@@ -104,6 +104,7 @@ type spliceResult struct {
 	lostReason      string
 	abort           bool // leave the entry untouched (e.g. no capacity on a drain)
 	demote          bool // the drained server died mid-splice: retry as a death
+	tierRecovered   bool // rebuilt from a member's tier object (counts a tier recovery)
 }
 
 // relinkOp is a queue re-seal to run after the commit unlocks.
@@ -204,6 +205,25 @@ func (c *Controller) repairEntry(sh *shard, t repairTarget, addr string, alive b
 			// ran unlocked. Undo the side effects and replan.
 			c.releaseReplacements(res.replacements)
 			continue
+		}
+		if res.tierRecovered {
+			c.tiers.recoveries.Add(1)
+		}
+		// Members spliced out of the chain take their tier records with
+		// them: a recovery has consumed the object it needed, and any
+		// other spliced-out member's object is stale the moment the new
+		// chain (resynced or rebuilt) starts acknowledging writes.
+		for _, old := range t.entry.Replicas() {
+			kept := false
+			for _, cur := range res.newChain {
+				if cur == old {
+					kept = true
+					break
+				}
+			}
+			if !kept {
+				c.dropTierRecord(old)
+			}
 		}
 		for _, info := range res.deleteAfter {
 			c.deleteBlockOnServer(info)
@@ -437,7 +457,41 @@ func (c *Controller) recoverSoleReplica(t repairTarget, doomedAlive core.Replica
 		return c.migrateSoleReplica(t, doomedAlive, gen)
 	}
 
-	// Death: rebuild from the persistent tier.
+	// Death: rebuild from the persistent tier. A tier object (the block
+	// was demoted under memory pressure before its chain died) is
+	// preferred over a lease-flush manifest copy: its existence proves
+	// no write was acknowledged after the demotion, so it is always
+	// current; a flushed copy may predate later acknowledged writes.
+	if obj, member, ok := c.recoverFromTier(t); ok {
+		chain, err := c.provisionChain(t.path, t.dsType, t.entry.Chunk, t.entry.Slots)
+		if err != nil {
+			c.log.Warn("controller: no capacity to recover tiered block", "block", t.entry.Info.ID, "err", err)
+			return spliceResult{lost: true, lostReason: "no capacity for recovery"}, false
+		}
+		for _, m := range chain {
+			if err := c.restoreBlockOnServer(m, obj.Snapshot); err != nil {
+				c.log.Warn("controller: tier recovery restore failed",
+					"block", t.entry.Info.ID, "from", member, "err", err)
+				c.releaseReplacements(chain)
+				return spliceResult{lost: true, lostReason: "tier recovery restore failed"}, false
+			}
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			if err := c.switchMember(chain[i], chainField(chain), gen); err != nil {
+				c.releaseReplacements(chain)
+				return spliceResult{}, true
+			}
+		}
+		c.log.Info("controller: block recovered from tier object",
+			"block", t.entry.Info.ID, "from", member, "new", chain.Head().ID)
+		return spliceResult{
+			newChain:        chain,
+			replacements:    chain,
+			relinkSuccessor: true,
+			tierRecovered:   true,
+		}, false
+	}
+
 	key, ok := c.flushedKey(t)
 	if !ok {
 		return spliceResult{lost: true, lostReason: "no flushed copy"}, false

@@ -62,8 +62,12 @@ func (c *Controller) createBlockOnServer(info core.BlockInfo, path core.Path,
 }
 
 // deleteBlockOnServer removes a block's partition; failures are logged
-// (the server may already be gone) and the block is still freed.
+// (the server may already be gone) and the block is still freed. Any
+// tier record for the member is dropped with it — a deleted block's
+// tier object must never be resurrected by a later repair, especially
+// since block IDs are recycled through the free list.
 func (c *Controller) deleteBlockOnServer(info core.BlockInfo) {
+	c.dropTierRecord(info)
 	var resp proto.DeleteBlockResp
 	err := c.callServer(info.Server, proto.MethodDeleteBlock,
 		proto.DeleteBlockReq{Block: info.ID}, &resp)

@@ -30,6 +30,12 @@ const (
 	// to ride out transient contention, short enough that throttled
 	// tenants learn about backpressure quickly.
 	DefaultQoSMaxWait = 2 * time.Millisecond
+	// Tiering defaults: scan once a second and refuse to re-demote a
+	// block within ten seconds of its promotion (anti-thrash
+	// hysteresis). Tiering itself stays off until a watermark or idle
+	// window is configured.
+	DefaultTierScanPeriod = 1 * time.Second
+	DefaultTierCooldown   = 10 * time.Second
 )
 
 // Config carries the tunables evaluated in the paper's sensitivity
@@ -82,6 +88,23 @@ type Config struct {
 	// admission queue before it is throttled with ErrQuotaExceeded
 	// instead of served. Zero means the DefaultQoSMaxWait.
 	QoSMaxWait time.Duration
+	// MemoryWatermarkBytes is the per-server resident-memory budget for
+	// block payloads. When resident bytes exceed it, the tiering worker
+	// demotes the coldest blocks to the persist tier until the server is
+	// back under the watermark. Zero disables pressure-driven demotion.
+	MemoryWatermarkBytes int64
+	// TierCooldown is the anti-thrash hysteresis window: a block is
+	// never demoted within TierCooldown of its creation or of its last
+	// rehydration, no matter how much pressure the server is under.
+	TierCooldown time.Duration
+	// TierIdleAfter demotes any block untouched for this long even
+	// without memory pressure — the scale-to-zero path for idle
+	// tenants. Zero disables idle demotion.
+	TierIdleAfter time.Duration
+	// TierScanPeriod is how often the tiering worker re-evaluates the
+	// demotion policy. Zero disables the background worker; tests then
+	// drive scans deterministically via Server.TierTickNow.
+	TierScanPeriod time.Duration
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -98,6 +121,9 @@ func DefaultConfig() Config {
 
 		HeartbeatInterval: DefaultHeartbeatInterval,
 		SuspicionWindow:   DefaultSuspicionWindow,
+
+		TierScanPeriod: DefaultTierScanPeriod,
+		TierCooldown:   DefaultTierCooldown,
 	}
 }
 
@@ -156,6 +182,18 @@ func (c Config) Validate() error {
 	}
 	if c.QoSMaxWait < 0 {
 		return fmt.Errorf("core: qos max wait must be >= 0, got %v", c.QoSMaxWait)
+	}
+	if c.MemoryWatermarkBytes < 0 {
+		return fmt.Errorf("core: memory watermark must be >= 0, got %d", c.MemoryWatermarkBytes)
+	}
+	if c.TierCooldown < 0 {
+		return fmt.Errorf("core: tier cooldown must be >= 0, got %v", c.TierCooldown)
+	}
+	if c.TierIdleAfter < 0 {
+		return fmt.Errorf("core: tier idle window must be >= 0, got %v", c.TierIdleAfter)
+	}
+	if c.TierScanPeriod < 0 {
+		return fmt.Errorf("core: tier scan period must be >= 0, got %v", c.TierScanPeriod)
 	}
 	return nil
 }

@@ -69,6 +69,10 @@ const (
 	// hot-path admission; the memory dimension is enforced by the
 	// controller at allocation time.
 	MethodSetQuota uint16 = 0x0014
+	// MethodReportTier records a block's tier transition (demotion to /
+	// promotion from the persist tier) in the controller's metadata, so
+	// a tiered block can be recovered if its chain later dies.
+	MethodReportTier uint16 = 0x0015
 )
 
 // Memory-server methods.
@@ -367,6 +371,25 @@ type ReportFailureReq struct {
 // asynchronously; the reporter just retries/fails its write as usual.
 type ReportFailureResp struct{}
 
+// ReportTierReq records a tier transition for one chain member of a
+// block. Demoted=true: the member wrote its partition to the persist
+// tier under Key with tiering generation Gen (the server blocks the
+// transition on this report landing, so the controller's record is
+// never behind reality when memory is released). Demoted=false: the
+// member rehydrated; the controller clears its recorded key unless a
+// newer generation has already superseded Gen.
+type ReportTierReq struct {
+	Server  string
+	Block   core.BlockID
+	Path    core.Path
+	Key     string
+	Gen     uint64
+	Demoted bool
+}
+
+// ReportTierResp acknowledges the transition.
+type ReportTierResp struct{}
+
 // DrainServerReq migrates every block off Addr so it can be
 // decommissioned without data loss.
 type DrainServerReq struct {
@@ -638,6 +661,7 @@ var methodNames = map[uint16]string{
 	MethodDataOpBatch:     "DataOpBatch",
 	MethodUpdateChain:     "UpdateChain",
 	MethodSetTenantQuota:  "SetTenantQuota",
+	MethodReportTier:      "ReportTier",
 }
 
 // MethodName returns the human-readable name of a method identifier,

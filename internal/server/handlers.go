@@ -48,6 +48,18 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
+		// Take the tier object with the block: a deleted block's demoted
+		// contents must never be resurrected (block IDs are recycled).
+		if b, err := s.store.Get(req.Block); err == nil {
+			b.TierMu.Lock()
+			if b.TierKey != "" {
+				if derr := s.persist.Delete(b.TierKey); derr != nil {
+					s.log.Debug("server: tier object delete failed", "key", b.TierKey, "err", derr)
+				}
+				b.TierKey = ""
+			}
+			b.TierMu.Unlock()
+		}
 		if err := s.store.Delete(req.Block); err != nil {
 			return nil, err
 		}
@@ -103,10 +115,11 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		b, err := s.store.Get(req.Block)
+		b, err := s.resolve(req.Block)
 		if err != nil {
 			return nil, err
 		}
+		defer b.EndOp()
 		kv, ok := b.Partition.(*ds.KV)
 		if !ok {
 			return nil, fmt.Errorf("server: block %v is not a kv shard: %w",
@@ -124,6 +137,20 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err != nil {
 			return nil, err
 		}
+		// Tiered fast path: a demoted block's snapshot already sits in
+		// the persist tier — copy it under the flush key instead of
+		// rehydrating. This is what lets an idle tenant's lease expire
+		// without pulling all its cold blocks back into memory.
+		if done, n, ferr := s.flushTiered(b, req.Key); done {
+			if ferr != nil {
+				return nil, ferr
+			}
+			return rpc.Marshal(proto.FlushBlockResp{Bytes: n})
+		}
+		if err := s.resolveBlock(b); err != nil {
+			return nil, err
+		}
+		defer b.EndOp()
 		snap, err := b.Partition.Snapshot()
 		if err != nil {
 			return nil, err
@@ -138,10 +165,11 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		b, err := s.store.Get(req.Block)
+		b, err := s.resolve(req.Block)
 		if err != nil {
 			return nil, err
 		}
+		defer b.EndOp()
 		snap, err := s.persist.Get(req.Key)
 		if err != nil {
 			return nil, err
@@ -181,10 +209,11 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		b, err := s.store.Get(req.Block)
+		b, err := s.resolve(req.Block)
 		if err != nil {
 			return nil, err
 		}
+		defer b.EndOp()
 		snap, err := b.Partition.Snapshot()
 		if err != nil {
 			return nil, err
@@ -196,10 +225,11 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 		if err := rpc.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		b, err := s.store.Get(req.Block)
+		b, err := s.resolve(req.Block)
 		if err != nil {
 			return nil, err
 		}
+		defer b.EndOp()
 		if err := b.Partition.Restore(req.Snapshot); err != nil {
 			return nil, err
 		}
@@ -264,10 +294,20 @@ func (s *Server) handleDataOp(ctx context.Context, payload []byte) (rpc.Response
 	}
 	s.ops.Add(1)
 
-	b, err := s.store.Get(blockID)
+	// resolve pins the block resident (rehydrating it from the persist
+	// tier first if it was demoted); the pin is released when the
+	// response no longer references block memory — at return for owned
+	// results, at frame-release time for zero-copy views.
+	b, err := s.resolve(blockID)
 	if err != nil {
 		return rpc.Response{}, err
 	}
+	unpin := true
+	defer func() {
+		if unpin {
+			b.EndOp()
+		}
+	}()
 
 	// Admission control keys on the tenant (the path's job component).
 	// Chain-internal traffic (MethodReplicate) is exempt: it was already
@@ -312,6 +352,17 @@ func (s *Server) handleDataOp(ctx context.Context, payload []byte) (rpc.Response
 	}
 	s.notify(blockID, op, notifyData)
 	head, vec := ds.AppendValsVec(wire.GetBuf(), res)
+	if release != nil {
+		// A leased view aliases block memory until the wire layer fires
+		// Release; keep the residency pin until then so a demotion
+		// cannot release the memory under the in-flight frame.
+		unpin = false
+		lease := release
+		release = func() {
+			lease()
+			b.EndOp()
+		}
+	}
 	return rpc.Response{Payload: head, Vec: vec, Release: release}, nil
 }
 
@@ -338,6 +389,27 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 		}
 	}
 	blocks := s.store.GetMany(ids)
+
+	// Pin every destination block resident for the whole batch,
+	// rehydrating demoted ones. A block whose rehydration fails is
+	// dropped from the map and its ops get the failure attributed
+	// per-op, like any other per-block error. Batch results are copied
+	// into the response buffer, so all pins release at return.
+	var rehydrateErrs map[core.BlockID]error
+	for id, b := range blocks {
+		if err := s.resolveBlock(b); err != nil {
+			if rehydrateErrs == nil {
+				rehydrateErrs = make(map[core.BlockID]error)
+			}
+			rehydrateErrs[id] = err
+			delete(blocks, id)
+		}
+	}
+	defer func() {
+		for _, b := range blocks {
+			b.EndOp()
+		}
+	}()
 
 	// Admission is charged once per distinct tenant in the batch (ops
 	// and bytes summed), so a batch waits in the DRR queue at most once.
@@ -383,6 +455,10 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 	for i, o := range ops {
 		b, ok := blocks[o.Block]
 		if !ok {
+			if rerr := rehydrateErrs[o.Block]; rerr != nil {
+				results[i] = ds.ErrResult(rerr)
+				continue
+			}
 			results[i] = ds.ErrResult(fmt.Errorf("blockstore: block %v unknown: %w",
 				o.Block, core.ErrStaleEpoch))
 			continue
@@ -433,10 +509,11 @@ func argBytes(args [][]byte) int64 {
 // applyMutation applies a mutating op, sequencing and propagating it
 // down the replication chain when the block is a replicated head.
 func (s *Server) applyMutation(ctx context.Context, blockID core.BlockID, op core.OpType, args [][]byte) ([][]byte, error) {
-	b, gerr := s.store.Get(blockID)
+	b, gerr := s.resolve(blockID)
 	if gerr != nil {
 		return nil, gerr
 	}
+	defer b.EndOp()
 	return s.applyMutationOn(ctx, b, op, args, true)
 }
 
@@ -502,7 +579,14 @@ func (s *Server) createBlock(req proto.CreateBlockReq) error {
 		Path:      req.Path,
 		Partition: part,
 		Chunk:     req.Chunk,
+		NumSlots:  req.NumSlots,
 	}
+	// Creation counts as a promotion: the cooldown window protects the
+	// fresh block from immediate demotion, and the access stamp keeps
+	// it out of the idle scan until it has actually gone idle.
+	now := s.clk.Now().UnixNano()
+	b.Touch(now)
+	b.SetPromotedAt(now)
 	b.SetChain(req.Chain, 0)
 	return s.store.Create(b)
 }
@@ -511,10 +595,11 @@ func (s *Server) createBlock(req proto.CreateBlockReq) error {
 // export the pairs in the moving ranges and deliver them to the target
 // block — possibly on another server, possibly on this one.
 func (s *Server) moveSlots(ctx context.Context, req proto.MoveSlotsReq) (int, error) {
-	b, err := s.store.Get(req.Block)
+	b, err := s.resolve(req.Block)
 	if err != nil {
 		return 0, err
 	}
+	defer b.EndOp()
 	kv, ok := b.Partition.(*ds.KV)
 	if !ok {
 		return 0, fmt.Errorf("server: block %v is not a kv shard: %w",
@@ -544,10 +629,11 @@ func (s *Server) moveSlots(ctx context.Context, req proto.MoveSlotsReq) (int, er
 // chain member (tail first) during repartitioning, so no member is ever
 // brought back in sync by a snapshot restore while live.
 func (s *Server) exportSlots(req proto.ExportSlotsReq) ([]ds.KVEntry, error) {
-	b, err := s.store.Get(req.Block)
+	b, err := s.resolve(req.Block)
 	if err != nil {
 		return nil, err
 	}
+	defer b.EndOp()
 	kv, ok := b.Partition.(*ds.KV)
 	if !ok {
 		return nil, fmt.Errorf("server: block %v is not a kv shard: %w",
@@ -558,10 +644,11 @@ func (s *Server) exportSlots(req proto.ExportSlotsReq) ([]ds.KVEntry, error) {
 
 // importEntries is the recipient side of a slot move.
 func (s *Server) importEntries(req proto.ImportEntriesReq) error {
-	b, err := s.store.Get(req.Block)
+	b, err := s.resolve(req.Block)
 	if err != nil {
 		return err
 	}
+	defer b.EndOp()
 	kv, ok := b.Partition.(*ds.KV)
 	if !ok {
 		return fmt.Errorf("server: block %v is not a kv shard: %w",

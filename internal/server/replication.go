@@ -72,12 +72,13 @@ func (s *Server) propagate(ctx context.Context, b *blockstore.Block, chain core.
 // applyReplicated applies a forwarded mutation in sequence order and
 // continues the chain.
 func (s *Server) applyReplicated(ctx context.Context, req proto.ReplicateReq) error {
-	b, err := s.store.Get(req.Block)
+	b, err := s.resolve(req.Block)
 	if err != nil {
 		return err
 	}
+	defer b.EndOp()
 	if _, err := b.ApplyInOrder(req.Seq, req.Gen, func() ([][]byte, error) {
-		return s.store.Apply(req.Block, req.Op, req.Args)
+		return s.store.ApplyOn(b, req.Op, req.Args, true)
 	}); err != nil {
 		return fmt.Errorf("server: replica apply: %w", err)
 	}

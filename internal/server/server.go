@@ -80,6 +80,11 @@ type Server struct {
 	rpcm   *obs.RPCMetrics
 	tracer *obs.Tracer
 	spans  *obs.RingExporter
+
+	// tiering counters (see tiering.go)
+	tierDemotions      *obs.Counter
+	tierPromotions     *obs.Counter
+	tierRehydrateBytes *obs.Counter
 }
 
 type signal struct {
@@ -126,6 +131,17 @@ func New(opts Options) (*Server, error) {
 	s.spans = obs.NewRingExporter(512)
 	s.tracer = obs.NewTracer(s.spans, opts.Logger)
 	s.store.Instrument(s.reg)
+	s.store.SetHeatNow(s.clk.Now().UnixNano())
+	s.tierDemotions = s.reg.Counter("jiffy_tier_demotions_total",
+		"blocks demoted to the persist tier")
+	s.tierPromotions = s.reg.Counter("jiffy_tier_promotions_total",
+		"blocks rehydrated from the persist tier")
+	s.tierRehydrateBytes = s.reg.Counter("jiffy_tier_rehydrate_bytes_total",
+		"snapshot bytes restored by rehydrations")
+	s.reg.GaugeFunc("jiffy_blocks_tiered", "blocks currently demoted to the persist tier",
+		func() int64 { return int64(s.store.TieredBlocks()) })
+	s.reg.GaugeFunc("jiffy_store_resident_bytes", "payload bytes resident in memory (tiered blocks excluded)",
+		s.store.ResidentBytes)
 	s.reg.GaugeFunc("jiffy_server_subscriptions", "live notification subscriptions",
 		func() int64 { return s.subs.count() })
 	s.reg.RegisterCollector(func(w io.Writer) {
@@ -162,6 +178,13 @@ func New(opts Options) (*Server, error) {
 	if opts.Config.HeartbeatInterval > 0 && opts.ControllerAddr != "" {
 		s.wg.Add(1)
 		go s.heartbeatWorker()
+	}
+	// The tiering worker follows the heartbeat idiom: TierScanPeriod=0
+	// disables the background loop and tests step scans deterministically
+	// via TierTickNow.
+	if s.tieringConfigured() && opts.Config.TierScanPeriod > 0 {
+		s.wg.Add(1)
+		go s.tierWorker()
 	}
 	return s, nil
 }

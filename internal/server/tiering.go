@@ -1,0 +1,326 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"jiffy/internal/blockstore"
+	"jiffy/internal/core"
+	"jiffy/internal/ds"
+	"jiffy/internal/proto"
+	"jiffy/internal/tier"
+)
+
+// This file implements the server half of cold-block tiering: the
+// demotion worker that evicts cold blocks to the persist tier when the
+// server crosses its memory watermark (or the block goes idle), and
+// the transparent rehydrate-on-access path. Policy lives in
+// internal/tier; this file owns the mechanics and their ordering
+// guarantees:
+//
+//   - Demotion: flip the block to Demoting (new ops bounce at
+//     BeginOp), wait for in-flight ops to drain, snapshot, write the
+//     tier object, report the demotion to the controller, and only
+//     then release the memory. Because the report lands before the
+//     memory goes away, the controller's recorded tier key always
+//     covers every acknowledged write — a tiered block survives its
+//     whole chain dying.
+//   - Rehydration: restore the partition from the tier object and
+//     report the promotion to the controller before the block starts
+//     serving again, so no write can be acknowledged while the
+//     controller still believes a stale tier object is authoritative.
+//
+// Both transitions serialize on the block's TierMu; the data path
+// never takes that lock — it pins residency with two atomic ops
+// (BeginOp/EndOp) and stamps heat with one more.
+
+// tieringConfigured reports whether any demotion trigger is enabled.
+func (s *Server) tieringConfigured() bool {
+	return s.cfg.MemoryWatermarkBytes > 0 || s.cfg.TierIdleAfter > 0
+}
+
+// tierWorker paces periodic demotion scans.
+func (s *Server) tierWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.clk.After(s.cfg.TierScanPeriod):
+			if _, err := s.TierTickNow(); err != nil {
+				s.log.Debug("server: tier scan failed", "err", err)
+			}
+		}
+	}
+}
+
+// TierTickNow runs one demotion scan synchronously: refresh the heat
+// clock, evaluate the policy over resident blocks, and demote the
+// planned victims. It returns the number of blocks demoted and the
+// first demotion error (later victims are still attempted).
+// Deterministic tests call this directly with TierScanPeriod=0, the
+// same idiom as HeartbeatNow.
+func (s *Server) TierTickNow() (int, error) {
+	now := s.clk.Now()
+	s.store.SetHeatNow(now.UnixNano())
+	policy := tier.Policy{
+		WatermarkBytes: s.cfg.MemoryWatermarkBytes,
+		Cooldown:       s.cfg.TierCooldown,
+		IdleAfter:      s.cfg.TierIdleAfter,
+	}
+	blocks := s.store.List()
+	byID := make(map[core.BlockID]*blockstore.Block, len(blocks))
+	cands := make([]tier.Candidate, 0, len(blocks))
+	for _, b := range blocks {
+		if b.TierState() != blockstore.TierMemory {
+			continue
+		}
+		byID[b.ID] = b
+		cands = append(cands, tier.Candidate{
+			ID:         b.ID,
+			Bytes:      int64(b.Partition.Bytes()),
+			LastAccess: time.Unix(0, b.LastAccess()),
+			PromotedAt: time.Unix(0, b.PromotedAt()),
+			Pinned:     b.Sealed(),
+		})
+	}
+	demoted := 0
+	var firstErr error
+	for _, id := range policy.Plan(now, cands) {
+		ok, err := s.demoteBlock(byID[id])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			demoted++
+		}
+	}
+	return demoted, firstErr
+}
+
+// tierKeyFor names the persist-tier object for one demotion of b. The
+// generation suffix makes keys unique across demote/rehydrate cycles,
+// so a slow delete of the old object can never clobber a new one.
+func (s *Server) tierKeyFor(b *blockstore.Block, gen uint64) string {
+	return fmt.Sprintf("jiffy-tier/%s/%d/%d", s.addr, uint64(b.ID), gen)
+}
+
+// demoteBlock evicts one block to the persist tier. Returns false when
+// the block was skipped (no longer resident, or sealed). See the file
+// comment for the ordering argument.
+func (s *Server) demoteBlock(b *blockstore.Block) (bool, error) {
+	b.TierMu.Lock()
+	defer b.TierMu.Unlock()
+	if b.TierState() != blockstore.TierMemory || b.Sealed() {
+		return false, nil
+	}
+	// Fence new ops, then wait out the ones already pinned. Ops are
+	// normally short, so this drains in microseconds — but a pinned
+	// replica op can legitimately park in ApplyInOrder waiting for an
+	// earlier sequence number whose carrier is itself stuck behind this
+	// demotion, so the wait must be bounded: give up, unfence, and let
+	// the next scan retry once the stream has drained.
+	b.SetTierState(blockstore.TierDemoting)
+	const drainSpins = 100_000
+	for i := 0; b.Inflight() != 0; i++ {
+		if i >= drainSpins {
+			b.SetTierState(blockstore.TierMemory)
+			return false, nil
+		}
+		runtime.Gosched()
+	}
+	revert := func() { b.SetTierState(blockstore.TierMemory) }
+
+	snap, err := b.Partition.Snapshot()
+	if err != nil {
+		revert()
+		return false, fmt.Errorf("server: demote %v: snapshot: %w", b.ID, err)
+	}
+	gen := b.TierGen + 1
+	key := s.tierKeyFor(b, gen)
+	obj := tier.Object{
+		Block:    b.ID,
+		Gen:      gen,
+		Type:     b.Partition.Type(),
+		Capacity: b.Partition.Capacity(),
+		NumSlots: b.NumSlots,
+		Chunk:    b.Chunk,
+		Snapshot: snap,
+	}
+	if err := s.persist.Put(key, tier.Encode(obj)); err != nil {
+		revert()
+		return false, fmt.Errorf("server: demote %v: persist: %w", b.ID, err)
+	}
+	// The controller must record the tier key before the memory copy
+	// disappears: once this report lands, the block is recoverable from
+	// the persist tier even if this whole server dies.
+	if err := s.reportTier(b.ID, b.Path, key, gen, true); err != nil {
+		_ = s.persist.Delete(key)
+		revert()
+		return false, fmt.Errorf("server: demote %v: report: %w", b.ID, err)
+	}
+	oldKey := b.TierKey
+	b.TierGen = gen
+	b.TierKey = key
+	// Release the memory by restoring an empty partition of the same
+	// shape. The real contents now live (only) in the tier object.
+	if empty := emptySnapshot(b); empty != nil {
+		if err := b.Partition.Restore(empty); err != nil {
+			// The tier object is valid and recorded; serving resumes
+			// from memory. Next scan retries the demotion.
+			revert()
+			return false, fmt.Errorf("server: demote %v: release: %w", b.ID, err)
+		}
+	}
+	b.SetTierState(blockstore.TierTiered)
+	if oldKey != "" {
+		_ = s.persist.Delete(oldKey) // superseded by the new generation
+	}
+	s.tierDemotions.Inc()
+	return true, nil
+}
+
+// emptySnapshot builds a zero-entry snapshot matching b's partition
+// shape, used to release a demoted block's memory. Nil means the
+// shape could not be rebuilt (custom types); the demotion then keeps
+// the memory copy and is effectively a no-op, which is safe.
+func emptySnapshot(b *blockstore.Block) []byte {
+	p, err := ds.New(b.Partition.Type(), b.Partition.Capacity(), b.NumSlots)
+	if err != nil {
+		return nil
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
+// rehydrateBlock restores a tiered block from the persist tier. Called
+// from the resolve loop when an op finds the block not resident; by
+// the time it returns nil the block is serving from memory again and
+// the controller has cleared its tier record. Idempotent: concurrent
+// callers serialize on TierMu and the losers find the block already
+// resident.
+func (s *Server) rehydrateBlock(b *blockstore.Block) error {
+	b.TierMu.Lock()
+	defer b.TierMu.Unlock()
+	if b.TierState() == blockstore.TierMemory {
+		return nil
+	}
+	data, err := s.persist.Get(b.TierKey)
+	if err != nil {
+		return fmt.Errorf("server: rehydrate %v: persist get %q: %w", b.ID, b.TierKey, err)
+	}
+	obj, err := tier.Decode(data)
+	if err != nil {
+		return fmt.Errorf("server: rehydrate %v: %w", b.ID, err)
+	}
+	if obj.Block != b.ID || obj.Gen != b.TierGen {
+		return fmt.Errorf("server: rehydrate %v: tier object mismatch (block %v gen %d, want gen %d)",
+			b.ID, obj.Block, obj.Gen, b.TierGen)
+	}
+	if err := b.Partition.Restore(obj.Snapshot); err != nil {
+		return fmt.Errorf("server: rehydrate %v: restore: %w", b.ID, err)
+	}
+	// The controller must forget the tier key before the block serves
+	// again: otherwise a later chain repair could resurrect the stale
+	// tier object over writes acknowledged after this rehydration. A
+	// failed report fails the op; the client retries and sees latency,
+	// not data loss.
+	if err := s.reportTier(b.ID, b.Path, b.TierKey, b.TierGen, false); err != nil {
+		return fmt.Errorf("server: rehydrate %v: report: %w", b.ID, err)
+	}
+	_ = s.persist.Delete(b.TierKey) // best-effort GC; key is generation-unique
+	b.TierKey = ""
+	now := s.clk.Now().UnixNano()
+	b.SetPromotedAt(now)
+	b.Touch(now)
+	b.SetTierState(blockstore.TierMemory)
+	s.tierPromotions.Inc()
+	s.tierRehydrateBytes.Add(int64(len(obj.Snapshot)))
+	return nil
+}
+
+// flushTiered handles a FlushBlock request against a block that is
+// currently demoted: the flush snapshot is copied straight from the
+// tier object to the requested key, without rehydrating. This is what
+// makes scale-to-zero stick — an idle tenant's lease-expiry flush must
+// not pull every cold block back into memory. Returns handled=false
+// when the block is resident (caller takes the normal snapshot path).
+func (s *Server) flushTiered(b *blockstore.Block, key string) (handled bool, bytes int, err error) {
+	b.TierMu.Lock()
+	defer b.TierMu.Unlock()
+	if b.TierState() != blockstore.TierTiered {
+		return false, 0, nil
+	}
+	data, err := s.persist.Get(b.TierKey)
+	if err != nil {
+		return true, 0, fmt.Errorf("server: flush tiered %v: persist get %q: %w", b.ID, b.TierKey, err)
+	}
+	obj, err := tier.Decode(data)
+	if err != nil {
+		return true, 0, fmt.Errorf("server: flush tiered %v: %w", b.ID, err)
+	}
+	if obj.Block != b.ID || obj.Gen != b.TierGen {
+		return true, 0, fmt.Errorf("server: flush tiered %v: tier object mismatch (block %v gen %d, want gen %d)",
+			b.ID, obj.Block, obj.Gen, b.TierGen)
+	}
+	if err := s.persist.Put(key, obj.Snapshot); err != nil {
+		return true, 0, fmt.Errorf("server: flush tiered %v: persist put %q: %w", b.ID, key, err)
+	}
+	return true, len(obj.Snapshot), nil
+}
+
+// reportTier synchronously records a tier transition with the
+// controller. With no controller configured (unit tests) the local
+// transition proceeds unrecorded.
+func (s *Server) reportTier(id core.BlockID, path core.Path, key string, gen uint64, demoted bool) error {
+	if s.controllerAddr == "" {
+		return nil
+	}
+	ctrl, err := s.peers.Get(s.controllerAddr)
+	if err != nil {
+		return err
+	}
+	var resp proto.ReportTierResp
+	return ctrl.CallGob(proto.MethodReportTier, proto.ReportTierReq{
+		Server:  s.addr,
+		Block:   id,
+		Path:    path,
+		Key:     key,
+		Gen:     gen,
+		Demoted: demoted,
+	}, &resp)
+}
+
+// resolveBlock pins b resident for one operation, rehydrating it first
+// if it has been demoted. On success the caller owns one residency pin
+// and must release it with b.EndOp() when the op completes.
+func (s *Server) resolveBlock(b *blockstore.Block) error {
+	for {
+		if b.BeginOp() {
+			b.Touch(s.store.HeatNow())
+			return nil
+		}
+		if err := s.rehydrateBlock(b); err != nil {
+			return err
+		}
+	}
+}
+
+// resolve looks up a block and pins it resident (see resolveBlock).
+func (s *Server) resolve(id core.BlockID) (*blockstore.Block, error) {
+	b, err := s.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resolveBlock(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -55,6 +55,15 @@ type Report struct {
 	ServerThrottled int64
 	ClientThrottled int64
 
+	// Tiering columns (soaks with a scale-to-zero cohort): fleet-wide
+	// demotion/promotion counters scraped from the servers' metric
+	// registries, and the idle cohort's re-access outcome.
+	IdleTenants        int
+	IdleReaccessErrors int
+	TierDemotions      int64
+	TierPromotions     int64
+	TierRehydrateBytes int64
+
 	Violations []string
 }
 
@@ -200,6 +209,35 @@ func (e *engine) checkMetrics(rep *Report) {
 		e.violations = append(e.violations,
 			"clients saw throttles but no server gate counted any")
 	}
+
+	// Tier metrics must agree with ground truth: each server's tiered
+	// gauge matches a direct store scan, and the idle cohort's journey
+	// (demote mid-run, rehydrate on re-access) shows up in the fleet
+	// counters.
+	rep.IdleTenants = e.cfg.IdleTenants
+	rep.IdleReaccessErrors = e.idleReaccessErrs
+	if e.cfg.IdleTenants > 0 {
+		for i, srv := range e.cluster.Servers {
+			var buf bytes.Buffer
+			srv.Obs().WritePrometheus(&buf)
+			m := obs.ParsePrometheus(buf.Bytes())
+			rep.TierDemotions += int64(m["jiffy_tier_demotions_total"])
+			rep.TierPromotions += int64(m["jiffy_tier_promotions_total"])
+			rep.TierRehydrateBytes += int64(m["jiffy_tier_rehydrate_bytes_total"])
+			if got, want := m["jiffy_blocks_tiered"], float64(srv.Store().TieredBlocks()); got != want {
+				e.violations = append(e.violations, fmt.Sprintf(
+					"server %d: jiffy_blocks_tiered = %v, store scan says %v", i, got, want))
+			}
+		}
+		if rep.TierDemotions == 0 {
+			e.violations = append(e.violations,
+				"idle cohort configured but no block was ever demoted")
+		}
+		if rep.TierPromotions == 0 || rep.TierRehydrateBytes == 0 {
+			e.violations = append(e.violations,
+				"idle cohort re-access drove no rehydrations")
+		}
+	}
 }
 
 // Render formats the report as the human-readable soak artifact.
@@ -221,6 +259,11 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "acked writes: %d verified, %d lost\n", r.TotalAcked, r.LostWrites)
 	fmt.Fprintf(&b, "throttles: %d server-side, %d client-observed (typed ErrQuotaExceeded)\n",
 		r.ServerThrottled, r.ClientThrottled)
+	if r.IdleTenants > 0 {
+		fmt.Fprintf(&b, "tiering: %d demotions, %d promotions, %d bytes rehydrated; idle cohort %d tenants, %d re-access errors\n",
+			r.TierDemotions, r.TierPromotions, r.TierRehydrateBytes,
+			r.IdleTenants, r.IdleReaccessErrors)
+	}
 	if len(r.Violations) == 0 {
 		b.WriteString("PASS: all tier SLOs met, zero acked-write loss\n")
 	} else {

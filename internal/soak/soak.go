@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"jiffy"
+	"jiffy/internal/blockstore"
 	"jiffy/internal/client"
 	"jiffy/internal/clock"
 	"jiffy/internal/core"
@@ -93,6 +95,24 @@ type Config struct {
 	// tick, concurrent with the offered load (<= 0 disables).
 	DrainAtTick int
 
+	// IdleTenants provisions a scale-to-zero cohort: tenants whose
+	// dataset is written before the first tick and then never touched
+	// during the load loop. With TierIdleAfter set, their blocks must
+	// demote to the persist tier mid-run — the cohort's resident bytes
+	// reach exactly zero — and rehydrate transparently when the harness
+	// re-reads the cohort after the last tick, with zero client-visible
+	// errors (<= 0 disables the cohort).
+	IdleTenants int
+	// TierIdleAfter enables idle-driven demotion on the cluster when
+	// IdleTenants > 0. Demotion scans are driven by the harness once
+	// per tick (TierScanPeriod stays 0), so the schedule is
+	// deterministic under the virtual clock.
+	TierIdleAfter time.Duration
+	// IdleCheckAtTick is when the harness asserts the idle cohort's
+	// resident bytes have reached zero (<= 0 disables the mid-run
+	// check).
+	IdleCheckAtTick int
+
 	// Wall switches to the real clock: tick pacing and failure
 	// detection happen in wall time.
 	Wall bool
@@ -114,6 +134,9 @@ func DefaultShortConfig() Config {
 		Workers:         16,
 		KillAtTick:      45,
 		DrainAtTick:     80,
+		IdleTenants:     6,
+		TierIdleAfter:   2 * time.Second,
+		IdleCheckAtTick: 70,
 		Tiers: []TierSpec{
 			{
 				Name: "gold", Tenants: 6, BaseOpsPerTick: 24, ValueBytes: 64,
@@ -177,7 +200,10 @@ type engine struct {
 	inj     *faultinject.Injector
 	c       *jiffy.Client
 	tenants []*tenantRun
+	idle    []*tenantRun // scale-to-zero cohort; offers no tick load
 	logf    func(string, ...any)
+
+	idleReaccessErrs int
 
 	killedAddr  string
 	killedIdx   int
@@ -213,9 +239,13 @@ func Run(cfg Config, logf func(string, ...any)) (*Report, error) {
 	if err := e.provisionTenants(); err != nil {
 		return nil, err
 	}
+	if err := e.provisionIdleTenants(); err != nil {
+		return nil, err
+	}
 	e.runTicks()
 	e.finishDrain()
 	e.liftQuotas()
+	e.reaccessIdleCohort()
 	lost := e.verifyAcked()
 	rep := e.report(lost)
 	e.checkMetrics(rep)
@@ -242,6 +272,11 @@ func (e *engine) boot() error {
 	ccfg.HeartbeatInterval = time.Second
 	ccfg.SuspicionWindow = 5 * time.Second
 	ccfg.QoSConcurrency = cfg.QoSConcurrency
+	if cfg.IdleTenants > 0 && cfg.TierIdleAfter > 0 {
+		ccfg.TierIdleAfter = cfg.TierIdleAfter
+		ccfg.TierCooldown = cfg.TierIdleAfter / 2
+		ccfg.TierScanPeriod = 0 // scans are harness-driven, once per tick
+	}
 
 	opts := jiffy.ClusterOptions{
 		Config:          ccfg,
@@ -332,6 +367,120 @@ func (e *engine) provisionTenants() error {
 	return nil
 }
 
+// provisionIdleTenants writes the scale-to-zero cohort's dataset up
+// front. These tenants offer no load during the ticks, so their blocks
+// go cold and must demote once TierIdleAfter lapses.
+func (e *engine) provisionIdleTenants() error {
+	ctx := context.Background()
+	for k := 0; k < e.cfg.IdleTenants; k++ {
+		name := fmt.Sprintf("idle-%03d", k)
+		if err := e.c.RegisterJob(ctx, core.JobID(name)); err != nil {
+			return fmt.Errorf("soak: register %s: %w", name, err)
+		}
+		path := core.Path(name + "/kv")
+		if _, _, err := e.c.CreatePrefix(ctx, path, nil, core.DSKV, 1, 0); err != nil {
+			return fmt.Errorf("soak: create %s: %w", path, err)
+		}
+		kv, err := e.c.OpenKV(ctx, path)
+		if err != nil {
+			return fmt.Errorf("soak: open %s: %w", path, err)
+		}
+		tn := &tenantRun{name: name, kv: kv, acked: make(map[string]string)}
+		for i := 0; i < 48; i++ {
+			key := fmt.Sprintf("cold-%04d", i)
+			val := fmt.Sprintf("%s-%04d-", name, i) + strings.Repeat("z", 192)
+			if err := kv.Put(ctx, key, []byte(val)); err != nil {
+				return fmt.Errorf("soak: seed %s/%s: %w", name, key, err)
+			}
+			tn.acked[key] = val
+		}
+		e.idle = append(e.idle, tn)
+	}
+	if len(e.idle) > 0 {
+		e.logf("soak: provisioned %d idle (scale-to-zero) tenants", len(e.idle))
+	}
+	return nil
+}
+
+// tierTick drives one demotion scan on every live server, standing in
+// for the periodic tier worker (TierScanPeriod is 0 in soaks so the
+// demotion schedule is deterministic).
+func (e *engine) tierTick() {
+	if e.cfg.IdleTenants <= 0 || e.cfg.TierIdleAfter <= 0 {
+		return
+	}
+	for i, srv := range e.cluster.Servers {
+		if e.killedAddr != "" && i == e.killedIdx {
+			continue
+		}
+		if _, err := srv.TierTickNow(); err != nil {
+			e.violations = append(e.violations, fmt.Sprintf("tier scan on server %d: %v", i, err))
+		}
+	}
+}
+
+// checkIdleCohort asserts scale-to-zero mid-run: every idle-cohort
+// block on a live server is demoted to the persist tier, so the
+// cohort's resident bytes are exactly zero.
+func (e *engine) checkIdleCohort(tick int) {
+	blocks, tiered := 0, 0
+	resident := int64(0)
+	for i, srv := range e.cluster.Servers {
+		if e.killedAddr != "" && i == e.killedIdx {
+			continue
+		}
+		for _, b := range srv.Store().List() {
+			if !strings.HasPrefix(string(b.Path), "idle-") {
+				continue
+			}
+			blocks++
+			if b.TierState() == blockstore.TierTiered {
+				tiered++
+			} else {
+				resident += int64(b.Partition.Bytes())
+			}
+		}
+	}
+	switch {
+	case blocks == 0:
+		e.violations = append(e.violations, "idle cohort hosts no blocks on live servers")
+	case tiered != blocks || resident != 0:
+		e.violations = append(e.violations, fmt.Sprintf(
+			"idle cohort not at zero resident bytes at tick %d: %d bytes resident, %d/%d blocks tiered",
+			tick, resident, tiered, blocks))
+	default:
+		e.logf("soak: idle cohort at zero resident bytes (tick %d, %d blocks tiered)", tick, tiered)
+	}
+}
+
+// reaccessIdleCohort re-reads the scale-to-zero cohort after the last
+// tick: every key must come back correct with zero client-visible
+// errors — demotion is allowed to cost latency, never correctness.
+func (e *engine) reaccessIdleCohort() {
+	if len(e.idle) == 0 {
+		return
+	}
+	errs := 0
+	for _, tn := range e.idle {
+		for key, want := range tn.acked {
+			got, err := tn.kv.Get(context.Background(), key)
+			if err != nil || string(got) != want {
+				errs++
+				if errs <= 5 {
+					e.logf("soak: idle re-access %s/%s failed: %v", tn.name, key, err)
+				}
+			}
+		}
+	}
+	e.idleReaccessErrs = errs
+	if errs > 0 {
+		e.violations = append(e.violations, fmt.Sprintf(
+			"idle cohort re-access: %d client-visible errors", errs))
+	} else {
+		e.logf("soak: idle cohort re-accessed with zero errors")
+	}
+}
+
 // loadScale maps the tenant's alive intermediate data at a tick to an
 // offered-load multiplier in [0.5, 2.5] — the Fig. 1 burstiness shape,
 // tamed so entitlements stay assertable.
@@ -405,6 +554,10 @@ func (e *engine) runTicks() {
 			e.repair()
 		}
 		e.advance(e.cfg.TickDuration)
+		e.tierTick()
+		if e.cfg.IdleCheckAtTick > 0 && tick+1 == e.cfg.IdleCheckAtTick {
+			e.checkIdleCohort(tick + 1)
+		}
 		if (tick+1)%20 == 0 {
 			e.logf("soak: tick %d/%d", tick+1, e.cfg.Ticks)
 		}

@@ -1,0 +1,100 @@
+package tier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"jiffy/internal/core"
+)
+
+// Object is a demoted block as stored in the persist tier: enough
+// metadata to rebuild the partition on any server (the envelope) plus
+// the partition snapshot itself. The envelope is versioned and
+// checksummed so a half-written or corrupted persist entry is detected
+// at decode time instead of resurrecting garbage into a chain.
+type Object struct {
+	Block    core.BlockID
+	Gen      uint64 // tiering generation, fences stale objects
+	Type     core.DSType
+	Capacity int
+	NumSlots int
+	Chunk    int
+	Snapshot []byte
+}
+
+// Wire layout (all integers big-endian):
+//
+//	magic   [4]byte "JTO1"
+//	version u32     (currently 1)
+//	block   u64
+//	gen     u64
+//	dsType  u8
+//	cap     u32
+//	slots   u32
+//	chunk   u32
+//	len     u32     snapshot length
+//	snap    [len]byte
+//	crc     u32     IEEE CRC-32 of everything above
+const (
+	objMagic   = "JTO1"
+	objVersion = 1
+	objHeader  = 4 + 4 + 8 + 8 + 1 + 4 + 4 + 4 + 4
+	objTrailer = 4
+)
+
+// ErrBadObject reports a tier object that failed structural or
+// checksum validation.
+var ErrBadObject = errors.New("tier: bad tier object")
+
+// Encode serialises the object into a fresh buffer.
+func Encode(o Object) []byte {
+	buf := make([]byte, objHeader+len(o.Snapshot)+objTrailer)
+	copy(buf[0:4], objMagic)
+	binary.BigEndian.PutUint32(buf[4:8], objVersion)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(o.Block))
+	binary.BigEndian.PutUint64(buf[16:24], o.Gen)
+	buf[24] = byte(o.Type)
+	binary.BigEndian.PutUint32(buf[25:29], uint32(o.Capacity))
+	binary.BigEndian.PutUint32(buf[29:33], uint32(o.NumSlots))
+	binary.BigEndian.PutUint32(buf[33:37], uint32(o.Chunk))
+	binary.BigEndian.PutUint32(buf[37:41], uint32(len(o.Snapshot)))
+	copy(buf[objHeader:], o.Snapshot)
+	crc := crc32.ChecksumIEEE(buf[:objHeader+len(o.Snapshot)])
+	binary.BigEndian.PutUint32(buf[objHeader+len(o.Snapshot):], crc)
+	return buf
+}
+
+// Decode parses and validates a tier object. The returned snapshot
+// aliases data; callers that outlive data must copy it.
+func Decode(data []byte) (Object, error) {
+	var o Object
+	if len(data) < objHeader+objTrailer {
+		return o, fmt.Errorf("%w: %d bytes, need at least %d", ErrBadObject, len(data), objHeader+objTrailer)
+	}
+	if string(data[0:4]) != objMagic {
+		return o, fmt.Errorf("%w: bad magic %q", ErrBadObject, data[0:4])
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != objVersion {
+		return o, fmt.Errorf("%w: unsupported version %d", ErrBadObject, v)
+	}
+	snapLen := binary.BigEndian.Uint32(data[37:41])
+	if uint64(len(data)) != uint64(objHeader)+uint64(snapLen)+objTrailer {
+		return o, fmt.Errorf("%w: length %d does not match snapshot length %d",
+			ErrBadObject, len(data), snapLen)
+	}
+	body := data[:objHeader+int(snapLen)]
+	want := binary.BigEndian.Uint32(data[len(body):])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return o, fmt.Errorf("%w: checksum mismatch (got %#x want %#x)", ErrBadObject, got, want)
+	}
+	o.Block = core.BlockID(binary.BigEndian.Uint64(data[8:16]))
+	o.Gen = binary.BigEndian.Uint64(data[16:24])
+	o.Type = core.DSType(data[24])
+	o.Capacity = int(binary.BigEndian.Uint32(data[25:29]))
+	o.NumSlots = int(binary.BigEndian.Uint32(data[29:33]))
+	o.Chunk = int(binary.BigEndian.Uint32(data[33:37]))
+	o.Snapshot = data[objHeader : objHeader+int(snapLen)]
+	return o, nil
+}

@@ -1,0 +1,35 @@
+package tier
+
+import (
+	"bytes"
+	"testing"
+
+	"jiffy/internal/core"
+)
+
+// FuzzTierObjectDecode feeds arbitrary bytes to the tier-object
+// decoder. Decode must never panic, and any input it accepts must
+// round-trip exactly through Encode/Decode — the persist tier is the
+// last line of defence for demoted data, so the codec has to be
+// total on garbage and faithful on valid objects.
+func FuzzTierObjectDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("JTO1"))
+	f.Add(Encode(Object{Block: 1, Gen: 1, Type: core.DSKV, Capacity: 64, NumSlots: 4, Chunk: 0, Snapshot: []byte("seed")}))
+	f.Add(Encode(Object{Block: 1 << 40, Gen: ^uint64(0), Type: core.DSQueue, Capacity: 1 << 20, Snapshot: nil}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Decode(Encode(o))
+		if err != nil {
+			t.Fatalf("re-decode of accepted object failed: %v", err)
+		}
+		if re.Block != o.Block || re.Gen != o.Gen || re.Type != o.Type ||
+			re.Capacity != o.Capacity || re.NumSlots != o.NumSlots ||
+			re.Chunk != o.Chunk || !bytes.Equal(re.Snapshot, o.Snapshot) {
+			t.Fatalf("round trip mismatch: %+v != %+v", re, o)
+		}
+	})
+}

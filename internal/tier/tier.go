@@ -1,0 +1,111 @@
+// Package tier implements the cold-block tiering policy: which
+// resident blocks a memory server should demote to the persist tier,
+// given per-block heat (last access and last promotion times) and a
+// configurable memory watermark.
+//
+// The policy is a pure function (Plan) over an immutable snapshot of
+// candidates, so it is trivially testable; the server owns the
+// mechanics of demotion/rehydration and calls Plan from its scan
+// worker. Two invariants define the policy (and are pinned by the
+// property tests in this package):
+//
+//  1. No thrash: a block is never planned for demotion within Cooldown
+//     of its promotion (creation or last rehydration), regardless of
+//     memory pressure. Hysteresis wins over the watermark.
+//  2. Bounded overshoot: after demoting the planned set, resident
+//     bytes are at most the watermark — unless every surviving block
+//     is inside its cooldown window (or pinned), in which case the
+//     overshoot is whatever the cooldown protects. Because blocks are
+//     bounded by the configured block size, the steady-state overshoot
+//     is at most one max-block-size.
+package tier
+
+import (
+	"sort"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+// Policy is the demotion policy for one memory server.
+type Policy struct {
+	// WatermarkBytes is the resident-byte budget; above it the coldest
+	// eligible blocks are demoted until the server is back under.
+	// Zero disables pressure-driven demotion.
+	WatermarkBytes int64
+	// Cooldown is the anti-thrash window: blocks promoted (created or
+	// rehydrated) less than Cooldown ago are never demoted.
+	Cooldown time.Duration
+	// IdleAfter demotes blocks untouched for this long even without
+	// pressure (the scale-to-zero path). Zero disables idle demotion.
+	IdleAfter time.Duration
+}
+
+// Candidate is one resident block as seen by the policy.
+type Candidate struct {
+	ID         core.BlockID
+	Bytes      int64
+	LastAccess time.Time
+	PromotedAt time.Time
+	// Pinned blocks (sealed, mid-repair, mid-repartition) are never
+	// demoted.
+	Pinned bool
+}
+
+// eligible reports whether the block may be demoted at all.
+func (p Policy) eligible(now time.Time, c Candidate) bool {
+	return !c.Pinned && now.Sub(c.PromotedAt) >= p.Cooldown
+}
+
+// Plan returns the IDs of blocks to demote, coldest first. The input
+// slice is not modified. The plan is deterministic: ties on last
+// access break by block ID.
+func (p Policy) Plan(now time.Time, resident []Candidate) []core.BlockID {
+	var residentBytes int64
+	for _, c := range resident {
+		residentBytes += c.Bytes
+	}
+
+	// Idle demotion: scale-to-zero for blocks nobody touches, applied
+	// regardless of pressure.
+	demote := make(map[core.BlockID]bool)
+	var plan []core.BlockID
+	if p.IdleAfter > 0 {
+		for _, c := range resident {
+			if p.eligible(now, c) && now.Sub(c.LastAccess) >= p.IdleAfter {
+				demote[c.ID] = true
+				plan = append(plan, c.ID)
+				residentBytes -= c.Bytes
+			}
+		}
+	}
+
+	// Pressure demotion: coldest eligible blocks until under watermark.
+	if p.WatermarkBytes > 0 && residentBytes > p.WatermarkBytes {
+		victims := make([]Candidate, 0, len(resident))
+		for _, c := range resident {
+			if !demote[c.ID] && p.eligible(now, c) {
+				victims = append(victims, c)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if !victims[i].LastAccess.Equal(victims[j].LastAccess) {
+				return victims[i].LastAccess.Before(victims[j].LastAccess)
+			}
+			return victims[i].ID < victims[j].ID
+		})
+		for _, c := range victims {
+			if residentBytes <= p.WatermarkBytes {
+				break
+			}
+			plan = append(plan, c.ID)
+			residentBytes -= c.Bytes
+		}
+	}
+
+	// Deterministic output order: idle victims were appended in input
+	// order, pressure victims coldest-first; sort the union coldest
+	// first by ID for a stable plan.
+	sort.Slice(plan, func(i, j int) bool { return plan[i] < plan[j] })
+	return plan
+}

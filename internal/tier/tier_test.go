@@ -1,0 +1,255 @@
+package tier
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jiffy/internal/core"
+)
+
+func idsOf(plan []core.BlockID) map[core.BlockID]bool {
+	m := make(map[core.BlockID]bool, len(plan))
+	for _, id := range plan {
+		m[id] = true
+	}
+	return m
+}
+
+func TestPlanPressureDemotesColdestFirst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := Policy{WatermarkBytes: 100, Cooldown: 10 * time.Second}
+	resident := []Candidate{
+		{ID: 1, Bytes: 60, LastAccess: now.Add(-3 * time.Minute), PromotedAt: now.Add(-time.Hour)},
+		{ID: 2, Bytes: 60, LastAccess: now.Add(-1 * time.Minute), PromotedAt: now.Add(-time.Hour)},
+		{ID: 3, Bytes: 60, LastAccess: now.Add(-2 * time.Minute), PromotedAt: now.Add(-time.Hour)},
+	}
+	plan := p.Plan(now, resident)
+	// 180 resident, watermark 100: two demotions needed; coldest are 1 and 3.
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v, want 2 victims", plan)
+	}
+	got := idsOf(plan)
+	if !got[1] || !got[3] {
+		t.Fatalf("plan = %v, want blocks 1 and 3 (coldest)", plan)
+	}
+}
+
+func TestPlanRespectsCooldownUnderPressure(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := Policy{WatermarkBytes: 10, Cooldown: 10 * time.Second}
+	resident := []Candidate{
+		// Way over watermark, but both blocks were just promoted.
+		{ID: 1, Bytes: 500, LastAccess: now, PromotedAt: now.Add(-time.Second)},
+		{ID: 2, Bytes: 500, LastAccess: now, PromotedAt: now.Add(-9 * time.Second)},
+	}
+	if plan := p.Plan(now, resident); len(plan) != 0 {
+		t.Fatalf("plan = %v, want none: cooldown beats pressure", plan)
+	}
+}
+
+func TestPlanSkipsPinned(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := Policy{WatermarkBytes: 10, Cooldown: 0, IdleAfter: time.Second}
+	resident := []Candidate{
+		{ID: 1, Bytes: 500, LastAccess: now.Add(-time.Hour), PromotedAt: now.Add(-time.Hour), Pinned: true},
+	}
+	if plan := p.Plan(now, resident); len(plan) != 0 {
+		t.Fatalf("plan = %v, want none: pinned blocks stay", plan)
+	}
+}
+
+func TestPlanIdleDemotionWithoutPressure(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := Policy{WatermarkBytes: 1 << 30, Cooldown: time.Second, IdleAfter: time.Minute}
+	resident := []Candidate{
+		{ID: 1, Bytes: 10, LastAccess: now.Add(-2 * time.Minute), PromotedAt: now.Add(-time.Hour)},
+		{ID: 2, Bytes: 10, LastAccess: now.Add(-time.Second), PromotedAt: now.Add(-time.Hour)},
+	}
+	plan := p.Plan(now, resident)
+	if len(plan) != 1 || plan[0] != 1 {
+		t.Fatalf("plan = %v, want exactly the idle block 1", plan)
+	}
+}
+
+func TestPlanDisabledPolicyPlansNothing(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var p Policy // zero watermark, zero idle window
+	resident := []Candidate{
+		{ID: 1, Bytes: 1 << 40, LastAccess: now.Add(-time.Hour), PromotedAt: now.Add(-time.Hour)},
+	}
+	if plan := p.Plan(now, resident); len(plan) != 0 {
+		t.Fatalf("plan = %v, want none from a disabled policy", plan)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := Policy{WatermarkBytes: 50, Cooldown: time.Second, IdleAfter: time.Minute}
+	resident := []Candidate{
+		{ID: 3, Bytes: 30, LastAccess: now.Add(-time.Minute), PromotedAt: now.Add(-time.Hour)},
+		{ID: 1, Bytes: 30, LastAccess: now.Add(-time.Minute), PromotedAt: now.Add(-time.Hour)},
+		{ID: 2, Bytes: 30, LastAccess: now.Add(-30 * time.Second), PromotedAt: now.Add(-time.Hour)},
+	}
+	first := p.Plan(now, resident)
+	for i := 0; i < 10; i++ {
+		// Shuffle the input; the plan must not change.
+		rand.New(rand.NewSource(int64(i))).Shuffle(len(resident), func(a, b int) {
+			resident[a], resident[b] = resident[b], resident[a]
+		})
+		got := p.Plan(now, resident)
+		if len(got) != len(first) {
+			t.Fatalf("plan %v differs from first plan %v", got, first)
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("plan %v differs from first plan %v", got, first)
+			}
+		}
+	}
+}
+
+// simBlock is one block in the property-test simulation.
+type simBlock struct {
+	id         core.BlockID
+	bytes      int64
+	lastAccess time.Time
+	promotedAt time.Time
+	resident   bool
+	demotedAt  time.Time // last demotion, for the no-thrash check
+}
+
+// TestPropertyNoThrashAndBoundedOvershoot drives random access
+// sequences through the policy and checks the two tiering invariants
+// after every scan:
+//
+//  1. No thrash: every planned demotion is at least Cooldown past the
+//     block's promotion (unconditionally).
+//  2. Bounded overshoot: resident bytes are <= watermark + one
+//     max-block-size, unless every resident block is still inside its
+//     cooldown window (the only state in which the policy is allowed
+//     to leave the server over the watermark).
+func TestPropertyNoThrashAndBoundedOvershoot(t *testing.T) {
+	const (
+		maxBlockSize = 64 << 10
+		numBlocks    = 24
+		steps        = 400
+	)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := Policy{
+			WatermarkBytes: int64(numBlocks/4) * maxBlockSize,
+			Cooldown:       time.Duration(1+rng.Intn(20)) * time.Second,
+			IdleAfter:      time.Duration(rng.Intn(120)) * time.Second, // 0 disables
+		}
+		now := time.Unix(0, 0)
+		blocks := make([]*simBlock, numBlocks)
+		for i := range blocks {
+			blocks[i] = &simBlock{
+				id:         core.BlockID(i + 1),
+				bytes:      int64(1 + rng.Intn(maxBlockSize)),
+				lastAccess: now,
+				promotedAt: now,
+				resident:   true,
+			}
+		}
+
+		for step := 0; step < steps; step++ {
+			now = now.Add(time.Duration(1+rng.Intn(5000)) * time.Millisecond)
+
+			// Random accesses; touching a tiered block rehydrates it
+			// (promotion), which restarts its cooldown clock.
+			for i := 0; i < rng.Intn(6); i++ {
+				b := blocks[rng.Intn(numBlocks)]
+				b.lastAccess = now
+				if !b.resident {
+					b.resident = true
+					b.promotedAt = now
+				}
+			}
+
+			var cands []Candidate
+			for _, b := range blocks {
+				if b.resident {
+					cands = append(cands, Candidate{
+						ID: b.id, Bytes: b.bytes,
+						LastAccess: b.lastAccess, PromotedAt: b.promotedAt,
+					})
+				}
+			}
+			plan := p.Plan(now, cands)
+
+			byID := make(map[core.BlockID]*simBlock, numBlocks)
+			for _, b := range blocks {
+				byID[b.id] = b
+			}
+			for _, id := range plan {
+				b := byID[id]
+				if !b.resident {
+					t.Fatalf("seed %d step %d: plan demotes non-resident block %v", seed, step, id)
+				}
+				// Invariant 1: no thrash, unconditionally.
+				if age := now.Sub(b.promotedAt); age < p.Cooldown {
+					t.Fatalf("seed %d step %d: block %v demoted %v after promotion, cooldown %v",
+						seed, step, id, age, p.Cooldown)
+				}
+				b.resident = false
+				b.demotedAt = now
+			}
+
+			// Invariant 2: bounded overshoot after the scan.
+			var residentBytes int64
+			allCoolingDown := true
+			for _, b := range blocks {
+				if b.resident {
+					residentBytes += b.bytes
+					if now.Sub(b.promotedAt) >= p.Cooldown {
+						allCoolingDown = false
+					}
+				}
+			}
+			if residentBytes > p.WatermarkBytes+maxBlockSize && !allCoolingDown {
+				t.Fatalf("seed %d step %d: resident %d > watermark %d + max block %d with demotable blocks left",
+					seed, step, residentBytes, p.WatermarkBytes, maxBlockSize)
+			}
+		}
+	}
+}
+
+func TestObjectCodecRoundTrip(t *testing.T) {
+	in := Object{
+		Block:    42,
+		Gen:      7,
+		Type:     core.DSKV,
+		Capacity: 64 << 10,
+		NumSlots: 64,
+		Chunk:    3,
+		Snapshot: []byte("partition snapshot bytes"),
+	}
+	out, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Block != in.Block || out.Gen != in.Gen || out.Type != in.Type ||
+		out.Capacity != in.Capacity || out.NumSlots != in.NumSlots ||
+		out.Chunk != in.Chunk || string(out.Snapshot) != string(in.Snapshot) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestObjectCodecRejectsCorruption(t *testing.T) {
+	enc := Encode(Object{Block: 1, Gen: 1, Type: core.DSFile, Capacity: 10, Snapshot: []byte("abc")})
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": enc[:len(enc)-5],
+		"magic":     append([]byte("XXXX"), enc[4:]...),
+	}
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)-6] ^= 0xff // corrupt snapshot, keep length
+	cases["bitflip"] = flipped
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package jiffy
 // no flaky timers, race-clean under -race.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"jiffy/internal/clock"
 	"jiffy/internal/core"
 	"jiffy/internal/faultinject"
+	"jiffy/internal/obs"
 )
 
 // recoveryConfig is the shared shape of the repair scenarios: 3-member
@@ -473,4 +475,205 @@ func TestChaosDrainUnreplicatedUnderLoad(t *testing.T) {
 	}
 	t.Logf("sole-replica drain of %s: %d entries migrated, %d writes acked mid-drain",
 		victim, migrated, len(during))
+}
+
+// scrapeObs renders an obs registry and parses it back into a metric
+// map, the same round trip an external scraper would perform.
+func scrapeObs(r *obs.Registry) map[string]float64 {
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	return obs.ParsePrometheus(buf.Bytes())
+}
+
+// TestChaosTieringOverflowAndRecovery drives the cold-block tiering
+// subsystem through its full lifecycle under a live write stream:
+//
+//  1. Overflow: a client fills servers well past the per-server memory
+//     watermark. Every write is acknowledged — the overflow is absorbed
+//     by demoting cold blocks to the persist tier, never by rejecting
+//     writes — and once cooldowns lapse each server's resident bytes
+//     drop back under the watermark.
+//  2. Scale-to-zero: the workload goes idle; after the idle window
+//     every block demotes and resident bytes hit exactly zero on every
+//     server, with the tier metrics agreeing with a direct store scan.
+//  3. Transparent rehydration: reads against demoted prefixes return
+//     every value correctly — clients see latency, never an error.
+//  4. Crash recovery: with all blocks re-demoted, one server is killed.
+//     One deterministic detection round repairs its chains from the
+//     persist-tier objects, and the full dataset — including every
+//     block that lived on the dead server — reads back intact.
+//
+// Paced entirely on a virtual clock with TierScanPeriod=0: the test
+// owns every demotion scan via TierTickNow, so it is deterministic and
+// race-clean under -race.
+func TestChaosTieringOverflowAndRecovery(t *testing.T) {
+	inj := faultinject.New(303, nil)
+	vclock := clock.NewVirtual(time.Unix(0, 0))
+	cfg := recoveryConfig()
+	cfg.ChainLength = 1
+	cfg.MemoryWatermarkBytes = 96 * 1024 // 1.5 blocks' worth per server
+	cfg.TierCooldown = 2 * time.Second
+	cfg.TierIdleAfter = 4 * time.Second
+	cfg.TierScanPeriod = 0 // scans are driven manually via TierTickNow
+	cluster := chaosCluster(t, inj, cfg, ClusterOptions{
+		Servers: 3, BlocksPerServer: 16, Clock: vclock, DisableExpiry: true,
+	})
+	c, err := cluster.Connect(context.Background(),
+		client.WithRetryPolicy(client.RetryPolicy{Limit: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RegisterJob(context.Background(), "tiering")
+
+	tickAll := func(skip int) {
+		t.Helper()
+		for i, srv := range cluster.Servers {
+			if i == skip {
+				continue
+			}
+			if _, err := srv.TierTickNow(); err != nil {
+				t.Fatalf("tier scan on server %d: %v", i, err)
+			}
+		}
+	}
+
+	// Phase 1 — overflow under a live write stream. 16 single-chunk
+	// prefixes at ~33KB each is ~176KB/server against a 96KB watermark;
+	// every put must be acknowledged.
+	const prefixes, keysPer = 16, 32
+	val := make([]byte, 1024)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	kvs := make([]*client.KV, prefixes)
+	for p := 0; p < prefixes; p++ {
+		path := core.Path(fmt.Sprintf("tiering/p%02d", p))
+		if _, _, err := c.CreatePrefix(context.Background(), path, nil, DSKV, 1, 0); err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		kv, err := c.OpenKV(context.Background(), path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		kvs[p] = kv
+		for k := 0; k < keysPer; k++ {
+			if err := kv.Put(context.Background(), fmt.Sprintf("k%03d", k), val); err != nil {
+				t.Fatalf("overflow write rejected (prefix %d key %d): %v", p, k, err)
+			}
+		}
+		// Interleave demotion scans with the fill, as the worker would.
+		vclock.Advance(300 * time.Millisecond)
+		tickAll(-1)
+	}
+
+	// Once cooldowns lapse, pressure demotion pulls every server back
+	// under its watermark.
+	vclock.Advance(cfg.TierCooldown + time.Second)
+	tickAll(-1)
+	tiered := 0
+	for i, srv := range cluster.Servers {
+		if rb := srv.Store().ResidentBytes(); rb > cfg.MemoryWatermarkBytes {
+			t.Fatalf("server %d resident bytes %d exceed watermark %d after scan",
+				i, rb, cfg.MemoryWatermarkBytes)
+		}
+		tiered += srv.Store().TieredBlocks()
+	}
+	if tiered == 0 {
+		t.Fatal("overflow absorbed no demotions despite exceeding every watermark")
+	}
+
+	// A hot subset keeps writing while scans run: hot blocks rehydrate
+	// transparently on write and cold blocks absorb the pressure.
+	for round := 0; round < 6; round++ {
+		vclock.Advance(500 * time.Millisecond)
+		tickAll(-1)
+		for p := 0; p < 4; p++ {
+			key := fmt.Sprintf("hot%d", round)
+			if err := kvs[p].Put(context.Background(), key, val); err != nil {
+				t.Fatalf("hot write rejected (prefix %d round %d): %v", p, round, err)
+			}
+		}
+	}
+
+	// Phase 2 — scale-to-zero: the workload goes idle, and after the
+	// idle window every block demotes on every server.
+	vclock.Advance(cfg.TierIdleAfter + cfg.TierCooldown + time.Second)
+	tickAll(-1)
+	totalTiered := 0
+	for i, srv := range cluster.Servers {
+		if rb := srv.Store().ResidentBytes(); rb != 0 {
+			t.Fatalf("server %d resident bytes = %d after idle window, want 0", i, rb)
+		}
+		n := srv.Store().TieredBlocks()
+		totalTiered += n
+		m := scrapeObs(srv.Obs())
+		if got := m["jiffy_blocks_tiered"]; got != float64(n) {
+			t.Errorf("server %d jiffy_blocks_tiered = %v, store scan says %d", i, got, n)
+		}
+		if got := m["jiffy_store_resident_bytes"]; got != 0 {
+			t.Errorf("server %d jiffy_store_resident_bytes = %v, want 0", i, got)
+		}
+		if m["jiffy_tier_demotions_total"] == 0 {
+			t.Errorf("server %d reports zero demotions despite tiered blocks", i)
+		}
+	}
+	if cm := scrapeObs(cluster.Controller.Obs()); cm["jiffy_ctrl_blocks_tiered"] != float64(totalTiered) {
+		t.Errorf("controller tracks %v tiered blocks, servers hold %d",
+			cm["jiffy_ctrl_blocks_tiered"], totalTiered)
+	}
+
+	// Phase 3 — transparent rehydration: reads against fully demoted
+	// prefixes return every value, no client-visible errors.
+	for _, p := range []int{4, 5} {
+		for k := 0; k < keysPer; k++ {
+			v, err := kvs[p].Get(context.Background(), fmt.Sprintf("k%03d", k))
+			if err != nil || !bytes.Equal(v, val) {
+				t.Fatalf("rehydrating read failed (prefix %d key %d): %d bytes, %v",
+					p, k, len(v), err)
+			}
+		}
+	}
+
+	// Re-demote everything, then kill the server hosting one of the
+	// tiered prefixes.
+	vclock.Advance(cfg.TierIdleAfter + cfg.TierCooldown + time.Second)
+	tickAll(-1)
+	open, err := cluster.Controller.Open(core.Path("tiering/p06"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := open.Map.Blocks[0].Info.Server
+	deadIdx := killServer(t, cluster, inj, victim)
+	detectAndRepair(t, cluster, vclock, cfg, deadIdx, victim)
+
+	// Phase 4 — every key of every prefix reads back: blocks on
+	// survivors rehydrate in place, blocks on the dead server were
+	// recovered from their persist-tier objects.
+	for p := 0; p < prefixes; p++ {
+		assertChainHealthy(t, cluster, core.Path(fmt.Sprintf("tiering/p%02d", p)), 1, victim)
+		for k := 0; k < keysPer; k++ {
+			v, err := kvs[p].Get(context.Background(), fmt.Sprintf("k%03d", k))
+			if err != nil || !bytes.Equal(v, val) {
+				t.Fatalf("acked write lost across tiered recovery (prefix %d key %d): %d bytes, %v",
+					p, k, len(v), err)
+			}
+		}
+		for r := 0; r < 6 && p < 4; r++ {
+			v, err := kvs[p].Get(context.Background(), fmt.Sprintf("hot%d", r))
+			if err != nil || !bytes.Equal(v, val) {
+				t.Fatalf("hot write lost across tiered recovery (prefix %d round %d): %v", p, r, err)
+			}
+		}
+	}
+	cm := scrapeObs(cluster.Controller.Obs())
+	if cm["jiffy_ctrl_tier_recoveries_total"] == 0 {
+		t.Error("repair recovered no blocks from the persist tier")
+	}
+	if cm["jiffy_ctrl_blocks_tiered"] != 0 {
+		t.Errorf("controller still tracks %v tiered blocks after full read-back",
+			cm["jiffy_ctrl_blocks_tiered"])
+	}
+	t.Logf("tiered=%d at idle, ctrl recoveries=%v", totalTiered,
+		cm["jiffy_ctrl_tier_recoveries_total"])
 }

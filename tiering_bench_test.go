@@ -1,0 +1,112 @@
+package jiffy
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"jiffy/internal/client"
+	"jiffy/internal/core"
+	"jiffy/internal/server"
+)
+
+// Tiering latency benchmarks (EXPERIMENTS.md): the cost of demoting a
+// block to the persist tier and of the first access that rehydrates
+// it, as a function of the block's payload size. TierIdleAfter is one
+// nanosecond and the cooldown zero, so every TierTickNow demotes every
+// resident block — each iteration alternates one demotion with one
+// rehydrating read. The default in-memory persist store is used, so
+// the numbers isolate the snapshot/encode/restore path; an object
+// store adds its own round trip on top.
+
+func benchTierSetup(b *testing.B, payload int) (*client.KV, *server.Server) {
+	b.Helper()
+	cfg := core.TestConfig()
+	cfg.TierIdleAfter = time.Nanosecond
+	cfg.TierCooldown = 0
+	cfg.TierScanPeriod = 0
+	cluster, err := StartCluster(ClusterOptions{Config: cfg, Servers: 1, BlocksPerServer: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	c, err := cluster.Connect(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	ctx := context.Background()
+	if err := c.RegisterJob(ctx, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.CreatePrefix(ctx, "bench/t", nil, DSKV, 1, 0); err != nil {
+		b.Fatal(err)
+	}
+	kv, err := c.OpenKV(ctx, "bench/t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 4096)
+	for i := 0; i < payload/len(val); i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%03d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return kv, cluster.Servers[0]
+}
+
+func BenchmarkTierDemote(b *testing.B) {
+	for _, payload := range []int{4 << 10, 16 << 10, 48 << 10} {
+		b.Run(fmt.Sprintf("payload=%dKB", payload>>10), func(b *testing.B) {
+			kv, srv := benchTierSetup(b, payload)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n, err := srv.TierTickNow(); err != nil || n == 0 {
+					b.Fatalf("tick %d demoted %d blocks: %v", i, n, err)
+				}
+				b.StopTimer()
+				if _, err := kv.Get(ctx, "k000"); err != nil { // rehydrate off the clock
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.SetBytes(int64(payload))
+		})
+	}
+}
+
+func BenchmarkTierRehydrateGet(b *testing.B) {
+	for _, payload := range []int{4 << 10, 16 << 10, 48 << 10} {
+		b.Run(fmt.Sprintf("payload=%dKB", payload>>10), func(b *testing.B) {
+			kv, srv := benchTierSetup(b, payload)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if n, err := srv.TierTickNow(); err != nil || n == 0 { // demote off the clock
+					b.Fatalf("tick %d demoted %d blocks: %v", i, n, err)
+				}
+				b.StartTimer()
+				if _, err := kv.Get(ctx, "k000"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(payload))
+		})
+	}
+}
+
+// BenchmarkTierWarmGet is the baseline the rehydrating read is
+// compared against: the same Get with the block resident.
+func BenchmarkTierWarmGet(b *testing.B) {
+	kv, _ := benchTierSetup(b, 48<<10)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kv.Get(ctx, "k000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
