@@ -21,9 +21,9 @@ type ClusterOptions struct {
 	// (64KB blocks, fast leases) — suitable for laptops and tests. Use
 	// DefaultConfig for the paper's production values.
 	Config Config
-	// Controllers is the number of controller servers; jobs
-	// hash-partition across them and each owns a disjoint slice of the
-	// memory servers (§4.2.1 multi-controller scaling). Default 1.
+	// Controllers is the number of controller group members. The first
+	// leads; the rest apply its op-log stream and stand by to promote
+	// on failover (§4.2 control-plane fault tolerance). Default 1.
 	Controllers int
 	// Servers is the number of memory servers (default 1).
 	Servers int
@@ -58,8 +58,8 @@ type ClusterOptions struct {
 // experiments; production deployments run the same components via
 // cmd/jiffy-controller and cmd/jiffy-server instead.
 type Cluster struct {
-	// Controllers holds the controller group; Controller aliases the
-	// first for the common single-controller case.
+	// Controllers holds the controller group; Controller and
+	// ControllerAddr alias the first member, which starts as leader.
 	Controllers     []*controller.Controller
 	Controller      *controller.Controller
 	ControllerAddrs []string
@@ -76,9 +76,9 @@ type Cluster struct {
 var clusterSeq atomic.Int64
 
 // StartCluster boots the controller group and memory servers and wires
-// them together: memory servers register round-robin with controllers,
-// so each controller owns a disjoint slice of the block pool, exactly
-// as §4.2.1's hash-partitioned controller scaling prescribes.
+// them together: the first controller leads, the rest join as op-log
+// standbys, and every memory server knows the whole group so it can
+// re-home its heartbeats and signals after a failover.
 func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.Config == (Config{}) {
 		opts.Config = core.TestConfig()
@@ -91,10 +91,6 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	if opts.Servers <= 0 {
 		opts.Servers = 1
-	}
-	if opts.Servers < opts.Controllers {
-		return nil, fmt.Errorf("jiffy: %d controllers need at least as many memory servers, got %d",
-			opts.Controllers, opts.Servers)
 	}
 	if opts.BlocksPerServer <= 0 {
 		opts.BlocksPerServer = 64
@@ -135,17 +131,23 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	c.Controller = c.Controllers[0]
 	c.ControllerAddr = c.ControllerAddrs[0]
 
+	// Join the replicated group: standbys first (so the leader's first
+	// pulse finds them listening and bootstraps them), leader last.
+	if len(c.Controllers) > 1 {
+		for i := 1; i < len(c.Controllers); i++ {
+			c.Controllers[i].ConfigureGroup(c.ControllerAddrs, i, 0)
+		}
+		c.Controllers[0].ConfigureGroup(c.ControllerAddrs, 0, 0)
+	}
+
 	for i := 0; i < opts.Servers; i++ {
-		// Round-robin server→controller assignment: each controller
-		// manages a non-overlapping subset of blocks.
-		ctrlAddr := c.ControllerAddrs[i%len(c.ControllerAddrs)]
 		srv, err := server.New(server.Options{
-			Config:         opts.Config,
-			ControllerAddr: ctrlAddr,
-			Persist:        opts.Persist,
-			Logger:         opts.Logger,
-			Dial:           opts.Dial,
-			Clock:          opts.Clock,
+			Config:          opts.Config,
+			ControllerAddrs: c.ControllerAddrs,
+			Persist:         opts.Persist,
+			Logger:          opts.Logger,
+			Dial:            opts.Dial,
+			Clock:           opts.Clock,
 		})
 		if err != nil {
 			c.Close()
@@ -182,10 +184,11 @@ func (c *Cluster) Connect(ctx context.Context, opts ...client.Option) (*Client, 
 		timeout = -1 // cluster configured unbounded calls; honor that
 	}
 	base := []client.Option{
+		client.WithControllers(c.ControllerAddrs...),
 		client.WithDial(c.dial),
 		client.WithRPCTimeout(timeout),
 	}
-	return client.ConnectMulti(ctx, c.ControllerAddrs, append(base, opts...)...)
+	return client.Dial(ctx, append(base, opts...)...)
 }
 
 // Close tears the cluster down: servers first, then the controllers.

@@ -43,7 +43,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c, err := jiffy.ConnectMulti(context.Background(), strings.Split(*controller, ","))
+	c, err := jiffy.Dial(context.Background(),
+		jiffy.WithControllers(strings.Split(*controller, ",")...))
 	if err != nil {
 		fatal("connect: %v", err)
 	}
@@ -198,6 +199,22 @@ func run(c *jiffy.Client, args []string) error {
 		}
 		fmt.Printf("drained %s: migrated %d partition entries\n", rest[0], n)
 		return nil
+	case "role":
+		need(rest, 0)
+		role, err := c.ControllerRole(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("leader: %s\ngeneration: %d\n", role.Leader, role.Gen)
+		return nil
+	case "promote":
+		need(rest, 1)
+		gen, err := c.PromoteController(context.Background(), rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("promoted %s at generation %d\n", rest[0], gen)
+		return nil
 	case "stats":
 		return stats(c, rest)
 	default:
@@ -285,7 +302,8 @@ commands:
   append <path> <data>          read <path> <off> <len>
   renew <path>                  flush <path> <dest>     load <path> <src>
   ls <job>                      stats [--watch] [--admin addr]
-  save-state <key>              drain <server-addr>`)
+  save-state <key>              drain <server-addr>
+  role                          promote <controller-addr>`)
 }
 
 func fatal(format string, args ...interface{}) {

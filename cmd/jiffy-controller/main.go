@@ -5,8 +5,15 @@
 //	jiffy-controller -listen :9090 -block-size 134217728 -lease 1s \
 //	    -shards 8 -persist-dir /var/lib/jiffy
 //
-// Memory servers register by pointing jiffy-server at this address;
-// clients connect with jiffy.Connect("host:9090").
+// Replicated deployments run one process per group member, each given
+// the full member list and its own index; the first member leads and
+// the rest stand by on its op-log stream:
+//
+//	jiffy-controller -listen :9090 -peers ctrl0:9090,ctrl1:9090,ctrl2:9090 -self 0
+//	jiffy-controller -listen :9090 -peers ctrl0:9090,ctrl1:9090,ctrl2:9090 -self 1
+//
+// Memory servers register by pointing jiffy-server at the group;
+// clients connect with jiffy.Dial(ctx, jiffy.WithControllers(...)).
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +46,8 @@ func main() {
 		persistDir = flag.String("persist-dir", "", "directory for the persistent tier (default: in-memory)")
 		restore    = flag.String("restore", "", "restore controller metadata from this checkpoint key at startup")
 		admin      = flag.String("admin", "", "serve /metrics, /healthz, /spans and pprof on this address (e.g. :9190)")
+		peers      = flag.String("peers", "", "comma-separated controller group member addresses (identical order on every member)")
+		self       = flag.Int("self", 0, "this member's index in -peers")
 		verbose    = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -83,6 +93,15 @@ func main() {
 	addr, err := ctrl.Listen(*listen)
 	if err != nil {
 		fatal("listen: %v", err)
+	}
+	if *peers != "" {
+		group := strings.Split(*peers, ",")
+		if *self < 0 || *self >= len(group) {
+			fatal("-self %d out of range for %d peers", *self, len(group))
+		}
+		// Member 0 starts as leader; a standby that outlives it promotes
+		// itself via the suspicion-window failover check.
+		ctrl.ConfigureGroup(group, *self, 0)
 	}
 	if *admin != "" {
 		adminSrv, err := obs.ServeAdmin(*admin, obs.AdminOptions{

@@ -23,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"jiffy/internal/bench/ctrlscale"
 	"jiffy/internal/bench/hotpath"
 	"jiffy/internal/bench/regress"
 )
@@ -68,11 +70,40 @@ func main() {
 	overhead := flag.Bool("overhead", false, "A/B the batched hot path with telemetry on vs off and gate the difference")
 	overheadTol := flag.Float64("overhead-tolerance", 0.02, "allowed fractional telemetry overhead with -overhead")
 	overheadRounds := flag.Int("overhead-rounds", 3, "interleaved A/B rounds per benchmark with -overhead")
+	ctrlScale := flag.Bool("ctrl-scale", false, "measure controller metadata shard scaling (Fig. 12(b)) and gate the speedup")
+	ctrlScaleMin := flag.Float64("ctrl-scale-min", 2.0, "required sharded-vs-single-lock ops/sec ratio with -ctrl-scale")
 	rounds := flag.Int("rounds", 1, "measurement rounds per benchmark; the best round is kept (use >1 on noisy machines)")
 	var improvements improveFlag
 	flag.Var(&improvements, "improve",
 		"claimed win to enforce vs the baseline, Name:minOpsRatio:maxBytesRatio (repeatable)")
 	flag.Parse()
+
+	if *ctrlScale {
+		if runtime.GOMAXPROCS(0) < 4 {
+			// The ratio measures lock-domain parallelism; below four
+			// cores there is nothing for extra shards to run on, so the
+			// gate would fail for hardware reasons. Say so instead of
+			// reporting a phantom regression.
+			fmt.Printf("ctrl-scale: skipped, GOMAXPROCS=%d < 4 cannot exercise shard parallelism\n",
+				runtime.GOMAXPROCS(0))
+			return
+		}
+		base, scaled, ratio, err := ctrlscale.Gate(*quick, *rounds, func(format string, args ...interface{}) {
+			fmt.Printf(format, args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: ctrl-scale: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ctrl-scale: %d blocks, %d jobs, %d workers: 1 shard %.1f KOps -> %d shards %.1f KOps (%.2fx)\n",
+			base.Blocks, base.Jobs, base.Workers, base.KOps, scaled.Shards, scaled.KOps, ratio)
+		if ratio < *ctrlScaleMin {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: ctrl-scale speedup %.2fx below required %.2fx\n",
+				ratio, *ctrlScaleMin)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *overhead {
 		failed := false

@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,7 +31,8 @@ func main() {
 	var (
 		listen     = flag.String("listen", ":9091", "address to serve data RPCs on")
 		advertise  = flag.String("advertise", "", "address clients should use (default: the listen address)")
-		controller = flag.String("controller", "localhost:9090", "controller address")
+		controller = flag.String("controller", "localhost:9090",
+			"controller address, or comma-separated controller group")
 		capacityGB = flag.Float64("capacity-gb", 4, "memory contributed to the pool, in GiB")
 		blockSize  = flag.Int("block-size", core.DefaultBlockSize, "block size (must match the controller)")
 		high       = flag.Float64("high-threshold", core.DefaultHighThreshold, "scale-up usage fraction")
@@ -70,10 +72,10 @@ func main() {
 	}
 
 	srv, err := server.New(server.Options{
-		Config:         cfg,
-		ControllerAddr: *controller,
-		Persist:        store,
-		Logger:         logger,
+		Config:          cfg,
+		ControllerAddrs: strings.Split(*controller, ","),
+		Persist:         store,
+		Logger:          logger,
 	})
 	if err != nil {
 		fatal("start server: %v", err)

@@ -40,12 +40,15 @@ func main() {
 	if *ticks > 0 {
 		cfg.Ticks = *ticks
 		// Keep the fault schedule inside the run, at the same relative
-		// positions as the default (kill at 3/8, drain at 2/3).
+		// positions as the default (kill at 3/8, controller kill at
+		// 1/2, drain at 2/3).
 		cfg.KillAtTick = *ticks * 3 / 8
+		cfg.CtrlKillAtTick = *ticks / 2
 		cfg.DrainAtTick = *ticks * 2 / 3
 	}
 	if *noKill {
 		cfg.KillAtTick = 0
+		cfg.CtrlKillAtTick = 0
 		cfg.DrainAtTick = 0
 	}
 	cfg = cfg.Scale(*scale)

@@ -1,0 +1,30 @@
+package ctrlscale
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureSmoke runs the shard-scaling harness at toy scale: both
+// shard configurations must complete without a worker dying and report
+// nonzero throughput. The 2x ratio itself is gated in CI hardware via
+// jiffy-regress -ctrl-scale, not here — a unit test box may have one
+// core.
+func TestMeasureSmoke(t *testing.T) {
+	p := Params{Blocks: 2048, Jobs: 16, Workers: 4, Duration: 50 * time.Millisecond}
+	for _, shards := range []int{1, 4} {
+		res, err := Measure(shards, p)
+		if err != nil {
+			t.Fatalf("Measure(%d shards): %v", shards, err)
+		}
+		if res.KOps <= 0 {
+			t.Fatalf("Measure(%d shards) reported zero throughput", shards)
+		}
+		if res.Shards != shards || res.Blocks != p.Blocks {
+			t.Fatalf("result %+v does not echo params", res)
+		}
+	}
+	if s := ScaledShards(); s < 2 || s > 8 {
+		t.Fatalf("ScaledShards() = %d, want within [2, 8]", s)
+	}
+}

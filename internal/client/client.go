@@ -6,6 +6,15 @@
 // handles cache partition maps and refresh them when the data plane
 // reports staleness — the client-side half of seamless repartitioning.
 //
+// The control plane may be a replicated controller group (§4.2.1
+// primary-backup fault tolerance): one leader serves every control
+// operation while standbys mirror its metadata and answer with a
+// NotLeader redirect. The client tracks the leader and re-homes
+// automatically — a standby's redirect hint, or a dead leader's
+// connection failure, moves the next attempt to another member within
+// the normal retry budget, so a controller failover is invisible to
+// callers beyond added latency.
+//
 // The API is context-first: every control- and data-path call takes a
 // context.Context whose deadline bounds the call (taking precedence
 // over the session-level RPC timeout) and whose cancellation fails
@@ -15,8 +24,10 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jiffy/internal/core"
@@ -28,7 +39,8 @@ import (
 
 // RetryPolicy bounds the data-plane recovery loops.
 type RetryPolicy struct {
-	// Limit bounds retries after map refreshes (default 32).
+	// Limit bounds retries after map refreshes (default 32); controller
+	// re-homing after a leadership change spends the same budget.
 	Limit int
 	// MaxBackoff caps the linearly growing between-retry delay
 	// (default 5ms), keeping a full retry budget bounded.
@@ -60,14 +72,23 @@ func DefaultRetryPolicy() RetryPolicy {
 // config collects the dialing/retry/telemetry knobs behind the
 // functional options.
 type config struct {
-	dial     func(addr string) (*rpc.Client, error)
-	policy   RetryPolicy
-	timeout  time.Duration
-	exporter obs.SpanExporter
+	controllers []string
+	dial        func(addr string) (*rpc.Client, error)
+	policy      RetryPolicy
+	timeout     time.Duration
+	exporter    obs.SpanExporter
 }
 
-// Option configures Connect/ConnectMulti.
+// Option configures Dial.
 type Option func(*config)
+
+// WithControllers names the controller group members. Order must match
+// the -peers list the controllers themselves were started with; any
+// member can be listed first — the client discovers the leader at dial
+// time and re-homes on every leadership change.
+func WithControllers(addrs ...string) Option {
+	return func(c *config) { c.controllers = append(c.controllers, addrs...) }
+}
 
 // WithDial customizes outbound connections (tests inject mem://
 // transports and fault injectors).
@@ -109,20 +130,19 @@ func WithTracing(exp obs.SpanExporter) Option {
 	return func(c *config) { c.exporter = exp }
 }
 
-// Client is one application's connection to a Jiffy cluster. It may
-// span several controller servers: the paper's multi-controller
-// scaling hash-partitions jobs across controllers (§4.2.1), and the
-// client mirrors that hash to route each job's control operations to
-// its owning controller.
+// Client is one application's connection to a Jiffy cluster: a
+// replicated controller group for control operations and direct
+// sessions to the memory servers for data.
 type Client struct {
 	ctrlAddrs []string
-	ctrls     []*rpc.Client
+	ctrlPool  *rpc.Pool
 	pool      *rpc.Pool
 	policy    RetryPolicy
 
-	// ctrlIdx memoizes jobHash(job) % len(ctrls) so hot control paths
-	// (lease renewal ticks, per-op scale requests) skip the hash.
-	ctrlIdx sync.Map // core.JobID -> int
+	// leader is the index into ctrlAddrs of the member last observed to
+	// lead. Control calls start there; a NotLeader redirect or a dead
+	// connection moves it.
+	leader atomic.Int32
 
 	// Telemetry: per-method RPC metrics (role "client"), client-loop
 	// counters, and the optional tracer, all served via Obs().
@@ -133,6 +153,7 @@ type Client struct {
 	mapRefreshes  *obs.Counter
 	staleRegroups *obs.Counter
 	throttleWaits *obs.Counter
+	rehomes       *obs.Counter
 
 	mu sync.Mutex
 	// routers dispatches push notifications per data-plane connection.
@@ -142,30 +163,24 @@ type Client struct {
 	closed   bool
 }
 
-// Connect dials the controller (connect(jiffyAddress) in Table 1). ctx
-// bounds the dial and initial handshake only; per-call contexts bound
-// the individual operations that follow.
-func Connect(ctx context.Context, controllerAddr string, opts ...Option) (*Client, error) {
-	return ConnectMulti(ctx, []string{controllerAddr}, opts...)
-}
-
-// ConnectMulti dials a hash-partitioned controller group. The address
-// order must match across every client and every memory-server
-// assignment (each controller owns the jobs that hash to its index).
-func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option) (*Client, error) {
-	if len(controllerAddrs) == 0 {
-		return nil, fmt.Errorf("client: no controller addresses")
-	}
+// Dial connects to a Jiffy cluster. WithControllers names the
+// controller group; at least one member must be reachable. ctx bounds
+// the dial and leader discovery only; per-call contexts bound the
+// individual operations that follow.
+func Dial(ctx context.Context, opts ...Option) (*Client, error) {
 	cfg := config{policy: DefaultRetryPolicy(), timeout: core.DefaultRPCTimeout}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if len(cfg.controllers) == 0 {
+		return nil, fmt.Errorf("client: no controller addresses (use WithControllers)")
 	}
 	if cfg.timeout < 0 {
 		cfg.timeout = 0 // explicit opt-out: unbounded calls
 	}
 
 	c := &Client{
-		ctrlAddrs: controllerAddrs,
+		ctrlAddrs: cfg.controllers,
 		policy:    cfg.policy,
 		routers:   make(map[string]*pushRouter),
 		reg:       obs.NewRegistry(),
@@ -183,28 +198,63 @@ func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option)
 		"Batched calls regrouped after a stale partition map")
 	c.throttleWaits = c.reg.Counter("jiffy_client_throttle_waits_total",
 		"Retry-after waits honored following admission-control refusals")
+	c.rehomes = c.reg.Counter("jiffy_client_rehomes_total",
+		"Controller re-homes after NotLeader redirects or dead leaders")
 
 	dial := rpc.WithTimeout(cfg.dial, cfg.timeout)
 	dial = rpc.WithInstrumentation(dial, c.rpcm, c.tracer)
 	c.pool = rpc.NewPool(dial)
+	c.ctrlPool = rpc.NewPool(dial)
 
-	for _, addr := range controllerAddrs {
+	// Leader discovery: the first reachable member names the leader.
+	// Every member knows it (standbys track the op-log's source), so one
+	// answer suffices; an unknown or empty answer leaves the reachable
+	// member as the starting point and the first control call re-homes.
+	var lastErr error
+	connected := false
+	for i, addr := range c.ctrlAddrs {
 		if err := ctx.Err(); err != nil {
-			for _, done := range c.ctrls {
-				done.Close()
-			}
+			c.ctrlPool.Close()
+			c.pool.Close()
 			return nil, fmt.Errorf("client: connect: %w", err)
 		}
-		ctrl, err := dial(addr)
+		conn, err := c.ctrlPool.Get(addr)
 		if err != nil {
-			for _, done := range c.ctrls {
-				done.Close()
-			}
-			return nil, fmt.Errorf("client: connect controller %s: %w", addr, err)
+			lastErr = err
+			continue
 		}
-		c.ctrls = append(c.ctrls, ctrl)
+		connected = true
+		c.leader.Store(int32(i))
+		var role proto.CtrlRoleResp
+		if err := conn.CallGobCtx(ctx, proto.MethodCtrlRole, proto.CtrlRoleReq{}, &role); err == nil {
+			if j := c.ctrlIndexOf(role.Leader); j >= 0 {
+				c.leader.Store(int32(j))
+			}
+		}
+		break
+	}
+	if !connected {
+		c.ctrlPool.Close()
+		c.pool.Close()
+		return nil, fmt.Errorf("client: connect: no controller reachable: %w", lastErr)
 	}
 	return c, nil
+}
+
+// Connect dials a single-controller cluster (connect(jiffyAddress) in
+// Table 1).
+//
+// Deprecated: use Dial with WithControllers, which also accepts a
+// replicated controller group.
+func Connect(ctx context.Context, controllerAddr string, opts ...Option) (*Client, error) {
+	return Dial(ctx, append(opts, WithControllers(controllerAddr))...)
+}
+
+// ConnectMulti dials a controller group.
+//
+// Deprecated: use Dial with WithControllers.
+func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option) (*Client, error) {
+	return Dial(ctx, append(opts, WithControllers(controllerAddrs...))...)
 }
 
 // Obs exposes the client-side metric registry (per-method RPC stats,
@@ -212,35 +262,150 @@ func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option)
 // admin endpoint.
 func (c *Client) Obs() *obs.Registry { return c.reg }
 
-// ctrlFor routes a job to its owning controller, mirroring the
-// controller-side hash partitioning. The hash→index mapping is
-// memoized per job: clients touch the same few jobs on every lease
-// tick and scale request, so the FNV walk is paid once per job.
-func (c *Client) ctrlFor(job core.JobID) *rpc.Client {
-	if len(c.ctrls) == 1 {
-		return c.ctrls[0]
+// ctrlIndexOf maps a controller address to its group index, -1 when
+// unknown.
+func (c *Client) ctrlIndexOf(addr string) int {
+	if addr == "" {
+		return -1
 	}
-	if idx, ok := c.ctrlIdx.Load(job); ok {
-		return c.ctrls[idx.(int)]
+	for i, a := range c.ctrlAddrs {
+		if a == addr {
+			return i
+		}
 	}
-	idx := int(jobHash(job)) % len(c.ctrls)
-	c.ctrlIdx.Store(job, idx)
-	return c.ctrls[idx]
+	return -1
 }
 
-// jobHash is the FNV-32a hash both sides use to place jobs.
-func jobHash(job core.JobID) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(job); i++ {
-		h ^= uint32(job[i])
-		h *= 16777619
+// callCtrl issues one control RPC against the current leader,
+// re-homing on NotLeader redirects and dead connections within the
+// retry budget. The stale leader's pooled session is dropped on every
+// re-home so it fails fast instead of lingering.
+func (c *Client) callCtrl(ctx context.Context, method uint16, req, resp any) error {
+	n := len(c.ctrlAddrs)
+	idx := int(c.leader.Load()) % n
+	var lastErr error
+	timeouts := 0
+	for attempt := 0; attempt <= c.policy.Limit; attempt++ {
+		addr := c.ctrlAddrs[idx]
+		conn, err := c.ctrlPool.Get(addr)
+		if err == nil {
+			err = conn.CallGobCtx(ctx, method, req, resp)
+		}
+		if err == nil {
+			c.leader.Store(int32(idx))
+			return nil
+		}
+		if cerr := ctxErr(err); cerr != nil {
+			return err
+		}
+		lastErr = err
+		followedHint := false
+		switch {
+		case errors.Is(err, core.ErrNotLeader):
+			if obs.On() {
+				c.rehomes.Inc()
+			}
+			c.ctrlPool.Drop(addr)
+			if hint, _ := core.LeaderHintOf(err); hint != addr {
+				if j := c.ctrlIndexOf(hint); j >= 0 {
+					idx = j
+					followedHint = true
+				}
+			}
+			if !followedHint {
+				idx = (idx + 1) % n
+			}
+		case isConnErr(err):
+			if obs.On() {
+				c.rehomes.Inc()
+			}
+			c.ctrlPool.Drop(addr)
+			// A timeout burns a full RPCTimeout per attempt (a refused
+			// or reset connection fails in microseconds), so re-homing
+			// on timeouts gets exactly one pass over the group: the
+			// member may be partitioned from us, but once every member
+			// has eaten a timeout the caller gets the answer within a
+			// bounded multiple of its configured deadline.
+			if errors.Is(err, core.ErrTimeout) {
+				timeouts++
+				if timeouts >= n {
+					return err
+				}
+			}
+			idx = (idx + 1) % n
+		default:
+			// An operation-level answer from the leader: surface it.
+			return err
+		}
+		// A fresh redirect hint is followed immediately; everything else
+		// (dead member, hint pointing back at a not-yet-promoted standby)
+		// backs off so an in-flight failover can finish.
+		if !followedHint {
+			if err := sleepCtx(ctx, backoffDelay(attempt, c.policy.MaxBackoff)); err != nil {
+				return fmt.Errorf("client: control call: %w", err)
+			}
+		}
 	}
-	return h
+	return errRetriesExhausted("control call", lastErr)
 }
 
-// ctrl preserves the single-controller call sites: operations that are
-// not job-scoped go to the first controller.
-func (c *Client) anyCtrl() *rpc.Client { return c.ctrls[0] }
+// sleepCtx sleeps d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ControllerRole reports the controller group's current leadership
+// (leader address, generation) as seen by the first reachable member.
+func (c *Client) ControllerRole(ctx context.Context) (proto.CtrlRoleResp, error) {
+	var lastErr error
+	idx := int(c.leader.Load()) % len(c.ctrlAddrs)
+	for i := 0; i < len(c.ctrlAddrs); i++ {
+		addr := c.ctrlAddrs[(idx+i)%len(c.ctrlAddrs)]
+		conn, err := c.ctrlPool.Get(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp proto.CtrlRoleResp
+		if err := conn.CallGobCtx(ctx, proto.MethodCtrlRole, proto.CtrlRoleReq{}, &resp); err != nil {
+			lastErr = err
+			c.ctrlPool.Drop(addr)
+			continue
+		}
+		return resp, nil
+	}
+	return proto.CtrlRoleResp{}, fmt.Errorf("client: role: no controller reachable: %w", lastErr)
+}
+
+// PromoteController forces the member at addr to take leadership
+// (operator tooling; normal failover is automatic). Returns the new
+// generation.
+func (c *Client) PromoteController(ctx context.Context, addr string) (uint64, error) {
+	conn, err := c.ctrlPool.Get(addr)
+	if err != nil {
+		return 0, fmt.Errorf("client: promote %s: %w", addr, err)
+	}
+	var resp proto.CtrlPromoteResp
+	if err := conn.CallGobCtx(ctx, proto.MethodCtrlPromote, proto.CtrlPromoteReq{}, &resp); err != nil {
+		c.ctrlPool.Drop(addr)
+		return 0, err
+	}
+	if j := c.ctrlIndexOf(addr); j >= 0 {
+		old := c.ctrlAddrs[int(c.leader.Load())%len(c.ctrlAddrs)]
+		if old != addr {
+			c.ctrlPool.Drop(old)
+		}
+		c.leader.Store(int32(j))
+	}
+	return resp.Gen, nil
+}
 
 // Close stops renewal agents and tears down every connection.
 func (c *Client) Close() error {
@@ -255,9 +420,7 @@ func (c *Client) Close() error {
 	for _, r := range renewers {
 		r.Stop()
 	}
-	for _, ctrl := range c.ctrls {
-		ctrl.Close()
-	}
+	c.ctrlPool.Close()
 	c.pool.Close()
 	return nil
 }
@@ -267,13 +430,13 @@ func (c *Client) Close() error {
 // RegisterJob registers a job with the control plane.
 func (c *Client) RegisterJob(ctx context.Context, job core.JobID) error {
 	var resp proto.RegisterJobResp
-	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodRegisterJob, proto.RegisterJobReq{Job: job}, &resp)
+	return c.callCtrl(ctx, proto.MethodRegisterJob, proto.RegisterJobReq{Job: job}, &resp)
 }
 
 // DeregisterJob releases all of a job's resources.
 func (c *Client) DeregisterJob(ctx context.Context, job core.JobID) error {
 	var resp proto.DeregisterJobResp
-	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodDeregisterJob, proto.DeregisterJobReq{Job: job}, &resp)
+	return c.callCtrl(ctx, proto.MethodDeregisterJob, proto.DeregisterJobReq{Job: job}, &resp)
 }
 
 // CreatePrefix implements createAddrPrefix: adds an address prefix with
@@ -281,7 +444,7 @@ func (c *Client) DeregisterJob(ctx context.Context, job core.JobID) error {
 func (c *Client) CreatePrefix(ctx context.Context, path core.Path, parents []core.Path, t core.DSType,
 	initialBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.CreatePrefixResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
+	err := c.callCtrl(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
 		Path:          path,
 		Parents:       parents,
 		Type:          t,
@@ -299,7 +462,7 @@ func (c *Client) CreatePrefix(ctx context.Context, path core.Path, parents []cor
 func (c *Client) CreateBoundedPrefix(ctx context.Context, path core.Path, parents []core.Path, t core.DSType,
 	initialBlocks, maxBlocks int, leaseDuration time.Duration) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.CreatePrefixResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
+	err := c.callCtrl(ctx, proto.MethodCreatePrefix, proto.CreatePrefixReq{
 		Path:          path,
 		Parents:       parents,
 		Type:          t,
@@ -315,7 +478,7 @@ func (c *Client) CreateBoundedPrefix(ctx context.Context, path core.Path, parent
 func (c *Client) CreateHierarchy(ctx context.Context, job core.JobID, nodes []proto.DagNode,
 	leaseDuration time.Duration) error {
 	var resp proto.CreateHierarchyResp
-	return c.ctrlFor(job).CallGobCtx(ctx, proto.MethodCreateHierarchy, proto.CreateHierarchyReq{
+	return c.callCtrl(ctx, proto.MethodCreateHierarchy, proto.CreateHierarchyReq{
 		Job: job, Nodes: nodes, LeaseDuration: leaseDuration,
 	}, &resp)
 }
@@ -323,38 +486,20 @@ func (c *Client) CreateHierarchy(ctx context.Context, job core.JobID, nodes []pr
 // RemovePrefix explicitly reclaims a prefix.
 func (c *Client) RemovePrefix(ctx context.Context, path core.Path) error {
 	var resp proto.RemovePrefixResp
-	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodRemovePrefix, proto.RemovePrefixReq{Path: path}, &resp)
+	return c.callCtrl(ctx, proto.MethodRemovePrefix, proto.RemovePrefixReq{Path: path}, &resp)
 }
 
-// RenewLease implements renewLease for one or more prefixes; paths
-// spanning several jobs are grouped and routed to each job's owning
-// controller.
+// RenewLease implements renewLease for one or more prefixes.
 func (c *Client) RenewLease(ctx context.Context, paths ...core.Path) (int, error) {
-	if len(c.ctrls) == 1 {
-		var resp proto.RenewLeaseResp
-		err := c.anyCtrl().CallGobCtx(ctx, proto.MethodRenewLease, proto.RenewLeaseReq{Paths: paths}, &resp)
-		return resp.Renewed, err
-	}
-	byCtrl := make(map[*rpc.Client][]core.Path)
-	for _, p := range paths {
-		ctrl := c.ctrlFor(p.Job())
-		byCtrl[ctrl] = append(byCtrl[ctrl], p)
-	}
-	total := 0
-	for ctrl, group := range byCtrl {
-		var resp proto.RenewLeaseResp
-		if err := ctrl.CallGobCtx(ctx, proto.MethodRenewLease, proto.RenewLeaseReq{Paths: group}, &resp); err != nil {
-			return total, err
-		}
-		total += resp.Renewed
-	}
-	return total, nil
+	var resp proto.RenewLeaseResp
+	err := c.callCtrl(ctx, proto.MethodRenewLease, proto.RenewLeaseReq{Paths: paths}, &resp)
+	return resp.Renewed, err
 }
 
 // LeaseDuration implements getLeaseDuration.
 func (c *Client) LeaseDuration(ctx context.Context, path core.Path) (time.Duration, error) {
 	var resp proto.LeaseInfoResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodLeaseInfo, proto.LeaseInfoReq{Path: path}, &resp)
+	err := c.callCtrl(ctx, proto.MethodLeaseInfo, proto.LeaseInfoReq{Path: path}, &resp)
 	return resp.Duration, err
 }
 
@@ -362,7 +507,7 @@ func (c *Client) LeaseDuration(ctx context.Context, path core.Path) (time.Durati
 // external store.
 func (c *Client) FlushPrefix(ctx context.Context, path core.Path, externalPath string) (int, error) {
 	var resp proto.FlushPrefixResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodFlushPrefix, proto.FlushPrefixReq{
+	err := c.callCtrl(ctx, proto.MethodFlushPrefix, proto.FlushPrefixReq{
 		Path: path, ExternalPath: externalPath,
 	}, &resp)
 	return resp.Blocks, err
@@ -372,65 +517,36 @@ func (c *Client) FlushPrefix(ctx context.Context, path core.Path, externalPath s
 // external store.
 func (c *Client) LoadPrefix(ctx context.Context, path core.Path, externalPath string) error {
 	var resp proto.LoadPrefixResp
-	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodLoadPrefix, proto.LoadPrefixReq{
+	return c.callCtrl(ctx, proto.MethodLoadPrefix, proto.LoadPrefixReq{
 		Path: path, ExternalPath: externalPath,
 	}, &resp)
 }
 
-// SaveControllerState checkpoints every controller's metadata to its
+// SaveControllerState checkpoints the leader's metadata to its
 // persistent store (operators run this periodically; a replacement
 // controller restores it with the -restore flag of jiffy-controller).
-// With a controller group, controller i saves under "<key>-<i>".
+// Standbys carry the same metadata via replication, so one checkpoint
+// covers the group.
 func (c *Client) SaveControllerState(ctx context.Context, key string) error {
-	if len(c.ctrls) == 1 {
-		var resp proto.SaveStateResp
-		return c.anyCtrl().CallGobCtx(ctx, proto.MethodSaveState, proto.SaveStateReq{Key: key}, &resp)
-	}
-	for i, ctrl := range c.ctrls {
-		var resp proto.SaveStateResp
-		if err := ctrl.CallGobCtx(ctx, proto.MethodSaveState,
-			proto.SaveStateReq{Key: fmt.Sprintf("%s-%d", key, i)}, &resp); err != nil {
-			return err
-		}
-	}
-	return nil
+	var resp proto.SaveStateResp
+	return c.callCtrl(ctx, proto.MethodSaveState, proto.SaveStateReq{Key: key}, &resp)
 }
 
-// ControllerStats fetches controller statistics, aggregated across the
-// controller group.
+// ControllerStats fetches controller statistics from the leader.
 func (c *Client) ControllerStats(ctx context.Context) (proto.ControllerStatsResp, error) {
-	var agg proto.ControllerStatsResp
-	for _, ctrl := range c.ctrls {
-		var resp proto.ControllerStatsResp
-		if err := ctrl.CallGobCtx(ctx, proto.MethodControllerStats, proto.ControllerStatsReq{}, &resp); err != nil {
-			return agg, err
-		}
-		agg.TotalBlocks += resp.TotalBlocks
-		agg.FreeBlocks += resp.FreeBlocks
-		agg.AllocatedBlocks += resp.AllocatedBlocks
-		agg.Jobs += resp.Jobs
-		agg.Prefixes += resp.Prefixes
-		agg.Servers += resp.Servers
-		agg.MetadataBytes += resp.MetadataBytes
-	}
-	return agg, nil
+	var resp proto.ControllerStatsResp
+	err := c.callCtrl(ctx, proto.MethodControllerStats, proto.ControllerStatsReq{}, &resp)
+	return resp, err
 }
 
 // DrainServer migrates every block off a memory server (graceful
 // decommission). The server is removed from the membership first, so
 // nothing new lands on it mid-drain; once the call returns it hosts no
-// data and can be shut down. Not job-scoped: the drain is sent to
-// every controller in the group.
+// data and can be shut down.
 func (c *Client) DrainServer(ctx context.Context, addr string) (int, error) {
-	total := 0
-	for _, ctrl := range c.ctrls {
-		var resp proto.DrainServerResp
-		if err := ctrl.CallGobCtx(ctx, proto.MethodDrainServer, proto.DrainServerReq{Addr: addr}, &resp); err != nil {
-			return total, err
-		}
-		total += resp.Migrated
-	}
-	return total, nil
+	var resp proto.DrainServerResp
+	err := c.callCtrl(ctx, proto.MethodDrainServer, proto.DrainServerReq{Addr: addr}, &resp)
+	return resp.Migrated, err
 }
 
 // SetQuota registers a resource quota on a prefix. The memory
@@ -440,7 +556,7 @@ func (c *Client) DrainServer(ctx context.Context, addr string) (int, error) {
 // with ErrQuotaExceeded. A zero quota clears the registration.
 func (c *Client) SetQuota(ctx context.Context, path core.Path, quota core.Quota) error {
 	var resp proto.SetQuotaResp
-	return c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodSetQuota, proto.SetQuotaReq{
+	return c.callCtrl(ctx, proto.MethodSetQuota, proto.SetQuotaReq{
 		Path: path, Quota: quota,
 	}, &resp)
 }
@@ -448,14 +564,14 @@ func (c *Client) SetQuota(ctx context.Context, path core.Path, quota core.Quota)
 // ListPrefixes lists a job's address hierarchy.
 func (c *Client) ListPrefixes(ctx context.Context, job core.JobID) ([]proto.PrefixInfo, error) {
 	var resp proto.ListPrefixesResp
-	err := c.ctrlFor(job).CallGobCtx(ctx, proto.MethodListPrefixes, proto.ListPrefixesReq{Job: job}, &resp)
+	err := c.callCtrl(ctx, proto.MethodListPrefixes, proto.ListPrefixesReq{Job: job}, &resp)
 	return resp.Prefixes, err
 }
 
 // open fetches the current partition map for a prefix.
 func (c *Client) open(ctx context.Context, path core.Path) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.OpenResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
+	err := c.callCtrl(ctx, proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
 	return resp.Map, resp.LeaseDuration, err
 }
 
@@ -465,7 +581,7 @@ func (c *Client) open(ctx context.Context, path core.Path) (ds.PartitionMap, tim
 // and receives the refreshed map in the response.
 func (c *Client) requestScale(ctx context.Context, path core.Path, block core.BlockID) (ds.PartitionMap, error) {
 	var resp proto.ScaleUpResp
-	err := c.ctrlFor(path.Job()).CallGobCtx(ctx, proto.MethodScaleUp, proto.ScaleUpReq{Path: path, Block: block}, &resp)
+	err := c.callCtrl(ctx, proto.MethodScaleUp, proto.ScaleUpReq{Path: path, Block: block}, &resp)
 	return resp.Map, err
 }
 

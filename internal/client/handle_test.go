@@ -3,7 +3,6 @@ package client
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"testing"
 	"time"
 
@@ -98,52 +97,45 @@ func TestIsConnErr(t *testing.T) {
 	}
 }
 
-// TestJobHashStability pins jobHash to FNV-32a: the client and the
-// multi-controller deployment both derive job placement from this hash,
-// so silently changing it would re-home every job's metadata. The
-// stdlib implementation is the reference.
-func TestJobHashStability(t *testing.T) {
-	jobs := []core.JobID{"", "j", "job1", "sort-100g", "a/b/c", "Job1"}
-	for _, j := range jobs {
-		ref := fnv.New32a()
-		ref.Write([]byte(j))
-		if got, want := jobHash(j), ref.Sum32(); got != want {
-			t.Errorf("jobHash(%q) = %d, want FNV-32a %d", j, got, want)
+// TestCtrlIndexOf pins the leader-hint resolution: a redirect hint
+// re-homes only onto a configured group member; unknown or empty
+// addresses (a solo controller reports no leader address) resolve to
+// -1 so callCtrl falls back to round-robin probing.
+func TestCtrlIndexOf(t *testing.T) {
+	c := &Client{ctrlAddrs: []string{"ctrl-0", "ctrl-1", "ctrl-2"}}
+	for i, addr := range c.ctrlAddrs {
+		if got := c.ctrlIndexOf(addr); got != i {
+			t.Errorf("ctrlIndexOf(%q) = %d, want %d", addr, got, i)
 		}
 	}
-	// Absolute golden value so even a stdlib-tracking rewrite that
-	// changed the algorithm would be caught.
-	if got := jobHash(""); got != 2166136261 {
-		t.Errorf("jobHash(\"\") = %d, want FNV-32a offset basis", got)
+	if got := c.ctrlIndexOf(""); got != -1 {
+		t.Errorf("ctrlIndexOf(\"\") = %d, want -1", got)
+	}
+	if got := c.ctrlIndexOf("ctrl-9"); got != -1 {
+		t.Errorf("ctrlIndexOf(unknown) = %d, want -1", got)
 	}
 }
 
-// TestCtrlForMemoized verifies per-job controller routing: the mapping
-// is jobHash % len(ctrls), it is stable across calls, and after the
-// first lookup it is served from the memo rather than re-hashed.
-func TestCtrlForMemoized(t *testing.T) {
-	c := &Client{ctrls: []*rpc.Client{{}, {}, {}}}
-	jobs := []core.JobID{"alpha", "beta", "gamma", "delta", "job-42"}
-	for _, j := range jobs {
-		want := c.ctrls[int(jobHash(j))%len(c.ctrls)]
-		if got := c.ctrlFor(j); got != want {
-			t.Errorf("ctrlFor(%q) routed to unexpected controller", j)
-		}
-		if got := c.ctrlFor(j); got != want {
-			t.Errorf("ctrlFor(%q) unstable across calls", j)
-		}
+// TestLeaderHintRoundTrip verifies the NotLeader redirect survives the
+// wire format: the typed error's message re-parses into the same
+// leader hint on the client side (core.ErrOf reconstructs it from the
+// frame payload), and errors.Is sees the sentinel through the wrap.
+func TestLeaderHintRoundTrip(t *testing.T) {
+	nl := &core.NotLeaderError{Leader: "ctrl-2:9090", Gen: 7}
+	if !errors.Is(nl, core.ErrNotLeader) {
+		t.Fatal("NotLeaderError does not unwrap to ErrNotLeader")
 	}
-	// Poison the memo: if ctrlFor really reads it, the poisoned index
-	// wins; a re-hash would return the original controller.
-	c.ctrlIdx.Store(core.JobID("alpha"), (int(jobHash("alpha"))+1)%len(c.ctrls))
-	poisoned := c.ctrls[(int(jobHash("alpha"))+1)%len(c.ctrls)]
-	if got := c.ctrlFor("alpha"); got != poisoned {
-		t.Error("ctrlFor ignored the memoized index (not actually memoized)")
+	rebuilt := core.ErrOf(core.CodeNotLeader, nl.Error())
+	if !errors.Is(rebuilt, core.ErrNotLeader) {
+		t.Fatal("reconstructed error lost the ErrNotLeader sentinel")
 	}
-	// Single-controller clients route everything to controller 0 without
-	// touching the memo.
-	single := &Client{ctrls: []*rpc.Client{{}}}
-	if got := single.ctrlFor("anything"); got != single.ctrls[0] {
-		t.Error("single-controller ctrlFor missed ctrls[0]")
+	leader, gen := core.LeaderHintOf(rebuilt)
+	if leader != "ctrl-2:9090" || gen != 7 {
+		t.Fatalf("LeaderHintOf = (%q, %d), want (ctrl-2:9090, 7)", leader, gen)
+	}
+	// A bare sentinel (no hint payload) must not crash the parser.
+	leader, gen = core.LeaderHintOf(core.ErrNotLeader)
+	if leader != "" || gen != 0 {
+		t.Fatalf("LeaderHintOf(bare) = (%q, %d), want empty", leader, gen)
 	}
 }

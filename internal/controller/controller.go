@@ -98,18 +98,26 @@ type Controller struct {
 	// guarded by its own mutex, never the shard locks.
 	tiers tierState
 
+	// replicated-group state (see leadership.go / replication.go):
+	// group membership and role, the leader-side op-log replicator, a
+	// connection pool to peer controllers, and the standby-side apply
+	// serializer. leading gates every client/server-facing method; it
+	// defaults to true (a solo controller is its own leader).
+	group     groupState
+	repl      *replicator
+	ctrlPeers *rpc.Pool
+	applyMu   sync.Mutex
+	leading   atomic.Bool
+	failovers atomic.Int64
+	boundAddr  string
+	bgDisabled bool
+
 	// telemetry: the counters above plus allocator and per-job gauges,
 	// per-method RPC stats, and recent spans, served via Obs()/Spans().
 	reg    *obs.Registry
 	rpcm   *obs.RPCMetrics
 	tracer *obs.Tracer
 	spans  *obs.RingExporter
-}
-
-// shard owns a disjoint subset of jobs.
-type shard struct {
-	mu   sync.Mutex
-	jobs map[core.JobID]*hierarchy.Hierarchy
 }
 
 // New creates a controller; call Listen to serve RPCs, or drive it
@@ -137,14 +145,19 @@ func New(opts Options) (*Controller, error) {
 		persist:      opts.Persist,
 		alloc:        alloc.New(),
 		servers:      rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		ctrlPeers:    rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
 		stop:         make(chan struct{}),
 		lastBeat:     make(map[string]time.Time),
 		deadServers:  make(map[string]bool),
 		tenantQuotas: make(map[string]core.Quota),
+		bgDisabled:   opts.DisableExpiry,
 	}
 	for i := 0; i < opts.Shards; i++ {
-		c.shards = append(c.shards, &shard{jobs: make(map[core.JobID]*hierarchy.Hierarchy)})
+		c.shards = append(c.shards, newShard())
 	}
+	c.group.contrib = make(map[string]contribRange)
+	c.repl = newReplicator(c)
+	c.leading.Store(true)
 	c.instrument()
 	if !opts.DisableExpiry {
 		c.wg.Add(1)
@@ -186,6 +199,7 @@ func (c *Controller) instrument() {
 		{"jiffy_ctrl_tier_demotions_total", "block demotions to the persist tier reported by servers", &c.tiers.demotes},
 		{"jiffy_ctrl_tier_promotions_total", "block rehydrations from the persist tier reported by servers", &c.tiers.promotes},
 		{"jiffy_ctrl_tier_recoveries_total", "dead blocks rebuilt from their tier objects during chain repair", &c.tiers.recoveries},
+		{"jiffy_ctrl_failovers_total", "leadership takeovers performed by this controller", &c.failovers},
 	}
 	c.reg.RegisterCollector(func(w io.Writer) {
 		for _, ctr := range counters {
@@ -203,6 +217,15 @@ func (c *Controller) instrument() {
 		func() int64 { return int64(c.memberEpoch.Load()) })
 	c.reg.GaugeFunc("jiffy_ctrl_blocks_tiered", "chain members currently demoted to the persist tier",
 		c.tieredBlockCount)
+	c.reg.GaugeFunc("jiffy_ctrl_leader", "1 when this controller is the group leader, 0 on standbys",
+		func() int64 {
+			if c.leading.Load() {
+				return 1
+			}
+			return 0
+		})
+	c.reg.GaugeFunc("jiffy_ctrl_replication_lag_ops", "ops the slowest live standby trails the leader by",
+		func() int64 { return c.repl.lag() })
 	c.reg.RegisterCollector(func(w io.Writer) {
 		obs.WriteHeader(w, "jiffy_ctrl_job_blocks", "blocks allocated per registered job", "gauge")
 		for _, s := range c.shards {
@@ -232,7 +255,11 @@ func (c *Controller) Spans() *obs.RingExporter { return c.spans }
 func (c *Controller) Listen(addr string) (string, error) {
 	c.rpcSrv = rpc.NewServer(rpc.BytesHandler(c.handle), c.log)
 	c.rpcSrv.SetObserver(c.rpcm, c.tracer)
-	return c.rpcSrv.Listen(addr)
+	bound, err := c.rpcSrv.Listen(addr)
+	if err == nil {
+		c.boundAddr = bound
+	}
+	return bound, err
 }
 
 // Close stops the expiry worker, the RPC server, and all server
@@ -243,11 +270,13 @@ func (c *Controller) Close() error {
 	default:
 		close(c.stop)
 	}
+	c.repl.stop()
 	c.wg.Wait()
 	if c.rpcSrv != nil {
 		c.rpcSrv.Close()
 	}
 	c.servers.Close()
+	c.ctrlPeers.Close()
 	return nil
 }
 
@@ -281,7 +310,9 @@ func (c *Controller) RegisterJob(job core.JobID) error {
 	if _, exists := s.jobs[job]; exists {
 		return fmt.Errorf("controller: job %q: %w", job, core.ErrExists)
 	}
-	s.jobs[job] = hierarchy.New(job, c.cfg.LeaseDuration, c.clk.Now())
+	now := c.clk.Now()
+	s.jobs[job] = hierarchy.New(job, c.cfg.LeaseDuration, now)
+	c.repl.emit(replOp{Kind: opRegisterJob, Job: job, Lease: c.cfg.LeaseDuration, Now: now})
 	return nil
 }
 
@@ -299,8 +330,10 @@ func (c *Controller) DeregisterJob(job core.JobID) error {
 		c.releaseBlocksLocked(n)
 		return true
 	})
+	s.dropJobIndexLocked(h)
 	delete(s.jobs, job)
 	c.setTenantQuota(string(job), core.Quota{})
+	c.repl.emit(replOp{Kind: opDeregisterJob, Job: job})
 	return nil
 }
 
@@ -331,9 +364,16 @@ func (c *Controller) RegisterServer(addr string, numBlocks int) (core.BlockID, e
 	if err != nil {
 		return 0, err
 	}
+	c.group.mu.Lock()
+	c.group.contrib[addr] = contribRange{First: first, N: numBlocks}
+	if next := first + core.BlockID(numBlocks); next > c.group.nextID {
+		c.group.nextID = next
+	}
+	c.group.mu.Unlock()
 	c.noteServerAlive(addr)
 	c.memberEpoch.Add(1)
 	c.pushTenantQuotas(addr)
+	c.repl.emit(replOp{Kind: opServerRegister, Addr: addr, NumBlocks: numBlocks, FirstID: first})
 	return first, nil
 }
 

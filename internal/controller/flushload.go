@@ -42,6 +42,9 @@ func (c *Controller) FlushPrefix(path core.Path, externalPath string) (int, erro
 		var cnt int
 		cnt, err = c.flushLocked(n, externalPath)
 		count = cnt
+		if err == nil {
+			c.commitNodeLocked(n.Job, n)
+		}
 		return err
 	})
 	return count, err
@@ -91,6 +94,7 @@ func (c *Controller) LoadPrefix(path core.Path, externalPath string) (proto.Load
 		if err := c.loadLocked(n, externalPath); err != nil {
 			return err
 		}
+		c.commitNodeLocked(n.Job, n)
 		resp.Map = n.Map.Clone()
 		return nil
 	})

@@ -14,8 +14,61 @@ import (
 // layer's dispatch instrumentation; controller-internal operations are
 // lock-scoped and do not block on remote peers mid-request except via
 // the server pool, which applies its own deadlines.
+//
+// Group methods (replication stream, role queries, promotion) dispatch
+// on any member; everything else requires leadership and is answered
+// with a NotLeaderError redirect on standbys. On the leader, a mutating
+// request's response is withheld until the op-log reaches every live
+// standby (repl.flush), so an acknowledged mutation survives failover.
 func (c *Controller) handle(_ context.Context, _ *rpc.ServerConn, method uint16, payload []byte) ([]byte, error) {
 	c.ops.Add(1)
+	switch method {
+	case proto.MethodCtrlReplicate:
+		var req proto.CtrlReplicateReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.handleReplicate(req)
+		if err != nil {
+			return []byte(err.Error()), err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodCtrlBootstrap:
+		var req proto.CtrlBootstrapReq
+		if err := rpc.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := c.handleBootstrap(req)
+		if err != nil {
+			return []byte(err.Error()), err
+		}
+		return rpc.Marshal(resp)
+
+	case proto.MethodCtrlRole:
+		return rpc.Marshal(c.Role())
+
+	case proto.MethodCtrlPromote:
+		return rpc.Marshal(proto.CtrlPromoteResp{Gen: c.PromoteNow()})
+	}
+
+	if !c.leading.Load() {
+		nl := c.notLeaderErr()
+		return []byte(nl.Error()), nl
+	}
+	resp, err := c.dispatch(method, payload)
+	if err != nil {
+		return resp, err
+	}
+	// Withhold the ack until live standbys have the ops this request
+	// emitted; a no-op when nothing was emitted or no group is set.
+	if ferr := c.repl.flush(); ferr != nil {
+		return []byte(ferr.Error()), ferr
+	}
+	return resp, nil
+}
+
+func (c *Controller) dispatch(method uint16, payload []byte) ([]byte, error) {
 	switch method {
 	case proto.MethodRegisterJob:
 		var req proto.RegisterJobReq

@@ -68,7 +68,9 @@ func (c *Controller) detectorWorker() {
 // is older than the suspicion window. Returns the newly dead servers.
 // Deterministic tests call this directly under a virtual clock.
 func (c *Controller) CheckLivenessNow() []string {
-	if c.cfg.SuspicionWindow <= 0 {
+	if c.cfg.SuspicionWindow <= 0 || !c.leading.Load() {
+		// Standbys learn server deaths from the op-log; they track beats
+		// only to seed their own detector after a promotion.
 		return nil
 	}
 	now := c.clk.Now()
@@ -86,6 +88,9 @@ func (c *Controller) CheckLivenessNow() []string {
 		if c.FailServer(addr) {
 			dead = append(dead, addr)
 		}
+	}
+	if len(dead) > 0 {
+		_ = c.repl.flush()
 	}
 	return dead
 }
@@ -135,6 +140,7 @@ func (c *Controller) markServerDead(addr string) bool {
 	c.alloc.RemoveServer(addr)
 	c.servers.Drop(addr)
 	c.memberEpoch.Add(1)
+	c.repl.emit(replOp{Kind: opServerDead, Addr: addr})
 	c.log.Warn("controller: server declared dead", "addr", addr,
 		"epoch", c.memberEpoch.Load())
 	return true

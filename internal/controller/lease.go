@@ -24,6 +24,11 @@ func (c *Controller) expiryWorker() {
 // ExpireNow runs one expiry scan synchronously. The trace-replay
 // simulator calls this directly under virtual time.
 func (c *Controller) ExpireNow() int {
+	if !c.leading.Load() {
+		// Standbys learn expiries from the leader's op-log; scanning
+		// locally would release blocks the leader still tracks.
+		return 0
+	}
 	now := c.clk.Now()
 	reclaimed := 0
 	for _, s := range c.shards {
@@ -37,6 +42,9 @@ func (c *Controller) ExpireNow() int {
 		}
 		s.mu.Unlock()
 	}
+	if reclaimed > 0 {
+		_ = c.repl.flush()
+	}
 	return reclaimed
 }
 
@@ -49,7 +57,10 @@ func (c *Controller) reclaimLocked(h *hierarchy.Hierarchy, n *hierarchy.Node) bo
 	if len(n.Map.Blocks) == 0 {
 		// No data to flush, but an expired prefix still surrenders its
 		// quota registration.
-		c.releaseQuotaLocked(h, n)
+		if !n.Quota.IsZero() {
+			c.releaseQuotaLocked(h, n)
+			c.commitNodeLocked(n.Job, n)
+		}
 		return false
 	}
 	if _, err := c.flushLocked(n, ""); err != nil {
@@ -62,6 +73,7 @@ func (c *Controller) reclaimLocked(h *hierarchy.Hierarchy, n *hierarchy.Node) bo
 	c.releaseBlocksLocked(n)
 	c.releaseQuotaLocked(h, n)
 	n.Flushed = true
+	c.commitNodeLocked(n.Job, n)
 	c.expiries.Add(1)
 	return true
 }

@@ -30,6 +30,7 @@ func (c *Controller) CreatePrefix(req proto.CreatePrefixReq) (proto.CreatePrefix
 				return err
 			}
 		}
+		c.commitNodeLocked(n.Job, n)
 		resp.Map = n.Map.Clone()
 		resp.LeaseDuration = lease
 		return nil
@@ -162,6 +163,7 @@ func (c *Controller) CreateHierarchy(req proto.CreateHierarchyReq) error {
 					return err
 				}
 			}
+			c.commitNodeLocked(n.Job, n)
 		}
 		return nil
 	})
@@ -176,7 +178,15 @@ func (c *Controller) RemovePrefix(path core.Path) error {
 			return err
 		}
 		c.releaseBlocksLocked(n)
-		return h.Remove(n.Name)
+		if err := h.Remove(n.Name); err != nil {
+			// The node stays (it still has children); replicate its
+			// emptied partition map instead of a removal.
+			c.commitNodeLocked(n.Job, n)
+			return err
+		}
+		c.shardFor(n.Job).dropNodeIndexLocked(n)
+		c.repl.emit(replOp{Kind: opRemoveNode, Job: n.Job, Name: n.Name})
+		return nil
 	})
 }
 
@@ -186,6 +196,14 @@ func (c *Controller) RenewLease(paths []core.Path) (int, error) {
 	c.renews.Add(1)
 	now := c.clk.Now()
 	total := 0
+	// Replicate the whole batch even on partial failure: standbys apply
+	// renewals best-effort, and renewing a path the leader rejected is
+	// harmless (the standby rejects it identically).
+	defer func() {
+		if total > 0 {
+			c.repl.emit(replOp{Kind: opRenewLease, Paths: paths, Now: now})
+		}
+	}()
 	for _, p := range paths {
 		err := c.withJob(p.Job(), func(h *hierarchy.Hierarchy) error {
 			n, err := h.Renew(p, now)
@@ -232,6 +250,7 @@ func (c *Controller) Open(path core.Path) (proto.OpenResp, error) {
 			if err := c.loadLocked(n, n.FlushKey); err != nil {
 				return err
 			}
+			c.commitNodeLocked(n.Job, n)
 		}
 		resp.Map = n.Map.Clone()
 		resp.LeaseDuration = n.LeaseDuration

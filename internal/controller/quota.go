@@ -27,6 +27,7 @@ func (c *Controller) SetQuota(path core.Path, q core.Quota) error {
 		}
 		n.Quota = q
 		isRoot = n == h.Root()
+		c.commitNodeLocked(n.Job, n)
 		return nil
 	})
 	if err != nil {

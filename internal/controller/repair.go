@@ -3,6 +3,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"jiffy/internal/core"
 	"jiffy/internal/ds"
@@ -131,32 +132,39 @@ func (c *Controller) repairServer(addr string, alive bool) int {
 		c.log.Info("controller: repair complete", "addr", addr,
 			"entries", repaired, "epoch", c.memberEpoch.Load())
 	}
+	if repaired > 0 {
+		// Repairs can run off the RPC path (detector worker, evictServer
+		// goroutine), so push their commits to the standbys here.
+		_ = c.repl.flush()
+	}
 	return repaired
 }
 
-// collectTargets scans one shard for partition entries referencing
-// addr. The shard lock is held only for the scan — no RPCs.
+// collectTargets gathers the partition entries referencing addr from
+// the shard's server index — O(affected entries), not a walk of every
+// job. The shard lock is held only for the collection — no RPCs.
 func (c *Controller) collectTargets(sh *shard, addr string) []repairTarget {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	var targets []repairTarget
-	for _, h := range sh.jobs {
-		h.Walk(func(n *hierarchy.Node) bool {
-			for _, e := range n.Map.Blocks {
-				if e.Lost || !entryReferences(e, addr) {
-					continue
-				}
-				targets = append(targets, repairTarget{
-					node:     n,
-					path:     n.CanonicalPath(),
-					dsType:   n.Map.Type,
-					flushKey: n.FlushKey,
-					entry:    copyEntry(e),
-				})
+	for _, n := range sh.indexedNodesLocked(addr) {
+		for _, e := range n.Map.Blocks {
+			if e.Lost || !entryReferences(e, addr) {
+				continue
 			}
-			return true
-		})
+			targets = append(targets, repairTarget{
+				node:     n,
+				path:     n.CanonicalPath(),
+				dsType:   n.Map.Type,
+				flushKey: n.FlushKey,
+				entry:    copyEntry(e),
+			})
+		}
 	}
+	// The index is a map; order the work deterministically.
+	sort.Slice(targets, func(i, j int) bool {
+		return targets[i].entry.Info.ID < targets[j].entry.Info.ID
+	})
 	return targets
 }
 
@@ -586,6 +594,7 @@ func (c *Controller) commitRepair(sh *shard, t repairTarget, res spliceResult) (
 	if res.lost {
 		c.markLostLocked(e, res.lostReason)
 		t.node.Map.Epoch++
+		c.commitNodeLocked(t.node.Job, t.node)
 		return nil, true
 	}
 	headChanged := res.newChain.Head() != e.Info
@@ -612,6 +621,7 @@ func (c *Controller) commitRepair(sh *shard, t repairTarget, res spliceResult) (
 			}
 		}
 	}
+	c.commitNodeLocked(t.node.Job, t.node)
 	return relinks, true
 }
 

@@ -1,0 +1,711 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/hierarchy"
+	"jiffy/internal/proto"
+	"jiffy/internal/rpc"
+)
+
+// Primary-backup replication of controller metadata (§4.2.1). The
+// active controller appends every durable metadata mutation — lease
+// grants and renewals, chain commits, tier records, quota changes,
+// membership events, repair commits — to a deterministic op-log and
+// streams it to the standbys. Ops are enqueued under the shard lock
+// (so per-node order is preserved) but sent after the handler's
+// dispatch completes, keeping RPCs out of every lock domain; the
+// handler still waits for standby acks before answering the client,
+// so an acknowledged control operation survives leader failure.
+//
+// Standbys mirror the hierarchies, tier table, tenant quotas, and
+// membership, but not the allocator's free lists: they track only
+// each server's contributed block range, and a promoting standby
+// rebuilds the free lists as "contributed minus in-use" from its
+// replicated partition maps (see leadership.go). That removes any
+// cross-shard ordering requirement between allocate and free ops.
+//
+// A standby that misses the bounded replay window (or joins late, or
+// was a deposed leader with a diverged log) is re-bootstrapped with a
+// full snapshot on the leader's next pulse. The snapshot is fuzzy —
+// the leader does not quiesce — which is safe because the snapshot's
+// Seq is read before state capture and every op is idempotent, so
+// replaying ops that the snapshot already reflects is harmless.
+
+// opKind enumerates the replicated metadata operations.
+type opKind uint8
+
+const (
+	opNop opKind = iota
+	opRegisterJob
+	opDeregisterJob
+	opNodeUpsert
+	opRemoveNode
+	opRenewLease
+	opServerRegister
+	opServerDead
+	opTier
+)
+
+// replOp is one op-log entry. The struct is flat — gob omits zero
+// fields, so each entry carries only what its kind uses.
+type replOp struct {
+	Kind opKind
+	Job  core.JobID
+	// RegisterJob
+	Lease time.Duration
+	Now   time.Time
+	// NodeUpsert
+	Node nodeImage
+	// RemoveNode
+	Name string
+	// RenewLease
+	Paths []core.Path
+	// ServerRegister / ServerDead
+	Addr      string
+	NumBlocks int
+	FirstID   core.BlockID
+	// Tier
+	Tier proto.ReportTierReq
+}
+
+// contribRange records one server's contributed block range.
+type contribRange struct {
+	First core.BlockID
+	N     int
+}
+
+// groupImage is the full-state bootstrap snapshot.
+type groupImage struct {
+	Gen    uint64
+	Seq    uint64
+	Epoch  uint64
+	NextID core.BlockID
+	Jobs   []jobImage
+	Contrib []contribImage
+	Dead    []string
+	Tenants map[string]core.Quota
+	Tiers   []tierImage
+}
+
+type contribImage struct {
+	Addr  string
+	First core.BlockID
+	N     int
+}
+
+type tierImage struct {
+	Info core.BlockInfo
+	Path core.Path
+	Key  string
+	Gen  uint64
+}
+
+// replRingMax bounds the replay ring. A standby whose ack position
+// falls off the ring is re-bootstrapped instead of streamed to.
+const replRingMax = 4096
+
+// replicator owns the leader-side op-log stream.
+type replicator struct {
+	c *Controller
+	// on is the fast-path emit gate: true only while this controller
+	// leads a group with at least one standby.
+	on atomic.Bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	gen       uint64
+	seq       uint64   // last assigned sequence number
+	ringStart uint64   // sequence number of ring[0]
+	ring      [][]byte // encoded ops, ring[i] has seq ringStart+i
+	peers     []*standbyPeer
+	sending   bool
+}
+
+type standbyPeer struct {
+	addr  string
+	acked uint64
+	lost  bool // needs a bootstrap before streaming can resume
+}
+
+func newReplicator(c *Controller) *replicator {
+	r := &replicator{c: c}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// lead switches the replicator into leader mode at gen. Every standby
+// starts lost: sequence numbers from different leaders don't align, so
+// the first pulse bootstraps each standby to this leader's stream.
+func (r *replicator) lead(gen, seq uint64, peers []string) {
+	r.mu.Lock()
+	r.gen = gen
+	r.seq = seq
+	r.ringStart = seq + 1
+	r.ring = nil
+	r.peers = nil
+	for _, addr := range peers {
+		r.peers = append(r.peers, &standbyPeer{addr: addr, lost: true})
+	}
+	r.mu.Unlock()
+	r.on.Store(len(peers) > 0)
+}
+
+// stop turns the replicator off (demotion or close).
+func (r *replicator) stop() {
+	r.on.Store(false)
+	r.mu.Lock()
+	r.peers = nil
+	r.ring = nil
+	r.mu.Unlock()
+}
+
+// emit appends one op to the log. Called with shard (or other state)
+// locks held — it only assigns a sequence number and buffers; the
+// network send happens in flush, after the caller's locks are gone.
+func (r *replicator) emit(op replOp) {
+	if !r.on.Load() {
+		return
+	}
+	data, err := rpc.Marshal(op)
+	if err != nil {
+		r.c.log.Error("controller: replication op encode failed", "kind", op.Kind, "err", err)
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	if len(r.ring) == 0 {
+		r.ringStart = r.seq
+	}
+	r.ring = append(r.ring, data)
+	if len(r.ring) > replRingMax {
+		drop := len(r.ring) - replRingMax
+		r.ring = r.ring[drop:]
+		r.ringStart += uint64(drop)
+	}
+	r.mu.Unlock()
+}
+
+// flush streams every pending op to the standbys and returns once all
+// live standbys have acked the log through the caller's enqueue point
+// (or fallen lost). Concurrent flushes coordinate through a single
+// in-flight sender. Returns a *core.NotLeaderError when a standby
+// reports a higher generation — the caller was deposed mid-operation
+// and must surface the redirect instead of acking the client.
+func (r *replicator) flush() error {
+	if !r.on.Load() {
+		return nil
+	}
+	r.mu.Lock()
+	target := r.seq
+	for {
+		pending := false
+		for _, p := range r.peers {
+			if !p.lost && p.acked < target {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			r.mu.Unlock()
+			return nil
+		}
+		if r.sending {
+			r.cond.Wait()
+			continue
+		}
+		r.sending = true
+		gen := r.gen
+		type sendItem struct {
+			p     *standbyPeer
+			first uint64
+			ops   [][]byte
+		}
+		var items []sendItem
+		for _, p := range r.peers {
+			if p.lost || p.acked >= r.seq {
+				continue
+			}
+			if p.acked+1 < r.ringStart {
+				// Fell off the replay window; the next pulse bootstraps.
+				p.lost = true
+				continue
+			}
+			ops := make([][]byte, 0, r.seq-p.acked)
+			for s := p.acked + 1; s <= r.seq; s++ {
+				ops = append(ops, r.ring[s-r.ringStart])
+			}
+			items = append(items, sendItem{p: p, first: p.acked + 1, ops: ops})
+		}
+		self := r.c.selfAddr()
+		r.mu.Unlock()
+
+		var deposed *core.NotLeaderError
+		acks := make([]uint64, len(items))
+		lost := make([]bool, len(items))
+		for i, it := range items {
+			var resp proto.CtrlReplicateResp
+			err := r.c.callPeer(it.p.addr, proto.MethodCtrlReplicate,
+				proto.CtrlReplicateReq{Gen: gen, Leader: self, FirstSeq: it.first, Ops: it.ops}, &resp)
+			if err != nil {
+				var nl *core.NotLeaderError
+				if errors.As(err, &nl) && nl.Gen > gen {
+					deposed = nl
+				}
+				lost[i] = true
+				r.c.log.Warn("controller: replication stream to standby failed",
+					"standby", it.p.addr, "err", err)
+				continue
+			}
+			acks[i] = resp.AckedSeq
+		}
+
+		r.mu.Lock()
+		for i, it := range items {
+			if lost[i] {
+				it.p.lost = true
+			} else if acks[i] > it.p.acked {
+				it.p.acked = acks[i]
+			}
+		}
+		r.sending = false
+		r.cond.Broadcast()
+		if deposed != nil {
+			r.mu.Unlock()
+			r.c.stepDown(deposed)
+			return deposed
+		}
+	}
+}
+
+// lag returns the op-log distance between the leader's head and the
+// slowest live standby (the jiffy_ctrl_replication_lag_ops gauge). A
+// lost standby does not count — its lag is unbounded until bootstrap.
+func (r *replicator) lag() int64 {
+	if !r.on.Load() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var worst int64
+	for _, p := range r.peers {
+		if p.lost {
+			continue
+		}
+		if d := int64(r.seq - p.acked); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// pulseNow is the leader's heartbeat: flush any backlog, re-bootstrap
+// lost standbys, and send an empty replicate batch so idle standbys
+// keep observing leader liveness.
+func (r *replicator) pulseNow() {
+	if !r.on.Load() {
+		return
+	}
+	if err := r.flush(); err != nil {
+		return // deposed
+	}
+	r.mu.Lock()
+	gen := r.gen
+	var lostPeers, livePeers []*standbyPeer
+	for _, p := range r.peers {
+		if p.lost {
+			lostPeers = append(lostPeers, p)
+		} else {
+			livePeers = append(livePeers, p)
+		}
+	}
+	self := r.c.selfAddr()
+	r.mu.Unlock()
+
+	for _, p := range lostPeers {
+		img, err := r.c.buildImage()
+		if err != nil {
+			r.c.log.Error("controller: bootstrap image build failed", "err", err)
+			break
+		}
+		data, err := rpc.Marshal(img)
+		if err != nil {
+			r.c.log.Error("controller: bootstrap image encode failed", "err", err)
+			break
+		}
+		var resp proto.CtrlBootstrapResp
+		err = r.c.callPeer(p.addr, proto.MethodCtrlBootstrap,
+			proto.CtrlBootstrapReq{Gen: gen, Leader: self, Image: data}, &resp)
+		if err != nil {
+			var nl *core.NotLeaderError
+			if errors.As(err, &nl) && nl.Gen > gen {
+				r.c.stepDown(nl)
+				return
+			}
+			r.c.log.Warn("controller: standby bootstrap failed", "standby", p.addr, "err", err)
+			continue
+		}
+		r.mu.Lock()
+		p.acked = img.Seq
+		p.lost = false
+		r.mu.Unlock()
+		r.c.log.Info("controller: standby bootstrapped",
+			"standby", p.addr, "seq", img.Seq, "gen", gen)
+	}
+
+	for _, p := range livePeers {
+		var resp proto.CtrlReplicateResp
+		err := r.c.callPeer(p.addr, proto.MethodCtrlReplicate,
+			proto.CtrlReplicateReq{Gen: gen, Leader: self, FirstSeq: 0, Ops: nil}, &resp)
+		if err != nil {
+			var nl *core.NotLeaderError
+			if errors.As(err, &nl) && nl.Gen > gen {
+				r.c.stepDown(nl)
+				return
+			}
+			r.mu.Lock()
+			p.lost = true
+			r.mu.Unlock()
+		}
+	}
+	// Catch ops raced in while bootstrapping.
+	_ = r.flush()
+}
+
+// --- Leader-side image build -------------------------------------------
+
+// buildImage captures a fuzzy full-state snapshot for bootstrap. Seq
+// is read before any state, so ops enqueued during the capture replay
+// over the snapshot on the standby — idempotently.
+func (c *Controller) buildImage() (groupImage, error) {
+	img := groupImage{Tenants: make(map[string]core.Quota)}
+
+	c.repl.mu.Lock()
+	img.Gen = c.repl.gen
+	img.Seq = c.repl.seq
+	c.repl.mu.Unlock()
+
+	c.group.mu.Lock()
+	img.NextID = c.group.nextID
+	for addr, r := range c.group.contrib {
+		img.Contrib = append(img.Contrib, contribImage{Addr: addr, First: r.First, N: r.N})
+	}
+	c.group.mu.Unlock()
+	sort.Slice(img.Contrib, func(i, j int) bool { return img.Contrib[i].Addr < img.Contrib[j].Addr })
+
+	img.Epoch = c.memberEpoch.Load()
+
+	c.hbMu.Lock()
+	for addr := range c.deadServers {
+		img.Dead = append(img.Dead, addr)
+	}
+	c.hbMu.Unlock()
+	sort.Strings(img.Dead)
+
+	c.qMu.Lock()
+	for t, q := range c.tenantQuotas {
+		img.Tenants[t] = q
+	}
+	c.qMu.Unlock()
+
+	c.tiers.mu.Lock()
+	for info, rec := range c.tiers.records {
+		img.Tiers = append(img.Tiers, tierImage{Info: info, Path: rec.Path, Key: rec.Key, Gen: rec.Gen})
+	}
+	c.tiers.mu.Unlock()
+
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		jobs := make([]core.JobID, 0, len(sh.jobs))
+		for j := range sh.jobs {
+			jobs = append(jobs, j)
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i] < jobs[j] })
+		for _, j := range jobs {
+			img.Jobs = append(img.Jobs, dumpJob(j, sh.jobs[j]))
+		}
+		sh.mu.Unlock()
+	}
+	return img, nil
+}
+
+// --- Standby-side application ------------------------------------------
+
+// applyImage resets the standby's metadata to the snapshot.
+func (c *Controller) applyImage(img groupImage) error {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+
+	now := c.clk.Now()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.jobs = make(map[core.JobID]*hierarchy.Hierarchy)
+		sh.byServer = make(map[string]map[*hierarchy.Node]core.JobID)
+		sh.nodeServers = make(map[*hierarchy.Node][]string)
+		sh.mu.Unlock()
+	}
+	for _, ji := range img.Jobs {
+		sh := c.shardFor(ji.Job)
+		sh.mu.Lock()
+		h, err := restoreJob(ji, now)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.jobs[ji.Job] = h
+		h.Walk(func(n *hierarchy.Node) bool {
+			sh.reindexNodeLocked(ji.Job, n)
+			return true
+		})
+		sh.mu.Unlock()
+	}
+
+	dead := make(map[string]bool, len(img.Dead))
+	for _, addr := range img.Dead {
+		dead[addr] = true
+	}
+	c.group.mu.Lock()
+	c.group.contrib = make(map[string]contribRange, len(img.Contrib))
+	for _, ci := range img.Contrib {
+		c.group.contrib[ci.Addr] = contribRange{First: ci.First, N: ci.N}
+	}
+	c.group.nextID = img.NextID
+	c.group.appliedSeq = img.Seq
+	c.group.mu.Unlock()
+
+	c.hbMu.Lock()
+	c.lastBeat = make(map[string]time.Time)
+	c.deadServers = dead
+	for _, ci := range img.Contrib {
+		if !dead[ci.Addr] {
+			c.lastBeat[ci.Addr] = now
+		}
+	}
+	c.hbMu.Unlock()
+	c.memberEpoch.Store(img.Epoch)
+
+	c.qMu.Lock()
+	c.tenantQuotas = make(map[string]core.Quota, len(img.Tenants))
+	for t, q := range img.Tenants {
+		c.tenantQuotas[t] = q
+	}
+	c.qMu.Unlock()
+
+	c.tiers.mu.Lock()
+	c.tiers.records = make(map[core.BlockInfo]tierRecord, len(img.Tiers))
+	for _, ti := range img.Tiers {
+		c.tiers.records[ti.Info] = tierRecord{Path: ti.Path, Key: ti.Key, Gen: ti.Gen}
+	}
+	c.tiers.mu.Unlock()
+	return nil
+}
+
+// applyOp applies one op-log entry on a standby. Application is
+// idempotent: replay over a snapshot that already reflects the op must
+// leave the same state (membership-epoch over-counting aside, which is
+// safe — the epoch only needs to stay ahead of what servers observed).
+func (c *Controller) applyOp(op replOp) {
+	switch op.Kind {
+	case opRegisterJob:
+		sh := c.shardFor(op.Job)
+		sh.mu.Lock()
+		if _, exists := sh.jobs[op.Job]; !exists {
+			lease := op.Lease
+			if lease <= 0 {
+				lease = c.cfg.LeaseDuration
+			}
+			sh.jobs[op.Job] = hierarchy.New(op.Job, lease, op.Now)
+		}
+		sh.mu.Unlock()
+
+	case opDeregisterJob:
+		sh := c.shardFor(op.Job)
+		sh.mu.Lock()
+		if h, ok := sh.jobs[op.Job]; ok {
+			sh.dropJobIndexLocked(h)
+			delete(sh.jobs, op.Job)
+		}
+		sh.mu.Unlock()
+		c.setTenantQuotaLocal(string(op.Job), core.Quota{})
+
+	case opNodeUpsert:
+		if err := c.applyNodeUpsert(op.Job, op.Node, op.Now); err != nil {
+			c.log.Warn("controller: replicated node upsert failed",
+				"job", op.Job, "node", op.Node.Name, "err", err)
+		}
+
+	case opRemoveNode:
+		sh := c.shardFor(op.Job)
+		sh.mu.Lock()
+		if h, ok := sh.jobs[op.Job]; ok {
+			if n, ok := h.Lookup(op.Name); ok {
+				sh.dropNodeIndexLocked(n)
+				if err := h.Remove(n.Name); err != nil {
+					// Guarded removal (e.g. children appeared from a
+					// raced upsert): reindex and leave the node.
+					sh.reindexNodeLocked(op.Job, n)
+				}
+			}
+		}
+		sh.mu.Unlock()
+
+	case opRenewLease:
+		for _, p := range op.Paths {
+			sh := c.shardFor(p.Job())
+			sh.mu.Lock()
+			if h, ok := sh.jobs[p.Job()]; ok {
+				_, _ = h.Renew(p, op.Now)
+			}
+			sh.mu.Unlock()
+		}
+
+	case opServerRegister:
+		c.group.mu.Lock()
+		c.group.contrib[op.Addr] = contribRange{First: op.FirstID, N: op.NumBlocks}
+		if end := op.FirstID + core.BlockID(op.NumBlocks); end > c.group.nextID {
+			c.group.nextID = end
+		}
+		c.group.mu.Unlock()
+		c.noteServerAlive(op.Addr)
+		c.memberEpoch.Add(1)
+
+	case opServerDead:
+		c.hbMu.Lock()
+		already := c.deadServers[op.Addr]
+		c.deadServers[op.Addr] = true
+		delete(c.lastBeat, op.Addr)
+		c.hbMu.Unlock()
+		if !already {
+			c.memberEpoch.Add(1)
+		}
+
+	case opTier:
+		c.applyTierReport(op.Tier)
+	}
+}
+
+// applyNodeUpsert installs a replicated node image: create-or-update
+// by name, with parents resolved the same way restoreJob does.
+func (c *Controller) applyNodeUpsert(job core.JobID, ni nodeImage, now time.Time) error {
+	sh := c.shardFor(job)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.jobs[job]
+	if !ok {
+		// The op raced ahead of the job's bootstrap image; materialize
+		// the job so the upsert still lands.
+		h = hierarchy.New(job, c.cfg.LeaseDuration, now)
+		sh.jobs[job] = h
+	}
+	n, ok := h.Lookup(ni.Name)
+	if !ok {
+		if len(ni.Parents) == 0 {
+			return fmt.Errorf("controller: replicated root %q does not match job %q", ni.Name, job)
+		}
+		first, ok := h.Lookup(ni.Parents[0])
+		if !ok {
+			return fmt.Errorf("controller: replicated parent %q missing: %w", ni.Parents[0], core.ErrNotFound)
+		}
+		var extra []core.Path
+		for _, p := range ni.Parents[1:] {
+			pn, ok := h.Lookup(p)
+			if !ok {
+				return fmt.Errorf("controller: replicated parent %q missing: %w", p, core.ErrNotFound)
+			}
+			extra = append(extra, pn.CanonicalPath())
+		}
+		created, err := h.Create(first.CanonicalPath().MustChild(ni.Name), extra,
+			ni.Type, ni.LeaseDuration, now)
+		if err != nil {
+			return err
+		}
+		n = created
+	}
+	n.LeaseDuration = ni.LeaseDuration
+	n.LastRenewed = ni.LastRenewed
+	n.Type = ni.Type
+	n.Map = ni.Map
+	n.Flushed = ni.Flushed
+	n.FlushKey = ni.FlushKey
+	n.Quota = ni.Quota
+	sh.reindexNodeLocked(job, n)
+	if n == h.Root() {
+		c.setTenantQuotaLocal(string(job), ni.Quota)
+	}
+	return nil
+}
+
+// setTenantQuotaLocal updates the tenant quota mirror without the
+// server fan-out (standbys don't talk to the data plane).
+func (c *Controller) setTenantQuotaLocal(tenant string, q core.Quota) {
+	c.qMu.Lock()
+	if q.IsZero() {
+		delete(c.tenantQuotas, tenant)
+	} else {
+		c.tenantQuotas[tenant] = q
+	}
+	c.qMu.Unlock()
+}
+
+// --- Replication RPC handlers ------------------------------------------
+
+// handleReplicate applies one streamed batch (or heartbeat) from the
+// active controller.
+func (c *Controller) handleReplicate(req proto.CtrlReplicateReq) (proto.CtrlReplicateResp, error) {
+	if err := c.observeLeader(req.Gen, req.Leader); err != nil {
+		return proto.CtrlReplicateResp{}, err
+	}
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+	c.group.mu.Lock()
+	applied := c.group.appliedSeq
+	c.group.mu.Unlock()
+	if len(req.Ops) > 0 {
+		if req.FirstSeq > applied+1 {
+			return proto.CtrlReplicateResp{}, fmt.Errorf(
+				"controller: replication gap: have %d, batch starts %d: %w",
+				applied, req.FirstSeq, core.ErrStaleEpoch)
+		}
+		for i, raw := range req.Ops {
+			seq := req.FirstSeq + uint64(i)
+			if seq <= applied {
+				continue
+			}
+			var op replOp
+			if err := rpc.Unmarshal(raw, &op); err != nil {
+				return proto.CtrlReplicateResp{}, err
+			}
+			c.applyOp(op)
+			applied = seq
+		}
+		c.group.mu.Lock()
+		if applied > c.group.appliedSeq {
+			c.group.appliedSeq = applied
+		}
+		c.group.mu.Unlock()
+	}
+	return proto.CtrlReplicateResp{AckedSeq: applied}, nil
+}
+
+// handleBootstrap installs a full snapshot from the active controller.
+func (c *Controller) handleBootstrap(req proto.CtrlBootstrapReq) (proto.CtrlBootstrapResp, error) {
+	if err := c.observeLeader(req.Gen, req.Leader); err != nil {
+		return proto.CtrlBootstrapResp{}, err
+	}
+	var img groupImage
+	if err := rpc.Unmarshal(req.Image, &img); err != nil {
+		return proto.CtrlBootstrapResp{}, err
+	}
+	if err := c.applyImage(img); err != nil {
+		return proto.CtrlBootstrapResp{}, err
+	}
+	c.log.Info("controller: bootstrapped from leader",
+		"leader", req.Leader, "gen", req.Gen, "seq", img.Seq)
+	return proto.CtrlBootstrapResp{}, nil
+}

@@ -83,6 +83,7 @@ func (c *Controller) scaleUpFile(n *hierarchy.Node, idx int) error {
 	}
 	n.Map.Blocks = append(n.Map.Blocks, entryFor(chain, maxChunk+1, nil))
 	n.Map.Epoch++
+	c.commitNodeLocked(n.Job, n)
 	return nil
 }
 
@@ -104,6 +105,7 @@ func (c *Controller) scaleUpQueue(n *hierarchy.Node, idx int) error {
 	}
 	n.Map.Blocks = append(n.Map.Blocks, entryFor(chain, tail.Chunk+1, nil))
 	n.Map.Epoch++
+	c.commitNodeLocked(n.Job, n)
 	return nil
 }
 
@@ -132,6 +134,7 @@ func (c *Controller) scaleUpKV(n *hierarchy.Node, idx int) error {
 	donor.Slots = subtractAll(donor.Slots, upper)
 	n.Map.Blocks = append(n.Map.Blocks, newEntry)
 	n.Map.Epoch++
+	c.commitNodeLocked(n.Job, n)
 	return nil
 }
 
@@ -229,6 +232,7 @@ func (c *Controller) scaleDownQueue(n *hierarchy.Node, idx int) error {
 	c.alloc.Free(victim.Replicas())
 	n.Map.Blocks = append(n.Map.Blocks[:idx], n.Map.Blocks[idx+1:]...)
 	n.Map.Epoch++
+	c.commitNodeLocked(n.Job, n)
 	return nil
 }
 
@@ -268,6 +272,7 @@ func (c *Controller) scaleDownKV(n *hierarchy.Node, idx int) error {
 	c.alloc.Free(victim.Replicas())
 	n.Map.Blocks = append(n.Map.Blocks[:idx], n.Map.Blocks[idx+1:]...)
 	n.Map.Epoch++
+	c.commitNodeLocked(n.Job, n)
 	return nil
 }
 

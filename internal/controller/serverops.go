@@ -58,7 +58,25 @@ func (c *Controller) createBlockOnServer(info core.BlockInfo, path core.Path,
 		Chain:    chain,
 	}
 	var resp proto.CreateBlockResp
-	return c.callServer(info.Server, proto.MethodCreateBlock, req, &resp)
+	err := c.callServer(info.Server, proto.MethodCreateBlock, req, &resp)
+	if errors.Is(err, core.ErrExists) {
+		// The server holds a partition under an ID the committed
+		// metadata says is free: an orphan from a previous leader's
+		// uncommitted work (a chain splice cut short by the leader's
+		// death never reaches the op-log, but its replacement block
+		// survives on the server). The replicated metadata is
+		// authoritative — reclaim the orphan and install the new
+		// partition in its place.
+		c.log.Warn("controller: reclaiming orphan block",
+			"block", info.ID, "on", info.Server)
+		var dresp proto.DeleteBlockResp
+		if derr := c.callServer(info.Server, proto.MethodDeleteBlock,
+			proto.DeleteBlockReq{Block: info.ID}, &dresp); derr != nil {
+			return err
+		}
+		err = c.callServer(info.Server, proto.MethodCreateBlock, req, &resp)
+	}
+	return err
 }
 
 // deleteBlockOnServer removes a block's partition; failures are logged

@@ -54,6 +54,7 @@ type nodeImage struct {
 	Map           ds.PartitionMap
 	Flushed       bool
 	FlushKey      string
+	Quota         core.Quota
 }
 
 // SaveState checkpoints the controller's metadata into the persistent
@@ -102,6 +103,7 @@ func dumpJob(job core.JobID, h *hierarchy.Hierarchy) jobImage {
 		Name:          root.Name,
 		LeaseDuration: root.LeaseDuration,
 		LastRenewed:   root.LastRenewed,
+		Quota:         root.Quota,
 	})
 
 	// Collect the remaining nodes and their parent edges.
@@ -138,6 +140,7 @@ func dumpJob(job core.JobID, h *hierarchy.Hierarchy) jobImage {
 				Map:           n.Map.Clone(),
 				Flushed:       n.Flushed,
 				FlushKey:      n.FlushKey,
+				Quota:         n.Quota,
 			})
 			emitted[n.Name] = true
 			progressed = true
@@ -198,6 +201,7 @@ func restoreJob(img jobImage, now time.Time) (*hierarchy.Hierarchy, error) {
 	root := img.Nodes[0]
 	h := hierarchy.New(img.Job, root.LeaseDuration, now)
 	h.Root().LastRenewed = root.LastRenewed
+	h.Root().Quota = root.Quota
 	for _, ni := range img.Nodes[1:] {
 		// Resolve the primary parent's canonical path; extra parents
 		// become DAG edges.
@@ -225,6 +229,7 @@ func restoreJob(img jobImage, now time.Time) (*hierarchy.Hierarchy, error) {
 		n.Map = ni.Map
 		n.Flushed = ni.Flushed
 		n.FlushKey = ni.FlushKey
+		n.Quota = ni.Quota
 	}
 	return h, nil
 }

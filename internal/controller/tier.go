@@ -51,6 +51,14 @@ type tierState struct {
 // unless a newer demotion has already superseded the reported
 // generation.
 func (c *Controller) ReportTier(req proto.ReportTierReq) (proto.ReportTierResp, error) {
+	c.applyTierReport(req)
+	c.repl.emit(replOp{Kind: opTier, Tier: req})
+	return proto.ReportTierResp{}, nil
+}
+
+// applyTierReport mutates the tier table for one report; shared between
+// the RPC path above and standby-side op replay (replication.go).
+func (c *Controller) applyTierReport(req proto.ReportTierReq) {
 	info := core.BlockInfo{ID: req.Block, Server: req.Server}
 	c.tiers.mu.Lock()
 	if c.tiers.records == nil {
@@ -70,7 +78,6 @@ func (c *Controller) ReportTier(req proto.ReportTierReq) (proto.ReportTierResp, 
 	} else {
 		c.tiers.promotes.Add(1)
 	}
-	return proto.ReportTierResp{}, nil
 }
 
 // tierRecordFor looks up the record for one chain member.

@@ -51,6 +51,11 @@ var (
 	// *ThrottleError carrying a retry-after hint; clients honor it as
 	// backpressure before retrying.
 	ErrQuotaExceeded = errors.New("jiffy: quota exceeded")
+	// ErrNotLeader reports a control-plane request sent to a standby
+	// controller in a replicated group. The server-side form is a
+	// *NotLeaderError carrying the current leader's address so clients
+	// and servers re-home instead of retrying against the standby.
+	ErrNotLeader = errors.New("jiffy: not leader")
 )
 
 // ErrorCode is the wire representation of the sentinel errors.
@@ -74,6 +79,7 @@ const (
 	CodeRedirect
 	CodeBlockLost
 	CodeQuotaExceeded
+	CodeNotLeader
 	CodeOther
 )
 
@@ -93,6 +99,7 @@ var codeToErr = map[ErrorCode]error{
 	CodeRedirect:      ErrRedirect,
 	CodeBlockLost:     ErrBlockLost,
 	CodeQuotaExceeded: ErrQuotaExceeded,
+	CodeNotLeader:     ErrNotLeader,
 }
 
 // CodeOf maps an error to its wire code. Wrapped sentinels are
@@ -112,7 +119,8 @@ func CodeOf(err error) ErrorCode {
 // ErrOf maps a wire code back to its sentinel error. CodeOther yields a
 // generic error carrying msg; CodeOK yields nil. CodeQuotaExceeded
 // reconstructs the typed *ThrottleError from the diagnostic payload so
-// the retry-after hint survives the wire.
+// the retry-after hint survives the wire; CodeNotLeader likewise
+// reconstructs *NotLeaderError so the redirect hint survives.
 func ErrOf(code ErrorCode, msg string) error {
 	if code == CodeOK {
 		return nil
@@ -122,6 +130,12 @@ func ErrOf(code ErrorCode, msg string) error {
 			return te
 		}
 		return ErrQuotaExceeded
+	}
+	if code == CodeNotLeader {
+		if nl := parseNotLeader(msg); nl != nil {
+			return nl
+		}
+		return ErrNotLeader
 	}
 	if err, ok := codeToErr[code]; ok {
 		return err

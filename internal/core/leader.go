@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NotLeaderError is the server-side form of ErrNotLeader: the request
+// reached a standby controller in a replicated group. Leader names the
+// address of the controller believed to hold the lease (empty when the
+// standby does not know yet) and Gen its leadership generation, so
+// clients can discard stale redirects. It crosses the wire as
+// CodeNotLeader with Error() as the diagnostic payload (see ErrOf).
+type NotLeaderError struct {
+	// Leader is the address of the current leader, if known.
+	Leader string
+	// Gen is the leadership generation the redirecting controller has
+	// observed. A redirect with a lower generation than one already
+	// acted on is stale.
+	Gen uint64
+}
+
+// Error renders the stable wire form parsed back by parseNotLeader.
+func (e *NotLeaderError) Error() string {
+	return fmt.Sprintf("jiffy: not leader: leader=%s gen=%d", e.Leader, e.Gen)
+}
+
+// Unwrap ties the typed error to the ErrNotLeader sentinel.
+func (e *NotLeaderError) Unwrap() error { return ErrNotLeader }
+
+// parseNotLeader reverses (*NotLeaderError).Error(); nil if msg is not
+// in that form.
+func parseNotLeader(msg string) *NotLeaderError {
+	rest, ok := strings.CutPrefix(msg, "jiffy: not leader: leader=")
+	if !ok {
+		return nil
+	}
+	leader, genStr, ok := strings.Cut(rest, " gen=")
+	if !ok {
+		return nil
+	}
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		return nil
+	}
+	return &NotLeaderError{Leader: leader, Gen: gen}
+}
+
+// LeaderHintOf extracts the redirect hint from a not-leader error
+// chain; empty when err carries none.
+func LeaderHintOf(err error) (string, uint64) {
+	var nl *NotLeaderError
+	if errors.As(err, &nl) {
+		return nl.Leader, nl.Gen
+	}
+	return "", 0
+}

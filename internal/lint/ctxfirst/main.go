@@ -1,8 +1,12 @@
-// Command ctxfirst enforces the context-first public API rule over the
-// given source directories (see internal/lint). CI runs it against the
-// client package and the repo root; a non-empty report fails the build.
+// Command ctxfirst enforces the client API rules over the given source
+// directories (see internal/lint): every public method takes a leading
+// context.Context, and nothing outside the compatibility shims calls
+// the deprecated single-address constructors (Connect, ConnectMulti) —
+// new code dials the controller group with Dial + WithControllers. CI
+// runs it against the client package, the repo root, the commands and
+// the examples; a non-empty report fails the build.
 //
-//	go run ./internal/lint/ctxfirst internal/client .
+//	go run ./internal/lint/ctxfirst internal/client . cmd/jiffy-cli
 package main
 
 import (
@@ -25,7 +29,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ctxfirst: %s: %v\n", dir, err)
 			os.Exit(2)
 		}
-		for _, v := range violations {
+		deprecatedCalls, err := lint.DeprecatedConnectCalls(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctxfirst: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, v := range append(violations, deprecatedCalls...) {
 			failed = true
 			fmt.Fprintln(os.Stderr, v)
 		}

@@ -54,13 +54,17 @@ func DefaultAllow() map[string]bool {
 	}
 }
 
-// Violation is one public declaration missing its leading context.
+// Violation is one flagged declaration or call site.
 type Violation struct {
 	Pos  token.Position
 	Name string // "Type.Method" or function name
+	Msg  string // violation text; empty means the context-first message
 }
 
 func (v Violation) String() string {
+	if v.Msg != "" {
+		return fmt.Sprintf("%s: %s %s", v.Pos, v.Name, v.Msg)
+	}
 	return fmt.Sprintf("%s: %s must take context.Context as its first parameter", v.Pos, v.Name)
 }
 
@@ -115,7 +119,7 @@ func CtxFirst(dir string, allow map[string]bool) ([]Violation, error) {
 // package-level Connect* constructors.
 func subject(fn *ast.FuncDecl) (label string, check bool) {
 	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		if strings.HasPrefix(fn.Name.Name, "Connect") {
+		if strings.HasPrefix(fn.Name.Name, "Connect") || fn.Name.Name == "Dial" {
 			return fn.Name.Name, true
 		}
 		return fn.Name.Name, false
@@ -153,4 +157,74 @@ func firstParamIsCtx(ft *ast.FuncType) bool {
 
 func deprecated(fn *ast.FuncDecl) bool {
 	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "Deprecated:")
+}
+
+// deprecatedConnectors names the single-address client constructors
+// kept only as compatibility shims; new code dials the controller
+// group with Dial + WithControllers.
+var deprecatedConnectors = map[string]bool{
+	"Connect":           true,
+	"ConnectMulti":      true,
+	"ConnectNoCtx":      true,
+	"ConnectMultiNoCtx": true,
+}
+
+// DeprecatedConnectCalls scans the non-test Go files of one directory
+// for call sites of the deprecated client constructors
+// (client.Connect, jiffy.ConnectMulti, ...). Calls inside functions
+// that are themselves marked Deprecated are exempt — the shims forward
+// to each other; everything else must migrate to Dial.
+func DeprecatedConnectCalls(dir string) ([]Violation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var violations []Violation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || deprecated(fn) {
+				continue
+			}
+			ast.Inspect(fn, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !deprecatedConnectors[sel.Sel.Name] {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				// Only package-qualified calls: x.Connect on a receiver
+				// variable (e.g. cluster.Connect) is a different method.
+				if !ok || (pkg.Name != "client" && pkg.Name != "jiffy") {
+					return true
+				}
+				violations = append(violations, Violation{
+					Pos:  fset.Position(call.Pos()),
+					Name: pkg.Name + "." + sel.Sel.Name,
+					Msg:  "is deprecated; dial the controller group with Dial + WithControllers",
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].Pos, violations[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return violations, nil
 }

@@ -21,6 +21,82 @@ func TestRepoIsCtxFirst(t *testing.T) {
 	}
 }
 
+// TestRepoAvoidsDeprecatedConnect runs the deprecated-constructor
+// check against every package that dials clients: new code must use
+// Dial + WithControllers, not the single-address shims.
+func TestRepoAvoidsDeprecatedConnect(t *testing.T) {
+	dirs := []string{"../client", "../..", "../soak", "../bench"}
+	for _, pat := range []string{"../../cmd/*", "../../examples/*"} {
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, matches...)
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		violations, err := DeprecatedConnectCalls(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, v := range violations {
+			t.Errorf("%s", v)
+		}
+	}
+}
+
+// TestDeprecatedConnectCallsCatches feeds the checker synthetic
+// source: package-qualified calls to the shims are flagged, calls
+// inside Deprecated functions and method calls on variables are not.
+func TestDeprecatedConnectCallsCatches(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fake
+
+import (
+	"context"
+
+	"jiffy/internal/client"
+)
+
+func bad(ctx context.Context) {
+	client.Connect(ctx, "addr")                     // violation
+	client.ConnectMulti(ctx, []string{"a"})        // violation
+	c, _ := client.Dial(ctx)                       // fine
+	_ = c
+}
+
+// Deprecated: shim.
+func shim(ctx context.Context) {
+	client.Connect(ctx, "addr") // exempt: inside a deprecated shim
+}
+
+type clusterT struct{}
+
+func (clusterT) Connect(ctx context.Context) error { return nil }
+
+func alsoFine(ctx context.Context, cluster clusterT) {
+	cluster.Connect(ctx) // method on a variable, not the package shim
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fake.go"), []byte(src), 0644); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := DeprecatedConnectCalls(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, v := range violations {
+		got = append(got, v.Name)
+	}
+	want := []string{"client.Connect", "client.ConnectMulti"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("violations = %v, want %v", got, want)
+	}
+}
+
 // TestCtxFirstCatchesViolations feeds the checker synthetic source
 // covering each rule: missing ctx flagged; allowlisted, deprecated,
 // NoCtx-view, and unexported declarations skipped; Connect* functions

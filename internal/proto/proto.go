@@ -73,6 +73,21 @@ const (
 	// promotion from the persist tier) in the controller's metadata, so
 	// a tiered block can be recovered if its chain later dies.
 	MethodReportTier uint16 = 0x0015
+	// MethodCtrlReplicate streams a batch of metadata op-log entries
+	// from the active controller to a standby. Standbys apply entries
+	// in sequence order; a gap triggers a fresh bootstrap.
+	MethodCtrlReplicate uint16 = 0x0016
+	// MethodCtrlBootstrap installs a full metadata snapshot on a
+	// standby, resetting whatever state it held. The active controller
+	// sends it when a standby joins or falls off the replay window.
+	MethodCtrlBootstrap uint16 = 0x0017
+	// MethodCtrlRole reports a controller's view of the replicated
+	// group: whether it is the leader, who it believes leads, and the
+	// leadership generation. Clients use it to seed their leader cache.
+	MethodCtrlRole uint16 = 0x0018
+	// MethodCtrlPromote forces a standby to assume leadership
+	// immediately (operator/test override of the suspicion window).
+	MethodCtrlPromote uint16 = 0x0019
 )
 
 // Memory-server methods.
@@ -390,6 +405,58 @@ type ReportTierReq struct {
 // ReportTierResp acknowledges the transition.
 type ReportTierResp struct{}
 
+// CtrlReplicateReq carries a contiguous batch of op-log entries from
+// the active controller. Gen fences the stream: a standby that has
+// observed a higher leadership generation rejects the batch with
+// ErrNotLeader so a deposed leader demotes itself. FirstSeq is the
+// sequence number of Ops[0]; entries are gob-encoded replOp values
+// (see internal/controller). An empty Ops slice is a leadership
+// heartbeat.
+type CtrlReplicateReq struct {
+	Gen      uint64
+	Leader   string
+	FirstSeq uint64
+	Ops      [][]byte
+}
+
+// CtrlReplicateResp acknowledges application through AckedSeq.
+type CtrlReplicateResp struct {
+	AckedSeq uint64
+}
+
+// CtrlBootstrapReq installs a full metadata snapshot (gob-encoded
+// group image, see internal/controller) on a standby. Gen fences it
+// like CtrlReplicateReq.
+type CtrlBootstrapReq struct {
+	Gen    uint64
+	Leader string
+	Image  []byte
+}
+
+// CtrlBootstrapResp acknowledges snapshot installation.
+type CtrlBootstrapResp struct{}
+
+// CtrlRoleReq asks a controller for its view of the replicated group.
+type CtrlRoleReq struct{}
+
+// CtrlRoleResp reports the controller's role. Leader is the address
+// this controller believes is active (its own when IsLeader); Gen the
+// leadership generation it has observed.
+type CtrlRoleResp struct {
+	Leader   string
+	Gen      uint64
+	IsLeader bool
+}
+
+// CtrlPromoteReq forces the receiving standby to take over leadership
+// now, without waiting out the suspicion window.
+type CtrlPromoteReq struct{}
+
+// CtrlPromoteResp reports the generation the controller leads with.
+type CtrlPromoteResp struct {
+	Gen uint64
+}
+
 // DrainServerReq migrates every block off Addr so it can be
 // decommissioned without data loss.
 type DrainServerReq struct {
@@ -662,6 +729,10 @@ var methodNames = map[uint16]string{
 	MethodUpdateChain:     "UpdateChain",
 	MethodSetTenantQuota:  "SetTenantQuota",
 	MethodReportTier:      "ReportTier",
+	MethodCtrlReplicate:   "CtrlReplicate",
+	MethodCtrlBootstrap:   "CtrlBootstrap",
+	MethodCtrlRole:        "CtrlRole",
+	MethodCtrlPromote:     "CtrlPromote",
 }
 
 // MethodName returns the human-readable name of a method identifier,

@@ -30,8 +30,16 @@ import (
 type Options struct {
 	// Config supplies block size and thresholds.
 	Config core.Config
-	// ControllerAddr is where overload/underload signals go. Empty
-	// disables signaling (unit tests drive scaling manually).
+	// ControllerAddrs lists the controller group members. The server
+	// registers and heartbeats with whichever member currently leads,
+	// re-homing automatically on NotLeader redirects or connection
+	// failures. Empty (together with ControllerAddr) disables signaling
+	// (unit tests drive scaling manually).
+	ControllerAddrs []string
+	// ControllerAddr is the single-controller form of ControllerAddrs.
+	//
+	// Deprecated: set ControllerAddrs. Kept as a shim for existing
+	// callers; ignored when ControllerAddrs is non-empty.
 	ControllerAddr string
 	// NumBlocks is the capacity contribution announced at registration.
 	NumBlocks int
@@ -59,8 +67,11 @@ type Server struct {
 	peers  *rpc.Pool
 	gate   *qos.Gate
 
-	addr           string
-	controllerAddr string
+	addr      string
+	ctrlAddrs []string
+	// ctrlLeader indexes ctrlAddrs at the member last observed leading;
+	// callCtrl starts there and re-homes on redirects.
+	ctrlLeader atomic.Int32
 	// numBlocks is the registered capacity, kept for re-registration
 	// when the controller reports it no longer knows this server.
 	numBlocks atomic.Int64
@@ -107,16 +118,20 @@ func New(opts Options) (*Server, error) {
 	if opts.Clock == nil {
 		opts.Clock = clock.Real{}
 	}
+	ctrlAddrs := opts.ControllerAddrs
+	if len(ctrlAddrs) == 0 && opts.ControllerAddr != "" {
+		ctrlAddrs = []string{opts.ControllerAddr}
+	}
 	s := &Server{
-		cfg:            opts.Config,
-		log:            opts.Logger,
-		persist:        opts.Persist,
-		clk:            opts.Clock,
-		peers:          rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
-		controllerAddr: opts.ControllerAddr,
-		signals:        make(chan signal, 1024),
-		reports:        make(chan proto.ReportFailureReq, 64),
-		stop:           make(chan struct{}),
+		cfg:       opts.Config,
+		log:       opts.Logger,
+		persist:   opts.Persist,
+		clk:       opts.Clock,
+		peers:     rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		ctrlAddrs: ctrlAddrs,
+		signals:   make(chan signal, 1024),
+		reports:   make(chan proto.ReportFailureReq, 64),
+		stop:      make(chan struct{}),
 	}
 	s.store = blockstore.NewStore(opts.Config.HighThreshold, opts.Config.LowThreshold, s.onSignal)
 	s.gate = qos.NewGate(qos.Options{
@@ -175,7 +190,7 @@ func New(opts Options) (*Server, error) {
 	go s.signalWorker()
 	s.wg.Add(1)
 	go s.reportWorker()
-	if opts.Config.HeartbeatInterval > 0 && opts.ControllerAddr != "" {
+	if opts.Config.HeartbeatInterval > 0 && len(ctrlAddrs) > 0 {
 		s.wg.Add(1)
 		go s.heartbeatWorker()
 	}
@@ -202,18 +217,76 @@ func (s *Server) Listen(addr string) (string, error) {
 // Addr returns the bound data-plane address.
 func (s *Server) Addr() string { return s.addr }
 
-// Register announces this server's capacity to the controller.
-func (s *Server) Register(numBlocks int) error {
-	if s.controllerAddr == "" {
+// ctrlIndexOf maps a leader-hint address to its slot in ctrlAddrs, or
+// -1 when the hint is empty or names a member outside the configured
+// group (callCtrl then falls back to round-robin probing).
+func (s *Server) ctrlIndexOf(addr string) int {
+	if addr == "" {
+		return -1
+	}
+	for i, a := range s.ctrlAddrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// callCtrl issues one control-plane call against the controller group,
+// starting at the member last observed leading. A NotLeader redirect
+// re-homes onto the hinted leader (or probes round-robin when the hint
+// is unusable); a connection failure drops the pooled session and
+// probes the next member. There is no sleep between probes — every
+// caller here is a background worker with its own retry cadence, so a
+// failed pass just surfaces the last error to that cadence.
+func (s *Server) callCtrl(method uint16, req, resp any) error {
+	n := len(s.ctrlAddrs)
+	if n == 0 {
 		return fmt.Errorf("server: no controller address configured")
 	}
-	ctrl, err := s.peers.Get(s.controllerAddr)
-	if err != nil {
-		return err
+	idx := int(s.ctrlLeader.Load()) % n
+	var lastErr error
+	// One pass over the group plus slack for a hint follow.
+	for attempt := 0; attempt <= n+1; attempt++ {
+		addr := s.ctrlAddrs[idx]
+		ctrl, err := s.peers.Get(addr)
+		if err == nil {
+			err = ctrl.CallGob(method, req, resp)
+		}
+		if err == nil {
+			s.ctrlLeader.Store(int32(idx))
+			return nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, core.ErrNotLeader):
+			// A standby answered: invalidate its pooled session so a
+			// later leadership change is not served from a stale conn.
+			s.peers.Drop(addr)
+			if hint, _ := core.LeaderHintOf(err); hint != addr {
+				if j := s.ctrlIndexOf(hint); j >= 0 {
+					idx = j
+					continue
+				}
+			}
+			idx = (idx + 1) % n
+		case errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout):
+			s.peers.Drop(addr)
+			idx = (idx + 1) % n
+		default:
+			// An operation-level answer from the leader; not a routing
+			// problem, so surface it.
+			return err
+		}
 	}
+	return lastErr
+}
+
+// Register announces this server's capacity to the controller.
+func (s *Server) Register(numBlocks int) error {
 	s.numBlocks.Store(int64(numBlocks))
 	var resp proto.RegisterServerResp
-	return ctrl.CallGob(proto.MethodRegisterServer,
+	return s.callCtrl(proto.MethodRegisterServer,
 		proto.RegisterServerReq{Addr: s.addr, NumBlocks: numBlocks}, &resp)
 }
 
@@ -240,15 +313,11 @@ func (s *Server) heartbeatWorker() {
 // Deterministic tests call this directly instead of advancing the
 // heartbeat clock.
 func (s *Server) HeartbeatNow() error {
-	if s.controllerAddr == "" || s.addr == "" {
+	if len(s.ctrlAddrs) == 0 || s.addr == "" {
 		return nil
 	}
-	ctrl, err := s.peers.Get(s.controllerAddr)
-	if err != nil {
-		return err
-	}
 	var resp proto.HeartbeatResp
-	err = ctrl.CallGob(proto.MethodHeartbeat, proto.HeartbeatReq{Addr: s.addr}, &resp)
+	err := s.callCtrl(proto.MethodHeartbeat, proto.HeartbeatReq{Addr: s.addr}, &resp)
 	if errors.Is(err, core.ErrNotFound) {
 		if n := s.numBlocks.Load(); n > 0 {
 			s.log.Info("server: controller lost track of us; re-registering",
@@ -263,7 +332,7 @@ func (s *Server) HeartbeatNow() error {
 // server is unreachable; a full queue drops the report (the failure
 // detector will catch the death via missed heartbeats anyway).
 func (s *Server) reportFailedHop(hop core.BlockInfo) {
-	if s.controllerAddr == "" {
+	if len(s.ctrlAddrs) == 0 {
 		return
 	}
 	select {
@@ -281,13 +350,8 @@ func (s *Server) reportWorker() {
 		case <-s.stop:
 			return
 		case rep := <-s.reports:
-			ctrl, err := s.peers.Get(s.controllerAddr)
-			if err != nil {
-				s.log.Debug("server: cannot reach controller for failure report", "err", err)
-				continue
-			}
 			var resp proto.ReportFailureResp
-			if err := ctrl.CallGob(proto.MethodReportFailure, rep, &resp); err != nil {
+			if err := s.callCtrl(proto.MethodReportFailure, rep, &resp); err != nil {
 				s.log.Debug("server: failure report rejected", "server", rep.Server, "err", err)
 			}
 		}
@@ -334,21 +398,17 @@ func (s *Server) signalWorker() {
 }
 
 func (s *Server) deliverSignal(sig signal) {
-	if s.controllerAddr == "" {
+	if len(s.ctrlAddrs) == 0 {
 		return
 	}
-	ctrl, err := s.peers.Get(s.controllerAddr)
-	if err != nil {
-		s.log.Warn("server: cannot reach controller for signal", "err", err)
-		return
-	}
+	var err error
 	if sig.over {
 		var resp proto.ScaleUpResp
-		err = ctrl.CallGob(proto.MethodScaleUp,
+		err = s.callCtrl(proto.MethodScaleUp,
 			proto.ScaleUpReq{Path: sig.path, Block: sig.block}, &resp)
 	} else {
 		var resp proto.ScaleDownResp
-		err = ctrl.CallGob(proto.MethodScaleDown,
+		err = s.callCtrl(proto.MethodScaleDown,
 			proto.ScaleDownReq{Path: sig.path, Block: sig.block}, &resp)
 	}
 	if err != nil {

@@ -280,15 +280,11 @@ func (s *Server) flushTiered(b *blockstore.Block, key string) (handled bool, byt
 // controller. With no controller configured (unit tests) the local
 // transition proceeds unrecorded.
 func (s *Server) reportTier(id core.BlockID, path core.Path, key string, gen uint64, demoted bool) error {
-	if s.controllerAddr == "" {
+	if len(s.ctrlAddrs) == 0 {
 		return nil
 	}
-	ctrl, err := s.peers.Get(s.controllerAddr)
-	if err != nil {
-		return err
-	}
 	var resp proto.ReportTierResp
-	return ctrl.CallGob(proto.MethodReportTier, proto.ReportTierReq{
+	return s.callCtrl(proto.MethodReportTier, proto.ReportTierReq{
 		Server:  s.addr,
 		Block:   id,
 		Path:    path,

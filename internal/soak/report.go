@@ -64,6 +64,11 @@ type Report struct {
 	TierPromotions     int64
 	TierRehydrateBytes int64
 
+	// ControllerFailovers is the promoted standby's scraped
+	// jiffy_ctrl_failovers_total after a mid-soak leader kill
+	// (CtrlKillAtTick > 0; zero otherwise).
+	ControllerFailovers int64
+
 	Violations []string
 }
 
@@ -210,6 +215,26 @@ func (e *engine) checkMetrics(rep *Report) {
 			"clients saw throttles but no server gate counted any")
 	}
 
+	// Control-plane failover accounting: after a mid-soak leader kill
+	// the promoted standby must export the takeover — exactly one
+	// failover, and the leader gauge flipped to 1 — while the zero
+	// unexpected-error gate above already proved the handoff was
+	// invisible to clients.
+	if e.ctrlKilledAddr != "" && len(e.cluster.Controllers) > 1 {
+		var buf bytes.Buffer
+		e.cluster.Controllers[1].Obs().WritePrometheus(&buf)
+		m := obs.ParsePrometheus(buf.Bytes())
+		rep.ControllerFailovers = int64(m["jiffy_ctrl_failovers_total"])
+		if m["jiffy_ctrl_leader"] != 1 {
+			e.violations = append(e.violations,
+				"promoted standby does not export jiffy_ctrl_leader=1")
+		}
+		if rep.ControllerFailovers != 1 {
+			e.violations = append(e.violations, fmt.Sprintf(
+				"promoted standby exports %d failovers, want 1", rep.ControllerFailovers))
+		}
+	}
+
 	// Tier metrics must agree with ground truth: each server's tiered
 	// gauge matches a direct store scan, and the idle cohort's journey
 	// (demote mid-run, rehydrate on re-access) shows up in the fleet
@@ -263,6 +288,10 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "tiering: %d demotions, %d promotions, %d bytes rehydrated; idle cohort %d tenants, %d re-access errors\n",
 			r.TierDemotions, r.TierPromotions, r.TierRehydrateBytes,
 			r.IdleTenants, r.IdleReaccessErrors)
+	}
+	if r.ControllerFailovers > 0 {
+		fmt.Fprintf(&b, "control plane: %d leader failover(s) mid-soak, handoff invisible to clients\n",
+			r.ControllerFailovers)
 	}
 	if len(r.Violations) == 0 {
 		b.WriteString("PASS: all tier SLOs met, zero acked-write loss\n")

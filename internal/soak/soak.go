@@ -94,6 +94,13 @@ type Config struct {
 	// DrainAtTick starts a live DrainServer of a second server at that
 	// tick, concurrent with the offered load (<= 0 disables).
 	DrainAtTick int
+	// CtrlKillAtTick kills the lead controller at the start of that
+	// tick and promotes the first standby before the tick's load is
+	// offered. Unlike the server kill there is NO tolerance window: the
+	// handoff must be invisible — every op during and after it either
+	// succeeds within the normal retry budget or counts as an
+	// unexpected error. Requires Controllers >= 2 (<= 0 disables).
+	CtrlKillAtTick int
 
 	// IdleTenants provisions a scale-to-zero cohort: tenants whose
 	// dataset is written before the first tick and then never touched
@@ -119,20 +126,23 @@ type Config struct {
 }
 
 // DefaultShortConfig is the seeded CI soak: 48 tenants in three tiers
-// (one bronze burster at 10× quota), four servers with 2-chains, a
-// kill+repair and a live drain mid-run, ~12s of virtual time.
+// (one bronze burster at 10× quota), four servers with 2-chains behind
+// a three-member replicated controller group, a kill+repair, a leader
+// kill + standby promotion, and a live drain mid-run, ~12s of virtual
+// time.
 func DefaultShortConfig() Config {
 	return Config{
 		Seed:            1,
 		Ticks:           120,
 		TickDuration:    100 * time.Millisecond,
 		Servers:         4,
-		Controllers:     1,
+		Controllers:     3,
 		BlocksPerServer: 256,
 		ChainLength:     2,
 		QoSConcurrency:  16,
 		Workers:         16,
 		KillAtTick:      45,
+		CtrlKillAtTick:  60,
 		DrainAtTick:     80,
 		IdleTenants:     6,
 		TierIdleAfter:   2 * time.Second,
@@ -205,9 +215,11 @@ type engine struct {
 
 	idleReaccessErrs int
 
-	killedAddr  string
-	killedIdx   int
-	drainAddr   string
+	killedAddr     string
+	killedIdx      int
+	ctrlKilledAddr string
+	failoverGen    uint64
+	drainAddr      string
 	drainActive atomic.Bool
 	drainDone   chan error
 	drained     int
@@ -514,6 +526,9 @@ func (e *engine) runTicks() {
 		if e.cfg.KillAtTick > 0 && tick == e.cfg.KillAtTick {
 			e.kill()
 		}
+		if e.cfg.CtrlKillAtTick > 0 && tick == e.cfg.CtrlKillAtTick {
+			e.killController(tick)
+		}
 		if e.cfg.DrainAtTick > 0 && tick == e.cfg.DrainAtTick {
 			e.startDrain()
 		}
@@ -670,6 +685,43 @@ func (e *engine) repair() {
 		e.violations = append(e.violations, fmt.Sprintf("no controller declared %s dead", e.killedAddr))
 	}
 	e.logf("soak: repaired after killing %s", e.killedAddr)
+}
+
+// killController closes the lead controller mid-soak, severs its
+// sessions, and promotes the first standby under a fenced generation —
+// the control-plane failover, driven under full offered load. The
+// promotion completes before this tick's ops are offered, and no fault
+// window opens: servers and the shared client must re-home within
+// their normal retry budgets with zero client-visible errors. The
+// client's very next control call proves the re-home worked.
+func (e *engine) killController(tick int) {
+	if len(e.cluster.Controllers) < 2 {
+		e.violations = append(e.violations,
+			"controller kill configured but the group has no standby")
+		return
+	}
+	leader := e.cluster.Controllers[0]
+	e.ctrlKilledAddr = e.cluster.ControllerAddrs[0]
+	leader.Close()
+	e.inj.BreakConns(strings.TrimPrefix(e.ctrlKilledAddr, "mem://"))
+
+	standby := e.cluster.Controllers[1]
+	e.failoverGen = standby.PromoteNow()
+	if e.failoverGen < 2 {
+		e.violations = append(e.violations, fmt.Sprintf(
+			"standby promotion returned generation %d, want >= 2", e.failoverGen))
+	}
+	role, err := e.c.ControllerRole(context.Background())
+	switch {
+	case err != nil:
+		e.violations = append(e.violations, fmt.Sprintf(
+			"client did not re-home across the controller handoff: %v", err))
+	case !role.IsLeader || role.Leader != e.cluster.ControllerAddrs[1]:
+		e.violations = append(e.violations, fmt.Sprintf(
+			"post-handoff role = %+v, want leader %s", role, e.cluster.ControllerAddrs[1]))
+	}
+	e.logf("soak: killed controller %s at tick %d; standby promoted at gen %d",
+		e.ctrlKilledAddr, tick, e.failoverGen)
 }
 
 // startDrain begins a live migration of a second server under load.

@@ -86,6 +86,9 @@ type (
 	// ThrottleError is the typed admission refusal carrying the
 	// throttled tenant and the server's retry-after hint.
 	ThrottleError = core.ThrottleError
+	// NotLeaderError is the typed redirect a controller standby answers
+	// with, carrying the current leader's address and generation.
+	NotLeaderError = core.NotLeaderError
 
 	// Option configures a connection (see WithRPCTimeout,
 	// WithRetryPolicy, WithTracing).
@@ -119,6 +122,10 @@ var (
 	// ErrQuotaExceeded reports a QoS admission refusal; match with
 	// errors.Is and read the backpressure hint with RetryAfterOf.
 	ErrQuotaExceeded = core.ErrQuotaExceeded
+	// ErrNotLeader reports a control call that reached a controller
+	// standby; the client re-homes on it automatically, so user code
+	// sees it only after the retry budget is exhausted.
+	ErrNotLeader = core.ErrNotLeader
 )
 
 // RetryAfterOf extracts the server's retry-after hint from a quota
@@ -140,6 +147,9 @@ var (
 	// WithTracing enables span collection on the connection, delivering
 	// completed spans to the exporter (see NewRingExporter).
 	WithTracing = client.WithTracing
+	// WithControllers lists the controller group endpoints for Dial; the
+	// client discovers the leader among them and re-homes on failover.
+	WithControllers = client.WithControllers
 )
 
 // DefaultRetryPolicy returns the default retry budget.
@@ -149,30 +159,40 @@ func DefaultRetryPolicy() RetryPolicy { return client.DefaultRetryPolicy() }
 // last n completed spans are retained and readable via Spans().
 func NewRingExporter(n int) *obs.RingExporter { return obs.NewRingExporter(n) }
 
-// Connect dials a running Jiffy controller (connect(jiffyAddress)).
-// ctx bounds the dial and initial handshake only; the connection
+// Dial connects to a Jiffy controller group (connect(jiffyAddress)).
+// List the group's endpoints with WithControllers; the client discovers
+// which member leads and re-homes automatically when leadership moves.
+// ctx bounds the dial and leader discovery only; the connection
 // outlives it.
+func Dial(ctx context.Context, opts ...Option) (*Client, error) {
+	return client.Dial(ctx, opts...)
+}
+
+// Connect dials a single running Jiffy controller.
+//
+// Deprecated: use Dial with WithControllers — a single-member group
+// behaves identically, and listing every member enables failover.
 func Connect(ctx context.Context, controllerAddr string, opts ...Option) (*Client, error) {
 	return client.Connect(ctx, controllerAddr, opts...)
 }
 
-// ConnectMulti dials a hash-partitioned controller group (§4.2.1
-// multi-controller scaling); the address order must match across all
-// clients.
+// ConnectMulti dials a controller group given its endpoint list.
+//
+// Deprecated: use Dial with WithControllers.
 func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option) (*Client, error) {
 	return client.ConnectMulti(ctx, controllerAddrs, opts...)
 }
 
 // ConnectNoCtx dials a controller without a context.
 //
-// Deprecated: use Connect with a context.
+// Deprecated: use Dial with a context and WithControllers.
 func ConnectNoCtx(controllerAddr string, opts ...Option) (*Client, error) {
 	return client.Connect(context.Background(), controllerAddr, opts...)
 }
 
 // ConnectMultiNoCtx dials a controller group without a context.
 //
-// Deprecated: use ConnectMulti with a context.
+// Deprecated: use Dial with a context and WithControllers.
 func ConnectMultiNoCtx(controllerAddrs []string, opts ...Option) (*Client, error) {
 	return client.ConnectMulti(context.Background(), controllerAddrs, opts...)
 }

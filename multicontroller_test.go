@@ -7,14 +7,14 @@ import (
 	"testing"
 	"time"
 
+	"jiffy/internal/client"
 	"jiffy/internal/core"
 )
 
-// TestMultiControllerCluster exercises the §4.2.1 multi-controller
-// scaling path: jobs hash-partition across controllers, each
-// controller owns a disjoint slice of the memory-server pool, and
-// clients route per-job control operations to the owning controller
-// transparently.
+// TestMultiControllerCluster exercises the replicated controller group
+// (§4.2 control-plane fault tolerance): the first member leads, the
+// standbys apply its op-log stream, and a client dialed at the group
+// routes every control operation to the leader.
 func TestMultiControllerCluster(t *testing.T) {
 	cfg := core.TestConfig()
 	cfg.LeaseDuration = time.Minute
@@ -28,14 +28,27 @@ func TestMultiControllerCluster(t *testing.T) {
 	if len(cluster.Controllers) != 3 || len(cluster.ControllerAddrs) != 3 {
 		t.Fatalf("controllers = %d", len(cluster.Controllers))
 	}
+	// Exactly one leader (the first member), and every member agrees on
+	// its address and generation.
+	for i, ctrl := range cluster.Controllers {
+		role := ctrl.Role()
+		if role.IsLeader != (i == 0) {
+			t.Fatalf("controller %d IsLeader = %v", i, role.IsLeader)
+		}
+		if role.Leader != cluster.ControllerAddrs[0] {
+			t.Fatalf("controller %d sees leader %q, want %q", i, role.Leader, cluster.ControllerAddrs[0])
+		}
+		if role.Gen != 1 {
+			t.Fatalf("controller %d gen = %d, want 1", i, role.Gen)
+		}
+	}
 	c, err := cluster.Connect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	// Many jobs, spread across the group; full data-path lifecycle on
-	// each.
+	// Many jobs, full data-path lifecycle on each.
 	const jobs = 12
 	for i := 0; i < jobs; i++ {
 		job := core.JobID(fmt.Sprintf("mcjob%d", i))
@@ -54,7 +67,7 @@ func TestMultiControllerCluster(t *testing.T) {
 			t.Fatalf("put %s: %v", path, err)
 		}
 	}
-	// Every job readable; renewals route correctly.
+	// Every job readable; renewals route to the leader.
 	var paths []core.Path
 	for i := 0; i < jobs; i++ {
 		job := core.JobID(fmt.Sprintf("mcjob%d", i))
@@ -67,49 +80,88 @@ func TestMultiControllerCluster(t *testing.T) {
 		paths = append(paths, path)
 	}
 	if _, err := c.RenewLease(context.Background(), paths...); err != nil {
-		t.Fatalf("cross-controller renew: %v", err)
+		t.Fatalf("renew: %v", err)
 	}
 
-	// The group actually partitioned the jobs: no controller owns all
-	// of them (12 jobs across 3 controllers).
-	perCtrl := make([]int, len(cluster.Controllers))
+	// Acks were withheld until the standbys held the ops, so every
+	// member's metadata already mirrors the leader's.
 	for i, ctrl := range cluster.Controllers {
-		perCtrl[i] = ctrl.Stats().Jobs
-	}
-	total := 0
-	for i, n := range perCtrl {
-		total += n
-		if n == jobs {
-			t.Errorf("controller %d owns every job; partitioning broken", i)
+		if n := ctrl.Stats().Jobs; n != jobs {
+			t.Errorf("controller %d replicated %d jobs, want %d", i, n, jobs)
 		}
 	}
-	if total != jobs {
-		t.Errorf("job ownership sums to %d, want %d: %v", total, jobs, perCtrl)
-	}
-	// Aggregated stats see the whole picture.
 	stats, err := c.ControllerStats(context.Background())
 	if err != nil || stats.Jobs != jobs {
-		t.Errorf("aggregate stats = %+v, %v", stats, err)
+		t.Errorf("stats = %+v, %v", stats, err)
 	}
 	if stats.Servers != 6 {
-		t.Errorf("aggregate servers = %d", stats.Servers)
+		t.Errorf("stats servers = %d", stats.Servers)
 	}
 
-	// Jobs route to a deterministic controller: registering a
-	// duplicate job fails on the same controller.
+	// The group answers with one consistent namespace: a duplicate
+	// registration fails no matter which member first saw the job.
 	if err := c.RegisterJob(context.Background(), "mcjob0"); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate register across group = %v", err)
 	}
 }
 
-// TestMultiControllerValidation: more controllers than servers is a
-// configuration error (a controller without memory servers could never
-// place blocks).
-func TestMultiControllerValidation(t *testing.T) {
-	_, err := StartCluster(ClusterOptions{
-		Config: core.TestConfig(), Controllers: 3, Servers: 2,
+// TestMultiControllerStandbyRouting: a client whose endpoint list leads
+// with standbys still discovers the leader and completes control
+// operations; the redirect surfaces nowhere in user code.
+func TestMultiControllerStandbyRouting(t *testing.T) {
+	cluster, err := StartCluster(ClusterOptions{
+		Config: core.TestConfig(), Controllers: 3, Servers: 1,
 	})
-	if err == nil {
-		t.Fatal("3 controllers with 2 servers accepted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Reverse the endpoint order so discovery starts at a standby.
+	addrs := cluster.ControllerAddrs
+	c, err := client.Dial(context.Background(),
+		client.WithControllers(addrs[2], addrs[1], addrs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.RegisterJob(context.Background(), "standby-routed"); err != nil {
+		t.Fatalf("register via standby-first endpoints: %v", err)
+	}
+	if _, _, err := c.CreatePrefix(context.Background(), "standby-routed/kv", nil, DSKV, 1, 0); err != nil {
+		t.Fatalf("create via standby-first endpoints: %v", err)
+	}
+	role, err := c.ControllerRole(context.Background())
+	if err != nil {
+		t.Fatalf("role: %v", err)
+	}
+	if role.Leader != addrs[0] || !role.IsLeader {
+		t.Fatalf("role = %+v, want leader %q", role, addrs[0])
+	}
+}
+
+// TestMultiControllerMoreControllersThanServers: standbys place no
+// blocks, so a group larger than the server pool is a legal (and
+// common) deployment shape.
+func TestMultiControllerMoreControllersThanServers(t *testing.T) {
+	cluster, err := StartCluster(ClusterOptions{
+		Config: core.TestConfig(), Controllers: 3, Servers: 1,
+	})
+	if err != nil {
+		t.Fatalf("3 controllers with 1 server rejected: %v", err)
+	}
+	defer cluster.Close()
+
+	c, err := cluster.Connect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterJob(context.Background(), "small"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CreatePrefix(context.Background(), "small/q", nil, DSQueue, 1, 0); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -432,6 +432,112 @@ func TestAdminMetricsDuringChaos(t *testing.T) {
 	})
 }
 
+// TestAdminMetricsControllerGroup scrapes the replicated control
+// plane's metrics over real admin endpoints: exactly one member
+// exports jiffy_ctrl_leader=1, the replication-lag gauge reads zero
+// after every acked mutation (acks are withheld until live standbys
+// ack the op-log), and a leader kill plus standby promotion flips the
+// leader gauge, bumps jiffy_ctrl_failovers_total, and registers as a
+// jiffy_client_rehomes_total increment on the client that re-homed.
+func TestAdminMetricsControllerGroup(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.LeaseDuration = time.Minute
+	cluster, err := StartCluster(ClusterOptions{
+		Config: cfg, Controllers: 3, Servers: 2, BlocksPerServer: 16,
+		DisableExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	admins := make([]*obs.AdminServer, len(cluster.Controllers))
+	for i, ctrl := range cluster.Controllers {
+		a, err := obs.ServeAdmin("127.0.0.1:0", obs.AdminOptions{
+			Registry: ctrl.Obs(), Spans: ctrl.Spans(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		admins[i] = a
+	}
+
+	// Exactly the first member leads; nobody has failed over yet.
+	for i, a := range admins {
+		m := scrapeAdmin(t, a.Addr)
+		wantLeader := 0.0
+		if i == 0 {
+			wantLeader = 1
+		}
+		if m["jiffy_ctrl_leader"] != wantLeader {
+			t.Fatalf("member %d jiffy_ctrl_leader = %g, want %g", i, m["jiffy_ctrl_leader"], wantLeader)
+		}
+		if m["jiffy_ctrl_failovers_total"] != 0 {
+			t.Fatalf("member %d failovers = %g before any failover", i, m["jiffy_ctrl_failovers_total"])
+		}
+	}
+
+	ctx := context.Background()
+	c, err := cluster.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterJob(ctx, "grp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CreatePrefix(ctx, "grp/kv", nil, DSKV, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := c.OpenKV(ctx, "grp/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every mutation above was acked, so every live standby has acked
+	// the ops that produced it: the leader's lag gauge must read zero.
+	m := scrapeAdmin(t, admins[0].Addr)
+	if m["jiffy_ctrl_replication_lag_ops"] != 0 {
+		t.Fatalf("replication lag = %g after acked ops, want 0", m["jiffy_ctrl_replication_lag_ops"])
+	}
+	cm := scrapeRegistry(c.Obs())
+	if cm["jiffy_client_rehomes_total"] != 0 {
+		t.Fatalf("client rehomes = %g under a stable leader", cm["jiffy_client_rehomes_total"])
+	}
+
+	// Kill the leader, promote the first standby, and touch the control
+	// plane through the same client so it re-homes.
+	cluster.Controllers[0].Close()
+	if gen := cluster.Controllers[1].PromoteNow(); gen != 2 {
+		t.Fatalf("promotion gen = %d, want 2", gen)
+	}
+	stats, err := c.ControllerStats(ctx)
+	if err != nil || stats.Jobs != 1 {
+		t.Fatalf("post-failover stats = %+v, %v", stats, err)
+	}
+
+	m1 := scrapeAdmin(t, admins[1].Addr)
+	if m1["jiffy_ctrl_leader"] != 1 {
+		t.Errorf("new leader jiffy_ctrl_leader = %g, want 1", m1["jiffy_ctrl_leader"])
+	}
+	if m1["jiffy_ctrl_failovers_total"] != 1 {
+		t.Errorf("new leader failovers = %g, want 1", m1["jiffy_ctrl_failovers_total"])
+	}
+	m2 := scrapeAdmin(t, admins[2].Addr)
+	if m2["jiffy_ctrl_leader"] != 0 {
+		t.Errorf("remaining standby jiffy_ctrl_leader = %g, want 0", m2["jiffy_ctrl_leader"])
+	}
+	cm = scrapeRegistry(c.Obs())
+	if cm["jiffy_client_rehomes_total"] < 1 {
+		t.Errorf("client rehomes = %g after a leader kill, want >= 1", cm["jiffy_client_rehomes_total"])
+	}
+}
+
 // TestAdminMetricsAfterServerFailure scrapes the self-healing counters
 // over a real admin endpoint through a server failure: a death bumps
 // jiffy_ctrl_server_failures_total and the membership-epoch gauge,
