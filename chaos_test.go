@@ -273,6 +273,12 @@ func TestChaosControllerFailoverUnderLoad(t *testing.T) {
 					mu.Unlock()
 					written[g]++
 				}
+				// Pace the writers: the scenario needs calls in flight
+				// across the checkpoint and the crash, not raw volume. An
+				// unpaced loop fills the initial blocks and triggers
+				// splits after the checkpoint, breaking the layout
+				// premise above regardless of machine speed.
+				time.Sleep(2 * time.Millisecond)
 			}
 		}(g)
 	}

@@ -17,6 +17,14 @@
 //
 // which requires the named benchmark to beat the baseline by >= 1.5x
 // ops/sec while allocating <= 0.5x the baseline's bytes/op.
+//
+// Contended mode measures the single-op hot path under concurrency:
+//
+//	jiffy-regress -parallel 8                       # 8 goroutines, one session
+//	jiffy-regress -parallel 8 -shards 4             # same, session sharded 4 ways
+//
+// The parallelism level is recorded in the report ("parallel"), and
+// comparing reports taken at different levels is refused.
 package main
 
 import (
@@ -73,6 +81,8 @@ func main() {
 	ctrlScale := flag.Bool("ctrl-scale", false, "measure controller metadata shard scaling (Fig. 12(b)) and gate the speedup")
 	ctrlScaleMin := flag.Float64("ctrl-scale-min", 2.0, "required sharded-vs-single-lock ops/sec ratio with -ctrl-scale")
 	rounds := flag.Int("rounds", 1, "measurement rounds per benchmark; the best round is kept (use >1 on noisy machines)")
+	parallel := flag.Int("parallel", 1, "contended mode: run only the single-op benchmarks, with this many goroutines sharing one session")
+	shards := flag.Int("shards", 1, "session shards for the contended-mode client (WithSessionShards); only meaningful with -parallel")
 	var improvements improveFlag
 	flag.Var(&improvements, "improve",
 		"claimed win to enforce vs the baseline, Name:minOpsRatio:maxBytesRatio (repeatable)")
@@ -123,9 +133,16 @@ func main() {
 		return
 	}
 
-	rep := regress.Run(hotpath.Benches(*quick), *quick, *rounds, func(format string, args ...interface{}) {
+	benches := hotpath.Benches(*quick)
+	if *parallel > 1 {
+		benches = hotpath.ParallelBenches(*quick, *parallel, *shards)
+	}
+	rep := regress.Run(benches, *quick, *rounds, func(format string, args ...interface{}) {
 		fmt.Printf(format, args...)
 	})
+	if *parallel > 1 {
+		rep.Parallel = *parallel
+	}
 
 	for fam, speedup := range rep.Speedups() {
 		fmt.Printf("%-24s batch speedup %.2fx\n", fam, speedup)
@@ -143,6 +160,11 @@ func main() {
 		base, err := regress.ReadFile(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jiffy-regress: %v\n", err)
+			os.Exit(2)
+		}
+		if base.Parallel != rep.Parallel {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: baseline parallel=%d vs current parallel=%d: reports from different contention levels are not comparable\n",
+				base.Parallel, rep.Parallel)
 			os.Exit(2)
 		}
 		regs := regress.Compare(base, rep, regress.Options{

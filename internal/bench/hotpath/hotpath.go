@@ -8,6 +8,8 @@ package hotpath
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -49,11 +51,35 @@ func Benches(quick bool) []regress.Bench {
 	}
 }
 
+// ParallelBenches returns contended variants of the single-op
+// benchmarks: workers goroutines issue ops concurrently over one
+// shared client session, measuring the hot path under session
+// contention rather than in isolation. shards > 1 additionally dials
+// the session with WithSessionShards, so the two knobs together show
+// how much of the contention cost sharding recovers. The names match
+// the sequential singles on purpose — Report.Parallel records the
+// mode, and the runner refuses to compare reports across modes.
+func ParallelBenches(quick bool, workers, shards int) []regress.Bench {
+	p := params{servers: 2, blocksPerServer: 128, keys: 4096, shards: shards}
+	if quick {
+		p = params{servers: 1, blocksPerServer: 64, keys: 512, shards: shards}
+	}
+	return []regress.Bench{
+		{Name: "KVPutSingle", F: p.kvPutContended(workers)},
+		{Name: "KVGetSingle", F: p.kvGetContended(workers)},
+		{Name: "FileAppendSingle", F: p.fileAppendContended(workers)},
+		{Name: "QueueEnqueueSingle", F: p.queueEnqueueContended(workers)},
+	}
+}
+
 type params struct {
 	servers         int
 	blocksPerServer int
 	keys            int
 	blockSize       int // 0 means core.MB
+	// shards > 1 dials the benchmark client with WithSessionShards so
+	// contended runs can measure the sharded-session data path.
+	shards int
 }
 
 func (p params) client(b *testing.B) *jiffy.Client {
@@ -71,7 +97,11 @@ func (p params) client(b *testing.B) *jiffy.Client {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { cluster.Close() })
-	c, err := cluster.Connect(context.Background())
+	var opts []jiffy.Option
+	if p.shards > 1 {
+		opts = append(opts, jiffy.WithSessionShards(p.shards))
+	}
+	c, err := cluster.Connect(context.Background(), opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,6 +325,104 @@ func (p params) queueEnqueueSingle(b *testing.B) {
 		if err := s.queue.Enqueue(context.Background(), item); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// contend splits b.N iterations across workers goroutines, failing the
+// benchmark on the first error. Workers stride the index space so key
+// selection stays uniform regardless of scheduling.
+func contend(b *testing.B, workers int, fn func(i int) error) {
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < b.N; i += workers {
+				if failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (p params) kvPutContended(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		kv := p.kv(b)
+		keys := keyPool(p.keys)
+		val := make([]byte, valSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		contend(b, workers, func(i int) error {
+			return kv.Put(context.Background(), keys[i%len(keys)], val)
+		})
+	}
+}
+
+func (p params) kvGetContended(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		kv, keys := p.kvPreloaded(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		contend(b, workers, func(i int) error {
+			_, err := kv.Get(context.Background(), keys[i%len(keys)])
+			return err
+		})
+	}
+}
+
+// contendedAppend drives an append-style op from workers goroutines
+// with budget-based prefix rollover. Appends hold a read lock so the
+// roll (which removes the old prefix) never races an op in flight;
+// the timer keeps running across rolls — contended mode measures
+// sustained behavior, and the roll cost amortizes over 64K ops.
+func contendedAppend(b *testing.B, s *session, workers int, do func() error) {
+	var mu sync.RWMutex
+	var written atomic.Int64
+	b.ResetTimer()
+	contend(b, workers, func(i int) error {
+		if written.Add(valSize) > int64(s.budget) {
+			mu.Lock()
+			if written.Load() > int64(s.budget) {
+				s.roll()
+				written.Store(0)
+			}
+			mu.Unlock()
+		}
+		mu.RLock()
+		err := do()
+		mu.RUnlock()
+		return err
+	})
+}
+
+func (p params) fileAppendContended(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		s := p.session(b, jiffy.DSFile)
+		rec := make([]byte, valSize)
+		b.ReportAllocs()
+		contendedAppend(b, s, workers, func() error {
+			_, err := s.file.AppendRecord(context.Background(), rec)
+			return err
+		})
+	}
+}
+
+func (p params) queueEnqueueContended(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		s := p.session(b, jiffy.DSQueue)
+		item := make([]byte, valSize)
+		b.ReportAllocs()
+		contendedAppend(b, s, workers, func() error {
+			return s.queue.Enqueue(context.Background(), item)
+		})
 	}
 }
 

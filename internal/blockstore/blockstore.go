@@ -30,6 +30,10 @@ type Block struct {
 	Partition ds.Partition
 	// Chunk is the file chunk index or queue segment sequence number.
 	Chunk int
+	// Tenant caches the path's job component (Path.Job splits the path
+	// string on every call; admission control needs the tenant on every
+	// data op). Set at creation alongside Path.
+	Tenant string
 
 	// chain is the block's replication chain (nil = unreplicated),
 	// behind an atomic pointer: chain repair replaces it in place while

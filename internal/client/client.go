@@ -77,6 +77,8 @@ type config struct {
 	policy      RetryPolicy
 	timeout     time.Duration
 	exporter    obs.SpanExporter
+	shards      int
+	busyPoll    bool
 }
 
 // Option configures Dial.
@@ -128,6 +130,30 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // so server-side spans nest under client calls.
 func WithTracing(exp obs.SpanExporter) Option {
 	return func(c *config) { c.exporter = exp }
+}
+
+// WithSessionShards makes every data-plane session own n connections
+// instead of one, partitioning the sequence space across them so many
+// goroutines hammering one server stop serializing on a single write
+// lock and read pump. Single-goroutine workloads gain nothing; n is
+// worth raising only under heavy concurrent single-op load. Calls stay
+// synchronous request/response, so each goroutine's operations keep
+// their program order on every data type regardless of which
+// connection carries them; operations from different goroutines have
+// no mutual order with or without sharding (see DESIGN.md §15).
+// Applies to the built-in transport only: WithDial supplies whole
+// sessions and takes precedence.
+func WithSessionShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithBusyPoll puts data-plane sessions in busy-poll mode: callers
+// spin briefly before parking while waiting for a response, shaving
+// scheduler wakeup latency off small-op round trips at the price of
+// CPU burned spinning. Best for latency-critical workloads with cores
+// to spare; leave off when oversubscribed.
+func WithBusyPoll() Option {
+	return func(c *config) { c.busyPoll = true }
 }
 
 // Client is one application's connection to a Jiffy cluster: a
@@ -201,10 +227,23 @@ func Dial(ctx context.Context, opts ...Option) (*Client, error) {
 	c.rehomes = c.reg.Counter("jiffy_client_rehomes_total",
 		"Controller re-homes after NotLeader redirects or dead leaders")
 
-	dial := rpc.WithTimeout(cfg.dial, cfg.timeout)
-	dial = rpc.WithInstrumentation(dial, c.rpcm, c.tracer)
-	c.pool = rpc.NewPool(dial)
-	c.ctrlPool = rpc.NewPool(dial)
+	// Control and data planes get separate dial chains: session
+	// sharding and busy-poll are data-path latency tools, pointless for
+	// the occasional control call.
+	dataDial := cfg.dial
+	if dataDial == nil && cfg.shards > 1 {
+		n := cfg.shards
+		dataDial = func(addr string) (*rpc.Client, error) { return rpc.DialShards(addr, n) }
+	}
+	if cfg.busyPoll {
+		dataDial = rpc.WithBusyPoll(dataDial)
+	}
+	dataDial = rpc.WithTimeout(dataDial, cfg.timeout)
+	dataDial = rpc.WithInstrumentation(dataDial, c.rpcm, c.tracer)
+	ctrlDial := rpc.WithTimeout(cfg.dial, cfg.timeout)
+	ctrlDial = rpc.WithInstrumentation(ctrlDial, c.rpcm, c.tracer)
+	c.pool = rpc.NewPool(dataDial)
+	c.ctrlPool = rpc.NewPool(ctrlDial)
 
 	// Leader discovery: the first reachable member names the leader.
 	// Every member knows it (standbys track the op-log's source), so one

@@ -97,13 +97,17 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 	// length prefixes go into the pooled buffer and the caller's arg
 	// slices ride to the socket as scatter-gather segments.
 	var payload []byte
+	var pooled bool
 	if argsBytes(args) >= vecRequestThreshold {
 		vec, buf := ds.AppendRequestVec(wire.GetBuf(), op, info.ID, args)
 		payload, err = conn.CallVecContext(ctx, proto.MethodDataOp, vec)
 		wire.PutBuf(buf)
 	} else {
+		// Small ops borrow the response: the session hands back a pooled
+		// buffer instead of a per-call heap copy, and do() returns it to
+		// the pool once the values are decoded (and copied) out.
 		req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
-		payload, err = conn.CallContext(ctx, proto.MethodDataOp, req)
+		payload, pooled, err = conn.CallBorrowedContext(ctx, proto.MethodDataOp, req)
 		wire.PutBuf(req)
 	}
 	if err != nil {
@@ -115,16 +119,33 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 			if obs.On() {
 				h.c.rpcm.Redirects.Inc()
 			}
-			// The payload names the block to retry against.
+			// The payload names the block to retry against. ParseRedirect
+			// copies both fields out, so the borrowed buffer can be
+			// recycled right after.
 			next, perr := ds.ParseRedirect(payload)
+			if pooled {
+				wire.PutBuf(payload)
+			}
 			if perr != nil {
 				return nil, perr
 			}
 			return nil, &redirect{next: next}
 		}
+		if pooled {
+			wire.PutBuf(payload)
+		}
 		return nil, err
 	}
-	return ds.DecodeVals(payload)
+	vals, derr := ds.DecodeVals(payload)
+	if pooled {
+		// Vals alias the borrowed buffer: copy them out (exact-size
+		// allocations) before recycling it.
+		for i, v := range vals {
+			vals[i] = append([]byte(nil), v...)
+		}
+		wire.PutBuf(payload)
+	}
+	return vals, derr
 }
 
 // vecRequestThreshold is the total argument size above which do()

@@ -14,6 +14,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -61,23 +63,102 @@ func Unmarshal(data []byte, v interface{}) error {
 	return nil
 }
 
-// Client is one logical connection to an RPC server. It is safe for
-// concurrent use: calls from many goroutines are multiplexed over the
-// single connection and matched to responses by sequence number.
-type Client struct {
-	conn *wire.Conn
+// pendingShards divides the in-flight call table; must be a power of
+// two. Sequence numbers are assigned atomically and map onto shards
+// round-robin, so concurrent callers contend on a shard mutex held for
+// one map operation instead of a client-wide lock held across seq
+// assignment, registration, and completion.
+const pendingShards = 16
 
-	mu      sync.Mutex
-	nextSeq uint64
-	pending map[uint64]chan *wire.Frame
-	closed  bool
+// pendingShard is one stripe of the in-flight call table.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]*waiter
+	// pad out to a cache line so shards don't false-share.
+	_ [40]byte
+}
+
+// callResult is what the read pump (or failAll) hands a waiter. At most
+// one result is ever delivered per registration: the sender first
+// removes the waiter from the pending table, so the 1-buffered channel
+// never blocks and never carries a stale value across reuses.
+type callResult struct {
+	payload []byte
+	code    core.ErrorCode
+	// pooled marks payload as wire.GetBuf memory now owned by the
+	// receiver (borrowed-call responses).
+	pooled bool
+	// err is the session failure injected by failAll; nil otherwise.
+	err error
+}
+
+// waiter is the pooled per-call state: a reusable 1-buffered response
+// channel plus a reusable timeout timer. Waiters recycle through
+// waiterPool, so the steady-state cost of a call is zero allocations
+// for channel, timer, and pending-table plumbing.
+type waiter struct {
+	ch chan callResult
+	// borrow asks the read pump for a pooled payload copy instead of a
+	// heap-owned one; set before registration, read under the shard lock.
+	borrow bool
+	// method labels watchdog timeout errors; set before registration.
+	method uint16
+	// expiry, when non-zero, is the watchdog tick at which this call
+	// times out (coarse-deadline fast path). Written before registration,
+	// read by the watchdog under the shard lock.
+	expiry uint64
+	// timer is the lazily created, reused per-call timeout timer (real
+	// clock only; virtual clocks go through clock.After).
+	timer *time.Timer
+}
+
+var waiterPool = sync.Pool{
+	New: func() interface{} { return &waiter{ch: make(chan callResult, 1)} },
+}
+
+// Client is one logical session with an RPC server. It is safe for
+// concurrent use: calls from many goroutines are multiplexed over the
+// session's connections and matched to responses by sequence number.
+// A session normally owns one connection; DialShards builds one that
+// owns several (each with its own read pump and write mutex),
+// partitioning the sequence space across them so concurrent callers
+// stop contending on a single write lock and read pump. Calls remain
+// synchronous request/response, so operations issued by one goroutine
+// keep their program order regardless of which connection carries
+// them; there is no cross-goroutine ordering either way.
+type Client struct {
+	conns []*wire.Conn
+
+	nextSeq atomic.Uint64
+	pending [pendingShards]pendingShard
+	// closed flips once, before failAll sweeps the pending table; a
+	// caller that registers and then observes closed un-registers itself
+	// (or collects failAll's result), so no waiter is ever stranded.
+	closed atomic.Bool
+	// busyPoll makes callers spin briefly on response arrival before
+	// parking in select — see SetBusyPoll.
+	busyPoll atomic.Bool
+
+	// tick counts watchdog sweeps; waiters on the coarse-deadline fast
+	// path record the tick at which they expire instead of arming a
+	// per-call timer. watchdogOnce starts the sweeper lazily the first
+	// time a call qualifies, so clients that never take the fast path
+	// never run the goroutine.
+	tick         atomic.Uint64
+	watchdogOnce sync.Once
+
+	// downOnce closes readerDone exactly once — with a sharded session
+	// several read pumps race to report the session's death.
+	downOnce sync.Once
+
+	mu sync.Mutex
 	// sessionErr records why the session died; returned to callers whose
-	// pending requests were failed by failAll.
+	// pending requests were failed by failAll. Guarded by mu.
 	sessionErr error
 
 	// timeout bounds every Call without an explicit context deadline;
 	// zero disables the bound. clk drives the timeout timer (virtual in
-	// simulations).
+	// simulations). Guarded by mu.
 	timeout time.Duration
 	clk     clock.Clock
 
@@ -105,24 +186,85 @@ type DialFunc func(addr string) (*Client, error)
 
 // Dial connects to an RPC server at addr.
 func Dial(addr string) (*Client, error) {
-	nc, err := wire.Dial(addr)
-	if err != nil {
-		return nil, err
+	return DialShards(addr, 1)
+}
+
+// DialShards connects a sharded session to addr: n independent framed
+// connections bound into one logical Client (n < 1 is treated as 1).
+// See DialShardsNet for custom transports.
+func DialShards(addr string, n int) (*Client, error) {
+	return DialShardsNet(addr, n, wire.Dial)
+}
+
+// DialShardsNet is DialShards over a caller-supplied net-level dial
+// (fault injectors, custom transports). Connections dialed before a
+// failure are closed on the way out.
+func DialShardsNet(addr string, n int, dialNet func(string) (net.Conn, error)) (*Client, error) {
+	if n < 1 {
+		n = 1
 	}
-	return NewClient(wire.NewConn(nc)), nil
+	conns := make([]*wire.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		nc, err := dialNet(addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, wire.NewConn(nc))
+	}
+	return NewClientConns(conns), nil
 }
 
 // NewClient builds a client over an established framed connection and
 // starts its read pump.
 func NewClient(conn *wire.Conn) *Client {
+	return NewClientConns([]*wire.Conn{conn})
+}
+
+// NewClientConns builds one logical session over conns and starts a
+// read pump per connection. All pumps share the pending table and the
+// push hook; the death of any connection fails the whole session.
+func NewClientConns(conns []*wire.Conn) *Client {
 	c := &Client{
-		conn:       conn,
-		pending:    make(map[uint64]chan *wire.Frame),
+		conns:      conns,
 		clk:        clock.Real{},
 		readerDone: make(chan struct{}),
 	}
-	go c.readLoop()
+	for i := range c.pending {
+		c.pending[i].m = make(map[uint64]*waiter)
+	}
+	for _, cn := range conns {
+		go c.readLoop(cn)
+	}
 	return c
+}
+
+// SetBusyPoll enables busy-poll mode: callers spin briefly (yielding
+// the processor between probes) on response arrival before parking in
+// a channel select. For latency-critical deployments this shaves the
+// park/unpark scheduling cost off single-op round trips at the price
+// of CPU burned while spinning; leave it off for throughput-oriented
+// or heavily oversubscribed workloads.
+func (c *Client) SetBusyPoll(on bool) {
+	c.busyPoll.Store(on)
+}
+
+// WithBusyPoll wraps a dial function so every client it produces has
+// busy-poll mode enabled.
+func WithBusyPoll(dial func(addr string) (*Client, error)) func(addr string) (*Client, error) {
+	if dial == nil {
+		dial = Dial
+	}
+	return func(addr string) (*Client, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.SetBusyPoll(true)
+		return c, nil
+	}
 }
 
 // SetTimeout installs the default per-call deadline; zero disables it.
@@ -210,32 +352,57 @@ func WithTimeout(dial func(addr string) (*Client, error), d time.Duration) func(
 
 // OnPush installs the handler invoked (from the read pump goroutine)
 // for every push frame. Must be set before the first subscription is
-// created.
+// created. The payload is only valid for the duration of the callback
+// — it may alias connection-owned read storage reused by the next
+// frame — so handlers must decode or copy before returning.
 func (c *Client) OnPush(fn func(subID uint64, payload []byte)) {
 	c.mu.Lock()
 	c.onPush = fn
 	c.mu.Unlock()
 }
 
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
+// shard returns the pending-table stripe owning seq.
+func (c *Client) shard(seq uint64) *pendingShard {
+	return &c.pending[seq&(pendingShards-1)]
+}
+
+func (c *Client) readLoop(cn *wire.Conn) {
 	for {
-		f, err := c.conn.ReadFrame()
+		// Small frames decode into connection-owned storage; whatever
+		// must outlive this iteration is copied below. Large frames come
+		// back freshly allocated and transfer ownership as before.
+		f, reused, err := cn.ReadFrameReused()
 		if err != nil {
 			c.failAll(err)
 			return
 		}
 		switch f.Kind {
 		case wire.KindResponse:
-			c.mu.Lock()
-			ch, ok := c.pending[f.Seq]
+			sh := c.shard(f.Seq)
+			sh.mu.Lock()
+			w, ok := sh.m[f.Seq]
 			if ok {
-				delete(c.pending, f.Seq)
+				delete(sh.m, f.Seq)
 			}
-			c.mu.Unlock()
-			if ok {
-				ch <- f
+			sh.mu.Unlock()
+			if !ok {
+				break // abandoned by timeout/cancel; drop the late response
 			}
+			r := callResult{code: f.Code}
+			switch {
+			case len(f.Payload) == 0:
+			case !reused:
+				r.payload = f.Payload
+			case w.borrow:
+				r.payload = append(wire.GetBuf(), f.Payload...)
+				r.pooled = true
+			default:
+				r.payload = append([]byte(nil), f.Payload...)
+			}
+			// Delivery cannot block: the channel holds one slot and the
+			// waiter was just removed from the table, making us the only
+			// sender for this registration.
+			w.ch <- r
 		case wire.KindPush:
 			c.mu.Lock()
 			fn := c.onPush
@@ -249,18 +416,43 @@ func (c *Client) readLoop() {
 
 // failAll marks the session dead and fails every pending call fast
 // with a SessionError carrying cause — callers never hang on a peer
-// that stopped responding.
+// that stopped responding. The error is recorded before closed flips,
+// so any caller that observes closed reads a non-nil cause. With a
+// sharded session the first pump to die brings down the sibling
+// connections too (the session is one unit of failure); their pumps
+// then re-enter here and find the table already swept.
 func (c *Client) failAll(cause error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
 	if c.sessionErr == nil {
 		c.sessionErr = &SessionError{Cause: cause}
 	}
-	for seq, ch := range c.pending {
-		delete(c.pending, seq)
-		close(ch)
+	serr := c.sessionErr
+	c.mu.Unlock()
+	c.closed.Store(true)
+	for _, cn := range c.conns {
+		cn.Close()
 	}
+	for i := range c.pending {
+		sh := &c.pending[i]
+		sh.mu.Lock()
+		for seq, w := range sh.m {
+			delete(sh.m, seq)
+			w.ch <- callResult{err: serr}
+		}
+		sh.mu.Unlock()
+	}
+	c.downOnce.Do(func() { close(c.readerDone) })
+}
+
+// closureErr reports why the session is closed.
+func (c *Client) closureErr() error {
+	c.mu.Lock()
+	err := c.sessionErr
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return core.ErrClosed
 }
 
 // Call performs a synchronous RPC: sends payload for method and waits
@@ -286,7 +478,19 @@ func (c *Client) Call(method uint16, payload []byte) ([]byte, error) {
 // peer via a trace-extension frame written in the same flush as the
 // request.
 func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
-	return c.callInstrumented(ctx, method, payload, nil)
+	out, _, err := c.callInstrumented(ctx, method, payload, nil, false)
+	return out, err
+}
+
+// CallBorrowedContext is CallContext for callers prepared to receive
+// the response in borrowed memory: when pooled is true the returned
+// payload is backed by a wire.GetBuf buffer that the caller MUST
+// return with wire.PutBuf once done with it — on error paths too,
+// since some errors (redirects) carry meaningful payloads. Small
+// responses travel alloc-free this way; large ones come back heap-owned
+// with pooled false.
+func (c *Client) CallBorrowedContext(ctx context.Context, method uint16, payload []byte) (out []byte, pooled bool, err error) {
+	return c.callInstrumented(ctx, method, payload, nil, true)
 }
 
 // CallVecContext is CallContext for requests whose body is assembled
@@ -296,33 +500,37 @@ func (c *Client) CallContext(ctx context.Context, method uint16, payload []byte)
 // reuse or release the underlying memory as soon as CallVecContext
 // returns.
 func (c *Client) CallVecContext(ctx context.Context, method uint16, vec [][]byte) ([]byte, error) {
-	return c.callInstrumented(ctx, method, nil, vec)
+	out, _, err := c.callInstrumented(ctx, method, nil, vec, false)
+	return out, err
 }
 
-func (c *Client) callInstrumented(ctx context.Context, method uint16, payload []byte, vec [][]byte) ([]byte, error) {
+func (c *Client) callInstrumented(ctx context.Context, method uint16, payload []byte, vec [][]byte, borrow bool) ([]byte, bool, error) {
 	in := c.instr.Load()
+	if in == nil || !obs.On() {
+		// No telemetry attached (or globally disabled): skip straight to
+		// the wire. This keeps the uninstrumented path free of method
+		// label lookups, span plumbing, and stat loads.
+		return c.call(ctx, method, payload, vec, borrow)
+	}
+	tracer := in.tracer
 	var stats *obs.MethodStats
-	var tracer *obs.Tracer
 	var start time.Time
-	if in != nil && obs.On() {
-		tracer = in.tracer
-		if in.metrics != nil {
-			stats = in.metrics.Method(method)
-			stats.Requests.Inc()
-			n := len(payload)
-			for _, seg := range vec {
-				n += len(seg)
-			}
-			stats.BytesOut.Add(int64(n))
-			stats.InFlight.Inc()
-			start = time.Now()
+	if in.metrics != nil {
+		stats = in.metrics.Method(method)
+		stats.Requests.Inc()
+		n := len(payload)
+		for _, seg := range vec {
+			n += len(seg)
 		}
+		stats.BytesOut.Add(int64(n))
+		stats.InFlight.Inc()
+		start = time.Now()
 	}
 	var span obs.Span
 	if tracer != nil {
 		ctx, span = tracer.Begin(ctx, "rpc:"+methodLabel(method), in.peer)
 	}
-	out, err := c.call(ctx, method, payload, vec)
+	out, pooled, err := c.call(ctx, method, payload, vec, borrow)
 	span.End(err)
 	if stats != nil {
 		stats.InFlight.Dec()
@@ -332,94 +540,270 @@ func (c *Client) callInstrumented(ctx context.Context, method uint16, payload []
 			stats.Errors.Inc()
 		}
 	}
-	return out, err
+	return out, pooled, err
 }
 
+// busyPollSpins bounds the pre-park spin in busy-poll mode. Each probe
+// yields the processor, so on a loaded machine the spin degrades into a
+// handful of scheduler passes rather than burned exclusive CPU.
+const busyPollSpins = 128
+
 // call is the uninstrumented request/response core. vec, when non-nil,
-// carries scatter-gather body segments written after payload.
-func (c *Client) call(ctx context.Context, method uint16, payload []byte, vec [][]byte) ([]byte, error) {
-	c.mu.Lock()
-	if c.closed {
-		err := c.sessionErr
-		c.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return nil, core.ErrClosed
+// carries scatter-gather body segments written after payload. borrow
+// opts into pooled response memory (see CallBorrowedContext).
+func (c *Client) call(ctx context.Context, method uint16, payload []byte, vec [][]byte, borrow bool) ([]byte, bool, error) {
+	if c.closed.Load() {
+		return nil, false, c.closureErr()
 	}
-	c.nextSeq++
-	seq := c.nextSeq
-	ch := make(chan *wire.Frame, 1)
-	c.pending[seq] = ch
+
+	c.mu.Lock()
 	timeout := c.timeout
 	clk := c.clk
 	c.mu.Unlock()
 
-	req := &wire.Frame{
-		Kind:       wire.KindRequest,
-		Seq:        seq,
-		Method:     method,
-		Payload:    payload,
-		PayloadVec: vec,
+	w := waiterPool.Get().(*waiter)
+	w.borrow = borrow
+	w.method = method
+	// Coarse-deadline fast path: a deadline-less context with the real
+	// clock doesn't arm a per-call timer at all. The waiter records the
+	// watchdog tick at which it expires and the caller parks in a bare
+	// channel receive — no timer lock traffic, no multi-way select. The
+	// price is timeout granularity of one sweep interval, which is why
+	// short timeouts keep the precise timer.
+	if timeout >= watchdogMinTimeout && ctx.Done() == nil {
+		if _, real := clk.(clock.Real); real {
+			c.watchdogOnce.Do(c.startWatchdog)
+			w.expiry = c.tick.Load() + watchdogTicks(timeout)
+		}
 	}
+	seq := c.nextSeq.Add(1)
+	sh := c.shard(seq)
+	sh.mu.Lock()
+	sh.m[seq] = w
+	sh.mu.Unlock()
+	// Re-check after registering: failAll flips closed before sweeping,
+	// so a session death racing this call either left our entry for the
+	// sweep (collect its result below) or we remove it ourselves here.
+	if c.closed.Load() {
+		return nil, false, c.abandon(seq, w, nil, c.closureErr())
+	}
+
+	// Sharded sessions partition the sequence space across connections;
+	// the response returns on the connection that carried the request.
+	cn := c.conns[0]
+	if len(c.conns) > 1 {
+		cn = c.conns[seq%uint64(len(c.conns))]
+	}
+
 	var err error
-	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {
+	sc, traced := obs.SpanFromContext(ctx)
+	if traced && sc.Valid() {
 		// The trace extension travels immediately before its request,
 		// under the same seq and in the same flush. Old peers skip
 		// non-request frames, so this stays wire-compatible.
-		ext := &wire.Frame{Kind: wire.KindTraceExt, Seq: seq,
-			Payload: wire.EncodeTraceExt(sc.TraceID, sc.SpanID)}
-		err = c.conn.WriteFrames(ext, req)
+		if vec == nil && len(payload) <= wire.InlineFrameThreshold {
+			buf := wire.GetBuf()
+			ext := wire.Frame{Kind: wire.KindTraceExt, Seq: seq,
+				Payload: wire.EncodeTraceExt(sc.TraceID, sc.SpanID)}
+			req := wire.Frame{Kind: wire.KindRequest, Seq: seq, Method: method, Payload: payload}
+			buf = wire.AppendFrame(buf, &ext)
+			buf = wire.AppendFrame(buf, &req)
+			err = cn.WriteBytes(buf)
+			wire.PutBuf(buf)
+		} else {
+			ext := &wire.Frame{Kind: wire.KindTraceExt, Seq: seq,
+				Payload: wire.EncodeTraceExt(sc.TraceID, sc.SpanID)}
+			req := &wire.Frame{Kind: wire.KindRequest, Seq: seq, Method: method,
+				Payload: payload, PayloadVec: vec}
+			err = cn.WriteFrames(ext, req)
+		}
+	} else if vec == nil && len(payload) <= wire.InlineFrameThreshold {
+		// Inline fast path: encode the whole frame into one pooled
+		// buffer and hand the connection a single contiguous write. The
+		// frame value stays on the stack; the group-commit flush treats
+		// the write like any other convoy member.
+		buf := wire.GetBuf()
+		req := wire.Frame{Kind: wire.KindRequest, Seq: seq, Method: method, Payload: payload}
+		buf = wire.AppendFrame(buf, &req)
+		err = cn.WriteBytes(buf)
+		wire.PutBuf(buf)
 	} else {
-		err = c.conn.WriteFrame(req)
+		req := &wire.Frame{Kind: wire.KindRequest, Seq: seq, Method: method,
+			Payload: payload, PayloadVec: vec}
+		err = cn.WriteFrame(req)
 	}
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, err
+		return nil, false, c.abandon(seq, w, nil, err)
 	}
 
-	var timer <-chan time.Time
-	if timeout > 0 {
+	// Timeout timer: with the real clock the waiter's own timer is
+	// reused across calls (time.After allocates a timer plus channel per
+	// call); virtual clocks go through clock.After as before. Calls on
+	// the coarse-deadline fast path already carry a watchdog expiry.
+	var timerC <-chan time.Time
+	var tm *time.Timer
+	if timeout > 0 && w.expiry == 0 {
 		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
-			timer = clk.After(timeout)
+			if _, real := clk.(clock.Real); real {
+				if tm = w.timer; tm == nil {
+					tm = time.NewTimer(timeout)
+					w.timer = tm
+				} else {
+					tm.Reset(timeout)
+				}
+				timerC = tm.C
+			} else {
+				timerC = clk.After(timeout)
+			}
 		}
 	}
 
-	select {
-	case f, ok := <-ch:
-		if !ok {
-			c.mu.Lock()
-			serr := c.sessionErr
-			c.mu.Unlock()
-			if serr != nil {
-				return nil, serr
+	var r callResult
+	received := false
+	if c.busyPoll.Load() {
+		for i := 0; i < busyPollSpins; i++ {
+			select {
+			case r = <-w.ch:
+				received = true
+			default:
+				runtime.Gosched()
 			}
-			return nil, core.ErrClosed
+			if received {
+				break
+			}
 		}
-		if f.Code != core.CodeOK {
-			return f.Payload, core.ErrOf(f.Code, string(f.Payload))
-		}
-		return f.Payload, nil
-	case <-timer:
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: call %d timed out after %v: %w", method, timeout, core.ErrTimeout)
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		cerr := ctx.Err()
-		if errors.Is(cerr, context.DeadlineExceeded) {
-			// Map context deadlines onto the typed timeout error so the
-			// retry/failover classification built around ErrTimeout keeps
-			// working; errors.Is still sees context.DeadlineExceeded.
-			return nil, fmt.Errorf("rpc: call %s: %w: %w", methodLabel(method), core.ErrTimeout, cerr)
-		}
-		return nil, fmt.Errorf("rpc: call %s: %w", methodLabel(method), cerr)
 	}
+	if !received && w.expiry != 0 {
+		// Bare receive: delivery comes from the read pump, failAll, or
+		// the watchdog (as a callResult carrying ErrTimeout) — all of
+		// which claim the pending entry first, so exactly one arrives.
+		r = <-w.ch
+		received = true
+	}
+	if !received {
+		select {
+		case r = <-w.ch:
+		case <-timerC:
+			tm = nil // fired and drained; nothing to stop
+			return nil, false, c.abandon(seq, w, tm,
+				fmt.Errorf("rpc: call %d timed out after %v: %w", method, timeout, core.ErrTimeout))
+		case <-ctx.Done():
+			cerr := ctx.Err()
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				// Map context deadlines onto the typed timeout error so the
+				// retry/failover classification built around ErrTimeout keeps
+				// working; errors.Is still sees context.DeadlineExceeded.
+				cerr = fmt.Errorf("rpc: call %s: %w: %w", methodLabel(method), core.ErrTimeout, cerr)
+			} else {
+				cerr = fmt.Errorf("rpc: call %s: %w", methodLabel(method), cerr)
+			}
+			return nil, false, c.abandon(seq, w, tm, cerr)
+		}
+	}
+	stopTimer(tm)
+	releaseWaiter(w)
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	if r.code != core.CodeOK {
+		// Error payloads still transfer to the caller: redirects carry
+		// their target in the body.
+		return r.payload, r.pooled, core.ErrOf(r.code, string(r.payload))
+	}
+	return r.payload, r.pooled, nil
+}
+
+// abandon gives up on a registered call: it removes the pending entry,
+// or — when the read pump (or failAll) already claimed it — collects
+// the in-flight result so pooled memory is returned and the waiter's
+// channel is empty for reuse. It stops tm, recycles w, and returns err.
+func (c *Client) abandon(seq uint64, w *waiter, tm *time.Timer, err error) error {
+	sh := c.shard(seq)
+	sh.mu.Lock()
+	_, mine := sh.m[seq]
+	if mine {
+		delete(sh.m, seq)
+	}
+	sh.mu.Unlock()
+	if !mine {
+		// The sender removed the entry first, which means a result is
+		// already in the channel or about to be: the send happens
+		// immediately after the removal and cannot block. Collect it so
+		// the waiter recycles clean.
+		r := <-w.ch
+		if r.pooled {
+			wire.PutBuf(r.payload)
+		}
+	}
+	stopTimer(tm)
+	releaseWaiter(w)
+	return err
+}
+
+// stopTimer quiesces a reused waiter timer: stopped with its channel
+// drained, ready for the next Reset.
+func stopTimer(tm *time.Timer) {
+	if tm != nil && !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+}
+
+// releaseWaiter recycles per-call state. The caller guarantees the
+// channel is empty and any timer is stopped and drained.
+func releaseWaiter(w *waiter) {
+	w.borrow = false
+	w.expiry = 0
+	waiterPool.Put(w)
+}
+
+// watchdogInterval is the sweep period of the coarse timeout watchdog;
+// watchdogMinTimeout is the smallest default timeout it serves. Calls
+// with shorter timeouts, virtual clocks, or cancellable contexts keep
+// the precise per-call timer, so the coarse path only ever stretches a
+// multi-second deadline by at most one sweep.
+const (
+	watchdogInterval   = 100 * time.Millisecond
+	watchdogMinTimeout = time.Second
+)
+
+// watchdogTicks converts a timeout into a sweep count, rounding up and
+// adding one so a call never expires early when it registers just
+// before a sweep.
+func watchdogTicks(d time.Duration) uint64 {
+	return uint64((d+watchdogInterval-1)/watchdogInterval) + 1
+}
+
+// startWatchdog launches the coarse timeout sweeper; it runs until the
+// session dies and claims expired waiters exactly like the read pump:
+// remove from the pending table first, then deliver.
+func (c *Client) startWatchdog() {
+	go func() {
+		t := time.NewTicker(watchdogInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.readerDone:
+				return
+			case <-t.C:
+			}
+			now := c.tick.Add(1)
+			for i := range c.pending {
+				sh := &c.pending[i]
+				sh.mu.Lock()
+				for seq, w := range sh.m {
+					if w.expiry != 0 && now >= w.expiry {
+						delete(sh.m, seq)
+						w.ch <- callResult{err: fmt.Errorf(
+							"rpc: call %s timed out: %w", methodLabel(w.method), core.ErrTimeout)}
+					}
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}()
 }
 
 // CallGob marshals req, performs the call and unmarshals into resp
@@ -448,9 +832,15 @@ func (c *Client) CallGobCtx(ctx context.Context, method uint16, req, resp interf
 	return Unmarshal(out, resp)
 }
 
-// Close tears down the connection; in-flight calls fail with ErrClosed.
+// Close tears down the session's connections; in-flight calls fail
+// with ErrClosed.
 func (c *Client) Close() error {
-	err := c.conn.Close()
+	var err error
+	for _, cn := range c.conns {
+		if cerr := cn.Close(); err == nil {
+			err = cerr
+		}
+	}
 	<-c.readerDone
 	return err
 }

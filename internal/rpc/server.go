@@ -61,14 +61,30 @@ func BytesHandler(fn func(ctx context.Context, conn *ServerConn, method uint16, 
 	}
 }
 
+// ErrDispatchAsync is returned by an inline handler to refuse inline
+// execution: the request is re-dispatched on its own goroutine through
+// the regular handler, with the frame copied out of connection-owned
+// storage first. Inline handlers return it whenever the operation might
+// block (onward replication RPCs, tier rehydration IO, admission-gate
+// waits) so the read pump never stalls behind one slow request.
+var ErrDispatchAsync = errors.New("rpc: dispatch async")
+
 // Server accepts framed connections and dispatches requests to a
 // Handler. Each connection gets a read pump; each request runs in its
 // own goroutine so slow handlers don't head-of-line-block a session —
-// matching the paper's asynchronous framed IO design.
+// matching the paper's asynchronous framed IO design. Small requests of
+// methods cleared by an inline predicate can instead run directly on
+// the read pump (see SetInlineHandler), which removes the per-request
+// goroutine and frame copy from the single-op hot path.
 type Server struct {
 	handler Handler
 	lis     net.Listener
 	log     *slog.Logger
+
+	// inlineHandler, when set, runs requests matching inlineFast
+	// synchronously on the connection's read pump. See SetInlineHandler.
+	inlineHandler Handler
+	inlineFast    func(method uint16, payloadLen int) bool
 
 	mu     sync.Mutex
 	conns  map[*ServerConn]struct{}
@@ -92,6 +108,21 @@ type Server struct {
 func (s *Server) SetObserver(m *obs.RPCMetrics, tr *obs.Tracer) {
 	s.metrics = m
 	s.tracer = tr
+}
+
+// SetInlineHandler installs the inline fast path: requests whose
+// method and payload size pass fast run through h directly on the
+// connection's read pump, with the request frame decoded in
+// connection-owned storage (zero copies, zero goroutines). h must
+// either complete without blocking on anything slower than local locks
+// or return ErrDispatchAsync, in which case the request falls back to
+// the regular goroutine dispatch path. The payload h sees is only
+// valid until it returns. Telemetry, trace pairing, and the response
+// ownership contract behave exactly as on the regular path. Must be
+// called before Listen.
+func (s *Server) SetInlineHandler(h Handler, fast func(method uint16, payloadLen int) bool) {
+	s.inlineHandler = h
+	s.inlineFast = fast
 }
 
 // NewServer creates a server around handler. Call Serve to start.
@@ -241,8 +272,9 @@ func (tc *traceCache) take(seq uint64) (sc obs.SpanContext) {
 
 func (sc *ServerConn) readLoop() {
 	var pending traceCache
+	inlineH, inlineFast := sc.srv.inlineHandler, sc.srv.inlineFast
 	for {
-		f, err := sc.conn.ReadFrame()
+		f, reused, err := sc.conn.ReadFrameReused()
 		if err != nil {
 			sc.reqWG.Wait()
 			return
@@ -250,6 +282,8 @@ func (sc *ServerConn) readLoop() {
 		switch f.Kind {
 		case wire.KindRequest:
 		case wire.KindTraceExt:
+			// DecodeTraceExt copies the IDs out, so a reused payload is
+			// safe to pair here.
 			if trace, span, ok := wire.DecodeTraceExt(f.Payload); ok {
 				pending.put(f.Seq, obs.SpanContext{TraceID: trace, SpanID: span})
 			}
@@ -258,6 +292,17 @@ func (sc *ServerConn) readLoop() {
 			continue // ignore stray frames
 		}
 		trace := pending.take(f.Seq)
+		if inlineH != nil && inlineFast(f.Method, len(f.Payload)) {
+			if sc.dispatchInline(f, trace) {
+				continue
+			}
+			// Handler punted (might block): fall through to a goroutine.
+		}
+		if reused {
+			// The goroutine outlives this iteration; give it an owned
+			// copy of the connection-owned frame.
+			f = cloneOwned(f)
+		}
 		sc.reqWG.Add(1)
 		go func(f *wire.Frame, trace obs.SpanContext) {
 			defer sc.reqWG.Done()
@@ -266,42 +311,91 @@ func (sc *ServerConn) readLoop() {
 	}
 }
 
-func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
+// cloneOwned heap-copies a frame decoded in connection-owned storage.
+func cloneOwned(f *wire.Frame) *wire.Frame {
+	g := &wire.Frame{Kind: f.Kind, Seq: f.Seq, Method: f.Method, Code: f.Code}
+	if len(f.Payload) > 0 {
+		g.Payload = append([]byte(nil), f.Payload...)
+	}
+	return g
+}
+
+// dispatchState carries the pre-handler telemetry snapshot from begin
+// to finish. Passed by value so the uninstrumented path allocates
+// nothing.
+type dispatchState struct {
+	ctx    context.Context
+	stats  *obs.MethodStats
+	tracer *obs.Tracer
+	start  time.Time
+	spanID uint64
+}
+
+// begin opens one request's dispatch: per-method stats, the server-side
+// span, and the handler context.
+func (sc *ServerConn) begin(f *wire.Frame, trace obs.SpanContext) dispatchState {
+	st := dispatchState{ctx: context.Background()}
 	metrics, tracer := sc.srv.metrics, sc.srv.tracer
 	if !obs.On() {
 		metrics, tracer = nil, nil
 	}
-	var stats *obs.MethodStats
-	var start time.Time
 	if metrics != nil || (tracer != nil && trace.Valid()) {
-		start = time.Now()
+		st.start = time.Now()
 	}
 	if metrics != nil {
-		stats = metrics.Method(f.Method)
-		stats.Requests.Inc()
-		stats.BytesIn.Add(int64(len(f.Payload)))
-		stats.InFlight.Inc()
+		st.stats = metrics.Method(f.Method)
+		st.stats.Requests.Inc()
+		st.stats.BytesIn.Add(int64(len(f.Payload)))
+		st.stats.InFlight.Inc()
 	}
-	ctx := context.Background()
-	spanID := uint64(0)
 	if trace.Valid() {
 		if tracer != nil {
 			// One server-side span per traced request, child of the
 			// client's span; the handler ctx carries it onward.
-			spanID = obs.NewID()
-			ctx = obs.ContextWithSpan(ctx, obs.SpanContext{TraceID: trace.TraceID, SpanID: spanID})
+			st.tracer = tracer
+			st.spanID = obs.NewID()
+			st.ctx = obs.ContextWithSpan(st.ctx, obs.SpanContext{TraceID: trace.TraceID, SpanID: st.spanID})
 		} else {
 			// No local recorder: pass the inbound span through untouched
 			// so downstream hops stay in the trace.
-			ctx = obs.ContextWithSpan(ctx, trace)
+			st.ctx = obs.ContextWithSpan(st.ctx, trace)
 		}
 	}
+	return st
+}
 
-	resp, err := sc.callHandler(ctx, f)
+func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
+	st := sc.begin(f, trace)
+	resp, err := sc.callHandler(st.ctx, f)
+	sc.finish(f, trace, st, resp, err)
+}
+
+// dispatchInline runs one request on the read pump through the inline
+// handler. It reports false — leaving the frame untouched — when the
+// handler declines with ErrDispatchAsync.
+func (sc *ServerConn) dispatchInline(f *wire.Frame, trace obs.SpanContext) bool {
+	st := sc.begin(f, trace)
+	resp, err := sc.callInlineHandler(st.ctx, f)
+	if err == ErrDispatchAsync {
+		// Undo begin's in-flight mark; the goroutine path will begin anew.
+		if st.stats != nil {
+			st.stats.Requests.Add(-1)
+			st.stats.BytesIn.Add(-int64(len(f.Payload)))
+			st.stats.InFlight.Dec()
+		}
+		return false
+	}
+	sc.finish(f, trace, st, resp, err)
+	return true
+}
+
+// finish writes the response frame and closes out the telemetry opened
+// by begin. Shared by the inline and goroutine dispatch paths.
+func (sc *ServerConn) finish(f *wire.Frame, trace obs.SpanContext, st dispatchState, resp Response, err error) {
 	// The release hook rides on the frame so it fires exactly once on
 	// every write path — success, staging error, or dead connection —
 	// which is what lets handlers lease block memory into Vec.
-	out := &wire.Frame{Kind: wire.KindResponse, Seq: f.Seq, Release: resp.Release}
+	out := wire.Frame{Kind: wire.KindResponse, Seq: f.Seq, Release: resp.Release}
 	if err != nil {
 		out.Code = core.CodeOf(err)
 		if out.Code == core.CodeOther {
@@ -316,31 +410,31 @@ func (sc *ServerConn) dispatch(f *wire.Frame, trace obs.SpanContext) {
 		out.PayloadVec = resp.Vec
 	}
 	respBytes := out.PayloadLen()
-	if werr := sc.conn.WriteFrame(out); werr != nil && !errors.Is(werr, net.ErrClosed) {
+	if werr := sc.conn.WriteFrame(&out); werr != nil && !errors.Is(werr, net.ErrClosed) {
 		sc.srv.log.Debug("rpc: response write failed", "err", werr)
 	}
 
-	if tracer != nil && trace.Valid() {
+	if st.tracer != nil && trace.Valid() {
 		ev := obs.SpanEvent{
 			TraceID:  trace.TraceID,
-			SpanID:   spanID,
+			SpanID:   st.spanID,
 			ParentID: trace.SpanID,
 			Name:     "srv:" + methodLabel(f.Method),
 			Peer:     sc.conn.RemoteAddr().String(),
-			Start:    start,
-			Duration: time.Since(start),
+			Start:    st.start,
+			Duration: time.Since(st.start),
 		}
 		if err != nil {
 			ev.Err = err.Error()
 		}
-		tracer.Record(ev)
+		st.tracer.Record(ev)
 	}
-	if stats != nil {
-		stats.InFlight.Dec()
-		stats.Latency.ObserveDuration(time.Since(start))
-		stats.BytesOut.Add(int64(respBytes))
+	if st.stats != nil {
+		st.stats.InFlight.Dec()
+		st.stats.Latency.ObserveDuration(time.Since(st.start))
+		st.stats.BytesOut.Add(int64(respBytes))
 		if err != nil {
-			stats.Errors.Inc()
+			st.stats.Errors.Inc()
 		}
 	}
 	// WriteFrame consumed the contiguous payload (see the Response
@@ -357,4 +451,14 @@ func (sc *ServerConn) callHandler(ctx context.Context, f *wire.Frame) (resp Resp
 		}
 	}()
 	return sc.srv.handler(ctx, sc, f.Method, f.Payload)
+}
+
+func (sc *ServerConn) callInlineHandler(ctx context.Context, f *wire.Frame) (resp Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.srv.log.Error("rpc: inline handler panic", "method", f.Method, "panic", r)
+			resp, err = Response{}, core.ErrClosed
+		}
+	}()
+	return sc.srv.inlineHandler(ctx, sc, f.Method, f.Payload)
 }

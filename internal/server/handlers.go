@@ -274,6 +274,91 @@ func (s *Server) handleControl(ctx context.Context, conn *rpc.ServerConn, method
 	}
 }
 
+// handleInline is the read-pump fast path for small single data-plane
+// ops (see rpc.SetInlineHandler): decode, pin, apply, respond — no
+// per-request goroutine, no frame copy, with the request payload still
+// in connection-owned storage. Anything that might block the pump —
+// an active admission gate, tier rehydration, chain replication at the
+// head — punts to the regular goroutine dispatch path with
+// rpc.ErrDispatchAsync, so QoS, tiering, and replication behavior are
+// byte-for-byte those of handleDataOp. Results never alias the request
+// payload (partitions copy on insert; returned previous values are
+// removed from, or views into, block memory), so responding from
+// reused request storage is safe.
+func (s *Server) handleInline(ctx context.Context, conn *rpc.ServerConn, method uint16, payload []byte) (rpc.Response, error) {
+	if s.gate.Active() {
+		// Admission decisions (token debits, throttle errors, queue
+		// stats) belong on the fully instrumented path.
+		return rpc.Response{}, rpc.ErrDispatchAsync
+	}
+	op, blockID, args, err := ds.DecodeRequest(payload)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	b, err := s.store.Get(blockID)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	if op.IsMutation() && len(b.Chain()) > 1 {
+		// Chain-head sequencing forwards synchronously to the successor;
+		// replica applies wait on sequence order. Neither belongs on the
+		// read pump.
+		return rpc.Response{}, rpc.ErrDispatchAsync
+	}
+	if !b.BeginOp() {
+		// Demoted or demoting: resolving means persist-tier IO.
+		return rpc.Response{}, rpc.ErrDispatchAsync
+	}
+	b.Touch(s.store.HeatNow())
+	s.ops.Add(1)
+	unpin := true
+	defer func() {
+		if unpin {
+			b.EndOp()
+		}
+	}()
+
+	var res [][]byte
+	var release func()
+	if op.IsMutation() {
+		res, err = s.applyMutationOn(ctx, b, op, args, true)
+	} else if v, handled, verr := ds.ApplyView(b.Partition, op, args); handled {
+		// The view path bypasses Store.ApplyOn; keep the op counter
+		// accurate (same accounting as handleDataOp).
+		s.store.CountOps(1)
+		res, release, err = v.Vals, v.Release, verr
+	} else {
+		res, err = s.store.ApplyOn(b, op, args, true)
+	}
+	if err != nil {
+		if p := ds.RedirectPayloadOf(err); p != nil {
+			return rpc.BytesResponse(p), core.ErrRedirect
+		}
+		return rpc.Response{}, err
+	}
+	var notifyData []byte
+	if len(args) > 0 {
+		notifyData = args[0]
+	}
+	// notify marshals synchronously (copying notifyData) and pushes over
+	// buffered writers, so it is safe both on the read pump and with
+	// data aliasing reused request storage.
+	s.notify(blockID, op, notifyData)
+	head, vec := ds.AppendValsVec(wire.GetBuf(), res)
+	if release != nil {
+		// A leased view aliases block memory until the wire layer fires
+		// Release; keep the residency pin until then (it fires during
+		// the synchronous response write on this path).
+		unpin = false
+		lease := release
+		release = func() {
+			lease()
+			b.EndOp()
+		}
+	}
+	return rpc.Response{Payload: head, Vec: vec, Release: release}, nil
+}
+
 // handleDataOp executes one data-plane operation: apply locally,
 // propagate down the replication chain for mutations, then notify
 // subscribers.
@@ -313,7 +398,7 @@ func (s *Server) handleDataOp(ctx context.Context, payload []byte) (rpc.Response
 	// Chain-internal traffic (MethodReplicate) is exempt: it was already
 	// admitted at the head, and re-charging it would double-bill
 	// replicated tenants.
-	admitted, aerr := s.gate.Admit(ctx, string(b.Path.Job()), 1, argBytes(args))
+	admitted, aerr := s.gate.Admit(ctx, b.Tenant, 1, argBytes(args))
 	if aerr != nil {
 		var te *core.ThrottleError
 		if errors.As(aerr, &te) {
@@ -424,7 +509,7 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 			if !ok {
 				continue
 			}
-			t := string(b.Path.Job())
+			t := b.Tenant
 			d := demand[t]
 			if d == nil {
 				d = &tenantDemand{}
@@ -464,7 +549,7 @@ func (s *Server) handleDataOpBatch(ctx context.Context, payload []byte) ([]byte,
 			continue
 		}
 		if throttledTenants != nil {
-			if terr := throttledTenants[string(b.Path.Job())]; terr != nil {
+			if terr := throttledTenants[b.Tenant]; terr != nil {
 				results[i] = ds.ErrResult(terr)
 				continue
 			}
@@ -577,6 +662,7 @@ func (s *Server) createBlock(req proto.CreateBlockReq) error {
 	b := &blockstore.Block{
 		ID:        req.Block,
 		Path:      req.Path,
+		Tenant:    string(req.Path.Job()),
 		Partition: part,
 		Chunk:     req.Chunk,
 		NumSlots:  req.NumSlots,

@@ -24,6 +24,7 @@ import (
 	"jiffy/internal/proto"
 	"jiffy/internal/qos"
 	"jiffy/internal/rpc"
+	"jiffy/internal/wire"
 )
 
 // Options configures a memory server.
@@ -184,6 +185,12 @@ func New(opts Options) (*Server, error) {
 		}
 	})
 	s.rpcSrv = rpc.NewServer(s.handle, opts.Logger)
+	// Small single data-plane ops run directly on the connection read
+	// pump; handleInline punts anything that might block back to the
+	// goroutine path.
+	s.rpcSrv.SetInlineHandler(s.handleInline, func(method uint16, payloadLen int) bool {
+		return method == proto.MethodDataOp && payloadLen <= wire.InlineFrameThreshold
+	})
 	s.rpcSrv.SetObserver(s.rpcm, s.tracer)
 	s.rpcSrv.OnDisconnect = func(conn *rpc.ServerConn) { s.subs.dropConn(conn) }
 	s.wg.Add(1)

@@ -61,6 +61,19 @@ const headerLen = 1 + 8 + 2 + 1
 // (up to the 128MB block size) must fit; we allow 256MB.
 const MaxFrameSize = 256 * core.MB
 
+// InlineFrameThreshold is the payload size at or below which the
+// small-frame fast path applies: senders encode header+payload into one
+// pooled contiguous buffer and issue a single buffered write
+// (AppendFrame + WriteBytes), and ReadFrameReused decodes arriving
+// frames into connection-owned storage instead of allocating a Frame
+// and payload per message. The threshold covers every single-op
+// data-plane request/response (key + small value + codec framing) while
+// keeping the per-connection scratch buffer small; bulk transfers fall
+// through to the general vectored/chunked paths. The encoding is
+// identical on the wire — old peers cannot tell which path produced a
+// frame.
+const InlineFrameThreshold = 4 * core.KB
+
 // readAllocChunk bounds the upfront allocation for an incoming frame.
 // Frames claiming more are read in chunks, so a garbage length prefix
 // cannot force a huge allocation before the stream proves it actually
@@ -117,6 +130,13 @@ func (f *Frame) release() {
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
+
+	// Read-side scratch, owned by the single reader goroutine: the
+	// length prefix, plus the Frame and payload storage that
+	// ReadFrameReused recycles across small frames.
+	rlen   [4]byte
+	rframe Frame
+	rbuf   []byte
 
 	// writers counts goroutines inside WriteFrame(s) — holding or
 	// queued for wmu. A writer that sees other writers pending skips
@@ -257,10 +277,12 @@ func (c *Conn) maybeFlushLocked() error {
 	return c.w.Flush()
 }
 
-// appendFrame appends f's wire encoding (length prefix, header,
-// payload) to dst. Shared by tests/fuzzers; the live write path stages
-// straight into the bufio writer instead to avoid the copy.
-func appendFrame(dst []byte, f *Frame) []byte {
+// AppendFrame appends f's wire encoding (length prefix, header,
+// payload) to dst. The inline small-frame fast path encodes into a
+// pooled buffer with it and sends the result through WriteBytes as one
+// contiguous write; it also serves tests and fuzzers. f is not
+// retained, so callers may pass a stack-allocated frame.
+func AppendFrame(dst []byte, f *Frame) []byte {
 	var hdr [4 + headerLen]byte
 	n := headerLen + f.PayloadLen()
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
@@ -276,26 +298,55 @@ func appendFrame(dst []byte, f *Frame) []byte {
 	return dst
 }
 
-// parseFrame decodes the post-length-prefix portion of a frame. buf
-// must be at least headerLen bytes (the caller validated the length
-// prefix); the returned frame's payload aliases buf.
-func parseFrame(buf []byte) (*Frame, error) {
+// WriteBytes stages pre-encoded frame bytes (one or more AppendFrame
+// encodings) and participates in the same group-commit flush as
+// WriteFrame, so fast-path and general writers coalesce into one convoy.
+// Safe for concurrent use. The caller owns b again on return.
+func (c *Conn) WriteBytes(b []byte) error {
+	c.writers.Add(1)
+	c.wmu.Lock()
+	_, err := c.w.Write(b)
+	if err == nil {
+		err = c.maybeFlushLocked()
+	} else {
+		c.writers.Add(-1)
+	}
+	c.wmu.Unlock()
+	return err
+}
+
+// parseFrameInto decodes the post-length-prefix portion of a frame into
+// f without allocating. buf must be at least headerLen bytes (the
+// caller validated the length prefix); f's payload aliases buf.
+func parseFrameInto(f *Frame, buf []byte) error {
 	if len(buf) < headerLen {
-		return nil, fmt.Errorf("wire: frame shorter than header (%d bytes)", len(buf))
+		return fmt.Errorf("wire: frame shorter than header (%d bytes)", len(buf))
 	}
-	f := &Frame{
-		Kind:   Kind(buf[0]),
-		Seq:    binary.BigEndian.Uint64(buf[1:9]),
-		Method: binary.BigEndian.Uint16(buf[9:11]),
-		Code:   core.ErrorCode(buf[11]),
-	}
+	f.Kind = Kind(buf[0])
+	f.Seq = binary.BigEndian.Uint64(buf[1:9])
+	f.Method = binary.BigEndian.Uint16(buf[9:11])
+	f.Code = core.ErrorCode(buf[11])
+	f.Payload = nil
+	f.PayloadVec = nil
+	f.Release = nil
 	if len(buf) > headerLen {
 		f.Payload = buf[headerLen:]
 	}
 	switch f.Kind {
 	case KindRequest, KindResponse, KindPush, KindTraceExt:
 	default:
-		return nil, fmt.Errorf("wire: invalid frame kind %d", f.Kind)
+		return fmt.Errorf("wire: invalid frame kind %d", f.Kind)
+	}
+	return nil
+}
+
+// parseFrame decodes the post-length-prefix portion of a frame. buf
+// must be at least headerLen bytes (the caller validated the length
+// prefix); the returned frame's payload aliases buf.
+func parseFrame(buf []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := parseFrameInto(f, buf); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -327,16 +378,71 @@ func DecodeTraceExt(p []byte) (trace, span uint64, ok bool) {
 	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]), true
 }
 
+// readLen reads and validates the 4-byte length prefix using the
+// connection's scratch (a stack [4]byte escapes through io.ReadFull and
+// costs an allocation per frame).
+func (c *Conn) readLen() (int, error) {
+	if _, err := io.ReadFull(c.r, c.rlen[:]); err != nil {
+		return 0, err
+	}
+	n := int(binary.BigEndian.Uint32(c.rlen[:]))
+	if n < headerLen || n > MaxFrameSize {
+		return 0, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	return n, nil
+}
+
 // ReadFrame reads the next frame. Must be called from one goroutine.
+// The returned frame is freshly allocated and owned by the caller.
 func (c *Conn) ReadFrame() (*Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
+	n, err := c.readLen()
+	if err != nil {
 		return nil, err
 	}
-	n := int(binary.BigEndian.Uint32(lenBuf[:]))
-	if n < headerLen || n > MaxFrameSize {
-		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+	buf, err := c.readBody(n)
+	if err != nil {
+		return nil, err
 	}
+	return parseFrame(buf)
+}
+
+// ReadFrameReused reads the next frame like ReadFrame, but decodes
+// small frames (payload at most InlineFrameThreshold) into
+// connection-owned storage: when reused is true, the returned Frame and
+// its Payload are invalidated by the next Read*Frame call, so the
+// caller must finish with them — or copy what it keeps — before reading
+// again. Larger frames come back freshly allocated (reused false),
+// exactly as from ReadFrame. This is the receive-side half of the
+// inline small-frame fast path: the steady-state cost of a small frame
+// is one buffered read, zero allocations.
+func (c *Conn) ReadFrameReused() (f *Frame, reused bool, err error) {
+	n, err := c.readLen()
+	if err != nil {
+		return nil, false, err
+	}
+	if n <= InlineFrameThreshold+headerLen {
+		if cap(c.rbuf) < n {
+			c.rbuf = make([]byte, InlineFrameThreshold+headerLen)
+		}
+		buf := c.rbuf[:n]
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, false, err
+		}
+		if err := parseFrameInto(&c.rframe, buf); err != nil {
+			return nil, false, err
+		}
+		return &c.rframe, true, nil
+	}
+	buf, err := c.readBody(n)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err = parseFrame(buf)
+	return f, false, err
+}
+
+// readBody reads the n-byte remainder of a frame into a fresh buffer.
+func (c *Conn) readBody(n int) ([]byte, error) {
 	var buf []byte
 	if n <= readAllocChunk {
 		buf = make([]byte, n)
@@ -370,7 +476,7 @@ func (c *Conn) ReadFrame() (*Frame, error) {
 			}
 		}
 	}
-	return parseFrame(buf)
+	return buf, nil
 }
 
 // Close tears down the underlying connection. Idempotent.

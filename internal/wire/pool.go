@@ -23,11 +23,21 @@ var payloadPool = sync.Pool{
 	},
 }
 
+// hdrPool recycles the *[]byte boxes that carry slices through
+// payloadPool. Without it every PutBuf allocates a fresh box to satisfy
+// sync.Pool's interface{} contract (`&b` escapes), which put two heap
+// allocations back on a hot path that exists to avoid them.
+var hdrPool = sync.Pool{
+	New: func() interface{} { return new([]byte) },
+}
+
 // GetBuf returns an empty buffer from the pool. Append into it, use the
 // result, then release it with PutBuf.
 func GetBuf() []byte {
 	p := payloadPool.Get().(*[]byte)
 	b := (*p)[:0]
+	*p = nil
+	hdrPool.Put(p)
 	debugTrackGet(b)
 	return b
 }
@@ -42,6 +52,7 @@ func PutBuf(b []byte) {
 		return
 	}
 	debugTrackPut(b)
-	b = b[:0]
-	payloadPool.Put(&b)
+	p := hdrPool.Get().(*[]byte)
+	*p = b[:0]
+	payloadPool.Put(p)
 }

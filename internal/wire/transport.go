@@ -2,9 +2,11 @@ package wire
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Addresses starting with this prefix route through the in-process
@@ -66,7 +68,7 @@ func dialMem(name string) (net.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("wire: no mem endpoint %q", name)
 	}
-	client, server := net.Pipe()
+	client, server := memPipe(memAddr("dial:"+name), memAddr(MemPrefix+name))
 	select {
 	case l.accept <- server:
 		return client, nil
@@ -115,3 +117,122 @@ type memAddr string
 
 func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return MemPrefix + string(a) }
+
+// memBufSize bounds one direction of an in-process connection. Large
+// enough that a convoy of small frames never stalls the writer; small
+// enough that a stuck reader exerts backpressure like a full TCP
+// window.
+const memBufSize = 256 * 1024
+
+// memBuf is one direction of an in-process connection: a bounded ring
+// buffer guarded by a mutex with separate reader and writer conditions.
+// Unlike net.Pipe's unbuffered rendezvous (two scheduler handoffs per
+// Write), a small write completes as soon as the bytes are copied in —
+// the same decoupling a kernel socket buffer provides — which is what
+// makes single-op round trips over mem:// cheap.
+type memBuf struct {
+	mu    sync.Mutex
+	rwait sync.Cond
+	wwait sync.Cond
+	buf   []byte
+	r     int // next read offset
+	n     int // bytes buffered
+	// closed means no more writes are accepted; readers drain what is
+	// buffered, then see io.EOF — TCP-style graceful shutdown.
+	closed bool
+}
+
+func newMemBuf() *memBuf {
+	b := &memBuf{buf: make([]byte, memBufSize)}
+	b.rwait.L = &b.mu
+	b.wwait.L = &b.mu
+	return b
+}
+
+func (b *memBuf) write(p []byte) (int, error) {
+	total := 0
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(p) > 0 {
+		for b.n == len(b.buf) && !b.closed {
+			b.wwait.Wait()
+		}
+		if b.closed {
+			return total, io.ErrClosedPipe
+		}
+		w := (b.r + b.n) % len(b.buf)
+		chunk := min(len(b.buf)-b.n, len(p))
+		n1 := copy(b.buf[w:], p[:min(chunk, len(b.buf)-w)])
+		n2 := 0
+		if n1 < chunk {
+			n2 = copy(b.buf, p[n1:chunk])
+		}
+		b.n += n1 + n2
+		total += n1 + n2
+		p = p[n1+n2:]
+		b.rwait.Signal()
+	}
+	return total, nil
+}
+
+func (b *memBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == 0 && !b.closed {
+		b.rwait.Wait()
+	}
+	if b.n == 0 {
+		return 0, io.EOF
+	}
+	chunk := min(b.n, len(p))
+	n1 := copy(p[:chunk], b.buf[b.r:min(len(b.buf), b.r+chunk)])
+	n2 := 0
+	if n1 < chunk {
+		n2 = copy(p[n1:chunk], b.buf)
+	}
+	b.r = (b.r + n1 + n2) % len(b.buf)
+	b.n -= n1 + n2
+	b.wwait.Signal()
+	return n1 + n2, nil
+}
+
+func (b *memBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.rwait.Broadcast()
+	b.wwait.Broadcast()
+	b.mu.Unlock()
+}
+
+// memConn is one endpoint of an in-process duplex connection.
+// Deadlines are accepted and ignored (nothing in the codebase sets
+// them on data connections; timeouts live at the RPC layer).
+type memConn struct {
+	rd, wr        *memBuf
+	local, remote memAddr
+}
+
+// memPipe builds both endpoints of an in-process connection.
+func memPipe(dialer, listener memAddr) (client, server *memConn) {
+	c2s, s2c := newMemBuf(), newMemBuf()
+	client = &memConn{rd: s2c, wr: c2s, local: dialer, remote: listener}
+	server = &memConn{rd: c2s, wr: s2c, local: listener, remote: dialer}
+	return client, server
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close shuts down both directions: the peer drains buffered data and
+// then reads io.EOF; its writes (and any further local I/O) fail.
+func (c *memConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr                { return c.local }
+func (c *memConn) RemoteAddr() net.Addr               { return c.remote }
+func (c *memConn) SetDeadline(t time.Time) error      { return nil }
+func (c *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(t time.Time) error { return nil }

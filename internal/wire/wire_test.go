@@ -333,7 +333,7 @@ func TestTraceExtRoundTrip(t *testing.T) {
 	}
 	// A trace-ext frame survives the frame codec.
 	f := &Frame{Kind: KindTraceExt, Seq: 7, Payload: p}
-	c := fuzzConn(appendFrame(nil, f))
+	c := fuzzConn(AppendFrame(nil, f))
 	out, err := c.ReadFrame()
 	if err != nil || out.Kind != KindTraceExt || out.Seq != 7 {
 		t.Fatalf("trace-ext frame: %+v, %v", out, err)
