@@ -217,6 +217,8 @@ func run(c *jiffy.Client, args []string) error {
 		return nil
 	case "stats":
 		return stats(c, rest)
+	case "health":
+		return health(c, rest)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -247,6 +249,52 @@ func stats(c *jiffy.Client, args []string) error {
 		time.Sleep(*interval)
 		fmt.Println()
 	}
+}
+
+// health prints the cluster's gray-failure view: the controller's
+// probation list, and this client's own per-server observations
+// (breaker state, latency EWMA/p95) for every server it has talked to.
+// --admin additionally fetches an admin endpoint's /healthz?detail=1.
+func health(c *jiffy.Client, args []string) error {
+	fs := flag.NewFlagSet("health", flag.ContinueOnError)
+	admin := fs.String("admin", "", "also fetch this admin endpoint's /healthz?detail=1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := c.ControllerStats(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("servers:  %d\n", s.Servers)
+	if len(s.DegradedServers) == 0 {
+		fmt.Println("degraded: none")
+	} else {
+		fmt.Printf("degraded: %s\n", strings.Join(s.DegradedServers, ", "))
+	}
+	if hs := c.ServerHealth(); len(hs) > 0 {
+		fmt.Println("client-observed server health:")
+		for _, h := range hs {
+			fmt.Printf("  %-36s breaker=%-9s strikes=%d samples=%d ewma=%v p95=%v probation=%v\n",
+				h.Server, h.State, h.Strikes, h.Samples, h.EWMA, h.P95, h.Probation)
+		}
+	}
+	if *admin != "" {
+		addr := *admin
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		resp, err := http.Get(addr + "/healthz?detail=1")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin %s: %s", *admin, body)
+	}
+	return nil
 }
 
 func printControllerStats(c *jiffy.Client) error {
@@ -302,6 +350,7 @@ commands:
   append <path> <data>          read <path> <off> <len>
   renew <path>                  flush <path> <dest>     load <path> <src>
   ls <job>                      stats [--watch] [--admin addr]
+  health [--admin addr]
   save-state <key>              drain <server-addr>
   role                          promote <controller-addr>`)
 }

@@ -107,6 +107,14 @@ func main() {
 		adminSrv, err := obs.ServeAdmin(*admin, obs.AdminOptions{
 			Registry: ctrl.Obs(),
 			Spans:    ctrl.Spans(),
+			// /healthz?detail=1 — the gray-failure view: which servers are
+			// on probation, and the membership epoch they have NOT moved.
+			HealthDetail: func() any {
+				return struct {
+					MembershipEpoch uint64   `json:"membership_epoch"`
+					DegradedServers []string `json:"degraded_servers"`
+				}{ctrl.MembershipEpoch(), ctrl.ProbationList()}
+			},
 		})
 		if err != nil {
 			fatal("admin endpoint: %v", err)

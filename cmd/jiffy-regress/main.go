@@ -6,6 +6,7 @@
 //	jiffy-regress -out BENCH_hotpath.json                 # record
 //	jiffy-regress -quick -baseline BENCH_hotpath.json     # CI gate
 //	jiffy-regress -quick -overhead                        # telemetry on/off A-B gate
+//	jiffy-regress -quick -tail -tail-out TAIL.json        # hedged-read tail-latency gate
 //
 // The default comparison is hardware-neutral (batch-vs-single speedup
 // ratios and allocs/op); pass -absolute to also gate on raw ops/sec
@@ -38,6 +39,7 @@ import (
 	"jiffy/internal/bench/ctrlscale"
 	"jiffy/internal/bench/hotpath"
 	"jiffy/internal/bench/regress"
+	"jiffy/internal/bench/tailbench"
 )
 
 // improveFlag collects repeated -improve Name:minOpsRatio:maxBytesRatio
@@ -80,6 +82,9 @@ func main() {
 	overheadRounds := flag.Int("overhead-rounds", 3, "interleaved A/B rounds per benchmark with -overhead")
 	ctrlScale := flag.Bool("ctrl-scale", false, "measure controller metadata shard scaling (Fig. 12(b)) and gate the speedup")
 	ctrlScaleMin := flag.Float64("ctrl-scale-min", 2.0, "required sharded-vs-single-lock ops/sec ratio with -ctrl-scale")
+	tail := flag.Bool("tail", false, "measure hedged vs unhedged read p99 under an injected slow chain tail and gate the hedged tail")
+	tailMax := flag.Float64("tail-max", 3.0, "allowed hedged p99 as a multiple of the healthy baseline with -tail")
+	tailOut := flag.String("tail-out", "", "path to write the -tail report JSON (empty = don't write)")
 	rounds := flag.Int("rounds", 1, "measurement rounds per benchmark; the best round is kept (use >1 on noisy machines)")
 	parallel := flag.Int("parallel", 1, "contended mode: run only the single-op benchmarks, with this many goroutines sharing one session")
 	shards := flag.Int("shards", 1, "session shards for the contended-mode client (WithSessionShards); only meaningful with -parallel")
@@ -112,6 +117,43 @@ func main() {
 				ratio, *ctrlScaleMin)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *tail {
+		res, err := tailbench.Measure(*quick, func(format string, args ...interface{}) {
+			fmt.Printf(format, args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: tail: %v\n", err)
+			os.Exit(2)
+		}
+		if *tailOut != "" {
+			if err := res.WriteFile(*tailOut); err != nil {
+				fmt.Fprintf(os.Stderr, "jiffy-regress: write %s: %v\n", *tailOut, err)
+				os.Exit(2)
+			}
+			fmt.Printf("wrote %s\n", *tailOut)
+		}
+		// Sanity first: if the unhedged client did not feel the injected
+		// delay, the injector misfired and the hedged number proves
+		// nothing — refuse to report a pass from a broken measurement.
+		if res.UnhedgedP99 < res.InjectedDelay {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: tail: unhedged p99 %v below the injected %v delay; fault injection ineffective\n",
+				res.UnhedgedP99, res.InjectedDelay)
+			os.Exit(2)
+		}
+		if res.HedgesFired == 0 {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: tail: no hedges fired under a %v slow tail\n", res.InjectedDelay)
+			os.Exit(1)
+		}
+		if res.HedgedRatio > *tailMax {
+			fmt.Fprintf(os.Stderr, "jiffy-regress: tail: hedged p99 %v is %.2fx the %v baseline, above the allowed %.2fx\n",
+				res.HedgedP99, res.HedgedRatio, res.GateBaseline, *tailMax)
+			os.Exit(1)
+		}
+		fmt.Printf("tail: hedged p99 %v within %.1fx of the %v baseline (unhedged %v)\n",
+			res.HedgedP99, *tailMax, res.GateBaseline, res.UnhedgedP99)
 		return
 	}
 

@@ -20,9 +20,14 @@ type Allocator struct {
 	free map[string][]core.BlockID
 	// totalPerServer remembers each server's contribution.
 	totalPerServer map[string]int
-	nextID         core.BlockID
-	totalBlocks    int
-	freeBlocks     int
+	// suspended marks servers on gray-failure probation: their free
+	// blocks stay in the pool (the server is alive and its data intact)
+	// but Allocate avoids them unless the healthy servers alone cannot
+	// satisfy the request.
+	suspended   map[string]bool
+	nextID      core.BlockID
+	totalBlocks int
+	freeBlocks  int
 }
 
 // New creates an empty allocator.
@@ -30,6 +35,7 @@ func New() *Allocator {
 	return &Allocator{
 		free:           make(map[string][]core.BlockID),
 		totalPerServer: make(map[string]int),
+		suspended:      make(map[string]bool),
 		nextID:         1,
 	}
 }
@@ -75,12 +81,44 @@ func (a *Allocator) RemoveServer(addr string) {
 	a.totalBlocks -= a.totalPerServer[addr]
 	delete(a.free, addr)
 	delete(a.totalPerServer, addr)
+	delete(a.suspended, addr)
+}
+
+// Suspend places addr on probation: Allocate skips it while any
+// healthy server can cover the request. Unknown addresses are recorded
+// too, so a suspension that races a registration still sticks.
+func (a *Allocator) Suspend(addr string) {
+	a.mu.Lock()
+	a.suspended[addr] = true
+	a.mu.Unlock()
+}
+
+// Resume lifts addr's probation.
+func (a *Allocator) Resume(addr string) {
+	a.mu.Lock()
+	delete(a.suspended, addr)
+	a.mu.Unlock()
+}
+
+// Suspended returns the probated server addresses, sorted.
+func (a *Allocator) Suspended() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.suspended))
+	for addr := range a.suspended {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Allocate removes n blocks from the free list, preferring the servers
-// with the most free capacity (global load balancing). It returns
+// with the most free capacity (global load balancing). Servers on
+// probation (Suspend) are excluded while the healthy pool alone can
+// cover the request; when it cannot, the probated servers are used as
+// a fallback — a slow server beats ErrNoCapacity. Returns
 // ErrNoCapacity without allocating anything when fewer than n blocks
-// are free.
+// are free in total.
 func (a *Allocator) Allocate(n int) ([]core.BlockInfo, error) {
 	if n <= 0 {
 		return nil, nil
@@ -91,9 +129,14 @@ func (a *Allocator) Allocate(n int) ([]core.BlockInfo, error) {
 		return nil, fmt.Errorf("alloc: want %d blocks, %d free: %w",
 			n, a.freeBlocks, core.ErrNoCapacity)
 	}
+	healthyFree := a.freeBlocks
+	for addr := range a.suspended {
+		healthyFree -= len(a.free[addr])
+	}
+	skipSuspended := healthyFree >= n
 	out := make([]core.BlockInfo, 0, n)
 	for len(out) < n {
-		addr := a.mostFreeLocked()
+		addr := a.mostFreeLocked(skipSuspended)
 		ids := a.free[addr]
 		id := ids[len(ids)-1]
 		a.free[addr] = ids[:len(ids)-1]
@@ -104,8 +147,10 @@ func (a *Allocator) Allocate(n int) ([]core.BlockInfo, error) {
 }
 
 // mostFreeLocked picks the server with the most free blocks,
-// tie-breaking by address for determinism.
-func (a *Allocator) mostFreeLocked() string {
+// tie-breaking by address for determinism. With skipSuspended set,
+// probated servers are not considered (the caller guarantees the
+// healthy pool is sufficient).
+func (a *Allocator) mostFreeLocked(skipSuspended bool) string {
 	best, bestN := "", -1
 	addrs := make([]string, 0, len(a.free))
 	for addr := range a.free {
@@ -113,6 +158,9 @@ func (a *Allocator) mostFreeLocked() string {
 	}
 	sort.Strings(addrs)
 	for _, addr := range addrs {
+		if skipSuspended && a.suspended[addr] {
+			continue
+		}
 		if n := len(a.free[addr]); n > bestN {
 			best, bestN = addr, n
 		}

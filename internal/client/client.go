@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,10 @@ type config struct {
 	exporter    obs.SpanExporter
 	shards      int
 	busyPoll    bool
+	breaker     BreakerPolicy
+	breakerOn   bool
+	hedge       HedgePolicy
+	hedgeOn     bool
 }
 
 // Option configures Dial.
@@ -147,6 +152,27 @@ func WithSessionShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
 
+// WithBreaker installs a per-server circuit breaker (see BreakerPolicy;
+// zero fields take defaults). Servers that repeatedly fail or — with a
+// latency ceiling set — answer too slowly are failed fast with a typed
+// *core.DegradedError instead of queueing more traffic behind them;
+// after the cooldown a single probe decides recovery. Health tracking
+// itself (EWMA, windowed p95) is always on; the breaker only adds the
+// fail-fast gate.
+func WithBreaker(p BreakerPolicy) Option {
+	return func(c *config) { c.breaker, c.breakerOn = p, true }
+}
+
+// WithHedgedReads enables hedged reads (see HedgePolicy; zero fields
+// take defaults): idempotent chain reads that linger past the primary
+// server's observed p95 race a backup request against another chain
+// member, first response wins. Mutations are never hedged. Costs a few
+// allocations per hedged call; leave off for allocation-sensitive
+// workloads.
+func WithHedgedReads(p HedgePolicy) Option {
+	return func(c *config) { c.hedge, c.hedgeOn = p, true }
+}
+
 // WithBusyPoll puts data-plane sessions in busy-poll mode: callers
 // spin briefly before parking while waiting for a response, shaving
 // scheduler wakeup latency off small-op round trips at the price of
@@ -165,6 +191,14 @@ type Client struct {
 	pool      *rpc.Pool
 	policy    RetryPolicy
 
+	// Gray-failure defenses: always-on per-server health tracking, the
+	// opt-in circuit breaker gate, and opt-in read hedging.
+	health     *healthTracker
+	hedge      HedgePolicy
+	hedgeOn    bool
+	breakerOn  bool
+	rpcTimeout time.Duration
+
 	// leader is the index into ctrlAddrs of the member last observed to
 	// lead. Control calls start there; a NotLeader redirect or a dead
 	// connection moves it.
@@ -172,14 +206,17 @@ type Client struct {
 
 	// Telemetry: per-method RPC metrics (role "client"), client-loop
 	// counters, and the optional tracer, all served via Obs().
-	reg           *obs.Registry
-	rpcm          *obs.RPCMetrics
-	tracer        *obs.Tracer
-	batchSizes    *obs.Histogram
-	mapRefreshes  *obs.Counter
-	staleRegroups *obs.Counter
-	throttleWaits *obs.Counter
-	rehomes       *obs.Counter
+	reg            *obs.Registry
+	rpcm           *obs.RPCMetrics
+	tracer         *obs.Tracer
+	batchSizes     *obs.Histogram
+	mapRefreshes   *obs.Counter
+	staleRegroups  *obs.Counter
+	throttleWaits  *obs.Counter
+	rehomes        *obs.Counter
+	hedgesFired    *obs.Counter
+	hedgesWon      *obs.Counter
+	hedgesCanceled *obs.Counter
 
 	mu sync.Mutex
 	// routers dispatches push notifications per data-plane connection.
@@ -226,6 +263,18 @@ func Dial(ctx context.Context, opts ...Option) (*Client, error) {
 		"Retry-after waits honored following admission-control refusals")
 	c.rehomes = c.reg.Counter("jiffy_client_rehomes_total",
 		"Controller re-homes after NotLeader redirects or dead leaders")
+	c.hedgesFired = c.reg.Counter("jiffy_client_hedges_fired_total",
+		"Backup read requests launched past the primary's hedge deadline")
+	c.hedgesWon = c.reg.Counter("jiffy_client_hedges_won_total",
+		"Hedged reads won by the backup request")
+	c.hedgesCanceled = c.reg.Counter("jiffy_client_hedges_canceled_total",
+		"Hedged-read losers canceled after the other arm won")
+	c.health = newHealthTracker(cfg.breaker, cfg.breakerOn)
+	c.hedge = cfg.hedge.withDefaults()
+	c.hedgeOn = cfg.hedgeOn
+	c.breakerOn = cfg.breakerOn
+	c.rpcTimeout = cfg.timeout
+	c.reg.RegisterCollector(c.writeBreakerStates)
 
 	// Control and data planes get separate dial chains: session
 	// sharding and busy-poll are data-path latency tools, pointless for
@@ -300,6 +349,33 @@ func ConnectMulti(ctx context.Context, controllerAddrs []string, opts ...Option)
 // batch sizes, map refreshes) for embedding into an application's
 // admin endpoint.
 func (c *Client) Obs() *obs.Registry { return c.reg }
+
+// writeBreakerStates emits the per-server breaker state gauge
+// (0 closed, 1 open, 2 half-open) at scrape time.
+func (c *Client) writeBreakerStates(w io.Writer) {
+	snap := c.health.snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	obs.WriteHeader(w, "jiffy_client_breaker_state",
+		"Per-server circuit breaker state (0 closed, 1 open, 2 half-open)", "gauge")
+	for _, s := range snap {
+		var v int64
+		switch s.State {
+		case "open":
+			v = 1
+		case "half-open":
+			v = 2
+		}
+		obs.WriteSample(w, "jiffy_client_breaker_state",
+			fmt.Sprintf(`{server=%q}`, s.Server), v)
+	}
+}
+
+// ServerHealth reports the per-server health state this client has
+// observed: breaker state, strike count, latency EWMA and windowed p95,
+// and controller-reported probation. Sorted by server address.
+func (c *Client) ServerHealth() []ServerHealthInfo { return c.health.snapshot() }
 
 // ctrlIndexOf maps a controller address to its group index, -1 when
 // unknown.
@@ -607,10 +683,16 @@ func (c *Client) ListPrefixes(ctx context.Context, job core.JobID) ([]proto.Pref
 	return resp.Prefixes, err
 }
 
-// open fetches the current partition map for a prefix.
+// open fetches the current partition map for a prefix. The response
+// piggybacks the controller's probation set, keeping the client's
+// hedge-target ranking aligned with the control plane's gray-failure
+// judgment without extra round trips.
 func (c *Client) open(ctx context.Context, path core.Path) (ds.PartitionMap, time.Duration, error) {
 	var resp proto.OpenResp
 	err := c.callCtrl(ctx, proto.MethodOpen, proto.OpenReq{Path: path}, &resp)
+	if err == nil {
+		c.health.setProbation(resp.Probation)
+	}
 	return resp.Map, resp.LeaseDuration, err
 }
 

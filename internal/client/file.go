@@ -101,7 +101,7 @@ func (f *File) WriteAt(ctx context.Context, off int, data []byte) error {
 // writeChunk writes within one chunk with staleness recovery.
 func (f *File) writeChunk(ctx context.Context, ci, in int, data []byte) error {
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		info, err := f.blockFor(ctx, ci, true)
 		if err != nil {
@@ -113,6 +113,18 @@ func (f *File) writeChunk(ctx context.Context, ci, in int, data []byte) error {
 			return nil
 		case ctxErr(err) != nil:
 			return err
+		case errors.Is(err, core.ErrServerDegraded):
+			degraded++
+			if degraded > 1 {
+				return err
+			}
+			lastErr = err
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
+				return rerr
+			}
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
 			if rerr := f.h.refresh(ctx); rerr != nil {
@@ -205,18 +217,34 @@ func (f *File) ReadAt(ctx context.Context, off, n int) ([]byte, error) {
 // readChunk reads within one chunk with staleness recovery.
 func (f *File) readChunk(ctx context.Context, ci, in, n int) ([]byte, error) {
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		info, err := f.blockFor(ctx, ci, false)
 		if err != nil {
 			return nil, err
 		}
-		res, err := f.h.do(ctx, info, core.OpFileRead, [][]byte{ds.U64(uint64(in)), ds.U64(uint64(n))})
+		// File reads are idempotent: they may hedge against another
+		// chain member when the tail is slow.
+		res, err := f.h.doRead(ctx, info, core.OpFileRead, [][]byte{ds.U64(uint64(in)), ds.U64(uint64(n))})
 		switch {
 		case err == nil:
 			return res[0], nil
 		case ctxErr(err) != nil:
 			return nil, err
+		case errors.Is(err, core.ErrServerDegraded):
+			// Open breaker: refresh once (the controller may have
+			// re-chained the block), then surface the typed error.
+			degraded++
+			if degraded > 1 {
+				return nil, err
+			}
+			lastErr = err
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
 			if rerr := f.h.refresh(ctx); rerr != nil {
@@ -279,7 +307,7 @@ func (f *File) AppendRecord(ctx context.Context, data []byte) (int, error) {
 		return 0, fmt.Errorf("client: file has no chunk size")
 	}
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < f.h.retryLimit(); attempt++ {
 		m := f.h.snapshot()
 		tail, ok := m.Tail()
@@ -288,6 +316,18 @@ func (f *File) AppendRecord(ctx context.Context, data []byte) (int, error) {
 		}
 		res, err := f.h.do(ctx, tail.Info, core.OpFileAppend, [][]byte{data})
 		switch {
+		case errors.Is(err, core.ErrServerDegraded):
+			degraded++
+			if degraded > 1 {
+				return 0, err
+			}
+			lastErr = err
+			if rerr := f.h.refresh(ctx); rerr != nil && !isConnErr(rerr) {
+				return 0, rerr
+			}
+			if berr := f.h.backoff(ctx, attempt); berr != nil {
+				return 0, berr
+			}
 		case err == nil:
 			off, perr := ds.ParseU64(res[0])
 			if perr != nil {

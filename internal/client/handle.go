@@ -82,12 +82,23 @@ func (h *handle) requestScale(ctx context.Context, block core.BlockID) error {
 
 // do executes one data-plane op against a block. Connection-level
 // failures evict the pooled session so the next attempt re-dials.
+// Every call feeds the per-server health tracker (latency EWMA +
+// windowed quantile — allocation-free, so the PR 9 small-op hot path
+// keeps its ceilings), and when a breaker policy is installed an open
+// breaker fails the call fast with a typed degraded error instead of
+// queueing behind a gray-failed server.
 func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
+	if h.c.breakerOn {
+		if retryAfter, ok := h.c.health.allow(info.Server); !ok {
+			return nil, degradedErr(info.Server, retryAfter)
+		}
+	}
 	conn, err := h.c.dataConn(info.Server)
 	if err != nil {
 		// An unreachable server is a connection failure like any other:
 		// classify it so retries avoid the server and reads fall back
-		// along the replica chain.
+		// along the replica chain. It also strikes the server's breaker.
+		h.c.health.record(info.Server, 0, true)
 		return nil, fmt.Errorf("client: dial %s: %v: %w", info.Server, err, core.ErrClosed)
 	}
 	// Encode into a pooled buffer: Call stages the frame into the
@@ -98,6 +109,7 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 	// slices ride to the socket as scatter-gather segments.
 	var payload []byte
 	var pooled bool
+	start := time.Now()
 	if argsBytes(args) >= vecRequestThreshold {
 		vec, buf := ds.AppendRequestVec(wire.GetBuf(), op, info.ID, args)
 		payload, err = conn.CallVecContext(ctx, proto.MethodDataOp, vec)
@@ -109,6 +121,12 @@ func (h *handle) do(ctx context.Context, info core.BlockInfo, op core.OpType, ar
 		req := ds.AppendRequest(wire.GetBuf(), op, info.ID, args)
 		payload, pooled, err = conn.CallBorrowedContext(ctx, proto.MethodDataOp, req)
 		wire.PutBuf(req)
+	}
+	// Session failures strike the server's health; anything the server
+	// actually answered (including op-level errors) is a latency sample.
+	// Caller-context expiry is neither: it says nothing about the server.
+	if cerr := ctxErr(err); cerr == nil {
+		h.c.health.record(info.Server, time.Since(start), err != nil && isConnErr(err))
 	}
 	if err != nil {
 		if isConnErr(err) {
@@ -172,13 +190,23 @@ func (h *handle) doBatch(ctx context.Context, server string, ops []ds.BatchOp) (
 	if obs.On() {
 		h.c.batchSizes.Observe(int64(len(ops)))
 	}
+	if h.c.breakerOn {
+		if retryAfter, ok := h.c.health.allow(server); !ok {
+			return nil, degradedErr(server, retryAfter)
+		}
+	}
 	conn, err := h.c.dataConn(server)
 	if err != nil {
+		h.c.health.record(server, 0, true)
 		return nil, fmt.Errorf("client: dial %s: %v: %w", server, err, core.ErrClosed)
 	}
 	req := ds.AppendBatchRequest(wire.GetBuf(), ops)
+	start := time.Now()
 	payload, err := conn.CallContext(ctx, proto.MethodDataOpBatch, req)
 	wire.PutBuf(req)
+	if cerr := ctxErr(err); cerr == nil {
+		h.c.health.record(server, time.Since(start), err != nil && isConnErr(err))
+	}
 	if err != nil {
 		if isConnErr(err) {
 			h.c.dropData(server)

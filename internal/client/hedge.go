@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"jiffy/internal/core"
+	"jiffy/internal/obs"
+)
+
+// Hedged reads: when WithHedgedReads is set, idempotent chain reads (KV
+// gets, file reads, queue peeks) that linger past the primary server's
+// p95 launch a backup request against another member of the block's
+// replica chain; the first response wins and the loser is canceled.
+// Chain propagation is synchronous — every replica holds all
+// acknowledged writes — so any chain member answers reads correctly.
+// Mutations are never hedged: a duplicated mutation is a correctness
+// bug, not a latency optimization.
+
+// doRead dispatches one idempotent read, hedging it when the client is
+// configured for it and the chain offers an alternate. Everything the
+// hedge path allocates (contexts, goroutines, channel) is confined to
+// this function, so clients without WithHedgedReads keep the
+// allocation-free hot path through do().
+func (h *handle) doRead(ctx context.Context, info core.BlockInfo, op core.OpType, args [][]byte) ([][]byte, error) {
+	if !h.c.hedgeOn {
+		return h.do(ctx, info, op, args)
+	}
+	delay, ok := h.c.health.hedgeDelay(info.Server, h.c.hedge)
+	if !ok {
+		return h.do(ctx, info, op, args)
+	}
+	alt, ok := h.altFor(info)
+	if !ok {
+		return h.do(ctx, info, op, args)
+	}
+	return h.doHedged(ctx, info, alt, delay, op, args)
+}
+
+// altFor finds another member of info's replica chain to hedge against:
+// not the primary, not probated, not behind an open breaker; ties go to
+// the lowest observed EWMA latency.
+func (h *handle) altFor(info core.BlockInfo) (core.BlockInfo, bool) {
+	m := h.snapshot()
+	for bi := range m.Blocks {
+		e := &m.Blocks[bi]
+		// info is whatever replica the read targeted — usually the chain
+		// tail, which is a different physical block than e.Info (the
+		// head). Match the entry by chain membership, not head identity.
+		member := e.Info == info
+		for _, b := range e.Chain {
+			if b == info {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		var best core.BlockInfo
+		bestEwma := 0.0
+		found := false
+		for _, member := range e.Chain {
+			if member.Server == info.Server || !h.c.health.usable(member.Server) {
+				continue
+			}
+			ew := h.c.health.ewmaOf(member.Server)
+			if !found || ew < bestEwma {
+				best, bestEwma, found = member, ew, true
+			}
+		}
+		return best, found
+	}
+	return core.BlockInfo{}, false
+}
+
+// hedgeResult carries one arm's outcome.
+type hedgeResult struct {
+	vals   [][]byte
+	err    error
+	backup bool
+}
+
+// hedgeErr strips attempt-context expiry out of a hedge arm's error:
+// the adaptive per-attempt deadline is not the caller's deadline, so
+// its expiry must classify as a retryable timeout (the retry loops
+// abort outright on caller-context errors).
+func hedgeErr(ctx context.Context, err error) error {
+	if err == nil || ctx.Err() != nil || ctxErr(err) == nil {
+		return err
+	}
+	return fmt.Errorf("client: hedged read attempt: %w", core.ErrTimeout)
+}
+
+// doHedged races the primary against a delayed backup. Both arms run
+// h.do under cancellable child contexts — the per-server adaptive
+// timeout bounds each arm when the tracker has evidence — and the
+// results channel is buffered for both, so a canceled loser never
+// blocks: its goroutine finishes its (already-canceled) call, deposits
+// the result, and exits. Values returned by do() are heap copies (the
+// pooled response buffers are recycled inside do), so abandoning the
+// loser's result leaks nothing.
+func (h *handle) doHedged(ctx context.Context, primary, alt core.BlockInfo, delay time.Duration,
+	op core.OpType, args [][]byte) ([][]byte, error) {
+	attemptCtx := func(server string) (context.Context, context.CancelFunc) {
+		if d, ok := h.c.health.adaptiveTimeout(server, h.c.hedge.MinSamples, h.c.rpcTimeout); ok {
+			return context.WithTimeout(ctx, d)
+		}
+		return context.WithCancel(ctx)
+	}
+	pctx, pcancel := attemptCtx(primary.Server)
+	defer pcancel()
+	bctx, bcancel := attemptCtx(alt.Server)
+	defer bcancel()
+
+	results := make(chan hedgeResult, 2)
+	go func() {
+		vals, err := h.do(pctx, primary, op, args)
+		results <- hedgeResult{vals, err, false}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	outstanding := 1
+	fired := false
+	var firstErr error
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			fired = true
+			outstanding++
+			if obs.On() {
+				h.c.hedgesFired.Inc()
+			}
+			go func() {
+				vals, err := h.do(bctx, alt, op, args)
+				results <- hedgeResult{vals, err, true}
+			}()
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if fired && outstanding > 0 {
+					// Cancel the loser; its deposit into the buffered
+					// channel is dropped on the floor.
+					if r.backup {
+						pcancel()
+						if obs.On() {
+							h.c.hedgesWon.Inc()
+						}
+					} else {
+						bcancel()
+					}
+					if obs.On() {
+						h.c.hedgesCanceled.Inc()
+					}
+				} else if fired && r.backup && obs.On() {
+					h.c.hedgesWon.Inc()
+				}
+				return r.vals, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !fired {
+				// The primary failed before the hedge deadline: no backup
+				// was launched, so surface the failure to the retry loop
+				// (which will fall back along the chain itself).
+				return nil, hedgeErr(ctx, r.err)
+			}
+			if outstanding == 0 {
+				return nil, hedgeErr(ctx, firstErr)
+			}
+		}
+	}
+}

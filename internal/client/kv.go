@@ -74,12 +74,34 @@ func (k *KV) exec(ctx context.Context, op core.OpType, key string, args [][]byte
 			}
 			continue
 		}
-		res, err := k.h.do(ctx, info, op, args)
+		var res [][]byte
+		if op.IsMutation() {
+			res, err = k.h.do(ctx, info, op, args)
+		} else {
+			// Idempotent reads may hedge against another chain member.
+			res, err = k.h.doRead(ctx, info, op, args)
+		}
 		switch {
 		case err == nil:
 			return res, nil
 		case ctxErr(err) != nil:
 			return nil, err
+		case errors.Is(err, core.ErrServerDegraded):
+			// The server's breaker is open. Reads fall back along the
+			// chain via avoid; once every candidate is degraded (or for a
+			// mutation, whose head has no substitute), surface the typed
+			// error with its retry-after hint instead of burning the
+			// whole retry budget against open breakers.
+			if avoid == nil {
+				avoid = make(map[string]bool)
+			}
+			if avoid[info.Server] || op.IsMutation() {
+				return nil, err
+			}
+			avoid[info.Server] = true
+			if berr := k.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case errors.Is(err, core.ErrStaleEpoch):
 			lastErr = err
 			if rerr := k.h.refresh(ctx); rerr != nil {

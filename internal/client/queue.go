@@ -67,7 +67,7 @@ func (q *Queue) reseed(ctx context.Context) error {
 // Enqueue appends an item to the queue tail.
 func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		_, tail, err := q.ends()
 		if err != nil {
@@ -79,6 +79,18 @@ func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 			return nil
 		case ctxErr(err) != nil:
 			return err
+		case errors.Is(err, core.ErrServerDegraded):
+			degraded++
+			if degraded > 1 {
+				return err
+			}
+			lastErr = err
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
+				return rerr
+			}
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
 		case errors.Is(err, core.ErrRedirect):
 			// The tail moved; follow the link.
 			var r *redirect
@@ -145,7 +157,7 @@ func (q *Queue) Enqueue(ctx context.Context, item []byte) error {
 // the queue has no pending items.
 func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		head, _, err := q.ends()
 		if err != nil {
@@ -157,6 +169,18 @@ func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 			return res[0], nil
 		case ctxErr(err) != nil:
 			return nil, err
+		case errors.Is(err, core.ErrServerDegraded):
+			degraded++
+			if degraded > 1 {
+				return nil, err
+			}
+			lastErr = err
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case errors.Is(err, core.ErrRedirect):
 			// The head segment drained; advance to its successor.
 			var r *redirect
@@ -207,18 +231,32 @@ func (q *Queue) Dequeue(ctx context.Context) ([]byte, error) {
 // each other.
 func (q *Queue) Peek(ctx context.Context) ([]byte, error) {
 	var lastErr error
-	throttles := 0
+	throttles, degraded := 0, 0
 	for attempt := 0; attempt < q.h.retryLimit(); attempt++ {
 		head, _, err := q.ends()
 		if err != nil {
 			return nil, err
 		}
-		res, err := q.h.do(ctx, head, core.OpQueuePeek, nil)
+		// Peeks are idempotent reads: they may hedge against another
+		// member of the head segment's chain.
+		res, err := q.h.doRead(ctx, head, core.OpQueuePeek, nil)
 		switch {
 		case err == nil:
 			return res[0], nil
 		case ctxErr(err) != nil:
 			return nil, err
+		case errors.Is(err, core.ErrServerDegraded):
+			degraded++
+			if degraded > 1 {
+				return nil, err
+			}
+			lastErr = err
+			if rerr := q.reseed(ctx); rerr != nil && !isConnErr(rerr) {
+				return nil, rerr
+			}
+			if berr := q.h.backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
 		case errors.Is(err, core.ErrRedirect):
 			// The head segment drained; advance to its successor.
 			var r *redirect

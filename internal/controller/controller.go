@@ -74,7 +74,13 @@ type Controller struct {
 	hbMu        sync.Mutex
 	lastBeat    map[string]time.Time
 	deadServers map[string]bool
-	memberEpoch atomic.Uint64
+	// probation is the set of servers confirmed alive but persistently
+	// slow (gray failure): excluded from new allocation and hedge
+	// ranking, distinct from dead — no chain splice. probationStreak
+	// counts consecutive clean recovery probes (see health.go).
+	probation       map[string]bool
+	probationStreak map[string]int
+	memberEpoch     atomic.Uint64
 
 	// tenant rate quotas registered on job roots (see quota.go); the
 	// table replays to servers that register after SetQuota.
@@ -103,12 +109,12 @@ type Controller struct {
 	// connection pool to peer controllers, and the standby-side apply
 	// serializer. leading gates every client/server-facing method; it
 	// defaults to true (a solo controller is its own leader).
-	group     groupState
-	repl      *replicator
-	ctrlPeers *rpc.Pool
-	applyMu   sync.Mutex
-	leading   atomic.Bool
-	failovers atomic.Int64
+	group      groupState
+	repl       *replicator
+	ctrlPeers  *rpc.Pool
+	applyMu    sync.Mutex
+	leading    atomic.Bool
+	failovers  atomic.Int64
 	boundAddr  string
 	bgDisabled bool
 
@@ -139,18 +145,20 @@ func New(opts Options) (*Controller, error) {
 		opts.Logger = slog.Default()
 	}
 	c := &Controller{
-		cfg:          opts.Config,
-		clk:          opts.Clock,
-		log:          opts.Logger,
-		persist:      opts.Persist,
-		alloc:        alloc.New(),
-		servers:      rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
-		ctrlPeers:    rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
-		stop:         make(chan struct{}),
-		lastBeat:     make(map[string]time.Time),
-		deadServers:  make(map[string]bool),
-		tenantQuotas: make(map[string]core.Quota),
-		bgDisabled:   opts.DisableExpiry,
+		cfg:             opts.Config,
+		clk:             opts.Clock,
+		log:             opts.Logger,
+		persist:         opts.Persist,
+		alloc:           alloc.New(),
+		servers:         rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		ctrlPeers:       rpc.NewPool(rpc.WithTimeout(opts.Dial, opts.Config.RPCTimeout)),
+		stop:            make(chan struct{}),
+		lastBeat:        make(map[string]time.Time),
+		deadServers:     make(map[string]bool),
+		probation:       make(map[string]bool),
+		probationStreak: make(map[string]int),
+		tenantQuotas:    make(map[string]core.Quota),
+		bgDisabled:      opts.DisableExpiry,
 	}
 	for i := 0; i < opts.Shards; i++ {
 		c.shards = append(c.shards, newShard())
@@ -215,6 +223,12 @@ func (c *Controller) instrument() {
 		func() int64 { _, _, servers := c.alloc.Stats(); return int64(servers) })
 	c.reg.GaugeFunc("jiffy_ctrl_membership_epoch", "cluster membership epoch (advances on register/death/drain)",
 		func() int64 { return int64(c.memberEpoch.Load()) })
+	c.reg.GaugeFunc("jiffy_ctrl_servers_degraded", "servers on gray-failure probation",
+		func() int64 {
+			c.hbMu.Lock()
+			defer c.hbMu.Unlock()
+			return int64(len(c.probation))
+		})
 	c.reg.GaugeFunc("jiffy_ctrl_blocks_tiered", "chain members currently demoted to the persist tier",
 		c.tieredBlockCount)
 	c.reg.GaugeFunc("jiffy_ctrl_leader", "1 when this controller is the group leader, 0 on standbys",

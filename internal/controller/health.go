@@ -40,12 +40,19 @@ func (c *Controller) Heartbeat(addr string) (uint64, error) {
 
 // noteServerAlive (re)admits addr to the tracked membership:
 // registration counts as the first heartbeat, and re-registration
-// revives a server previously declared dead.
+// revives a server previously declared dead. A re-registering server
+// restarted, so any gray-failure probation it carried is lifted.
 func (c *Controller) noteServerAlive(addr string) {
 	c.hbMu.Lock()
 	c.lastBeat[addr] = c.clk.Now()
 	delete(c.deadServers, addr)
+	wasProbated := c.probation[addr]
+	delete(c.probation, addr)
+	delete(c.probationStreak, addr)
 	c.hbMu.Unlock()
+	if wasProbated {
+		c.alloc.Resume(addr)
+	}
 }
 
 // detectorWorker is the failure detector's scan loop, paced at the
@@ -89,6 +96,10 @@ func (c *Controller) CheckLivenessNow() []string {
 			dead = append(dead, addr)
 		}
 	}
+	// Ride the same scan cadence for gray-failure recovery: probe the
+	// probated servers and lift probation after enough clean probes.
+	// (ProbeProbationNow flushes its own transitions.)
+	c.ProbeProbationNow()
 	if len(dead) > 0 {
 		_ = c.repl.flush()
 	}
@@ -135,6 +146,10 @@ func (c *Controller) markServerDead(addr string) bool {
 	}
 	c.deadServers[addr] = true
 	delete(c.lastBeat, addr)
+	// Death supersedes probation: the chain splice is coming, so the
+	// softer exclusion is moot.
+	delete(c.probation, addr)
+	delete(c.probationStreak, addr)
 	c.hbMu.Unlock()
 	c.srvFailures.Add(1)
 	c.alloc.RemoveServer(addr)
@@ -165,11 +180,15 @@ func (c *Controller) LastBeat(addr string) (time.Time, bool) {
 	return t, ok
 }
 
-// ReportFailure handles write-path death evidence from a chain head.
+// ReportFailure handles write-path failure evidence from a chain head.
 // The controller does not take the reporter's word for it: it probes
-// the accused server itself, and only a failed probe (or an already
-// broken pooled session) escalates to death and repair. This keeps one
-// flaky link between two servers from killing a healthy member.
+// the accused server itself. For fail-stop evidence (Degraded unset),
+// only a failed probe (or an already broken pooled session) escalates
+// to death and repair — this keeps one flaky link between two servers
+// from killing a healthy member. For fail-slow evidence (Degraded
+// set), a probe that proves the server alive places it on probation
+// instead: alive-but-slow must never trigger a chain splice, but it
+// should stop attracting new allocations and hedge traffic.
 func (c *Controller) ReportFailure(req proto.ReportFailureReq) error {
 	if req.Server == "" {
 		return fmt.Errorf("controller: failure report without a server: %w", core.ErrNotFound)
@@ -180,18 +199,150 @@ func (c *Controller) ReportFailure(req proto.ReportFailureReq) error {
 	var resp proto.ServerStatsResp
 	err := c.callServer(req.Server, proto.MethodServerStats, proto.ServerStatsReq{}, &resp)
 	var ue *serverUnreachableError
-	if err == nil || !errors.As(err, &ue) {
-		// A clean reply — or any error the server itself returned,
-		// including a probe that merely timed out under load — proves
-		// the process is alive. Only a connectivity-class failure
-		// (undialable, session broken mid-call) corroborates the
-		// report; anything else must not kill a healthy member.
-		c.log.Debug("controller: failure report not confirmed by probe",
-			"server", req.Server, "reporter", req.Reporter, "probe", err)
+	if err != nil && errors.As(err, &ue) {
+		// Connectivity-class failure (undialable, session broken
+		// mid-call): the report is corroborated as fail-stop regardless
+		// of its evidence class.
+		c.log.Warn("controller: failure report confirmed",
+			"server", req.Server, "reporter", req.Reporter, "block", req.Block)
+		c.FailServer(req.Server)
 		return nil
 	}
-	c.log.Warn("controller: failure report confirmed",
-		"server", req.Server, "reporter", req.Reporter, "block", req.Block)
-	c.FailServer(req.Server)
+	if req.Degraded {
+		// The server answered (or at least errored from its own
+		// process): alive, but the reporter measured persistent
+		// replication stalls through it. Probate rather than kill.
+		if c.setProbation(req.Server, true) {
+			c.log.Warn("controller: server placed on gray-failure probation",
+				"server", req.Server, "reporter", req.Reporter, "block", req.Block)
+			if ferr := c.repl.flush(); ferr != nil {
+				return ferr
+			}
+		}
+		return nil
+	}
+	// A clean reply — or any error the server itself returned,
+	// including a probe that merely timed out under load — proves
+	// the process is alive; a fail-stop report it does not confirm
+	// must not kill a healthy member.
+	c.log.Debug("controller: failure report not confirmed by probe",
+		"server", req.Server, "reporter", req.Reporter, "probe", err)
 	return nil
+}
+
+// setProbation flips addr's probation state, suspends or resumes it in
+// the allocator, and replicates the transition through the op-log so a
+// promoted standby preserves it. Dead servers are never probated.
+// Returns false when the state did not change.
+func (c *Controller) setProbation(addr string, on bool) bool {
+	c.hbMu.Lock()
+	if c.deadServers[addr] || c.probation[addr] == on {
+		c.hbMu.Unlock()
+		return false
+	}
+	if on {
+		c.probation[addr] = true
+	} else {
+		delete(c.probation, addr)
+	}
+	delete(c.probationStreak, addr)
+	c.hbMu.Unlock()
+	if on {
+		c.alloc.Suspend(addr)
+	} else {
+		c.alloc.Resume(addr)
+	}
+	c.repl.emit(replOp{Kind: opServerProbation, Addr: addr, On: on})
+	return true
+}
+
+// applyProbationLocal mirrors a replicated probation transition on a
+// standby: map state only — the allocator is rebuilt at promotion,
+// which re-applies suspensions from this set.
+func (c *Controller) applyProbationLocal(addr string, on bool) {
+	c.hbMu.Lock()
+	if on && !c.deadServers[addr] {
+		c.probation[addr] = true
+	} else if !on {
+		delete(c.probation, addr)
+	}
+	delete(c.probationStreak, addr)
+	c.hbMu.Unlock()
+}
+
+// ServerProbated reports whether addr is on gray-failure probation.
+func (c *Controller) ServerProbated(addr string) bool {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	return c.probation[addr]
+}
+
+// ProbationList returns the probated servers, sorted.
+func (c *Controller) ProbationList() []string {
+	c.hbMu.Lock()
+	out := make([]string, 0, len(c.probation))
+	for addr := range c.probation {
+		out = append(out, addr)
+	}
+	c.hbMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// ProbeProbationNow runs one recovery scan over the probated servers:
+// each is probed with MethodServerStats and the round trip measured on
+// the controller's clock. ProbationRecoveryProbes consecutive probes
+// at or under SlowHopThreshold lift the probation (the server must
+// prove sustained recovery, not one lucky fast reply); a slow probe
+// resets the streak; an unreachable probe escalates to death — a
+// probated server that stops answering has crossed from gray to
+// fail-stop. Transitions are flushed to the standbys before
+// returning. Returns the servers whose probation was lifted.
+func (c *Controller) ProbeProbationNow() []string {
+	threshold := c.cfg.SlowHopThreshold
+	needed := c.cfg.ProbationRecoveryProbes
+	if needed <= 0 {
+		needed = core.DefaultProbationRecoveryProbes
+	}
+	var recovered []string
+	changed := false
+	for _, addr := range c.ProbationList() {
+		start := c.clk.Now()
+		var resp proto.ServerStatsResp
+		err := c.callServer(addr, proto.MethodServerStats, proto.ServerStatsReq{}, &resp)
+		elapsed := c.clk.Now().Sub(start)
+		var ue *serverUnreachableError
+		if err != nil && errors.As(err, &ue) {
+			c.log.Warn("controller: probated server unreachable; escalating to death",
+				"server", addr, "err", err)
+			c.FailServer(addr)
+			changed = true
+			continue
+		}
+		// With fail-slow detection disabled (threshold 0) any live
+		// reply counts as clean — probation can then only have been set
+		// administratively and reachability is the recovery bar.
+		if err != nil || (threshold > 0 && elapsed > threshold) {
+			c.hbMu.Lock()
+			delete(c.probationStreak, addr)
+			c.hbMu.Unlock()
+			continue
+		}
+		c.hbMu.Lock()
+		c.probationStreak[addr]++
+		streak := c.probationStreak[addr]
+		c.hbMu.Unlock()
+		if streak >= needed {
+			if c.setProbation(addr, false) {
+				c.log.Info("controller: gray-failure probation lifted",
+					"server", addr, "cleanProbes", streak)
+				recovered = append(recovered, addr)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		_ = c.repl.flush()
+	}
+	return recovered
 }

@@ -278,6 +278,10 @@ func (c *Controller) PromoteNow() uint64 {
 	for a := range c.deadServers {
 		dead[a] = true
 	}
+	probated := make([]string, 0, len(c.probation))
+	for a := range c.probation {
+		probated = append(probated, a)
+	}
 	now := c.clk.Now()
 	for addr := range contrib {
 		if !dead[addr] {
@@ -287,6 +291,13 @@ func (c *Controller) PromoteNow() uint64 {
 	c.hbMu.Unlock()
 
 	c.rebuildAllocator(contrib, dead, nextID)
+	// The rebuilt allocator starts with every server healthy; re-apply
+	// the replicated probation set so the new leader keeps excluding
+	// gray-failed servers from allocation.
+	sort.Strings(probated)
+	for _, addr := range probated {
+		c.alloc.Suspend(addr)
+	}
 	c.memberEpoch.Add(1)
 
 	if len(peers) > 0 {

@@ -256,6 +256,11 @@ func (c *Controller) Open(path core.Path) (proto.OpenResp, error) {
 		resp.LeaseDuration = n.LeaseDuration
 		return nil
 	})
+	if err == nil {
+		// Tell the client which servers are on gray-failure probation so
+		// its hedge-target ranking skips them.
+		resp.Probation = c.ProbationList()
+	}
 	return resp, err
 }
 
@@ -286,6 +291,7 @@ func (c *Controller) Stats() proto.ControllerStatsResp {
 		FreeBlocks:      free,
 		AllocatedBlocks: total - free,
 		Servers:         servers,
+		DegradedServers: c.ProbationList(),
 	}
 	for _, s := range c.shards {
 		s.mu.Lock()

@@ -51,6 +51,7 @@ const (
 	opServerRegister
 	opServerDead
 	opTier
+	opServerProbation
 )
 
 // replOp is one op-log entry. The struct is flat — gob omits zero
@@ -67,10 +68,12 @@ type replOp struct {
 	Name string
 	// RenewLease
 	Paths []core.Path
-	// ServerRegister / ServerDead
+	// ServerRegister / ServerDead / ServerProbation
 	Addr      string
 	NumBlocks int
 	FirstID   core.BlockID
+	// ServerProbation: true places Addr on probation, false lifts it.
+	On bool
 	// Tier
 	Tier proto.ReportTierReq
 }
@@ -83,15 +86,18 @@ type contribRange struct {
 
 // groupImage is the full-state bootstrap snapshot.
 type groupImage struct {
-	Gen    uint64
-	Seq    uint64
-	Epoch  uint64
-	NextID core.BlockID
-	Jobs   []jobImage
+	Gen     uint64
+	Seq     uint64
+	Epoch   uint64
+	NextID  core.BlockID
+	Jobs    []jobImage
 	Contrib []contribImage
 	Dead    []string
-	Tenants map[string]core.Quota
-	Tiers   []tierImage
+	// Probation lists servers on gray-failure probation; a promoting
+	// standby re-suspends them in its rebuilt allocator.
+	Probation []string
+	Tenants   map[string]core.Quota
+	Tiers     []tierImage
 }
 
 type contribImage struct {
@@ -405,8 +411,12 @@ func (c *Controller) buildImage() (groupImage, error) {
 	for addr := range c.deadServers {
 		img.Dead = append(img.Dead, addr)
 	}
+	for addr := range c.probation {
+		img.Probation = append(img.Probation, addr)
+	}
 	c.hbMu.Unlock()
 	sort.Strings(img.Dead)
+	sort.Strings(img.Probation)
 
 	c.qMu.Lock()
 	for t, q := range c.tenantQuotas {
@@ -482,6 +492,13 @@ func (c *Controller) applyImage(img groupImage) error {
 	c.hbMu.Lock()
 	c.lastBeat = make(map[string]time.Time)
 	c.deadServers = dead
+	c.probation = make(map[string]bool, len(img.Probation))
+	c.probationStreak = make(map[string]int)
+	for _, addr := range img.Probation {
+		if !dead[addr] {
+			c.probation[addr] = true
+		}
+	}
 	for _, ci := range img.Contrib {
 		if !dead[ci.Addr] {
 			c.lastBeat[ci.Addr] = now
@@ -587,6 +604,9 @@ func (c *Controller) applyOp(op replOp) {
 
 	case opTier:
 		c.applyTierReport(op.Tier)
+
+	case opServerProbation:
+		c.applyProbationLocal(op.Addr, op.On)
 	}
 }
 

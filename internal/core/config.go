@@ -36,6 +36,12 @@ const (
 	// window is configured.
 	DefaultTierScanPeriod = 1 * time.Second
 	DefaultTierCooldown   = 10 * time.Second
+	// Gray-failure defaults: a replication forward that takes more than
+	// three consecutive stalls over the threshold is degraded evidence,
+	// and a probated server needs two clean probes to rejoin. Fail-slow
+	// detection itself stays off until SlowHopThreshold is set.
+	DefaultSlowHopStreak           = 3
+	DefaultProbationRecoveryProbes = 2
 )
 
 // Config carries the tunables evaluated in the paper's sensitivity
@@ -105,6 +111,21 @@ type Config struct {
 	// demotion policy. Zero disables the background worker; tests then
 	// drive scans deterministically via Server.TierTickNow.
 	TierScanPeriod time.Duration
+	// SlowHopThreshold is the replication-forward latency above which a
+	// chain successor counts as stalled (gray-failure evidence). A head
+	// or mid-chain member whose successor exceeds it SlowHopStreak times
+	// in a row files a Degraded failure report, and the controller uses
+	// the same bound when probing probated servers for recovery. Zero
+	// disables fail-slow detection.
+	SlowHopThreshold time.Duration
+	// SlowHopStreak is how many consecutive stalled forwards it takes
+	// before a successor is reported as degraded. Zero means
+	// DefaultSlowHopStreak.
+	SlowHopStreak int
+	// ProbationRecoveryProbes is how many consecutive healthy controller
+	// probes a probated server must pass before it is restored to full
+	// membership. Zero means DefaultProbationRecoveryProbes.
+	ProbationRecoveryProbes int
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -194,6 +215,15 @@ func (c Config) Validate() error {
 	}
 	if c.TierScanPeriod < 0 {
 		return fmt.Errorf("core: tier scan period must be >= 0, got %v", c.TierScanPeriod)
+	}
+	if c.SlowHopThreshold < 0 {
+		return fmt.Errorf("core: slow hop threshold must be >= 0, got %v", c.SlowHopThreshold)
+	}
+	if c.SlowHopStreak < 0 {
+		return fmt.Errorf("core: slow hop streak must be >= 0, got %d", c.SlowHopStreak)
+	}
+	if c.ProbationRecoveryProbes < 0 {
+		return fmt.Errorf("core: probation recovery probes must be >= 0, got %d", c.ProbationRecoveryProbes)
 	}
 	return nil
 }

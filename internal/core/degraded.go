@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DegradedError is the client-side form of ErrServerDegraded: every
+// replica that could serve the operation is behind an open circuit
+// breaker (persistently slow or failing), so the client fails fast
+// instead of queueing behind a gray-failed server. RetryAfter hints
+// when the earliest breaker re-probes (its half-open deadline); callers
+// should treat it like throttle backpressure. It crosses the wire as
+// CodeServerDegraded with Error() as the diagnostic payload (see
+// ErrOf), though in practice it is minted client-side.
+type DegradedError struct {
+	// Server is the degraded server the operation was routed to.
+	Server string
+	// RetryAfter estimates when the server's breaker transitions to
+	// half-open and admits a probe. Zero means "unknown".
+	RetryAfter time.Duration
+}
+
+// Error renders the stable wire form parsed back by parseDegraded.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("jiffy: server degraded: server=%s retry_after=%s", e.Server, e.RetryAfter)
+}
+
+// Unwrap ties the typed error to the ErrServerDegraded sentinel.
+func (e *DegradedError) Unwrap() error { return ErrServerDegraded }
+
+// parseDegraded reverses (*DegradedError).Error(); nil if msg is not
+// in that form.
+func parseDegraded(msg string) *DegradedError {
+	rest, ok := strings.CutPrefix(msg, "jiffy: server degraded: server=")
+	if !ok {
+		return nil
+	}
+	server, after, ok := strings.Cut(rest, " retry_after=")
+	if !ok {
+		return nil
+	}
+	d, err := time.ParseDuration(after)
+	if err != nil {
+		return nil
+	}
+	return &DegradedError{Server: server, RetryAfter: d}
+}

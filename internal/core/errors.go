@@ -56,6 +56,13 @@ var (
 	// *NotLeaderError carrying the current leader's address so clients
 	// and servers re-home instead of retrying against the standby.
 	ErrNotLeader = errors.New("jiffy: not leader")
+	// ErrServerDegraded reports that an operation could not be served
+	// because every eligible replica sits behind an open per-server
+	// circuit breaker: the servers are reachable but persistently slow
+	// or failing (gray failure). The typed form is a *DegradedError
+	// carrying a retry-after hint aligned with the breaker's half-open
+	// probe deadline.
+	ErrServerDegraded = errors.New("jiffy: server degraded")
 )
 
 // ErrorCode is the wire representation of the sentinel errors.
@@ -80,26 +87,28 @@ const (
 	CodeBlockLost
 	CodeQuotaExceeded
 	CodeNotLeader
+	CodeServerDegraded
 	CodeOther
 )
 
 var codeToErr = map[ErrorCode]error{
-	CodeNotFound:      ErrNotFound,
-	CodeExists:        ErrExists,
-	CodeNoCapacity:    ErrNoCapacity,
-	CodeBlockFull:     ErrBlockFull,
-	CodeEmpty:         ErrEmpty,
-	CodeStaleEpoch:    ErrStaleEpoch,
-	CodeLeaseExpired:  ErrLeaseExpired,
-	CodePermission:    ErrPermission,
-	CodeWrongType:     ErrWrongType,
-	CodeClosed:        ErrClosed,
-	CodeTimeout:       ErrTimeout,
-	CodeTooLarge:      ErrTooLarge,
-	CodeRedirect:      ErrRedirect,
-	CodeBlockLost:     ErrBlockLost,
-	CodeQuotaExceeded: ErrQuotaExceeded,
-	CodeNotLeader:     ErrNotLeader,
+	CodeNotFound:       ErrNotFound,
+	CodeExists:         ErrExists,
+	CodeNoCapacity:     ErrNoCapacity,
+	CodeBlockFull:      ErrBlockFull,
+	CodeEmpty:          ErrEmpty,
+	CodeStaleEpoch:     ErrStaleEpoch,
+	CodeLeaseExpired:   ErrLeaseExpired,
+	CodePermission:     ErrPermission,
+	CodeWrongType:      ErrWrongType,
+	CodeClosed:         ErrClosed,
+	CodeTimeout:        ErrTimeout,
+	CodeTooLarge:       ErrTooLarge,
+	CodeRedirect:       ErrRedirect,
+	CodeBlockLost:      ErrBlockLost,
+	CodeQuotaExceeded:  ErrQuotaExceeded,
+	CodeNotLeader:      ErrNotLeader,
+	CodeServerDegraded: ErrServerDegraded,
 }
 
 // CodeOf maps an error to its wire code. Wrapped sentinels are
@@ -136,6 +145,12 @@ func ErrOf(code ErrorCode, msg string) error {
 			return nl
 		}
 		return ErrNotLeader
+	}
+	if code == CodeServerDegraded {
+		if de := parseDegraded(msg); de != nil {
+			return de
+		}
+		return ErrServerDegraded
 	}
 	if err, ok := codeToErr[code]; ok {
 		return err

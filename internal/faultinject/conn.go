@@ -20,18 +20,29 @@ type Conn struct {
 	net.Conn
 	inj       *Injector
 	endpoint  string
+	owner     string
 	sendLabel string
 	recvLabel string
 }
 
 // WrapConn wraps nc with fault injection; endpoint names the remote
 // (typically the dialed address) and appears in the point labels
-// "send:<endpoint>" / "recv:<endpoint>" rules match against.
+// "send:<endpoint>" / "recv:<endpoint>" rules match against. The conn
+// carries no owner tag, so it never matches a PartitionOneWay with a
+// non-empty from.
 func (i *Injector) WrapConn(endpoint string, nc net.Conn) net.Conn {
+	return i.WrapConnAs("", endpoint, nc)
+}
+
+// WrapConnAs is WrapConn with an owner tag identifying the dialing
+// party (a server or client address), making the conn subject to
+// directed partitions installed with PartitionOneWay(owner, ...).
+func (i *Injector) WrapConnAs(owner, endpoint string, nc net.Conn) net.Conn {
 	c := &Conn{
 		Conn:      nc,
 		inj:       i,
 		endpoint:  endpoint,
+		owner:     owner,
 		sendLabel: "send:" + endpoint,
 		recvLabel: "recv:" + endpoint,
 	}
@@ -42,32 +53,32 @@ func (i *Injector) WrapConn(endpoint string, nc net.Conn) net.Conn {
 }
 
 // Write implements net.Conn with send-side faults: injected latency,
-// one-way partitions and probabilistic drops (the bytes are swallowed
-// and success reported — the peer simply never hears the message), and
-// connection resets.
+// bandwidth throttling, one-way partitions and probabilistic drops (the
+// bytes are swallowed and success reported — the peer simply never
+// hears the message), and connection resets.
 func (c *Conn) Write(p []byte) (int, error) {
-	d := c.inj.decide(c.sendLabel)
+	d := c.inj.decide(c.sendLabel, len(p))
 	c.inj.sleep(d.Delay)
 	if d.Reset {
 		c.Close()
 		return 0, injectedErr("reset", c.endpoint)
 	}
-	if d.Drop || c.inj.blocked(c.sendLabel) {
+	if d.Drop || c.inj.blocked(c.sendLabel, c.owner) {
 		return len(p), nil
 	}
 	return c.Conn.Write(p)
 }
 
-// Read implements net.Conn with receive-side faults: injected latency
-// and resets. Drops are send-side only — discarding bytes out of a
-// live stream would desynchronize the framing rather than model a lost
-// message.
+// Read implements net.Conn with receive-side faults: injected latency,
+// bandwidth throttling and resets. Drops are send-side only —
+// discarding bytes out of a live stream would desynchronize the framing
+// rather than model a lost message.
 func (c *Conn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	if err != nil {
 		return n, err
 	}
-	d := c.inj.decide(c.recvLabel)
+	d := c.inj.decide(c.recvLabel, n)
 	c.inj.sleep(d.Delay)
 	if d.Reset {
 		c.Close()
@@ -88,11 +99,16 @@ func (c *Conn) Close() error {
 // DialNet dials addr through the wire transports (TCP or mem://) and
 // wraps the result — a drop-in replacement for wire.Dial.
 func (i *Injector) DialNet(addr string) (net.Conn, error) {
+	return i.DialNetAs("", addr)
+}
+
+// DialNetAs is DialNet with an owner tag (see WrapConnAs).
+func (i *Injector) DialNetAs(owner, addr string) (net.Conn, error) {
 	nc, err := wire.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return i.WrapConn(addr, nc), nil
+	return i.WrapConnAs(owner, addr, nc), nil
 }
 
 // Dial is an rpc-level dial function routing every connection through
@@ -105,6 +121,19 @@ func (i *Injector) Dial(addr string) (*rpc.Client, error) {
 		return nil, err
 	}
 	return rpc.NewClient(wire.NewConn(nc)), nil
+}
+
+// DialAs returns an rpc-level dial function whose connections carry the
+// given owner tag, so directed partitions installed with
+// PartitionOneWay(owner, ...) apply to them.
+func (i *Injector) DialAs(owner string) func(string) (*rpc.Client, error) {
+	return func(addr string) (*rpc.Client, error) {
+		nc, err := i.DialNetAs(owner, addr)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.NewClient(wire.NewConn(nc)), nil
+	}
 }
 
 // WrapListener injects faults on the accept side: every inbound conn

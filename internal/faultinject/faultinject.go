@@ -6,17 +6,37 @@
 //
 //   - latency and jitter (slept on a clock.Clock, so a virtual clock
 //     makes injected delays free and steerable in simulations)
+//   - persistent fail-slow degradation: fixed per-endpoint latency,
+//     bandwidth throttling (delay proportional to bytes moved), and
+//     ramped "brownout" schedules that fade the degradation in over a
+//     configured window instead of switching it on at full strength
 //   - message drops (a swallowed Write: the peer never sees the frame)
 //   - connection resets (the conn is closed mid-operation)
 //   - one-way partitions (every send toward a matching endpoint is
-//     blackholed until healed; the reverse direction still flows)
+//     blackholed until healed; the reverse direction still flows),
+//     including asymmetric owner-scoped partitions (PartitionOneWay:
+//     A's sends to B vanish while C→B and B→A still flow)
 //   - persist-tier errors (Put/Get/Delete/List fail with ErrInjected)
 //
 // Reproducibility contract: every probabilistic decision is a pure
 // function of (seed, rule name, per-rule operation index) — not of
 // goroutine interleaving or a shared RNG stream — so a fixed seed
 // fixes the entire fault schedule. Schedule exposes that schedule for
-// inspection; the chaos suite asserts same-seed runs agree.
+// inspection; the chaos suite asserts same-seed runs agree. Brownout
+// ramps and bandwidth delays depend additionally on the injector's
+// clock and the operation's byte count; under a virtual clock both are
+// deterministic too.
+//
+// Memory-ordering contract (rule visibility vs redial): every rule,
+// partition, and connection-registry mutation and every fault decision
+// serializes on one injector mutex. A rule added (or removed) before
+// BreakConns returns is therefore visible to the first operation of
+// any connection dialed afterwards — including the automatic redial a
+// connection pool performs when the break fails its pooled session.
+// To retire a fault plan atomically with the connections it shaped,
+// mutate the rules first, then call BreakConns; the break severs the
+// old conns while holding the mutex, so no operation can observe the
+// old connection set with the new rule set or vice versa.
 package faultinject
 
 import (
@@ -25,7 +45,6 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"jiffy/internal/clock"
@@ -54,10 +73,22 @@ type Rule struct {
 	ResetProb float64
 	// ErrProb is the probability a matched persist operation fails.
 	ErrProb float64
-	// Latency is a fixed delay added to every matched operation.
+	// Latency is a fixed delay added to every matched operation — the
+	// persistent fail-slow primitive.
 	Latency time.Duration
 	// Jitter adds a deterministic pseudo-uniform [0, Jitter) extra delay.
 	Jitter time.Duration
+	// BandwidthBps, when positive, throttles matched traffic to this
+	// many bytes per second: each operation sleeps for the time its
+	// byte count would take at that rate. Models a saturated NIC or a
+	// degraded disk rather than pure added latency.
+	BandwidthBps int64
+	// RampOver, when positive, turns the rule into a brownout: its
+	// Latency/Jitter/bandwidth delays scale linearly from zero at
+	// install time to full strength once RampOver has elapsed on the
+	// injector's clock. Probabilistic outcomes (drop/reset/err) are not
+	// ramped — they follow the seeded schedule from the start.
+	RampOver time.Duration
 }
 
 // Decision is the resolved outcome of one rule application; Schedule
@@ -69,15 +100,28 @@ type Decision struct {
 	Delay time.Duration
 }
 
-// rule pairs the immutable description with its operation counter.
+// rule pairs the immutable description with its operation counter and
+// install time (the brownout ramp origin). The counter is guarded by
+// the injector mutex so the (rule, index) sequence is itself a
+// serialized schedule.
 type rule struct {
 	Rule
-	hash uint64
-	n    atomic.Uint64
+	hash      uint64
+	n         uint64
+	installed time.Time
 }
 
-// Injector owns the rule set, the partition list, and the registry of
-// live wrapped connections. Safe for concurrent use.
+// oneWay is a directed owner-scoped partition: sends from owner
+// (substring match) toward endpoints matching to are blackholed.
+type oneWay struct {
+	from string
+	to   string
+}
+
+// Injector owns the rule set, the partition lists, and the registry of
+// live wrapped connections. Safe for concurrent use: all state changes
+// and fault decisions serialize on one mutex (see the package-level
+// memory-ordering contract).
 type Injector struct {
 	seed uint64
 	clk  clock.Clock
@@ -85,6 +129,7 @@ type Injector struct {
 	mu         sync.Mutex
 	rules      []*rule
 	partitions []string
+	oneWays    []oneWay
 	conns      map[*Conn]struct{}
 	disabled   bool
 }
@@ -103,16 +148,22 @@ func New(seed int64, clk clock.Clock) *Injector {
 	}
 }
 
-// AddRule installs a fault rule; its operation counter starts at zero.
+// AddRule installs a fault rule; its operation counter starts at zero
+// and its brownout ramp (if any) starts now. The rule is visible to
+// every operation that begins after AddRule returns, including
+// operations on connections dialed later (see the memory-ordering
+// contract in the package comment).
 func (i *Injector) AddRule(r Rule) {
 	h := fnv.New64a()
 	h.Write([]byte(r.Name))
+	now := i.clk.Now()
 	i.mu.Lock()
-	i.rules = append(i.rules, &rule{Rule: r, hash: h.Sum64()})
+	i.rules = append(i.rules, &rule{Rule: r, hash: h.Sum64(), installed: now})
 	i.mu.Unlock()
 }
 
-// RemoveRule deletes the named rule.
+// RemoveRule deletes the named rule. No operation beginning after
+// RemoveRule returns observes the rule.
 func (i *Injector) RemoveRule(name string) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -134,6 +185,32 @@ func (i *Injector) Partition(match string) {
 	i.mu.Unlock()
 }
 
+// PartitionOneWay blackholes sends from connections owned by from
+// toward endpoints matching to — an asymmetric partition: A cannot
+// reach B while every other path, including B→A, still flows. Owners
+// are the tags given to DialAs/WrapConnAs; a conn dialed without an
+// owner tag never matches a non-empty from. An empty from matches
+// every owner (degenerating to Partition(to)).
+func (i *Injector) PartitionOneWay(from, to string) {
+	i.mu.Lock()
+	i.oneWays = append(i.oneWays, oneWay{from: from, to: to})
+	i.mu.Unlock()
+}
+
+// HealOneWay removes a directed partition previously installed with
+// PartitionOneWay.
+func (i *Injector) HealOneWay(from, to string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	kept := i.oneWays[:0]
+	for _, p := range i.oneWays {
+		if p.from != from || p.to != to {
+			kept = append(kept, p)
+		}
+	}
+	i.oneWays = kept
+}
+
 // Heal removes a partition previously installed with Partition.
 func (i *Injector) Heal(match string) {
 	i.mu.Lock()
@@ -147,10 +224,11 @@ func (i *Injector) Heal(match string) {
 	i.partitions = kept
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition, symmetric and directed.
 func (i *Injector) HealAll() {
 	i.mu.Lock()
 	i.partitions = nil
+	i.oneWays = nil
 	i.mu.Unlock()
 }
 
@@ -166,24 +244,32 @@ func (i *Injector) SetEnabled(v bool) {
 // BreakConns force-closes every live wrapped connection whose endpoint
 // contains match, and returns how many it severed — a crash/disconnect
 // primitive: in-flight calls over those sessions fail fast with a
-// session error.
+// session error. The victims are unregistered and their transports
+// closed while the injector mutex is held, so the break is atomic with
+// respect to rule evaluation: an operation either ran on the old conn
+// under the pre-break rule set, or runs on a post-break redial seeing
+// every rule mutation made before BreakConns was called.
 func (i *Injector) BreakConns(match string) int {
 	i.mu.Lock()
 	var victims []*Conn
 	for c := range i.conns {
 		if match == "" || contains(c.endpoint, match) {
 			victims = append(victims, c)
+			delete(i.conns, c)
 		}
 	}
-	i.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		// Close the transport directly: victims are already
+		// unregistered, and Conn.Close would re-take the mutex.
+		c.Conn.Close()
 	}
+	i.mu.Unlock()
 	return len(victims)
 }
 
-// blocked reports whether a send label is currently partitioned.
-func (i *Injector) blocked(label string) bool {
+// blocked reports whether a send from owner toward label is currently
+// partitioned (symmetric or directed).
+func (i *Injector) blocked(label, owner string) bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.disabled {
@@ -194,41 +280,64 @@ func (i *Injector) blocked(label string) bool {
 			return true
 		}
 	}
+	for _, p := range i.oneWays {
+		if contains(label, p.to) && (p.from == "" || contains(owner, p.from)) {
+			return true
+		}
+	}
 	return false
 }
 
-// decide resolves the combined outcome of every rule matching label,
-// consuming one schedule slot per matching rule. Delays add; any
-// matched drop/reset/err applies.
-func (i *Injector) decide(label string) Decision {
+// decide resolves the combined outcome of every rule matching label for
+// an operation moving n bytes, consuming one schedule slot per matching
+// rule. Delays add; any matched drop/reset/err applies. Latency/jitter
+// and bandwidth delays are scaled by each rule's brownout ramp factor.
+func (i *Injector) decide(label string, n int) Decision {
 	i.mu.Lock()
 	if i.disabled {
 		i.mu.Unlock()
 		return Decision{}
 	}
-	var matched []*rule
-	for _, r := range i.rules {
-		if contains(label, r.Match) {
-			matched = append(matched, r)
-		}
-	}
-	i.mu.Unlock()
-
 	var d Decision
-	for _, r := range matched {
-		n := r.n.Add(1) - 1
-		step := decisionAt(i.seed, r, n)
+	var now time.Time
+	haveNow := false
+	for _, r := range i.rules {
+		if !contains(label, r.Match) {
+			continue
+		}
+		k := r.n
+		r.n++
+		step := decisionAt(i.seed, r, k)
 		d.Drop = d.Drop || step.Drop
 		d.Reset = d.Reset || step.Reset
 		d.Err = d.Err || step.Err
-		d.Delay += step.Delay
+		delay := step.Delay
+		if r.BandwidthBps > 0 && n > 0 {
+			delay += time.Duration(int64(n) * int64(time.Second) / r.BandwidthBps)
+		}
+		if r.RampOver > 0 && delay > 0 {
+			if !haveNow {
+				now = i.clk.Now()
+				haveNow = true
+			}
+			elapsed := now.Sub(r.installed)
+			if elapsed <= 0 {
+				delay = 0
+			} else if elapsed < r.RampOver {
+				delay = time.Duration(float64(delay) * (float64(elapsed) / float64(r.RampOver)))
+			}
+		}
+		d.Delay += delay
 	}
+	i.mu.Unlock()
 	return d
 }
 
 // Schedule returns the decisions the named rule will make for its
 // operation indices [0, n), without consuming the counter — the
-// reproducibility contract made inspectable.
+// reproducibility contract made inspectable. Delays are the rule's
+// full-strength values: brownout ramping and bandwidth charges apply
+// on top at decide time.
 func (i *Injector) Schedule(name string, n int) []Decision {
 	i.mu.Lock()
 	var target *rule

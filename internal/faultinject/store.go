@@ -19,10 +19,11 @@ func (i *Injector) Store(inner persist.Store) *Store {
 	return &Store{inner: inner, inj: i}
 }
 
-// apply resolves faults for one persist op; Drop and Err both mean the
+// apply resolves faults for one persist op moving n payload bytes
+// (bandwidth rules charge for them); Drop and Err both mean the
 // operation fails (there is no silent drop for storage).
-func (s *Store) apply(label string) error {
-	d := s.inj.decide(label)
+func (s *Store) apply(label string, n int) error {
+	d := s.inj.decide(label, n)
 	s.inj.sleep(d.Delay)
 	if d.Err || d.Drop || d.Reset {
 		return injectedErr("persist fault", label)
@@ -32,7 +33,7 @@ func (s *Store) apply(label string) error {
 
 // Put implements persist.Store.
 func (s *Store) Put(key string, data []byte) error {
-	if err := s.apply("persist:put"); err != nil {
+	if err := s.apply("persist:put", len(data)); err != nil {
 		return err
 	}
 	return s.inner.Put(key, data)
@@ -40,7 +41,7 @@ func (s *Store) Put(key string, data []byte) error {
 
 // Get implements persist.Store.
 func (s *Store) Get(key string) ([]byte, error) {
-	if err := s.apply("persist:get"); err != nil {
+	if err := s.apply("persist:get", 0); err != nil {
 		return nil, err
 	}
 	return s.inner.Get(key)
@@ -48,7 +49,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 
 // Delete implements persist.Store.
 func (s *Store) Delete(key string) error {
-	if err := s.apply("persist:delete"); err != nil {
+	if err := s.apply("persist:delete", 0); err != nil {
 		return err
 	}
 	return s.inner.Delete(key)
@@ -56,7 +57,7 @@ func (s *Store) Delete(key string) error {
 
 // List implements persist.Store.
 func (s *Store) List(prefix string) ([]string, error) {
-	if err := s.apply("persist:list"); err != nil {
+	if err := s.apply("persist:list", 0); err != nil {
 		return nil, err
 	}
 	return s.inner.List(prefix)

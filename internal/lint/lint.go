@@ -30,6 +30,8 @@ func DefaultAllow() map[string]bool {
 		"Client.NoCtx":        true,
 		"Client.Obs":          true,
 		"Client.StartRenewer": true,
+		// Purely local read of the in-memory health tracker.
+		"Client.ServerHealth": true,
 		"KV.Path":             true,
 		"KV.NoCtx":            true,
 		"File.Path":           true,

@@ -17,6 +17,11 @@ type AdminOptions struct {
 	// Health, if set, is consulted by /healthz; a non-nil error turns
 	// the response into 503. Nil means always healthy.
 	Health func() error
+	// HealthDetail, if set, backs /healthz?detail=1: its return value is
+	// JSON-encoded into the response (alongside the ok/error status), so
+	// operators can see gray-failure state — degraded servers, membership
+	// epoch — not just liveness.
+	HealthDetail func() any
 }
 
 // NewAdminMux builds the admin handler: Prometheus text-format
@@ -30,11 +35,26 @@ func NewAdminMux(opts AdminOptions) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var herr error
 		if opts.Health != nil {
-			if err := opts.Health(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+			herr = opts.Health()
+		}
+		if r.URL.Query().Get("detail") != "" && opts.HealthDetail != nil {
+			w.Header().Set("Content-Type", "application/json")
+			status := "ok"
+			if herr != nil {
+				status = herr.Error()
+				w.WriteHeader(http.StatusServiceUnavailable)
 			}
+			json.NewEncoder(w).Encode(struct {
+				Status string `json:"status"`
+				Detail any    `json:"detail"`
+			}{Status: status, Detail: opts.HealthDetail()})
+			return
+		}
+		if herr != nil {
+			http.Error(w, herr.Error(), http.StatusServiceUnavailable)
+			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))

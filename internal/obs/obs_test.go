@@ -246,6 +246,11 @@ func TestAdminEndpoint(t *testing.T) {
 			}
 			return nil
 		},
+		HealthDetail: func() any {
+			return struct {
+				Degraded []string `json:"degraded_servers"`
+			}{Degraded: []string{"mem://s1"}}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -275,9 +280,29 @@ func TestAdminEndpoint(t *testing.T) {
 	if code != 200 || !strings.Contains(string(body), "ok") {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
+	code, body = get("/healthz?detail=1")
+	if code != 200 {
+		t.Fatalf("/healthz?detail=1 status %d", code)
+	}
+	var detail struct {
+		Status string `json:"status"`
+		Detail struct {
+			Degraded []string `json:"degraded_servers"`
+		} `json:"detail"`
+	}
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatalf("/healthz?detail=1 not JSON: %v (%q)", err, body)
+	}
+	if detail.Status != "ok" || len(detail.Detail.Degraded) != 1 || detail.Detail.Degraded[0] != "mem://s1" {
+		t.Fatalf("healthz detail wrong: %+v", detail)
+	}
 	healthy = false
 	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("unhealthy /healthz status %d, want 503", code)
+	}
+	if code, body = get("/healthz?detail=1"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "degraded") {
+		t.Fatalf("unhealthy detail = %d %q, want 503 with status", code, body)
 	}
 
 	code, body = get("/spans")

@@ -255,6 +255,10 @@ type OpenReq struct {
 type OpenResp struct {
 	Map           ds.PartitionMap
 	LeaseDuration time.Duration
+	// Probation lists servers the controller currently holds in
+	// gray-failure probation: alive but persistently slow. Clients use
+	// it to skip them when ranking hedge targets.
+	Probation []string
 }
 
 // FlushPrefixReq persists the prefix's blocks under ExternalPath.
@@ -341,6 +345,10 @@ type ControllerStatsResp struct {
 	// MetadataBytes approximates controller metadata footprint (the
 	// §6.4 storage-overhead measurement).
 	MetadataBytes int
+	// DegradedServers lists members currently on gray-failure probation:
+	// alive (still heartbeating, still serving their blocks) but excluded
+	// from new allocation until probe-verified recovery.
+	DegradedServers []string
 }
 
 // ListPrefixesReq lists a job's address hierarchy.
@@ -380,6 +388,12 @@ type ReportFailureReq struct {
 	Reporter string
 	Server   string
 	Block    core.BlockID
+	// Degraded distinguishes fail-slow evidence from fail-stop: the
+	// reported server is reachable but persistently slow (replication
+	// forwards stalling past the configured threshold). The controller
+	// probes it and, if it is alive, places it on probation instead of
+	// declaring it dead.
+	Degraded bool
 }
 
 // ReportFailureResp acknowledges the report. Repair runs

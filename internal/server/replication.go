@@ -101,6 +101,7 @@ func (s *Server) forward(ctx context.Context, next core.BlockInfo, seq, gen uint
 		return &ChainHopError{Hop: next, Err: err}
 	}
 	var resp proto.ReplicateResp
+	start := s.clk.Now()
 	err = peer.CallGobCtx(ctx, proto.MethodReplicate, proto.ReplicateReq{
 		Block: next.ID,
 		Op:    op,
@@ -110,6 +111,10 @@ func (s *Server) forward(ctx context.Context, next core.BlockInfo, seq, gen uint
 		Gen:   gen,
 	}, &resp)
 	if err == nil {
+		// The successor applies in sequence order before replying, so the
+		// forward round trip is a direct proxy for its ApplyInOrder stall:
+		// a persistently slow hop is gray-failure evidence.
+		s.noteForwardLatency(next, s.clk.Now().Sub(start))
 		return nil
 	}
 	if errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout) {

@@ -32,6 +32,7 @@ import (
 	"jiffy/internal/clock"
 	"jiffy/internal/core"
 	"jiffy/internal/faultinject"
+	"jiffy/internal/proto"
 	"jiffy/internal/trace"
 )
 
@@ -102,6 +103,20 @@ type Config struct {
 	// unexpected error. Requires Controllers >= 2 (<= 0 disables).
 	CtrlKillAtTick int
 
+	// SlowServerAtTick turns one memory server gray at the start of that
+	// tick: the injector delays every byte toward it while the harness
+	// files a Degraded failure report, which the controller verifies by
+	// probe and answers with probation — not death. (The server-side
+	// fail-slow detector is exercised by the real-clock chaos suite;
+	// under the soak's virtual clock a forward round trip measures as
+	// zero.) Gray failure opens NO fault window: every op through the
+	// slow window must still succeed, and the membership epoch must not
+	// move — alive-but-slow never splices chains. At SlowHealAtTick the
+	// rule is removed and recovery probes must lift the probation.
+	// (<= 0 disables; requires SlowHealAtTick > SlowServerAtTick.)
+	SlowServerAtTick int
+	SlowHealAtTick   int
+
 	// IdleTenants provisions a scale-to-zero cohort: tenants whose
 	// dataset is written before the first tick and then never touched
 	// during the load loop. With TierIdleAfter set, their blocks must
@@ -132,21 +147,23 @@ type Config struct {
 // time.
 func DefaultShortConfig() Config {
 	return Config{
-		Seed:            1,
-		Ticks:           120,
-		TickDuration:    100 * time.Millisecond,
-		Servers:         4,
-		Controllers:     3,
-		BlocksPerServer: 256,
-		ChainLength:     2,
-		QoSConcurrency:  16,
-		Workers:         16,
-		KillAtTick:      45,
-		CtrlKillAtTick:  60,
-		DrainAtTick:     80,
-		IdleTenants:     6,
-		TierIdleAfter:   2 * time.Second,
-		IdleCheckAtTick: 70,
+		Seed:             1,
+		Ticks:            120,
+		TickDuration:     100 * time.Millisecond,
+		Servers:          4,
+		Controllers:      3,
+		BlocksPerServer:  256,
+		ChainLength:      2,
+		QoSConcurrency:   16,
+		Workers:          16,
+		SlowServerAtTick: 20,
+		SlowHealAtTick:   35,
+		KillAtTick:       45,
+		CtrlKillAtTick:   60,
+		DrainAtTick:      80,
+		IdleTenants:      6,
+		TierIdleAfter:    2 * time.Second,
+		IdleCheckAtTick:  70,
 		Tiers: []TierSpec{
 			{
 				Name: "gold", Tenants: 6, BaseOpsPerTick: 24, ValueBytes: 64,
@@ -217,12 +234,14 @@ type engine struct {
 
 	killedAddr     string
 	killedIdx      int
+	slowAddr       string
+	slowEpoch      uint64
 	ctrlKilledAddr string
 	failoverGen    uint64
 	drainAddr      string
-	drainActive atomic.Bool
-	drainDone   chan error
-	drained     int
+	drainActive    atomic.Bool
+	drainDone      chan error
+	drained        int
 
 	violations []string
 	unexpected atomic.Int64
@@ -237,6 +256,9 @@ func Run(cfg Config, logf func(string, ...any)) (*Report, error) {
 	}
 	if cfg.Ticks <= 0 || cfg.TickDuration <= 0 || len(cfg.Tiers) == 0 {
 		return nil, fmt.Errorf("soak: config needs ticks, tick duration and tiers")
+	}
+	if cfg.SlowServerAtTick > 0 && cfg.SlowHealAtTick <= cfg.SlowServerAtTick {
+		return nil, fmt.Errorf("soak: SlowServerAtTick needs SlowHealAtTick after it")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
@@ -523,6 +545,12 @@ func (e *engine) runTicks() {
 
 	tickSec := e.cfg.TickDuration.Seconds()
 	for tick := 0; tick < e.cfg.Ticks; tick++ {
+		if e.cfg.SlowServerAtTick > 0 && tick == e.cfg.SlowServerAtTick {
+			e.slowServer(tick)
+		}
+		if e.cfg.SlowServerAtTick > 0 && tick == e.cfg.SlowHealAtTick {
+			e.healSlowServer(tick)
+		}
 		if e.cfg.KillAtTick > 0 && tick == e.cfg.KillAtTick {
 			e.kill()
 		}
@@ -722,6 +750,67 @@ func (e *engine) killController(tick int) {
 	}
 	e.logf("soak: killed controller %s at tick %d; standby promoted at gen %d",
 		e.ctrlKilledAddr, tick, e.failoverGen)
+}
+
+// slowServer opens the gray-failure phase: the first memory server (a
+// chain member of many tenant blocks, and never the kill or drain
+// victim of the default schedule) gets persistent injected latency on
+// every byte toward it, and a Degraded report places it on controller
+// probation. Unlike kill and drain this opens no fault window — an
+// alive-but-slow server must cost latency, never errors or acks.
+func (e *engine) slowServer(tick int) {
+	e.slowAddr = e.cluster.Servers[0].Addr()
+	e.inj.AddRule(faultinject.Rule{
+		Name: "gray-slow", Match: "send:" + e.slowAddr,
+		Latency: 500 * time.Microsecond,
+	})
+	ctrl := e.cluster.Controllers[0]
+	if err := ctrl.ReportFailure(proto.ReportFailureReq{
+		Reporter: "soak-harness", Server: e.slowAddr, Degraded: true,
+	}); err != nil {
+		e.violations = append(e.violations, fmt.Sprintf("degraded report for %s: %v", e.slowAddr, err))
+		return
+	}
+	switch {
+	case ctrl.ServerDead(e.slowAddr):
+		e.violations = append(e.violations, fmt.Sprintf(
+			"fail-slow server %s was declared dead", e.slowAddr))
+	case !ctrl.ServerProbated(e.slowAddr):
+		e.violations = append(e.violations, fmt.Sprintf(
+			"degraded report did not probate %s", e.slowAddr))
+	}
+	e.slowEpoch = ctrl.MembershipEpoch()
+	e.logf("soak: server %s turned gray at tick %d (probated, epoch %d)",
+		e.slowAddr, tick, e.slowEpoch)
+}
+
+// healSlowServer closes the gray phase: the probation must have held
+// through the slow window without touching the membership epoch, and
+// once the injector rule is removed, consecutive clean recovery probes
+// must lift it.
+func (e *engine) healSlowServer(tick int) {
+	if e.slowAddr == "" {
+		return
+	}
+	ctrl := e.cluster.Controllers[0]
+	if got := ctrl.MembershipEpoch(); got != e.slowEpoch {
+		e.violations = append(e.violations, fmt.Sprintf(
+			"gray window moved the membership epoch: %d -> %d", e.slowEpoch, got))
+	}
+	if !ctrl.ServerProbated(e.slowAddr) {
+		e.violations = append(e.violations, fmt.Sprintf(
+			"probation of %s did not hold through the slow window", e.slowAddr))
+	}
+	e.inj.RemoveRule("gray-slow")
+	for i := 0; i < core.DefaultProbationRecoveryProbes; i++ {
+		ctrl.ProbeProbationNow()
+	}
+	if ctrl.ServerProbated(e.slowAddr) {
+		e.violations = append(e.violations, fmt.Sprintf(
+			"probation of %s not lifted after heal", e.slowAddr))
+	} else {
+		e.logf("soak: healed %s at tick %d; probation lifted", e.slowAddr, tick)
+	}
 }
 
 // startDrain begins a live migration of a second server under load.
